@@ -1,0 +1,39 @@
+// Ablation: byte-counted vs ACK-counted congestion window growth — the
+// first SCTP congestion-control advantage the paper lists in §4.1.1
+// ("increase ... based on the number of bytes acknowledged and not on the
+// number of acknowledgments received"). Toggling the SCTP stack to
+// TCP-style ACK counting isolates that mechanism.
+#include "apps/pingpong.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace sctpmpi;
+using namespace sctpmpi::bench;
+
+int main() {
+  banner("Ablation: SCTP byte-counted vs ACK-counted cwnd growth",
+         "paper §4.1.1 bullet 2 — recovery speed after loss");
+
+  apps::Table table({"Loss", "Byte counting (B/s)", "ACK counting (B/s)",
+                     "byte/ack"});
+  for (double loss : {0.0, 0.01, 0.02}) {
+    double tput[2];
+    int i = 0;
+    for (bool bc : {true, false}) {
+      auto cfg = paper_config(core::TransportKind::kSctp, loss);
+      cfg.sctp.byte_counting = bc;
+      apps::PingPongParams pp;
+      pp.message_size = 300 * 1024;
+      pp.iterations = scaled(60, 15);
+      tput[i++] = apps::run_pingpong(cfg, pp).throughput_Bps;
+    }
+    table.add_row({apps::fmt("%.0f%%", loss * 100),
+                   apps::fmt("%.0f", tput[0]), apps::fmt("%.0f", tput[1]),
+                   apps::fmt("%.2f", tput[0] / tput[1])});
+  }
+  table.print();
+  std::printf(
+      "\nShape: byte counting recovers the window faster after cuts, so\n"
+      "its advantage shows under loss (it is the paper's explanation for\n"
+      "part of SCTP's loss resilience).\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: RFC 2960's fast-retransmit-once-per-TSN rule versus the
+// New-Reno SCTP variant (paper §4.1.1: "The FreeBSD KAME SCTP stack also
+// includes a variant called New-Reno SCTP that is more robust to multiple
+// packet losses in a single window"). With the strict rule, a chunk whose
+// fast retransmission is ALSO lost must wait out a T3 timeout; the variant
+// lets fresh missing reports trigger another fast retransmit.
+#include "apps/pingpong.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace sctpmpi;
+using namespace sctpmpi::bench;
+
+int main() {
+  banner("Ablation: fast-rtx once-per-TSN (RFC 2960) vs New-Reno SCTP",
+         "paper §4.1.1 — robustness to multiple losses in a window");
+
+  apps::Table table({"Loss", "RFC once-only (B/s)", "New-Reno (B/s)",
+                     "New-Reno gain"});
+  for (double loss : {0.01, 0.02, 0.05}) {
+    double tput[2];
+    int i = 0;
+    for (bool once : {true, false}) {
+      double total_time = 0, total_bytes = 0;
+      for (std::uint64_t seed : {2005ull, 2006ull, 2007ull}) {
+        auto cfg = paper_config(core::TransportKind::kSctp, loss, seed);
+        cfg.sctp.fast_rtx_once_per_tsn = once;
+        apps::PingPongParams pp;
+        pp.message_size = 300 * 1024;
+        pp.iterations = scaled(100, 15);
+        auto r = apps::run_pingpong(cfg, pp);
+        total_time += r.loop_seconds;
+        total_bytes += 300.0 * 1024 * pp.iterations;
+      }
+      tput[i++] = total_bytes / total_time;
+    }
+    table.add_row({apps::fmt("%.0f%%", loss * 100),
+                   apps::fmt("%.0f", tput[0]), apps::fmt("%.0f", tput[1]),
+                   apps::fmt("%+.0f%%", (tput[1] / tput[0] - 1.0) * 100)});
+  }
+  table.print();
+  std::printf(
+      "\nShape: the gain grows with the loss rate, because the probability\n"
+      "that a retransmission is itself lost (forcing a 1s T3 under the\n"
+      "strict rule) grows with it.\n");
+  return 0;
+}

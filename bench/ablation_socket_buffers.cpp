@@ -1,0 +1,39 @@
+// Ablation: socket buffer size (paper §4 setting 1 pinned both stacks to
+// 220 KiB; this sweep shows why the setting matters for the comparison).
+#include "apps/pingpong.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace sctpmpi;
+using namespace sctpmpi::bench;
+
+int main() {
+  banner("Ablation: socket buffer size sweep",
+         "paper §4 setting 1 — SO_SNDBUF/SO_RCVBUF = 220 KiB in both stacks");
+
+  apps::Table table({"Buffers", "LAM_TCP 131K (B/s)", "LAM_SCTP 131K (B/s)"});
+  for (std::size_t kb : {32ul, 64ul, 128ul, 220ul, 512ul}) {
+    double tput[2];
+    int i = 0;
+    for (auto tr : {core::TransportKind::kTcp, core::TransportKind::kSctp}) {
+      auto cfg = paper_config(tr, 0.0);
+      cfg.tcp.sndbuf = cfg.tcp.rcvbuf = kb * 1024;
+      cfg.sctp.sndbuf = cfg.sctp.rcvbuf = kb * 1024;
+      apps::PingPongParams pp;
+      pp.message_size = 131072;
+      pp.iterations = scaled(100, 25);
+      tput[i++] = apps::run_pingpong(cfg, pp).throughput_Bps;
+    }
+    table.add_row({std::to_string(kb) + " KiB", apps::fmt("%.0f", tput[0]),
+                   apps::fmt("%.0f", tput[1])});
+  }
+  table.print();
+  std::printf(
+      "\nShape: beyond the bandwidth-delay product the curves flatten —\n"
+      "the paper's 220 KiB is comfortably there. Below ~128 KiB the SCTP\n"
+      "module collapses: the middleware's long-message fragments (paper\n"
+      "§3.4, clamped to the send buffer) degenerate to stop-and-wait, and\n"
+      "each fragment tail then eats a 200 ms delayed-SACK — a concrete\n"
+      "instance of the sctp_sendmsg size limit the paper calls out as a\n"
+      "limitation (§3.6).\n");
+  return 0;
+}

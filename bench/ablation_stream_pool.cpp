@@ -1,0 +1,38 @@
+// Ablation: stream pool size (paper §3.2.1 — "the degree of concurrency
+// achieved depends on the number of streams"). Farm with Fanout=10 at 2%
+// loss, sweeping the TRC->stream pool from 1 to 32.
+#include "apps/farm.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace sctpmpi;
+using namespace sctpmpi::bench;
+
+int main() {
+  banner("Ablation: SCTP stream pool size",
+         "paper §3.2.1 — concurrency vs pool size, long-task farm @2% loss");
+
+  apps::FarmParams fp;
+  fp.task_size = 300 * 1024;  // long tasks show the effect most cleanly
+  fp.fanout = 10;
+  fp.num_tasks = scaled(800, 200);
+  fp.work_per_task = 55 * sim::kMillisecond;  // paper-calibrated compute
+
+  apps::Table table({"Stream pool", "Run time (s)"});
+  const std::uint64_t seeds[] = {2005, 2006};
+  for (unsigned pool : {1u, 2u, 5u, 10u, 20u, 32u}) {
+    double total = 0;
+    for (std::uint64_t seed : seeds) {
+      auto cfg = paper_config(core::TransportKind::kSctp, 0.02, seed);
+      cfg.rpi.stream_pool = pool;
+      total += apps::run_farm(cfg, fp).total_runtime_seconds;
+    }
+    table.add_row({std::to_string(pool),
+                   apps::fmt("%.1f", total / std::size(seeds))});
+  }
+  table.print();
+  std::printf(
+      "\nShape: run time falls as the pool grows (less HOL blocking),\n"
+      "with diminishing returns once the pool covers the active tag set\n"
+      "(the farm uses 10 work tags + 1 control tag).\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared plumbing for the reproduction benches: paper-standard world
+// configuration (8 ranks, 1 Gb/s links, 220 KiB buffers, Nagle off, SACK
+// on, CRC32c off — §4 settings 1-5) and a fast-mode switch.
+//
+// Set SCTPMPI_FAST=1 to scale workloads down (~10x) for quick iteration;
+// the default reproduces the paper's parameters.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/report.hpp"
+#include "core/world.hpp"
+
+namespace sctpmpi::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("SCTPMPI_FAST");
+  return v != nullptr && v[0] != '0';
+}
+
+/// Scales an iteration/task count down in fast mode.
+inline int scaled(int full, int fast) { return fast_mode() ? fast : full; }
+
+/// Paper-standard configuration (§4): 8 nodes, Dummynet loss as given.
+inline core::WorldConfig paper_config(core::TransportKind transport,
+                                      double loss, std::uint64_t seed = 2005) {
+  core::WorldConfig cfg;
+  cfg.ranks = 8;
+  cfg.transport = transport;
+  cfg.loss = loss;
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline void banner(const char* title, const char* paper_ref) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  if (fast_mode()) std::printf("(FAST mode: workloads scaled down)\n");
+  std::printf("\n");
+}
+
+}  // namespace sctpmpi::bench

@@ -1,0 +1,129 @@
+// Fig. 12: head-of-line blocking — SCTP with the full 10-stream pool vs a
+// single stream (tag/rank/context all mapped onto stream 0). Same stack,
+// same loss; only the TRC->stream mapping differs.
+//
+// Part 1 measures the paper's mechanism directly and deterministically
+// (the Fig. 4 scenario): a message on one tag loses a chunk and needs
+// timeout-class recovery; how long until a message on ANOTHER tag is
+// delivered to MPI_Waitany?
+//
+// Part 2 runs the paper's farm ablation. The paper notes (§4.2.2) that
+// the size of the end-to-end effect depends on how long loss recovery
+// takes: their 2005 KAME stack recovered slowly enough for 25-35%
+// differences; see EXPERIMENTS.md for the analysis of our numbers.
+#include <optional>
+#include <vector>
+
+#include "apps/farm.hpp"
+#include "bench/bench_common.hpp"
+#include "sctp/chunk.hpp"
+
+using namespace sctpmpi;
+using namespace sctpmpi::bench;
+
+namespace {
+
+// Part 1: deterministic HOL-blocking latency (Fig. 4 made measurable).
+double overtake_latency_ms(unsigned pool) {
+  auto cfg = paper_config(core::TransportKind::kSctp, 0.0);
+  cfg.ranks = 2;
+  cfg.rpi.stream_pool = pool;
+  core::World w(cfg);
+  // Force timeout-class recovery of one chunk of message A: drop that TSN
+  // (original + retransmissions) for 2 virtual seconds.
+  std::optional<std::uint32_t> victim;
+  w.cluster().uplink(1).set_drop_filter([&](const net::Packet& p) {
+    if (p.proto != net::IpProto::kSctp) return false;
+    auto pkt = sctp::SctpPacket::decode(p.payload, false);
+    if (!pkt) return false;
+    for (auto& c : pkt->chunks) {
+      if (c.type != sctp::ChunkType::kData) continue;
+      auto& d = std::get<sctp::DataChunk>(c.body);
+      if (d.payload.size() < 1000) continue;
+      if (!victim) victim = d.tsn;
+      if (d.tsn == *victim && w.sim().now() < 2 * sim::kSecond) return true;
+    }
+    return false;
+  });
+  double ms = 0;
+  w.run([&](core::Mpi& mpi) {
+    constexpr std::size_t kMsg = 30 * 1024;
+    if (mpi.rank() == 1) {
+      std::vector<std::byte> a(kMsg, std::byte{0xA});
+      std::vector<std::byte> b(kMsg, std::byte{0xB});
+      mpi.send(a, 0, /*tag-A=*/1);
+      mpi.send(b, 0, /*tag-B=*/2);
+    } else {
+      std::vector<std::byte> ba(kMsg), bb(kMsg);
+      std::vector<core::Request> reqs{mpi.irecv(ba, 1, 1),
+                                      mpi.irecv(bb, 1, 2)};
+      const double t0 = mpi.wtime();
+      mpi.waitany(reqs);
+      ms = (mpi.wtime() - t0) * 1e3;
+      mpi.waitall(reqs);
+    }
+  });
+  return ms;
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 12: SCTP 10 streams vs 1 stream",
+         "paper Fig. 12 / §3.2.2-3.2.3 — head-of-line blocking isolated");
+
+  std::printf("Part 1 — the mechanism (paper Fig. 4): tag A loses a chunk "
+              "needing\ntimeout recovery; time until MPI_Waitany gets tag "
+              "B's message:\n\n");
+  const double multi = overtake_latency_ms(10);
+  const double single = overtake_latency_ms(1);
+  std::printf("  10 streams: %8.1f ms (tag B delivered on its own stream)\n",
+              multi);
+  std::printf("   1 stream:  %8.1f ms (tag B held behind tag A's recovery)\n",
+              single);
+  std::printf("  -> single-stream head-of-line penalty: %.0fx\n\n",
+              single / multi);
+
+  std::printf("Part 2 — the farm ablation (Fanout=10):\n\n");
+  for (bool long_tasks : {false, true}) {
+    apps::FarmParams fp;
+    fp.task_size = long_tasks ? 300 * 1024 : 30 * 1024;
+    fp.fanout = 10;
+    fp.num_tasks = scaled(10'000, 500);
+    // Long-task cells use 3,000 tasks to bound simulation cost; the
+    // paper's shape (relative run times) is scale-invariant here.
+    if (long_tasks) fp.num_tasks = scaled(1'500, 200);
+    fp.work_per_task =
+        long_tasks ? 55 * sim::kMillisecond : 6 * sim::kMillisecond;
+    std::printf("--- %s tasks (%zu bytes, %d tasks) ---\n",
+                long_tasks ? "long" : "short", fp.task_size, fp.num_tasks);
+    apps::Table table(
+        {"Loss", "10 streams (s)", "1 stream (s)", "1-stream penalty"});
+    const std::uint64_t seeds[] = {2005, 2006};
+    for (double loss : {0.0, 0.01, 0.02}) {
+      double rt[2];
+      int i = 0;
+      for (unsigned pool : {10u, 1u}) {
+        double total = 0;
+        for (std::uint64_t seed : seeds) {
+          auto cfg = paper_config(core::TransportKind::kSctp, loss, seed);
+          cfg.rpi.stream_pool = pool;
+          total += apps::run_farm(cfg, fp).total_runtime_seconds;
+        }
+        rt[i++] = total / std::size(seeds);
+      }
+      table.add_row({apps::fmt("%.0f%%", loss * 100),
+                     apps::fmt("%.1f", rt[0]), apps::fmt("%.1f", rt[1]),
+                     apps::fmt("%+.0f%%", (rt[1] / rt[0] - 1.0) * 100)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper (10,000 tasks): single-stream run times ~25%% higher for long\n"
+      "tasks under loss and ~35%% higher for short tasks at 2%%. Our\n"
+      "transport recovers most losses in sub-millisecond fast retransmits\n"
+      "(LAN RTT), so the end-to-end farm penalty is smaller here — Part 1\n"
+      "shows the blocking itself at full strength. See EXPERIMENTS.md.\n");
+  return 0;
+}

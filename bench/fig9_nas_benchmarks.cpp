@@ -1,0 +1,48 @@
+// Fig. 9: NAS parallel benchmark skeletons (NPB 3.2 subset), class B on
+// 8 processes, Mop/s for LAM_SCTP vs LAM_TCP under no loss. Expected
+// shape: comparable overall, TCP slightly ahead on MG and BT (their class
+// B traffic keeps a greater share of short messages).
+//
+// Other dataset classes (S/W/A) can be printed with SCTPMPI_ALL_CLASSES=1;
+// the paper reports that TCP does better on the shorter datasets.
+#include "apps/nas.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace sctpmpi;
+using namespace sctpmpi::bench;
+
+int main() {
+  banner("Figure 9: NAS parallel benchmarks (class B, 8 procs)",
+         "paper Fig. 9 — Mop/s per kernel, SCTP vs TCP");
+
+  const bool all_classes = std::getenv("SCTPMPI_ALL_CLASSES") != nullptr;
+  std::vector<apps::NasClass> classes = {apps::NasClass::kB};
+  if (all_classes) {
+    classes = {apps::NasClass::kS, apps::NasClass::kW, apps::NasClass::kA,
+               apps::NasClass::kB};
+  }
+
+  for (apps::NasClass cls : classes) {
+    std::printf("--- dataset class %s ---\n", apps::to_string(cls));
+    apps::Table table({"Benchmark", "LAM_SCTP (Mop/s)", "LAM_TCP (Mop/s)",
+                       "SCTP/TCP"});
+    for (apps::NasKernel k : apps::nas_paper_order()) {
+      double mops[2];
+      int i = 0;
+      for (auto tr :
+           {core::TransportKind::kSctp, core::TransportKind::kTcp}) {
+        mops[i++] = apps::run_nas(paper_config(tr, 0.0), k, cls).mops_total;
+      }
+      table.add_row({apps::to_string(k), apps::fmt("%.0f", mops[0]),
+                     apps::fmt("%.0f", mops[1]),
+                     apps::fmt("%.3f", mops[0] / mops[1])});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shape (class B): SCTP comparable to TCP on average; TCP\n"
+      "slightly ahead on MG and BT; single tags mean multistreaming is\n"
+      "not exercised here.\n");
+  return 0;
+}

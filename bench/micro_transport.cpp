@@ -1,0 +1,142 @@
+// Google-benchmark micro-benchmarks of the transport building blocks:
+// CRC32c, chunk/segment codecs, the receiver TSN map, stream reassembly
+// and the ring buffer. These bound the simulator's own costs and document
+// the relative price of SCTP's wire format versus TCP's.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "net/ring_buffer.hpp"
+#include "sctp/chunk.hpp"
+#include "sctp/crc32c.hpp"
+#include "sctp/streams.hpp"
+#include "sctp/tsn_map.hpp"
+#include "tcp/wire.hpp"
+
+namespace {
+
+using namespace sctpmpi;
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)),
+                              std::byte{0x5A});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sctp::crc32c(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(1452)->Arg(65536);
+
+void BM_TcpSegmentEncode(benchmark::State& state) {
+  tcp::Segment seg;
+  seg.ack_flag = true;
+  seg.sacks = {{100, 200}, {300, 400}};
+  seg.payload.assign(static_cast<std::size_t>(state.range(0)),
+                     std::byte{0x7});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seg.encode());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TcpSegmentEncode)->Arg(64)->Arg(1460);
+
+void BM_TcpSegmentDecode(benchmark::State& state) {
+  tcp::Segment seg;
+  seg.ack_flag = true;
+  seg.payload.assign(1460, std::byte{0x7});
+  auto wire = seg.encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tcp::Segment::decode(wire));
+  }
+}
+BENCHMARK(BM_TcpSegmentDecode);
+
+void BM_SctpPacketEncode(benchmark::State& state) {
+  sctp::SctpPacket pkt;
+  sctp::DataChunk d;
+  d.begin = d.end = true;
+  d.tsn = 42;
+  d.payload.assign(static_cast<std::size_t>(state.range(0)), std::byte{0x7});
+  pkt.chunks.push_back(sctp::TypedChunk{sctp::ChunkType::kData, d});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkt.encode(false));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SctpPacketEncode)->Arg(64)->Arg(1452);
+
+void BM_SctpPacketDecode(benchmark::State& state) {
+  sctp::SctpPacket pkt;
+  sctp::SackChunk s;
+  s.cum_tsn_ack = 100;
+  s.gaps = {{2, 3}, {5, 9}};
+  pkt.chunks.push_back(sctp::TypedChunk{sctp::ChunkType::kSack, s});
+  sctp::DataChunk d;
+  d.begin = d.end = true;
+  d.payload.assign(1452, std::byte{0x7});
+  pkt.chunks.push_back(sctp::TypedChunk{sctp::ChunkType::kData, d});
+  auto wire = pkt.encode(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sctp::SctpPacket::decode(wire, false));
+  }
+}
+BENCHMARK(BM_SctpPacketDecode);
+
+void BM_TsnMapInOrder(benchmark::State& state) {
+  for (auto _ : state) {
+    sctp::TsnMap map(1);
+    for (std::uint32_t t = 1; t <= 256; ++t) map.record(t);
+    benchmark::DoNotOptimize(map.cum_tsn());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_TsnMapInOrder);
+
+void BM_TsnMapWithGaps(benchmark::State& state) {
+  for (auto _ : state) {
+    sctp::TsnMap map(1);
+    for (std::uint32_t t = 1; t <= 256; t += 2) map.record(t);
+    benchmark::DoNotOptimize(map.gap_blocks());
+    for (std::uint32_t t = 2; t <= 256; t += 2) map.record(t);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_TsnMapWithGaps);
+
+void BM_StreamReassembly(benchmark::State& state) {
+  for (auto _ : state) {
+    sctp::InboundStreams in(10);
+    std::uint32_t tsn = 1;
+    for (std::uint16_t ssn = 0; ssn < 16; ++ssn) {
+      for (int frag = 0; frag < 4; ++frag) {
+        sctp::DataChunk c;
+        c.tsn = tsn++;
+        c.sid = ssn % 10;
+        c.ssn = ssn / 10;
+        c.begin = frag == 0;
+        c.end = frag == 3;
+        c.payload.assign(1452, std::byte{1});
+        in.accept(c);
+      }
+    }
+    while (in.pop().has_value()) {
+    }
+  }
+}
+BENCHMARK(BM_StreamReassembly);
+
+void BM_RingBuffer(benchmark::State& state) {
+  net::RingBuffer rb(220 * 1024);
+  std::vector<std::byte> chunk(1460, std::byte{2});
+  std::vector<std::byte> out(1460);
+  for (auto _ : state) {
+    rb.write(chunk);
+    rb.read(out);
+  }
+  state.SetBytesProcessed(state.iterations() * 1460);
+}
+BENCHMARK(BM_RingBuffer);
+
+}  // namespace
+
+BENCHMARK_MAIN();

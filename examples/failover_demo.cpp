@@ -1,0 +1,66 @@
+// Failover demo (paper §3.5.1): an MPI job on multihomed nodes (three
+// NICs on three independent networks, like the paper's testbed) survives
+// the total failure of the primary network mid-run. SCTP's heartbeats
+// detect the dead path and retransmissions move to an alternate address;
+// the MPI program never notices beyond a brief stall.
+//
+//   $ ./examples/failover_demo
+#include <cstdio>
+#include <vector>
+
+#include "core/world.hpp"
+
+using namespace sctpmpi;
+
+int main() {
+  core::WorldConfig cfg;
+  cfg.ranks = 2;
+  cfg.transport = core::TransportKind::kSctp;
+  cfg.interfaces = 3;              // three independent networks
+  cfg.sctp.path_max_retrans = 2;   // fail over after a few timeouts
+
+  core::World world(cfg);
+  constexpr int kIters = 60;
+  constexpr std::size_t kMsg = 30 * 1024;
+
+  world.run([&](core::Mpi& mpi) {
+    std::vector<std::byte> out(kMsg, std::byte{1});
+    std::vector<std::byte> in(kMsg);
+    const int peer = 1 - mpi.rank();
+    double slowest = 0;
+    int slowest_iter = -1;
+    for (int i = 0; i < kIters; ++i) {
+      const double t0 = mpi.wtime();
+      if (mpi.rank() == 0) {
+        mpi.send(out, peer, 0);
+        mpi.recv(in, peer, 0);
+      } else {
+        mpi.recv(in, peer, 0);
+        mpi.send(out, peer, 0);
+      }
+      const double dt = mpi.wtime() - t0;
+      if (mpi.rank() == 0 && dt > slowest) {
+        slowest = dt;
+        slowest_iter = i;
+      }
+      if (i == kIters / 3 && mpi.rank() == 0) {
+        std::printf("iteration %d: severing the primary network (subnet 0)"
+                    "...\n", i);
+        world.cluster().set_subnet_loss(0, 1.0);
+      }
+    }
+    if (mpi.rank() == 0) {
+      std::printf("all %d iterations completed; slowest round trip %.3f s "
+                  "(iteration %d — the failover stall)\n",
+                  kIters, slowest, slowest_iter);
+    }
+  });
+
+  std::printf(
+      "total virtual time: %.3f s — the job survived a dead network with\n"
+      "no MPI-level recovery code. The multi-second stall is the RFC\n"
+      "default timer cascade; the paper (§3.5.1) notes these controls\n"
+      "\"need to be tuned to a particular network\" for fast failover.\n",
+      world.elapsed_seconds());
+  return 0;
+}

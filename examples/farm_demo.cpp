@@ -1,0 +1,42 @@
+// Farm demo: the paper's Bulk Processor Farm (manager/worker, §4.2.1) run
+// side by side over LAM_TCP and LAM_SCTP at a chosen loss rate, printing
+// run times — a miniature of the Fig. 10 experiment.
+//
+//   $ ./examples/farm_demo            # 0% loss
+//   $ ./examples/farm_demo 0.02       # 2% Dummynet-style loss
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/farm.hpp"
+
+using namespace sctpmpi;
+
+int main(int argc, char** argv) {
+  const double loss = argc > 1 ? std::atof(argv[1]) : 0.0;
+
+  apps::FarmParams fp;
+  fp.num_tasks = 1'000;
+  fp.task_size = 30 * 1024;
+  fp.fanout = 1;
+
+  std::printf("Bulk Processor Farm: %d tasks x %zu bytes, 8 ranks, "
+              "loss %.1f%%\n\n",
+              fp.num_tasks, fp.task_size, loss * 100);
+
+  for (auto tr : {core::TransportKind::kTcp, core::TransportKind::kSctp}) {
+    core::WorldConfig cfg;
+    cfg.ranks = 8;
+    cfg.transport = tr;
+    cfg.loss = loss;
+    auto r = apps::run_farm(cfg, fp);
+    std::printf("%-10s run time %8.3f s   (%d tasks completed, manager "
+                "served %llu requests)\n",
+                core::to_string(tr), r.total_runtime_seconds,
+                r.tasks_completed,
+                static_cast<unsigned long long>(r.manager_requests_served));
+  }
+  std::printf(
+      "\nTry loss 0.01 or 0.02: the SCTP module's multistreaming and loss\n"
+      "recovery keep the farm moving while LAM_TCP stalls (paper Fig. 10).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Multistream demo: the paper's Fig. 4 scenario, made visible.
+//
+// P1 sends Msg-A then Msg-B with different tags; P0 posts two non-blocking
+// receives and waits for ANY of them. We deterministically drop the first
+// data packet (part of Msg-A). Over LAM_TCP the byte stream holds Msg-B
+// hostage behind the retransmission of Msg-A (head-of-line blocking); over
+// LAM_SCTP the two tags live on different streams, so Msg-B is delivered
+// immediately and P0 computes while Msg-A recovers.
+//
+//   $ ./examples/multistream_demo
+#include <cstdio>
+#include <vector>
+
+#include "core/world.hpp"
+
+using namespace sctpmpi;
+
+namespace {
+
+double run_scenario(core::TransportKind transport) {
+  core::WorldConfig cfg;
+  cfg.ranks = 2;
+  cfg.transport = transport;
+  core::World world(cfg);
+
+  // Drop the first large data packet from rank 1 (part of Msg-A).
+  int data_packets = 0;
+  world.cluster().uplink(1).set_drop_filter([&](const net::Packet& p) {
+    if (p.payload.size() > 1000) {
+      ++data_packets;
+      return data_packets == 1;
+    }
+    return false;
+  });
+
+  double t_any = 0;
+  world.run([&](core::Mpi& mpi) {
+    constexpr std::size_t kMsg = 30 * 1024;
+    if (mpi.rank() == 1) {
+      std::vector<std::byte> a(kMsg, std::byte{0xA});
+      std::vector<std::byte> b(kMsg, std::byte{0xB});
+      mpi.send(a, 0, /*tag-A=*/1);
+      mpi.send(b, 0, /*tag-B=*/2);
+    } else {
+      std::vector<std::byte> bufa(kMsg), bufb(kMsg);
+      std::vector<core::Request> reqs{mpi.irecv(bufa, 1, 1),
+                                      mpi.irecv(bufb, 1, 2)};
+      const double t0 = mpi.wtime();
+      core::MpiStatus st;
+      mpi.waitany(reqs, &st);  // MPI_Waitany: either message is fine
+      t_any = mpi.wtime() - t0;
+      std::printf("  %-10s waitany returned tag %d after %8.3f ms\n",
+                  core::to_string(transport), st.tag, t_any * 1e3);
+      mpi.compute(5 * sim::kMillisecond);  // overlapped computation
+      mpi.waitall(reqs);
+    }
+  });
+  return t_any;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Paper Fig. 4: Msg-A (tag 1) loses a packet; Msg-B (tag 2)\n"
+              "arrives intact. How long until MPI_Waitany returns?\n\n");
+  const double tcp = run_scenario(core::TransportKind::kTcp);
+  const double sctp = run_scenario(core::TransportKind::kSctp);
+  std::printf(
+      "\nLAM_TCP must wait for Msg-A's retransmission (min RTO 1s) before\n"
+      "the byte stream releases Msg-B: %.1f ms.\n"
+      "LAM_SCTP delivers Msg-B on its own stream right away: %.1f ms —\n"
+      "%.0fx sooner. That is head-of-line blocking, eliminated (§3.2).\n",
+      tcp * 1e3, sctp * 1e3, tcp / sctp);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: a minimal two-rank MPI program over the SCTP module.
+//
+// Builds a simulated 2-node gigabit cluster, runs an MPI job whose ranks
+// exchange a greeting with blocking send/recv, then a round of
+// non-blocking traffic on several tags, and prints what happened.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/world.hpp"
+
+using namespace sctpmpi;
+
+int main() {
+  // A World is a full simulated MPI job: cluster, transport stacks, ranks.
+  core::WorldConfig cfg;
+  cfg.ranks = 2;
+  cfg.transport = core::TransportKind::kSctp;  // the paper's module
+  core::World world(cfg);
+
+  world.run([](core::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      const char* text = "hello from rank 0 over SCTP";
+      mpi.send(std::as_bytes(std::span(text, std::strlen(text) + 1)),
+               /*dst=*/1, /*tag=*/0);
+
+      // Non-blocking receives on two tags; either may complete first —
+      // with SCTP each tag travels on its own stream.
+      std::vector<std::byte> a(1024), b(1024);
+      std::vector<core::Request> reqs{mpi.irecv(a, 1, /*tag=*/1),
+                                      mpi.irecv(b, 1, /*tag=*/2)};
+      core::MpiStatus st;
+      int first = mpi.waitany(reqs, &st);
+      std::printf("rank 0: tag %d arrived first (%zu bytes)\n", st.tag,
+                  st.count);
+      mpi.waitall(reqs);
+      std::printf("rank 0: both replies received, first index was %d\n",
+                  first);
+    } else {
+      std::vector<std::byte> buf(256);
+      core::MpiStatus st = mpi.recv(buf, 0, 0);
+      std::printf("rank 1: received \"%s\" (%zu bytes) from rank %d\n",
+                  reinterpret_cast<const char*>(buf.data()), st.count,
+                  st.source);
+      std::vector<std::byte> reply(1024, std::byte{42});
+      mpi.send(reply, 0, /*tag=*/2);  // tag 2 first on purpose
+      mpi.send(reply, 0, /*tag=*/1);
+    }
+    mpi.barrier();
+  });
+
+  std::printf("job finished at virtual time %.6f s\n",
+              world.elapsed_seconds());
+  return 0;
+}

@@ -1,0 +1,149 @@
+#include "apps/farm.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace sctpmpi::apps {
+
+namespace {
+// Tag 0 carries worker->manager requests and manager->worker termination
+// replies; task tags are 1..max_work_tags.
+constexpr int kCtlTag = 0;
+}  // namespace
+
+// Protocol invariant: a worker keeps exactly `outstanding_requests`
+// unanswered requests at the manager until the task pool dries up. The
+// manager answers a request either with a full batch of `fanout` tasks, or
+// (once the pool is dry) with any remaining tasks plus ONE termination
+// message. A worker issues a new request for every `fanout` task replies
+// received (one-for-one replacement of a completed batch) and never after
+// seeing a termination; therefore each worker receives exactly
+// `outstanding_requests` terminations, which is its exit condition — exact
+// regardless of how replies from concurrent batches interleave (they do,
+// especially over multistreamed SCTP).
+FarmResult run_farm(core::WorldConfig cfg, FarmParams params,
+                    const std::function<void(core::World&)>& pre_run) {
+  assert(cfg.ranks >= 2);
+  core::World world(cfg);
+  if (pre_run) pre_run(world);
+  FarmResult result;
+  int tasks_done_total = 0;
+
+  world.run([&](core::Mpi& mpi) {
+    const int nworkers = mpi.size() - 1;
+
+    if (mpi.rank() == 0) {
+      // ---- Manager ------------------------------------------------------
+      int tasks_left = params.num_tasks;
+      int next_tag = 1;
+      std::uint64_t served = 0;
+      std::vector<int> terms_sent(static_cast<std::size_t>(mpi.size()), 0);
+      int workers_finished = 0;
+
+      std::vector<std::byte> task(params.task_size, std::byte{0x7});
+      std::byte req_buf[8];
+      std::vector<std::uint32_t> tasks_to(static_cast<std::size_t>(mpi.size()),
+                                          0);
+
+      while (workers_finished < nworkers) {
+        core::MpiStatus st =
+            mpi.recv(std::span(req_buf, 8), core::kAnySource, kCtlTag);
+        ++served;
+        const int worker = st.source;
+        const int batch =
+            tasks_left >= params.fanout ? params.fanout : tasks_left;
+        for (int f = 0; f < batch; ++f) {
+          --tasks_left;
+          mpi.send(task, worker, next_tag);
+          next_tag = next_tag % params.max_work_tags + 1;
+        }
+        tasks_to[static_cast<std::size_t>(worker)] +=
+            static_cast<std::uint32_t>(batch);
+        if (batch < params.fanout) {
+          // Pool is dry (or went dry mid-batch): terminate this request.
+          // The termination carries the total task count sent to this
+          // worker, so the worker can drain in-flight tasks exactly even
+          // when a termination overtakes them on another stream.
+          std::byte term[4];
+          const std::uint32_t count =
+              tasks_to[static_cast<std::size_t>(worker)];
+          term[0] = static_cast<std::byte>(count >> 24);
+          term[1] = static_cast<std::byte>(count >> 16);
+          term[2] = static_cast<std::byte>(count >> 8);
+          term[3] = static_cast<std::byte>(count);
+          mpi.send(std::span(term, 4), worker, kCtlTag);
+          if (++terms_sent[static_cast<std::size_t>(worker)] ==
+              params.outstanding_requests) {
+            ++workers_finished;
+          }
+        }
+      }
+      result.manager_requests_served = served;
+    } else {
+      // ---- Worker ---------------------------------------------------------
+      // Upper bound of in-flight replies: every unanswered request can
+      // yield fanout tasks + 1 termination.
+      const int posted_slots =
+          params.outstanding_requests * (params.fanout + 1);
+      std::vector<std::vector<std::byte>> bufs(
+          static_cast<std::size_t>(posted_slots),
+          std::vector<std::byte>(params.task_size));
+      std::vector<core::Request> recvs(
+          static_cast<std::size_t>(posted_slots));
+      // Pre-post receives with MPI_ANY_TAG (paper §4.2.1): all replies are
+      // expected messages.
+      for (int i = 0; i < posted_slots; ++i) {
+        recvs[static_cast<std::size_t>(i)] =
+            mpi.irecv(bufs[static_cast<std::size_t>(i)], 0, core::kAnyTag);
+      }
+      std::byte req{1};
+      for (int i = 0; i < params.outstanding_requests; ++i) {
+        mpi.send(std::span(&req, 1), 0, kCtlTag);
+      }
+
+      int terms_seen = 0;
+      int tasks_since_request = 0;
+      int my_tasks = 0;
+      std::uint32_t my_target = 0;  // final task count, from terminations
+
+      auto handle_term = [&](const std::vector<std::byte>& buf) {
+        ++terms_seen;
+        const std::uint32_t count =
+            (static_cast<std::uint32_t>(buf[0]) << 24) |
+            (static_cast<std::uint32_t>(buf[1]) << 16) |
+            (static_cast<std::uint32_t>(buf[2]) << 8) |
+            static_cast<std::uint32_t>(buf[3]);
+        if (count > my_target) my_target = count;
+      };
+
+      // Main loop: process replies until all terminations arrived AND all
+      // announced tasks were received (a termination on the control stream
+      // can overtake tasks on other streams).
+      while (terms_seen < params.outstanding_requests ||
+             my_tasks < static_cast<int>(my_target)) {
+        core::MpiStatus st;
+        const int idx = mpi.waitany(recvs, &st);
+        const bool is_term = st.tag == kCtlTag;
+        if (is_term) handle_term(bufs[static_cast<std::size_t>(idx)]);
+        // Re-post the slot only after consuming its contents.
+        recvs[static_cast<std::size_t>(idx)] = mpi.irecv(
+            bufs[static_cast<std::size_t>(idx)], 0, core::kAnyTag);
+        if (is_term) continue;
+        // Process the task, overlapping with the batches still in flight.
+        mpi.compute(params.work_per_task);
+        ++my_tasks;
+        if (++tasks_since_request == params.fanout) {
+          tasks_since_request = 0;
+          mpi.send(std::span(&req, 1), 0, kCtlTag);
+        }
+      }
+      tasks_done_total += my_tasks;  // sequential hand-off: no data race
+    }
+  });
+
+  result.total_runtime_seconds = world.elapsed_seconds();
+  result.tasks_completed = tasks_done_total;
+  return result;
+}
+
+}  // namespace sctpmpi::apps

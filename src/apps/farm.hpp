@@ -1,0 +1,46 @@
+// Bulk Processor Farm (paper §4.2.1): a request-driven manager/worker
+// program, "typical of real-world manager-worker programs".
+//
+// One manager (rank 0) creates NumTasks tasks and distributes them to
+// workers on demand; it services requests in arrival order
+// (MPI_ANY_SOURCE). Every task carries a type, expressed as its MPI tag
+// (cycling through MaxWorkTags tags), so under the SCTP module different
+// task types travel on different streams. Workers keep a fixed number of
+// outstanding requests (10 in the paper), pre-post non-blocking receives
+// with MPI_ANY_TAG, and overlap task processing (a compute phase) with
+// communication — the latency-tolerant structure the paper argues SCTP
+// rewards. `fanout` tasks are returned per request (Fig. 10: 1,
+// Fig. 11: 10).
+#pragma once
+
+#include <cstddef>
+
+#include "core/world.hpp"
+
+namespace sctpmpi::apps {
+
+struct FarmParams {
+  int num_tasks = 10'000;           // paper: 10,000
+  std::size_t task_size = 30 * 1024;  // short: 30 KiB, long: 300 KiB
+  int fanout = 1;                   // tasks per request (1 or 10)
+  int outstanding_requests = 10;    // per worker, paper §4.2.1
+  int max_work_tags = 10;           // distinct task types / tags
+  /// Per-task processing time on a worker (the computation overlapped
+  /// with communication).
+  sim::SimTime work_per_task = sim::kMillisecond;
+};
+
+struct FarmResult {
+  double total_runtime_seconds = 0;
+  int tasks_completed = 0;
+  std::uint64_t manager_requests_served = 0;
+};
+
+/// Runs the farm on a fresh World built from `cfg` (needs >= 2 ranks;
+/// the paper used 8: one manager + 7 workers). The optional hook runs
+/// after the World is constructed and before the job starts (tests use it
+/// to install drop filters or wire taps).
+FarmResult run_farm(core::WorldConfig cfg, FarmParams params,
+                    const std::function<void(core::World&)>& pre_run = {});
+
+}  // namespace sctpmpi::apps

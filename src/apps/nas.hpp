@@ -1,0 +1,42 @@
+// Communication skeletons of the NAS Parallel Benchmarks (NPB 3.2) used in
+// the paper's Fig. 9 evaluation: LU, IS, MG, EP, CG, BT, SP (FT is skipped
+// exactly as in the paper, which could not build it with mpif77).
+//
+// Substitution note (see DESIGN.md): we reproduce each kernel's
+// communication pattern — neighbours, message sizes, collective mix — and
+// model the numerical work as calibrated compute phases. Dataset classes
+// S/W/A/B scale messages and work the way the paper describes (§4.1.2:
+// classes S and W are dominated by short, <= 64 KiB messages; A and B send
+// a greater share of long messages). Mop/s is reported against each
+// kernel/class's nominal operation count, so relative transport effects —
+// the paper's object of study — carry through.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/world.hpp"
+
+namespace sctpmpi::apps {
+
+enum class NasKernel { kLU, kIS, kMG, kEP, kCG, kBT, kSP };
+enum class NasClass { kS, kW, kA, kB };
+
+const char* to_string(NasKernel k);
+const char* to_string(NasClass c);
+
+struct NasResult {
+  NasKernel kernel;
+  NasClass dataset;
+  double runtime_seconds = 0;
+  double mops_total = 0;  // nominal Mop/s, as NPB reports
+};
+
+/// Runs one kernel skeleton on a fresh world from `cfg` (8 ranks in the
+/// paper's setup).
+NasResult run_nas(core::WorldConfig cfg, NasKernel kernel, NasClass dataset);
+
+/// All seven kernels, paper order (LU, SP, EP, CG, BT, MG, IS).
+std::vector<NasKernel> nas_paper_order();
+
+}  // namespace sctpmpi::apps

@@ -1,0 +1,45 @@
+#include "apps/pingpong.hpp"
+
+#include <vector>
+
+namespace sctpmpi::apps {
+
+PingPongResult run_pingpong(core::WorldConfig cfg, PingPongParams params) {
+  cfg.ranks = 2;
+  core::World world(cfg);
+  PingPongResult result;
+
+  world.run([&](core::Mpi& mpi) {
+    std::vector<std::byte> buf(params.message_size, std::byte{0x5A});
+    std::vector<std::byte> rx(params.message_size);
+    const int peer = 1 - mpi.rank();
+    constexpr int kTag = 0;  // MPBench: all messages share one tag
+
+    auto one_round = [&] {
+      if (mpi.rank() == 0) {
+        mpi.send(buf, peer, kTag);
+        mpi.recv(rx, peer, kTag);
+      } else {
+        mpi.recv(rx, peer, kTag);
+        mpi.send(buf, peer, kTag);
+      }
+    };
+
+    for (int i = 0; i < params.warmup; ++i) one_round();
+    mpi.barrier();
+    const double t0 = mpi.wtime();
+    for (int i = 0; i < params.iterations; ++i) one_round();
+    const double t1 = mpi.wtime();
+
+    if (mpi.rank() == 0) {
+      result.loop_seconds = t1 - t0;
+      result.rtt_avg = (t1 - t0) / params.iterations;
+      result.throughput_Bps =
+          static_cast<double>(params.message_size) * params.iterations /
+          (t1 - t0);
+    }
+  });
+  return result;
+}
+
+}  // namespace sctpmpi::apps

@@ -1,0 +1,31 @@
+// MPBench-style ping-pong (paper §4.1.1): two processes repeatedly
+// exchange messages of a given size, all with the same tag; reports
+// throughput. Used for Fig. 8 (size sweep, no loss) and Table 1 (30 KiB /
+// 300 KiB under 1-2% loss).
+#pragma once
+
+#include <cstddef>
+
+#include "core/world.hpp"
+
+namespace sctpmpi::apps {
+
+struct PingPongParams {
+  std::size_t message_size = 1024;
+  int iterations = 100;
+  int warmup = 5;
+};
+
+struct PingPongResult {
+  /// One-way payload throughput: iterations * size / loop-time.
+  double throughput_Bps = 0;
+  /// Average round-trip time per iteration (seconds).
+  double rtt_avg = 0;
+  double loop_seconds = 0;
+};
+
+/// Runs the ping-pong between ranks 0 and 1 of a fresh World built from
+/// `cfg` (cfg.ranks is forced to 2).
+PingPongResult run_pingpong(core::WorldConfig cfg, PingPongParams params);
+
+}  // namespace sctpmpi::apps

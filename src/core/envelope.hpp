@@ -1,0 +1,72 @@
+// LAM-style message envelope (paper Fig. 2): every MPI message body is
+// preceded by an envelope carrying length, tag, context, flags, sender rank
+// and a sequence number. Matching of sends to receives uses the
+// (context, source rank, tag) triple — the "TRC" the paper maps onto SCTP
+// streams.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/bytes.hpp"
+
+namespace sctpmpi::core {
+
+inline constexpr std::size_t kEnvelopeBytes = 24;
+
+/// Envelope flag bits (the LAM flags field; see paper §2.2.2).
+enum EnvFlags : std::uint16_t {
+  kFlagShort = 0x0000,     // eager short message: body follows immediately
+  kFlagLong = 0x0001,      // rendezvous request for a long message (no body)
+  kFlagLongAck = 0x0002,   // receiver's ready-acknowledgment
+  kFlagLongBody = 0x0004,  // envelope preceding the long message body
+  kFlagSsend = 0x0008,     // synchronous send: sender waits for match ack
+  kFlagSsendAck = 0x0010,
+  kFlagCtl = 0x0020,       // middleware control (init barrier, finalize)
+};
+
+struct Envelope {
+  std::uint32_t length = 0;   // body length in bytes
+  std::int32_t tag = 0;
+  std::uint32_t context = 0;  // communicator context id
+  std::uint16_t flags = 0;
+  std::int32_t src_rank = 0;
+  std::uint32_t seq = 0;      // per-(sender,peer) sequence number
+
+  void encode_to(std::vector<std::byte>& out) const {
+    net::ByteWriter w(out);
+    w.u32(length);
+    w.u32(static_cast<std::uint32_t>(tag));
+    w.u32(context);
+    w.u16(flags);
+    w.u16(0);  // pad to 24 bytes
+    w.u32(static_cast<std::uint32_t>(src_rank));
+    w.u32(seq);
+  }
+
+  std::vector<std::byte> encode() const {
+    std::vector<std::byte> out;
+    out.reserve(kEnvelopeBytes);
+    encode_to(out);
+    return out;
+  }
+
+  static Envelope decode(std::span<const std::byte> wire) {
+    net::ByteReader r(wire);
+    Envelope e;
+    e.length = r.u32();
+    e.tag = static_cast<std::int32_t>(r.u32());
+    e.context = r.u32();
+    e.flags = r.u16();
+    r.skip(2);
+    e.src_rank = static_cast<std::int32_t>(r.u32());
+    e.seq = r.u32();
+    return e;
+  }
+};
+
+static_assert(kEnvelopeBytes == 24);
+
+}  // namespace sctpmpi::core

@@ -1,0 +1,151 @@
+#include "core/lamd.hpp"
+
+#include <cassert>
+
+#include "net/bytes.hpp"
+
+namespace sctpmpi::core {
+
+LamDaemon::LamDaemon(net::Host& host, int node, int nodes, LamdConfig cfg,
+                     std::function<net::IpAddr(int)> peer_addr,
+                     sctp::SctpStack* sctp_stack, net::UdpStack* udp_stack)
+    : host_(host),
+      node_(node),
+      nodes_(nodes),
+      cfg_(cfg),
+      peer_addr_(std::move(peer_addr)),
+      sctp_stack_(sctp_stack),
+      udp_stack_(udp_stack),
+      status_timer_(host.sim(), [this] { on_status_timer_(); }),
+      last_seen_(static_cast<std::size_t>(nodes), 0),
+      comm_lost_(static_cast<std::size_t>(nodes), false) {
+  if (cfg_.transport == CtlTransport::kSctp) {
+    assert(sctp_stack_ != nullptr);
+    sctp_sock_ = sctp_stack_->create_socket(cfg_.port);
+    sctp_sock_->listen();
+    sctp_sock_->set_activity_callback([this] { pump_sctp_(); });
+    node_assoc_.assign(static_cast<std::size_t>(nodes_), 0);
+  } else {
+    assert(udp_stack_ != nullptr);
+    udp_sock_ = udp_stack_->create_socket(cfg_.port);
+    udp_sock_->set_activity_callback([this] { pump_udp_(); });
+  }
+}
+
+LamDaemon::~LamDaemon() = default;
+
+void LamDaemon::start() {
+  if (cfg_.transport == CtlTransport::kSctp && !is_master()) {
+    // Slaves open the control association to the master.
+    node_assoc_[0] = sctp_sock_->connect(peer_addr_(0), cfg_.port);
+    assoc_node_[node_assoc_[0]] = 0;
+  }
+  status_timer_.arm(cfg_.status_interval);
+}
+
+void LamDaemon::send_ctl_(int dst_node, MsgType type) {
+  std::vector<std::byte> msg;
+  net::ByteWriter w(msg);
+  w.u8(type);
+  w.u32(static_cast<std::uint32_t>(node_));
+  if (cfg_.transport == CtlTransport::kSctp) {
+    const sctp::AssocId id = node_assoc_[static_cast<std::size_t>(dst_node)];
+    if (id != 0) (void)sctp_sock_->sendmsg(id, /*sid=*/0, msg);
+  } else {
+    udp_sock_->sendto(peer_addr_(dst_node), cfg_.port, msg);
+  }
+}
+
+void LamDaemon::on_ctl_(int from_node, MsgType type) {
+  switch (type) {
+    case kStatus:
+      ++stats_.status_received;
+      if (is_master() && from_node >= 0 && from_node < nodes_) {
+        last_seen_[static_cast<std::size_t>(from_node)] = host_.sim().now();
+      }
+      break;
+    case kAbort:
+      stats_.abort_received = true;
+      break;
+  }
+}
+
+void LamDaemon::on_status_timer_() {
+  if (!is_master()) {
+    send_ctl_(0, kStatus);
+    ++stats_.status_sent;
+  }
+  status_timer_.arm(cfg_.status_interval);
+}
+
+void LamDaemon::pump_sctp_() {
+  // Map newly established associations to nodes (master side).
+  while (auto n = sctp_sock_->poll_notification()) {
+    if (n->type == sctp::NotificationType::kCommUp) {
+      const sctp::Association* a = sctp_sock_->assoc(n->assoc);
+      if (a != nullptr && !a->paths().empty()) {
+        const int node = static_cast<int>(net::host_of(a->paths()[0].addr));
+        if (node >= 0 && node < nodes_) {
+          node_assoc_[static_cast<std::size_t>(node)] = n->assoc;
+          assoc_node_[n->assoc] = node;
+        }
+      }
+    } else if (n->type == sctp::NotificationType::kCommLost) {
+      // SCTP's failure notification (paper §3.5): the master learns of a
+      // dead node without waiting for ping timeouts.
+      auto it = assoc_node_.find(n->assoc);
+      if (it != assoc_node_.end()) {
+        comm_lost_[static_cast<std::size_t>(it->second)] = true;
+      }
+    }
+  }
+  std::vector<std::byte> buf(1024);
+  sctp::RecvInfo info;
+  while (true) {
+    const auto n = sctp_sock_->recvmsg(buf, info);
+    if (n < 1) break;
+    net::ByteReader r(std::span<const std::byte>(buf.data(), static_cast<std::size_t>(n)));
+    const auto type = static_cast<MsgType>(r.u8());
+    const int from = static_cast<int>(r.u32());
+    on_ctl_(from, type);
+  }
+}
+
+void LamDaemon::pump_udp_() {
+  net::Datagram dg;
+  while (udp_sock_->recvfrom(dg)) {
+    if (dg.data.size() < 5) continue;
+    net::ByteReader r(dg.data);
+    const auto type = static_cast<MsgType>(r.u8());
+    const int from = static_cast<int>(r.u32());
+    on_ctl_(from, type);
+  }
+}
+
+bool LamDaemon::is_alive(int node) const {
+  if (node == node_) return true;
+  if (cfg_.transport == CtlTransport::kSctp &&
+      comm_lost_[static_cast<std::size_t>(node)]) {
+    return false;
+  }
+  const sim::SimTime seen = last_seen_[static_cast<std::size_t>(node)];
+  return seen != 0 && host_.sim().now() - seen < cfg_.dead_after;
+}
+
+int LamDaemon::alive_count() const {
+  int n = 0;
+  for (int i = 0; i < nodes_; ++i) {
+    if (is_alive(i)) ++n;
+  }
+  return n;
+}
+
+void LamDaemon::broadcast_abort() {
+  assert(is_master());
+  for (int node = 1; node < nodes_; ++node) {
+    send_ctl_(node, kAbort);
+    ++stats_.aborts_sent;
+  }
+}
+
+}  // namespace sctpmpi::core

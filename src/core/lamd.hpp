@@ -1,0 +1,103 @@
+// LAM's out-of-band daemon layer (paper §3.5.3).
+//
+// LAM runs a user-level daemon on every node for job monitoring, remote
+// I/O and cleanup when a job aborts. Stock LAM carries this control
+// traffic over UDP; the paper's authors moved it to SCTP "so that the
+// entire execution now uses SCTP and all the components in the LAM
+// environment can take advantage of the features of SCTP".
+//
+// This module implements both variants: the master daemon (the mpirun
+// node) monitors per-node status pings and can broadcast an abort/cleanup
+// order. Over UDP every message is fire-and-forget; over SCTP the control
+// channel is a reliable association with failure notifications.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/udp.hpp"
+#include "sctp/socket.hpp"
+#include "sim/simulator.hpp"
+
+namespace sctpmpi::core {
+
+enum class CtlTransport { kUdp, kSctp };
+
+struct LamdConfig {
+  CtlTransport transport = CtlTransport::kSctp;
+  std::uint16_t port = 9900;
+  sim::SimTime status_interval = 500 * sim::kMillisecond;
+  /// A node missing status for this long is presumed dead by the master.
+  sim::SimTime dead_after = 2 * sim::kSecond;
+};
+
+struct LamdStats {
+  std::uint64_t status_sent = 0;
+  std::uint64_t status_received = 0;
+  std::uint64_t aborts_sent = 0;
+  bool abort_received = false;
+};
+
+/// One daemon per node. Node 0 is the master (the mpirun node).
+class LamDaemon {
+ public:
+  /// The daemon owns its control socket on `host`; `peer_addr(i)` resolves
+  /// node i's address. Construct all daemons, then start() each.
+  LamDaemon(net::Host& host, int node, int nodes, LamdConfig cfg,
+            std::function<net::IpAddr(int)> peer_addr,
+            sctp::SctpStack* sctp_stack, net::UdpStack* udp_stack);
+  ~LamDaemon();
+
+  /// Starts status pings (slaves) / liveness tracking (master).
+  void start();
+
+  bool is_master() const { return node_ == 0; }
+
+  // ---- master-side queries ---------------------------------------------
+  /// True if the master has heard from `node` within cfg.dead_after (or
+  /// its SCTP association is still up and never reported lost).
+  bool is_alive(int node) const;
+  int alive_count() const;
+
+  /// Broadcasts an abort/cleanup order to every node (paper: "carrying
+  /// out cleanup when a user aborts an MPI process").
+  void broadcast_abort();
+
+  // ---- slave-side queries -------------------------------------------------
+  bool abort_received() const { return stats_.abort_received; }
+
+  const LamdStats& stats() const { return stats_; }
+
+ private:
+  enum MsgType : std::uint8_t { kStatus = 1, kAbort = 2 };
+
+  void send_ctl_(int dst_node, MsgType type);
+  void on_ctl_(int from_node, MsgType type);
+  void on_status_timer_();
+  void pump_sctp_();
+  void pump_udp_();
+
+  net::Host& host_;
+  int node_;
+  int nodes_;
+  LamdConfig cfg_;
+  std::function<net::IpAddr(int)> peer_addr_;
+
+  sctp::SctpStack* sctp_stack_ = nullptr;
+  sctp::SctpSocket* sctp_sock_ = nullptr;
+  std::vector<sctp::AssocId> node_assoc_;   // master + slaves: per node
+  std::map<sctp::AssocId, int> assoc_node_;
+
+  net::UdpStack* udp_stack_ = nullptr;
+  net::UdpSocket* udp_sock_ = nullptr;
+
+  sim::Timer status_timer_;
+  std::vector<sim::SimTime> last_seen_;   // master: per node
+  std::vector<bool> comm_lost_;           // master, SCTP only
+
+  LamdStats stats_;
+};
+
+}  // namespace sctpmpi::core

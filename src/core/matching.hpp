@@ -1,0 +1,86 @@
+// Message matching: the posted-receive queue and the unexpected-message
+// buffer (LAM's internal hash table, paper §2.2.2). Shared by both RPIs —
+// the transports differ in how bytes arrive, not in MPI matching
+// semantics.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/envelope.hpp"
+#include "core/request.hpp"
+
+namespace sctpmpi::core {
+
+/// A message that arrived before a matching receive was posted. For eager
+/// (short) messages the body is buffered; for long messages only the
+/// rendezvous envelope is held until a receive triggers the ACK.
+struct UnexpectedMsg {
+  Envelope env;
+  std::vector<std::byte> body;
+};
+
+class MatchEngine {
+ public:
+  /// Finds and removes the oldest posted receive matching `env`
+  /// (program-posting order, as MPI requires); nullptr if none.
+  RpiRequest* match_posted(const Envelope& env) {
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if ((*it)->matches(env)) {
+        RpiRequest* req = *it;
+        posted_.erase(it);
+        return req;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Checks a newly posted receive against buffered unexpected messages
+  /// (oldest first); removes and returns the match.
+  std::optional<UnexpectedMsg> match_unexpected(const RpiRequest& req) {
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+      if (req.matches(it->env)) {
+        UnexpectedMsg m = std::move(*it);
+        unexpected_.erase(it);
+        return m;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Non-destructive scan for MPI_Probe/Iprobe.
+  const Envelope* peek_unexpected(std::uint32_t context, int src,
+                                  int tag) const {
+    for (const auto& m : unexpected_) {
+      RpiRequest probe;
+      probe.context = context;
+      probe.peer = src;
+      probe.tag = tag;
+      if (probe.matches(m.env)) return &m.env;
+    }
+    return nullptr;
+  }
+
+  void add_posted(RpiRequest* req) { posted_.push_back(req); }
+  void remove_posted(RpiRequest* req) {
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if (*it == req) {
+        posted_.erase(it);
+        return;
+      }
+    }
+  }
+  void add_unexpected(UnexpectedMsg&& m) {
+    unexpected_.push_back(std::move(m));
+  }
+
+  std::size_t posted_count() const { return posted_.size(); }
+  std::size_t unexpected_count() const { return unexpected_.size(); }
+
+ private:
+  std::deque<RpiRequest*> posted_;
+  std::deque<UnexpectedMsg> unexpected_;
+};
+
+}  // namespace sctpmpi::core

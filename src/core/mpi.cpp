@@ -1,0 +1,298 @@
+#include "core/mpi.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sctpmpi::core {
+
+Mpi::Mpi(int rank, int size, Rpi& rpi, sim::Process& proc)
+    : rank_(rank), size_(size), rpi_(rpi), proc_(proc) {}
+
+Comm Mpi::dup(Comm) {
+  // Deterministic context allocation: all ranks call collectively in the
+  // same order, so the counters agree without communication (the paper's
+  // §2.3 discussion of dynamic contexts).
+  return Comm{next_context_++};
+}
+
+double Mpi::wtime() const {
+  return sim::to_seconds(proc_.sim().now());
+}
+
+RpiRequest* Mpi::new_request_() {
+  auto owned = std::make_unique<RpiRequest>();
+  RpiRequest* p = owned.get();
+  live_.emplace(p, std::move(owned));
+  return p;
+}
+
+void Mpi::release_(RpiRequest* r) { live_.erase(r); }
+
+void Mpi::wait_until_(const std::function<bool()>& pred) {
+  while (!pred()) {
+    rpi_.advance();
+    if (pred()) break;
+    rpi_.block(proc_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+// ---------------------------------------------------------------------------
+
+Request Mpi::isend(std::span<const std::byte> buf, int dst, int tag, Comm c) {
+  assert(dst != rank_ && "self-sends are not supported");
+  RpiRequest* r = new_request_();
+  r->kind = RpiRequest::Kind::kSend;
+  r->peer = dst;
+  r->tag = tag;
+  r->context = c.context;
+  r->send_buf = buf.data();
+  r->send_len = buf.size();
+  rpi_.start_send(r);
+  return Request(r);
+}
+
+Request Mpi::issend(std::span<const std::byte> buf, int dst, int tag,
+                    Comm c) {
+  assert(dst != rank_ && "self-sends are not supported");
+  RpiRequest* r = new_request_();
+  r->kind = RpiRequest::Kind::kSend;
+  r->peer = dst;
+  r->tag = tag;
+  r->context = c.context;
+  r->send_buf = buf.data();
+  r->send_len = buf.size();
+  r->sync = true;
+  rpi_.start_send(r);
+  return Request(r);
+}
+
+Request Mpi::irecv(std::span<std::byte> buf, int src, int tag, Comm c) {
+  RpiRequest* r = new_request_();
+  r->kind = RpiRequest::Kind::kRecv;
+  r->peer = src;
+  r->tag = tag;
+  r->context = c.context;
+  r->recv_buf = buf.data();
+  r->recv_cap = buf.size();
+  rpi_.start_recv(r);
+  return Request(r);
+}
+
+void Mpi::send(std::span<const std::byte> buf, int dst, int tag, Comm c) {
+  Request r = isend(buf, dst, tag, c);
+  wait(r);
+}
+
+void Mpi::ssend(std::span<const std::byte> buf, int dst, int tag, Comm c) {
+  Request r = issend(buf, dst, tag, c);
+  wait(r);
+}
+
+MpiStatus Mpi::recv(std::span<std::byte> buf, int src, int tag, Comm c) {
+  Request r = irecv(buf, src, tag, c);
+  return wait(r);
+}
+
+MpiStatus Mpi::wait(Request& req) {
+  assert(req.valid());
+  RpiRequest* r = req.impl_;
+  wait_until_([r] { return r->done; });
+  MpiStatus st = r->status;
+  release_(r);
+  req.impl_ = nullptr;
+  return st;
+}
+
+bool Mpi::test(Request& req, MpiStatus* status) {
+  assert(req.valid());
+  RpiRequest* r = req.impl_;
+  rpi_.advance();
+  if (!r->done) return false;
+  if (status != nullptr) *status = r->status;
+  release_(r);
+  req.impl_ = nullptr;
+  return true;
+}
+
+int Mpi::waitany(std::span<Request> reqs, MpiStatus* status) {
+  auto find_done = [&]() -> int {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i].valid() && reqs[i].impl_->done) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  int idx = -1;
+  wait_until_([&] {
+    idx = find_done();
+    return idx >= 0;
+  });
+  RpiRequest* r = reqs[static_cast<std::size_t>(idx)].impl_;
+  if (status != nullptr) *status = r->status;
+  release_(r);
+  reqs[static_cast<std::size_t>(idx)].impl_ = nullptr;
+  return idx;
+}
+
+void Mpi::waitall(std::span<Request> reqs) {
+  wait_until_([&] {
+    for (const Request& r : reqs) {
+      if (r.valid() && !r.impl_->done) return false;
+    }
+    return true;
+  });
+  for (Request& r : reqs) {
+    if (r.valid()) {
+      release_(r.impl_);
+      r.impl_ = nullptr;
+    }
+  }
+}
+
+MpiStatus Mpi::probe(int src, int tag, Comm c) {
+  const Envelope* env = nullptr;
+  wait_until_([&] {
+    env = rpi_.probe(c.context, src, tag);
+    return env != nullptr;
+  });
+  MpiStatus st;
+  st.source = env->src_rank;
+  st.tag = env->tag;
+  st.count = env->length;
+  return st;
+}
+
+bool Mpi::iprobe(int src, int tag, Comm c, MpiStatus* status) {
+  rpi_.advance();
+  const Envelope* env = rpi_.probe(c.context, src, tag);
+  if (env == nullptr) return false;
+  if (status != nullptr) {
+    status->source = env->src_rank;
+    status->tag = env->tag;
+    status->count = env->length;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Collectives (point-to-point based, like LAM's TCP module — paper §2.2.2)
+// ---------------------------------------------------------------------------
+
+void Mpi::coll_send_(std::span<const std::byte> buf, int dst, int tag,
+                     Comm c) {
+  send(buf, dst, tag, Comm{c.context | kCollMask});
+}
+
+MpiStatus Mpi::coll_recv_(std::span<std::byte> buf, int src, int tag,
+                          Comm c) {
+  return recv(buf, src, tag, Comm{c.context | kCollMask});
+}
+
+void Mpi::barrier(Comm c) {
+  // Dissemination barrier: log2(n) rounds of paired send/recv.
+  if (size_ == 1) return;
+  std::byte token{0};
+  for (int k = 1; k < size_; k <<= 1) {
+    const int dst = (rank_ + k) % size_;
+    const int src = (rank_ - k + size_) % size_;
+    Request r = irecv(std::span(&token, 1), src, 0x100 + k,
+                      Comm{c.context | kCollMask});
+    coll_send_(std::span(&token, 1), dst, 0x100 + k, c);
+    wait(r);
+  }
+}
+
+void Mpi::bcast(std::span<std::byte> buf, int root, Comm c) {
+  if (size_ == 1) return;
+  const int vrank = (rank_ - root + size_) % size_;
+  const int tag = 0x101;
+  // Classic binomial tree: wait for the parent (lowest set bit of vrank),
+  // then forward to children at decreasing offsets.
+  int mask = 1;
+  while (mask < size_) {
+    if ((vrank & mask) != 0) {
+      const int parent = ((vrank - mask) + root) % size_;
+      coll_recv_(buf, parent, tag, c);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < size_) {
+      const int child = ((vrank + mask) + root) % size_;
+      coll_send_(buf, child, tag, c);
+    }
+    mask >>= 1;
+  }
+}
+
+void Mpi::gather(std::span<const std::byte> send, std::span<std::byte> recv,
+                 int root, Comm c) {
+  const int tag = 0x103;
+  if (rank_ == root) {
+    const std::size_t block = send.size();
+    std::copy(send.begin(), send.end(),
+              recv.begin() + static_cast<std::ptrdiff_t>(
+                                 static_cast<std::size_t>(rank_) * block));
+    for (int r = 0; r < size_; ++r) {
+      if (r == root) continue;
+      coll_recv_(recv.subspan(static_cast<std::size_t>(r) * block, block), r,
+                 tag, c);
+    }
+  } else {
+    coll_send_(send, root, tag, c);
+  }
+}
+
+void Mpi::allgather(std::span<const std::byte> send,
+                    std::span<std::byte> recv, Comm c) {
+  gather(send, recv, /*root=*/0, c);
+  bcast(recv, /*root=*/0, c);
+}
+
+void Mpi::scatter(std::span<const std::byte> send, std::span<std::byte> recv,
+                  int root, Comm c) {
+  const int tag = 0x104;
+  const std::size_t block = recv.size();
+  if (rank_ == root) {
+    for (int r = 0; r < size_; ++r) {
+      auto chunk = send.subspan(static_cast<std::size_t>(r) * block, block);
+      if (r == root) {
+        std::copy(chunk.begin(), chunk.end(), recv.begin());
+      } else {
+        coll_send_(chunk, r, tag, c);
+      }
+    }
+  } else {
+    coll_recv_(recv, root, tag, c);
+  }
+}
+
+void Mpi::alltoall(std::span<const std::byte> send,
+                   std::span<std::byte> recv, Comm c) {
+  const std::size_t block = send.size() / static_cast<std::size_t>(size_);
+  const int tag = 0x105;
+  // Own block first.
+  auto own = send.subspan(static_cast<std::size_t>(rank_) * block, block);
+  std::copy(own.begin(), own.end(),
+            recv.begin() +
+                static_cast<std::ptrdiff_t>(static_cast<std::size_t>(rank_) *
+                                            block));
+  // Pairwise exchange rounds.
+  for (int i = 1; i < size_; ++i) {
+    const int dst = (rank_ + i) % size_;
+    const int src = (rank_ - i + size_) % size_;
+    Request r = irecv(recv.subspan(static_cast<std::size_t>(src) * block,
+                                   block),
+                      src, tag, Comm{c.context | kCollMask});
+    coll_send_(send.subspan(static_cast<std::size_t>(dst) * block, block),
+               dst, tag, c);
+    wait(r);
+  }
+}
+
+}  // namespace sctpmpi::core

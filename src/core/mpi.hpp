@@ -1,0 +1,189 @@
+// Public MPI-like API for simulated ranks.
+//
+// Each rank's body receives an Mpi& and programs against blocking and
+// non-blocking point-to-point calls, wildcards, probes and collectives —
+// the subset the paper's workloads (MPBench ping-pong, NAS kernels, Bulk
+// Processor Farm) require. Blocking calls drive the RPI progression engine
+// and suspend the rank's simulated process while waiting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/rpi.hpp"
+#include "sim/process.hpp"
+#include "sim/time.hpp"
+
+namespace sctpmpi::core {
+
+/// Communicator handle: a context id. All communicators span all ranks
+/// (MPI_COMM_WORLD plus dup()-ed contexts); what matters for the paper is
+/// that (context, rank, tag) — TRC — scopes message matching.
+struct Comm {
+  std::uint32_t context = 0;
+};
+
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return impl_ != nullptr; }
+
+ private:
+  friend class Mpi;
+  explicit Request(RpiRequest* impl) : impl_(impl) {}
+  RpiRequest* impl_ = nullptr;
+};
+
+class Mpi {
+ public:
+  Mpi(int rank, int size, Rpi& rpi, sim::Process& proc);
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+  Comm world() const { return Comm{0}; }
+
+  /// Collective: allocates a fresh context (call on all ranks in the same
+  /// order — contexts are assigned deterministically).
+  Comm dup(Comm base);
+
+  // ---- point-to-point ----------------------------------------------------
+  void send(std::span<const std::byte> buf, int dst, int tag, Comm c = {});
+  void ssend(std::span<const std::byte> buf, int dst, int tag, Comm c = {});
+  MpiStatus recv(std::span<std::byte> buf, int src, int tag, Comm c = {});
+
+  Request isend(std::span<const std::byte> buf, int dst, int tag,
+                Comm c = {});
+  Request issend(std::span<const std::byte> buf, int dst, int tag,
+                 Comm c = {});
+  Request irecv(std::span<std::byte> buf, int src, int tag, Comm c = {});
+
+  MpiStatus wait(Request& req);
+  bool test(Request& req, MpiStatus* status = nullptr);
+  /// Blocks until at least one request completes; returns its index
+  /// (lowest completed) and invalidates it.
+  int waitany(std::span<Request> reqs, MpiStatus* status = nullptr);
+  void waitall(std::span<Request> reqs);
+
+  MpiStatus probe(int src, int tag, Comm c = {});
+  bool iprobe(int src, int tag, Comm c, MpiStatus* status);
+
+  // ---- collectives (built on point-to-point, paper §2.2.2) ---------------
+  void barrier(Comm c = {});
+  void bcast(std::span<std::byte> buf, int root, Comm c = {});
+  /// Element-wise reduction of `in` into `out` (valid at root only).
+  template <typename T, typename Op>
+  void reduce(std::span<const T> in, std::span<T> out, Op op, int root,
+              Comm c = {});
+  template <typename T, typename Op>
+  void allreduce(std::span<const T> in, std::span<T> out, Op op, Comm c = {});
+  template <typename T>
+  T allreduce_sum(T value, Comm c = {});
+  /// Gathers equal-size blocks to root (recv spans size()*block bytes).
+  void gather(std::span<const std::byte> send, std::span<std::byte> recv,
+              int root, Comm c = {});
+  void allgather(std::span<const std::byte> send, std::span<std::byte> recv,
+                 Comm c = {});
+  void scatter(std::span<const std::byte> send, std::span<std::byte> recv,
+               int root, Comm c = {});
+  /// Personalized all-to-all with equal block sizes.
+  void alltoall(std::span<const std::byte> send, std::span<std::byte> recv,
+                Comm c = {});
+
+  // ---- environment --------------------------------------------------------
+  /// Virtual wall-clock in seconds (MPI_Wtime).
+  double wtime() const;
+  /// Models a computation phase of the given virtual duration.
+  void compute(sim::SimTime duration) { proc_.sleep_for(duration); }
+  void compute_seconds(double s) { compute(sim::from_seconds(s)); }
+
+  sim::Process& process() { return proc_; }
+  Rpi& rpi() { return rpi_; }
+
+ private:
+  RpiRequest* new_request_();
+  void release_(RpiRequest* r);
+  void wait_until_(const std::function<bool()>& pred);
+
+  // Collective helpers on the reserved collective context.
+  static constexpr std::uint32_t kCollMask = 0x80000000u;
+  void coll_send_(std::span<const std::byte> buf, int dst, int tag, Comm c);
+  MpiStatus coll_recv_(std::span<std::byte> buf, int src, int tag, Comm c);
+
+  int rank_;
+  int size_;
+  Rpi& rpi_;
+  sim::Process& proc_;
+  std::uint32_t next_context_ = 1;
+  std::unordered_map<RpiRequest*, std::unique_ptr<RpiRequest>> live_;
+};
+
+// ---------------------------------------------------------------------------
+// Reduction operators
+// ---------------------------------------------------------------------------
+
+struct OpSum {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a + b;
+  }
+};
+struct OpMax {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a > b ? a : b;
+  }
+};
+struct OpMin {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a < b ? a : b;
+  }
+};
+
+template <typename T, typename Op>
+void Mpi::reduce(std::span<const T> in, std::span<T> out, Op op, int root,
+                 Comm c) {
+  // Binomial reduction tree rooted at `root`.
+  const int vrank = (rank_ - root + size_) % size_;
+  std::vector<T> acc(in.begin(), in.end());
+  std::vector<T> incoming(in.size());
+  const int coll_tag = 0x102;
+  for (int k = 1; k < size_; k <<= 1) {
+    if ((vrank & k) != 0) {
+      const int dst = ((vrank - k) + root) % size_;
+      coll_send_(std::as_bytes(std::span<const T>(acc)), dst, coll_tag, c);
+      break;
+    }
+    if (vrank + k < size_) {
+      const int src = ((vrank + k) + root) % size_;
+      coll_recv_(std::as_writable_bytes(std::span<T>(incoming)), src,
+                 coll_tag, c);
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] = op(acc[i], incoming[i]);
+      }
+    }
+  }
+  if (rank_ == root) {
+    std::copy(acc.begin(), acc.end(), out.begin());
+  }
+}
+
+template <typename T, typename Op>
+void Mpi::allreduce(std::span<const T> in, std::span<T> out, Op op, Comm c) {
+  reduce(in, out, op, /*root=*/0, c);
+  bcast(std::as_writable_bytes(out), /*root=*/0, c);
+}
+
+template <typename T>
+T Mpi::allreduce_sum(T value, Comm c) {
+  T out{};
+  allreduce(std::span<const T>(&value, 1), std::span<T>(&out, 1), OpSum{}, c);
+  return out;
+}
+
+}  // namespace sctpmpi::core

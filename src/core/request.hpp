@@ -1,0 +1,51 @@
+// MPI request records progressed by the RPI (request progression
+// interface) — the middleware layer the paper re-designed for SCTP.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/envelope.hpp"
+
+namespace sctpmpi::core {
+
+/// Wildcards (MPI_ANY_SOURCE / MPI_ANY_TAG).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -0x7FFFFFFF;
+
+struct MpiStatus {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t count = 0;  // received byte count
+};
+
+/// One in-flight point-to-point operation. Owned by the Mpi facade;
+/// progressed by the RPI from initialization to completion (paper §2.2.1).
+struct RpiRequest {
+  enum class Kind { kSend, kRecv };
+
+  Kind kind = Kind::kSend;
+  int peer = 0;                 // destination (send) / source or ANY (recv)
+  int tag = 0;
+  std::uint32_t context = 0;
+  bool done = false;
+  MpiStatus status;
+
+  // Send fields.
+  const std::byte* send_buf = nullptr;
+  std::size_t send_len = 0;
+  bool sync = false;            // MPI_Ssend: completion needs receiver ack
+  std::uint32_t seq = 0;        // assigned by the RPI at start_send
+
+  // Receive fields.
+  std::byte* recv_buf = nullptr;
+  std::size_t recv_cap = 0;
+
+  bool matches(const Envelope& env) const {
+    return env.context == context &&
+           (peer == kAnySource || env.src_rank == peer) &&
+           (tag == kAnyTag || env.tag == tag);
+  }
+};
+
+}  // namespace sctpmpi::core

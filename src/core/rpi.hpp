@@ -1,0 +1,83 @@
+// RPI — LAM's Request Progression Interface (paper §2.2.1): the pluggable
+// transport layer of the middleware. The paper's contribution is the SCTP
+// implementation of this interface; the TCP implementation mirrors stock
+// LAM-TCP and serves as the baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/request.hpp"
+#include "sim/process.hpp"
+
+namespace sctpmpi::core {
+
+struct RpiStats {
+  std::uint64_t sends_started = 0;
+  std::uint64_t recvs_started = 0;
+  std::uint64_t eager_msgs = 0;        // short messages sent eagerly
+  std::uint64_t rendezvous_msgs = 0;   // long messages via rendezvous
+  std::uint64_t unexpected_msgs = 0;   // arrived before a matching recv
+  std::uint64_t ctl_msgs = 0;          // acks / control messages
+  std::uint64_t blocks = 0;            // times the process suspended
+};
+
+/// Middleware-level tuning (shared by both RPIs; defaults per LAM).
+struct RpiConfig {
+  /// Messages <= this are sent eagerly, larger ones by rendezvous
+  /// (LAM default 64 KiB, paper §2.2.2).
+  std::size_t eager_limit = 64 * 1024;
+  /// Long-message fragment size for the SCTP module (paper §3.4: bounded
+  /// by the send buffer; fragments reassembled at the RPI level).
+  std::size_t long_fragment = 64 * 1024;
+  /// SCTP stream pool size per association (paper §3.2.1; 10 by default,
+  /// 1 reproduces the single-stream ablation of Fig. 12).
+  unsigned stream_pool = 10;
+  /// Long-message race fix (paper §3.4): Option B serializes per
+  /// (peer, stream); Option A spins the writer until fully sent.
+  enum class RaceFix { kOptionA, kOptionB } race_fix = RaceFix::kOptionB;
+  /// Modeled middleware CPU: per socket-API call, and per body byte on the
+  /// receive path. The TCP module pays a higher per-byte cost because the
+  /// byte stream forces envelope scanning plus an extra reassembly copy;
+  /// SCTP's message framing hands the middleware whole messages
+  /// (paper §3.2.4 "frees us from having to look through the receive
+  /// buffer to locate the message boundaries").
+  sim::SimTime call_cost = 700;       // ns per socket call
+  double rx_byte_cost_ns = 0.0;       // set per RPI by WorldConfig
+};
+
+class Rpi {
+ public:
+  virtual ~Rpi() = default;
+
+  /// Connection setup with every other rank; returns once the mesh is
+  /// fully established (includes the association-setup barrier for SCTP,
+  /// paper §3.4). Runs in the rank's process context (may block).
+  virtual void init(sim::Process& proc) = 0;
+  virtual void finalize(sim::Process& proc) = 0;
+
+  /// Begins progressing a request; returns immediately.
+  virtual void start_send(RpiRequest* req) = 0;
+  virtual void start_recv(RpiRequest* req) = 0;
+  /// Abandons a posted receive (used by cancel paths in tests).
+  virtual void cancel_recv(RpiRequest* req) = 0;
+
+  /// Non-blocking progression pump: drains readable data, pushes writable
+  /// queues, fires completions.
+  virtual void advance() = 0;
+
+  /// Suspends the calling rank until transport activity (socket readable/
+  /// writable/notification). Spurious wakeups allowed.
+  virtual void block(sim::Process& proc) = 0;
+
+  /// MPI_Iprobe support: envelope of the oldest matching unexpected
+  /// message, if any.
+  virtual const Envelope* probe(std::uint32_t context, int src, int tag) = 0;
+
+  virtual const RpiStats& stats() const = 0;
+
+  /// Diagnostic state dump; invoked by World on simulated-job deadlock.
+  virtual void debug_dump() const {}
+};
+
+}  // namespace sctpmpi::core

@@ -1,0 +1,455 @@
+#include "core/rpi_sctp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sctpmpi::core {
+
+namespace {
+constexpr std::ptrdiff_t kSockAgain = sctp::Association::kAgain;
+}
+
+SctpRpi::SctpRpi(sctp::SctpStack& stack, int rank, int size, RpiConfig cfg,
+                 std::function<net::IpAddr(int)> rank_addr,
+                 std::uint16_t base_port)
+    : stack_(stack),
+      rank_(rank),
+      size_(size),
+      cfg_(cfg),
+      rank_addr_(std::move(rank_addr)),
+      base_port_(base_port),
+      out_(static_cast<std::size_t>(size) * cfg.stream_pool),
+      in_(static_cast<std::size_t>(size) * cfg.stream_pool),
+      next_seq_(static_cast<std::size_t>(size), 1),
+      rxbuf_(stack.config().rcvbuf) {
+  // sctp_sendmsg is bounded by the send buffer (paper §3.4): clamp the
+  // middleware's eager limit and long-message fragment size so a single
+  // message always fits, whatever the socket buffers are configured to.
+  const std::size_t max_msg = stack.config().sndbuf;
+  if (cfg_.eager_limit + kEnvelopeBytes > max_msg) {
+    cfg_.eager_limit = max_msg - kEnvelopeBytes;
+  }
+  if (cfg_.long_fragment > max_msg) cfg_.long_fragment = max_msg;
+}
+
+// ---------------------------------------------------------------------------
+// MPI_Init: association setup with every peer, then an explicit barrier —
+// unlike TCP there are no connect/accept calls to order things (paper §3.4).
+// ---------------------------------------------------------------------------
+
+void SctpRpi::init(sim::Process& proc) {
+  proc_ = &proc;
+  sock_ = stack_.create_socket(static_cast<std::uint16_t>(base_port_ + rank_));
+  sock_->listen();
+  sock_->set_activity_callback([this] { note_activity_(); });
+  rank_to_assoc_.assign(static_cast<std::size_t>(size_), 0);
+
+  // Lower rank initiates the association (single initiator per pair).
+  for (int peer = rank_ + 1; peer < size_; ++peer) {
+    const sctp::AssocId id =
+        sock_->connect(rank_addr_(peer),
+                       static_cast<std::uint16_t>(base_port_ + peer));
+    rank_to_assoc_[static_cast<std::size_t>(peer)] = id;
+    assoc_to_rank_[id] = peer;
+    charge_(cfg_.call_cost);
+  }
+
+  // Wait for all associations to come up; passive ones are identified by
+  // the peer's address (rank == host index in the cluster).
+  int up = 0;
+  while (up < size_ - 1) {
+    while (auto n = sock_->poll_notification()) {
+      if (n->type != sctp::NotificationType::kCommUp) continue;
+      ++up;
+      if (assoc_to_rank_.count(n->assoc) == 0) {
+        const int peer = static_cast<int>(net::host_of(
+            sock_->assoc(n->assoc)->paths()[0].addr));
+        assoc_to_rank_[n->assoc] = peer;
+        rank_to_assoc_[static_cast<std::size_t>(peer)] = n->assoc;
+      }
+    }
+    if (up < size_ - 1) block(proc);
+  }
+
+  // Explicit barrier (paper §3.4): workers signal rank 0, rank 0 releases.
+  Envelope ctl;
+  ctl.flags = kFlagCtl;
+  ctl.src_rank = rank_;
+  if (rank_ == 0) {
+    while (barrier_ctl_seen_ < size_ - 1) {
+      advance();
+      if (barrier_ctl_seen_ < size_ - 1) block(proc);
+    }
+    for (int peer = 1; peer < size_; ++peer) {
+      enqueue_ctl_(peer, 0, ctl);
+    }
+  } else {
+    enqueue_ctl_(0, 0, ctl);
+    while (barrier_ctl_seen_ < 1) {
+      advance();
+      if (barrier_ctl_seen_ < 1) block(proc);
+    }
+  }
+  barrier_ctl_seen_ = 0;
+}
+
+void SctpRpi::finalize(sim::Process& proc) {
+  bool pending = true;
+  while (pending) {
+    advance();
+    pending = false;
+    for (const auto& q : out_) {
+      if (!q.empty()) pending = true;
+    }
+    if (pending) block(proc);
+  }
+  for (int peer = 0; peer < size_; ++peer) {
+    if (peer != rank_ && rank_to_assoc_[static_cast<std::size_t>(peer)] != 0) {
+      // Let the higher rank drive shutdown to avoid crossing SHUTDOWNs.
+      if (rank_ > peer) {
+        sock_->shutdown_assoc(rank_to_assoc_[static_cast<std::size_t>(peer)]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request initiation
+// ---------------------------------------------------------------------------
+
+void SctpRpi::start_send(RpiRequest* req) {
+  ++stats_.sends_started;
+  const int peer = req->peer;
+  assert(peer != rank_);
+  req->seq = next_seq_[static_cast<std::size_t>(peer)]++;
+  const std::uint16_t sid = stream_of(req->context, req->tag);
+
+  Envelope env;
+  env.length = static_cast<std::uint32_t>(req->send_len);
+  env.tag = req->tag;
+  env.context = req->context;
+  env.src_rank = rank_;
+  env.seq = req->seq;
+
+  OutJob job;
+  if (req->send_len <= cfg_.eager_limit) {
+    env.flags = req->sync ? kFlagSsend : kFlagShort;
+    job.kind = OutJob::Kind::kEager;
+    job.header = env.encode();
+    job.body = req->send_buf;
+    job.body_len = req->send_len;
+    job.req = req;
+    job.completes_request = !req->sync;
+    if (req->sync) pending_ssend_[{peer, req->seq}] = req;
+    ++stats_.eager_msgs;
+  } else {
+    env.flags = kFlagLong;
+    job.kind = OutJob::Kind::kLongEnv;
+    job.header = env.encode();
+    pending_long_send_[{peer, req->seq}] = req;
+    ++stats_.rendezvous_msgs;
+  }
+  outq_(peer, sid).push_back(std::move(job));
+  pump_writes_();
+}
+
+void SctpRpi::start_recv(RpiRequest* req) {
+  ++stats_.recvs_started;
+  if (auto um = match_.match_unexpected(*req)) {
+    const Envelope& env = um->env;
+    const std::uint16_t sid = stream_of(env.context, env.tag);
+    if ((env.flags & kFlagLong) != 0) {
+      pending_long_recv_[{env.src_rank, env.seq}] = req;
+      Envelope ack;
+      ack.flags = kFlagLongAck;
+      ack.tag = env.tag;
+      ack.context = env.context;
+      ack.src_rank = rank_;
+      ack.seq = env.seq;
+      enqueue_ctl_(env.src_rank, sid, ack);
+    } else {
+      deliver_matched_(req, env, um->body);
+      if ((env.flags & kFlagSsend) != 0) {
+        Envelope ack;
+        ack.flags = kFlagSsendAck;
+        ack.context = env.context;
+        ack.src_rank = rank_;
+        ack.seq = env.seq;
+        enqueue_ctl_(env.src_rank, sid, ack);
+      }
+    }
+    return;
+  }
+  match_.add_posted(req);
+}
+
+void SctpRpi::cancel_recv(RpiRequest* req) { match_.remove_posted(req); }
+
+void SctpRpi::deliver_matched_(RpiRequest* req, const Envelope& env,
+                               std::span<const std::byte> body) {
+  const std::size_t n = std::min(body.size(), req->recv_cap);
+  std::copy_n(body.begin(), static_cast<std::ptrdiff_t>(n), req->recv_buf);
+  const auto copy_cost = static_cast<sim::SimTime>(cfg_.rx_byte_cost_ns *
+                                                   static_cast<double>(n));
+  stack_.host().occupy_cpu(copy_cost);
+  charge_(copy_cost);
+  req->status.source = env.src_rank;
+  req->status.tag = env.tag;
+  req->status.count = n;
+  req->done = true;
+}
+
+void SctpRpi::enqueue_ctl_(int peer, std::uint16_t sid, const Envelope& env) {
+  OutJob job;
+  job.kind = OutJob::Kind::kCtl;
+  job.header = env.encode();
+  outq_(peer, sid).push_back(std::move(job));
+  ++stats_.ctl_msgs;
+  pump_writes_();
+}
+
+// ---------------------------------------------------------------------------
+// Progression
+// ---------------------------------------------------------------------------
+
+void SctpRpi::advance() {
+  pump_writes_();
+  pump_reads_();
+}
+
+void SctpRpi::block(sim::Process& proc) {
+  if (activity_) {
+    activity_ = false;
+    return;
+  }
+  ++stats_.blocks;
+  blocked_proc_ = &proc;
+  // Flush CPU debt before committing to the suspension: a wakeup that
+  // fires during the debt sleep would otherwise be consumed by it and the
+  // real suspension would never be woken (lost-wakeup).
+  proc.flush_charge();
+  if (!activity_) proc.suspend();
+  blocked_proc_ = nullptr;
+  activity_ = false;
+}
+
+void SctpRpi::pump_writes_() {
+  // Round-robin over the (peer, stream) queues; each queue advances only
+  // its head job (Option B: a partially written message blocks *that
+  // stream to that peer only*, §3.4.2). Under Option A, a long body at the
+  // head of any queue is driven to completion before any other queue may
+  // proceed (§3.4.1 — maximum simplicity, minimum concurrency).
+  if (cfg_.race_fix == RpiConfig::RaceFix::kOptionA) {
+    for (std::size_t qi = 0; qi < out_.size(); ++qi) {
+      auto& q = out_[qi];
+      if (q.empty()) continue;
+      if (q.front().kind == OutJob::Kind::kLongBody) {
+        const int peer = static_cast<int>(qi / cfg_.stream_pool);
+        const auto sid = static_cast<std::uint16_t>(qi % cfg_.stream_pool);
+        // Drive this job; if it cannot finish (send buffer full), stall
+        // all output until it can.
+        if (!advance_job_(peer, sid, q.front())) return;
+        q.pop_front();
+      }
+    }
+  }
+  for (std::size_t qi = 0; qi < out_.size(); ++qi) {
+    auto& q = out_[qi];
+    while (!q.empty()) {
+      const int peer = static_cast<int>(qi / cfg_.stream_pool);
+      const auto sid = static_cast<std::uint16_t>(qi % cfg_.stream_pool);
+      if (!advance_job_(peer, sid, q.front())) break;
+      q.pop_front();
+    }
+  }
+}
+
+bool SctpRpi::advance_job_(int peer, std::uint16_t sid, OutJob& job) {
+  const sctp::AssocId assoc = rank_to_assoc_[static_cast<std::size_t>(peer)];
+  switch (job.kind) {
+    case OutJob::Kind::kCtl: {
+      charge_(cfg_.call_cost);
+      const auto r = sock_->sendmsg(assoc, sid, job.header,
+                                    static_cast<std::uint32_t>(rank_));
+      return r > 0;
+    }
+    case OutJob::Kind::kEager: {
+      // Envelope + body in a single sctp_sendmsg: SCTP preserves the
+      // message framing, so the receiver gets the whole message at once.
+      charge_(cfg_.call_cost);
+      const auto r = sock_->sendmsg_gather(
+          assoc, sid, job.header, std::span(job.body, job.body_len),
+          static_cast<std::uint32_t>(rank_));
+      if (r <= 0) return false;
+      if (job.completes_request && job.req != nullptr) job.req->done = true;
+      return true;
+    }
+    case OutJob::Kind::kLongEnv: {
+      charge_(cfg_.call_cost);
+      return sock_->sendmsg(assoc, sid, job.header,
+                            static_cast<std::uint32_t>(rank_)) > 0;
+    }
+    case OutJob::Kind::kLongBody: {
+      // Second envelope, then sendmsg-sized fragments, all on this stream
+      // (paper §3.4). Partial progress keeps the job at the queue head.
+      if (!job.env_sent) {
+        charge_(cfg_.call_cost);
+        if (sock_->sendmsg(assoc, sid, job.header,
+                           static_cast<std::uint32_t>(rank_)) <= 0)
+          return false;
+        job.env_sent = true;
+      }
+      while (job.body_off < job.body_len) {
+        const std::size_t n =
+            std::min(cfg_.long_fragment, job.body_len - job.body_off);
+        charge_(cfg_.call_cost);
+        const auto r = sock_->sendmsg(
+            assoc, sid, std::span(job.body + job.body_off, n),
+            static_cast<std::uint32_t>(rank_));
+        if (r <= 0) return false;
+        job.body_off += n;
+      }
+      if (job.req != nullptr) job.req->done = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SctpRpi::pump_reads_() {
+  // Retrieve whole messages as long as any are deliverable; this is the
+  // one-to-many receive loop the paper uses instead of select() (§3.3).
+  while (sock_->readable()) {
+    sctp::RecvInfo info;
+    charge_(cfg_.call_cost);
+    const auto n = sock_->recvmsg(rxbuf_, info);
+    if (n <= 0) break;
+    auto it = assoc_to_rank_.find(info.assoc);
+    if (it == assoc_to_rank_.end()) continue;  // unknown peer (teardown)
+    handle_message_(it->second, info.sid,
+                    std::span(rxbuf_).subspan(0, static_cast<std::size_t>(n)));
+  }
+}
+
+void SctpRpi::handle_message_(int peer, std::uint16_t sid,
+                              std::span<const std::byte> data) {
+  StreamIn& st = instate_(peer, sid);
+  if (st.remaining > 0) {
+    // Raw long-body fragment for the in-progress message on this
+    // (association, stream) — the RPI-level reassembly of §3.4.
+    const std::size_t n = std::min(data.size(), st.remaining);
+    if (st.long_req != nullptr) {
+      const std::size_t fit =
+          st.offset < st.long_req->recv_cap
+              ? std::min(n, st.long_req->recv_cap - st.offset)
+              : 0;
+      std::copy_n(data.begin(), static_cast<std::ptrdiff_t>(fit),
+                  st.long_req->recv_buf + st.offset);
+      const auto copy_cost = static_cast<sim::SimTime>(
+          cfg_.rx_byte_cost_ns * static_cast<double>(n));
+      stack_.host().occupy_cpu(copy_cost);
+      charge_(copy_cost);
+    }
+    st.offset += n;
+    st.remaining -= n;
+    if (st.remaining == 0) {
+      if (st.long_req != nullptr) {
+        st.long_req->status.count = std::min(st.offset, st.long_req->recv_cap);
+        st.long_req->done = true;
+      }
+      st.long_req = nullptr;
+      st.offset = 0;
+    }
+    return;
+  }
+  const Envelope env = Envelope::decode(data);
+  handle_envelope_(peer, sid, env, data.subspan(kEnvelopeBytes));
+}
+
+void SctpRpi::handle_envelope_(int peer, std::uint16_t sid,
+                               const Envelope& env,
+                               std::span<const std::byte> body) {
+  if ((env.flags & kFlagCtl) != 0) {
+    ++barrier_ctl_seen_;
+    return;
+  }
+  if ((env.flags & kFlagLongAck) != 0) {
+    auto it = pending_long_send_.find({peer, env.seq});
+    if (it != pending_long_send_.end()) {
+      RpiRequest* req = it->second;
+      pending_long_send_.erase(it);
+      OutJob job;
+      job.kind = OutJob::Kind::kLongBody;
+      Envelope env2;
+      env2.length = static_cast<std::uint32_t>(req->send_len);
+      env2.tag = req->tag;
+      env2.context = req->context;
+      env2.flags = kFlagLong | kFlagLongBody;
+      env2.src_rank = rank_;
+      env2.seq = req->seq;
+      job.header = env2.encode();
+      job.body = req->send_buf;
+      job.body_len = req->send_len;
+      job.req = req;
+      outq_(peer, stream_of(req->context, req->tag)).push_back(std::move(job));
+      pump_writes_();
+    }
+    return;
+  }
+  if ((env.flags & kFlagSsendAck) != 0) {
+    auto it = pending_ssend_.find({peer, env.seq});
+    if (it != pending_ssend_.end()) {
+      it->second->done = true;
+      pending_ssend_.erase(it);
+    }
+    return;
+  }
+  if ((env.flags & kFlagLongBody) != 0) {
+    StreamIn& st = instate_(peer, sid);
+    auto it = pending_long_recv_.find({peer, env.seq});
+    st.long_req = it != pending_long_recv_.end() ? it->second : nullptr;
+    if (it != pending_long_recv_.end()) pending_long_recv_.erase(it);
+    st.remaining = env.length;
+    st.offset = 0;
+    if (st.long_req != nullptr) {
+      st.long_req->status.source = env.src_rank;
+      st.long_req->status.tag = env.tag;
+    }
+    return;
+  }
+  if ((env.flags & kFlagLong) != 0) {
+    if (RpiRequest* req = match_.match_posted(env)) {
+      pending_long_recv_[{peer, env.seq}] = req;
+      Envelope ack;
+      ack.flags = kFlagLongAck;
+      ack.tag = env.tag;
+      ack.context = env.context;
+      ack.src_rank = rank_;
+      ack.seq = env.seq;
+      enqueue_ctl_(peer, sid, ack);
+    } else {
+      ++stats_.unexpected_msgs;
+      match_.add_unexpected(UnexpectedMsg{env, {}});
+    }
+    return;
+  }
+
+  // Eager short message: the whole body arrived with the envelope.
+  if (RpiRequest* req = match_.match_posted(env)) {
+    deliver_matched_(req, env, body);
+    if ((env.flags & kFlagSsend) != 0) {
+      Envelope ack;
+      ack.flags = kFlagSsendAck;
+      ack.context = env.context;
+      ack.src_rank = rank_;
+      ack.seq = env.seq;
+      enqueue_ctl_(peer, sid, ack);
+    }
+  } else {
+    ++stats_.unexpected_msgs;
+    match_.add_unexpected(
+        UnexpectedMsg{env, std::vector<std::byte>(body.begin(), body.end())});
+  }
+}
+
+}  // namespace sctpmpi::core

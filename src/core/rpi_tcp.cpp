@@ -1,0 +1,460 @@
+#include "core/rpi_tcp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace sctpmpi::core {
+
+TcpRpi::TcpRpi(tcp::TcpStack& stack, int rank, int size, RpiConfig cfg,
+               std::function<net::IpAddr(int)> rank_addr,
+               std::uint16_t base_port)
+    : stack_(stack),
+      rank_(rank),
+      size_(size),
+      cfg_(cfg),
+      rank_addr_(std::move(rank_addr)),
+      base_port_(base_port),
+      peers_(static_cast<std::size_t>(size)),
+      next_seq_(static_cast<std::size_t>(size), 1) {}
+
+void TcpRpi::charge_(sim::SimTime t) {
+  if (proc_ != nullptr) proc_->charge(t);
+}
+
+// ---------------------------------------------------------------------------
+// Connection setup: full mesh, lower rank connects to higher (LAM-style
+// fully connected environment, paper §3.3). accept()/connect() sequencing
+// provides the synchronization TCP gets "for free" (paper §3.4).
+// ---------------------------------------------------------------------------
+
+void TcpRpi::init(sim::Process& proc) {
+  proc_ = &proc;
+  tcp::TcpSocket* listener = stack_.create_socket();
+  listener->bind(static_cast<std::uint16_t>(base_port_ + rank_));
+  listener->listen();
+  listener->set_activity_callback([this] { note_activity_(); });
+
+  // Active connections to higher ranks; the 4-byte rank id identifies us.
+  for (int peer = rank_ + 1; peer < size_; ++peer) {
+    tcp::TcpSocket* s = stack_.create_socket();
+    s->connect(rank_addr_(peer),
+               static_cast<std::uint16_t>(base_port_ + peer));
+    s->set_activity_callback([this] { note_activity_(); });
+    peers_[static_cast<std::size_t>(peer)].sock = s;
+    charge_(cfg_.call_cost);
+  }
+
+  int identified = 0;  // accepted sockets whose peer rank we know
+  std::vector<bool> id_sent(static_cast<std::size_t>(size_), false);
+  std::vector<tcp::TcpSocket*> unidentified;
+  while (true) {
+    // Send our rank id on each newly connected active socket.
+    bool all_active_ready = true;
+    for (int peer = rank_ + 1; peer < size_; ++peer) {
+      Peer& p = peers_[static_cast<std::size_t>(peer)];
+      if (!p.sock->connected()) {
+        all_active_ready = false;
+        continue;
+      }
+      if (!id_sent[static_cast<std::size_t>(peer)]) {
+        OutMsg id;
+        net::ByteWriter w(id.header);
+        w.u32(static_cast<std::uint32_t>(rank_));
+        p.outq.push_back(std::move(id));
+        id_sent[static_cast<std::size_t>(peer)] = true;
+        pump_writes_(peer);
+      }
+    }
+    // Accept from lower ranks and read their identification word.
+    while (tcp::TcpSocket* child = listener->accept()) {
+      child->set_activity_callback([this] { note_activity_(); });
+      unidentified.push_back(child);
+    }
+    for (auto it = unidentified.begin(); it != unidentified.end();) {
+      std::array<std::byte, 4> idword;
+      auto n = (*it)->recv(idword);
+      charge_(cfg_.call_cost);
+      if (n == 4) {
+        net::ByteReader r(idword);
+        const int peer = static_cast<int>(r.u32());
+        peers_[static_cast<std::size_t>(peer)].sock = *it;
+        ++identified;
+        it = unidentified.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (all_active_ready && identified == rank_) break;
+    block(proc);
+  }
+}
+
+void TcpRpi::finalize(sim::Process& proc) {
+  // Drain any queued output, then close sockets.
+  bool pending = true;
+  while (pending) {
+    advance();
+    pending = false;
+    for (auto& p : peers_) {
+      if (p.sock != nullptr && !p.outq.empty()) pending = true;
+    }
+    if (pending) block(proc);
+  }
+  for (auto& p : peers_) {
+    if (p.sock != nullptr) p.sock->close();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request initiation
+// ---------------------------------------------------------------------------
+
+void TcpRpi::start_send(RpiRequest* req) {
+  ++stats_.sends_started;
+  const int peer = req->peer;
+  assert(peer != rank_ && "self-sends are handled in the Mpi facade");
+  req->seq = next_seq_[static_cast<std::size_t>(peer)]++;
+
+  Envelope env;
+  env.length = static_cast<std::uint32_t>(req->send_len);
+  env.tag = req->tag;
+  env.context = req->context;
+  env.src_rank = rank_;
+  env.seq = req->seq;
+
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (req->send_len <= cfg_.eager_limit) {
+    // Eager send: envelope + body back-to-back (paper §2.2.2).
+    env.flags = req->sync ? kFlagSsend : kFlagShort;
+    OutMsg m;
+    m.header = env.encode();
+    m.body = req->send_buf;
+    m.body_len = req->send_len;
+    m.req = req;
+    m.completes_request = !req->sync;  // ssend completes on the ack
+    if (req->sync) pending_ssend_[{peer, req->seq}] = req;
+    p.outq.push_back(std::move(m));
+    ++stats_.eager_msgs;
+  } else {
+    // Rendezvous: envelope only; the body follows after the ACK.
+    env.flags = kFlagLong;
+    OutMsg m;
+    m.header = env.encode();
+    p.outq.push_back(std::move(m));
+    pending_long_send_[{peer, req->seq}] = req;
+    ++stats_.rendezvous_msgs;
+  }
+  pump_writes_(peer);
+}
+
+void TcpRpi::start_recv(RpiRequest* req) {
+  ++stats_.recvs_started;
+  // First check the unexpected-message buffer (paper §2.2.2).
+  if (auto um = match_.match_unexpected(*req)) {
+    const Envelope& env = um->env;
+    if ((env.flags & kFlagLong) != 0) {
+      // Buffered rendezvous envelope: now send the ACK.
+      pending_long_recv_[{env.src_rank, env.seq}] = req;
+      Envelope ack;
+      ack.flags = kFlagLongAck;
+      ack.tag = env.tag;
+      ack.context = env.context;
+      ack.src_rank = rank_;
+      ack.seq = env.seq;
+      enqueue_ctl_(env.src_rank, ack);
+    } else {
+      deliver_matched_(req, env, um->body);
+      if ((env.flags & kFlagSsend) != 0) {
+        Envelope ack;
+        ack.flags = kFlagSsendAck;
+        ack.context = env.context;
+        ack.src_rank = rank_;
+        ack.seq = env.seq;
+        enqueue_ctl_(env.src_rank, ack);
+      }
+    }
+    return;
+  }
+  match_.add_posted(req);
+}
+
+void TcpRpi::cancel_recv(RpiRequest* req) { match_.remove_posted(req); }
+
+void TcpRpi::deliver_matched_(RpiRequest* req, const Envelope& env,
+                              std::span<const std::byte> body) {
+  const std::size_t n = std::min(body.size(), req->recv_cap);
+  std::copy_n(body.begin(), static_cast<std::ptrdiff_t>(n), req->recv_buf);
+  const auto copy_cost = static_cast<sim::SimTime>(cfg_.rx_byte_cost_ns *
+                                                   static_cast<double>(n));
+  stack_.host().occupy_cpu(copy_cost);
+  charge_(copy_cost);
+  req->status.source = env.src_rank;
+  req->status.tag = env.tag;
+  req->status.count = n;
+  req->done = true;
+}
+
+void TcpRpi::enqueue_ctl_(int peer, const Envelope& env) {
+  OutMsg m;
+  m.header = env.encode();
+  peers_[static_cast<std::size_t>(peer)].outq.push_back(std::move(m));
+  ++stats_.ctl_msgs;
+  pump_writes_(peer);
+}
+
+void TcpRpi::enqueue_long_body_(int peer, RpiRequest* req) {
+  // Second envelope followed by the long body (paper §2.2.2: "the sender
+  // sends back an envelope followed by the long message body").
+  Envelope env;
+  env.length = static_cast<std::uint32_t>(req->send_len);
+  env.tag = req->tag;
+  env.context = req->context;
+  env.flags = kFlagLong | kFlagLongBody;
+  env.src_rank = rank_;
+  env.seq = req->seq;
+  OutMsg m;
+  m.header = env.encode();
+  m.body = req->send_buf;
+  m.body_len = req->send_len;
+  m.req = req;
+  m.completes_request = true;
+  peers_[static_cast<std::size_t>(peer)].outq.push_back(std::move(m));
+  pump_writes_(peer);
+}
+
+// ---------------------------------------------------------------------------
+// Progression
+// ---------------------------------------------------------------------------
+
+void TcpRpi::advance() {
+  for (int peer = 0; peer < size_; ++peer) {
+    if (peer == rank_ || peers_[static_cast<std::size_t>(peer)].sock == nullptr)
+      continue;
+    pump_writes_(peer);
+    pump_reads_(peer);
+  }
+}
+
+void TcpRpi::block(sim::Process& proc) {
+  if (activity_) {
+    activity_ = false;
+    return;
+  }
+  ++stats_.blocks;
+  // Suspend until any socket activity callback fires. CPU debt must be
+  // flushed before committing to the suspension: a wakeup firing during
+  // the debt sleep would otherwise be consumed by it (lost-wakeup).
+  blocked_proc_ = &proc;
+  proc.flush_charge();
+  if (!activity_) proc.suspend();
+  blocked_proc_ = nullptr;
+  activity_ = false;
+}
+
+void TcpRpi::debug_dump() const {
+  std::printf("rank %d: posted=%zu unexpected=%zu longS=%zu longR=%zu\n",
+              rank_, match_.posted_count(), match_.unexpected_count(),
+              pending_long_send_.size(), pending_long_recv_.size());
+  for (int peer = 0; peer < size_; ++peer) {
+    const Peer& p = peers_[static_cast<std::size_t>(peer)];
+    if (p.sock == nullptr) continue;
+    std::printf(
+        "  peer %d: outq=%zu head_written=%zu rstate=%d body=%zu/%zu "
+        "sock[%s cwnd=%u wnd_known=? buf=%zu readable=%d writable=%d]\n",
+        peer, p.outq.size(), p.outq.empty() ? 0 : p.outq.front().written,
+        static_cast<int>(p.rstate), p.body_have, p.body_total,
+        tcp::to_string(p.sock->state()), p.sock->cwnd(),
+        p.sock->send_buffered(), (int)p.sock->readable(),
+        (int)p.sock->writable());
+  }
+}
+
+void TcpRpi::pump_writes_(int peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (p.sock == nullptr) return;
+  while (!p.outq.empty()) {
+    OutMsg& m = p.outq.front();
+    // Header and body go out in one writev-style call so that small
+    // messages coalesce into a single segment.
+    while (m.written < m.header.size()) {
+      auto n = p.sock->send_gather(std::span(m.header).subspan(m.written),
+                                   std::span(m.body, m.body_len));
+      charge_(cfg_.call_cost);
+      if (n <= 0) return;
+      m.written += static_cast<std::size_t>(n);
+    }
+    while (m.written < m.header.size() + m.body_len) {
+      const std::size_t off = m.written - m.header.size();
+      auto n = p.sock->send(
+          std::span(m.body, m.body_len).subspan(off));
+      charge_(cfg_.call_cost);
+      if (n <= 0) return;
+      m.written += static_cast<std::size_t>(n);
+    }
+    if (m.completes_request && m.req != nullptr) {
+      m.req->done = true;
+    }
+    p.outq.pop_front();
+  }
+}
+
+void TcpRpi::pump_reads_(int peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (p.sock == nullptr) return;
+  while (true) {
+    if (p.rstate == RState::kEnvelope) {
+      auto n = p.sock->recv(
+          std::span(p.env_buf).subspan(p.env_have));
+      charge_(cfg_.call_cost);
+      if (n <= 0) return;
+      p.env_have += static_cast<std::size_t>(n);
+      if (p.env_have < kEnvelopeBytes) continue;
+      p.env_have = 0;
+      p.env = Envelope::decode(p.env_buf);
+      on_envelope_(peer);
+    } else {
+      // Reading a message body into either the matched receive buffer or
+      // the unexpected-message temp buffer.
+      std::byte* dest;
+      std::size_t cap;
+      if (p.recv_req != nullptr) {
+        dest = p.recv_req->recv_buf;
+        cap = p.recv_req->recv_cap;
+      } else {
+        dest = p.temp_body.data();
+        cap = p.temp_body.size();
+      }
+      std::array<std::byte, 16384> sink;  // overflow beyond capacity
+      while (p.body_have < p.body_total) {
+        std::span<std::byte> into;
+        if (p.body_have < cap) {
+          into = std::span(dest, cap).subspan(
+              p.body_have, std::min(cap - p.body_have,
+                                    p.body_total - p.body_have));
+        } else {
+          into = std::span(sink).subspan(
+              0, std::min(sink.size(), p.body_total - p.body_have));
+        }
+        auto n = p.sock->recv(into);
+        charge_(cfg_.call_cost);
+        if (n <= 0) return;
+        p.body_have += static_cast<std::size_t>(n);
+        // Byte-stream reassembly copy (middleware-level, paper §3.2.4):
+        // occupies the node's CPU, contending with the network stack.
+        const auto copy_cost = static_cast<sim::SimTime>(
+            cfg_.rx_byte_cost_ns * static_cast<double>(n));
+        stack_.host().occupy_cpu(copy_cost);
+        charge_(copy_cost);
+      }
+      finish_body_(peer);
+    }
+  }
+}
+
+void TcpRpi::on_envelope_(int peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  const Envelope& env = p.env;
+
+  if ((env.flags & kFlagLongAck) != 0) {
+    auto it = pending_long_send_.find({peer, env.seq});
+    if (it != pending_long_send_.end()) {
+      RpiRequest* req = it->second;
+      pending_long_send_.erase(it);
+      enqueue_long_body_(peer, req);
+    }
+    return;
+  }
+  if ((env.flags & kFlagSsendAck) != 0) {
+    auto it = pending_ssend_.find({peer, env.seq});
+    if (it != pending_ssend_.end()) {
+      it->second->done = true;
+      pending_ssend_.erase(it);
+    }
+    return;
+  }
+  if ((env.flags & kFlagLongBody) != 0) {
+    // Second envelope of the rendezvous: body follows on this stream.
+    auto it = pending_long_recv_.find({peer, env.seq});
+    p.recv_req = it != pending_long_recv_.end() ? it->second : nullptr;
+    if (it != pending_long_recv_.end()) pending_long_recv_.erase(it);
+    p.body_total = env.length;
+    p.body_have = 0;
+    p.temp_body.clear();
+    p.rstate = RState::kBody;
+    return;
+  }
+  if ((env.flags & kFlagLong) != 0) {
+    // Rendezvous request. Match now or buffer the envelope.
+    if (RpiRequest* req = match_.match_posted(env)) {
+      pending_long_recv_[{peer, env.seq}] = req;
+      Envelope ack;
+      ack.flags = kFlagLongAck;
+      ack.tag = env.tag;
+      ack.context = env.context;
+      ack.src_rank = rank_;
+      ack.seq = env.seq;
+      enqueue_ctl_(peer, ack);
+    } else {
+      ++stats_.unexpected_msgs;
+      match_.add_unexpected(UnexpectedMsg{env, {}});
+    }
+    return;
+  }
+
+  // Eager short (possibly synchronous): body of env.length follows.
+  p.recv_req = match_.match_posted(env);
+  p.body_total = env.length;
+  p.body_have = 0;
+  if (p.recv_req == nullptr) {
+    p.temp_body.assign(env.length, std::byte{0});
+  }
+  if (env.length == 0) {
+    finish_body_(peer);
+  } else {
+    p.rstate = RState::kBody;
+  }
+}
+
+void TcpRpi::finish_body_(int peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  const Envelope& env = p.env;
+  const bool needs_ssend_ack = (env.flags & kFlagSsend) != 0;
+
+  // A matching receive may have been posted while the body was in flight
+  // on the byte stream; re-match now so a LATER message cannot overtake
+  // this one through the posted queue (MPI same-TRC ordering).
+  if (p.recv_req == nullptr) {
+    if (RpiRequest* req = match_.match_posted(env)) {
+      const std::size_t n = std::min(p.temp_body.size(), req->recv_cap);
+      std::copy_n(p.temp_body.begin(), static_cast<std::ptrdiff_t>(n),
+                  req->recv_buf);
+      p.recv_req = req;
+    }
+  }
+
+  if (p.recv_req != nullptr) {
+    RpiRequest* req = p.recv_req;
+    req->status.source = env.src_rank;
+    req->status.tag = env.tag;
+    req->status.count = std::min(p.body_total, req->recv_cap);
+    req->done = true;
+    if (needs_ssend_ack) {
+      Envelope ack;
+      ack.flags = kFlagSsendAck;
+      ack.context = env.context;
+      ack.src_rank = rank_;
+      ack.seq = env.seq;
+      enqueue_ctl_(peer, ack);
+    }
+  } else {
+    ++stats_.unexpected_msgs;
+    match_.add_unexpected(UnexpectedMsg{env, std::move(p.temp_body)});
+    // ssend ack is deferred until the receive is posted (start_recv).
+  }
+  p.recv_req = nullptr;
+  p.temp_body = {};
+  p.rstate = RState::kEnvelope;
+}
+
+}  // namespace sctpmpi::core

@@ -1,0 +1,110 @@
+// TCP request-progression module — mirrors stock LAM-TCP (the paper's
+// baseline): one TCP connection per peer process, readiness-driven
+// progression, eager short messages and rendezvous long messages carried
+// back-to-back on the byte stream. Because each connection delivers bytes
+// in strict order, only one incoming message per peer can be in progress
+// (paper §3.2.4) — which is precisely what produces head-of-line blocking
+// between unrelated tags.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/matching.hpp"
+#include "core/rpi.hpp"
+#include "sim/process.hpp"
+#include "tcp/socket.hpp"
+
+namespace sctpmpi::core {
+
+class TcpRpi : public Rpi {
+ public:
+  /// `rank_addr(r)` resolves a rank to its host address; ranks listen on
+  /// `base_port + rank`.
+  TcpRpi(tcp::TcpStack& stack, int rank, int size, RpiConfig cfg,
+         std::function<net::IpAddr(int)> rank_addr,
+         std::uint16_t base_port = 10000);
+
+  void init(sim::Process& proc) override;
+  void finalize(sim::Process& proc) override;
+  void start_send(RpiRequest* req) override;
+  void start_recv(RpiRequest* req) override;
+  void cancel_recv(RpiRequest* req) override;
+  void advance() override;
+  void block(sim::Process& proc) override;
+  const Envelope* probe(std::uint32_t context, int src, int tag) override {
+    return match_.peek_unexpected(context, src, tag);
+  }
+  const RpiStats& stats() const override { return stats_; }
+
+  const MatchEngine& matcher() const { return match_; }
+
+  /// Diagnostic state dump (used by deadlock investigations and tests).
+  void debug_dump() const override;
+
+ private:
+  struct OutMsg {
+    std::vector<std::byte> header;      // envelope (+ owned control bytes)
+    const std::byte* body = nullptr;    // view into the user buffer
+    std::size_t body_len = 0;
+    std::size_t written = 0;            // across header+body
+    RpiRequest* req = nullptr;          // completed when fully written
+    bool completes_request = false;
+  };
+
+  enum class RState { kEnvelope, kBody };
+
+  struct Peer {
+    tcp::TcpSocket* sock = nullptr;
+    // Read side: the single in-flight incoming message on this stream.
+    RState rstate = RState::kEnvelope;
+    std::array<std::byte, kEnvelopeBytes> env_buf;
+    std::size_t env_have = 0;
+    Envelope env;
+    RpiRequest* recv_req = nullptr;       // matched destination, or null
+    std::vector<std::byte> temp_body;     // unexpected-message buffer
+    std::size_t body_have = 0;
+    std::size_t body_total = 0;
+    // Write side.
+    std::deque<OutMsg> outq;
+  };
+
+  void pump_reads_(int peer);
+  void pump_writes_(int peer);
+  void on_envelope_(int peer);
+  void finish_body_(int peer);
+  void deliver_matched_(RpiRequest* req, const Envelope& env,
+                        std::span<const std::byte> body);
+  void enqueue_ctl_(int peer, const Envelope& env);
+  void enqueue_long_body_(int peer, RpiRequest* req);
+  void charge_(sim::SimTime t);
+  void note_activity_() {
+    activity_ = true;
+    if (blocked_proc_ != nullptr) blocked_proc_->wake();
+  }
+
+  tcp::TcpStack& stack_;
+  int rank_;
+  int size_;
+  RpiConfig cfg_;
+  std::function<net::IpAddr(int)> rank_addr_;
+  std::uint16_t base_port_;
+
+  std::vector<Peer> peers_;
+  MatchEngine match_;
+  // Rendezvous state: long sends awaiting ACK / long recvs awaiting body.
+  std::map<std::pair<int, std::uint32_t>, RpiRequest*> pending_long_send_;
+  std::map<std::pair<int, std::uint32_t>, RpiRequest*> pending_long_recv_;
+  std::map<std::pair<int, std::uint32_t>, RpiRequest*> pending_ssend_;
+  std::vector<std::uint32_t> next_seq_;  // per peer
+
+  sim::Process* proc_ = nullptr;          // rank process (set at init)
+  sim::Process* blocked_proc_ = nullptr;  // non-null while suspended
+  bool activity_ = false;
+  RpiStats stats_;
+};
+
+}  // namespace sctpmpi::core

@@ -1,0 +1,99 @@
+#include "core/world.hpp"
+
+#include <algorithm>
+
+#include "core/rpi_sctp.hpp"
+#include "core/rpi_tcp.hpp"
+
+namespace sctpmpi::core {
+
+const char* to_string(TransportKind t) {
+  switch (t) {
+    case TransportKind::kTcp: return "LAM_TCP";
+    case TransportKind::kSctp: return "LAM_SCTP";
+  }
+  return "?";
+}
+
+World::World(WorldConfig cfg) : cfg_(cfg) {
+  net::ClusterParams params;
+  params.hosts = static_cast<unsigned>(cfg_.ranks);
+  params.interfaces = cfg_.interfaces;
+  params.link = cfg_.link;
+  params.link.loss = cfg_.loss;
+  params.costs = cfg_.host_costs;
+  cluster_ = std::make_unique<net::Cluster>(sim_, sim::Rng(cfg_.seed),
+                                            params);
+
+  auto rank_addr = [this](int r) {
+    return cluster_->addr(static_cast<unsigned>(r));
+  };
+
+  RpiConfig rpi_cfg = cfg_.rpi;
+  for (int r = 0; r < cfg_.ranks; ++r) {
+    if (cfg_.transport == TransportKind::kTcp) {
+      rpi_cfg.rx_byte_cost_ns = cfg_.tcp_rx_byte_cost_ns;
+      tcp_stacks_.push_back(std::make_unique<tcp::TcpStack>(
+          cluster_->host(static_cast<unsigned>(r)), cfg_.tcp,
+          sim::Rng(cfg_.seed).fork(5000 + static_cast<unsigned>(r))));
+      rpis_.push_back(std::make_unique<TcpRpi>(
+          *tcp_stacks_.back(), r, cfg_.ranks, rpi_cfg, rank_addr));
+    } else {
+      rpi_cfg.rx_byte_cost_ns = cfg_.sctp_rx_byte_cost_ns;
+      sctp::SctpConfig sc = cfg_.sctp;
+      // The stream pool (paper §3.2.1) is negotiated at association setup.
+      sc.num_ostreams = static_cast<std::uint16_t>(cfg_.rpi.stream_pool);
+      sc.max_instreams =
+          std::max<std::uint16_t>(sc.max_instreams,
+                                  static_cast<std::uint16_t>(
+                                      cfg_.rpi.stream_pool));
+      sctp_stacks_.push_back(std::make_unique<sctp::SctpStack>(
+          cluster_->host(static_cast<unsigned>(r)), sc,
+          sim::Rng(cfg_.seed).fork(6000 + static_cast<unsigned>(r))));
+      rpis_.push_back(std::make_unique<SctpRpi>(
+          *sctp_stacks_.back(), r, cfg_.ranks, rpi_cfg, rank_addr));
+    }
+  }
+}
+
+World::~World() = default;
+
+void World::run(std::function<void(Mpi&)> body) {
+  sim::ProcessGroup group(sim_);
+  std::vector<sim::SimTime> finish(static_cast<std::size_t>(cfg_.ranks), 0);
+  for (int r = 0; r < cfg_.ranks; ++r) {
+    group.spawn("rank" + std::to_string(r),
+                [this, r, &body, &finish](sim::Process& proc) {
+                  Rpi& rpi = *rpis_[static_cast<std::size_t>(r)];
+                  rpi.init(proc);
+                  Mpi mpi(r, cfg_.ranks, rpi, proc);
+                  body(mpi);
+                  finish[static_cast<std::size_t>(r)] = sim_.now();
+                  rpi.finalize(proc);
+                });
+  }
+  try {
+    group.run_all();
+  } catch (const std::exception&) {
+    // Post-mortem for simulated-job deadlocks: dump every rank's
+    // progression state before propagating.
+    for (auto& r : rpis_) r->debug_dump();
+    throw;
+  }
+  elapsed_ = *std::max_element(finish.begin(), finish.end());
+}
+
+World::Totals World::transport_totals() const {
+  Totals t;
+  for (const auto& s : tcp_stacks_) {
+    (void)s;  // per-socket stats are aggregated below via RPI when needed
+  }
+  // TCP per-socket stats are not centrally tracked; SCTP per-association
+  // stats are. For cross-transport reporting the benches use link stats,
+  // so we aggregate what each stack exposes uniformly: cluster totals.
+  const net::LinkStats ls = cluster_->total_link_stats();
+  t.packets = ls.tx_packets;
+  return t;
+}
+
+}  // namespace sctpmpi::core

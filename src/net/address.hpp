@@ -1,0 +1,45 @@
+// IPv4-like addressing for the simulated cluster.
+//
+// Addresses are 10.<subnet>.0.<host+1>; each host interface lives on the
+// subnet matching its interface index, mirroring the paper's testbed where
+// every node had three gigabit NICs on three independent networks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sctpmpi::net {
+
+struct IpAddr {
+  std::uint32_t v = 0;
+
+  constexpr bool operator==(const IpAddr&) const = default;
+  constexpr auto operator<=>(const IpAddr&) const = default;
+  constexpr bool is_any() const { return v == 0; }
+};
+
+inline constexpr IpAddr kAddrAny{0};
+
+/// Builds the address of `host`'s interface on `subnet`.
+constexpr IpAddr make_addr(unsigned subnet, unsigned host) {
+  return IpAddr{(10u << 24) | (subnet << 16) | (host + 1)};
+}
+
+constexpr unsigned subnet_of(IpAddr a) { return (a.v >> 16) & 0xFF; }
+constexpr unsigned host_of(IpAddr a) { return (a.v & 0xFFFF) - 1; }
+
+inline std::string to_string(IpAddr a) {
+  return std::to_string(a.v >> 24) + "." + std::to_string((a.v >> 16) & 0xFF) +
+         "." + std::to_string((a.v >> 8) & 0xFF) + "." +
+         std::to_string(a.v & 0xFF);
+}
+
+}  // namespace sctpmpi::net
+
+template <>
+struct std::hash<sctpmpi::net::IpAddr> {
+  std::size_t operator()(const sctpmpi::net::IpAddr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.v);
+  }
+};

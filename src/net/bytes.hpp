@@ -1,0 +1,121 @@
+// Big-endian wire codec helpers shared by the TCP and SCTP codecs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace sctpmpi::net {
+
+/// Appends big-endian integers and raw bytes to a growing buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::byte>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(std::span<const std::byte> b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  void zeros(std::size_t n) { out_.resize(out_.size() + n); }
+  std::size_t size() const { return out_.size(); }
+
+  /// Overwrites a previously written 16/32-bit field (e.g. a length filled
+  /// in after the chunk body is known).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    out_.at(offset) = static_cast<std::byte>(v >> 8);
+    out_.at(offset + 1) = static_cast<std::byte>(v);
+  }
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    patch_u16(offset, static_cast<std::uint16_t>(v >> 16));
+    patch_u16(offset + 2, static_cast<std::uint16_t>(v));
+  }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+/// Thrown on malformed wire input.
+struct DecodeError : std::runtime_error {
+  explicit DecodeError(const char* what) : std::runtime_error(what) {}
+};
+
+/// Reads big-endian integers and raw bytes from a buffer; throws
+/// DecodeError on underrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> in) : in_(in) {}
+
+  std::uint8_t u8() {
+    need_(1);
+    return static_cast<std::uint8_t>(in_[pos_++]);
+  }
+  std::uint16_t u16() {
+    return static_cast<std::uint16_t>((std::uint16_t{u8()} << 8) | u8());
+  }
+  std::uint32_t u32() {
+    return (std::uint32_t{u16()} << 16) | u16();
+  }
+  std::uint64_t u64() {
+    return (std::uint64_t{u32()} << 32) | u32();
+  }
+  std::vector<std::byte> bytes(std::size_t n) {
+    need_(n);
+    std::vector<std::byte> out(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                               in_.begin() +
+                                   static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  void skip(std::size_t n) {
+    need_(n);
+    pos_ += n;
+  }
+  std::size_t remaining() const { return in_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void need_(std::size_t n) const {
+    if (pos_ + n > in_.size()) throw DecodeError("wire buffer underrun");
+  }
+  std::span<const std::byte> in_;
+  std::size_t pos_ = 0;
+};
+
+/// Serial-number arithmetic mod 2^32 (RFC 1982) used for TCP sequence
+/// numbers and SCTP TSNs.
+constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+constexpr bool seq_leq(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+constexpr bool seq_gt(std::uint32_t a, std::uint32_t b) { return seq_lt(b, a); }
+constexpr bool seq_geq(std::uint32_t a, std::uint32_t b) {
+  return seq_leq(b, a);
+}
+/// a - b in serial space (valid when the true distance fits in 31 bits).
+constexpr std::int32_t seq_diff(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b);
+}
+
+/// Serial-number comparison mod 2^16 for SCTP stream sequence numbers.
+constexpr bool ssn_lt(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(a - b)) < 0;
+}
+
+}  // namespace sctpmpi::net

@@ -1,0 +1,70 @@
+#include "net/cluster.hpp"
+
+namespace sctpmpi::net {
+
+Cluster::Cluster(sim::Simulator& sim, sim::Rng rng,
+                 const ClusterParams& params)
+    : params_(params) {
+  hosts_.reserve(params.hosts);
+  for (unsigned h = 0; h < params.hosts; ++h) {
+    hosts_.push_back(std::make_unique<Host>(sim, h, params.costs));
+  }
+  subnet_links_.resize(params.interfaces);
+  up_.assign(params.hosts, std::vector<Link*>(params.interfaces, nullptr));
+  down_.assign(params.hosts, std::vector<Link*>(params.interfaces, nullptr));
+  for (unsigned s = 0; s < params.interfaces; ++s) {
+    switches_.push_back(std::make_unique<Switch>());
+    Switch* sw = switches_.back().get();
+    for (unsigned h = 0; h < params.hosts; ++h) {
+      const IpAddr a = make_addr(s, h);
+      // Host -> switch link.
+      links_.push_back(std::make_unique<Link>(
+          sim, params.link, rng.fork((s * 1000ull + h) * 2)));
+      Link* up = links_.back().get();
+      up->set_sink([sw](Packet&& p) { sw->forward(std::move(p)); });
+      // Switch -> host link. Dummynet-style random loss is applied once
+      // per end-to-end path (on the uplink); the downlink only models
+      // rate/queueing so a configured loss rate is the per-packet rate,
+      // not its square.
+      LinkParams down_params = params.link;
+      down_params.loss = 0.0;
+      links_.push_back(std::make_unique<Link>(
+          sim, down_params, rng.fork((s * 1000ull + h) * 2 + 1)));
+      Link* down = links_.back().get();
+      Host* host = hosts_[h].get();
+      down->set_sink([host](Packet&& p) { host->deliver(std::move(p)); });
+
+      host->add_interface(a, up);
+      sw->add_route(a, down);
+      subnet_links_[s].push_back(up);
+      subnet_links_[s].push_back(down);
+      up_[h][s] = up;
+      down_[h][s] = down;
+    }
+  }
+}
+
+void Cluster::set_loss(double p) {
+  // Per-path semantics: loss lives on the uplinks only (see constructor).
+  for (auto& host_links : up_) {
+    for (Link* l : host_links) l->set_loss(p);
+  }
+}
+
+void Cluster::set_subnet_loss(unsigned subnet, double p) {
+  for (Link* l : subnet_links_.at(subnet)) l->set_loss(p);
+}
+
+LinkStats Cluster::total_link_stats() const {
+  LinkStats total;
+  for (const auto& l : links_) {
+    const LinkStats& s = l->stats();
+    total.tx_packets += s.tx_packets;
+    total.tx_bytes += s.tx_bytes;
+    total.drops_loss += s.drops_loss;
+    total.drops_queue += s.drops_queue;
+  }
+  return total;
+}
+
+}  // namespace sctpmpi::net

@@ -1,0 +1,67 @@
+// Cluster topology builder reproducing the paper's testbed: N hosts, each
+// with K gigabit interfaces, interface k of every host connected to switch k
+// (K independent networks). Per-link Dummynet loss is configurable at build
+// time and can be changed later (Cluster::set_loss), including per subnet —
+// used by the multihoming failover experiments.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/switch.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace sctpmpi::net {
+
+struct ClusterParams {
+  unsigned hosts = 8;
+  unsigned interfaces = 1;  // paper's nodes had 3; experiments used 1
+  LinkParams link;
+  HostCostModel costs;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulator& sim, sim::Rng rng, const ClusterParams& params);
+
+  Host& host(unsigned i) { return *hosts_.at(i); }
+  unsigned host_count() const { return static_cast<unsigned>(hosts_.size()); }
+  unsigned interface_count() const { return params_.interfaces; }
+  IpAddr addr(unsigned host, unsigned iface = 0) const {
+    return make_addr(iface, host);
+  }
+
+  /// Reconfigures the Dummynet loss probability on every link.
+  void set_loss(double p);
+  /// Reconfigures loss on every link of one subnet only (e.g. to fail a
+  /// path for the multihoming experiments; p = 1.0 severs it).
+  void set_subnet_loss(unsigned subnet, double p);
+
+  /// Aggregate link statistics across the cluster.
+  LinkStats total_link_stats() const;
+
+  /// The link carrying traffic from `host` into switch `iface` (uplink) or
+  /// from switch `iface` to `host` (downlink). Exposed for tests that
+  /// install deterministic drop filters.
+  Link& uplink(unsigned host, unsigned iface = 0) {
+    return *up_.at(host).at(iface);
+  }
+  Link& downlink(unsigned host, unsigned iface = 0) {
+    return *down_.at(host).at(iface);
+  }
+
+ private:
+  ClusterParams params_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Switch>> switches_;  // one per subnet
+  std::vector<std::unique_ptr<Link>> links_;
+  // links per subnet, for set_subnet_loss
+  std::vector<std::vector<Link*>> subnet_links_;
+  // [host][iface] link pointers for test hooks
+  std::vector<std::vector<Link*>> up_;
+  std::vector<std::vector<Link*>> down_;
+};
+
+}  // namespace sctpmpi::net

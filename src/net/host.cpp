@@ -1,0 +1,53 @@
+#include "net/host.hpp"
+
+#include <utility>
+
+namespace sctpmpi::net {
+
+Host::Interface* Host::route_(const Packet& pkt) {
+  if (ifaces_.empty()) return nullptr;
+  // Prefer the interface matching the packet's source address: SCTP pins
+  // retransmission paths by choosing the source/destination pair.
+  for (auto& i : ifaces_) {
+    if (i.addr == pkt.src) return &i;
+  }
+  // Otherwise route by destination subnet.
+  for (auto& i : ifaces_) {
+    if (subnet_of(i.addr) == subnet_of(pkt.dst)) return &i;
+  }
+  return &ifaces_.front();
+}
+
+void Host::send_ip(Packet&& pkt, sim::SimTime stack_delay) {
+  Interface* iface = route_(pkt);
+  if (iface == nullptr || iface->egress == nullptr) return;
+  if (pkt.src.is_any()) pkt.src = iface->addr;
+  pkt.uid = (static_cast<std::uint64_t>(id_) << 48) | next_uid_++;
+  ++tx_packets_;
+  const sim::SimTime cost =
+      stack_delay + costs_.per_packet + costs_.copy_cost(pkt.payload.size());
+  const sim::SimTime done_in = occupy_cpu(cost);
+  Link* egress = iface->egress;
+  sim_.schedule_after(done_in, [egress, p = std::move(pkt)]() mutable {
+    egress->enqueue(std::move(p));
+  });
+}
+
+void Host::deliver(Packet&& pkt) {
+  ++rx_packets_;
+  for (auto& [proto, handler] : handlers_) {
+    if (proto == pkt.proto) {
+      // Receive-path CPU: the stack's processing queues on the host CPU.
+      const sim::SimTime cost =
+          costs_.per_packet + costs_.copy_cost(pkt.payload.size());
+      const sim::SimTime done_in = occupy_cpu(cost);
+      sim_.schedule_after(done_in, [handler, p = std::move(pkt)]() mutable {
+        handler->on_ip_packet(std::move(p));
+      });
+      return;
+    }
+  }
+  // No handler: packet silently dropped (no ICMP in this model).
+}
+
+}  // namespace sctpmpi::net

@@ -1,0 +1,114 @@
+// Simulated host: interfaces, IP routing, and protocol demultiplexing.
+//
+// A host owns one egress Link per interface and receives packets from the
+// switch side via deliver(). Transport stacks (TCP/SCTP/control) register
+// themselves per IpProto. Routing picks the egress interface whose subnet
+// matches the destination address, falling back to interface 0; this is how
+// SCTP multihoming reaches a peer's alternate addresses over independent
+// paths.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace sctpmpi::net {
+
+/// Calibrated CPU costs of the simulated host's network path. These model
+/// syscall and stack overheads that the paper's measurements include; see
+/// DESIGN.md ("calibration").
+struct HostCostModel {
+  sim::SimTime syscall = sim::kMicrosecond;       // per socket API call
+  sim::SimTime per_packet = 2 * sim::kMicrosecond;  // generic IP tx/rx path
+  double per_byte_ns = 2.0;  // kernel copy + buffer mgmt, P4-era
+
+  sim::SimTime copy_cost(std::size_t bytes) const {
+    return static_cast<sim::SimTime>(per_byte_ns * static_cast<double>(bytes));
+  }
+};
+
+class ProtocolHandler {
+ public:
+  virtual ~ProtocolHandler() = default;
+  /// Invoked for each packet addressed to this host with a matching proto.
+  virtual void on_ip_packet(Packet&& pkt) = 0;
+};
+
+class Host {
+ public:
+  Host(sim::Simulator& sim, unsigned id, HostCostModel costs)
+      : sim_(sim), id_(id), costs_(costs) {}
+
+  unsigned id() const { return id_; }
+  sim::Simulator& sim() { return sim_; }
+  const HostCostModel& costs() const { return costs_; }
+
+  /// Registers interface `index` with address `addr` and its egress link.
+  void add_interface(IpAddr addr, Link* egress) {
+    ifaces_.push_back(Interface{addr, egress});
+  }
+
+  std::size_t interface_count() const { return ifaces_.size(); }
+  IpAddr addr(std::size_t iface = 0) const { return ifaces_.at(iface).addr; }
+
+  /// True if `a` is one of this host's interface addresses.
+  bool owns_addr(IpAddr a) const {
+    for (const auto& i : ifaces_)
+      if (i.addr == a) return true;
+    return false;
+  }
+
+  void register_protocol(IpProto proto, ProtocolHandler* handler) {
+    handlers_.push_back({proto, handler});
+  }
+
+  /// Sends an IP packet, routing by the source address's subnet when the
+  /// source is one of ours (so SCTP can pin a path), else by destination
+  /// subnet. `stack_delay` models transport-stack CPU before the wire.
+  void send_ip(Packet&& pkt, sim::SimTime stack_delay = 0);
+
+  /// Entry point for packets arriving from the network.
+  void deliver(Packet&& pkt);
+
+  /// Serialized host CPU: network-path work occupies the single CPU of the
+  /// simulated node (the paper's testbed nodes were single Pentium-4s, and
+  /// endpoint CPU — not the gigabit wire — bounded large-message
+  /// throughput). Returns the delay from now until this work completes;
+  /// callers schedule their continuation after it.
+  sim::SimTime occupy_cpu(sim::SimTime cost) {
+    const sim::SimTime start = std::max(sim_.now(), cpu_next_free_);
+    cpu_next_free_ = start + cost;
+    return cpu_next_free_ - sim_.now();
+  }
+
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  std::uint64_t rx_packets() const { return rx_packets_; }
+
+ private:
+  struct Interface {
+    IpAddr addr;
+    Link* egress;
+  };
+
+  Interface* route_(const Packet& pkt);
+
+  sim::Simulator& sim_;
+  unsigned id_;
+  HostCostModel costs_;
+  std::vector<Interface> ifaces_;
+  std::vector<std::pair<IpProto, ProtocolHandler*>> handlers_;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t rx_packets_ = 0;
+  sim::SimTime cpu_next_free_ = 0;
+  std::uint64_t next_uid_ = 1;
+};
+
+}  // namespace sctpmpi::net

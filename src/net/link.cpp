@@ -1,0 +1,54 @@
+#include "net/link.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace sctpmpi::net {
+
+bool Link::enqueue(Packet&& pkt) {
+  if (drop_filter_ && drop_filter_(pkt)) {
+    ++stats_.drops_loss;
+    return false;
+  }
+  if (loss_.should_drop()) {
+    ++stats_.drops_loss;
+    return false;
+  }
+  if (queue_.size() >= params_.queue_packets) {
+    ++stats_.drops_queue;
+    if (getenv("NETTRACE")) {
+      std::printf("[%f] QDROP size=%zu wire=%zu\n",
+                  static_cast<double>(sim_.now()) / 1e9, queue_.size(),
+                  pkt.wire_size());
+    }
+    return false;
+  }
+  queue_.push_back(std::move(pkt));
+  if (!transmitting_) start_transmission_();
+  return true;
+}
+
+void Link::start_transmission_() {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  // Serialize the head packet; deliver after serialization + propagation.
+  const std::size_t wire = queue_.front().wire_size();
+  const sim::SimTime ser = serialization_time(wire);
+  sim_.schedule_after(ser, [this] {
+    Packet pkt = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.tx_packets;
+    stats_.tx_bytes += pkt.wire_size();
+    sim_.schedule_after(params_.delay,
+                        [this, p = std::move(pkt)]() mutable {
+                          if (sink_) sink_(std::move(p));
+                        });
+    start_transmission_();  // begin serializing the next packet
+  });
+}
+
+}  // namespace sctpmpi::net

@@ -1,0 +1,71 @@
+// Point-to-point unidirectional link with finite rate, propagation delay,
+// a drop-tail output queue, and Dummynet-style loss injection at ingress.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/loss.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace sctpmpi::net {
+
+struct LinkParams {
+  double rate_bps = 1e9;                   // 1 Gbit/s Ethernet
+  sim::SimTime delay = 5 * sim::kMicrosecond;  // propagation + PHY
+  std::size_t queue_packets = 256;         // drop-tail output queue depth
+  double loss = 0.0;                       // Dummynet drop probability
+};
+
+struct LinkStats {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t drops_loss = 0;
+  std::uint64_t drops_queue = 0;
+};
+
+class Link {
+ public:
+  using Sink = std::function<void(Packet&&)>;
+
+  Link(sim::Simulator& sim, LinkParams params, sim::Rng loss_rng)
+      : sim_(sim), params_(params), loss_(loss_rng, params.loss) {}
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void set_loss(double p) { loss_.set_probability(p); }
+
+  /// Test hook: deterministic drop predicate evaluated per packet before
+  /// the random loss model (returns true to drop). Used to force specific
+  /// loss patterns (e.g. "drop the 7th data packet") in protocol tests.
+  void set_drop_filter(std::function<bool(const Packet&)> f) {
+    drop_filter_ = std::move(f);
+  }
+  const LinkStats& stats() const { return stats_; }
+  const LinkParams& params() const { return params_; }
+
+  /// Offers a packet to the link. Applies loss, then queues it for
+  /// serialized transmission. Returns false if the packet was dropped.
+  bool enqueue(Packet&& pkt);
+
+ private:
+  sim::SimTime serialization_time(std::size_t bytes) const {
+    return static_cast<sim::SimTime>(
+        static_cast<double>(bytes) * 8.0 / params_.rate_bps *
+        static_cast<double>(sim::kSecond));
+  }
+
+  void start_transmission_();
+
+  sim::Simulator& sim_;
+  LinkParams params_;
+  LossModel loss_;
+  Sink sink_;
+  std::function<bool(const Packet&)> drop_filter_;
+  std::deque<Packet> queue_;
+  bool transmitting_ = false;
+  LinkStats stats_;
+};
+
+}  // namespace sctpmpi::net

@@ -1,0 +1,33 @@
+// Dummynet-style loss injection.
+//
+// The paper configured Dummynet on each node to drop a fixed percentage of
+// packets on the links between nodes (0%, 1%, 2%). LossModel reproduces
+// that: an independent Bernoulli drop per packet from a deterministic,
+// per-link RNG stream. Loss applies to every IP packet (data, ACKs,
+// retransmissions), exactly as a Dummynet pipe does.
+#pragma once
+
+#include "sim/rng.hpp"
+
+namespace sctpmpi::net {
+
+class LossModel {
+ public:
+  LossModel(sim::Rng rng, double probability)
+      : rng_(rng), probability_(probability) {}
+
+  /// True if this packet should be dropped.
+  bool should_drop() {
+    if (probability_ <= 0.0) return false;
+    return rng_.chance(probability_);
+  }
+
+  void set_probability(double p) { probability_ = p; }
+  double probability() const { return probability_; }
+
+ private:
+  sim::Rng rng_;
+  double probability_;
+};
+
+}  // namespace sctpmpi::net

@@ -1,0 +1,37 @@
+// IP-level packet representation.
+//
+// The payload holds the fully serialized transport segment (TCP segment or
+// SCTP packet); wire_size() adds the 20-byte IP header that every hop
+// serializes. Real byte payloads flow end to end so tests can verify data
+// integrity through loss and reassembly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace sctpmpi::net {
+
+inline constexpr std::size_t kIpHeaderBytes = 20;
+/// Ethernet MTU: max IP packet size per hop.
+inline constexpr std::size_t kDefaultMtu = 1500;
+
+enum class IpProto : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+  kSctp = 132,
+};
+
+struct Packet {
+  IpAddr src;
+  IpAddr dst;
+  IpProto proto = IpProto::kTcp;
+  std::vector<std::byte> payload;
+  std::uint64_t uid = 0;  // trace id, assigned by the sending host
+
+  std::size_t wire_size() const { return kIpHeaderBytes + payload.size(); }
+};
+
+}  // namespace sctpmpi::net

@@ -1,0 +1,67 @@
+// Fixed-capacity byte ring buffer used for transport send/receive queues.
+//
+// Supports the access patterns transport stacks need: append at the tail,
+// consume from the head, and random-access peek relative to the head (for
+// retransmitting unacknowledged data without consuming it).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace sctpmpi::net {
+
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {}
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const { return size_; }
+  std::size_t free_space() const { return buf_.size() - size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Appends up to data.size() bytes; returns the number accepted.
+  std::size_t write(std::span<const std::byte> data) {
+    const std::size_t n = std::min(data.size(), free_space());
+    std::size_t tail = (head_ + size_) % buf_.size();
+    std::size_t first = std::min(n, buf_.size() - tail);
+    std::memcpy(buf_.data() + tail, data.data(), first);
+    std::memcpy(buf_.data(), data.data() + first, n - first);
+    size_ += n;
+    return n;
+  }
+
+  /// Copies `len` bytes starting `offset` bytes past the head into `out`.
+  /// Requires offset + len <= size().
+  void peek(std::size_t offset, std::span<std::byte> out) const {
+    const std::size_t len = out.size();
+    std::size_t pos = (head_ + offset) % buf_.size();
+    std::size_t first = std::min(len, buf_.size() - pos);
+    std::memcpy(out.data(), buf_.data() + pos, first);
+    std::memcpy(out.data() + first, buf_.data(), len - first);
+  }
+
+  /// Consumes up to `out.size()` bytes from the head into `out`;
+  /// returns the number read.
+  std::size_t read(std::span<std::byte> out) {
+    const std::size_t n = std::min(out.size(), size_);
+    peek(0, out.subspan(0, n));
+    drop(n);
+    return n;
+  }
+
+  /// Discards `n` bytes from the head. Requires n <= size().
+  void drop(std::size_t n) {
+    head_ = (head_ + n) % buf_.size();
+    size_ -= n;
+  }
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sctpmpi::net

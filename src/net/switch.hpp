@@ -1,0 +1,35 @@
+// Layer-two switch model: static forwarding to the output link serving each
+// destination address, with a small store-and-forward latency absorbed in
+// the per-port links. One switch instance per subnet.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+
+namespace sctpmpi::net {
+
+class Switch {
+ public:
+  /// Registers the egress link toward `addr`.
+  void add_route(IpAddr addr, Link* out) { routes_[addr] = out; }
+
+  /// Forwards one packet; drops if the destination is unknown.
+  void forward(Packet&& pkt) {
+    auto it = routes_.find(pkt.dst);
+    if (it == routes_.end()) {
+      ++unroutable_;
+      return;
+    }
+    it->second->enqueue(std::move(pkt));
+  }
+
+  std::uint64_t unroutable() const { return unroutable_; }
+
+ private:
+  std::unordered_map<IpAddr, Link*> routes_;
+  std::uint64_t unroutable_ = 0;
+};
+
+}  // namespace sctpmpi::net

@@ -1,0 +1,50 @@
+#include "net/udp.hpp"
+
+#include "net/bytes.hpp"
+
+namespace sctpmpi::net {
+
+namespace {
+constexpr std::size_t kUdpHeaderBytes = 8;
+}
+
+UdpSocket* UdpStack::create_socket(std::uint16_t port) {
+  sockets_.push_back(std::make_unique<UdpSocket>(*this, port));
+  by_port_[port] = sockets_.back().get();
+  return sockets_.back().get();
+}
+
+void UdpSocket::sendto(IpAddr dst, std::uint16_t dport,
+                       std::span<const std::byte> data) {
+  Packet pkt;
+  pkt.dst = dst;
+  pkt.proto = IpProto::kUdp;
+  pkt.payload.reserve(kUdpHeaderBytes + data.size());
+  ByteWriter w(pkt.payload);
+  w.u16(port_);
+  w.u16(dport);
+  w.u16(static_cast<std::uint16_t>(kUdpHeaderBytes + data.size()));
+  w.u16(0);  // checksum unmodeled
+  w.bytes(data);
+  stack_.host_.send_ip(std::move(pkt));
+}
+
+void UdpStack::on_ip_packet(Packet&& pkt) {
+  try {
+    ByteReader r(pkt.payload);
+    Datagram dg;
+    dg.from = pkt.src;
+    dg.sport = r.u16();
+    const std::uint16_t dport = r.u16();
+    r.skip(4);  // length + checksum
+    dg.data = r.bytes(r.remaining());
+    auto it = by_port_.find(dport);
+    if (it == by_port_.end()) return;
+    it->second->rx_.push_back(std::move(dg));
+    if (it->second->on_activity_) it->second->on_activity_();
+  } catch (const DecodeError&) {
+    // malformed datagram: drop
+  }
+}
+
+}  // namespace sctpmpi::net

@@ -1,0 +1,76 @@
+// Minimal UDP: unreliable, unordered datagrams. This is the transport
+// LAM's out-of-band daemons used by default (paper §3.5.3) before the
+// authors moved them to SCTP; it also anchors the paper's related-work
+// discussion of UDP-based MPI implementations.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/packet.hpp"
+
+namespace sctpmpi::net {
+
+class UdpStack;
+
+struct Datagram {
+  IpAddr from;
+  std::uint16_t sport = 0;
+  std::vector<std::byte> data;
+};
+
+class UdpSocket {
+ public:
+  UdpSocket(UdpStack& stack, std::uint16_t port)
+      : stack_(stack), port_(port) {}
+
+  /// Fire-and-forget datagram. No delivery guarantee of any kind.
+  void sendto(IpAddr dst, std::uint16_t dport,
+              std::span<const std::byte> data);
+
+  /// Pops the next received datagram, if any.
+  bool recvfrom(Datagram& out) {
+    if (rx_.empty()) return false;
+    out = std::move(rx_.front());
+    rx_.pop_front();
+    return true;
+  }
+
+  bool readable() const { return !rx_.empty(); }
+  std::uint16_t port() const { return port_; }
+  void set_activity_callback(std::function<void()> cb) {
+    on_activity_ = std::move(cb);
+  }
+
+ private:
+  friend class UdpStack;
+  UdpStack& stack_;
+  std::uint16_t port_;
+  std::deque<Datagram> rx_;
+  std::function<void()> on_activity_;
+};
+
+class UdpStack : public ProtocolHandler {
+ public:
+  explicit UdpStack(Host& host) : host_(host) {
+    host_.register_protocol(IpProto::kUdp, this);
+  }
+
+  UdpSocket* create_socket(std::uint16_t port);
+  void on_ip_packet(Packet&& pkt) override;
+  Host& host() { return host_; }
+
+ private:
+  friend class UdpSocket;
+  Host& host_;
+  std::vector<std::unique_ptr<UdpSocket>> sockets_;
+  std::map<std::uint16_t, UdpSocket*> by_port_;
+};
+
+}  // namespace sctpmpi::net

@@ -1,0 +1,1055 @@
+#include "sctp/association.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+// Runtime-gated protocol tracing: set SCTPTRACE=1 to log transmissions,
+// SACK processing, timeouts and handshake steps to stdout.
+#define SCTPDBG(...) \
+  do {               \
+    if (std::getenv("SCTPTRACE") != nullptr) std::printf(__VA_ARGS__); \
+  } while (0)
+
+#include "sctp/socket.hpp"
+
+namespace sctpmpi::sctp {
+
+using net::seq_geq;
+using net::seq_gt;
+using net::seq_leq;
+using net::seq_lt;
+
+const char* to_string(AssocState s) {
+  switch (s) {
+    case AssocState::kClosed: return "CLOSED";
+    case AssocState::kCookieWait: return "COOKIE_WAIT";
+    case AssocState::kCookieEchoed: return "COOKIE_ECHOED";
+    case AssocState::kEstablished: return "ESTABLISHED";
+    case AssocState::kShutdownPending: return "SHUTDOWN_PENDING";
+    case AssocState::kShutdownSent: return "SHUTDOWN_SENT";
+    case AssocState::kShutdownReceived: return "SHUTDOWN_RECEIVED";
+    case AssocState::kShutdownAckSent: return "SHUTDOWN_ACK_SENT";
+  }
+  return "?";
+}
+
+Association::Association(SctpSocket& socket, AssocId id,
+                         std::uint16_t peer_port,
+                         std::vector<net::IpAddr> peer_addrs)
+    : socket_(socket),
+      cfg_(socket.config()),
+      sim_(socket.stack().host().sim()),
+      id_(id),
+      peer_port_(peer_port),
+      sack_timer_(sim_, [this] { send_sack_now_(); }),
+      t1_timer_(sim_, [this] { on_t1_timeout_(); }),
+      t2_timer_(sim_, [this] { maybe_progress_shutdown_(); }),
+      autoclose_timer_(sim_, [this] { shutdown(); }) {
+  for (net::IpAddr a : peer_addrs) {
+    paths_.emplace_back(a);
+    Path& p = paths_.back();
+    p.rto = cfg_.rto_initial;
+    p.cwnd = static_cast<std::uint32_t>(cfg_.init_cwnd_mtus * cfg_.pmtu);
+    p.ssthresh = static_cast<std::uint32_t>(cfg_.sndbuf);
+    const std::size_t idx = paths_.size() - 1;
+    p.t3 = std::make_unique<sim::Timer>(sim_, [this, idx] {
+      on_t3_timeout_(idx);
+    });
+    p.hb_timer = std::make_unique<sim::Timer>(sim_, [this, idx] {
+      on_hb_timer_(idx);
+    });
+  }
+  out_streams_.resize(cfg_.num_ostreams);
+  num_ostreams_ = cfg_.num_ostreams;
+}
+
+Association::~Association() = default;
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+void Association::start_init() {
+  assert(state_ == AssocState::kClosed);
+  local_vtag_ = socket_.stack().random_tag();
+  next_tsn_ = socket_.stack().random_tsn();
+  state_ = AssocState::kCookieWait;
+  send_init_();
+  t1_timer_.arm(cfg_.rto_initial);
+}
+
+void Association::send_init_() {
+  InitChunk init;
+  init.initiate_tag = local_vtag_;
+  init.a_rwnd = static_cast<std::uint32_t>(cfg_.rcvbuf);
+  init.num_ostreams = cfg_.num_ostreams;
+  init.max_instreams = cfg_.max_instreams;
+  init.initial_tsn = next_tsn_;
+  // Advertise all our interface addresses (multihoming).
+  net::Host& host = socket_.stack().host();
+  for (std::size_t i = 0; i < host.interface_count(); ++i) {
+    init.addresses.push_back(host.addr(i));
+  }
+  SctpPacket pkt;
+  pkt.sport = socket_.port();
+  pkt.dport = peer_port_;
+  pkt.vtag = 0;  // INIT always carries tag 0
+  pkt.chunks.push_back(TypedChunk{ChunkType::kInit, std::move(init)});
+  transmit_packet_(std::move(pkt), primary_path_);
+}
+
+void Association::on_init_ack_(const InitChunk& ia, net::IpAddr /*from*/) {
+  if (state_ != AssocState::kCookieWait) return;  // stale
+  peer_vtag_ = ia.initiate_tag;
+  peer_arwnd_ = ia.a_rwnd;
+  num_ostreams_ = std::min<std::uint16_t>(cfg_.num_ostreams,
+                                          ia.max_instreams);
+  tsn_map_ = std::make_unique<TsnMap>(ia.initial_tsn);
+  inbound_ = std::make_unique<InboundStreams>(
+      std::min<std::uint16_t>(cfg_.max_instreams, ia.num_ostreams));
+  // Adopt any extra peer addresses the INIT-ACK advertises.
+  for (net::IpAddr a : ia.addresses) {
+    if (path_index_(a) == SIZE_MAX) {
+      paths_.emplace_back(a);
+      Path& p = paths_.back();
+      p.rto = cfg_.rto_initial;
+      p.cwnd = static_cast<std::uint32_t>(cfg_.init_cwnd_mtus * cfg_.pmtu);
+      p.ssthresh = ia.a_rwnd;
+      const std::size_t idx = paths_.size() - 1;
+      p.t3 = std::make_unique<sim::Timer>(sim_,
+                                          [this, idx] { on_t3_timeout_(idx); });
+      p.hb_timer = std::make_unique<sim::Timer>(sim_,
+                                                [this, idx] { on_hb_timer_(idx); });
+      socket_.register_peer_addr_(*this, a);
+    }
+  }
+  for (auto& p : paths_) p.ssthresh = ia.a_rwnd;
+  cookie_ = ia.cookie;
+  init_retries_ = 0;
+  state_ = AssocState::kCookieEchoed;
+  send_cookie_echo_();
+  t1_timer_.arm(cfg_.rto_initial);
+}
+
+void Association::send_cookie_echo_() {
+  SCTPDBG("[%f] port %u assoc %u COOKIE-ECHO send (retries=%u)\n", (double)sim_.now()/1e9, socket_.port(), id_, init_retries_);
+  SctpPacket pkt;
+  pkt.sport = socket_.port();
+  pkt.dport = peer_port_;
+  pkt.vtag = peer_vtag_;
+  pkt.chunks.push_back(
+      TypedChunk{ChunkType::kCookieEcho, CookieEchoChunk{cookie_}});
+  transmit_packet_(std::move(pkt), primary_path_);
+}
+
+void Association::on_cookie_ack_() {
+  if (state_ != AssocState::kCookieEchoed) return;
+  t1_timer_.cancel();
+  cookie_.clear();
+  state_ = AssocState::kEstablished;
+  start_heartbeats_();
+  socket_.notify_(
+      Notification{NotificationType::kCommUp, id_, paths_[0].addr});
+  touch_autoclose_();
+  try_transmit_();
+}
+
+void Association::establish_from_cookie(const StateCookie& cookie) {
+  local_vtag_ = cookie.local_itag;
+  peer_vtag_ = cookie.peer_itag;
+  next_tsn_ = cookie.local_itsn;
+  tsn_map_ = std::make_unique<TsnMap>(cookie.peer_itsn);
+  inbound_ = std::make_unique<InboundStreams>(std::min<std::uint16_t>(
+      cfg_.max_instreams, std::max<std::uint16_t>(cookie.peer_ostreams, 1)));
+  num_ostreams_ =
+      std::min<std::uint16_t>(cfg_.num_ostreams, cookie.peer_max_instreams);
+  peer_arwnd_ = cookie.peer_arwnd;
+  t1_timer_.cancel();
+  state_ = AssocState::kEstablished;
+  start_heartbeats_();
+  socket_.notify_(
+      Notification{NotificationType::kCommUp, id_, paths_[0].addr});
+  touch_autoclose_();
+  try_transmit_();
+}
+
+void Association::on_t1_timeout_() {
+  SCTPDBG("[%f] port %u assoc %u T1 fire state=%s retries=%u\n", (double)sim_.now()/1e9, socket_.port(), id_, to_string(state_), init_retries_);
+  ++init_retries_;
+  if (init_retries_ > cfg_.max_init_retrans) {
+    enter_closed_(/*lost=*/true);
+    return;
+  }
+  const sim::SimTime backoff =
+      std::min(cfg_.rto_initial << std::min(init_retries_, 6u), cfg_.rto_max);
+  if (state_ == AssocState::kCookieWait) {
+    send_init_();
+    t1_timer_.arm(backoff);
+  } else if (state_ == AssocState::kCookieEchoed) {
+    send_cookie_echo_();
+    t1_timer_.arm(backoff);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Outbound data
+// ---------------------------------------------------------------------------
+
+bool Association::writable() const {
+  if (state_ != AssocState::kEstablished &&
+      state_ != AssocState::kCookieWait &&
+      state_ != AssocState::kCookieEchoed)
+    return false;
+  return sndbuf_used_ < cfg_.sndbuf;
+}
+
+std::ptrdiff_t Association::sendmsg_gather(std::uint16_t sid,
+                                           std::span<const std::byte> head,
+                                           std::span<const std::byte> body,
+                                           std::uint32_t ppid,
+                                           bool unordered) {
+  if (state_ == AssocState::kClosed ||
+      state_ == AssocState::kShutdownPending ||
+      state_ == AssocState::kShutdownSent ||
+      state_ == AssocState::kShutdownReceived ||
+      state_ == AssocState::kShutdownAckSent)
+    return kError;
+  const std::size_t total = head.size() + body.size();
+  if (total == 0) return kError;  // SCTP forbids empty user messages
+  if (sid >= num_ostreams_) return kError;
+  // The paper §3.4/§3.6: a single sctp_sendmsg is limited by the send
+  // buffer size; larger messages must be segmented by the application.
+  if (total > cfg_.sndbuf) return kMsgSize;
+  if (sndbuf_used_ + total > cfg_.sndbuf) return kAgain;
+
+  fragment_message_(sid, head, body, ppid, unordered);
+  stats_.bytes_sent += total;
+  touch_autoclose_();
+  if (state_ == AssocState::kEstablished) try_transmit_();
+  return static_cast<std::ptrdiff_t>(total);
+}
+
+std::size_t Association::max_chunk_payload_() const {
+  return cfg_.pmtu - net::kIpHeaderBytes - kCommonHeaderBytes -
+         kDataChunkHeaderBytes;
+}
+
+void Association::fragment_message_(std::uint16_t sid,
+                                    std::span<const std::byte> head,
+                                    std::span<const std::byte> body,
+                                    std::uint32_t ppid, bool unordered) {
+  const std::size_t frag = max_chunk_payload_();
+  const std::uint16_t ssn = out_streams_[sid].next_ssn();
+  const std::size_t total = head.size() + body.size();
+  // Logical concatenation of the two gather segments.
+  auto copy_range = [&](std::size_t offset, std::size_t n,
+                        std::vector<std::byte>& out) {
+    out.resize(n);
+    std::size_t filled = 0;
+    if (offset < head.size()) {
+      const std::size_t h = std::min(n, head.size() - offset);
+      std::copy_n(head.begin() + static_cast<std::ptrdiff_t>(offset), h,
+                  out.begin());
+      filled = h;
+      offset += h;
+    }
+    if (filled < n) {
+      const std::size_t boff = offset - head.size();
+      std::copy_n(body.begin() + static_cast<std::ptrdiff_t>(boff),
+                  n - filled,
+                  out.begin() + static_cast<std::ptrdiff_t>(filled));
+    }
+  };
+  std::size_t offset = 0;
+  while (offset < total) {
+    const std::size_t n = std::min(frag, total - offset);
+    OutChunk oc;
+    oc.data.unordered = unordered;
+    oc.data.begin = offset == 0;
+    oc.data.end = offset + n == total;
+    oc.data.tsn = next_tsn_++;
+    oc.data.sid = sid;
+    oc.data.ssn = ssn;
+    oc.data.ppid = ppid;
+    copy_range(offset, n, oc.data.payload);
+    sndbuf_used_ += n;
+    sendq_.push_back(std::move(oc));
+    offset += n;
+  }
+}
+
+std::uint32_t Association::peer_rwnd_avail_() const {
+  if (outstanding_bytes_ >= peer_arwnd_) return 0;
+  return peer_arwnd_ - static_cast<std::uint32_t>(outstanding_bytes_);
+}
+
+void Association::try_transmit_() {
+  if (state_ != AssocState::kEstablished &&
+      state_ != AssocState::kShutdownPending &&
+      state_ != AssocState::kShutdownReceived)
+    return;
+  // Burst mitigation (RFC 2960 §6.1 guideline): at each send opportunity a
+  // path may not grow its flight beyond flightsize + max_burst*PMTU. This
+  // preserves ACK clocking — without it a large cwnd empties into the NIC
+  // queue as one giant burst and causes self-inflicted drops.
+  for (std::size_t pi = 0; pi < paths_.size(); ++pi) {
+    burst_cap_[pi] = paths_[pi].flight + cfg_.max_burst * cfg_.pmtu;
+  }
+  unsigned burst = 0;
+  while (burst < cfg_.max_burst) {
+    // Retransmissions go first, to their designated path.
+    std::size_t rtx_path = SIZE_MAX;
+    for (const auto& [tsn, oc] : inflight_) {
+      if (oc.marked_rtx) {
+        rtx_path = oc.rtx_path != SIZE_MAX ? oc.rtx_path : oc.path;
+        break;
+      }
+    }
+    if (rtx_path != SIZE_MAX) {
+      if (!build_and_send_packet_(rtx_path, /*allow_new_data=*/false)) break;
+    } else {
+      // CMT (paper §5): stripe new data round-robin over active paths;
+      // stock behaviour sends all new data to the primary.
+      std::size_t dest = primary_path_;
+      if (cfg_.cmt_enabled) {
+        for (std::size_t k = 0; k < paths_.size(); ++k) {
+          const std::size_t idx = (cmt_next_path_ + k) % paths_.size();
+          if (paths_[idx].active) {
+            dest = idx;
+            cmt_next_path_ = idx + 1;
+            break;
+          }
+        }
+      }
+      if (!build_and_send_packet_(dest, /*allow_new_data=*/true)) break;
+    }
+    ++burst;
+  }
+  maybe_progress_shutdown_();
+}
+
+bool Association::build_and_send_packet_(std::size_t path_idx,
+                                         bool allow_new_data) {
+  Path& path = paths_[path_idx];
+  SctpPacket pkt;
+  pkt.sport = socket_.port();
+  pkt.dport = peer_port_;
+  pkt.vtag = peer_vtag_;
+
+  std::size_t room =
+      cfg_.pmtu - net::kIpHeaderBytes - kCommonHeaderBytes;
+  bool has_data = false;
+
+  // Piggyback a pending SACK (bundling, paper Fig. 1) — but only onto
+  // packets headed for the path the data arrived on; a SACK must go back
+  // to the sender's source address or a dead primary path swallows it.
+  if ((sack_immediately_ || sack_timer_.armed()) &&
+      path_idx == last_data_path_ && tsn_map_ != nullptr) {
+    SackChunk sack;
+    sack.cum_tsn_ack = tsn_map_->cum_tsn();
+    const std::size_t held = inbound_->buffered_bytes() + unread_bytes_;
+    sack.a_rwnd = static_cast<std::uint32_t>(
+        cfg_.rcvbuf > held ? cfg_.rcvbuf - held : 0);
+    sack.gaps = tsn_map_->gap_blocks();
+    sack.dup_tsns = tsn_map_->take_duplicates();
+    TypedChunk tc{ChunkType::kSack, std::move(sack)};
+    if (tc.wire_bytes() <= room) {
+      room -= tc.wire_bytes();
+      pkt.chunks.push_back(std::move(tc));
+      sack_immediately_ = false;
+      sack_timer_.cancel();
+      packets_since_sack_ = 0;
+      ++stats_.sacks_sent;
+    }
+  }
+
+  // Bundle retransmissions destined for this path.
+  bool rtx_added = false;
+  for (auto& [tsn, oc] : inflight_) {
+    if (!oc.marked_rtx) continue;
+    const std::size_t dest =
+        oc.rtx_path != SIZE_MAX ? oc.rtx_path : oc.path;
+    if (dest != path_idx) continue;
+    TypedChunk tc{ChunkType::kData, oc.data};
+    if (tc.wire_bytes() > room) break;
+    room -= tc.wire_bytes();
+    pkt.chunks.push_back(std::move(tc));
+    oc.marked_rtx = false;
+    oc.rtx_path = SIZE_MAX;
+    oc.path = path_idx;
+    oc.sent_time = sim_.now();
+    oc.missing_reports = 0;
+    ++oc.tx_count;
+    path.flight += oc.data.payload.size();
+    outstanding_bytes_ += oc.data.payload.size();
+    ++stats_.retransmits;
+    has_data = true;
+    rtx_added = true;
+  }
+
+  // Bundle new data while congestion and flow control allow.
+  if (allow_new_data && !rtx_added) {
+    while (!sendq_.empty()) {
+      OutChunk& oc = sendq_.front();
+      const std::size_t size = oc.data.payload.size();
+      // cwnd: a sender with any room may send a full chunk (RFC 2960 §6.1B:
+      // "when cwnd is 1 byte ... it can send a full PMTU", paper §4.1.1).
+      if (has_data_on_path_over_cwnd_(path)) break;
+      if (path.flight >= burst_cap_[path_idx]) break;  // burst mitigation
+      // Peer rwnd; the zero-window probe rule permits one chunk in flight.
+      if (size > peer_rwnd_avail_() &&
+          !(peer_rwnd_avail_() == 0 && outstanding_bytes_ == 0 &&
+            !has_data))
+        break;
+      TypedChunk tc{ChunkType::kData, oc.data};
+      if (tc.wire_bytes() > room) break;
+      room -= tc.wire_bytes();
+      oc.path = path_idx;
+      oc.sent_time = sim_.now();
+      oc.tx_count = 1;
+      path.flight += size;
+      outstanding_bytes_ += size;
+      highest_tsn_sent_ = oc.data.tsn;
+      if (!path.rtt_sampling) {
+        path.rtt_sampling = true;
+        path.rtt_tsn = oc.data.tsn;
+        path.rtt_start = sim_.now();
+      }
+      pkt.chunks.push_back(std::move(tc));
+      inflight_.emplace(oc.data.tsn, std::move(oc));
+      sendq_.pop_front();
+      ++stats_.data_chunks_sent;
+      has_data = true;
+      // Probe sent into a zero window: stop after one chunk.
+      if (peer_rwnd_avail_() == 0) break;
+    }
+  }
+
+  if (pkt.chunks.empty()) return false;
+  if (has_data && !path.t3->armed()) arm_t3_(path_idx);
+  SCTPDBG("[%f] port %u assoc %u TX path=%zu chunks=%zu data=%d flight=%zu\n", (double)sim_.now()/1e9, socket_.port(), id_, path_idx, pkt.chunks.size(), (int)has_data, path.flight);
+  transmit_packet_(std::move(pkt), path_idx);
+  return true;
+}
+
+bool Association::has_data_on_path_over_cwnd_(const Path& p) const {
+  return p.flight >= p.cwnd;
+}
+
+std::size_t Association::pick_rtx_path_(std::size_t original) const {
+  if (!cfg_.retransmit_on_alternate_path) return original;
+  // Next active path after the original (RFC 2960 §6.4.1).
+  for (std::size_t k = 1; k <= paths_.size(); ++k) {
+    const std::size_t idx = (original + k) % paths_.size();
+    if (paths_[idx].active) return idx;
+  }
+  return original;
+}
+
+void Association::send_chunk_now_(TypedChunk&& chunk, std::size_t path_idx) {
+  SctpPacket pkt;
+  pkt.sport = socket_.port();
+  pkt.dport = peer_port_;
+  pkt.vtag = peer_vtag_;
+  pkt.chunks.push_back(std::move(chunk));
+  transmit_packet_(std::move(pkt), path_idx);
+}
+
+void Association::transmit_packet_(SctpPacket&& pkt, std::size_t path_idx) {
+  ++stats_.packets_sent;
+  socket_.stack().transmit(pkt, paths_[path_idx].addr, net::kAddrAny);
+}
+
+// ---------------------------------------------------------------------------
+// SACK processing (sender side)
+// ---------------------------------------------------------------------------
+
+void Association::handle_sack_(const SackChunk& sack) {
+  SCTPDBG("[%f] port %u assoc %u SACK cum=%u gaps=%zu arwnd=%u inflight=%zu\n", (double)sim_.now()/1e9, socket_.port(), id_, sack.cum_tsn_ack, sack.gaps.size(), sack.a_rwnd, inflight_.size());
+  ++stats_.sacks_received;
+  peer_arwnd_ = sack.a_rwnd;
+
+  const std::uint32_t cum = sack.cum_tsn_ack;
+  std::map<std::size_t, std::uint32_t> acked_per_path;
+  bool cum_advanced = false;
+
+  // Cumulative acknowledgment: everything <= cum is done.
+  while (!inflight_.empty()) {
+    auto it = inflight_.begin();
+    if (seq_gt(it->first, cum)) break;
+    OutChunk& oc = it->second;
+    const std::size_t size = oc.data.payload.size();
+    if (!oc.sacked && !oc.marked_rtx) {
+      paths_[oc.path].flight -= std::min(paths_[oc.path].flight, size);
+      outstanding_bytes_ -= std::min(outstanding_bytes_, size);
+      acked_per_path[oc.path] += static_cast<std::uint32_t>(size);
+    } else if (oc.sacked) {
+      // already counted when gap-acked
+    } else {
+      acked_per_path[oc.path] += static_cast<std::uint32_t>(size);
+    }
+    Path& p = paths_[oc.path];
+    if (p.rtt_sampling && oc.data.tsn == p.rtt_tsn) {
+      p.rtt_sampling = false;
+      if (oc.tx_count == 1) {  // Karn: never time retransmitted chunks
+        update_path_rtt_(p, sim_.now() - oc.sent_time);
+      }
+    }
+    sndbuf_used_ -= std::min(sndbuf_used_, size);
+    cum_advanced = true;
+    inflight_.erase(it);
+  }
+
+  // Gap-ack blocks: mark chunks the peer holds above the cumulative point.
+  std::uint32_t highest_sacked = cum;
+  for (const GapBlock& g : sack.gaps) {
+    const std::uint32_t lo = cum + g.start;
+    const std::uint32_t hi = cum + g.end;
+    if (seq_gt(hi, highest_sacked)) highest_sacked = hi;
+    for (auto it = inflight_.lower_bound(lo);
+         it != inflight_.end() && seq_leq(it->first, hi); ++it) {
+      OutChunk& oc = it->second;
+      if (oc.sacked) continue;
+      oc.sacked = true;
+      if (!oc.marked_rtx) {
+        paths_[oc.path].flight -=
+            std::min(paths_[oc.path].flight, oc.data.payload.size());
+        outstanding_bytes_ -=
+            std::min(outstanding_bytes_, oc.data.payload.size());
+      }
+      oc.marked_rtx = false;
+      acked_per_path[oc.path] +=
+          static_cast<std::uint32_t>(oc.data.payload.size());
+      Path& p = paths_[oc.path];
+      if (p.rtt_sampling && oc.data.tsn == p.rtt_tsn) {
+        p.rtt_sampling = false;
+        if (oc.tx_count == 1) update_path_rtt_(p, sim_.now() - oc.sent_time);
+      }
+    }
+  }
+
+  // Missing reports -> fast retransmit after N strikes (RFC 2960 §7.2.4,
+  // New-Reno variant: all missing chunks are marked at once).
+  bool newly_marked = false;
+  std::set<std::size_t> cut_paths;
+  for (auto& [tsn, oc] : inflight_) {
+    if (!seq_lt(tsn, highest_sacked)) break;
+    if (oc.sacked || oc.marked_rtx) continue;
+    // RFC 2960 §7.2.4: fast-retransmit a TSN at most once; a chunk lost
+    // again waits for T3 (the era behaviour the paper measured). With
+    // fast_rtx_once_per_tsn=false, fresh missing reports (the counter
+    // resets on every transmission) may re-trigger fast retransmit — the
+    // stronger multiple-loss recovery of the New-Reno SCTP variant the
+    // paper cites; bounded, so no retransmission storm.
+    if (cfg_.fast_rtx_once_per_tsn && oc.fast_rtxed) continue;
+    ++oc.missing_reports;
+    if (oc.missing_reports >= cfg_.missing_report_threshold) {
+      oc.marked_rtx = true;
+      oc.fast_rtxed = true;
+      oc.rtx_path = pick_rtx_path_(oc.path);
+      paths_[oc.path].flight -=
+          std::min(paths_[oc.path].flight, oc.data.payload.size());
+      outstanding_bytes_ -=
+          std::min(outstanding_bytes_, oc.data.payload.size());
+      cut_paths.insert(oc.path);
+      newly_marked = true;
+    }
+  }
+  if (newly_marked) {
+    if (!fast_recovery_) {
+      fast_recovery_ = true;
+      fast_recovery_exit_ = highest_tsn_sent_;
+      ++stats_.fast_retransmits;
+      const auto mtu32 = static_cast<std::uint32_t>(cfg_.pmtu);
+      for (std::size_t pi : cut_paths) {
+        Path& p = paths_[pi];
+        p.ssthresh = std::max(p.cwnd / 2, 2 * mtu32);
+        p.cwnd = p.ssthresh;
+        p.partial_bytes_acked = 0;
+      }
+    }
+  }
+  if (fast_recovery_ && seq_geq(cum, fast_recovery_exit_)) {
+    fast_recovery_ = false;
+    // New-Reno SCTP (paper §4.1.1, citing Caro et al.): start the next
+    // recovery epoch with clean missing-report counters so chunks lost
+    // again can be fast-retransmitted instead of stalling for T3.
+    for (auto& [tsn, oc] : inflight_) {
+      oc.missing_reports = 0;
+    }
+  }
+
+  // Congestion window growth per path (byte counting: paper §4.1.1).
+  const auto mtu32 = static_cast<std::uint32_t>(cfg_.pmtu);
+  for (auto& [pi, bytes] : acked_per_path) {
+    Path& p = paths_[pi];
+    p.error_count = 0;
+    p.backoff_shift = 0;
+    assoc_error_count_ = 0;
+    if (fast_recovery_) continue;
+    if (p.cwnd <= p.ssthresh) {
+      // Slow start: grow by bytes acknowledged (capped at one PMTU per
+      // SACK), not by SACK count — SCTP recovers cwnd faster than
+      // ACK-counted TCP with delayed ACKs.
+      p.cwnd += cfg_.byte_counting ? std::min(bytes, mtu32) : mtu32;
+    } else {
+      p.partial_bytes_acked += bytes;
+      if (p.partial_bytes_acked >= p.cwnd && p.flight + bytes >= p.cwnd) {
+        p.partial_bytes_acked -= p.cwnd;
+        p.cwnd += mtu32;
+      }
+    }
+    p.cwnd = std::min(p.cwnd, static_cast<std::uint32_t>(cfg_.sndbuf));
+  }
+
+  // T3 management (RFC 2960 §6.3.2).
+  if (cum_advanced) {
+    for (std::size_t pi = 0; pi < paths_.size(); ++pi) {
+      if (paths_[pi].flight == 0) {
+        paths_[pi].t3->cancel();
+      } else if (paths_[pi].t3->armed()) {
+        arm_t3_(pi);  // restart
+      }
+    }
+  }
+  stop_t3_if_idle_();
+
+  try_transmit_();
+  maybe_progress_shutdown_();
+  socket_.notify_activity_();
+}
+
+void Association::arm_t3_(std::size_t path_idx) {
+  Path& p = paths_[path_idx];
+  p.t3->arm(std::min(p.rto << std::min(p.backoff_shift, 8u), cfg_.rto_max));
+}
+
+void Association::stop_t3_if_idle_() {
+  if (!inflight_.empty() || !sendq_.empty()) return;
+  for (auto& p : paths_) p.t3->cancel();
+}
+
+void Association::on_t3_timeout_(std::size_t path_idx) {
+  Path& path = paths_[path_idx];
+  SCTPDBG("[%f] port %u assoc %u T3 path=%zu err=%u flight=%zu inflight=%zu sendq=%zu\n", (double)sim_.now()/1e9, socket_.port(), id_, path_idx, path.error_count, path.flight, inflight_.size(), sendq_.size());
+  ++stats_.timeouts;
+  ++path.error_count;
+  ++assoc_error_count_;
+  if (path.backoff_shift < 8) ++path.backoff_shift;
+  path.rtt_sampling = false;  // Karn
+
+  if (assoc_error_count_ > cfg_.assoc_max_retrans) {
+    enter_closed_(/*lost=*/true);
+    return;
+  }
+  if (path.active && path.error_count > cfg_.path_max_retrans &&
+      paths_.size() > 1) {
+    path.active = false;
+    socket_.notify_(Notification{NotificationType::kPathFailover, id_,
+                                 path.addr});
+    ++stats_.path_failovers;
+    if (path_idx == primary_path_) {
+      for (std::size_t k = 0; k < paths_.size(); ++k) {
+        if (paths_[k].active) {
+          primary_path_ = k;
+          break;
+        }
+      }
+    }
+  }
+
+  // Collapse this path's window and mark everything it carried for
+  // retransmission on an alternate path (paper §4.1.1 retransmission
+  // policy).
+  const auto mtu32 = static_cast<std::uint32_t>(cfg_.pmtu);
+  path.ssthresh = std::max(path.cwnd / 2, 2 * mtu32);
+  path.cwnd = mtu32;
+  path.partial_bytes_acked = 0;
+  fast_recovery_ = false;
+
+  const std::size_t rtx_dest = pick_rtx_path_(path_idx);
+  for (auto& [tsn, oc] : inflight_) {
+    if (oc.path != path_idx || oc.sacked || oc.marked_rtx) continue;
+    oc.marked_rtx = true;
+    oc.rtx_path = rtx_dest;
+    path.flight -= std::min(path.flight, oc.data.payload.size());
+    outstanding_bytes_ -=
+        std::min(outstanding_bytes_, oc.data.payload.size());
+  }
+  try_transmit_();
+  // Keep a timer running while anything is outstanding anywhere.
+  for (std::size_t pi = 0; pi < paths_.size(); ++pi) {
+    if (paths_[pi].flight > 0 && !paths_[pi].t3->armed()) arm_t3_(pi);
+  }
+  if (inflight_.empty() && sendq_.empty()) return;
+  bool any_armed = false;
+  for (auto& p : paths_) any_armed |= p.t3->armed();
+  if (!any_armed) arm_t3_(rtx_dest);
+}
+
+void Association::update_path_rtt_(Path& p, sim::SimTime measured) {
+  if (p.srtt == 0) {
+    p.srtt = measured;
+    p.rttvar = measured / 2;
+  } else {
+    const sim::SimTime err =
+        measured > p.srtt ? measured - p.srtt : p.srtt - measured;
+    p.rttvar = (3 * p.rttvar + err) / 4;
+    p.srtt = (7 * p.srtt + measured) / 8;
+  }
+  p.rto = std::clamp(p.srtt + std::max<sim::SimTime>(4 * p.rttvar, 1),
+                     cfg_.rto_min, cfg_.rto_max);
+}
+
+// ---------------------------------------------------------------------------
+// Inbound data
+// ---------------------------------------------------------------------------
+
+void Association::handle_data_(const DataChunk& chunk) {
+  touch_autoclose_();
+  // Receive-buffer admission: drop chunks that do not fit (flow control;
+  // sender's T3 will retry once the window reopens via SACK a_rwnd).
+  const std::size_t held = inbound_->buffered_bytes() + unread_bytes_;
+  if (held + chunk.payload.size() > cfg_.rcvbuf) {
+    SCTPDBG("[%f] assoc %u DROP tsn=%u held=%zu payload=%zu\n", (double)sim_.now()/1e9, id_, chunk.tsn, held, chunk.payload.size());
+    schedule_sack_(true);  // report the shrunken window promptly
+    return;
+  }
+  if (!tsn_map_->record(chunk.tsn)) {
+    ++stats_.duplicate_tsns;
+    schedule_sack_(true);  // duplicates trigger an immediate SACK
+    return;
+  }
+  ++stats_.data_chunks_received;
+  inbound_->accept(chunk);
+  while (auto msg = inbound_->pop()) {
+    const std::size_t size = msg->data.size();
+    inbound_->on_consumed(size);
+    unread_bytes_ += size;
+    stats_.bytes_received += size;
+    socket_.deliver_message_(*this, std::move(*msg));
+  }
+}
+
+void Association::on_app_consumed(std::size_t bytes) {
+  const bool was_tight =
+      inbound_ != nullptr &&
+      (inbound_->buffered_bytes() + unread_bytes_) * 2 > cfg_.rcvbuf;
+  unread_bytes_ -= std::min(unread_bytes_, bytes);
+  // If the window had been mostly closed, tell the peer it reopened.
+  if (was_tight) schedule_sack_(true);
+}
+
+void Association::schedule_sack_(bool immediate) {
+  if (immediate || (tsn_map_ && tsn_map_->has_gaps() &&
+                    cfg_.immediate_sack_on_gap)) {
+    send_sack_now_();
+    return;
+  }
+  ++packets_since_sack_;
+  if (packets_since_sack_ >= cfg_.sack_every_n_packets) {
+    send_sack_now_();
+  } else if (!sack_timer_.armed()) {
+    sack_timer_.arm(cfg_.sack_delay);
+  }
+}
+
+void Association::send_sack_now_() {
+  if (tsn_map_ == nullptr) return;
+  sack_immediately_ = true;
+  try_transmit_();  // bundles the SACK with any outgoing data
+  if (!sack_immediately_) return;  // it went out piggybacked
+  SackChunk sack;
+  sack.cum_tsn_ack = tsn_map_->cum_tsn();
+  const std::size_t held = inbound_->buffered_bytes() + unread_bytes_;
+  sack.a_rwnd = static_cast<std::uint32_t>(
+      cfg_.rcvbuf > held ? cfg_.rcvbuf - held : 0);
+  sack.gaps = tsn_map_->gap_blocks();
+  sack.dup_tsns = tsn_map_->take_duplicates();
+  sack_immediately_ = false;
+  sack_timer_.cancel();
+  packets_since_sack_ = 0;
+  ++stats_.sacks_sent;
+  send_chunk_now_(TypedChunk{ChunkType::kSack, std::move(sack)},
+                  last_data_path_);
+}
+
+// ---------------------------------------------------------------------------
+// Packet input
+// ---------------------------------------------------------------------------
+
+void Association::on_packet(SctpPacket&& pkt, net::IpAddr from) {
+  ++stats_.packets_received;
+  const std::size_t from_path = path_index_(from);
+  if (from_path != SIZE_MAX) last_data_path_ = from_path;
+
+  bool saw_data = false;
+  for (TypedChunk& tc : pkt.chunks) {
+    switch (tc.type) {
+      case ChunkType::kData:
+        saw_data = true;
+        handle_data_(std::get<DataChunk>(tc.body));
+        break;
+      case ChunkType::kSack:
+        handle_sack_(std::get<SackChunk>(tc.body));
+        break;
+      case ChunkType::kInitAck:
+        on_init_ack_(std::get<InitChunk>(tc.body), from);
+        break;
+      case ChunkType::kCookieAck:
+        on_cookie_ack_();
+        break;
+      case ChunkType::kHeartbeat:
+      case ChunkType::kHeartbeatAck:
+        handle_heartbeat_(std::get<HeartbeatChunk>(tc.body), from);
+        break;
+      case ChunkType::kShutdown:
+        handle_shutdown_(std::get<ShutdownChunk>(tc.body));
+        break;
+      case ChunkType::kShutdownAck:
+        if (state_ == AssocState::kShutdownSent ||
+            state_ == AssocState::kShutdownAckSent) {
+          send_chunk_now_(TypedChunk{ChunkType::kShutdownComplete,
+                                     ShutdownCompleteChunk{}},
+                          primary_path_);
+          enter_closed_(/*lost=*/false);
+          return;
+        }
+        break;
+      case ChunkType::kShutdownComplete:
+        if (state_ == AssocState::kShutdownAckSent) {
+          enter_closed_(/*lost=*/false);
+          return;
+        }
+        break;
+      case ChunkType::kAbort:
+        enter_closed_(/*lost=*/true);
+        return;
+      case ChunkType::kError: {
+        // Stale-cookie error (RFC 2960 §5.2.6): our COOKIE-ECHO outlived
+        // the cookie's lifetime; restart the handshake with a fresh INIT.
+        const auto& err = std::get<ErrorChunk>(tc.body);
+        SCTPDBG("[%f] port %u assoc %u ERROR cause=%u state=%s\n", (double)sim_.now()/1e9, socket_.port(), id_, err.cause, to_string(state_));
+        if (err.cause == 3 && state_ == AssocState::kCookieEchoed) {
+          cookie_.clear();
+          state_ = AssocState::kCookieWait;
+          init_retries_ = 0;
+          send_init_();
+          t1_timer_.arm(cfg_.rto_initial);
+        }
+        break;
+      }
+      case ChunkType::kInit:
+      case ChunkType::kCookieEcho:
+        break;  // handled at socket level / ignored here
+    }
+    if (state_ == AssocState::kClosed) return;
+  }
+  if (saw_data) schedule_sack_(false);
+  socket_.notify_activity_();
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats & paths
+// ---------------------------------------------------------------------------
+
+std::size_t Association::path_index_(net::IpAddr a) const {
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    if (paths_[i].addr == a) return i;
+  }
+  return SIZE_MAX;
+}
+
+void Association::start_heartbeats_() {
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    paths_[i].hb_timer->arm(cfg_.hb_interval + paths_[i].rto +
+                            static_cast<sim::SimTime>(i) * sim::kMillisecond);
+  }
+}
+
+void Association::on_hb_timer_(std::size_t path_idx) {
+  Path& p = paths_[path_idx];
+  if (state_ != AssocState::kEstablished) return;
+  if (p.hb_outstanding) {
+    // Previous heartbeat went unanswered.
+    p.hb_outstanding = false;
+    path_error_(path_idx);
+    if (state_ == AssocState::kClosed) return;
+  }
+  if (p.flight == 0) {  // only probe idle paths
+    HeartbeatChunk hb;
+    hb.path_addr = p.addr;
+    hb.timestamp = static_cast<std::uint64_t>(sim_.now());
+    p.hb_outstanding = true;
+    p.last_hb_ts = hb.timestamp;
+    send_chunk_now_(TypedChunk{ChunkType::kHeartbeat, hb}, path_idx);
+  }
+  p.hb_timer->arm(cfg_.hb_interval + p.rto);
+}
+
+void Association::handle_heartbeat_(const HeartbeatChunk& hb,
+                                    net::IpAddr from) {
+  if (!hb.is_ack) {
+    HeartbeatChunk ack = hb;
+    ack.is_ack = true;
+    const std::size_t p = path_index_(from);
+    send_chunk_now_(TypedChunk{ChunkType::kHeartbeatAck, ack},
+                    p == SIZE_MAX ? primary_path_ : p);
+    return;
+  }
+  const std::size_t pi = path_index_(hb.path_addr);
+  if (pi == SIZE_MAX) return;
+  Path& p = paths_[pi];
+  p.hb_outstanding = false;
+  p.error_count = 0;
+  assoc_error_count_ = 0;  // RFC 2960 §8.1: HB-ACK clears the counter
+  update_path_rtt_(p, sim_.now() - static_cast<sim::SimTime>(hb.timestamp));
+  if (!p.active) mark_path_active_(pi);
+}
+
+void Association::path_error_(std::size_t path_idx) {
+  Path& p = paths_[path_idx];
+  ++p.error_count;
+  ++assoc_error_count_;
+  if (assoc_error_count_ > cfg_.assoc_max_retrans) {
+    enter_closed_(/*lost=*/true);
+    return;
+  }
+  if (p.active && p.error_count > cfg_.path_max_retrans && paths_.size() > 1) {
+    p.active = false;
+    ++stats_.path_failovers;
+    socket_.notify_(
+        Notification{NotificationType::kPathFailover, id_, p.addr});
+    if (path_idx == primary_path_) {
+      for (std::size_t k = 0; k < paths_.size(); ++k) {
+        if (paths_[k].active) {
+          primary_path_ = k;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Association::mark_path_active_(std::size_t path_idx) {
+  Path& p = paths_[path_idx];
+  p.active = true;
+  p.error_count = 0;
+  socket_.notify_(
+      Notification{NotificationType::kPathRestored, id_, p.addr});
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown / teardown
+// ---------------------------------------------------------------------------
+
+void Association::shutdown() {
+  if (state_ == AssocState::kEstablished) {
+    state_ = AssocState::kShutdownPending;
+    maybe_progress_shutdown_();
+  }
+}
+
+void Association::abort() {
+  if (state_ == AssocState::kClosed) return;
+  send_chunk_now_(TypedChunk{ChunkType::kAbort, AbortChunk{}}, primary_path_);
+  enter_closed_(/*lost=*/true);
+}
+
+void Association::maybe_progress_shutdown_() {
+  const bool drained = sendq_.empty() && inflight_.empty();
+  switch (state_) {
+    case AssocState::kShutdownPending:
+      if (drained) {
+        state_ = AssocState::kShutdownSent;
+        send_chunk_now_(
+            TypedChunk{ChunkType::kShutdown,
+                       ShutdownChunk{tsn_map_ ? tsn_map_->cum_tsn() : 0}},
+            primary_path_);
+        t2_timer_.arm(paths_[primary_path_].rto);
+      }
+      break;
+    case AssocState::kShutdownSent:
+      if (!t2_timer_.armed()) {
+        // T2 expiry: retransmit SHUTDOWN.
+        ++assoc_error_count_;
+        if (assoc_error_count_ > cfg_.assoc_max_retrans) {
+          enter_closed_(/*lost=*/true);
+          return;
+        }
+        send_chunk_now_(
+            TypedChunk{ChunkType::kShutdown,
+                       ShutdownChunk{tsn_map_ ? tsn_map_->cum_tsn() : 0}},
+            primary_path_);
+        t2_timer_.arm(paths_[primary_path_].rto);
+      }
+      break;
+    case AssocState::kShutdownReceived:
+      if (drained) {
+        state_ = AssocState::kShutdownAckSent;
+        send_chunk_now_(TypedChunk{ChunkType::kShutdownAck,
+                                   ShutdownAckChunk{}},
+                        primary_path_);
+        t2_timer_.arm(paths_[primary_path_].rto);
+      }
+      break;
+    case AssocState::kShutdownAckSent:
+      if (!t2_timer_.armed()) {
+        ++assoc_error_count_;
+        if (assoc_error_count_ > cfg_.assoc_max_retrans) {
+          enter_closed_(/*lost=*/true);
+          return;
+        }
+        send_chunk_now_(TypedChunk{ChunkType::kShutdownAck,
+                                   ShutdownAckChunk{}},
+                        primary_path_);
+        t2_timer_.arm(paths_[primary_path_].rto);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void Association::handle_shutdown_(const ShutdownChunk& sd) {
+  // The SHUTDOWN carries the peer's cumulative TSN: treat it like a SACK.
+  SackChunk synthetic;
+  synthetic.cum_tsn_ack = sd.cum_tsn_ack;
+  synthetic.a_rwnd = peer_arwnd_;
+  handle_sack_(synthetic);
+  if (state_ == AssocState::kEstablished ||
+      state_ == AssocState::kShutdownPending) {
+    state_ = AssocState::kShutdownReceived;
+  }
+  maybe_progress_shutdown_();
+}
+
+void Association::enter_closed_(bool lost) {
+  state_ = AssocState::kClosed;
+  t1_timer_.cancel();
+  t2_timer_.cancel();
+  sack_timer_.cancel();
+  autoclose_timer_.cancel();
+  for (auto& p : paths_) {
+    p.t3->cancel();
+    p.hb_timer->cancel();
+  }
+  sendq_.clear();
+  inflight_.clear();
+  outstanding_bytes_ = 0;
+  socket_.notify_(Notification{
+      lost ? NotificationType::kCommLost : NotificationType::kShutdownComplete,
+      id_, paths_.empty() ? net::IpAddr{} : paths_[0].addr});
+  socket_.remove_association_(id_);
+}
+
+void Association::touch_autoclose_() {
+  if (cfg_.autoclose > 0 && state_ == AssocState::kEstablished) {
+    autoclose_timer_.arm(cfg_.autoclose);
+  }
+}
+
+}  // namespace sctpmpi::sctp

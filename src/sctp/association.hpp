@@ -1,0 +1,263 @@
+// SCTP association: the unit the paper maps to an MPI peer (rank).
+//
+// Implements RFC 2960-era semantics: four-way cookie handshake with signed
+// state cookies and verification tags, TSN/SSN/SID sequencing with
+// fragmentation and bundling, delayed/immediate SACKs with unlimited
+// gap-ack blocks, per-path congestion control with byte-counted window
+// growth and New-Reno-style fast retransmit (4 missing reports), per-path
+// RTO with exponential backoff, multihoming with heartbeats, path failover
+// and retransmission on alternate paths, zero-window probing, autoclose,
+// and graceful shutdown.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/bytes.hpp"
+#include "sctp/chunk.hpp"
+#include "sctp/config.hpp"
+#include "sctp/streams.hpp"
+#include "sctp/tsn_map.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace sctpmpi::sctp {
+
+class SctpSocket;
+class SctpStack;
+
+using AssocId = std::uint32_t;
+
+enum class AssocState {
+  kClosed,
+  kCookieWait,    // INIT sent
+  kCookieEchoed,  // COOKIE-ECHO sent
+  kEstablished,
+  kShutdownPending,
+  kShutdownSent,
+  kShutdownReceived,
+  kShutdownAckSent,
+};
+
+const char* to_string(AssocState s);
+
+struct AssocStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t data_chunks_sent = 0;      // excluding retransmissions
+  std::uint64_t data_chunks_received = 0;  // excluding duplicates
+  std::uint64_t bytes_sent = 0;            // user payload accepted
+  std::uint64_t bytes_received = 0;        // user payload delivered
+  std::uint64_t retransmits = 0;
+  std::uint64_t fast_retransmits = 0;      // fast-rtx events
+  std::uint64_t timeouts = 0;              // T3 expirations
+  std::uint64_t sacks_sent = 0;
+  std::uint64_t sacks_received = 0;
+  std::uint64_t duplicate_tsns = 0;
+  std::uint64_t path_failovers = 0;
+};
+
+/// One peer destination address with its own congestion and error state
+/// (RFC 2960 §7.2.4: congestion control variables are path specific).
+struct Path {
+  explicit Path(net::IpAddr a) : addr(a) {}
+
+  net::IpAddr addr;
+  bool active = true;
+  std::uint32_t cwnd = 0;
+  std::uint32_t ssthresh = 0;
+  std::uint32_t partial_bytes_acked = 0;
+  std::size_t flight = 0;  // outstanding bytes sent on this path
+  sim::SimTime srtt = 0;
+  sim::SimTime rttvar = 0;
+  sim::SimTime rto = 0;
+  unsigned backoff_shift = 0;
+  unsigned error_count = 0;
+  bool hb_outstanding = false;
+  std::uint64_t last_hb_ts = 0;
+  std::unique_ptr<sim::Timer> t3;        // retransmission timer
+  std::unique_ptr<sim::Timer> hb_timer;  // heartbeat scheduler
+  // One Karn-style RTT measurement in progress at a time.
+  bool rtt_sampling = false;
+  std::uint32_t rtt_tsn = 0;
+  sim::SimTime rtt_start = 0;
+};
+
+class Association {
+ public:
+  Association(SctpSocket& socket, AssocId id, std::uint16_t peer_port,
+              std::vector<net::IpAddr> peer_addrs);
+  ~Association();
+  Association(const Association&) = delete;
+  Association& operator=(const Association&) = delete;
+
+  // ---- control ----------------------------------------------------------
+  /// Active open: send INIT and run the four-way handshake.
+  void start_init();
+  /// Passive establishment from a verified COOKIE-ECHO (socket calls this).
+  void establish_from_cookie(const struct StateCookie& cookie);
+  /// Graceful shutdown: flush outstanding data, then SHUTDOWN handshake.
+  void shutdown();
+  /// Hard abort: send ABORT, drop all state.
+  void abort();
+
+  // ---- data -------------------------------------------------------------
+  /// Queues a user message on stream `sid`. Returns the byte count, kAgain
+  /// when the send buffer is full, kMsgSize when the message exceeds the
+  /// send buffer (the sctp_sendmsg limit the paper works around in §3.4),
+  /// or kError when the association is down.
+  std::ptrdiff_t sendmsg(std::uint16_t sid, std::span<const std::byte> data,
+                         std::uint32_t ppid, bool unordered) {
+    return sendmsg_gather(sid, data, {}, ppid, unordered);
+  }
+
+  /// Gather variant: sends head followed by body as ONE user message (used
+  /// by the MPI middleware to prepend the envelope without copying).
+  std::ptrdiff_t sendmsg_gather(std::uint16_t sid,
+                                std::span<const std::byte> head,
+                                std::span<const std::byte> body,
+                                std::uint32_t ppid, bool unordered);
+
+  /// Packet input (already vtag-checked by the socket).
+  void on_packet(SctpPacket&& pkt, net::IpAddr from);
+
+  // ---- queries ----------------------------------------------------------
+  AssocId id() const { return id_; }
+  AssocState state() const { return state_; }
+  bool established() const { return state_ == AssocState::kEstablished; }
+  bool writable() const;
+  std::uint32_t local_vtag() const { return local_vtag_; }
+  std::uint32_t peer_vtag() const { return peer_vtag_; }
+  std::uint16_t peer_port() const { return peer_port_; }
+  const std::vector<Path>& paths() const { return paths_; }
+  std::size_t primary_path() const { return primary_path_; }
+  void set_primary_path(std::size_t i) { primary_path_ = i; }
+  const AssocStats& stats() const { return stats_; }
+  std::uint16_t num_ostreams() const { return num_ostreams_; }
+  std::size_t send_buffered() const { return sndbuf_used_; }
+
+  /// Receive-buffer byte accounting hook from the socket (rwnd reopens).
+  void on_app_consumed(std::size_t bytes);
+
+  static constexpr std::ptrdiff_t kAgain = -1;
+  static constexpr std::ptrdiff_t kError = -2;
+  static constexpr std::ptrdiff_t kMsgSize = -3;
+
+ private:
+  friend class SctpSocket;
+
+  struct OutChunk {
+    DataChunk data;
+    std::size_t path = SIZE_MAX;   // path of last transmission
+    sim::SimTime sent_time = 0;
+    unsigned tx_count = 0;
+    unsigned missing_reports = 0;
+    bool sacked = false;           // gap-acked by peer
+    bool marked_rtx = false;
+    bool fast_rtxed = false;          // already fast-retransmitted once
+    std::size_t rtx_path = SIZE_MAX;  // forced destination for rtx
+  };
+
+  // -- handshake ---------------------------------------------------------
+  void send_init_();
+  void on_init_ack_(const InitChunk& ia, net::IpAddr from);
+  void send_cookie_echo_();
+  void on_cookie_ack_();
+  void on_t1_timeout_();
+
+  // -- outbound data path --------------------------------------------------
+  void fragment_message_(std::uint16_t sid, std::span<const std::byte> head,
+                         std::span<const std::byte> body, std::uint32_t ppid,
+                         bool unordered);
+  void try_transmit_();
+  bool build_and_send_packet_(std::size_t path_idx, bool allow_new_data);
+  void send_chunk_now_(TypedChunk&& chunk, std::size_t path_idx);
+  void transmit_packet_(SctpPacket&& pkt, std::size_t path_idx);
+  std::size_t pick_rtx_path_(std::size_t original) const;
+  bool has_data_on_path_over_cwnd_(const Path& p) const;
+  std::size_t max_chunk_payload_() const;
+  std::uint32_t peer_rwnd_avail_() const;
+  std::size_t total_outstanding_() const { return outstanding_bytes_; }
+
+  // -- SACK handling -------------------------------------------------------
+  void handle_sack_(const SackChunk& sack);
+  void arm_t3_(std::size_t path_idx);
+  void stop_t3_if_idle_();
+  void on_t3_timeout_(std::size_t path_idx);
+  void update_path_rtt_(Path& p, sim::SimTime measured);
+
+  // -- inbound data path ---------------------------------------------------
+  void handle_data_(const DataChunk& chunk);
+  void schedule_sack_(bool immediate);
+  void send_sack_now_();
+
+  // -- paths / heartbeats ---------------------------------------------------
+  std::size_t path_index_(net::IpAddr a) const;
+  void start_heartbeats_();
+  void on_hb_timer_(std::size_t path_idx);
+  void handle_heartbeat_(const HeartbeatChunk& hb, net::IpAddr from);
+  void path_error_(std::size_t path_idx);
+  void mark_path_active_(std::size_t path_idx);
+
+  // -- shutdown/teardown -----------------------------------------------------
+  void maybe_progress_shutdown_();
+  void handle_shutdown_(const ShutdownChunk& sd);
+  void enter_closed_(bool lost);
+  void touch_autoclose_();
+
+  SctpSocket& socket_;
+  const SctpConfig& cfg_;
+  sim::Simulator& sim_;
+  AssocId id_;
+  AssocState state_ = AssocState::kClosed;
+  std::uint16_t peer_port_ = 0;
+
+  std::uint32_t local_vtag_ = 0;  // peers must send this tag to us
+  std::uint32_t peer_vtag_ = 0;   // we send this tag to the peer
+
+  std::vector<Path> paths_;
+  std::size_t primary_path_ = 0;
+  std::size_t cmt_next_path_ = 0;  // CMT round-robin cursor
+  unsigned assoc_error_count_ = 0;
+  unsigned init_retries_ = 0;
+
+  std::uint16_t num_ostreams_ = 0;  // negotiated outbound stream count
+
+  // Outbound.
+  std::uint32_t next_tsn_ = 0;
+  std::vector<OutStream> out_streams_;
+  std::deque<OutChunk> sendq_;  // queued, never transmitted
+  std::map<std::uint32_t, OutChunk, TsnLess> inflight_;
+  std::size_t sndbuf_used_ = 0;
+  std::size_t outstanding_bytes_ = 0;  // inflight payload not yet sacked
+  std::uint32_t peer_arwnd_ = 0;
+  std::vector<std::size_t> burst_cap_ = std::vector<std::size_t>(8, 0);
+  bool fast_recovery_ = false;
+  std::uint32_t fast_recovery_exit_ = 0;
+  std::uint32_t highest_tsn_sent_ = 0;
+
+  // Inbound.
+  std::unique_ptr<TsnMap> tsn_map_;
+  std::unique_ptr<InboundStreams> inbound_;
+  std::size_t unread_bytes_ = 0;  // delivered to socket queue, not yet read
+  std::size_t last_data_path_ = 0;  // path SACKs are sent back on
+  unsigned packets_since_sack_ = 0;
+  bool sack_immediately_ = false;
+  sim::Timer sack_timer_;
+
+  sim::Timer t1_timer_;       // INIT / COOKIE-ECHO retransmission
+  sim::Timer t2_timer_;       // SHUTDOWN retransmission
+  sim::Timer autoclose_timer_;
+
+  std::vector<std::byte> cookie_;  // held while COOKIE-ECHO is in flight
+
+  AssocStats stats_;
+};
+
+}  // namespace sctpmpi::sctp

@@ -1,0 +1,319 @@
+#include "sctp/chunk.hpp"
+
+#include <cassert>
+
+#include "sctp/crc32c.hpp"
+
+namespace sctpmpi::sctp {
+
+namespace {
+
+constexpr std::uint8_t kFlagE = 0x01;
+constexpr std::uint8_t kFlagB = 0x02;
+constexpr std::uint8_t kFlagU = 0x04;
+
+// Parameter types inside INIT/INIT-ACK.
+constexpr std::uint16_t kParamIpv4 = 5;
+constexpr std::uint16_t kParamCookie = 7;
+
+std::size_t padded(std::size_t n) { return (n + 3) & ~std::size_t{3}; }
+
+std::size_t body_bytes(const TypedChunk& c) {
+  switch (c.type) {
+    case ChunkType::kData: {
+      const auto& d = std::get<DataChunk>(c.body);
+      return 12 + d.payload.size();
+    }
+    case ChunkType::kInit:
+    case ChunkType::kInitAck: {
+      const auto& i = std::get<InitChunk>(c.body);
+      std::size_t n = 16;
+      n += i.addresses.size() * 8;  // IPv4 params
+      if (!i.cookie.empty()) n += 4 + padded(i.cookie.size());
+      return n;
+    }
+    case ChunkType::kSack: {
+      const auto& s = std::get<SackChunk>(c.body);
+      return 12 + s.gaps.size() * 4 + s.dup_tsns.size() * 4;
+    }
+    case ChunkType::kHeartbeat:
+    case ChunkType::kHeartbeatAck:
+      return 16;  // info param: addr + timestamp
+    case ChunkType::kCookieEcho:
+      return std::get<CookieEchoChunk>(c.body).cookie.size();
+    case ChunkType::kShutdown:
+      return 4;
+    case ChunkType::kError:
+      return 4;
+    case ChunkType::kAbort:
+    case ChunkType::kCookieAck:
+    case ChunkType::kShutdownAck:
+    case ChunkType::kShutdownComplete:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::size_t TypedChunk::wire_bytes() const {
+  return kChunkHeaderBytes + padded(body_bytes(*this));
+}
+
+std::size_t SctpPacket::wire_bytes() const {
+  std::size_t n = kCommonHeaderBytes;
+  for (const auto& c : chunks) n += c.wire_bytes();
+  return n;
+}
+
+std::vector<std::byte> SctpPacket::encode(bool with_crc) const {
+  std::vector<std::byte> out;
+  out.reserve(wire_bytes());
+  net::ByteWriter w(out);
+  w.u16(sport);
+  w.u16(dport);
+  w.u32(vtag);
+  const std::size_t crc_off = out.size();
+  w.u32(0);  // checksum placeholder
+
+  for (const auto& c : chunks) {
+    const std::size_t chunk_start = out.size();
+    w.u8(static_cast<std::uint8_t>(c.type));
+    std::uint8_t flags = 0;
+    if (c.type == ChunkType::kData) {
+      const auto& d = std::get<DataChunk>(c.body);
+      if (d.end) flags |= kFlagE;
+      if (d.begin) flags |= kFlagB;
+      if (d.unordered) flags |= kFlagU;
+    }
+    w.u8(flags);
+    const std::size_t len_off = out.size();
+    w.u16(0);  // length placeholder
+
+    switch (c.type) {
+      case ChunkType::kData: {
+        const auto& d = std::get<DataChunk>(c.body);
+        w.u32(d.tsn);
+        w.u16(d.sid);
+        w.u16(d.ssn);
+        w.u32(d.ppid);
+        w.bytes(d.payload);
+        break;
+      }
+      case ChunkType::kInit:
+      case ChunkType::kInitAck: {
+        const auto& i = std::get<InitChunk>(c.body);
+        w.u32(i.initiate_tag);
+        w.u32(i.a_rwnd);
+        w.u16(i.num_ostreams);
+        w.u16(i.max_instreams);
+        w.u32(i.initial_tsn);
+        for (net::IpAddr a : i.addresses) {
+          w.u16(kParamIpv4);
+          w.u16(8);
+          w.u32(a.v);
+        }
+        if (!i.cookie.empty()) {
+          w.u16(kParamCookie);
+          w.u16(static_cast<std::uint16_t>(4 + i.cookie.size()));
+          w.bytes(i.cookie);
+          w.zeros(padded(i.cookie.size()) - i.cookie.size());
+        }
+        break;
+      }
+      case ChunkType::kSack: {
+        const auto& s = std::get<SackChunk>(c.body);
+        w.u32(s.cum_tsn_ack);
+        w.u32(s.a_rwnd);
+        w.u16(static_cast<std::uint16_t>(s.gaps.size()));
+        w.u16(static_cast<std::uint16_t>(s.dup_tsns.size()));
+        for (const auto& g : s.gaps) {
+          w.u16(g.start);
+          w.u16(g.end);
+        }
+        for (std::uint32_t t : s.dup_tsns) w.u32(t);
+        break;
+      }
+      case ChunkType::kHeartbeat:
+      case ChunkType::kHeartbeatAck: {
+        const auto& h = std::get<HeartbeatChunk>(c.body);
+        w.u32(h.path_addr.v);
+        w.u64(h.timestamp);
+        w.u32(0);  // pad param to mimic real HB info size
+        break;
+      }
+      case ChunkType::kCookieEcho: {
+        const auto& ce = std::get<CookieEchoChunk>(c.body);
+        w.bytes(ce.cookie);
+        break;
+      }
+      case ChunkType::kShutdown:
+        w.u32(std::get<ShutdownChunk>(c.body).cum_tsn_ack);
+        break;
+      case ChunkType::kError: {
+        w.u16(std::get<ErrorChunk>(c.body).cause);
+        w.u16(0);
+        break;
+      }
+      case ChunkType::kAbort:
+      case ChunkType::kCookieAck:
+      case ChunkType::kShutdownAck:
+      case ChunkType::kShutdownComplete:
+        break;
+    }
+
+    const std::size_t body_len = out.size() - chunk_start;
+    w.patch_u16(len_off, static_cast<std::uint16_t>(body_len));
+    w.zeros(padded(body_len) - body_len);
+  }
+
+  if (with_crc) {
+    const std::uint32_t crc = crc32c(out);
+    w.patch_u32(crc_off, crc);
+  }
+  return out;
+}
+
+std::optional<SctpPacket> SctpPacket::decode(std::span<const std::byte> wire,
+                                             bool verify_crc) {
+  if (verify_crc) {
+    if (wire.size() < kCommonHeaderBytes) throw net::DecodeError("short SCTP");
+    std::vector<std::byte> copy(wire.begin(), wire.end());
+    const std::uint32_t got = (static_cast<std::uint32_t>(copy[8]) << 24) |
+                              (static_cast<std::uint32_t>(copy[9]) << 16) |
+                              (static_cast<std::uint32_t>(copy[10]) << 8) |
+                              static_cast<std::uint32_t>(copy[11]);
+    copy[8] = copy[9] = copy[10] = copy[11] = std::byte{0};
+    if (crc32c(copy) != got) return std::nullopt;
+  }
+
+  net::ByteReader r(wire);
+  SctpPacket p;
+  p.sport = r.u16();
+  p.dport = r.u16();
+  p.vtag = r.u32();
+  r.skip(4);  // checksum
+
+  while (r.remaining() >= kChunkHeaderBytes) {
+    const auto type = static_cast<ChunkType>(r.u8());
+    const std::uint8_t flags = r.u8();
+    const std::uint16_t len = r.u16();
+    if (len < kChunkHeaderBytes) throw net::DecodeError("bad chunk length");
+    const std::size_t body_len = len - kChunkHeaderBytes;
+    if (body_len > r.remaining()) throw net::DecodeError("chunk overruns");
+    const std::size_t body_end = r.position() + body_len;
+
+    TypedChunk tc{type, AbortChunk{}};
+    switch (type) {
+      case ChunkType::kData: {
+        DataChunk d;
+        d.end = (flags & kFlagE) != 0;
+        d.begin = (flags & kFlagB) != 0;
+        d.unordered = (flags & kFlagU) != 0;
+        d.tsn = r.u32();
+        d.sid = r.u16();
+        d.ssn = r.u16();
+        d.ppid = r.u32();
+        d.payload = r.bytes(body_end - r.position());
+        tc.body = std::move(d);
+        break;
+      }
+      case ChunkType::kInit:
+      case ChunkType::kInitAck: {
+        InitChunk i;
+        i.initiate_tag = r.u32();
+        i.a_rwnd = r.u32();
+        i.num_ostreams = r.u16();
+        i.max_instreams = r.u16();
+        i.initial_tsn = r.u32();
+        while (r.position() + 4 <= body_end) {
+          const std::uint16_t ptype = r.u16();
+          const std::uint16_t plen = r.u16();
+          if (plen < 4) throw net::DecodeError("bad param length");
+          const std::size_t pbody = plen - 4;
+          if (ptype == kParamIpv4 && pbody == 4) {
+            i.addresses.push_back(net::IpAddr{r.u32()});
+          } else if (ptype == kParamCookie) {
+            i.cookie = r.bytes(pbody);
+          } else {
+            r.skip(pbody);
+          }
+          const std::size_t pad = padded(pbody) - pbody;
+          if (r.position() + pad <= body_end) r.skip(pad);
+        }
+        tc.body = std::move(i);
+        break;
+      }
+      case ChunkType::kSack: {
+        SackChunk s;
+        s.cum_tsn_ack = r.u32();
+        s.a_rwnd = r.u32();
+        const std::uint16_t ngaps = r.u16();
+        const std::uint16_t ndups = r.u16();
+        for (unsigned g = 0; g < ngaps; ++g) {
+          GapBlock b;
+          b.start = r.u16();
+          b.end = r.u16();
+          s.gaps.push_back(b);
+        }
+        for (unsigned d = 0; d < ndups; ++d) s.dup_tsns.push_back(r.u32());
+        tc.body = std::move(s);
+        break;
+      }
+      case ChunkType::kHeartbeat:
+      case ChunkType::kHeartbeatAck: {
+        HeartbeatChunk h;
+        h.is_ack = type == ChunkType::kHeartbeatAck;
+        h.path_addr = net::IpAddr{r.u32()};
+        h.timestamp = r.u64();
+        r.skip(4);
+        tc.body = h;
+        break;
+      }
+      case ChunkType::kCookieEcho: {
+        CookieEchoChunk ce;
+        ce.cookie = r.bytes(body_end - r.position());
+        tc.body = std::move(ce);
+        break;
+      }
+      case ChunkType::kShutdown: {
+        ShutdownChunk sd;
+        sd.cum_tsn_ack = r.u32();
+        tc.body = sd;
+        break;
+      }
+      case ChunkType::kError: {
+        ErrorChunk e;
+        e.cause = r.u16();
+        r.skip(2);
+        tc.body = e;
+        break;
+      }
+      case ChunkType::kAbort:
+        tc.body = AbortChunk{};
+        break;
+      case ChunkType::kCookieAck:
+        tc.body = CookieAckChunk{};
+        break;
+      case ChunkType::kShutdownAck:
+        tc.body = ShutdownAckChunk{};
+        break;
+      case ChunkType::kShutdownComplete:
+        tc.body = ShutdownCompleteChunk{};
+        break;
+      default:
+        // Unknown chunk type: skip it (high bits would control this in a
+        // full implementation).
+        r.skip(body_end - r.position());
+        continue;
+    }
+    // Consume padding.
+    if (r.position() < body_end) r.skip(body_end - r.position());
+    const std::size_t pad = padded(body_len) - body_len;
+    if (pad <= r.remaining()) r.skip(pad);
+    p.chunks.push_back(std::move(tc));
+  }
+  return p;
+}
+
+}  // namespace sctpmpi::sctp

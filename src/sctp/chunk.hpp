@@ -1,0 +1,132 @@
+// SCTP wire format: common header + chunk codecs (RFC 2960 layout).
+//
+// An SctpPacket serializes to the IP payload: a 12-byte common header with
+// source/destination ports, verification tag and CRC32c checksum, followed
+// by bundled chunks, each padded to a 4-byte boundary.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/bytes.hpp"
+
+namespace sctpmpi::sctp {
+
+inline constexpr std::size_t kCommonHeaderBytes = 12;
+inline constexpr std::size_t kDataChunkHeaderBytes = 16;
+inline constexpr std::size_t kChunkHeaderBytes = 4;
+
+enum class ChunkType : std::uint8_t {
+  kData = 0,
+  kInit = 1,
+  kInitAck = 2,
+  kSack = 3,
+  kHeartbeat = 4,
+  kHeartbeatAck = 5,
+  kAbort = 6,
+  kShutdown = 7,
+  kShutdownAck = 8,
+  kError = 9,
+  kCookieEcho = 10,
+  kCookieAck = 11,
+  kShutdownComplete = 14,
+};
+
+struct DataChunk {
+  bool unordered = false;   // U flag
+  bool begin = false;       // B flag: first fragment of a user message
+  bool end = false;         // E flag: last fragment
+  std::uint32_t tsn = 0;
+  std::uint16_t sid = 0;    // stream identifier (SNo in the paper's Fig. 1)
+  std::uint16_t ssn = 0;    // stream sequence number
+  std::uint32_t ppid = 0;   // payload protocol id (paper §2.3: PID mapping)
+  std::vector<std::byte> payload;
+
+  std::size_t wire_bytes() const {
+    return kDataChunkHeaderBytes + ((payload.size() + 3) & ~std::size_t{3});
+  }
+};
+
+struct InitChunk {          // also used for INIT-ACK (with cookie set)
+  std::uint32_t initiate_tag = 0;
+  std::uint32_t a_rwnd = 0;
+  std::uint16_t num_ostreams = 0;
+  std::uint16_t max_instreams = 0;
+  std::uint32_t initial_tsn = 0;
+  std::vector<net::IpAddr> addresses;     // multihoming address params
+  std::vector<std::byte> cookie;          // INIT-ACK only
+};
+
+struct GapBlock {
+  // Offsets relative to the cumulative TSN ack (RFC 2960 SACK format).
+  std::uint16_t start = 0;
+  std::uint16_t end = 0;
+  bool operator==(const GapBlock&) const = default;
+};
+
+struct SackChunk {
+  std::uint32_t cum_tsn_ack = 0;
+  std::uint32_t a_rwnd = 0;
+  std::vector<GapBlock> gaps;   // unlimited in SCTP (paper §4.1.1 bullet 1)
+  std::vector<std::uint32_t> dup_tsns;
+};
+
+struct HeartbeatChunk {       // also HEARTBEAT-ACK (info echoed back)
+  bool is_ack = false;
+  net::IpAddr path_addr;      // which destination address was probed
+  std::uint64_t timestamp = 0;
+};
+
+struct CookieEchoChunk {
+  std::vector<std::byte> cookie;
+};
+
+struct ShutdownChunk {
+  std::uint32_t cum_tsn_ack = 0;
+};
+
+// Flag-only chunks.
+struct AbortChunk {};
+struct CookieAckChunk {};
+struct ShutdownAckChunk {};
+struct ShutdownCompleteChunk {};
+struct ErrorChunk {
+  std::uint16_t cause = 0;  // e.g. 1 = invalid stream id, 3 = stale cookie
+};
+
+using Chunk = std::variant<DataChunk, InitChunk, SackChunk, HeartbeatChunk,
+                           CookieEchoChunk, ShutdownChunk, AbortChunk,
+                           CookieAckChunk, ShutdownAckChunk,
+                           ShutdownCompleteChunk, ErrorChunk>;
+
+/// Wire-level chunk wrapper: InitChunk doubles for INIT and INIT-ACK, so we
+/// carry the explicit type alongside the payload variant.
+struct TypedChunk {
+  ChunkType type;
+  Chunk body;
+
+  std::size_t wire_bytes() const;
+};
+
+struct SctpPacket {
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint32_t vtag = 0;
+  std::vector<TypedChunk> chunks;
+
+  std::size_t wire_bytes() const;
+  /// Serializes; computes and stores CRC32c when `with_crc` is true
+  /// (otherwise the checksum field is written as zero, modelling the
+  /// paper's disabled-checksum kernel).
+  std::vector<std::byte> encode(bool with_crc) const;
+  /// Parses; when `verify_crc`, returns nullopt on checksum mismatch.
+  /// Throws net::DecodeError on malformed input.
+  static std::optional<SctpPacket> decode(std::span<const std::byte> wire,
+                                          bool verify_crc);
+};
+
+}  // namespace sctpmpi::sctp

@@ -1,0 +1,69 @@
+// SCTP stack tuning knobs, defaulted to the paper's setup: 220 KiB socket
+// buffers, a pool of 10 streams per association (paper §3.2.1), RFC 2960
+// timer constants, KAME-style immediate SACK on out-of-order arrival, and
+// the CRC32c checksum compiled in but disabled (paper §4 setting 5).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace sctpmpi::sctp {
+
+struct SctpConfig {
+  std::size_t pmtu = 1500;            // path MTU (IP packet size bound)
+  std::size_t sndbuf = 220 * 1024;    // paper §4 setting 1 (per association)
+  std::size_t rcvbuf = 220 * 1024;
+  std::uint16_t num_ostreams = 10;    // paper §3.2.1: default pool of 10
+  std::uint16_t max_instreams = 64;
+
+  // RFC 2960 timer and counter defaults.
+  sim::SimTime rto_initial = 3 * sim::kSecond;
+  sim::SimTime rto_min = sim::kSecond;
+  sim::SimTime rto_max = 60 * sim::kSecond;
+  unsigned assoc_max_retrans = 10;
+  unsigned path_max_retrans = 5;
+  unsigned max_init_retrans = 8;
+  sim::SimTime hb_interval = 30 * sim::kSecond;
+  sim::SimTime valid_cookie_life = 60 * sim::kSecond;
+  sim::SimTime autoclose = 0;  // 0 = disabled (paper §3.5.2 describes it)
+
+  // SACK generation (RFC 2960 §6.2 + KAME aggressiveness the paper credits).
+  sim::SimTime sack_delay = 200 * sim::kMillisecond;
+  unsigned sack_every_n_packets = 2;
+  bool immediate_sack_on_gap = true;
+
+  // Congestion control (RFC 2960 §7; byte counting is the paper's §4.1.1
+  // bullet "increase ... based on the number of bytes acknowledged").
+  unsigned init_cwnd_mtus = 2;
+  unsigned missing_report_threshold = 4;  // strikes before fast retransmit
+  unsigned max_burst = 4;  // RFC 2960 suggested burst limit
+  /// RFC 2960 §7.2.4: a TSN is fast-retransmitted at most once; a chunk
+  /// lost again waits for T3 (the era behaviour). Setting this false
+  /// allows re-fast-retransmit after fresh missing reports — a stronger
+  /// multiple-loss recovery in the spirit of the New-Reno SCTP variant
+  /// the paper cites (Caro et al.).
+  bool fast_rtx_once_per_tsn = true;
+  bool byte_counting = true;  // ablation knob: false = ACK-counted like TCP
+
+  // Checksum: implemented, disabled by default exactly as in the paper.
+  bool crc32c_enabled = false;
+  double crc_ns_per_byte = 0.8;  // software CRC32c on an era CPU
+
+  /// Modeled stack CPU per packet each way. The SCTP stack of 2005 was
+  /// young and costlier per packet than TCP's (paper §3.6).
+  sim::SimTime cpu_per_packet = 2800;  // ns
+
+  /// Retransmission policy (paper §4.1.1): send retransmissions on an
+  /// active alternate path when one exists.
+  bool retransmit_on_alternate_path = true;
+
+  /// Concurrent Multipath Transfer (paper §5: Iyengar et al.'s CMT, "will
+  /// be available as a sysctl option by the end of year 2005"): stripe NEW
+  /// data across all active paths round-robin instead of using only the
+  /// primary. Off by default, exactly like the 2005 stack.
+  bool cmt_enabled = false;
+};
+
+}  // namespace sctpmpi::sctp

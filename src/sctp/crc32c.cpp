@@ -1,0 +1,34 @@
+#include "sctp/crc32c.hpp"
+
+#include <array>
+
+namespace sctpmpi::sctp {
+
+namespace {
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    t[i] = crc;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> data) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    crc = (crc >> 8) ^
+          kTable[(crc ^ static_cast<std::uint32_t>(b)) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace sctpmpi::sctp

@@ -1,0 +1,447 @@
+#include "sctp/socket.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sctp/crc32c.hpp"
+
+namespace sctpmpi::sctp {
+
+namespace {
+constexpr std::uint32_t kCookieMagic = 0x53435450;  // "SCTP"
+
+std::uint64_t fnv1a(std::span<const std::byte> data, std::uint64_t seed) {
+  std::uint64_t h = seed ^ 0xCBF29CE484222325ULL;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StateCookie
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> StateCookie::encode() const {
+  std::vector<std::byte> out;
+  net::ByteWriter w(out);
+  w.u32(kCookieMagic);
+  w.u32(local_itag);
+  w.u32(peer_itag);
+  w.u32(local_itsn);
+  w.u32(peer_itsn);
+  w.u16(peer_port);
+  w.u16(peer_ostreams);
+  w.u16(peer_max_instreams);
+  w.u32(peer_arwnd);
+  w.u16(static_cast<std::uint16_t>(peer_addrs.size()));
+  w.u16(0);
+  for (net::IpAddr a : peer_addrs) w.u32(a.v);
+  w.u64(timestamp);
+  w.u64(signature);
+  return out;
+}
+
+std::optional<StateCookie> StateCookie::decode(
+    std::span<const std::byte> wire) {
+  try {
+    net::ByteReader r(wire);
+    StateCookie c;
+    if (r.u32() != kCookieMagic) return std::nullopt;
+    c.local_itag = r.u32();
+    c.peer_itag = r.u32();
+    c.local_itsn = r.u32();
+    c.peer_itsn = r.u32();
+    c.peer_port = r.u16();
+    c.peer_ostreams = r.u16();
+    c.peer_max_instreams = r.u16();
+    c.peer_arwnd = r.u32();
+    const std::uint16_t naddrs = r.u16();
+    r.skip(2);
+    for (unsigned i = 0; i < naddrs; ++i)
+      c.peer_addrs.push_back(net::IpAddr{r.u32()});
+    c.timestamp = r.u64();
+    c.signature = r.u64();
+    return c;
+  } catch (const net::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SctpStack
+// ---------------------------------------------------------------------------
+
+SctpStack::SctpStack(net::Host& host, SctpConfig cfg, sim::Rng rng)
+    : host_(host), cfg_(cfg), rng_(rng), secret_(rng_.next()) {
+  host_.register_protocol(net::IpProto::kSctp, this);
+}
+
+SctpSocket* SctpStack::create_socket(std::uint16_t port) {
+  if (port == 0) {
+    while (by_port_.count(next_ephemeral_) != 0) ++next_ephemeral_;
+    port = next_ephemeral_++;
+  }
+  assert(by_port_.count(port) == 0 && "port already bound");
+  sockets_.push_back(std::make_unique<SctpSocket>(*this, port));
+  by_port_[port] = sockets_.back().get();
+  return sockets_.back().get();
+}
+
+std::uint64_t SctpStack::sign_cookie(
+    std::span<const std::byte> cookie_bytes) const {
+  // MAC over everything except the trailing 8-byte signature field.
+  const std::size_t body = cookie_bytes.size() >= 8
+                               ? cookie_bytes.size() - 8
+                               : cookie_bytes.size();
+  return fnv1a(cookie_bytes.subspan(0, body), secret_);
+}
+
+void SctpStack::on_ip_packet(net::Packet&& pkt) {
+  const net::IpAddr from = pkt.src;
+  const net::IpAddr to = pkt.dst;
+  host_.sim().schedule_after(
+      host_.occupy_cpu(
+          cfg_.cpu_per_packet +
+          (cfg_.crc32c_enabled
+               ? static_cast<sim::SimTime>(cfg_.crc_ns_per_byte *
+                                           static_cast<double>(
+                                               pkt.payload.size()))
+               : 0)),
+      [this, payload = std::move(pkt.payload), from, to]() mutable {
+        std::optional<SctpPacket> parsed;
+        try {
+          parsed = SctpPacket::decode(payload, cfg_.crc32c_enabled);
+        } catch (const net::DecodeError&) {
+          return;  // malformed
+        }
+        if (!parsed) return;  // checksum failure
+        auto it = by_port_.find(parsed->dport);
+        if (it == by_port_.end()) return;  // no socket: drop (no ABORT model)
+        it->second->on_packet_(std::move(*parsed), from, to);
+      });
+}
+
+void SctpStack::transmit(const SctpPacket& pkt, net::IpAddr dst,
+                         net::IpAddr src) {
+  net::Packet ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.proto = net::IpProto::kSctp;
+  ip.payload = pkt.encode(cfg_.crc32c_enabled);
+  sim::SimTime cost = cfg_.cpu_per_packet;
+  if (cfg_.crc32c_enabled) {
+    cost += static_cast<sim::SimTime>(
+        cfg_.crc_ns_per_byte * static_cast<double>(ip.payload.size()));
+  }
+  host_.send_ip(std::move(ip), cost);
+}
+
+// ---------------------------------------------------------------------------
+// SctpSocket
+// ---------------------------------------------------------------------------
+
+SctpSocket::SctpSocket(SctpStack& stack, std::uint16_t port)
+    : stack_(stack), port_(port) {}
+
+SctpSocket::~SctpSocket() = default;
+
+const SctpConfig& SctpSocket::config() const { return stack_.config(); }
+
+AssocId SctpSocket::connect(net::IpAddr peer_primary, std::uint16_t peer_port,
+                            std::vector<net::IpAddr> peer_alternates) {
+  // One association per peer endpoint and socket: reuse an in-progress or
+  // passively created one rather than racing a second handshake.
+  if (Association* existing = find_by_peer_(peer_primary, peer_port)) {
+    if (existing->state() != AssocState::kClosed) return existing->id();
+  }
+  std::vector<net::IpAddr> addrs{peer_primary};
+  addrs.insert(addrs.end(), peer_alternates.begin(), peer_alternates.end());
+  const AssocId id = next_assoc_id_++;
+  auto assoc = std::make_unique<Association>(*this, id, peer_port, addrs);
+  Association* a = assoc.get();
+  assocs_.emplace(id, std::move(assoc));
+  for (net::IpAddr addr : addrs) {
+    peer_index_[{addr.v, peer_port}] = id;
+  }
+  a->start_init();
+  return id;
+}
+
+Association* SctpSocket::assoc(AssocId id) {
+  auto it = assocs_.find(id);
+  return it == assocs_.end() ? nullptr : it->second.get();
+}
+
+const Association* SctpSocket::assoc(AssocId id) const {
+  auto it = assocs_.find(id);
+  return it == assocs_.end() ? nullptr : it->second.get();
+}
+
+Association* SctpSocket::find_by_peer_(net::IpAddr addr, std::uint16_t port) {
+  auto it = peer_index_.find({addr.v, port});
+  if (it == peer_index_.end()) return nullptr;
+  return assoc(it->second);
+}
+
+std::ptrdiff_t SctpSocket::sendmsg(AssocId id, std::uint16_t sid,
+                                   std::span<const std::byte> data,
+                                   std::uint32_t ppid, bool unordered) {
+  Association* a = assoc(id);
+  if (a == nullptr) return Association::kError;
+  return a->sendmsg(sid, data, ppid, unordered);
+}
+
+std::ptrdiff_t SctpSocket::sendmsg_gather(AssocId id, std::uint16_t sid,
+                                          std::span<const std::byte> head,
+                                          std::span<const std::byte> body,
+                                          std::uint32_t ppid, bool unordered) {
+  Association* a = assoc(id);
+  if (a == nullptr) return Association::kError;
+  return a->sendmsg_gather(sid, head, body, ppid, unordered);
+}
+
+std::ptrdiff_t SctpSocket::recvmsg(std::span<std::byte> out, RecvInfo& info) {
+  if (recv_q_.empty()) return Association::kAgain;
+  QueuedMessage& m = recv_q_.front();
+  if (m.data.size() > out.size()) return Association::kMsgSize;
+  std::copy(m.data.begin(), m.data.end(), out.begin());
+  info = m.info;
+  const std::size_t n = m.data.size();
+  if (Association* a = assoc(m.info.assoc)) a->on_app_consumed(n);
+  recv_q_.pop_front();
+  return static_cast<std::ptrdiff_t>(n);
+}
+
+bool SctpSocket::writable(AssocId id) {
+  Association* a = assoc(id);
+  return a != nullptr && a->writable();
+}
+
+std::optional<Notification> SctpSocket::poll_notification() {
+  if (notifications_.empty()) return std::nullopt;
+  Notification n = notifications_.front();
+  notifications_.pop_front();
+  return n;
+}
+
+void SctpSocket::shutdown_assoc(AssocId id) {
+  if (Association* a = assoc(id)) a->shutdown();
+}
+
+void SctpSocket::abort_assoc(AssocId id) {
+  if (Association* a = assoc(id)) a->abort();
+}
+
+void SctpSocket::deliver_message_(Association& a, DeliveredMessage&& m) {
+  QueuedMessage qm;
+  qm.info.assoc = a.id();
+  qm.info.sid = m.sid;
+  qm.info.ssn = m.ssn;
+  qm.info.ppid = m.ppid;
+  qm.info.unordered = m.unordered;
+  qm.data = std::move(m.data);
+  recv_q_.push_back(std::move(qm));
+  notify_activity_();
+}
+
+void SctpSocket::notify_(Notification n) {
+  notifications_.push_back(n);
+  notify_activity_();
+}
+
+void SctpSocket::register_peer_addr_(Association& a, net::IpAddr addr) {
+  peer_index_[{addr.v, a.peer_port()}] = a.id();
+}
+
+void SctpSocket::remove_association_(AssocId id) {
+  // Keep the Association object (ids stay valid for queries); only remove
+  // the demux entries so the peer can set up a fresh association later.
+  for (auto it = peer_index_.begin(); it != peer_index_.end();) {
+    if (it->second == id) {
+      it = peer_index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  notify_activity_();
+}
+
+void SctpSocket::on_packet_(SctpPacket&& pkt, net::IpAddr from,
+                            net::IpAddr to) {
+  // INIT and COOKIE-ECHO may legitimately arrive without an established
+  // association; everything else must match an association and its tag.
+  if (!pkt.chunks.empty()) {
+    if (pkt.chunks.front().type == ChunkType::kInit) {
+      handle_init_(pkt, std::get<InitChunk>(pkt.chunks.front().body), from,
+                   to);
+      return;
+    }
+    if (pkt.chunks.front().type == ChunkType::kCookieEcho) {
+      handle_cookie_echo_(
+          pkt, std::get<CookieEchoChunk>(pkt.chunks.front().body), from);
+      // COOKIE-ECHO may carry piggybacked DATA in the same packet; let the
+      // normal path below deliver the rest if the association now exists.
+      Association* a = find_by_peer_(from, pkt.sport);
+      if (a != nullptr && pkt.chunks.size() > 1 &&
+          pkt.vtag == a->local_vtag()) {
+        SctpPacket rest;
+        rest.sport = pkt.sport;
+        rest.dport = pkt.dport;
+        rest.vtag = pkt.vtag;
+        rest.chunks.assign(std::make_move_iterator(pkt.chunks.begin() + 1),
+                           std::make_move_iterator(pkt.chunks.end()));
+        a->on_packet(std::move(rest), from);
+      }
+      return;
+    }
+  }
+
+  Association* a = find_by_peer_(from, pkt.sport);
+  if (a == nullptr) return;
+  // Verification tag check (paper §3.5.2): stale or blindly injected
+  // packets are silently discarded.
+  if (pkt.vtag != a->local_vtag()) return;
+  a->on_packet(std::move(pkt), from);
+}
+
+void SctpSocket::handle_init_(const SctpPacket& pkt, const InitChunk& init,
+                              net::IpAddr from, net::IpAddr to) {
+  Association* existing = find_by_peer_(from, pkt.sport);
+  if (existing != nullptr && existing->established()) {
+    return;  // stale duplicate INIT for a live association: ignore
+  }
+  if (existing == nullptr && !listening_) return;
+
+  // Simultaneous-open tie-break: if we also sent an INIT to this peer and
+  // our address is "larger", we abandon our initiator role and act as the
+  // responder (one clean handshake instead of RFC 5.2 tag reconciliation).
+  if (existing != nullptr && existing->state() == AssocState::kCookieWait) {
+    if (to.v < from.v) {
+      return;  // we stay initiator; drop the peer's INIT, ours will win
+    }
+    existing->t1_timer_.cancel();  // abandon our INIT attempt
+    existing->state_ = AssocState::kClosed;
+  }
+
+  // Stateless responder: all state rides in the signed cookie (paper
+  // §3.5.2 — no resources reserved until the address is proven).
+  StateCookie cookie;
+  cookie.local_itag = stack_.random_tag();
+  cookie.peer_itag = init.initiate_tag;
+  cookie.local_itsn = stack_.random_tsn();
+  cookie.peer_itsn = init.initial_tsn;
+  cookie.peer_port = pkt.sport;
+  cookie.peer_ostreams = init.num_ostreams;
+  cookie.peer_max_instreams = init.max_instreams;
+  cookie.peer_arwnd = init.a_rwnd;
+  cookie.peer_addrs = init.addresses.empty()
+                          ? std::vector<net::IpAddr>{from}
+                          : init.addresses;
+  cookie.timestamp = static_cast<std::uint64_t>(stack_.host().sim().now());
+  auto bytes = cookie.encode();
+  cookie.signature = stack_.sign_cookie(bytes);
+  bytes = cookie.encode();
+
+  InitChunk ia;
+  ia.initiate_tag = cookie.local_itag;
+  ia.a_rwnd = static_cast<std::uint32_t>(config().rcvbuf);
+  ia.num_ostreams = config().num_ostreams;
+  ia.max_instreams = config().max_instreams;
+  ia.initial_tsn = cookie.local_itsn;
+  for (std::size_t i = 0; i < stack_.host().interface_count(); ++i) {
+    ia.addresses.push_back(stack_.host().addr(i));
+  }
+  ia.cookie = std::move(bytes);
+
+  SctpPacket reply;
+  reply.sport = port_;
+  reply.dport = pkt.sport;
+  reply.vtag = init.initiate_tag;  // INIT-ACK uses the initiator's tag
+  reply.chunks.push_back(TypedChunk{ChunkType::kInitAck, std::move(ia)});
+  stack_.transmit(reply, from, net::kAddrAny);
+}
+
+void SctpSocket::handle_cookie_echo_(const SctpPacket& pkt,
+                                     const CookieEchoChunk& ce,
+                                     net::IpAddr from) {
+  auto cookie = StateCookie::decode(ce.cookie);
+  if (!cookie) return;
+  // Signature check: recompute over the cookie with its signature zeroed.
+  StateCookie unsigned_copy = *cookie;
+  unsigned_copy.signature = 0;
+  if (stack_.sign_cookie(unsigned_copy.encode()) != cookie->signature) {
+    return;  // forged or corrupted cookie
+  }
+  // Staleness check (replay protection).
+  const auto now = static_cast<std::uint64_t>(stack_.host().sim().now());
+  if (now - cookie->timestamp >
+      static_cast<std::uint64_t>(config().valid_cookie_life)) {
+    if (getenv("SCTPTRACE")) printf("[%f] port %u STALE cookie from %s\n", (double)now/1e9, port_, net::to_string(from).c_str());
+    SctpPacket err;
+    err.sport = port_;
+    err.dport = pkt.sport;
+    err.vtag = cookie->peer_itag;
+    err.chunks.push_back(TypedChunk{ChunkType::kError, ErrorChunk{3}});
+    stack_.transmit(err, from, net::kAddrAny);
+    return;
+  }
+
+  Association* a = find_by_peer_(from, pkt.sport);
+  if (a != nullptr && a->established()) {
+    // Our COOKIE-ACK was lost: re-ack.
+    SctpPacket ack;
+    ack.sport = port_;
+    ack.dport = pkt.sport;
+    ack.vtag = a->peer_vtag();
+    ack.chunks.push_back(TypedChunk{ChunkType::kCookieAck, CookieAckChunk{}});
+    stack_.transmit(ack, from, net::kAddrAny);
+    return;
+  }
+
+  if (a == nullptr) {
+    const AssocId id = next_assoc_id_++;
+    auto owned = std::make_unique<Association>(*this, id, cookie->peer_port,
+                                               cookie->peer_addrs);
+    a = owned.get();
+    assocs_.emplace(id, std::move(owned));
+    for (net::IpAddr addr : cookie->peer_addrs) {
+      peer_index_[{addr.v, cookie->peer_port}] = id;
+    }
+  }
+  a->establish_from_cookie(*cookie);
+
+  SctpPacket ack;
+  ack.sport = port_;
+  ack.dport = pkt.sport;
+  ack.vtag = a->peer_vtag();
+  ack.chunks.push_back(TypedChunk{ChunkType::kCookieAck, CookieAckChunk{}});
+  stack_.transmit(ack, from, net::kAddrAny);
+}
+
+// ---------------------------------------------------------------------------
+// One-to-one adapter
+// ---------------------------------------------------------------------------
+
+bool SctpOneToOneSocket::accept() {
+  if (assoc_ != 0) return true;
+  while (auto n = socket_->poll_notification()) {
+    if (n->type == NotificationType::kCommUp) {
+      assoc_ = n->assoc;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SctpOneToOneSocket::connected() {
+  if (assoc_ == 0) return false;
+  Association* a = socket_->assoc(assoc_);
+  return a != nullptr && a->established();
+}
+
+}  // namespace sctpmpi::sctp

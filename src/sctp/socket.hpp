@@ -1,0 +1,240 @@
+// SCTP sockets: the one-to-many (UDP-like) style the paper's middleware is
+// built on (§3.1), plus a one-to-one adapter for porting TCP-style code.
+//
+// A one-to-many socket owns many associations; recvmsg() returns whole
+// messages in arrival order tagged with (association, stream) — the two
+// demultiplexing levels of the paper's SCTP RPI. Passive association setup
+// is stateless until a valid signed COOKIE-ECHO arrives (§3.5.2), and every
+// non-INIT packet must carry the association's verification tag or it is
+// silently dropped.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/packet.hpp"
+#include "sctp/association.hpp"
+#include "sctp/chunk.hpp"
+#include "sctp/config.hpp"
+#include "sim/rng.hpp"
+
+namespace sctpmpi::sctp {
+
+class SctpStack;
+
+enum class NotificationType {
+  kCommUp,            // association established
+  kCommLost,          // association failed (abort / max retransmissions)
+  kShutdownComplete,  // graceful shutdown finished
+  kPathFailover,      // primary path switched (multihoming)
+  kPathRestored,      // a failed path came back
+  kSendFailed,
+};
+
+struct Notification {
+  NotificationType type;
+  AssocId assoc = 0;
+  net::IpAddr path_addr;  // for path events
+};
+
+/// Ancillary data returned by recvmsg (mirrors sctp_sndrcvinfo).
+struct RecvInfo {
+  AssocId assoc = 0;
+  std::uint16_t sid = 0;
+  std::uint16_t ssn = 0;
+  std::uint32_t ppid = 0;
+  bool unordered = false;
+};
+
+/// Signed state cookie contents (serialized into INIT-ACK / COOKIE-ECHO).
+struct StateCookie {
+  std::uint32_t local_itag = 0;   // tag the responder generated
+  std::uint32_t peer_itag = 0;    // initiator's tag (from its INIT)
+  std::uint32_t local_itsn = 0;
+  std::uint32_t peer_itsn = 0;
+  std::uint16_t peer_port = 0;
+  std::uint16_t peer_ostreams = 0;      // initiator's outbound stream count
+  std::uint16_t peer_max_instreams = 0; // initiator's inbound stream limit
+  std::uint32_t peer_arwnd = 0;         // initiator's advertised rwnd
+  std::vector<net::IpAddr> peer_addrs;
+  std::uint64_t timestamp = 0;    // staleness check
+  std::uint64_t signature = 0;    // keyed MAC; prevents forgery
+
+  std::vector<std::byte> encode() const;
+  static std::optional<StateCookie> decode(std::span<const std::byte> wire);
+};
+
+class SctpSocket {
+ public:
+  SctpSocket(SctpStack& stack, std::uint16_t port);
+  ~SctpSocket();
+
+  // ---- association management ------------------------------------------
+  /// Allows implicit (passive) association setup from incoming INITs.
+  void listen(bool enabled = true) { listening_ = enabled; }
+
+  /// Active open to a peer (one-to-many style implicit setup). Returns the
+  /// new association id immediately; a kCommUp notification follows.
+  AssocId connect(net::IpAddr peer_primary, std::uint16_t peer_port,
+                  std::vector<net::IpAddr> peer_alternates = {});
+
+  void shutdown_assoc(AssocId id);
+  void abort_assoc(AssocId id);
+
+  // ---- data (non-blocking) ----------------------------------------------
+  /// sctp_sendmsg: sends one whole message on `sid`. Returns size accepted,
+  /// Association::kAgain / kError / kMsgSize on failure.
+  std::ptrdiff_t sendmsg(AssocId id, std::uint16_t sid,
+                         std::span<const std::byte> data,
+                         std::uint32_t ppid = 0, bool unordered = false);
+
+  /// Gather variant: head (e.g. an MPI envelope) + body as one message.
+  std::ptrdiff_t sendmsg_gather(AssocId id, std::uint16_t sid,
+                                std::span<const std::byte> head,
+                                std::span<const std::byte> body,
+                                std::uint32_t ppid = 0,
+                                bool unordered = false);
+
+  /// sctp_recvmsg: copies the next whole message (any association, arrival
+  /// order) into `out` and fills `info`. Returns the message size,
+  /// kAgain when nothing is deliverable, or kMsgSize if `out` is too small
+  /// (message left queued).
+  std::ptrdiff_t recvmsg(std::span<std::byte> out, RecvInfo& info);
+
+  /// Size of the next deliverable message, or 0 if none.
+  std::size_t next_message_size() const {
+    return recv_q_.empty() ? 0 : recv_q_.front().data.size();
+  }
+  bool readable() const { return !recv_q_.empty(); }
+  bool writable(AssocId id);
+
+  std::optional<Notification> poll_notification();
+  bool has_notification() const { return !notifications_.empty(); }
+
+  Association* assoc(AssocId id);
+  const Association* assoc(AssocId id) const;
+  std::uint16_t port() const { return port_; }
+  SctpStack& stack() { return stack_; }
+  const SctpConfig& config() const;
+  std::size_t association_count() const { return assocs_.size(); }
+
+  /// Fires whenever readability/writability/notifications may have changed.
+  void set_activity_callback(std::function<void()> cb) {
+    on_activity_ = std::move(cb);
+  }
+
+ private:
+  friend class Association;
+  friend class SctpStack;
+
+  struct QueuedMessage {
+    RecvInfo info;
+    std::vector<std::byte> data;
+  };
+
+  void on_packet_(SctpPacket&& pkt, net::IpAddr from, net::IpAddr to);
+  void handle_init_(const SctpPacket& pkt, const InitChunk& init,
+                    net::IpAddr from, net::IpAddr to);
+  void handle_cookie_echo_(const SctpPacket& pkt,
+                           const CookieEchoChunk& ce, net::IpAddr from);
+  Association* find_by_peer_(net::IpAddr addr, std::uint16_t port);
+
+  // Association-facing services.
+  void deliver_message_(Association& a, DeliveredMessage&& m);
+  void notify_(Notification n);
+  void register_peer_addr_(Association& a, net::IpAddr addr);
+  void remove_association_(AssocId id);
+  void notify_activity_() {
+    if (on_activity_) on_activity_();
+  }
+
+  SctpStack& stack_;
+  std::uint16_t port_;
+  bool listening_ = false;
+  std::map<AssocId, std::unique_ptr<Association>> assocs_;
+  // Peer (addr, port) -> association, covering all peer addresses.
+  std::map<std::pair<std::uint32_t, std::uint16_t>, AssocId> peer_index_;
+  std::deque<QueuedMessage> recv_q_;
+  std::deque<Notification> notifications_;
+  AssocId next_assoc_id_ = 1;
+  std::function<void()> on_activity_;
+};
+
+/// Per-host SCTP: demultiplexes by destination port and owns the sockets.
+class SctpStack : public net::ProtocolHandler {
+ public:
+  SctpStack(net::Host& host, SctpConfig cfg, sim::Rng rng);
+
+  /// Creates a one-to-many socket bound to `port` (0 = ephemeral).
+  SctpSocket* create_socket(std::uint16_t port = 0);
+
+  void on_ip_packet(net::Packet&& pkt) override;
+
+  net::Host& host() { return host_; }
+  const SctpConfig& config() const { return cfg_; }
+  std::uint32_t random_tag() {
+    std::uint32_t t;
+    do {
+      t = static_cast<std::uint32_t>(rng_.next());
+    } while (t == 0);
+    return t;
+  }
+  std::uint32_t random_tsn() { return static_cast<std::uint32_t>(rng_.next()); }
+
+  /// Keyed MAC over cookie bytes (signature field zeroed during signing).
+  std::uint64_t sign_cookie(std::span<const std::byte> cookie_bytes) const;
+
+  /// Sends a fully formed SCTP packet (adds CRC32c + its CPU cost when
+  /// enabled) from `src` (kAddrAny = route default) to `dst`.
+  void transmit(const SctpPacket& pkt, net::IpAddr dst, net::IpAddr src);
+
+ private:
+  net::Host& host_;
+  SctpConfig cfg_;
+  sim::Rng rng_;
+  std::uint64_t secret_;
+  std::vector<std::unique_ptr<SctpSocket>> sockets_;
+  std::map<std::uint16_t, SctpSocket*> by_port_;
+  std::uint16_t next_ephemeral_ = 52000;
+};
+
+/// One-to-one style socket (§2.1): a TCP-like adapter over a single
+/// association, provided for porting ease and tested for parity.
+class SctpOneToOneSocket {
+ public:
+  explicit SctpOneToOneSocket(SctpStack& stack, std::uint16_t port = 0)
+      : socket_(stack.create_socket(port)) {}
+
+  void listen() { socket_->listen(true); }
+  void connect(net::IpAddr peer, std::uint16_t port) {
+    assoc_ = socket_->connect(peer, port);
+  }
+  /// For a listening socket: adopts the first established association.
+  bool accept();
+  bool connected();
+
+  std::ptrdiff_t send(std::uint16_t sid, std::span<const std::byte> data) {
+    return socket_->sendmsg(assoc_, sid, data);
+  }
+  std::ptrdiff_t recv(std::span<std::byte> out, RecvInfo& info) {
+    return socket_->recvmsg(out, info);
+  }
+  void close() {
+    if (assoc_ != 0) socket_->shutdown_assoc(assoc_);
+  }
+  SctpSocket& underlying() { return *socket_; }
+  AssocId assoc_id() const { return assoc_; }
+
+ private:
+  SctpSocket* socket_;
+  AssocId assoc_ = 0;
+};
+
+}  // namespace sctpmpi::sctp

@@ -1,0 +1,102 @@
+#include "sctp/streams.hpp"
+
+#include <utility>
+
+namespace sctpmpi::sctp {
+
+std::size_t InboundStreams::accept(const DataChunk& chunk) {
+  if (chunk.sid >= streams_.size()) return 0;  // invalid stream: ignored here
+  StreamIn& stream = streams_[chunk.sid];
+
+  if (chunk.unordered) {
+    // Unordered single-fragment fast path; multi-fragment unordered
+    // messages reassemble by TSN adjacency like ordered ones but bypass
+    // SSN ordering.
+    if (chunk.begin && chunk.end) {
+      DeliveredMessage m;
+      m.sid = chunk.sid;
+      m.ssn = chunk.ssn;
+      m.ppid = chunk.ppid;
+      m.unordered = true;
+      m.data = chunk.payload;
+      ready_bytes_ += m.data.size();
+      ready_.push_back(std::move(m));
+      return 1;
+    }
+  }
+
+  PartialMessage& pm = stream.partial[chunk.ssn];
+  pm.ppid = chunk.ppid;
+  Fragment frag;
+  frag.begin = chunk.begin;
+  frag.end = chunk.end;
+  frag.data = chunk.payload;
+  buffered_bytes_ += frag.data.size();
+  pm.fragments.emplace(chunk.tsn, std::move(frag));
+
+  const std::size_t before = ready_.size();
+  if (try_complete_(stream, chunk.sid, chunk.ssn)) {
+    release_in_order_(stream, chunk.sid);
+  }
+  return ready_.size() - before;
+}
+
+bool InboundStreams::try_complete_(StreamIn& stream, std::uint16_t sid,
+                                   std::uint16_t ssn) {
+  auto pit = stream.partial.find(ssn);
+  if (pit == stream.partial.end()) return false;
+  PartialMessage& pm = pit->second;
+
+  // Complete iff: first fragment has B, last has E, TSNs contiguous.
+  if (pm.fragments.empty()) return false;
+  if (!pm.fragments.begin()->second.begin) return false;
+  if (!pm.fragments.rbegin()->second.end) return false;
+  std::uint32_t expect = pm.fragments.begin()->first;
+  std::size_t total = 0;
+  bool unordered = false;
+  for (const auto& [tsn, frag] : pm.fragments) {
+    if (tsn != expect) return false;
+    ++expect;
+    total += frag.data.size();
+    (void)unordered;
+  }
+
+  DeliveredMessage m;
+  m.sid = sid;
+  m.ssn = ssn;
+  m.ppid = pm.ppid;
+  m.data.reserve(total);
+  for (auto& [tsn, frag] : pm.fragments) {
+    m.data.insert(m.data.end(), frag.data.begin(), frag.data.end());
+  }
+  // Bytes stay counted in buffered_bytes_ until the message becomes
+  // SSN-eligible (release_in_order_), since they still occupy the receive
+  // buffer either way.
+  stream.partial.erase(pit);
+  complete_.emplace(std::make_pair(sid, ssn), std::move(m));
+  return true;
+}
+
+void InboundStreams::release_in_order_(StreamIn& stream, std::uint16_t sid) {
+  // Move every SSN-consecutive complete message to the ready queue. This is
+  // the per-stream ordering guarantee: stream S delivers SSN 0,1,2,...
+  // regardless of what other streams are doing.
+  while (true) {
+    auto it = complete_.find(std::make_pair(sid, stream.next_ssn));
+    if (it == complete_.end()) break;
+    buffered_bytes_ -= it->second.data.size();
+    ready_bytes_ += it->second.data.size();
+    ready_.push_back(std::move(it->second));
+    complete_.erase(it);
+    ++stream.next_ssn;
+  }
+}
+
+std::optional<DeliveredMessage> InboundStreams::pop() {
+  if (ready_.empty()) return std::nullopt;
+  DeliveredMessage m = std::move(ready_.front());
+  ready_.pop_front();
+  return m;
+}
+
+}  // namespace sctpmpi::sctp

@@ -1,0 +1,59 @@
+#include "sctp/tsn_map.hpp"
+
+namespace sctpmpi::sctp {
+
+bool TsnMap::record(std::uint32_t tsn) {
+  using net::seq_leq;
+  if (seq_leq(tsn, cum_tsn_)) {
+    duplicates_.push_back(tsn);
+    return false;
+  }
+  if (tsn == cum_tsn_ + 1) {
+    cum_tsn_ = tsn;
+    // Advance across any now-contiguous pending TSNs.
+    auto it = pending_.begin();
+    while (it != pending_.end() && *it == cum_tsn_ + 1) {
+      cum_tsn_ = *it;
+      it = pending_.erase(it);
+    }
+    return true;
+  }
+  auto [_, inserted] = pending_.insert(tsn);
+  if (!inserted) {
+    duplicates_.push_back(tsn);
+    return false;
+  }
+  return true;
+}
+
+std::vector<GapBlock> TsnMap::gap_blocks() const {
+  std::vector<GapBlock> blocks;
+  std::uint32_t run_start = 0, run_end = 0;
+  bool in_run = false;
+  for (std::uint32_t tsn : pending_) {
+    if (in_run && tsn == run_end + 1) {
+      run_end = tsn;
+      continue;
+    }
+    if (in_run) {
+      blocks.push_back(GapBlock{
+          static_cast<std::uint16_t>(run_start - cum_tsn_),
+          static_cast<std::uint16_t>(run_end - cum_tsn_)});
+    }
+    run_start = run_end = tsn;
+    in_run = true;
+  }
+  if (in_run) {
+    blocks.push_back(GapBlock{static_cast<std::uint16_t>(run_start - cum_tsn_),
+                              static_cast<std::uint16_t>(run_end - cum_tsn_)});
+  }
+  return blocks;
+}
+
+std::vector<std::uint32_t> TsnMap::take_duplicates() {
+  std::vector<std::uint32_t> out;
+  out.swap(duplicates_);
+  return out;
+}
+
+}  // namespace sctpmpi::sctp

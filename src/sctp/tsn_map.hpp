@@ -1,0 +1,52 @@
+// Receiver-side TSN accounting: cumulative TSN ack point, gap-ack blocks
+// (unlimited — a key SCTP advantage over TCP's 3-block SACK option, paper
+// §4.1.1), and duplicate detection.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "net/bytes.hpp"
+#include "sctp/chunk.hpp"
+
+namespace sctpmpi::sctp {
+
+/// Serial-number comparator for TSN-keyed containers.
+struct TsnLess {
+  bool operator()(std::uint32_t a, std::uint32_t b) const {
+    return net::seq_lt(a, b);
+  }
+};
+
+class TsnMap {
+ public:
+  /// `initial_tsn` is the first TSN expected from the peer.
+  explicit TsnMap(std::uint32_t initial_tsn) : cum_tsn_(initial_tsn - 1) {}
+
+  /// Records a received TSN. Returns false for a duplicate (already covered
+  /// by the cumulative point or already pending); duplicates are remembered
+  /// for the next SACK's dup-TSN list.
+  bool record(std::uint32_t tsn);
+
+  /// Highest TSN received in sequence (the cumulative ack point).
+  std::uint32_t cum_tsn() const { return cum_tsn_; }
+
+  /// True if any TSNs above the cumulative ack point have been received.
+  bool has_gaps() const { return !pending_.empty(); }
+
+  /// Gap-ack blocks as offsets relative to cum_tsn (RFC 2960 §3.3.4).
+  std::vector<GapBlock> gap_blocks() const;
+
+  /// Drains the recorded duplicate TSNs (reported once, in the next SACK).
+  std::vector<std::uint32_t> take_duplicates();
+
+  std::size_t pending_count() const { return pending_.size(); }
+
+ private:
+  std::uint32_t cum_tsn_;                    // last in-order TSN received
+  std::set<std::uint32_t, TsnLess> pending_; // out-of-order TSNs above cum
+  std::vector<std::uint32_t> duplicates_;
+};
+
+}  // namespace sctpmpi::sctp

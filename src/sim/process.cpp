@@ -1,0 +1,129 @@
+#include "sim/process.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sctpmpi::sim {
+
+Process::Process(Simulator& sim, std::string name,
+                 std::function<void(Process&)> body)
+    : sim_(sim), name_(std::move(name)), body_(std::move(body)) {}
+
+Process::~Process() {
+  if (thread_.joinable()) {
+    // Abandoned mid-run (e.g. an exception unwound the driver). Let the
+    // body thread run to its next suspension point and detach it is unsafe;
+    // instead we require normal completion in practice and just hand the
+    // thread one final turn so it can observe shutdown. Tests always drive
+    // processes to completion, so this path only joins finished threads.
+    if (state_ != State::Finished) {
+      abandoned_ = true;
+      while (state_ != State::Finished) {
+        to_proc_.release();
+        to_sched_.acquire();
+      }
+    }
+    thread_.join();
+  }
+}
+
+void Process::start() {
+  assert(state_ == State::Created);
+  state_ = State::Runnable;
+  thread_ = std::thread([this] { body_main_(); });
+  const std::uint64_t ep = epoch_;
+  sim_.schedule_at(sim_.now(), [this, ep] {
+    if (state_ == State::Runnable && epoch_ == ep) resume_();
+  });
+}
+
+void Process::body_main_() {
+  to_proc_.acquire();  // wait for first resume
+  if (!abandoned_) {
+    try {
+      body_(*this);
+    } catch (...) {
+      error_ = std::current_exception();
+    }
+  }
+  state_ = State::Finished;
+  to_sched_.release();
+}
+
+void Process::resume_() {
+  assert(state_ == State::Runnable);
+  // Invalidate any event scheduled against a previous suspension: without
+  // this, a stale sleep-wakeup could cut a later sleep or suspend short.
+  ++epoch_;
+  state_ = State::Running;
+  to_proc_.release();
+  to_sched_.acquire();
+  // Process is now Suspended or Finished.
+}
+
+void Process::yield_() {
+  to_sched_.release();
+  to_proc_.acquire();
+  if (abandoned_) throw AbandonedError{};
+  state_ = State::Running;
+}
+
+void Process::wake() {
+  if (state_ != State::Suspended) return;
+  state_ = State::Runnable;
+  const std::uint64_t ep = epoch_;
+  sim_.schedule_at(sim_.now(), [this, ep] {
+    if (state_ == State::Runnable && epoch_ == ep) resume_();
+  });
+}
+
+void Process::suspend() {
+  assert(state_ == State::Running);
+  flush_charge();
+  state_ = State::Suspended;
+  yield_();
+}
+
+void Process::sleep_for(SimTime dt) {
+  assert(state_ == State::Running);
+  if (dt <= 0) return;
+  const std::uint64_t ep = epoch_;
+  sim_.schedule_after(dt, [this, ep] {
+    if (state_ == State::Suspended && epoch_ == ep) {
+      state_ = State::Runnable;
+      resume_();
+    }
+  });
+  state_ = State::Suspended;
+  yield_();
+}
+
+void Process::flush_charge() {
+  if (charge_debt_ > 0) {
+    SimTime debt = charge_debt_;
+    charge_debt_ = 0;
+    sleep_for(debt);
+  }
+}
+
+void ProcessGroup::run_all() {
+  for (auto& p : procs_) p->start();
+  while (true) {
+    bool all_done = true;
+    for (auto& p : procs_) {
+      if (!p->finished()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+    if (!sim_.step()) {
+      throw std::runtime_error(
+          "ProcessGroup::run_all: event queue drained but processes are "
+          "still blocked (deadlock in simulated job)");
+    }
+  }
+  for (auto& p : procs_) p->rethrow_error();
+}
+
+}  // namespace sctpmpi::sim

@@ -1,0 +1,158 @@
+// Cooperative simulated processes (one per MPI rank).
+//
+// Each Process runs its body on a dedicated OS thread, but execution is
+// strictly sequential: the simulator thread and the process threads hand
+// control back and forth through binary semaphores, so at any instant
+// exactly one of them is running. Blocking operations inside a process
+// (compute phases, waiting for socket readiness) suspend the process and
+// return control to the event loop; events later wake it at the current
+// virtual time. The result is deterministic, virtual-time-accurate
+// execution of ordinary blocking code.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace sctpmpi::sim {
+
+/// Thrown inside a process body when its owner is destroyed mid-run; unwinds
+/// the body thread so the owning Process can join it.
+struct AbandonedError {};
+
+class Process {
+ public:
+  /// CPU debt beyond this is flushed as a sleep at the next suspension point.
+  static constexpr SimTime kChargeFlushThreshold = 20 * kMicrosecond;
+
+  Process(Simulator& sim, std::string name, std::function<void(Process&)> body);
+  ~Process();
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Schedules the first activation of the body at the current sim time.
+  void start();
+
+  bool finished() const { return state_ == State::Finished; }
+  bool started() const { return state_ != State::Created; }
+  const std::string& name() const { return name_; }
+  Simulator& sim() { return sim_; }
+
+  /// Rethrows any exception that escaped the body. Call after finished().
+  void rethrow_error() const {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+  // ---- simulator/event side -------------------------------------------
+
+  /// Wakes a suspended process: it resumes at the current virtual time.
+  /// No-op if the process is not suspended (wakeups never get lost because
+  /// suspension points re-check their predicates).
+  void wake();
+
+  // ---- process-body side ----------------------------------------------
+
+  /// Suspends until wake(). Accumulated CPU charge is slept off first.
+  void suspend();
+
+  /// Advances this process's virtual time by `dt` (a compute phase).
+  void sleep_for(SimTime dt);
+
+  /// Accrues modeled CPU cost (syscall/stack overhead). Cheap; actual
+  /// sleeping is deferred until the debt crosses kChargeFlushThreshold or
+  /// the process suspends.
+  void charge(SimTime cpu) {
+    charge_debt_ += cpu;
+    if (charge_debt_ >= kChargeFlushThreshold) flush_charge();
+  }
+
+  /// Sleeps off any accumulated CPU debt immediately.
+  void flush_charge();
+
+ private:
+  enum class State { Created, Runnable, Running, Suspended, Finished };
+
+  friend class ProcessGroup;
+
+  void body_main_();
+  /// Simulator side: transfers control to the process thread and waits for
+  /// it to suspend or finish.
+  void resume_();
+  /// Process side: transfers control back to the simulator thread.
+  void yield_();
+
+  Simulator& sim_;
+  std::string name_;
+  std::function<void(Process&)> body_;
+  std::thread thread_;
+  std::binary_semaphore to_proc_{0};
+  std::binary_semaphore to_sched_{0};
+  State state_ = State::Created;
+  SimTime charge_debt_ = 0;
+  std::uint64_t epoch_ = 0;  // bumped on every resume; guards stale events
+  bool abandoned_ = false;
+  std::exception_ptr error_;
+};
+
+/// Convenience owner of a set of processes (an MPI job): starts them all and
+/// runs the simulator until every process finishes.
+class ProcessGroup {
+ public:
+  explicit ProcessGroup(Simulator& sim) : sim_(sim) {}
+
+  Process& spawn(std::string name, std::function<void(Process&)> body) {
+    procs_.push_back(
+        std::make_unique<Process>(sim_, std::move(name), std::move(body)));
+    return *procs_.back();
+  }
+
+  /// Starts all processes and drives the simulator until they finish.
+  /// Throws the first process error encountered, if any.
+  void run_all();
+
+  std::size_t size() const { return procs_.size(); }
+  Process& at(std::size_t i) { return *procs_.at(i); }
+
+ private:
+  Simulator& sim_;
+  std::vector<std::unique_ptr<Process>> procs_;
+};
+
+/// FIFO wait queue: processes block on it, events notify it. Always pair
+/// with an external predicate loop (`while (!ready) queue.wait(self);`)
+/// because wakeups may be spurious (notify_all wakes everyone).
+class WaitQueue {
+ public:
+  void wait(Process& p) {
+    waiters_.push_back(&p);
+    p.suspend();
+  }
+
+  void notify_all() {
+    std::vector<Process*> ws;
+    ws.swap(waiters_);
+    for (Process* p : ws) p->wake();
+  }
+
+  void notify_one() {
+    if (waiters_.empty()) return;
+    Process* p = waiters_.front();
+    waiters_.erase(waiters_.begin());
+    p->wake();
+  }
+
+  bool empty() const { return waiters_.empty(); }
+
+ private:
+  std::vector<Process*> waiters_;
+};
+
+}  // namespace sctpmpi::sim

@@ -1,0 +1,87 @@
+// Deterministic random number generation.
+//
+// Every source of randomness in the simulation (per-link loss, protocol
+// initial tags, workload task sizes) draws from its own Rng stream forked
+// from a single root seed, so runs are reproducible and sub-streams are
+// independent of each other and of call order elsewhere.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace sctpmpi::sim {
+
+/// xoshiro256++ generator seeded via splitmix64. Cheap to copy; fork()
+/// derives statistically independent sub-streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) word = splitmix64(x);
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform_int(std::uint64_t bound) {
+    // Bounded rejection-free variant (Lemire); tiny bias acceptable for sim.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derives an independent stream identified by `stream_id`.
+  Rng fork(std::uint64_t stream_id) const {
+    // Mix the current state with the stream id through splitmix64.
+    std::uint64_t x = state_[0] ^ (stream_id * 0x9E3779B97F4A7C15ULL);
+    x ^= state_[2] + 0xD1B54A32D192ED03ULL;
+    return Rng(splitmix64(x));
+  }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace sctpmpi::sim

@@ -1,0 +1,61 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sctpmpi::sim {
+
+Simulator::EventId Simulator::schedule_at(SimTime t, Callback cb) {
+  if (t < now_) t = now_;  // clamp: never schedule into the past
+  EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(cb)});
+  pending_.insert(id);
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (pending_.erase(id) == 0) return false;  // already fired or cancelled
+  // Lazy deletion: remember the id; skip it when popped.
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ++processed_;
+    pending_.erase(ev.id);
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id) != 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace sctpmpi::sim

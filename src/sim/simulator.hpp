@@ -1,0 +1,117 @@
+// Discrete-event simulator core: a cancellable event queue over SimTime.
+//
+// Events scheduled for the same instant fire in scheduling order (FIFO),
+// which together with the single-threaded hand-off process model makes every
+// simulation run fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sctpmpi::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now). Returns a handle usable
+  /// with cancel().
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` after a relative delay (>= 0).
+  EventId schedule_after(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Runs the next pending event, if any. Returns false when the queue is
+  /// empty.
+  bool step();
+
+  /// Runs until the queue drains or `max_events` events have fired.
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs events with timestamp <= t, then advances the clock to t.
+  void run_until(SimTime t);
+
+  bool empty() const { return live_events() == 0; }
+  std::size_t live_events() const { return queue_.size() - cancelled_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> pending_;
+  std::unordered_set<EventId> cancelled_;
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+};
+
+/// A single re-armable timer bound to a Simulator; the building block for
+/// protocol retransmission/delayed-ack/heartbeat timers. Arming an already
+/// armed timer replaces the deadline.
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> on_fire)
+      : sim_(sim), on_fire_(std::move(on_fire)) {}
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  void arm(SimTime delay) {
+    cancel();
+    deadline_ = sim_.now() + delay;
+    id_ = sim_.schedule_after(delay, [this] {
+      id_ = Simulator::kInvalidEvent;
+      on_fire_();
+    });
+  }
+
+  void cancel() {
+    if (id_ != Simulator::kInvalidEvent) {
+      sim_.cancel(id_);
+      id_ = Simulator::kInvalidEvent;
+    }
+  }
+
+  bool armed() const { return id_ != Simulator::kInvalidEvent; }
+  SimTime deadline() const { return deadline_; }
+
+ private:
+  Simulator& sim_;
+  std::function<void()> on_fire_;
+  Simulator::EventId id_ = Simulator::kInvalidEvent;
+  SimTime deadline_ = 0;
+};
+
+}  // namespace sctpmpi::sim

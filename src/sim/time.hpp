@@ -1,0 +1,34 @@
+// Virtual time for the discrete-event simulator.
+//
+// All simulated clocks are 64-bit signed nanosecond counts starting at zero.
+// Helpers convert to and from human units; benchmarks report seconds via
+// to_seconds().
+#pragma once
+
+#include <cstdint>
+
+namespace sctpmpi::sim {
+
+/// Virtual time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Converts fractional seconds to SimTime, rounding to nearest nanosecond.
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+/// Converts SimTime to fractional seconds.
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+constexpr SimTime micros(std::int64_t us) { return us * kMicrosecond; }
+constexpr SimTime millis(std::int64_t ms) { return ms * kMillisecond; }
+constexpr SimTime seconds(std::int64_t s) { return s * kSecond; }
+
+}  // namespace sctpmpi::sim

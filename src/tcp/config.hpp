@@ -1,0 +1,36 @@
+// TCP stack tuning knobs, defaulted to the paper's experimental settings
+// (FreeBSD 5.3-era stack: SACK enabled, Nagle disabled, 220 KiB socket
+// buffers, RFC 2988 retransmission timer, Reno/NewReno congestion control
+// with ACK-counted window growth).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace sctpmpi::tcp {
+
+struct TcpConfig {
+  std::size_t mss = 1460;
+  std::size_t sndbuf = 220 * 1024;  // paper §4 setting 1
+  std::size_t rcvbuf = 220 * 1024;
+  bool nagle = false;               // paper §4 setting 2: disabled in LAM-TCP
+  bool sack_enabled = true;         // paper §4 setting 3
+  unsigned max_sack_blocks = 3;     // era TCP option space limit (paper §4.1.1)
+  bool delayed_ack = true;
+  sim::SimTime delack_delay = 100 * sim::kMillisecond;  // FreeBSD default
+  sim::SimTime min_rto = sim::kSecond;        // RFC 2988 lower bound
+  sim::SimTime initial_rto = 3 * sim::kSecond;
+  sim::SimTime max_rto = 64 * sim::kSecond;
+  unsigned init_cwnd_segments = 2;  // RFC 2581
+  unsigned dupack_threshold = 3;
+  unsigned max_syn_retries = 8;
+  unsigned max_data_retries = 12;
+  sim::SimTime time_wait = 500 * sim::kMillisecond;  // shortened 2*MSL
+  bool idle_cwnd_restart = true;    // RFC 2581 §4.1 after idle > RTO
+  /// Modeled stack CPU per segment each way (checksums are offloaded to the
+  /// NIC in the paper's testbed, so there is no per-byte checksum cost).
+  sim::SimTime cpu_per_packet = 1200;  // ns
+};
+
+}  // namespace sctpmpi::tcp

@@ -1,0 +1,896 @@
+#include "tcp/socket.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cassert>
+#include <utility>
+
+namespace sctpmpi::tcp {
+
+using net::seq_diff;
+using net::seq_geq;
+using net::seq_gt;
+using net::seq_leq;
+using net::seq_lt;
+
+const char* to_string(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kListen: return "LISTEN";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynRcvd: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+TcpSocket::TcpSocket(TcpStack& stack, TcpConfig cfg)
+    : stack_(stack),
+      cfg_(cfg),
+      snd_buf_(cfg.sndbuf),
+      rto_(cfg.initial_rto),
+      recv_q_(cfg.rcvbuf),
+      rtx_timer_(stack.host().sim(), [this] { on_rtx_timeout_(); }),
+      persist_timer_(stack.host().sim(), [this] { on_persist_timeout_(); }),
+      delack_timer_(stack.host().sim(), [this] { ack_now_(); }),
+      time_wait_timer_(stack.host().sim(), [this] {
+        state_ = TcpState::kClosed;
+        notify_activity_();
+      }) {}
+
+// --------------------------------------------------------------------------
+// Application API
+// --------------------------------------------------------------------------
+
+void TcpSocket::bind(std::uint16_t port) { lport_ = port; }
+
+void TcpSocket::listen() {
+  assert(lport_ != 0 && "bind before listen");
+  state_ = TcpState::kListen;
+  stack_.register_listener_(this);
+}
+
+TcpSocket* TcpSocket::accept() {
+  if (accept_q_.empty()) return nullptr;
+  TcpSocket* child = accept_q_.front();
+  accept_q_.pop_front();
+  return child;
+}
+
+void TcpSocket::connect(net::IpAddr dst, std::uint16_t dport) {
+  assert(state_ == TcpState::kClosed);
+  if (lport_ == 0) lport_ = stack_.ephemeral_port_();
+  raddr_ = dst;
+  rport_ = dport;
+  stack_.register_conn_(this);
+  iss_ = stack_.random_iss_();
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;
+  cwnd_ = static_cast<std::uint32_t>(cfg_.init_cwnd_segments * cfg_.mss);
+  state_ = TcpState::kSynSent;
+  // Time the handshake for the first RTT sample (invalidated on SYN rtx).
+  rtt_sampling_ = true;
+  rtt_seq_ = snd_nxt_;
+  rtt_start_ = stack_.host().sim().now();
+  send_flags_(/*syn=*/true, /*fin_flag=*/false);
+  arm_rtx_();
+}
+
+std::ptrdiff_t TcpSocket::send(std::span<const std::byte> data) {
+  return send_gather(data, {});
+}
+
+std::ptrdiff_t TcpSocket::send_gather(std::span<const std::byte> a,
+                                      std::span<const std::byte> b) {
+  if (failed_) return kError;
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait)
+    return kAgain;
+  if (fin_pending_ || fin_sent_) return kError;  // already closed for writing
+  std::size_t n = snd_buf_.write(a);
+  if (n == a.size()) n += snd_buf_.write(b);
+  if (n == 0) return kAgain;
+  stats_.bytes_sent += n;
+  try_output_();
+  return static_cast<std::ptrdiff_t>(n);
+}
+
+std::ptrdiff_t TcpSocket::recv(std::span<std::byte> out) {
+  if (failed_) return kError;
+  const std::size_t n = recv_q_.read(out);
+  if (n > 0) {
+    stats_.bytes_received += n;
+    // Window update: tell the peer when meaningful space opens up.
+    const auto wnd = static_cast<std::uint32_t>(recv_q_.free_space() -
+                                                std::min(recv_q_.free_space(),
+                                                         ooo_bytes_));
+    if (wnd > last_advertised_wnd_ &&
+        wnd - last_advertised_wnd_ >=
+            std::min<std::uint32_t>(static_cast<std::uint32_t>(2 * cfg_.mss),
+                                    static_cast<std::uint32_t>(cfg_.rcvbuf / 2))) {
+      ack_now_();
+    }
+    return static_cast<std::ptrdiff_t>(n);
+  }
+  if (fin_received_ && ooo_.empty()) return 0;  // EOF
+  return kAgain;
+}
+
+void TcpSocket::close() {
+  switch (state_) {
+    case TcpState::kClosed:
+    case TcpState::kListen:
+      state_ = TcpState::kClosed;
+      return;
+    case TcpState::kSynSent:
+      state_ = TcpState::kClosed;
+      return;
+    case TcpState::kSynRcvd:
+    case TcpState::kEstablished:
+      state_ = TcpState::kFinWait1;
+      break;
+    case TcpState::kCloseWait:
+      state_ = TcpState::kLastAck;
+      break;
+    default:
+      return;  // close already in progress
+  }
+  fin_pending_ = true;
+  maybe_send_fin_();
+}
+
+void TcpSocket::abort() {
+  if (state_ != TcpState::kClosed && state_ != TcpState::kListen) send_rst_();
+  fail_("aborted");
+}
+
+// --------------------------------------------------------------------------
+// Output
+// --------------------------------------------------------------------------
+
+std::size_t TcpSocket::sent_unacked_data_() const {
+  // Data bytes in [snd_una_, snd_nxt_), excluding the FIN's sequence slot.
+  std::uint32_t d = snd_nxt_ - snd_una_;
+  if (fin_sent_ && d > 0) d -= 1;
+  return d;
+}
+
+void TcpSocket::try_output_() {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait &&
+      state_ != TcpState::kFinWait1 && state_ != TcpState::kClosing &&
+      state_ != TcpState::kLastAck)
+    return;
+
+  // RFC 2581 §4.1: restart from the initial window after a long idle period.
+  if (cfg_.idle_cwnd_restart && flight_size_() == 0 && !fast_recovery_ &&
+      last_send_time_ != 0 &&
+      stack_.host().sim().now() - last_send_time_ >
+          std::max(rto_, cfg_.min_rto)) {
+    cwnd_ = std::min(
+        cwnd_, static_cast<std::uint32_t>(cfg_.init_cwnd_segments * cfg_.mss));
+  }
+
+  while (true) {
+    const std::uint32_t flight = flight_size_();
+    const std::uint32_t usable = std::min(cwnd_, snd_wnd_);
+    const std::size_t unsent = snd_buf_.size() - sent_unacked_data_();
+    if (unsent == 0 || fin_sent_) break;
+    if (flight >= usable) {
+      // Zero usable window with nothing in flight: start persist probing so
+      // the connection cannot deadlock on a lost window update.
+      if (flight == 0 && snd_wnd_ == 0 && !persist_timer_.armed()) {
+        persist_timer_.arm(std::min(rto_ << rtx_shift_, cfg_.max_rto));
+      }
+      break;
+    }
+    std::size_t len = std::min({unsent, cfg_.mss,
+                                static_cast<std::size_t>(usable - flight)});
+    if (len < cfg_.mss && cfg_.nagle && flight > 0)
+      break;  // Nagle: hold small segment while data is outstanding
+    send_data_segment_(snd_nxt_, len, /*rtx=*/false);
+    snd_nxt_ += static_cast<std::uint32_t>(len);
+    if (!rtx_timer_.armed()) arm_rtx_();
+    if (!rtt_sampling_) {
+      rtt_sampling_ = true;
+      rtt_seq_ = snd_nxt_;
+      rtt_start_ = stack_.host().sim().now();
+    }
+  }
+  maybe_send_fin_();
+}
+
+void TcpSocket::send_data_segment_(std::uint32_t seq, std::size_t len,
+                                   bool rtx) {
+  Segment seg;
+  seg.sport = lport_;
+  seg.dport = rport_;
+  seg.seq = seq;
+  seg.ack = rcv_nxt_;
+  seg.ack_flag = true;
+  seg.wnd = static_cast<std::uint32_t>(recv_q_.free_space());
+  last_advertised_wnd_ = seg.wnd;
+  const std::size_t off = static_cast<std::size_t>(seq_diff(seq, snd_una_));
+  seg.payload.resize(len);
+  snd_buf_.peek(off, seg.payload);
+  seg.psh = (off + len == snd_buf_.size());
+  if (!ooo_.empty() && peer_sack_ok_) seg.sacks = build_sack_blocks_();
+  if (rtx) ++stats_.retransmits;
+  ++stats_.segments_sent;
+  segs_since_ack_ = 0;
+  delack_timer_.cancel();
+  last_send_time_ = stack_.host().sim().now();
+  stack_.transmit_(std::move(seg), raddr_, net::kAddrAny);
+}
+
+void TcpSocket::send_flags_(bool syn, bool fin_flag) {
+  Segment seg;
+  seg.sport = lport_;
+  seg.dport = rport_;
+  seg.ack = rcv_nxt_;
+  seg.wnd = static_cast<std::uint32_t>(recv_q_.free_space());
+  last_advertised_wnd_ = seg.wnd;
+  if (syn) {
+    seg.syn = true;
+    seg.seq = iss_;
+    seg.mss_opt = static_cast<std::uint16_t>(cfg_.mss);
+    seg.sack_permitted = cfg_.sack_enabled;
+    // A SYN-ACK from SYN_RCVD acknowledges the peer's SYN.
+    seg.ack_flag = (state_ == TcpState::kSynRcvd);
+  } else if (fin_flag) {
+    seg.fin = true;
+    seg.seq = fin_seq_;
+    seg.ack_flag = true;
+  }
+  ++stats_.segments_sent;
+  last_send_time_ = stack_.host().sim().now();
+  stack_.transmit_(std::move(seg), raddr_, net::kAddrAny);
+}
+
+void TcpSocket::maybe_send_fin_() {
+  if (!fin_pending_ || fin_sent_) return;
+  const std::size_t unsent = snd_buf_.size() - sent_unacked_data_();
+  if (unsent > 0) return;  // flush data first
+  fin_seq_ = snd_nxt_;
+  snd_nxt_ += 1;
+  fin_sent_ = true;
+  send_flags_(/*syn=*/false, /*fin_flag=*/true);
+  if (!rtx_timer_.armed()) arm_rtx_();
+}
+
+void TcpSocket::ack_now_() {
+  delack_timer_.cancel();
+  segs_since_ack_ = 0;
+  Segment seg;
+  seg.sport = lport_;
+  seg.dport = rport_;
+  seg.seq = snd_nxt_;
+  seg.ack = rcv_nxt_;
+  seg.ack_flag = true;
+  seg.wnd = static_cast<std::uint32_t>(recv_q_.free_space());
+  last_advertised_wnd_ = seg.wnd;
+  if (!ooo_.empty() && peer_sack_ok_) seg.sacks = build_sack_blocks_();
+  ++stats_.segments_sent;
+  stack_.transmit_(std::move(seg), raddr_, net::kAddrAny);
+}
+
+void TcpSocket::schedule_ack_() {
+  ++segs_since_ack_;
+  if (!cfg_.delayed_ack || segs_since_ack_ >= 2) {
+    ack_now_();
+  } else if (!delack_timer_.armed()) {
+    delack_timer_.arm(cfg_.delack_delay);
+  }
+}
+
+void TcpSocket::send_rst_() {
+  Segment seg;
+  seg.sport = lport_;
+  seg.dport = rport_;
+  seg.seq = snd_nxt_;
+  seg.rst = true;
+  ++stats_.segments_sent;
+  stack_.transmit_(std::move(seg), raddr_, net::kAddrAny);
+}
+
+std::vector<SackBlock> TcpSocket::build_sack_blocks_() const {
+  // Report the most recently arrived out-of-order ranges, coalesced,
+  // limited to the era-typical option space (3 blocks).
+  std::vector<SackBlock> blocks;
+  for (auto it = ooo_.begin(); it != ooo_.end(); ++it) {
+    const std::uint32_t left = it->first;
+    const std::uint32_t right =
+        left + static_cast<std::uint32_t>(it->second.size());
+    if (!blocks.empty() && blocks.back().right == left) {
+      blocks.back().right = right;
+    } else {
+      blocks.push_back({left, right});
+    }
+  }
+  if (blocks.size() > cfg_.max_sack_blocks) {
+    // Keep the highest blocks (most recent loss information).
+    blocks.erase(blocks.begin(),
+                 blocks.end() - static_cast<std::ptrdiff_t>(
+                                    cfg_.max_sack_blocks));
+  }
+  return blocks;
+}
+
+// --------------------------------------------------------------------------
+// Input
+// --------------------------------------------------------------------------
+
+void TcpSocket::on_segment(Segment&& seg, net::IpAddr src) {
+  if (failed_ || state_ == TcpState::kClosed) return;
+  ++stats_.segments_received;
+
+  if (seg.rst) {
+    if (state_ != TcpState::kListen) fail_("connection reset by peer");
+    return;
+  }
+
+  switch (state_) {
+    case TcpState::kListen: {
+      if (!seg.syn || seg.ack_flag) return;
+      TcpSocket* child = stack_.create_socket();
+      child->lport_ = lport_;
+      child->raddr_ = src;
+      child->rport_ = seg.sport;
+      child->parent_listener_ = this;
+      if (seg.mss_opt != 0)
+        child->cfg_.mss = std::min(child->cfg_.mss, std::size_t{seg.mss_opt});
+      child->peer_sack_ok_ = cfg_.sack_enabled && seg.sack_permitted;
+      child->rcv_nxt_ = seg.seq + 1;
+      child->snd_wnd_ = seg.wnd;
+      child->iss_ = stack_.random_iss_();
+      child->snd_una_ = child->iss_;
+      child->snd_nxt_ = child->iss_ + 1;
+      child->cwnd_ = static_cast<std::uint32_t>(child->cfg_.init_cwnd_segments *
+                                                child->cfg_.mss);
+      child->state_ = TcpState::kSynRcvd;
+      stack_.register_conn_(child);
+      // Time the SYN-ACK -> ACK exchange for the first RTT sample.
+      child->rtt_sampling_ = true;
+      child->rtt_seq_ = child->snd_nxt_;
+      child->rtt_start_ = stack_.host().sim().now();
+      child->send_flags_(/*syn=*/true, /*fin_flag=*/false);
+      child->arm_rtx_();
+      return;
+    }
+
+    case TcpState::kSynSent: {
+      if (seg.syn && seg.ack_flag && seg.ack == iss_ + 1) {
+        if (rtt_sampling_) {
+          rtt_sampling_ = false;
+          update_rtt_(stack_.host().sim().now() - rtt_start_);
+        }
+        rcv_nxt_ = seg.seq + 1;
+        snd_una_ = seg.ack;
+        snd_wnd_ = seg.wnd;
+        if (seg.mss_opt != 0)
+          cfg_.mss = std::min(cfg_.mss, std::size_t{seg.mss_opt});
+        peer_sack_ok_ = cfg_.sack_enabled && seg.sack_permitted;
+        rtx_timer_.cancel();
+        rtx_shift_ = 0;
+        retries_ = 0;
+        enter_established_();
+        ack_now_();
+      }
+      return;
+    }
+
+    case TcpState::kSynRcvd: {
+      if (seg.syn && !seg.ack_flag) {
+        send_flags_(/*syn=*/true, /*fin_flag=*/false);  // SYN-ACK was lost
+        return;
+      }
+      if (seg.ack_flag && seg.ack == iss_ + 1) {
+        if (rtt_sampling_) {
+          rtt_sampling_ = false;
+          update_rtt_(stack_.host().sim().now() - rtt_start_);
+        }
+        snd_una_ = seg.ack;
+        snd_wnd_ = seg.wnd;
+        rtx_timer_.cancel();
+        rtx_shift_ = 0;
+        retries_ = 0;
+        enter_established_();
+        if (parent_listener_ != nullptr) {
+          parent_listener_->accept_q_.push_back(this);
+          parent_listener_->notify_activity_();
+        }
+        // Fall through to normal processing for piggybacked data.
+        if (!seg.payload.empty()) process_payload_(seg);
+        if (seg.fin) process_fin_(seg);
+      }
+      return;
+    }
+
+    default:
+      break;
+  }
+
+  // Established-and-beyond processing.
+  if (seg.syn) return;  // stale duplicate SYN
+  if (seg.ack_flag) process_ack_(seg);
+  if (failed_ || state_ == TcpState::kClosed) return;
+  if (!seg.payload.empty()) process_payload_(seg);
+  if (seg.fin) process_fin_(seg);
+  try_output_();
+  notify_activity_();
+}
+
+void TcpSocket::enter_established_() {
+  state_ = TcpState::kEstablished;
+  notify_activity_();
+}
+
+void TcpSocket::process_ack_(const Segment& seg) {
+  // Ignore ACKs for data we have not sent.
+  if (seq_gt(seg.ack, snd_nxt_)) return;
+
+  if (peer_sack_ok_ && !seg.sacks.empty()) merge_peer_sacks_(seg.sacks);
+
+  if (seq_gt(seg.ack, snd_una_)) {
+    const auto acked = static_cast<std::uint32_t>(seq_diff(seg.ack, snd_una_));
+    const bool was_in_recovery = fast_recovery_;
+
+    // FIN occupies one sequence number beyond the data.
+    const std::size_t data_acked =
+        std::min(static_cast<std::size_t>(acked), snd_buf_.size());
+    snd_buf_.drop(data_acked);
+    snd_una_ = seg.ack;
+    snd_wnd_ = seg.wnd;
+    retries_ = 0;
+
+    // RTT sample (Karn: only if the timed sequence was not retransmitted;
+    // the sample is invalidated on any timeout).
+    if (rtt_sampling_ && seq_geq(seg.ack, rtt_seq_)) {
+      rtt_sampling_ = false;
+      update_rtt_(stack_.host().sim().now() - rtt_start_);
+    }
+    rtx_shift_ = 0;
+
+    // Drop now-cumulatively-acked scoreboard entries.
+    std::erase_if(scoreboard_,
+                  [&](const SackBlock& b) { return seq_leq(b.right, snd_una_); });
+
+    on_new_ack_(acked, was_in_recovery);
+
+    if (fin_sent_ && seq_gt(seg.ack, fin_seq_)) {
+      // Our FIN is acknowledged.
+      rtx_timer_.cancel();
+      if (state_ == TcpState::kFinWait1) state_ = TcpState::kFinWait2;
+      else if (state_ == TcpState::kClosing) enter_time_wait_();
+      else if (state_ == TcpState::kLastAck) {
+        state_ = TcpState::kClosed;
+        notify_activity_();
+        return;
+      }
+    }
+
+    if (flight_size_() == 0 && !(fin_sent_ && seq_leq(snd_una_, fin_seq_))) {
+      rtx_timer_.cancel();
+    } else {
+      arm_rtx_();
+    }
+    persist_timer_.cancel();
+  } else if (seg.ack == snd_una_) {
+    // Potential duplicate or pure window update.
+    const bool is_dupack = flight_size_() > 0 && seg.payload.empty() &&
+                           !seg.fin && seg.wnd == snd_wnd_;
+    if (is_dupack) {
+      on_dupack_(seg);
+    } else {
+      snd_wnd_ = seg.wnd;
+      if (snd_wnd_ > 0) persist_timer_.cancel();
+    }
+  }
+}
+
+void TcpSocket::on_new_ack_(std::uint32_t acked_bytes, bool was_in_recovery) {
+  const auto mss32 = static_cast<std::uint32_t>(cfg_.mss);
+  if (was_in_recovery) {
+    if (seq_geq(snd_una_, recover_)) {
+      // Full acknowledgment: leave fast recovery (NewReno).
+      fast_recovery_ = false;
+      dupacks_ = 0;
+      cwnd_ = ssthresh_;
+    } else {
+      // Partial ACK: retransmit the next hole, deflate the window.
+      if (auto hole = next_rtx_hole_()) retransmit_one_(*hole);
+      cwnd_ = (cwnd_ > acked_bytes ? cwnd_ - acked_bytes : 0);
+      cwnd_ = std::max(cwnd_ + mss32, 2 * mss32);
+      arm_rtx_();
+    }
+    return;
+  }
+  dupacks_ = 0;
+  // Reno growth is ACK-counted (the paper contrasts this with SCTP's
+  // byte-counted growth): slow start adds one MSS per ACK, congestion
+  // avoidance adds MSS*MSS/cwnd per ACK.
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += mss32;
+  } else {
+    cwnd_ += std::max<std::uint32_t>(1, mss32 * mss32 / std::max(cwnd_, 1u));
+  }
+  const auto cap = static_cast<std::uint32_t>(cfg_.sndbuf);
+  cwnd_ = std::min(cwnd_, cap);
+}
+
+void TcpSocket::on_dupack_(const Segment& seg) {
+  ++stats_.dupacks_received;
+  ++dupacks_;
+  const auto mss32 = static_cast<std::uint32_t>(cfg_.mss);
+  if (!fast_recovery_ && dupacks_ == cfg_.dupack_threshold) {
+    ssthresh_ = std::max(flight_size_() / 2, 2 * mss32);
+    recover_ = snd_nxt_;
+    fast_recovery_ = true;
+    ++stats_.fast_retransmits;
+    retransmit_one_(snd_una_);
+    cwnd_ = ssthresh_ + cfg_.dupack_threshold * mss32;
+    arm_rtx_();
+  } else if (fast_recovery_) {
+    cwnd_ += mss32;  // window inflation per additional dupack
+    // With SACK information, retransmit the next known hole rather than
+    // waiting for a partial ACK.
+    if (peer_sack_ok_ && !seg.sacks.empty()) {
+      if (auto hole = next_rtx_hole_(); hole && seq_gt(*hole, snd_una_)) {
+        retransmit_one_(*hole);
+      }
+    }
+    try_output_();
+  }
+}
+
+void TcpSocket::merge_peer_sacks_(const std::vector<SackBlock>& blocks) {
+  for (const auto& b : blocks) {
+    if (seq_leq(b.right, snd_una_)) continue;
+    scoreboard_.push_back(b);
+  }
+  // Normalize: sort by left edge and coalesce.
+  std::sort(scoreboard_.begin(), scoreboard_.end(),
+            [](const SackBlock& a, const SackBlock& b) {
+              return seq_lt(a.left, b.left);
+            });
+  std::vector<SackBlock> merged;
+  for (const auto& b : scoreboard_) {
+    if (!merged.empty() && seq_geq(merged.back().right, b.left)) {
+      if (seq_lt(merged.back().right, b.right)) merged.back().right = b.right;
+    } else {
+      merged.push_back(b);
+    }
+  }
+  scoreboard_ = std::move(merged);
+}
+
+bool TcpSocket::range_sacked_(std::uint32_t seq, std::size_t len) const {
+  for (const auto& b : scoreboard_) {
+    if (seq_leq(b.left, seq) &&
+        seq_geq(b.right, seq + static_cast<std::uint32_t>(len)))
+      return true;
+  }
+  return false;
+}
+
+std::optional<std::uint32_t> TcpSocket::next_rtx_hole_() const {
+  if (scoreboard_.empty()) return snd_una_;
+  std::uint32_t probe = snd_una_;
+  const std::uint32_t high = scoreboard_.back().right;
+  while (seq_lt(probe, high)) {
+    bool covered = false;
+    for (const auto& b : scoreboard_) {
+      if (seq_leq(b.left, probe) && seq_lt(probe, b.right)) {
+        probe = b.right;
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return probe;
+  }
+  return std::nullopt;
+}
+
+void TcpSocket::retransmit_one_(std::uint32_t seq) {
+  if (fin_sent_ && seq == fin_seq_) {
+    send_flags_(/*syn=*/false, /*fin_flag=*/true);
+    ++stats_.retransmits;
+    return;
+  }
+  const std::size_t off = static_cast<std::size_t>(seq_diff(seq, snd_una_));
+  if (off >= snd_buf_.size()) return;
+  // A retransmission may only cover previously sent sequence space: with
+  // e.g. only persist-probe bytes outstanding, sending a full MSS would
+  // make the peer acknowledge "unsent" data, which we would then discard —
+  // wedging the connection.
+  const auto sent_beyond =
+      static_cast<std::size_t>(seq_diff(snd_nxt_, seq)) -
+      ((fin_sent_ && seq_leq(seq, fin_seq_)) ? 1u : 0u);
+  std::size_t len = std::min({cfg_.mss, snd_buf_.size() - off, sent_beyond});
+  if (len == 0) return;
+  // Do not re-send bytes the peer already holds.
+  if (range_sacked_(seq, len)) return;
+  send_data_segment_(seq, len, /*rtx=*/true);
+  rtt_sampling_ = false;  // Karn: never time a retransmitted segment
+}
+
+void TcpSocket::process_payload_(Segment& seg) {
+  std::uint32_t seq = seg.seq;
+  std::span<const std::byte> data = seg.payload;
+
+  // Trim anything already delivered.
+  if (seq_lt(seq, rcv_nxt_)) {
+    const auto dup = static_cast<std::size_t>(seq_diff(rcv_nxt_, seq));
+    if (dup >= data.size()) {
+      ack_now_();  // pure duplicate: re-ack
+      return;
+    }
+    data = data.subspan(dup);
+    seq = rcv_nxt_;
+  }
+
+  const std::size_t space = recv_q_.free_space();
+  if (seq == rcv_nxt_) {
+    const std::size_t take = std::min(data.size(), space);
+    if (take > 0) {
+      recv_q_.write(data.subspan(0, take));
+      rcv_nxt_ += static_cast<std::uint32_t>(take);
+      // Pull any now-contiguous out-of-order data across.
+      while (!ooo_.empty()) {
+        auto it = ooo_.begin();
+        if (seq_gt(it->first, rcv_nxt_)) break;
+        std::span<const std::byte> seg_data = it->second;
+        if (seq_lt(it->first, rcv_nxt_)) {
+          const auto dup =
+              static_cast<std::size_t>(seq_diff(rcv_nxt_, it->first));
+          if (dup >= seg_data.size()) {
+            ooo_bytes_ -= it->second.size();
+            ooo_.erase(it);
+            continue;
+          }
+          seg_data = seg_data.subspan(dup);
+        }
+        const std::size_t t2 = std::min(seg_data.size(), recv_q_.free_space());
+        if (t2 < seg_data.size()) break;  // no room; leave for later
+        recv_q_.write(seg_data);
+        rcv_nxt_ += static_cast<std::uint32_t>(t2);
+        ooo_bytes_ -= it->second.size();
+        ooo_.erase(it);
+      }
+    }
+    if (!ooo_.empty()) {
+      ack_now_();  // still holes: keep SACK info flowing
+    } else {
+      schedule_ack_();
+    }
+    notify_activity_();
+  } else if (seq_gt(seq, rcv_nxt_)) {
+    // Out of order: buffer within our window and send an immediate
+    // duplicate ACK carrying SACK blocks.
+    const std::size_t wnd = recv_q_.free_space();
+    const auto offset = static_cast<std::size_t>(seq_diff(seq, rcv_nxt_));
+    if (offset < wnd && ooo_.find(seq) == ooo_.end()) {
+      const std::size_t take = std::min(data.size(), wnd - offset);
+      if (take > 0) {
+        ooo_.emplace(seq, std::vector<std::byte>(data.begin(),
+                                                 data.begin() +
+                                                     static_cast<std::ptrdiff_t>(
+                                                         take)));
+        ooo_bytes_ += take;
+      }
+    }
+    ack_now_();
+  }
+}
+
+void TcpSocket::process_fin_(const Segment& seg) {
+  const std::uint32_t fin_seq = seg.seq + static_cast<std::uint32_t>(
+                                              seg.payload.size());
+  if (fin_seq != rcv_nxt_) {
+    ack_now_();  // FIN beyond a hole: dup-ack it
+    return;
+  }
+  if (fin_received_) {
+    ack_now_();
+    return;
+  }
+  fin_received_ = true;
+  rcv_nxt_ += 1;
+  ack_now_();
+  switch (state_) {
+    case TcpState::kEstablished:
+      state_ = TcpState::kCloseWait;
+      break;
+    case TcpState::kFinWait1:
+      state_ = TcpState::kClosing;
+      break;
+    case TcpState::kFinWait2:
+      enter_time_wait_();
+      break;
+    default:
+      break;
+  }
+  notify_activity_();
+}
+
+void TcpSocket::fail_(const char* reason) {
+  if (getenv("TCPTRACE") != nullptr) {
+    std::printf("[%f] tcp fail lport=%u rport=%u: %s (retries=%u rtx=%llu "
+                "to=%llu una_out=%u wnd=%u)\n",
+                static_cast<double>(stack_.host().sim().now()) / 1e9, lport_,
+                rport_, reason, retries_,
+                static_cast<unsigned long long>(stats_.retransmits),
+                static_cast<unsigned long long>(stats_.timeouts),
+                snd_nxt_ - snd_una_, snd_wnd_);
+  }
+  failed_ = true;
+  state_ = TcpState::kClosed;
+  rtx_timer_.cancel();
+  persist_timer_.cancel();
+  delack_timer_.cancel();
+  notify_activity_();
+}
+
+// --------------------------------------------------------------------------
+// Timers
+// --------------------------------------------------------------------------
+
+void TcpSocket::arm_rtx_() {
+  rtx_timer_.arm(std::min(rto_ << rtx_shift_, cfg_.max_rto));
+}
+
+void TcpSocket::on_rtx_timeout_() {
+  if (getenv("TCPTRACE") != nullptr) {
+    std::printf("[%f] tcp RTO lport=%u rport=%u retries=%u state=%s "
+                "flight=%u wnd=%u cwnd=%u shift=%u\n",
+                static_cast<double>(stack_.host().sim().now()) / 1e9, lport_,
+                rport_, retries_, to_string(state_), snd_nxt_ - snd_una_,
+                snd_wnd_, cwnd_, rtx_shift_);
+  }
+  ++stats_.timeouts;
+  ++retries_;
+  const unsigned limit = (state_ == TcpState::kSynSent ||
+                          state_ == TcpState::kSynRcvd)
+                             ? cfg_.max_syn_retries
+                             : cfg_.max_data_retries;
+  if (retries_ > limit) {
+    fail_("too many retransmissions");
+    return;
+  }
+  if (rtx_shift_ < 12) ++rtx_shift_;
+  rtt_sampling_ = false;
+
+  switch (state_) {
+    case TcpState::kSynSent:
+      send_flags_(/*syn=*/true, /*fin_flag=*/false);
+      break;
+    case TcpState::kSynRcvd:
+      send_flags_(/*syn=*/true, /*fin_flag=*/false);
+      break;
+    default: {
+      // Loss detected by timeout: collapse to one segment and slow-start.
+      const auto mss32 = static_cast<std::uint32_t>(cfg_.mss);
+      ssthresh_ = std::max(flight_size_() / 2, 2 * mss32);
+      cwnd_ = mss32;
+      fast_recovery_ = false;
+      dupacks_ = 0;
+      scoreboard_.clear();  // era-conservative: distrust SACK state
+      if (sent_unacked_data_() > 0) {
+        retransmit_one_(snd_una_);
+      } else if (fin_sent_ && seq_leq(snd_una_, fin_seq_)) {
+        send_flags_(/*syn=*/false, /*fin_flag=*/true);
+        ++stats_.retransmits;
+      }
+      break;
+    }
+  }
+  arm_rtx_();
+}
+
+void TcpSocket::on_persist_timeout_() {
+  // Zero-window probe: one byte past the window.
+  const std::size_t unsent = snd_buf_.size() - sent_unacked_data_();
+  if (snd_wnd_ == 0 && unsent > 0 && !fin_sent_) {
+    send_data_segment_(snd_nxt_, 1, /*rtx=*/false);
+    snd_nxt_ += 1;
+    if (!rtx_timer_.armed()) arm_rtx_();
+    persist_timer_.arm(std::min(rto_ << rtx_shift_, cfg_.max_rto));
+  }
+}
+
+void TcpSocket::update_rtt_(sim::SimTime measured) {
+  if (srtt_ == 0) {
+    srtt_ = measured;
+    rttvar_ = measured / 2;
+  } else {
+    const sim::SimTime err =
+        measured > srtt_ ? measured - srtt_ : srtt_ - measured;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + measured) / 8;
+  }
+  rto_ = std::clamp(srtt_ + std::max<sim::SimTime>(4 * rttvar_, 1),
+                    cfg_.min_rto, cfg_.max_rto);
+}
+
+void TcpSocket::enter_time_wait_() {
+  state_ = TcpState::kTimeWait;
+  time_wait_timer_.arm(cfg_.time_wait);
+  notify_activity_();
+}
+
+// --------------------------------------------------------------------------
+// Stack
+// --------------------------------------------------------------------------
+
+TcpStack::TcpStack(net::Host& host, TcpConfig cfg, sim::Rng rng)
+    : host_(host), cfg_(cfg), rng_(rng) {
+  host_.register_protocol(net::IpProto::kTcp, this);
+}
+
+TcpSocket* TcpStack::create_socket() {
+  sockets_.push_back(std::make_unique<TcpSocket>(*this, cfg_));
+  return sockets_.back().get();
+}
+
+void TcpStack::on_ip_packet(net::Packet&& pkt) {
+  Segment seg;
+  try {
+    seg = Segment::decode(pkt.payload);
+  } catch (const net::DecodeError&) {
+    return;  // malformed: drop
+  }
+  // Stack receive CPU (serialized on the host CPU), then processing.
+  const net::IpAddr src = pkt.src;
+  host_.sim().schedule_after(
+      host_.occupy_cpu(cfg_.cpu_per_packet),
+      [this, seg = std::move(seg), src]() mutable {
+        const ConnKey key{seg.dport, src.v, seg.sport};
+        if (auto it = conns_.find(key); it != conns_.end()) {
+          it->second->on_segment(std::move(seg), src);
+          return;
+        }
+        if (auto it = listeners_.find(seg.dport); it != listeners_.end()) {
+          it->second->on_segment(std::move(seg), src);
+        }
+        // else: no matching socket; silently drop (no RST model needed)
+      });
+}
+
+void TcpStack::transmit_(Segment&& seg, net::IpAddr dst, net::IpAddr src) {
+  net::Packet pkt;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.proto = net::IpProto::kTcp;
+  pkt.payload = seg.encode();
+  host_.send_ip(std::move(pkt), cfg_.cpu_per_packet);
+}
+
+void TcpStack::register_conn_(TcpSocket* s) {
+  conns_[ConnKey{s->lport_, s->raddr_.v, s->rport_}] = s;
+}
+
+void TcpStack::register_listener_(TcpSocket* s) {
+  listeners_[s->lport_] = s;
+}
+
+std::uint16_t TcpStack::ephemeral_port_() {
+  while (true) {
+    const std::uint16_t p = next_ephemeral_++;
+    if (next_ephemeral_ == 0) next_ephemeral_ = 49152;
+    bool in_use = listeners_.count(p) != 0;
+    for (const auto& [key, sock] : conns_) {
+      if (key.lport == p) {
+        in_use = true;
+        break;
+      }
+    }
+    if (!in_use) return p;
+  }
+}
+
+}  // namespace sctpmpi::tcp

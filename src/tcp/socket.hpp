@@ -1,0 +1,255 @@
+// TCP socket and per-host TCP stack.
+//
+// Implements the connection-oriented byte-stream semantics the paper's
+// LAM-TCP module runs on: three-way handshake, sliding-window flow control
+// with zero-window persistence, delayed ACKs, Nagle (configurable),
+// RFC 2018 SACK limited to a small option block count, Reno/NewReno
+// congestion control with ACK-counted growth, RFC 2988 RTO with exponential
+// backoff, and orderly FIN teardown. The app-facing API mirrors
+// non-blocking BSD sockets (send/recv return kAgain when they would block).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/packet.hpp"
+#include "net/ring_buffer.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/config.hpp"
+#include "tcp/wire.hpp"
+
+namespace sctpmpi::tcp {
+
+class TcpStack;
+
+/// Result of a would-block socket operation.
+inline constexpr std::ptrdiff_t kAgain = -1;
+/// Result of an operation on a reset/failed connection.
+inline constexpr std::ptrdiff_t kError = -2;
+
+enum class TcpState {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kClosing,
+  kLastAck,
+  kTimeWait,
+};
+
+const char* to_string(TcpState s);
+
+struct TcpStats {
+  std::uint64_t bytes_sent = 0;       // app payload accepted onto the wire
+  std::uint64_t bytes_received = 0;   // app payload delivered in order
+  std::uint64_t segments_sent = 0;
+  std::uint64_t segments_received = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t dupacks_received = 0;
+};
+
+class TcpSocket {
+ public:
+  TcpSocket(TcpStack& stack, TcpConfig cfg);
+
+  // ---- application API (non-blocking) ---------------------------------
+  void bind(std::uint16_t port);
+  void listen();
+  /// Pops an established connection off the accept queue, or nullptr.
+  TcpSocket* accept();
+  void connect(net::IpAddr dst, std::uint16_t dport);
+  /// Appends data to the send buffer; returns bytes accepted, kAgain if the
+  /// buffer is full, kError after reset.
+  std::ptrdiff_t send(std::span<const std::byte> data);
+  /// writev-style gather send: appends a then b as one operation, so small
+  /// headers coalesce with their payload into one segment (LAM-TCP sends
+  /// envelope+body back-to-back this way).
+  std::ptrdiff_t send_gather(std::span<const std::byte> a,
+                             std::span<const std::byte> b);
+  /// Reads in-order data; returns bytes read, 0 at EOF, kAgain if no data,
+  /// kError after reset.
+  std::ptrdiff_t recv(std::span<std::byte> out);
+  void close();
+  void abort();  // send RST, drop everything
+
+  bool readable() const {
+    return !recv_q_.empty() || (fin_received_ && ooo_.empty()) || failed_;
+  }
+  bool writable() const {
+    return (state_ == TcpState::kEstablished ||
+            state_ == TcpState::kCloseWait) &&
+           snd_buf_.free_space() > 0 && !fin_pending_ && !failed_;
+  }
+  bool has_pending_accept() const { return !accept_q_.empty(); }
+  bool connected() const { return state_ == TcpState::kEstablished; }
+  bool failed() const { return failed_; }
+  TcpState state() const { return state_; }
+  std::uint16_t local_port() const { return lport_; }
+  net::IpAddr remote_addr() const { return raddr_; }
+  std::uint16_t remote_port() const { return rport_; }
+  const TcpStats& stats() const { return stats_; }
+  const TcpConfig& config() const { return cfg_; }
+
+  /// Bytes currently queued in the send buffer (sent-but-unacked + unsent).
+  std::size_t send_buffered() const { return snd_buf_.size(); }
+  std::uint32_t cwnd() const { return cwnd_; }
+  std::uint32_t ssthresh() const { return ssthresh_; }
+
+  /// Invoked whenever this socket's readability/writability/accept queue
+  /// may have changed; progress engines hook their wakeups here.
+  void set_activity_callback(std::function<void()> cb) {
+    on_activity_ = std::move(cb);
+  }
+
+ private:
+  friend class TcpStack;
+
+  // ---- segment input ---------------------------------------------------
+  void on_segment(Segment&& seg, net::IpAddr src);
+  void process_ack_(const Segment& seg);
+  void process_payload_(Segment& seg);
+  void process_fin_(const Segment& seg);
+  void enter_established_();
+  void fail_(const char* reason);
+
+  // ---- output ----------------------------------------------------------
+  void try_output_();
+  void send_data_segment_(std::uint32_t seq, std::size_t len, bool rtx);
+  void send_flags_(bool syn, bool fin_flag);
+  void ack_now_();
+  void schedule_ack_();
+  void maybe_send_fin_();
+  void send_rst_();
+  std::vector<SackBlock> build_sack_blocks_() const;
+
+  // ---- congestion / recovery -------------------------------------------
+  void on_new_ack_(std::uint32_t acked_bytes, bool was_in_recovery);
+  void on_dupack_(const Segment& seg);
+  void merge_peer_sacks_(const std::vector<SackBlock>& blocks);
+  bool range_sacked_(std::uint32_t seq, std::size_t len) const;
+  std::optional<std::uint32_t> next_rtx_hole_() const;
+  void retransmit_one_(std::uint32_t seq);
+  std::uint32_t flight_size_() const { return snd_nxt_ - snd_una_; }
+  std::size_t sent_unacked_data_() const;
+
+  // ---- timers ------------------------------------------------------------
+  void on_rtx_timeout_();
+  void on_persist_timeout_();
+  void arm_rtx_();
+  void update_rtt_(sim::SimTime measured);
+  void enter_time_wait_();
+  void notify_activity_() {
+    if (on_activity_) on_activity_();
+  }
+
+  TcpStack& stack_;
+  TcpConfig cfg_;
+  TcpState state_ = TcpState::kClosed;
+  bool failed_ = false;
+
+  std::uint16_t lport_ = 0;
+  net::IpAddr raddr_;
+  std::uint16_t rport_ = 0;
+  TcpSocket* parent_listener_ = nullptr;
+  std::deque<TcpSocket*> accept_q_;
+
+  // Send side. snd_buf_ holds [snd_una_, snd_una_ + snd_buf_.size()).
+  net::RingBuffer snd_buf_;
+  std::uint32_t iss_ = 0;
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t snd_nxt_ = 0;
+  std::uint32_t snd_wnd_ = 0;
+  bool fin_pending_ = false;  // close() called with data still queued
+  bool fin_sent_ = false;
+  std::uint32_t fin_seq_ = 0;
+  sim::SimTime last_send_time_ = 0;
+
+  // Congestion control.
+  std::uint32_t cwnd_ = 0;
+  std::uint32_t ssthresh_ = 0x7FFFFFFF;
+  unsigned dupacks_ = 0;
+  bool fast_recovery_ = false;
+  std::uint32_t recover_ = 0;
+  std::vector<SackBlock> scoreboard_;  // peer-reported SACKed ranges
+  bool peer_sack_ok_ = false;
+
+  // RTT estimation (Karn's algorithm: one unretransmitted sample at a time).
+  bool rtt_sampling_ = false;
+  std::uint32_t rtt_seq_ = 0;
+  sim::SimTime rtt_start_ = 0;
+  sim::SimTime srtt_ = 0;
+  sim::SimTime rttvar_ = 0;
+  sim::SimTime rto_;
+  unsigned rtx_shift_ = 0;  // backoff exponent
+  unsigned retries_ = 0;
+
+  // Receive side.
+  net::RingBuffer recv_q_;
+  std::uint32_t rcv_nxt_ = 0;
+  std::map<std::uint32_t, std::vector<std::byte>> ooo_;  // out-of-order
+  std::size_t ooo_bytes_ = 0;
+  bool fin_received_ = false;
+  unsigned segs_since_ack_ = 0;
+  std::uint32_t last_advertised_wnd_ = 0;
+
+  sim::Timer rtx_timer_;
+  sim::Timer persist_timer_;
+  sim::Timer delack_timer_;
+  sim::Timer time_wait_timer_;
+
+  TcpStats stats_;
+  std::function<void()> on_activity_;
+};
+
+/// Per-host TCP: demultiplexes incoming segments to sockets and owns them.
+class TcpStack : public net::ProtocolHandler {
+ public:
+  TcpStack(net::Host& host, TcpConfig cfg, sim::Rng rng);
+
+  /// Creates a socket owned by this stack.
+  TcpSocket* create_socket();
+  net::Host& host() { return host_; }
+  const TcpConfig& config() const { return cfg_; }
+
+  void on_ip_packet(net::Packet&& pkt) override;
+
+ private:
+  friend class TcpSocket;
+
+  struct ConnKey {
+    std::uint16_t lport;
+    std::uint32_t raddr;
+    std::uint16_t rport;
+    auto operator<=>(const ConnKey&) const = default;
+  };
+
+  void transmit_(Segment&& seg, net::IpAddr dst, net::IpAddr src);
+  void register_conn_(TcpSocket* s);
+  void register_listener_(TcpSocket* s);
+  std::uint16_t ephemeral_port_();
+  std::uint32_t random_iss_() { return static_cast<std::uint32_t>(rng_.next()); }
+
+  net::Host& host_;
+  TcpConfig cfg_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<TcpSocket>> sockets_;
+  std::map<ConnKey, TcpSocket*> conns_;
+  std::map<std::uint16_t, TcpSocket*> listeners_;
+  std::uint16_t next_ephemeral_ = 49152;
+};
+
+}  // namespace sctpmpi::tcp

@@ -1,0 +1,50 @@
+// TCP segment wire format (RFC 793 header + the options this stack speaks:
+// MSS, SACK-permitted, SACK blocks). Segments are serialized into the IP
+// packet payload and parsed back on receive, so header/option overheads are
+// charged on the wire exactly as in the real protocol.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/bytes.hpp"
+
+namespace sctpmpi::tcp {
+
+inline constexpr std::size_t kTcpBaseHeaderBytes = 20;
+inline constexpr unsigned kMaxSackBlocks = 3;  // era-typical TCP SACK limit
+
+struct SackBlock {
+  std::uint32_t left = 0;   // first sequence of the block
+  std::uint32_t right = 0;  // one past the last sequence
+  bool operator==(const SackBlock&) const = default;
+};
+
+struct Segment {
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  bool fin = false;
+  bool syn = false;
+  bool rst = false;
+  bool psh = false;
+  bool ack_flag = false;
+  std::uint32_t wnd = 0;  // we allow >64K windows (implicit scaling)
+  // Options.
+  std::uint16_t mss_opt = 0;        // 0 = absent
+  bool sack_permitted = false;
+  std::vector<SackBlock> sacks;
+  std::vector<std::byte> payload;
+
+  std::size_t header_bytes() const;
+  std::size_t wire_bytes() const { return header_bytes() + payload.size(); }
+
+  /// Serializes into a fresh buffer.
+  std::vector<std::byte> encode() const;
+  /// Parses a segment; throws net::DecodeError on malformed input.
+  static Segment decode(std::span<const std::byte> wire);
+};
+
+}  // namespace sctpmpi::tcp

@@ -1,0 +1,198 @@
+// Workload-level tests: the farm protocol terminates with every task
+// delivered exactly once under every transport and loss rate; ping-pong
+// and the NAS skeletons produce sane, deterministic results.
+#include <gtest/gtest.h>
+
+#include "apps/farm.hpp"
+#include "apps/nas.hpp"
+#include "apps/pingpong.hpp"
+
+namespace sctpmpi::apps {
+namespace {
+
+struct FarmCase {
+  const char* name;
+  core::TransportKind transport;
+  unsigned stream_pool;
+  double loss;
+  int fanout;
+};
+
+class FarmTest : public ::testing::TestWithParam<FarmCase> {};
+
+TEST_P(FarmTest, CompletesAllTasksExactlyOnce) {
+  const FarmCase& c = GetParam();
+  core::WorldConfig cfg;
+  cfg.ranks = 4;
+  cfg.transport = c.transport;
+  cfg.rpi.stream_pool = c.stream_pool;
+  cfg.loss = c.loss;
+  cfg.seed = 11;
+  FarmParams fp;
+  fp.num_tasks = 200;
+  fp.task_size = 30 * 1024;
+  fp.fanout = c.fanout;
+  FarmResult r = run_farm(cfg, fp);
+  EXPECT_EQ(r.tasks_completed, fp.num_tasks);
+  EXPECT_GT(r.total_runtime_seconds, 0.0);
+  // Each worker front-loads `outstanding` requests and then one per full
+  // batch; the manager must have served at least tasks/fanout requests.
+  EXPECT_GE(r.manager_requests_served,
+            static_cast<std::uint64_t>(fp.num_tasks / fp.fanout));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransports, FarmTest,
+    ::testing::Values(
+        FarmCase{"TcpNoLoss", core::TransportKind::kTcp, 10, 0.0, 1},
+        FarmCase{"TcpLoss2", core::TransportKind::kTcp, 10, 0.02, 1},
+        FarmCase{"SctpNoLoss", core::TransportKind::kSctp, 10, 0.0, 1},
+        FarmCase{"SctpLoss2", core::TransportKind::kSctp, 10, 0.02, 1},
+        FarmCase{"SctpFanout10Loss2", core::TransportKind::kSctp, 10, 0.02,
+                 10},
+        FarmCase{"Sctp1StreamLoss2", core::TransportKind::kSctp, 1, 0.02,
+                 10},
+        FarmCase{"TcpFanout10Loss1", core::TransportKind::kTcp, 10, 0.01,
+                 10}),
+    [](const ::testing::TestParamInfo<FarmCase>& info) {
+      return info.param.name;
+    });
+
+TEST(FarmProperties, LongTasksUseRendezvousAndComplete) {
+  core::WorldConfig cfg;
+  cfg.ranks = 4;
+  cfg.transport = core::TransportKind::kSctp;
+  cfg.loss = 0.01;
+  cfg.seed = 3;
+  FarmParams fp;
+  fp.num_tasks = 40;
+  fp.task_size = 300 * 1024;  // long: > 64 KiB eager limit
+  FarmResult r = run_farm(cfg, fp);
+  EXPECT_EQ(r.tasks_completed, 40);
+}
+
+TEST(FarmProperties, DeterministicAcrossRuns) {
+  auto once = [] {
+    core::WorldConfig cfg;
+    cfg.ranks = 4;
+    cfg.transport = core::TransportKind::kSctp;
+    cfg.loss = 0.02;
+    cfg.seed = 77;
+    FarmParams fp;
+    fp.num_tasks = 100;
+    return run_farm(cfg, fp).total_runtime_seconds;
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+TEST(FarmProperties, DifferentSeedsDifferentTimings) {
+  auto with_seed = [](std::uint64_t seed) {
+    core::WorldConfig cfg;
+    cfg.ranks = 4;
+    cfg.transport = core::TransportKind::kSctp;
+    cfg.loss = 0.02;
+    cfg.seed = seed;
+    FarmParams fp;
+    fp.num_tasks = 100;
+    return run_farm(cfg, fp).total_runtime_seconds;
+  };
+  EXPECT_NE(with_seed(1), with_seed(2));
+}
+
+TEST(FarmProperties, MoreWorkersFinishFaster) {
+  auto with_ranks = [](int ranks) {
+    core::WorldConfig cfg;
+    cfg.ranks = ranks;
+    cfg.transport = core::TransportKind::kSctp;
+    FarmParams fp;
+    fp.num_tasks = 300;
+    fp.work_per_task = 5 * sim::kMillisecond;  // compute-bound regime
+    return run_farm(cfg, fp).total_runtime_seconds;
+  };
+  EXPECT_LT(with_ranks(8), with_ranks(3) * 0.7);
+}
+
+TEST(PingPong, ThroughputGrowsWithMessageSize) {
+  auto tput = [](std::size_t size) {
+    core::WorldConfig cfg;
+    cfg.transport = core::TransportKind::kSctp;
+    PingPongParams pp;
+    pp.message_size = size;
+    pp.iterations = 30;
+    return run_pingpong(cfg, pp).throughput_Bps;
+  };
+  const double small = tput(64);
+  const double large = tput(64 * 1024);
+  EXPECT_GT(large, small * 10);
+}
+
+TEST(PingPong, LossReducesThroughputOnBothTransports) {
+  for (auto tr : {core::TransportKind::kTcp, core::TransportKind::kSctp}) {
+    core::WorldConfig cfg;
+    cfg.transport = tr;
+    PingPongParams pp;
+    pp.message_size = 30 * 1024;
+    pp.iterations = 30;
+    const double clean = run_pingpong(cfg, pp).throughput_Bps;
+    cfg.loss = 0.02;
+    const double lossy = run_pingpong(cfg, pp).throughput_Bps;
+    EXPECT_LT(lossy, clean / 5) << core::to_string(tr);
+  }
+}
+
+TEST(PingPong, SctpBeatsTcpUnderLoss) {
+  // The paper's core claim (Table 1), as an invariant. Loss runs are
+  // timeout-dominated, so average over seeds as the paper averaged runs.
+  double secs[2] = {0, 0};
+  int i = 0;
+  for (auto tr : {core::TransportKind::kTcp, core::TransportKind::kSctp}) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      core::WorldConfig cfg;
+      cfg.transport = tr;
+      cfg.loss = 0.02;
+      cfg.seed = seed;
+      PingPongParams pp;
+      pp.message_size = 30 * 1024;
+      pp.iterations = 60;
+      secs[i] += run_pingpong(cfg, pp).loop_seconds;
+    }
+    ++i;
+  }
+  EXPECT_LT(secs[1], secs[0] / 1.3) << "SCTP must be >=1.3x faster at 2%";
+}
+
+TEST(Nas, AllKernelsRunOnBothTransportsClassS) {
+  for (NasKernel k : nas_paper_order()) {
+    for (auto tr : {core::TransportKind::kTcp, core::TransportKind::kSctp}) {
+      core::WorldConfig cfg;
+      cfg.ranks = 8;
+      cfg.transport = tr;
+      NasResult r = run_nas(cfg, k, NasClass::kS);
+      EXPECT_GT(r.runtime_seconds, 0.0) << to_string(k);
+      EXPECT_GT(r.mops_total, 0.0) << to_string(k);
+    }
+  }
+}
+
+TEST(Nas, ClassesScaleUpRuntime) {
+  core::WorldConfig cfg;
+  cfg.ranks = 8;
+  cfg.transport = core::TransportKind::kSctp;
+  const double s = run_nas(cfg, NasKernel::kCG, NasClass::kS).runtime_seconds;
+  core::WorldConfig cfg2 = cfg;
+  const double b =
+      run_nas(cfg2, NasKernel::kCG, NasClass::kB).runtime_seconds;
+  EXPECT_GT(b, s * 5);
+}
+
+TEST(Nas, SurvivesLoss) {
+  core::WorldConfig cfg;
+  cfg.ranks = 8;
+  cfg.transport = core::TransportKind::kSctp;
+  cfg.loss = 0.02;
+  NasResult r = run_nas(cfg, NasKernel::kMG, NasClass::kW);
+  EXPECT_GT(r.runtime_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace sctpmpi::apps

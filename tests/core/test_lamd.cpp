@@ -1,0 +1,160 @@
+// Tests for the LAM daemon layer (paper §3.5.3): UDP vs SCTP control
+// traffic — reliability of status pings and abort/cleanup broadcasts, and
+// the failure-notification advantage of the SCTP variant.
+#include "core/lamd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/cluster.hpp"
+#include "net/udp.hpp"
+#include "sctp/socket.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace sctpmpi::core {
+namespace {
+
+class LamdFixture : public ::testing::Test {
+ protected:
+  void build(CtlTransport transport, double loss = 0.0, unsigned nodes = 8,
+             std::uint64_t seed = 5) {
+    daemons_.clear();
+    sctp_stacks_.clear();
+    udp_stacks_.clear();
+    cluster_.reset();
+    sim_ = std::make_unique<sim::Simulator>();
+    net::ClusterParams params;
+    params.hosts = nodes;
+    params.link.loss = loss;
+    cluster_ = std::make_unique<net::Cluster>(*sim_, sim::Rng(seed), params);
+    auto addr = [this](int n) {
+      return cluster_->addr(static_cast<unsigned>(n));
+    };
+    LamdConfig cfg;
+    cfg.transport = transport;
+    for (unsigned h = 0; h < nodes; ++h) {
+      sctp::SctpStack* ss = nullptr;
+      net::UdpStack* us = nullptr;
+      if (transport == CtlTransport::kSctp) {
+        sctp_stacks_.push_back(std::make_unique<sctp::SctpStack>(
+            cluster_->host(h), sctp::SctpConfig{},
+            sim::Rng(seed).fork(700 + h)));
+        ss = sctp_stacks_.back().get();
+      } else {
+        udp_stacks_.push_back(
+            std::make_unique<net::UdpStack>(cluster_->host(h)));
+        us = udp_stacks_.back().get();
+      }
+      daemons_.push_back(std::make_unique<LamDaemon>(
+          cluster_->host(h), static_cast<int>(h), static_cast<int>(nodes),
+          cfg, addr, ss, us));
+    }
+    for (auto& d : daemons_) d->start();
+  }
+
+  void run_for(sim::SimTime t) { sim_->run_until(sim_->now() + t); }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<net::Cluster> cluster_;
+  std::vector<std::unique_ptr<sctp::SctpStack>> sctp_stacks_;
+  std::vector<std::unique_ptr<net::UdpStack>> udp_stacks_;
+  std::vector<std::unique_ptr<LamDaemon>> daemons_;
+};
+
+TEST_F(LamdFixture, MasterSeesAllNodesOverUdp) {
+  build(CtlTransport::kUdp);
+  run_for(2 * sim::kSecond);
+  EXPECT_EQ(daemons_[0]->alive_count(), 8);
+}
+
+TEST_F(LamdFixture, MasterSeesAllNodesOverSctp) {
+  build(CtlTransport::kSctp);
+  run_for(2 * sim::kSecond);
+  EXPECT_EQ(daemons_[0]->alive_count(), 8);
+}
+
+TEST_F(LamdFixture, UdpDropsStatusUnderLossSctpDoesNot) {
+  for (auto transport : {CtlTransport::kUdp, CtlTransport::kSctp}) {
+    // Establish the control channels cleanly, then turn on 20% loss: the
+    // claim under test is the reliability of the control *traffic*, not
+    // handshake convergence time.
+    build(transport, /*loss=*/0.0);
+    run_for(2 * sim::kSecond);
+    cluster_->set_loss(0.2);
+    run_for(60 * sim::kSecond);
+    cluster_->set_loss(0.0);      // let SCTP retransmissions drain
+    run_for(10 * sim::kSecond);
+    std::uint64_t sent = 0;
+    for (std::size_t i = 1; i < daemons_.size(); ++i) {
+      sent += daemons_[i]->stats().status_sent;
+    }
+    const std::uint64_t received = daemons_[0]->stats().status_received;
+    if (transport == CtlTransport::kUdp) {
+      EXPECT_LT(received, sent) << "UDP must lose ~20% of pings";
+      EXPECT_GT(received, sent / 2);
+    } else {
+      // SCTP retransmits: every ping arrives, save at most the one still
+      // in flight per slave when the clock stops.
+      EXPECT_GE(received + daemons_.size(), sent);
+      EXPECT_LE(received, sent);
+    }
+  }
+}
+
+TEST_F(LamdFixture, AbortBroadcastReliableOnlyOverSctp) {
+  for (auto transport : {CtlTransport::kUdp, CtlTransport::kSctp}) {
+    build(transport, /*loss=*/0.0, /*nodes=*/8, /*seed=*/11);
+    run_for(2 * sim::kSecond);    // channels up
+    cluster_->set_loss(0.35);
+    daemons_[0]->broadcast_abort();
+    run_for(30 * sim::kSecond);
+    int got = 0;
+    for (std::size_t i = 1; i < daemons_.size(); ++i) {
+      if (daemons_[i]->abort_received()) ++got;
+    }
+    if (transport == CtlTransport::kUdp) {
+      EXPECT_LT(got, 7) << "at 35% loss some single-shot aborts must vanish";
+    } else {
+      EXPECT_EQ(got, 7) << "SCTP cleanup orders are reliable (paper §3.5.3)";
+    }
+  }
+}
+
+TEST_F(LamdFixture, DeadNodeDetectedByPingTimeout) {
+  build(CtlTransport::kSctp);
+  run_for(2 * sim::kSecond);
+  EXPECT_TRUE(daemons_[0]->is_alive(3));
+  // Node 3's network dies.
+  cluster_->uplink(3).set_drop_filter([](const net::Packet&) { return true; });
+  cluster_->downlink(3).set_drop_filter(
+      [](const net::Packet&) { return true; });
+  run_for(5 * sim::kSecond);
+  EXPECT_FALSE(daemons_[0]->is_alive(3));
+  EXPECT_EQ(daemons_[0]->alive_count(), 7);
+}
+
+TEST_F(LamdFixture, SctpCommLostMarksNodeDead) {
+  build(CtlTransport::kSctp);
+  run_for(2 * sim::kSecond);
+  // Kill node 5 and have the master push an abort at it: the association's
+  // retransmission limit fires a CommLost notification.
+  cluster_->uplink(5).set_drop_filter([](const net::Packet&) { return true; });
+  cluster_->downlink(5).set_drop_filter(
+      [](const net::Packet&) { return true; });
+  daemons_[0]->broadcast_abort();
+  run_for(120 * sim::kSecond);  // let the assoc retransmission limit trip
+  EXPECT_FALSE(daemons_[0]->is_alive(5));
+}
+
+TEST_F(LamdFixture, UdpDaemonsCarryNoConnectionState) {
+  // A UDP daemon restarted mid-run just keeps working (datagrams are
+  // stateless) — the flip side of having no failure notifications.
+  build(CtlTransport::kUdp, 0.0, 4);
+  run_for(sim::kSecond);
+  const auto before = daemons_[0]->stats().status_received;
+  run_for(sim::kSecond);
+  EXPECT_GT(daemons_[0]->stats().status_received, before);
+}
+
+}  // namespace
+}  // namespace sctpmpi::core

@@ -1,0 +1,116 @@
+// Unit tests for the envelope codec and the matching engine (posted-queue
+// and unexpected-message semantics, paper §2.2.2).
+#include <gtest/gtest.h>
+
+#include "core/envelope.hpp"
+#include "core/matching.hpp"
+
+namespace sctpmpi::core {
+namespace {
+
+Envelope make_env(int src, int tag, std::uint32_t ctx = 0,
+                  std::uint16_t flags = kFlagShort, std::uint32_t len = 10) {
+  Envelope e;
+  e.length = len;
+  e.tag = tag;
+  e.context = ctx;
+  e.flags = flags;
+  e.src_rank = src;
+  e.seq = 1;
+  return e;
+}
+
+RpiRequest make_recv(int src, int tag, std::uint32_t ctx = 0) {
+  RpiRequest r;
+  r.kind = RpiRequest::Kind::kRecv;
+  r.peer = src;
+  r.tag = tag;
+  r.context = ctx;
+  return r;
+}
+
+TEST(Envelope, CodecRoundTrip) {
+  Envelope e = make_env(3, -7, 42, kFlagLong | kFlagLongBody, 123456);
+  e.seq = 0xFEDCBA98;
+  Envelope d = Envelope::decode(e.encode());
+  EXPECT_EQ(d.length, 123456u);
+  EXPECT_EQ(d.tag, -7);
+  EXPECT_EQ(d.context, 42u);
+  EXPECT_EQ(d.flags, kFlagLong | kFlagLongBody);
+  EXPECT_EQ(d.src_rank, 3);
+  EXPECT_EQ(d.seq, 0xFEDCBA98u);
+}
+
+TEST(Envelope, WireSizeIsFixed24Bytes) {
+  EXPECT_EQ(make_env(0, 0).encode().size(), kEnvelopeBytes);
+  EXPECT_EQ(make_env(-1, kAnyTag).encode().size(), kEnvelopeBytes);
+}
+
+TEST(Matching, ExactTrcMatch) {
+  RpiRequest r = make_recv(2, 5);
+  EXPECT_TRUE(r.matches(make_env(2, 5)));
+  EXPECT_FALSE(r.matches(make_env(2, 6)));
+  EXPECT_FALSE(r.matches(make_env(3, 5)));
+  EXPECT_FALSE(r.matches(make_env(2, 5, /*ctx=*/1)));
+}
+
+TEST(Matching, Wildcards) {
+  EXPECT_TRUE(make_recv(kAnySource, 5).matches(make_env(7, 5)));
+  EXPECT_TRUE(make_recv(2, kAnyTag).matches(make_env(2, 123)));
+  EXPECT_TRUE(make_recv(kAnySource, kAnyTag).matches(make_env(0, 0)));
+  EXPECT_FALSE(make_recv(kAnySource, 5).matches(make_env(7, 6)));
+}
+
+TEST(Matching, PostedQueueIsFifoPerMatch) {
+  MatchEngine m;
+  RpiRequest r1 = make_recv(kAnySource, kAnyTag);
+  RpiRequest r2 = make_recv(kAnySource, kAnyTag);
+  m.add_posted(&r1);
+  m.add_posted(&r2);
+  EXPECT_EQ(m.match_posted(make_env(0, 0)), &r1) << "oldest post wins";
+  EXPECT_EQ(m.match_posted(make_env(0, 0)), &r2);
+  EXPECT_EQ(m.match_posted(make_env(0, 0)), nullptr);
+}
+
+TEST(Matching, SpecificPostSkipsNonMatching) {
+  MatchEngine m;
+  RpiRequest r1 = make_recv(1, 5);
+  RpiRequest r2 = make_recv(2, 5);
+  m.add_posted(&r1);
+  m.add_posted(&r2);
+  EXPECT_EQ(m.match_posted(make_env(2, 5)), &r2);
+  EXPECT_EQ(m.posted_count(), 1u);
+}
+
+TEST(Matching, UnexpectedQueueOldestFirst) {
+  MatchEngine m;
+  m.add_unexpected(UnexpectedMsg{make_env(1, 5, 0, kFlagShort, 1), {}});
+  m.add_unexpected(UnexpectedMsg{make_env(1, 5, 0, kFlagShort, 2), {}});
+  RpiRequest r = make_recv(1, 5);
+  auto um = m.match_unexpected(r);
+  ASSERT_TRUE(um.has_value());
+  EXPECT_EQ(um->env.length, 1u) << "MPI order: oldest unexpected first";
+  EXPECT_EQ(m.unexpected_count(), 1u);
+}
+
+TEST(Matching, RemovePostedCancels) {
+  MatchEngine m;
+  RpiRequest r = make_recv(1, 5);
+  m.add_posted(&r);
+  m.remove_posted(&r);
+  EXPECT_EQ(m.match_posted(make_env(1, 5)), nullptr);
+}
+
+TEST(Matching, PeekUnexpectedDoesNotConsume) {
+  MatchEngine m;
+  m.add_unexpected(UnexpectedMsg{make_env(4, 9, 0, kFlagShort, 77), {}});
+  const Envelope* e = m.peek_unexpected(0, kAnySource, 9);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->length, 77u);
+  EXPECT_EQ(e->src_rank, 4);
+  EXPECT_EQ(m.unexpected_count(), 1u);
+  EXPECT_EQ(m.peek_unexpected(0, 5, 9), nullptr) << "source filter applies";
+}
+
+}  // namespace
+}  // namespace sctpmpi::core

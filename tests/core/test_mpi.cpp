@@ -1,0 +1,496 @@
+// MPI semantics tests, parameterized over the transport module (LAM-TCP
+// baseline, the paper's SCTP module, and the single-stream SCTP ablation)
+// and over Dummynet loss rates — every MPI-visible behaviour must be
+// identical regardless of transport or loss.
+#include "core/mpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "core/world.hpp"
+#include "tests/support/tcp_fixture.hpp"  // pattern_bytes
+
+namespace sctpmpi::core {
+namespace {
+
+using test::pattern_bytes;
+
+struct Variant {
+  const char* name;
+  TransportKind transport;
+  unsigned stream_pool;
+  double loss;
+};
+
+class MpiSemanticsTest : public ::testing::TestWithParam<Variant> {
+ protected:
+  WorldConfig make_config(int ranks = 4) const {
+    WorldConfig cfg;
+    cfg.ranks = ranks;
+    cfg.transport = GetParam().transport;
+    cfg.rpi.stream_pool = GetParam().stream_pool;
+    cfg.loss = GetParam().loss;
+    cfg.seed = 42;
+    return cfg;
+  }
+};
+
+TEST_P(MpiSemanticsTest, BlockingSendRecvRoundTrip) {
+  World w(make_config(2));
+  auto payload = pattern_bytes(1000);
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.send(payload, 1, /*tag=*/7);
+    } else {
+      std::vector<std::byte> buf(2000);
+      MpiStatus st = mpi.recv(buf, 0, 7);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.count, payload.size());
+      EXPECT_TRUE(std::equal(payload.begin(), payload.end(), buf.begin()));
+    }
+  });
+}
+
+TEST_P(MpiSemanticsTest, LongMessagesUseRendezvousAndArriveIntact) {
+  World w(make_config(2));
+  auto payload = pattern_bytes(150 * 1024);  // > 64 KiB eager limit
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.send(payload, 1, 1);
+    } else {
+      std::vector<std::byte> buf(payload.size());
+      MpiStatus st = mpi.recv(buf, 0, 1);
+      EXPECT_EQ(st.count, payload.size());
+      EXPECT_EQ(buf, payload);
+    }
+  });
+  EXPECT_GE(w.rpi(0).stats().rendezvous_msgs, 1u);
+  EXPECT_EQ(w.rpi(0).stats().eager_msgs, 0u);
+}
+
+TEST_P(MpiSemanticsTest, MessageOrderingPreservedPerTrc) {
+  // Same (tag, rank, context): strict ordering even under loss.
+  World w(make_config(2));
+  constexpr int kN = 40;
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      for (int i = 0; i < kN; ++i) {
+        auto m = pattern_bytes(512, static_cast<std::uint8_t>(i + 1));
+        mpi.send(m, 1, /*tag=*/3);
+      }
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        std::vector<std::byte> buf(512);
+        mpi.recv(buf, 0, 3);
+        EXPECT_EQ(buf, pattern_bytes(512, static_cast<std::uint8_t>(i + 1)))
+            << "message " << i << " out of order";
+      }
+    }
+  });
+}
+
+TEST_P(MpiSemanticsTest, AnySourceWildcardReceivesFromAll) {
+  World w(make_config(4));
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      std::set<int> sources;
+      for (int i = 0; i < 3; ++i) {
+        std::vector<std::byte> buf(64);
+        MpiStatus st = mpi.recv(buf, kAnySource, 5);
+        sources.insert(st.source);
+      }
+      EXPECT_EQ(sources, (std::set<int>{1, 2, 3}));
+    } else {
+      auto m = pattern_bytes(64, static_cast<std::uint8_t>(mpi.rank()));
+      mpi.send(m, 0, 5);
+    }
+  });
+}
+
+TEST_P(MpiSemanticsTest, AnyTagWildcardMatches) {
+  World w(make_config(2));
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      auto m = pattern_bytes(128);
+      mpi.send(m, 1, /*tag=*/1234);
+    } else {
+      std::vector<std::byte> buf(128);
+      MpiStatus st = mpi.recv(buf, 0, kAnyTag);
+      EXPECT_EQ(st.tag, 1234);
+    }
+  });
+}
+
+TEST_P(MpiSemanticsTest, UnexpectedMessagesAreBufferedAndMatchedLater) {
+  World w(make_config(2));
+  auto m = pattern_bytes(900);
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.send(m, 1, 9);
+      mpi.barrier();
+    } else {
+      // Delay posting the receive until the message has surely arrived.
+      mpi.barrier();
+      mpi.compute(10 * sim::kMillisecond);
+      std::vector<std::byte> buf(900);
+      MpiStatus st = mpi.recv(buf, 0, 9);
+      EXPECT_EQ(st.count, m.size());
+      EXPECT_TRUE(std::equal(m.begin(), m.end(), buf.begin()));
+    }
+  });
+  if (GetParam().loss == 0.0) {
+    // Under loss the eager message may be retransmitted and arrive after
+    // the receive post; only the no-loss runs deterministically exercise
+    // the unexpected-message path.
+    EXPECT_GE(w.rpi(1).stats().unexpected_msgs, 1u);
+  }
+}
+
+TEST_P(MpiSemanticsTest, UnexpectedLongMessageRendezvousCompletes) {
+  World w(make_config(2));
+  auto m = pattern_bytes(200 * 1024);
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.send(m, 1, 2);
+    } else {
+      mpi.compute(50 * sim::kMillisecond);  // let the envelope arrive first
+      std::vector<std::byte> buf(m.size());
+      MpiStatus st = mpi.recv(buf, 0, 2);
+      EXPECT_EQ(st.count, m.size());
+      EXPECT_EQ(buf, m);
+    }
+  });
+}
+
+TEST_P(MpiSemanticsTest, SsendCompletesOnlyAfterMatch) {
+  World w(make_config(2));
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      auto m = pattern_bytes(100);
+      const double t0 = mpi.wtime();
+      mpi.ssend(m, 1, 4);
+      const double t1 = mpi.wtime();
+      // Receiver posts its recv only after ~50ms of compute, so the
+      // synchronous send cannot complete before that.
+      EXPECT_GE(t1 - t0, 0.045);
+    } else {
+      mpi.compute(50 * sim::kMillisecond);
+      std::vector<std::byte> buf(100);
+      mpi.recv(buf, 0, 4);
+    }
+  });
+}
+
+TEST_P(MpiSemanticsTest, NonblockingWaitanyCompletesAll) {
+  World w(make_config(2));
+  constexpr int kN = 10;
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      for (int i = 0; i < kN; ++i) {
+        auto m = pattern_bytes(256, static_cast<std::uint8_t>(i));
+        mpi.send(m, 1, i);
+      }
+    } else {
+      std::vector<std::vector<std::byte>> bufs(kN,
+                                               std::vector<std::byte>(256));
+      std::vector<Request> reqs;
+      for (int i = 0; i < kN; ++i) {
+        reqs.push_back(mpi.irecv(bufs[static_cast<std::size_t>(i)], 0, i));
+      }
+      int completed = 0;
+      while (completed < kN) {
+        MpiStatus st;
+        int idx = mpi.waitany(reqs, &st);
+        EXPECT_GE(idx, 0);
+        EXPECT_EQ(st.tag, idx);
+        ++completed;
+      }
+      for (int i = 0; i < kN; ++i) {
+        EXPECT_EQ(bufs[static_cast<std::size_t>(i)],
+                  pattern_bytes(256, static_cast<std::uint8_t>(i)));
+      }
+    }
+  });
+}
+
+TEST_P(MpiSemanticsTest, TestReturnsFalseThenTrue) {
+  World w(make_config(2));
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.compute(20 * sim::kMillisecond);
+      auto m = pattern_bytes(64);
+      mpi.send(m, 1, 0);
+    } else {
+      std::vector<std::byte> buf(64);
+      Request r = mpi.irecv(buf, 0, 0);
+      EXPECT_FALSE(mpi.test(r));  // nothing sent yet
+      while (!mpi.test(r)) {
+        mpi.compute(sim::kMillisecond);
+      }
+    }
+  });
+}
+
+TEST_P(MpiSemanticsTest, ProbeReportsEnvelopeWithoutConsuming) {
+  World w(make_config(2));
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      auto m = pattern_bytes(333);
+      mpi.send(m, 1, 77);
+    } else {
+      MpiStatus st = mpi.probe(0, 77);
+      EXPECT_EQ(st.count, 333u);
+      EXPECT_EQ(st.source, 0);
+      std::vector<std::byte> buf(333);
+      MpiStatus rst = mpi.recv(buf, 0, 77);
+      EXPECT_EQ(rst.count, 333u);
+    }
+  });
+}
+
+TEST_P(MpiSemanticsTest, DifferentTagsCanOvertakeWithWaitany) {
+  // The paper's Fig. 4 scenario skeleton: two tags, receiver takes
+  // whichever arrives first. Works on every transport; the *timing*
+  // difference under loss is measured by the benches, not asserted here.
+  World w(make_config(2));
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 1) {
+      auto a = pattern_bytes(30'000, 1);
+      auto b = pattern_bytes(30'000, 2);
+      mpi.send(a, 0, /*tag-A=*/1);
+      mpi.send(b, 0, /*tag-B=*/2);
+    } else {
+      std::vector<std::byte> bufa(30'000), bufb(30'000);
+      std::vector<Request> reqs{mpi.irecv(bufa, 1, 1), mpi.irecv(bufb, 1, 2)};
+      mpi.waitany(reqs);
+      mpi.compute(5 * sim::kMillisecond);
+      mpi.waitall(reqs);
+      EXPECT_EQ(bufa, pattern_bytes(30'000, 1));
+      EXPECT_EQ(bufb, pattern_bytes(30'000, 2));
+    }
+  });
+}
+
+TEST_P(MpiSemanticsTest, SimultaneousLongExchangeSameTagNoRace) {
+  // Regression for the paper's §3.4 race: both processes exchange long
+  // messages with the SAME tag (same stream) simultaneously. Option B must
+  // keep the rendezvous ACKs from being misread as body fragments.
+  World w(make_config(2));
+  auto m0 = pattern_bytes(150 * 1024, 1);
+  auto m1 = pattern_bytes(150 * 1024, 2);
+  w.run([&](Mpi& mpi) {
+    const int peer = 1 - mpi.rank();
+    const auto& mine = mpi.rank() == 0 ? m0 : m1;
+    const auto& theirs = mpi.rank() == 0 ? m1 : m0;
+    std::vector<std::byte> buf(mine.size());
+    Request rr = mpi.irecv(buf, peer, /*tag=*/6);
+    Request sr = mpi.isend(mine, peer, /*tag=*/6);
+    mpi.wait(rr);
+    mpi.wait(sr);
+    EXPECT_EQ(buf, theirs);
+  });
+}
+
+TEST_P(MpiSemanticsTest, ManySimultaneousLongExchangesAllStreams) {
+  // Heavier race regression: several concurrent long exchanges on many
+  // tags in both directions.
+  World w(make_config(2));
+  constexpr int kMsgs = 6;
+  w.run([&](Mpi& mpi) {
+    const int peer = 1 - mpi.rank();
+    std::vector<std::vector<std::byte>> rx(kMsgs);
+    std::vector<std::vector<std::byte>> tx(kMsgs);
+    std::vector<Request> reqs;
+    for (int i = 0; i < kMsgs; ++i) {
+      tx[static_cast<std::size_t>(i)] = pattern_bytes(
+          100 * 1024, static_cast<std::uint8_t>(10 * mpi.rank() + i + 1));
+      rx[static_cast<std::size_t>(i)].resize(100 * 1024);
+      reqs.push_back(mpi.irecv(rx[static_cast<std::size_t>(i)], peer, i));
+    }
+    for (int i = 0; i < kMsgs; ++i) {
+      reqs.push_back(mpi.isend(tx[static_cast<std::size_t>(i)], peer, i));
+    }
+    mpi.waitall(reqs);
+    for (int i = 0; i < kMsgs; ++i) {
+      EXPECT_EQ(rx[static_cast<std::size_t>(i)],
+                pattern_bytes(100 * 1024, static_cast<std::uint8_t>(
+                                              10 * (1 - mpi.rank()) + i + 1)));
+    }
+  });
+}
+
+TEST_P(MpiSemanticsTest, BarrierSynchronizesRanks) {
+  World w(make_config(4));
+  w.run([&](Mpi& mpi) {
+    // Ranks arrive at wildly different times; all must leave together.
+    mpi.compute(mpi.rank() * 10 * sim::kMillisecond);
+    mpi.barrier();
+    EXPECT_GE(mpi.wtime(), 0.030) << "no rank may leave before the last one";
+  });
+}
+
+TEST_P(MpiSemanticsTest, BcastDeliversToAllRanks) {
+  World w(make_config(4));
+  auto data = pattern_bytes(10'000, 9);
+  w.run([&](Mpi& mpi) {
+    std::vector<std::byte> buf(10'000);
+    if (mpi.rank() == 2) buf = data;  // non-zero root
+    mpi.bcast(buf, /*root=*/2);
+    EXPECT_EQ(buf, data);
+  });
+}
+
+TEST_P(MpiSemanticsTest, ReduceAndAllreduceComputeCorrectly) {
+  World w(make_config(4));
+  w.run([&](Mpi& mpi) {
+    std::vector<double> in(16);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = static_cast<double>(mpi.rank() + 1) * static_cast<double>(i);
+    }
+    std::vector<double> out(16);
+    mpi.reduce(std::span<const double>(in), std::span<double>(out), OpSum{},
+               /*root=*/0);
+    if (mpi.rank() == 0) {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_DOUBLE_EQ(out[i], 10.0 * static_cast<double>(i));  // 1+2+3+4
+      }
+    }
+    const auto total = mpi.allreduce_sum<std::int64_t>(mpi.rank() + 1);
+    EXPECT_EQ(total, 10);
+    std::vector<double> mx(1, static_cast<double>(mpi.rank()));
+    std::vector<double> mxout(1);
+    mpi.allreduce(std::span<const double>(mx), std::span<double>(mxout),
+                  OpMax{});
+    EXPECT_DOUBLE_EQ(mxout[0], 3.0);
+  });
+}
+
+TEST_P(MpiSemanticsTest, GatherScatterAllgatherAlltoall) {
+  World w(make_config(4));
+  w.run([&](Mpi& mpi) {
+    const int n = mpi.size();
+    const std::size_t block = 128;
+    auto mine = pattern_bytes(block, static_cast<std::uint8_t>(mpi.rank() + 1));
+
+    std::vector<std::byte> gathered(block * static_cast<std::size_t>(n));
+    mpi.gather(mine, gathered, /*root=*/1);
+    if (mpi.rank() == 1) {
+      for (int r = 0; r < n; ++r) {
+        auto expect = pattern_bytes(block, static_cast<std::uint8_t>(r + 1));
+        EXPECT_TRUE(std::equal(
+            expect.begin(), expect.end(),
+            gathered.begin() +
+                static_cast<std::ptrdiff_t>(static_cast<std::size_t>(r) *
+                                            block)));
+      }
+    }
+
+    std::vector<std::byte> allg(block * static_cast<std::size_t>(n));
+    mpi.allgather(mine, allg);
+    for (int r = 0; r < n; ++r) {
+      auto expect = pattern_bytes(block, static_cast<std::uint8_t>(r + 1));
+      EXPECT_TRUE(std::equal(
+          expect.begin(), expect.end(),
+          allg.begin() + static_cast<std::ptrdiff_t>(
+                             static_cast<std::size_t>(r) * block)));
+    }
+
+    // Scatter back from rank 1's gathered data.
+    std::vector<std::byte> piece(block);
+    mpi.scatter(gathered, piece, /*root=*/1);
+    EXPECT_EQ(piece, mine);
+
+    // Alltoall: rank r sends pattern (r*16+dest) to each dest.
+    std::vector<std::byte> sendall(block * static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      auto p = pattern_bytes(block,
+                             static_cast<std::uint8_t>(mpi.rank() * 16 + d));
+      std::copy(p.begin(), p.end(),
+                sendall.begin() + static_cast<std::ptrdiff_t>(
+                                      static_cast<std::size_t>(d) * block));
+    }
+    std::vector<std::byte> recvall(block * static_cast<std::size_t>(n));
+    mpi.alltoall(sendall, recvall);
+    for (int s = 0; s < n; ++s) {
+      auto expect = pattern_bytes(
+          block, static_cast<std::uint8_t>(s * 16 + mpi.rank()));
+      EXPECT_TRUE(std::equal(
+          expect.begin(), expect.end(),
+          recvall.begin() + static_cast<std::ptrdiff_t>(
+                                static_cast<std::size_t>(s) * block)));
+    }
+  });
+}
+
+TEST_P(MpiSemanticsTest, ContextsIsolateMessages) {
+  World w(make_config(2));
+  w.run([&](Mpi& mpi) {
+    Comm c2 = mpi.dup(mpi.world());
+    if (mpi.rank() == 0) {
+      auto m1 = pattern_bytes(64, 1);
+      auto m2 = pattern_bytes(64, 2);
+      mpi.send(m1, 1, /*tag=*/0, mpi.world());
+      mpi.send(m2, 1, /*tag=*/0, c2);
+    } else {
+      // Receive the dup-context message FIRST: contexts must not bleed.
+      std::vector<std::byte> buf(64);
+      mpi.recv(buf, 0, 0, c2);
+      EXPECT_EQ(buf, pattern_bytes(64, 2));
+      mpi.recv(buf, 0, 0, mpi.world());
+      EXPECT_EQ(buf, pattern_bytes(64, 1));
+    }
+  });
+}
+
+TEST_P(MpiSemanticsTest, RingExchangeAcrossAllRanks) {
+  World w(make_config(4));
+  w.run([&](Mpi& mpi) {
+    const int next = (mpi.rank() + 1) % mpi.size();
+    const int prev = (mpi.rank() - 1 + mpi.size()) % mpi.size();
+    auto m = pattern_bytes(50'000, static_cast<std::uint8_t>(mpi.rank() + 1));
+    std::vector<std::byte> buf(50'000);
+    Request rr = mpi.irecv(buf, prev, 0);
+    mpi.send(m, next, 0);
+    mpi.wait(rr);
+    EXPECT_EQ(buf, pattern_bytes(50'000, static_cast<std::uint8_t>(prev + 1)));
+  });
+}
+
+TEST_P(MpiSemanticsTest, DeterministicElapsedTime) {
+  auto run_once = [&] {
+    World w(make_config(4));
+    w.run([&](Mpi& mpi) {
+      const int next = (mpi.rank() + 1) % mpi.size();
+      const int prev = (mpi.rank() - 1 + mpi.size()) % mpi.size();
+      for (int i = 0; i < 5; ++i) {
+        auto m = pattern_bytes(20'000);
+        std::vector<std::byte> buf(20'000);
+        Request rr = mpi.irecv(buf, prev, i);
+        mpi.send(m, next, i);
+        mpi.wait(rr);
+      }
+    });
+    return w.elapsed();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, MpiSemanticsTest,
+    ::testing::Values(
+        Variant{"TcpNoLoss", TransportKind::kTcp, 10, 0.0},
+        Variant{"SctpNoLoss", TransportKind::kSctp, 10, 0.0},
+        Variant{"Sctp1StreamNoLoss", TransportKind::kSctp, 1, 0.0},
+        Variant{"TcpLoss1", TransportKind::kTcp, 10, 0.01},
+        Variant{"SctpLoss1", TransportKind::kSctp, 10, 0.01},
+        Variant{"SctpLoss2", TransportKind::kSctp, 10, 0.02},
+        Variant{"Sctp1StreamLoss2", TransportKind::kSctp, 1, 0.02}),
+    [](const ::testing::TestParamInfo<Variant>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace sctpmpi::core

@@ -1,0 +1,143 @@
+#include "net/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "net/ring_buffer.hpp"
+#include "sim/rng.hpp"
+
+namespace sctpmpi::net {
+namespace {
+
+TEST(ByteCodec, WriterReaderRoundTrip) {
+  std::vector<std::byte> buf;
+  ByteWriter w(buf);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  std::array<std::byte, 3> raw{std::byte{1}, std::byte{2}, std::byte{3}};
+  w.bytes(raw);
+  w.zeros(2);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.bytes(3), std::vector<std::byte>(raw.begin(), raw.end()));
+  EXPECT_EQ(r.remaining(), 2u);
+  r.skip(2);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteCodec, BigEndianLayout) {
+  std::vector<std::byte> buf;
+  ByteWriter w(buf);
+  w.u32(0x01020304);
+  EXPECT_EQ(buf[0], std::byte{1});
+  EXPECT_EQ(buf[3], std::byte{4});
+}
+
+TEST(ByteCodec, PatchRewritesInPlace) {
+  std::vector<std::byte> buf;
+  ByteWriter w(buf);
+  w.u16(0);
+  w.u32(0);
+  w.patch_u16(0, 0xBEEF);
+  w.patch_u32(2, 0xCAFEF00D);
+  ByteReader r(buf);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xCAFEF00Du);
+}
+
+TEST(ByteCodec, UnderrunThrows) {
+  std::vector<std::byte> buf(3);
+  ByteReader r(buf);
+  EXPECT_THROW(r.u32(), DecodeError);  // partial reads advance, then throw
+  ByteReader r2(buf);
+  r2.skip(3);
+  EXPECT_THROW(r2.u8(), DecodeError);
+  EXPECT_THROW(r2.skip(1), DecodeError);
+}
+
+// ---- RingBuffer -----------------------------------------------------------
+
+TEST(RingBuffer, BasicWriteReadCycle) {
+  RingBuffer rb(16);
+  std::array<std::byte, 10> in;
+  for (int i = 0; i < 10; ++i) in[static_cast<std::size_t>(i)] = std::byte(i);
+  EXPECT_EQ(rb.write(in), 10u);
+  EXPECT_EQ(rb.size(), 10u);
+  std::array<std::byte, 10> out;
+  EXPECT_EQ(rb.read(out), 10u);
+  EXPECT_EQ(out, in);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, WriteTruncatesAtCapacity) {
+  RingBuffer rb(8);
+  std::vector<std::byte> in(12, std::byte{7});
+  EXPECT_EQ(rb.write(in), 8u);
+  EXPECT_EQ(rb.free_space(), 0u);
+  EXPECT_EQ(rb.write(in), 0u);
+}
+
+TEST(RingBuffer, PeekDoesNotConsume) {
+  RingBuffer rb(8);
+  std::array<std::byte, 4> in{std::byte{1}, std::byte{2}, std::byte{3},
+                              std::byte{4}};
+  rb.write(in);
+  std::array<std::byte, 2> peeked;
+  rb.peek(1, peeked);
+  EXPECT_EQ(peeked[0], std::byte{2});
+  EXPECT_EQ(peeked[1], std::byte{3});
+  EXPECT_EQ(rb.size(), 4u);
+}
+
+TEST(RingBuffer, WrapAroundPreservesData) {
+  RingBuffer rb(8);
+  std::vector<std::byte> a(6, std::byte{1});
+  std::array<std::byte, 6> out;
+  rb.write(a);
+  rb.read(out);
+  // Head is now at 6; the next write wraps.
+  std::vector<std::byte> b{std::byte{9}, std::byte{8}, std::byte{7},
+                           std::byte{6}, std::byte{5}};
+  EXPECT_EQ(rb.write(b), 5u);
+  std::array<std::byte, 5> out2;
+  EXPECT_EQ(rb.read(out2), 5u);
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), out2.begin()));
+}
+
+TEST(RingBuffer, PropertyRandomOpsMatchReferenceDeque) {
+  sim::Rng rng(99);
+  RingBuffer rb(64);
+  std::deque<std::byte> ref;
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.chance(0.5)) {
+      const auto n = static_cast<std::size_t>(rng.uniform_int(20));
+      std::vector<std::byte> data(n);
+      for (auto& d : data)
+        d = static_cast<std::byte>(rng.uniform_int(256));
+      const std::size_t accepted = rb.write(data);
+      EXPECT_EQ(accepted, std::min(n, 64 - ref.size()));
+      ref.insert(ref.end(), data.begin(),
+                 data.begin() + static_cast<std::ptrdiff_t>(accepted));
+    } else {
+      const auto n = static_cast<std::size_t>(rng.uniform_int(20));
+      std::vector<std::byte> out(n);
+      const std::size_t got = rb.read(out);
+      EXPECT_EQ(got, std::min(n, ref.size()));
+      for (std::size_t i = 0; i < got; ++i) {
+        EXPECT_EQ(out[i], ref.front());
+        ref.pop_front();
+      }
+    }
+    EXPECT_EQ(rb.size(), ref.size());
+  }
+}
+
+}  // namespace
+}  // namespace sctpmpi::net

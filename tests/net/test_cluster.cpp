@@ -1,0 +1,164 @@
+#include "net/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/host.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace sctpmpi::net {
+namespace {
+
+using sim::Rng;
+using sim::Simulator;
+using sim::SimTime;
+
+class Capture : public ProtocolHandler {
+ public:
+  void on_ip_packet(Packet&& pkt) override {
+    packets.push_back(std::move(pkt));
+  }
+  std::vector<Packet> packets;
+};
+
+TEST(Address, EncodesSubnetAndHost) {
+  IpAddr a = make_addr(2, 5);
+  EXPECT_EQ(subnet_of(a), 2u);
+  EXPECT_EQ(host_of(a), 5u);
+  EXPECT_EQ(to_string(a), "10.2.0.6");
+}
+
+TEST(Cluster, HostToHostDeliveryThroughSwitch) {
+  Simulator s;
+  ClusterParams params;
+  params.hosts = 4;
+  Cluster c(s, Rng(1), params);
+  Capture rx;
+  c.host(1).register_protocol(IpProto::kTcp, &rx);
+
+  Packet p;
+  p.src = c.addr(0);
+  p.dst = c.addr(1);
+  p.proto = IpProto::kTcp;
+  p.payload.resize(64);
+  c.host(0).send_ip(std::move(p));
+  s.run();
+  ASSERT_EQ(rx.packets.size(), 1u);
+  EXPECT_EQ(rx.packets[0].src, c.addr(0));
+  EXPECT_GT(s.now(), 0);
+}
+
+TEST(Cluster, ProtocolDemuxSeparatesTcpAndSctp) {
+  Simulator s;
+  ClusterParams params;
+  params.hosts = 2;
+  Cluster c(s, Rng(1), params);
+  Capture tcp_rx, sctp_rx;
+  c.host(1).register_protocol(IpProto::kTcp, &tcp_rx);
+  c.host(1).register_protocol(IpProto::kSctp, &sctp_rx);
+
+  for (auto proto : {IpProto::kTcp, IpProto::kSctp, IpProto::kSctp}) {
+    Packet p;
+    p.dst = c.addr(1);
+    p.proto = proto;
+    p.payload.resize(8);
+    c.host(0).send_ip(std::move(p));
+  }
+  s.run();
+  EXPECT_EQ(tcp_rx.packets.size(), 1u);
+  EXPECT_EQ(sctp_rx.packets.size(), 2u);
+}
+
+TEST(Cluster, MultihomedHostsRouteBySubnet) {
+  Simulator s;
+  ClusterParams params;
+  params.hosts = 2;
+  params.interfaces = 3;
+  Cluster c(s, Rng(1), params);
+  Capture rx;
+  c.host(1).register_protocol(IpProto::kSctp, &rx);
+
+  for (unsigned iface = 0; iface < 3; ++iface) {
+    Packet p;
+    p.src = c.addr(0, iface);
+    p.dst = c.addr(1, iface);
+    p.proto = IpProto::kSctp;
+    p.payload.resize(16);
+    c.host(0).send_ip(std::move(p));
+  }
+  s.run();
+  ASSERT_EQ(rx.packets.size(), 3u);
+}
+
+TEST(Cluster, SubnetLossSeversOnePathOnly) {
+  Simulator s;
+  ClusterParams params;
+  params.hosts = 2;
+  params.interfaces = 2;
+  Cluster c(s, Rng(1), params);
+  Capture rx;
+  c.host(1).register_protocol(IpProto::kSctp, &rx);
+  c.set_subnet_loss(0, 1.0);  // fail the primary network
+
+  for (unsigned iface = 0; iface < 2; ++iface) {
+    Packet p;
+    p.src = c.addr(0, iface);
+    p.dst = c.addr(1, iface);
+    p.proto = IpProto::kSctp;
+    p.payload.resize(16);
+    c.host(0).send_ip(std::move(p));
+  }
+  s.run();
+  ASSERT_EQ(rx.packets.size(), 1u);
+  EXPECT_EQ(subnet_of(rx.packets[0].dst), 1u);
+}
+
+TEST(Cluster, SetLossAffectsAllLinks) {
+  Simulator s;
+  ClusterParams params;
+  params.hosts = 2;
+  Cluster c(s, Rng(1), params);
+  Capture rx;
+  c.host(1).register_protocol(IpProto::kTcp, &rx);
+  c.set_loss(1.0);
+  Packet p;
+  p.dst = c.addr(1);
+  p.proto = IpProto::kTcp;
+  c.host(0).send_ip(std::move(p));
+  s.run();
+  EXPECT_TRUE(rx.packets.empty());
+  EXPECT_EQ(c.total_link_stats().drops_loss, 1u);
+}
+
+TEST(Cluster, UnknownDestinationIsDropped) {
+  Simulator s;
+  ClusterParams params;
+  params.hosts = 2;
+  Cluster c(s, Rng(1), params);
+  Packet p;
+  p.dst = make_addr(0, 99);  // not in the cluster
+  p.proto = IpProto::kTcp;
+  c.host(0).send_ip(std::move(p));
+  s.run();  // must not crash or loop
+  SUCCEED();
+}
+
+TEST(Host, OwnsAddrChecksAllInterfaces) {
+  Simulator s;
+  ClusterParams params;
+  params.hosts = 2;
+  params.interfaces = 2;
+  Cluster c(s, Rng(1), params);
+  EXPECT_TRUE(c.host(0).owns_addr(c.addr(0, 0)));
+  EXPECT_TRUE(c.host(0).owns_addr(c.addr(0, 1)));
+  EXPECT_FALSE(c.host(0).owns_addr(c.addr(1, 0)));
+}
+
+TEST(HostCostModel, CopyCostScalesWithBytes) {
+  HostCostModel m;
+  EXPECT_EQ(m.copy_cost(0), 0);
+  EXPECT_GT(m.copy_cost(1 << 20), m.copy_cost(1 << 10));
+}
+
+}  // namespace
+}  // namespace sctpmpi::net

@@ -1,0 +1,150 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace sctpmpi::net {
+namespace {
+
+using sim::kMicrosecond;
+using sim::Rng;
+using sim::Simulator;
+using sim::SimTime;
+
+Packet make_packet(std::size_t payload_bytes) {
+  Packet p;
+  p.src = make_addr(0, 0);
+  p.dst = make_addr(0, 1);
+  p.payload.resize(payload_bytes);
+  return p;
+}
+
+TEST(Link, DeliversAfterSerializationPlusPropagation) {
+  Simulator s;
+  LinkParams params;
+  params.rate_bps = 1e9;
+  params.delay = 5 * kMicrosecond;
+  Link link(s, params, Rng(1));
+  SimTime arrival = -1;
+  link.set_sink([&](Packet&&) { arrival = s.now(); });
+  // 1480 payload + 20 IP header = 1500 bytes = 12000 bits -> 12 us at 1Gb/s.
+  link.enqueue(make_packet(1480));
+  s.run();
+  EXPECT_EQ(arrival, 12 * kMicrosecond + 5 * kMicrosecond);
+}
+
+TEST(Link, BackToBackPacketsSerializeSequentially) {
+  Simulator s;
+  LinkParams params;
+  params.rate_bps = 1e9;
+  params.delay = 0;
+  Link link(s, params, Rng(1));
+  std::vector<SimTime> arrivals;
+  link.set_sink([&](Packet&&) { arrivals.push_back(s.now()); });
+  link.enqueue(make_packet(1480));
+  link.enqueue(make_packet(1480));
+  s.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 12 * kMicrosecond);
+  EXPECT_EQ(arrivals[1], 24 * kMicrosecond);
+}
+
+TEST(Link, QueueOverflowDropsTail) {
+  Simulator s;
+  LinkParams params;
+  params.queue_packets = 4;
+  Link link(s, params, Rng(1));
+  int delivered = 0;
+  link.set_sink([&](Packet&&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) link.enqueue(make_packet(1000));
+  s.run();
+  // 4 queued + possibly the one being serialized still counts in queue:
+  // our model keeps the head in the queue during serialization, so exactly
+  // queue_packets are accepted.
+  EXPECT_EQ(delivered, 4);
+  EXPECT_EQ(link.stats().drops_queue, 6u);
+}
+
+TEST(Link, ZeroLossDeliversEverything) {
+  Simulator s;
+  Link link(s, LinkParams{}, Rng(1));
+  int delivered = 0;
+  link.set_sink([&](Packet&&) { ++delivered; });
+  for (int i = 0; i < 100; ++i) {
+    link.enqueue(make_packet(100));
+    s.run();
+  }
+  EXPECT_EQ(delivered, 100);
+  EXPECT_EQ(link.stats().drops_loss, 0u);
+}
+
+TEST(Link, LossRateMatchesConfiguredProbability) {
+  Simulator s;
+  LinkParams params;
+  params.loss = 0.02;
+  Link link(s, params, Rng(42));
+  int delivered = 0;
+  link.set_sink([&](Packet&&) { ++delivered; });
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    link.enqueue(make_packet(10));
+    s.run();
+  }
+  const double loss_rate = 1.0 - static_cast<double>(delivered) / n;
+  EXPECT_NEAR(loss_rate, 0.02, 0.004);
+  EXPECT_EQ(link.stats().drops_loss + static_cast<std::uint64_t>(delivered),
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(Link, LossIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator s;
+    LinkParams params;
+    params.loss = 0.1;
+    Link link(s, params, Rng(seed));
+    std::vector<int> delivered;
+    link.set_sink([&](Packet&& p) {
+      delivered.push_back(static_cast<int>(p.payload.size()));
+    });
+    for (int i = 0; i < 200; ++i) {
+      link.enqueue(make_packet(static_cast<std::size_t>(i)));
+      s.run();
+    }
+    return delivered;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST(Link, SetLossReconfiguresLikeDummynet) {
+  Simulator s;
+  Link link(s, LinkParams{}, Rng(3));
+  int delivered = 0;
+  link.set_sink([&](Packet&&) { ++delivered; });
+  link.set_loss(1.0);
+  link.enqueue(make_packet(10));
+  s.run();
+  EXPECT_EQ(delivered, 0);
+  link.set_loss(0.0);
+  link.enqueue(make_packet(10));
+  s.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Link, StatsCountBytesIncludingIpHeader) {
+  Simulator s;
+  Link link(s, LinkParams{}, Rng(1));
+  link.set_sink([](Packet&&) {});
+  link.enqueue(make_packet(100));
+  s.run();
+  EXPECT_EQ(link.stats().tx_packets, 1u);
+  EXPECT_EQ(link.stats().tx_bytes, 100u + kIpHeaderBytes);
+}
+
+}  // namespace
+}  // namespace sctpmpi::net

@@ -1,0 +1,105 @@
+#include "net/udp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/cluster.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace sctpmpi::net {
+namespace {
+
+class UdpTest : public ::testing::Test {
+ protected:
+  void build(double loss = 0.0) {
+    sim_ = std::make_unique<sim::Simulator>();
+    ClusterParams params;
+    params.hosts = 2;
+    params.link.loss = loss;
+    cluster_ = std::make_unique<Cluster>(*sim_, sim::Rng(3), params);
+    a_ = std::make_unique<UdpStack>(cluster_->host(0));
+    b_ = std::make_unique<UdpStack>(cluster_->host(1));
+  }
+
+  std::vector<std::byte> bytes(std::initializer_list<int> xs) {
+    std::vector<std::byte> v;
+    for (int x : xs) v.push_back(static_cast<std::byte>(x));
+    return v;
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<UdpStack> a_, b_;
+};
+
+TEST_F(UdpTest, DatagramRoundTrip) {
+  build();
+  UdpSocket* tx = a_->create_socket(1000);
+  UdpSocket* rx = b_->create_socket(2000);
+  tx->sendto(cluster_->addr(1), 2000, bytes({1, 2, 3}));
+  sim_->run();
+  Datagram dg;
+  ASSERT_TRUE(rx->recvfrom(dg));
+  EXPECT_EQ(dg.data, bytes({1, 2, 3}));
+  EXPECT_EQ(dg.sport, 1000);
+  EXPECT_EQ(dg.from, cluster_->addr(0));
+  EXPECT_FALSE(rx->recvfrom(dg));
+}
+
+TEST_F(UdpTest, PortDemultiplexing) {
+  build();
+  UdpSocket* tx = a_->create_socket(1000);
+  UdpSocket* rx1 = b_->create_socket(2001);
+  UdpSocket* rx2 = b_->create_socket(2002);
+  tx->sendto(cluster_->addr(1), 2001, bytes({1}));
+  tx->sendto(cluster_->addr(1), 2002, bytes({2}));
+  tx->sendto(cluster_->addr(1), 2099, bytes({3}));  // no listener: dropped
+  sim_->run();
+  Datagram dg;
+  ASSERT_TRUE(rx1->recvfrom(dg));
+  EXPECT_EQ(dg.data, bytes({1}));
+  ASSERT_TRUE(rx2->recvfrom(dg));
+  EXPECT_EQ(dg.data, bytes({2}));
+  EXPECT_FALSE(rx1->recvfrom(dg));
+  EXPECT_FALSE(rx2->recvfrom(dg));
+}
+
+TEST_F(UdpTest, NoReliability) {
+  build(/*loss=*/1.0);
+  UdpSocket* tx = a_->create_socket(1000);
+  UdpSocket* rx = b_->create_socket(2000);
+  tx->sendto(cluster_->addr(1), 2000, bytes({1}));
+  sim_->run();
+  Datagram dg;
+  EXPECT_FALSE(rx->recvfrom(dg)) << "UDP never retransmits";
+}
+
+TEST_F(UdpTest, ActivityCallbackFires) {
+  build();
+  UdpSocket* tx = a_->create_socket(1000);
+  UdpSocket* rx = b_->create_socket(2000);
+  int fires = 0;
+  rx->set_activity_callback([&] { ++fires; });
+  tx->sendto(cluster_->addr(1), 2000, bytes({7}));
+  tx->sendto(cluster_->addr(1), 2000, bytes({8}));
+  sim_->run();
+  EXPECT_EQ(fires, 2);
+  EXPECT_TRUE(rx->readable());
+}
+
+TEST(HostCpu, OccupySerializesWork) {
+  sim::Simulator sim;
+  ClusterParams params;
+  params.hosts = 1;
+  Cluster c(sim, sim::Rng(1), params);
+  Host& h = c.host(0);
+  // Two back-to-back 10us jobs: the second completes 20us out.
+  EXPECT_EQ(h.occupy_cpu(10 * sim::kMicrosecond), 10 * sim::kMicrosecond);
+  EXPECT_EQ(h.occupy_cpu(10 * sim::kMicrosecond), 20 * sim::kMicrosecond);
+  // After the backlog clears, the CPU is free again.
+  sim.run_until(25 * sim::kMicrosecond);
+  EXPECT_EQ(h.occupy_cpu(5 * sim::kMicrosecond), 5 * sim::kMicrosecond);
+}
+
+}  // namespace
+}  // namespace sctpmpi::net

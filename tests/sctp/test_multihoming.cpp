@@ -1,0 +1,152 @@
+// Multihoming tests: path setup from INIT address params, heartbeats,
+// retransmission on alternate paths, and primary-path failover — the
+// paper's §3.5.1 reliability mechanisms.
+#include <gtest/gtest.h>
+
+#include "sctp/socket.hpp"
+#include "tests/support/sctp_fixture.hpp"
+
+namespace sctpmpi::sctp {
+namespace {
+
+using test::pattern_bytes;
+using test::SctpFixture;
+
+class SctpMultihomingTest : public SctpFixture {};
+
+TEST_F(SctpMultihomingTest, AssociationLearnsAllPeerAddresses) {
+  build(0.0, {}, 1, /*hosts=*/2, /*interfaces=*/3);
+  auto p = connect_pair();
+  EXPECT_EQ(p.a->assoc(p.a_id)->paths().size(), 3u);
+  EXPECT_EQ(p.b->assoc(p.b_id)->paths().size(), 3u);
+}
+
+TEST_F(SctpMultihomingTest, DataUsesPrimaryPathOnly) {
+  build(0.0, {}, 1, 2, 3);
+  auto p = connect_pair();
+  exchange(p.a, p.a_id, p.b, {{0, pattern_bytes(50'000)}});
+  const auto& paths = p.a->assoc(p.a_id)->paths();
+  // All data went to the primary (path of the connect address).
+  EXPECT_EQ(p.a->assoc(p.a_id)->primary_path(), 0u);
+  EXPECT_EQ(paths[1].flight + paths[2].flight, 0u);
+}
+
+TEST_F(SctpMultihomingTest, TimeoutRetransmissionUsesAlternatePath) {
+  build(0.0, {}, 1, 2, 3);
+  auto p = connect_pair();
+  // Black-hole data packets on subnet 0 only, after the handshake.
+  cluster_->uplink(0, 0).set_drop_filter(
+      [](const net::Packet& pkt) { return pkt.payload.size() > 1000; });
+  auto rx = exchange(p.a, p.a_id, p.b, {{0, pattern_bytes(3000)}});
+  ASSERT_EQ(rx.size(), 1u);
+  EXPECT_EQ(rx[0].data, pattern_bytes(3000));
+  // Recovery required T3 + retransmission on an alternate subnet.
+  EXPECT_GE(p.a->assoc(p.a_id)->stats().timeouts, 1u);
+  EXPECT_GT(p.a->assoc(p.a_id)->stats().retransmits, 0u);
+}
+
+TEST_F(SctpMultihomingTest, PrimaryPathFailsOverAfterMaxRetrans) {
+  SctpConfig cfg;
+  cfg.path_max_retrans = 2;  // fail fast for the test
+  build(0.0, cfg, 1, 2, 3);
+  auto p = connect_pair();
+  cluster_->set_subnet_loss(0, 1.0);  // sever the primary network entirely
+
+  bool failed_over = false;
+  std::size_t sent = 0;
+  std::vector<std::vector<std::byte>> rx;
+  std::vector<std::byte> buf(1 << 16);
+  auto pump_tx = [&] {
+    while (sent < 5) {
+      if (p.a->sendmsg(p.a_id, 0, pattern_bytes(2000, sent + 1)) <= 0) break;
+      ++sent;
+    }
+  };
+  pump_tx();
+  run_while([&] {
+    while (auto n = p.a->poll_notification()) {
+      if (n->type == NotificationType::kPathFailover) failed_over = true;
+    }
+    RecvInfo info;
+    while (p.b->recvmsg(buf, info) > 0) {
+      rx.emplace_back(buf.begin(), buf.begin() + 2000);
+    }
+    pump_tx();
+    return rx.size() < 5;
+  });
+  EXPECT_TRUE(failed_over);
+  EXPECT_NE(p.a->assoc(p.a_id)->primary_path(), 0u)
+      << "primary must have moved off the dead subnet";
+  EXPECT_GE(p.a->assoc(p.a_id)->stats().path_failovers, 1u);
+}
+
+TEST_F(SctpMultihomingTest, HeartbeatsProbeIdlePathsAndDetectFailure) {
+  SctpConfig cfg;
+  cfg.hb_interval = 1 * sim::kSecond;  // fast heartbeats for the test
+  cfg.path_max_retrans = 1;
+  build(0.0, cfg, 1, 2, 2);
+  auto p = connect_pair();
+  // Sever the *alternate* subnet; heartbeats should discover it.
+  cluster_->set_subnet_loss(1, 1.0);
+  bool alt_failed = false;
+  run_while(
+      [&] {
+        while (auto n = p.a->poll_notification()) {
+          if (n->type == NotificationType::kPathFailover &&
+              net::subnet_of(n->path_addr) == 1) {
+            alt_failed = true;
+          }
+        }
+        return !alt_failed && sim().now() < 60 * sim::kSecond;
+      },
+      200'000'000);
+  EXPECT_TRUE(alt_failed);
+  EXPECT_FALSE(p.a->assoc(p.a_id)->paths()[1].active);
+}
+
+TEST_F(SctpMultihomingTest, RestoredPathComesBackViaHeartbeat) {
+  SctpConfig cfg;
+  cfg.hb_interval = 1 * sim::kSecond;
+  cfg.path_max_retrans = 1;
+  build(0.0, cfg, 1, 2, 2);
+  auto p = connect_pair();
+  cluster_->set_subnet_loss(1, 1.0);
+  bool failed = false;
+  run_while([&] {
+    while (auto n = p.a->poll_notification()) {
+      if (n->type == NotificationType::kPathFailover) failed = true;
+    }
+    return !failed;
+  });
+  // Heal the subnet; a later heartbeat ack restores the path.
+  cluster_->set_subnet_loss(1, 0.0);
+  bool restored = false;
+  run_while([&] {
+    while (auto n = p.a->poll_notification()) {
+      if (n->type == NotificationType::kPathRestored) restored = true;
+    }
+    return !restored;
+  });
+  EXPECT_TRUE(p.a->assoc(p.a_id)->paths()[1].active);
+}
+
+TEST_F(SctpMultihomingTest, CompleteNetworkFailureKillsAssociation) {
+  SctpConfig cfg;
+  cfg.assoc_max_retrans = 4;
+  cfg.path_max_retrans = 2;
+  build(0.0, cfg, 1, 2, 2);
+  auto p = connect_pair();
+  cluster_->set_loss(1.0);  // everything dies
+  ASSERT_GT(p.a->sendmsg(p.a_id, 0, pattern_bytes(1000)), 0);
+  bool lost = false;
+  run_while([&] {
+    while (auto n = p.a->poll_notification()) {
+      if (n->type == NotificationType::kCommLost) lost = true;
+    }
+    return !lost;
+  });
+  EXPECT_EQ(p.a->assoc(p.a_id)->state(), AssocState::kClosed);
+}
+
+}  // namespace
+}  // namespace sctpmpi::sctp

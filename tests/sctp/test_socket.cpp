@@ -1,0 +1,563 @@
+#include "sctp/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tests/support/sctp_fixture.hpp"
+
+namespace sctpmpi::sctp {
+namespace {
+
+using test::pattern_bytes;
+using test::SctpFixture;
+
+class SctpSocketTest : public SctpFixture {};
+
+TEST_F(SctpSocketTest, FourWayHandshakeEstablishes) {
+  build();
+  auto p = connect_pair();
+  EXPECT_EQ(p.a->assoc(p.a_id)->state(), AssocState::kEstablished);
+  EXPECT_EQ(p.b->assoc(p.b_id)->state(), AssocState::kEstablished);
+  // The initiator sends INIT and COOKIE-ECHO through its association; the
+  // responder side is stateless (INIT-ACK and COOKIE-ACK come from the
+  // socket, before/as the association is created) — paper §3.5.2.
+  EXPECT_EQ(p.a->assoc(p.a_id)->stats().packets_sent, 2u);
+  EXPECT_EQ(p.b->assoc(p.b_id)->stats().packets_sent, 0u);
+}
+
+TEST_F(SctpSocketTest, VerificationTagsDiffer) {
+  build();
+  auto p = connect_pair();
+  Association* a = p.a->assoc(p.a_id);
+  Association* b = p.b->assoc(p.b_id);
+  EXPECT_EQ(a->local_vtag(), b->peer_vtag());
+  EXPECT_EQ(a->peer_vtag(), b->local_vtag());
+  EXPECT_NE(a->local_vtag(), a->peer_vtag());
+}
+
+TEST_F(SctpSocketTest, SingleMessageDeliversWithInfo) {
+  build();
+  auto p = connect_pair();
+  auto msgs = exchange(p.a, p.a_id, p.b,
+                       {{3, pattern_bytes(500)}});
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].data, pattern_bytes(500));
+  EXPECT_EQ(msgs[0].info.sid, 3);
+  EXPECT_EQ(msgs[0].info.ssn, 0);
+  EXPECT_EQ(msgs[0].info.assoc, p.b_id);
+}
+
+TEST_F(SctpSocketTest, MessageFramingIsPreservedUnlikeByteStreams) {
+  build();
+  auto p = connect_pair();
+  std::vector<std::pair<std::uint16_t, std::vector<std::byte>>> msgs;
+  for (int i = 1; i <= 20; ++i) {
+    msgs.push_back({0, pattern_bytes(static_cast<std::size_t>(i * 37), i)});
+  }
+  auto rx = exchange(p.a, p.a_id, p.b, msgs);
+  ASSERT_EQ(rx.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(rx[i].data.size(), static_cast<std::size_t>((i + 1) * 37))
+        << "message boundaries must be preserved";
+    EXPECT_EQ(rx[i].data, msgs[i].second);
+  }
+}
+
+TEST_F(SctpSocketTest, LargeMessageFragmentsAndReassembles) {
+  build();
+  auto p = connect_pair();
+  auto big = pattern_bytes(100'000);  // ~69 chunks
+  auto rx = exchange(p.a, p.a_id, p.b, {{1, big}});
+  ASSERT_EQ(rx.size(), 1u);
+  EXPECT_EQ(rx[0].data, big);
+  EXPECT_GT(p.a->assoc(p.a_id)->stats().data_chunks_sent, 60u);
+}
+
+TEST_F(SctpSocketTest, MessageLargerThanSendBufferRejected) {
+  build();
+  auto p = connect_pair();
+  auto huge = pattern_bytes(300 * 1024);  // > 220 KiB sndbuf
+  EXPECT_EQ(p.a->sendmsg(p.a_id, 0, huge), Association::kMsgSize);
+}
+
+TEST_F(SctpSocketTest, EmptyMessageAndBadStreamRejected) {
+  build();
+  auto p = connect_pair();
+  EXPECT_EQ(p.a->sendmsg(p.a_id, 0, {}), Association::kError);
+  auto data = pattern_bytes(10);
+  EXPECT_EQ(p.a->sendmsg(p.a_id, 99, data), Association::kError)
+      << "stream id beyond the negotiated pool";
+}
+
+TEST_F(SctpSocketTest, SendBufferFullReturnsAgain) {
+  build();
+  auto p = connect_pair();
+  auto chunk = pattern_bytes(50 * 1024);
+  int accepted = 0;
+  while (p.a->sendmsg(p.a_id, 0, chunk) > 0) ++accepted;
+  EXPECT_GE(accepted, 4);  // 220 KiB / 50 KiB
+  EXPECT_LE(accepted, 5);
+  EXPECT_EQ(p.a->sendmsg(p.a_id, 0, chunk), Association::kAgain);
+}
+
+TEST_F(SctpSocketTest, OrderingWithinStreamUnderLoss) {
+  build(0.02, {}, /*seed=*/11);
+  auto p = connect_pair();
+  std::vector<std::pair<std::uint16_t, std::vector<std::byte>>> msgs;
+  for (int i = 0; i < 50; ++i) msgs.push_back({2, pattern_bytes(2000, i)});
+  auto rx = exchange(p.a, p.a_id, p.b, msgs);
+  ASSERT_EQ(rx.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rx[i].info.ssn, i) << "same-stream messages must stay ordered";
+    EXPECT_EQ(rx[i].data, msgs[i].second);
+  }
+  EXPECT_GT(p.a->assoc(p.a_id)->stats().retransmits, 0u);
+}
+
+TEST_F(SctpSocketTest, StreamsDeliverIndependentlyUnderTargetedLoss) {
+  // Drop the first data packet (stream 0's message); stream 1's message
+  // must still deliver first — no head-of-line blocking across streams.
+  build();
+  auto p = connect_pair();
+  int data_packets = 0;
+  cluster_->uplink(0).set_drop_filter([&](const net::Packet& pkt) {
+    if (pkt.payload.size() > 200) {
+      ++data_packets;
+      return data_packets == 1;
+    }
+    return false;
+  });
+  std::vector<std::byte> buf(1 << 16);
+  auto m0 = pattern_bytes(1000, 1);
+  auto m1 = pattern_bytes(1000, 2);
+  ASSERT_GT(p.a->sendmsg(p.a_id, 0, m0), 0);
+  ASSERT_GT(p.a->sendmsg(p.a_id, 1, m1), 0);
+  std::vector<RecvInfo> order;
+  run_while([&] {
+    RecvInfo info;
+    while (p.b->recvmsg(buf, info) > 0) order.push_back(info);
+    return order.size() < 2;
+  });
+  EXPECT_EQ(order[0].sid, 1) << "stream 1 must overtake the lost stream 0";
+  EXPECT_EQ(order[1].sid, 0);
+}
+
+TEST_F(SctpSocketTest, SameStreamBlocksOnLossWithinStreamOnly) {
+  build();
+  auto p = connect_pair();
+  int data_packets = 0;
+  cluster_->uplink(0).set_drop_filter([&](const net::Packet& pkt) {
+    if (pkt.payload.size() > 200) {
+      ++data_packets;
+      return data_packets == 1;
+    }
+    return false;
+  });
+  std::vector<std::byte> buf(1 << 16);
+  ASSERT_GT(p.a->sendmsg(p.a_id, 0, pattern_bytes(1000, 1)), 0);
+  ASSERT_GT(p.a->sendmsg(p.a_id, 0, pattern_bytes(1000, 2)), 0);
+  std::vector<RecvInfo> order;
+  run_while([&] {
+    RecvInfo info;
+    while (p.b->recvmsg(buf, info) > 0) order.push_back(info);
+    return order.size() < 2;
+  });
+  EXPECT_EQ(order[0].ssn, 0) << "within one stream, order is preserved";
+  EXPECT_EQ(order[1].ssn, 1);
+}
+
+TEST_F(SctpSocketTest, BulkTransferUnderLossIsExact) {
+  for (double loss : {0.01, 0.02}) {
+    SCOPED_TRACE(loss);
+    build(loss, {}, /*seed=*/23);
+    auto p = connect_pair();
+    std::vector<std::pair<std::uint16_t, std::vector<std::byte>>> msgs;
+    for (int i = 0; i < 30; ++i) {
+      msgs.push_back({static_cast<std::uint16_t>(i % 10),
+                      pattern_bytes(30'000, i)});
+    }
+    auto rx = exchange(p.a, p.a_id, p.b, msgs);
+    ASSERT_EQ(rx.size(), 30u);
+    // Per-stream ordering: collect per-sid SSN sequences.
+    std::map<int, int> next_ssn;
+    std::size_t total = 0;
+    for (const auto& r : rx) {
+      EXPECT_EQ(r.info.ssn, next_ssn[r.info.sid]++);
+      total += r.data.size();
+    }
+    EXPECT_EQ(total, 30u * 30'000u);
+  }
+}
+
+TEST_F(SctpSocketTest, LossRunsAreDeterministic) {
+  auto run_once = [&] {
+    build(0.02, {}, /*seed=*/9);
+    auto p = connect_pair();
+    auto rx = exchange(p.a, p.a_id, p.b, {{0, pattern_bytes(150'000)}});
+    return std::tuple(sim().now(), p.a->assoc(p.a_id)->stats().retransmits,
+                      p.a->assoc(p.a_id)->stats().timeouts);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_F(SctpSocketTest, FastRetransmitAfterFourStrikes) {
+  build();
+  auto p = connect_pair();
+  int data_packets = 0;
+  cluster_->uplink(0).set_drop_filter([&](const net::Packet& pkt) {
+    if (pkt.payload.size() > 1000) {
+      ++data_packets;
+      return data_packets == 3;  // drop one mid-burst chunk
+    }
+    return false;
+  });
+  auto rx = exchange(p.a, p.a_id, p.b, {{0, pattern_bytes(60'000)}});
+  ASSERT_EQ(rx.size(), 1u);
+  const auto& st = p.a->assoc(p.a_id)->stats();
+  EXPECT_GE(st.fast_retransmits, 1u);
+  EXPECT_EQ(st.timeouts, 0u) << "mid-burst loss must not need T3";
+  EXPECT_LT(sim::to_seconds(sim().now()), 0.5);
+}
+
+TEST_F(SctpSocketTest, TailLossRecoversViaT3) {
+  build();
+  auto p = connect_pair();
+  bool dropped = false;
+  int data_packets = 0;
+  const int total = (30'000 + 1451) / 1452;  // chunks for 30 KB
+  cluster_->uplink(0).set_drop_filter([&](const net::Packet& pkt) {
+    if (pkt.payload.size() > 500) {  // the tail chunk is only ~960 B
+      ++data_packets;
+      if (data_packets == total && !dropped) {
+        dropped = true;
+        return true;
+      }
+    }
+    return false;
+  });
+  auto rx = exchange(p.a, p.a_id, p.b, {{0, pattern_bytes(30'000)}});
+  ASSERT_EQ(rx.size(), 1u);
+  EXPECT_GE(p.a->assoc(p.a_id)->stats().timeouts, 1u);
+}
+
+TEST_F(SctpSocketTest, FlowControlSmallReceiverBuffer) {
+  SctpConfig cfg;
+  cfg.rcvbuf = 16 * 1024;
+  build(0.0, cfg);
+  auto p = connect_pair();
+  // Fill with 10 x 8 KiB messages; reader drains slowly.
+  std::size_t next = 0;
+  std::vector<std::vector<std::byte>> sent;
+  for (int i = 0; i < 10; ++i) sent.push_back(pattern_bytes(8 * 1024, i));
+  auto pump_tx = [&] {
+    while (next < sent.size()) {
+      if (p.a->sendmsg(p.a_id, 0, sent[next]) <= 0) break;
+      ++next;
+    }
+  };
+  p.a->set_activity_callback(pump_tx);
+  pump_tx();
+  std::vector<std::vector<std::byte>> got;
+  std::vector<std::byte> buf(64 * 1024);
+  std::function<void()> drain = [&] {
+    RecvInfo info;
+    auto n = p.b->recvmsg(buf, info);
+    if (n > 0) {
+      got.emplace_back(buf.begin(), buf.begin() + n);
+    }
+    if (got.size() < sent.size()) {
+      sim().schedule_after(5 * sim::kMillisecond, drain);
+    }
+  };
+  sim().schedule_after(5 * sim::kMillisecond, drain);
+  run_while([&] { return got.size() < sent.size(); });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[i], sent[i]);
+}
+
+TEST_F(SctpSocketTest, OneToManySocketHandlesMultiplePeers) {
+  build(0.0, {}, 1, /*hosts=*/4);
+  SctpSocket* hub = stacks_[0]->create_socket(7777);
+  hub->listen();
+  std::vector<SctpSocket*> peers;
+  std::vector<AssocId> peer_assocs;
+  for (unsigned h = 1; h < 4; ++h) {
+    SctpSocket* s = stacks_[h]->create_socket();
+    peer_assocs.push_back(s->connect(cluster_->addr(0), 7777));
+    peers.push_back(s);
+  }
+  // Wait for all associations up on the hub (single socket descriptor!).
+  run_while([&] { return hub->association_count() < 3; });
+  run_while([&] {
+    for (unsigned i = 0; i < 3; ++i) {
+      if (!peers[i]->assoc(peer_assocs[i])->established()) return true;
+    }
+    return false;
+  });
+  EXPECT_EQ(hub->association_count(), 3u);
+  // Each peer sends one message; the hub demultiplexes by association.
+  for (unsigned i = 0; i < 3; ++i) {
+    ASSERT_GT(peers[i]->sendmsg(peer_assocs[i], 0, pattern_bytes(100, i + 1)),
+              0);
+  }
+  std::vector<std::byte> buf(4096);
+  std::set<AssocId> seen;
+  run_while([&] {
+    RecvInfo info;
+    while (hub->recvmsg(buf, info) > 0) seen.insert(info.assoc);
+    return seen.size() < 3;
+  });
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST_F(SctpSocketTest, SimultaneousConnectResolvesToOneAssociation) {
+  build();
+  SctpSocket* sa = stacks_[0]->create_socket(4000);
+  SctpSocket* sb = stacks_[1]->create_socket(4000);
+  sa->listen();
+  sb->listen();
+  AssocId ida = sa->connect(cluster_->addr(1), 4000);
+  AssocId idb = sb->connect(cluster_->addr(0), 4000);
+  run_while([&] {
+    return !sa->assoc(ida)->established() || !sb->assoc(idb)->established();
+  });
+  // Exactly one association object on each side, and data flows both ways.
+  EXPECT_EQ(sa->association_count(), 1u);
+  EXPECT_EQ(sb->association_count(), 1u);
+  ASSERT_GT(sa->sendmsg(ida, 0, pattern_bytes(64, 1)), 0);
+  ASSERT_GT(sb->sendmsg(idb, 0, pattern_bytes(64, 2)), 0);
+  std::vector<std::byte> buf(4096);
+  bool a_got = false, b_got = false;
+  run_while([&] {
+    RecvInfo info;
+    if (sa->recvmsg(buf, info) > 0) a_got = true;
+    if (sb->recvmsg(buf, info) > 0) b_got = true;
+    return !a_got || !b_got;
+  });
+}
+
+TEST_F(SctpSocketTest, BlindInjectionWithWrongVtagIsDropped) {
+  build();
+  auto p = connect_pair();
+  Association* b = p.b->assoc(p.b_id);
+  const auto before = b->stats().packets_received;
+  // Forge a packet with a guessed (wrong) verification tag.
+  SctpPacket forged;
+  forged.sport = p.a->port();
+  forged.dport = p.b->port();
+  forged.vtag = b->local_vtag() ^ 0xDEAD;
+  DataChunk d;
+  d.begin = d.end = true;
+  d.tsn = 1;
+  d.payload = pattern_bytes(10);
+  forged.chunks.push_back(TypedChunk{ChunkType::kData, std::move(d)});
+  stacks_[0]->transmit(forged, cluster_->addr(1), net::kAddrAny);
+  sim().run_until(sim().now() + 10 * sim::kMillisecond);
+  EXPECT_EQ(b->stats().packets_received, before);
+  EXPECT_FALSE(p.b->readable());
+}
+
+TEST_F(SctpSocketTest, ForgedCookieIsRejected) {
+  build();
+  SctpSocket* server = stacks_[1]->create_socket(6100);
+  server->listen();
+  // Hand-craft a COOKIE-ECHO with a bogus signature.
+  StateCookie cookie;
+  cookie.local_itag = 1;
+  cookie.peer_itag = 2;
+  cookie.local_itsn = 3;
+  cookie.peer_itsn = 4;
+  cookie.peer_port = 5000;
+  cookie.peer_addrs = {cluster_->addr(0)};
+  cookie.timestamp = 0;
+  cookie.signature = 0xBADBADBADULL;
+  SctpPacket pkt;
+  pkt.sport = 5000;
+  pkt.dport = 6100;
+  pkt.vtag = 1;
+  pkt.chunks.push_back(TypedChunk{ChunkType::kCookieEcho,
+                                  CookieEchoChunk{cookie.encode()}});
+  stacks_[0]->transmit(pkt, cluster_->addr(1), net::kAddrAny);
+  sim().run_until(sim().now() + 10 * sim::kMillisecond);
+  EXPECT_EQ(server->association_count(), 0u)
+      << "no resources may be committed for a forged cookie (paper §3.5.2)";
+}
+
+TEST_F(SctpSocketTest, HandshakeSurvivesInitLoss) {
+  build();
+  bool dropped = false;
+  cluster_->uplink(0).set_drop_filter([&](const net::Packet&) {
+    if (!dropped) {
+      dropped = true;
+      return true;  // drop the first INIT
+    }
+    return false;
+  });
+  auto p = connect_pair();
+  EXPECT_TRUE(p.a->assoc(p.a_id)->established());
+  EXPECT_GE(sim().now(), 3 * sim::kSecond);  // T1 initial RTO
+}
+
+TEST_F(SctpSocketTest, GracefulShutdownCompletes) {
+  build();
+  auto p = connect_pair();
+  exchange(p.a, p.a_id, p.b, {{0, pattern_bytes(5000)}});
+  p.a->shutdown_assoc(p.a_id);
+  bool a_done = false, b_done = false;
+  run_while([&] {
+    while (auto n = p.a->poll_notification()) {
+      if (n->type == NotificationType::kShutdownComplete) a_done = true;
+    }
+    while (auto n = p.b->poll_notification()) {
+      if (n->type == NotificationType::kShutdownComplete) b_done = true;
+    }
+    return !a_done || !b_done;
+  });
+  EXPECT_EQ(p.a->assoc(p.a_id)->state(), AssocState::kClosed);
+  EXPECT_EQ(p.b->assoc(p.b_id)->state(), AssocState::kClosed);
+}
+
+TEST_F(SctpSocketTest, ShutdownFlushesPendingData) {
+  build();
+  auto p = connect_pair();
+  auto data = pattern_bytes(150'000);
+  ASSERT_GT(p.a->sendmsg(p.a_id, 0, data), 0);
+  p.a->shutdown_assoc(p.a_id);  // data still in flight
+  std::vector<std::byte> buf(1 << 20);
+  bool got = false, closed = false;
+  run_while([&] {
+    RecvInfo info;
+    if (p.b->recvmsg(buf, info) == static_cast<std::ptrdiff_t>(data.size()))
+      got = true;
+    while (auto n = p.b->poll_notification()) {
+      if (n->type == NotificationType::kShutdownComplete) closed = true;
+    }
+    return !got || !closed;
+  });
+  EXPECT_TRUE(got);
+}
+
+TEST_F(SctpSocketTest, AbortNotifiesPeer) {
+  build();
+  auto p = connect_pair();
+  p.a->abort_assoc(p.a_id);
+  bool lost = false;
+  run_while([&] {
+    while (auto n = p.b->poll_notification()) {
+      if (n->type == NotificationType::kCommLost) lost = true;
+    }
+    return !lost;
+  });
+  EXPECT_EQ(p.b->assoc(p.b_id)->state(), AssocState::kClosed);
+}
+
+TEST_F(SctpSocketTest, AutocloseClosesIdleAssociation) {
+  SctpConfig cfg;
+  cfg.autoclose = 2 * sim::kSecond;
+  build(0.0, cfg);
+  auto p = connect_pair();
+  exchange(p.a, p.a_id, p.b, {{0, pattern_bytes(100)}});
+  bool closed = false;
+  run_while([&] {
+    while (auto n = p.a->poll_notification()) {
+      if (n->type == NotificationType::kShutdownComplete) closed = true;
+    }
+    return !closed;
+  });
+  EXPECT_GE(sim().now(), 2 * sim::kSecond);
+  EXPECT_EQ(p.a->assoc(p.a_id)->state(), AssocState::kClosed);
+}
+
+TEST_F(SctpSocketTest, CongestionWindowGrowsByBytesAcked) {
+  build();
+  auto p = connect_pair();
+  const auto cwnd0 = p.a->assoc(p.a_id)->paths()[0].cwnd;
+  exchange(p.a, p.a_id, p.b, {{0, pattern_bytes(200'000)}});
+  EXPECT_GT(p.a->assoc(p.a_id)->paths()[0].cwnd, cwnd0);
+}
+
+TEST_F(SctpSocketTest, UnorderedDeliveryBypassesSsn) {
+  build();
+  auto p = connect_pair();
+  int data_packets = 0;
+  cluster_->uplink(0).set_drop_filter([&](const net::Packet& pkt) {
+    if (pkt.payload.size() > 200) {
+      ++data_packets;
+      return data_packets == 1;  // lose the first (ordered) message
+    }
+    return false;
+  });
+  ASSERT_GT(p.a->sendmsg(p.a_id, 0, pattern_bytes(800, 1)), 0);
+  ASSERT_GT(p.a->sendmsg(p.a_id, 0, pattern_bytes(800, 2), 0,
+                         /*unordered=*/true),
+            0);
+  std::vector<std::byte> buf(4096);
+  std::vector<bool> unordered_flags;
+  run_while([&] {
+    RecvInfo info;
+    while (p.b->recvmsg(buf, info) > 0)
+      unordered_flags.push_back(info.unordered);
+    return unordered_flags.size() < 2;
+  });
+  EXPECT_TRUE(unordered_flags[0]) << "unordered message must arrive first";
+}
+
+TEST_F(SctpSocketTest, StaleCookieRestartsHandshake) {
+  // If every COOKIE-ECHO is lost until the cookie's lifetime expires, the
+  // responder answers with a stale-cookie ERROR and the initiator must
+  // restart with a fresh INIT (RFC 2960 §5.2.6) instead of wedging.
+  SctpConfig cfg;
+  cfg.valid_cookie_life = 5 * sim::kSecond;
+  build(0.0, cfg);
+  SctpSocket* server = stacks_[1]->create_socket(6300);
+  server->listen();
+  // Drop all COOKIE-ECHO packets for the first 20 virtual seconds.
+  cluster_->uplink(0).set_drop_filter([this](const net::Packet& p) {
+    if (sim().now() > 20 * sim::kSecond) return false;
+    auto pkt = SctpPacket::decode(p.payload, false);
+    return pkt && !pkt->chunks.empty() &&
+           pkt->chunks.front().type == ChunkType::kCookieEcho;
+  });
+  SctpSocket* client = stacks_[0]->create_socket();
+  AssocId id = client->connect(cluster_->addr(1), 6300);
+  run_while([&] {
+    return !client->assoc(id)->established() &&
+           sim().now() < 120 * sim::kSecond;
+  });
+  EXPECT_TRUE(client->assoc(id)->established())
+      << "handshake must recover after stale-cookie errors";
+}
+
+TEST_F(SctpSocketTest, HandshakeEventuallyCompletesUnderHeavyLoss) {
+  // Property: at 30% per-packet loss the four-way handshake still
+  // converges (T1 retries + stale-cookie restart), for several seeds.
+  for (std::uint64_t seed : {3u, 7u, 13u, 29u}) {
+    SCOPED_TRACE(seed);
+    build(0.30, {}, seed);
+    auto p = connect_pair();
+    EXPECT_TRUE(p.a->assoc(p.a_id)->established());
+  }
+}
+
+TEST_F(SctpSocketTest, OneToOneAdapterParity) {
+  build();
+  SctpOneToOneSocket server(*stacks_[1], 6200);
+  server.listen();
+  SctpOneToOneSocket client(*stacks_[0]);
+  client.connect(cluster_->addr(1), 6200);
+  run_while([&] { return !client.connected() || !server.accept(); });
+  auto msg = pattern_bytes(12'345);
+  ASSERT_GT(client.send(0, msg), 0);
+  std::vector<std::byte> buf(1 << 16);
+  RecvInfo info;
+  std::ptrdiff_t n = -1;
+  run_while([&] {
+    n = server.recv(buf, info);
+    return n <= 0;
+  });
+  EXPECT_EQ(static_cast<std::size_t>(n), msg.size());
+  EXPECT_TRUE(std::equal(msg.begin(), msg.end(), buf.begin()));
+}
+
+}  // namespace
+}  // namespace sctpmpi::sctp

@@ -1,0 +1,349 @@
+// Unit tests for SCTP building blocks: CRC32c vectors, chunk codec
+// round-trips, TSN map semantics, and per-stream reassembly/ordering.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sctp/chunk.hpp"
+#include "sctp/crc32c.hpp"
+#include "sctp/streams.hpp"
+#include "sctp/tsn_map.hpp"
+
+namespace sctpmpi::sctp {
+namespace {
+
+std::vector<std::byte> bytes_of(const char* s) {
+  std::vector<std::byte> v(std::strlen(s));
+  std::memcpy(v.data(), s, v.size());
+  return v;
+}
+
+// ---- CRC32c ---------------------------------------------------------------
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 / published CRC32c test vectors.
+  std::vector<std::byte> zeros(32, std::byte{0});
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  std::vector<std::byte> ones(32, std::byte{0xFF});
+  EXPECT_EQ(crc32c(ones), 0x62A8AB43u);
+  std::vector<std::byte> inc(32);
+  for (int i = 0; i < 32; ++i) inc[i] = static_cast<std::byte>(i);
+  EXPECT_EQ(crc32c(inc), 0x46DD794Eu);
+  EXPECT_EQ(crc32c(bytes_of("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyInput) {
+  EXPECT_EQ(crc32c({}), 0x00000000u);
+}
+
+TEST(Crc32c, SensitiveToSingleBitFlip) {
+  auto data = bytes_of("hello sctp world");
+  auto orig = crc32c(data);
+  data[5] ^= std::byte{0x01};
+  EXPECT_NE(crc32c(data), orig);
+}
+
+// ---- Chunk codec ------------------------------------------------------------
+
+TEST(SctpWire, DataChunkRoundTrip) {
+  SctpPacket p;
+  p.sport = 5001;
+  p.dport = 5002;
+  p.vtag = 0xCAFEBABE;
+  DataChunk d;
+  d.begin = true;
+  d.end = false;
+  d.unordered = true;
+  d.tsn = 12345;
+  d.sid = 7;
+  d.ssn = 99;
+  d.ppid = 42;
+  d.payload = bytes_of("payload-bytes");
+  p.chunks.push_back(TypedChunk{ChunkType::kData, d});
+
+  auto decoded = SctpPacket::decode(p.encode(false), false);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sport, 5001);
+  EXPECT_EQ(decoded->vtag, 0xCAFEBABEu);
+  ASSERT_EQ(decoded->chunks.size(), 1u);
+  const auto& dd = std::get<DataChunk>(decoded->chunks[0].body);
+  EXPECT_TRUE(dd.begin);
+  EXPECT_FALSE(dd.end);
+  EXPECT_TRUE(dd.unordered);
+  EXPECT_EQ(dd.tsn, 12345u);
+  EXPECT_EQ(dd.sid, 7);
+  EXPECT_EQ(dd.ssn, 99);
+  EXPECT_EQ(dd.ppid, 42u);
+  EXPECT_EQ(dd.payload, d.payload);
+}
+
+TEST(SctpWire, InitWithAddressesAndCookieRoundTrip) {
+  SctpPacket p;
+  InitChunk init;
+  init.initiate_tag = 111;
+  init.a_rwnd = 220 * 1024;
+  init.num_ostreams = 10;
+  init.max_instreams = 64;
+  init.initial_tsn = 9999;
+  init.addresses = {net::make_addr(0, 1), net::make_addr(1, 1),
+                    net::make_addr(2, 1)};
+  init.cookie = bytes_of("not-a-multiple-of-4!!");
+  p.chunks.push_back(TypedChunk{ChunkType::kInitAck, init});
+
+  auto d = SctpPacket::decode(p.encode(false), false);
+  ASSERT_TRUE(d.has_value());
+  const auto& di = std::get<InitChunk>(d->chunks[0].body);
+  EXPECT_EQ(di.initiate_tag, 111u);
+  EXPECT_EQ(di.a_rwnd, 220u * 1024u);
+  EXPECT_EQ(di.num_ostreams, 10);
+  EXPECT_EQ(di.max_instreams, 64);
+  EXPECT_EQ(di.initial_tsn, 9999u);
+  EXPECT_EQ(di.addresses, init.addresses);
+  EXPECT_EQ(di.cookie, init.cookie);
+}
+
+TEST(SctpWire, SackWithManyGapBlocksRoundTrip) {
+  // SCTP gap blocks are not limited to 3-4 like TCP SACK (paper §4.1.1).
+  SctpPacket p;
+  SackChunk s;
+  s.cum_tsn_ack = 1000;
+  s.a_rwnd = 55555;
+  for (std::uint16_t i = 0; i < 40; ++i) {
+    s.gaps.push_back(GapBlock{static_cast<std::uint16_t>(i * 3 + 2),
+                              static_cast<std::uint16_t>(i * 3 + 3)});
+  }
+  s.dup_tsns = {1, 2, 3};
+  p.chunks.push_back(TypedChunk{ChunkType::kSack, s});
+
+  auto d = SctpPacket::decode(p.encode(false), false);
+  ASSERT_TRUE(d.has_value());
+  const auto& ds = std::get<SackChunk>(d->chunks[0].body);
+  EXPECT_EQ(ds.cum_tsn_ack, 1000u);
+  EXPECT_EQ(ds.gaps.size(), 40u);
+  EXPECT_EQ(ds.gaps, s.gaps);
+  EXPECT_EQ(ds.dup_tsns, s.dup_tsns);
+}
+
+TEST(SctpWire, BundlingMultipleChunksRoundTrip) {
+  SctpPacket p;
+  SackChunk s;
+  s.cum_tsn_ack = 5;
+  p.chunks.push_back(TypedChunk{ChunkType::kSack, s});
+  DataChunk d1;
+  d1.begin = d1.end = true;
+  d1.tsn = 6;
+  d1.payload = bytes_of("abc");
+  p.chunks.push_back(TypedChunk{ChunkType::kData, d1});
+  DataChunk d2;
+  d2.begin = d2.end = true;
+  d2.tsn = 7;
+  d2.sid = 3;
+  d2.payload = bytes_of("defgh");
+  p.chunks.push_back(TypedChunk{ChunkType::kData, d2});
+
+  auto dec = SctpPacket::decode(p.encode(false), false);
+  ASSERT_TRUE(dec.has_value());
+  ASSERT_EQ(dec->chunks.size(), 3u);
+  EXPECT_EQ(dec->chunks[0].type, ChunkType::kSack);
+  EXPECT_EQ(std::get<DataChunk>(dec->chunks[1].body).payload, d1.payload);
+  EXPECT_EQ(std::get<DataChunk>(dec->chunks[2].body).payload, d2.payload);
+}
+
+TEST(SctpWire, ControlChunksRoundTrip) {
+  SctpPacket p;
+  p.chunks.push_back(TypedChunk{ChunkType::kHeartbeat,
+                                HeartbeatChunk{false, net::make_addr(1, 2),
+                                               123456789ull}});
+  p.chunks.push_back(TypedChunk{ChunkType::kShutdown, ShutdownChunk{777}});
+  p.chunks.push_back(TypedChunk{ChunkType::kAbort, AbortChunk{}});
+  p.chunks.push_back(TypedChunk{ChunkType::kCookieAck, CookieAckChunk{}});
+  p.chunks.push_back(TypedChunk{ChunkType::kError, ErrorChunk{3}});
+
+  auto d = SctpPacket::decode(p.encode(false), false);
+  ASSERT_TRUE(d.has_value());
+  ASSERT_EQ(d->chunks.size(), 5u);
+  const auto& hb = std::get<HeartbeatChunk>(d->chunks[0].body);
+  EXPECT_EQ(hb.path_addr, net::make_addr(1, 2));
+  EXPECT_EQ(hb.timestamp, 123456789ull);
+  EXPECT_EQ(std::get<ShutdownChunk>(d->chunks[1].body).cum_tsn_ack, 777u);
+  EXPECT_EQ(std::get<ErrorChunk>(d->chunks[4].body).cause, 3);
+}
+
+TEST(SctpWire, CrcDetectsCorruption) {
+  SctpPacket p;
+  DataChunk d;
+  d.begin = d.end = true;
+  d.tsn = 1;
+  d.payload = bytes_of("data");
+  p.chunks.push_back(TypedChunk{ChunkType::kData, d});
+  auto wire = p.encode(true);
+  ASSERT_TRUE(SctpPacket::decode(wire, true).has_value());
+  wire[20] ^= std::byte{0x40};
+  EXPECT_FALSE(SctpPacket::decode(wire, true).has_value());
+}
+
+TEST(SctpWire, WireBytesMatchesEncodedSize) {
+  SctpPacket p;
+  p.chunks.push_back(TypedChunk{ChunkType::kSack, SackChunk{1, 2, {{3, 4}}, {5}}});
+  DataChunk d;
+  d.begin = d.end = true;
+  d.payload = bytes_of("xy");  // padded to 4
+  p.chunks.push_back(TypedChunk{ChunkType::kData, d});
+  EXPECT_EQ(p.encode(false).size(), p.wire_bytes());
+}
+
+// ---- TsnMap -----------------------------------------------------------------
+
+TEST(TsnMapTest, InOrderAdvancesCumulative) {
+  TsnMap m(100);
+  EXPECT_EQ(m.cum_tsn(), 99u);
+  EXPECT_TRUE(m.record(100));
+  EXPECT_TRUE(m.record(101));
+  EXPECT_EQ(m.cum_tsn(), 101u);
+  EXPECT_FALSE(m.has_gaps());
+}
+
+TEST(TsnMapTest, GapCreatesBlocks) {
+  TsnMap m(1);
+  m.record(1);
+  m.record(3);
+  m.record(4);
+  m.record(7);
+  EXPECT_EQ(m.cum_tsn(), 1u);
+  auto gaps = m.gap_blocks();
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0], (GapBlock{2, 3}));  // TSNs 3..4 as offsets from 1
+  EXPECT_EQ(gaps[1], (GapBlock{6, 6}));  // TSN 7
+}
+
+TEST(TsnMapTest, FillingGapMergesAndAdvances) {
+  TsnMap m(1);
+  m.record(1);
+  m.record(3);
+  m.record(2);
+  EXPECT_EQ(m.cum_tsn(), 3u);
+  EXPECT_FALSE(m.has_gaps());
+}
+
+TEST(TsnMapTest, DuplicatesAreReportedOnce) {
+  TsnMap m(10);
+  EXPECT_TRUE(m.record(10));
+  EXPECT_FALSE(m.record(10));
+  EXPECT_FALSE(m.record(9));  // below initial
+  EXPECT_TRUE(m.record(12));
+  EXPECT_FALSE(m.record(12));
+  auto dups = m.take_duplicates();
+  EXPECT_EQ(dups, (std::vector<std::uint32_t>{10, 9, 12}));
+  EXPECT_TRUE(m.take_duplicates().empty());
+}
+
+TEST(TsnMapTest, WorksAcrossSerialNumberWrap) {
+  TsnMap m(0xFFFFFFFE);
+  EXPECT_TRUE(m.record(0xFFFFFFFE));
+  EXPECT_TRUE(m.record(0xFFFFFFFF));
+  EXPECT_TRUE(m.record(0));
+  EXPECT_TRUE(m.record(1));
+  EXPECT_EQ(m.cum_tsn(), 1u);
+}
+
+// ---- InboundStreams ----------------------------------------------------------
+
+DataChunk make_chunk(std::uint32_t tsn, std::uint16_t sid, std::uint16_t ssn,
+                     const char* data, bool begin = true, bool end = true) {
+  DataChunk c;
+  c.tsn = tsn;
+  c.sid = sid;
+  c.ssn = ssn;
+  c.begin = begin;
+  c.end = end;
+  c.payload = bytes_of(data);
+  return c;
+}
+
+TEST(InboundStreamsTest, SingleFragmentMessageDelivers) {
+  InboundStreams in(4);
+  EXPECT_EQ(in.accept(make_chunk(1, 0, 0, "hello")), 1u);
+  auto m = in.pop();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->data, bytes_of("hello"));
+  EXPECT_FALSE(in.pop().has_value());
+}
+
+TEST(InboundStreamsTest, FragmentsReassembleInTsnOrder) {
+  InboundStreams in(4);
+  EXPECT_EQ(in.accept(make_chunk(10, 1, 0, "AA", true, false)), 0u);
+  EXPECT_EQ(in.accept(make_chunk(12, 1, 0, "CC", false, true)), 0u);
+  EXPECT_EQ(in.accept(make_chunk(11, 1, 0, "BB", false, false)), 1u);
+  auto m = in.pop();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->data, bytes_of("AABBCC"));
+  EXPECT_EQ(m->sid, 1);
+}
+
+TEST(InboundStreamsTest, SsnOrderingWithinStream) {
+  InboundStreams in(4);
+  // SSN 1 completes before SSN 0: must NOT deliver until 0 arrives.
+  EXPECT_EQ(in.accept(make_chunk(2, 0, 1, "second")), 0u);
+  EXPECT_FALSE(in.has_deliverable());
+  EXPECT_EQ(in.accept(make_chunk(1, 0, 0, "first")), 2u);
+  EXPECT_EQ(in.pop()->data, bytes_of("first"));
+  EXPECT_EQ(in.pop()->data, bytes_of("second"));
+}
+
+TEST(InboundStreamsTest, StreamsAreIndependent) {
+  // The HOL-blocking core property: stream 1's completed message delivers
+  // even though stream 0 is still waiting for an earlier message.
+  InboundStreams in(4);
+  in.accept(make_chunk(5, 0, 1, "stream0-later"));   // blocked on ssn 0
+  EXPECT_EQ(in.accept(make_chunk(6, 1, 0, "stream1-now")), 1u);
+  auto m = in.pop();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->sid, 1);
+  EXPECT_EQ(m->data, bytes_of("stream1-now"));
+  EXPECT_FALSE(in.pop().has_value());
+}
+
+TEST(InboundStreamsTest, UnorderedBypassesSsnOrdering) {
+  InboundStreams in(2);
+  DataChunk c = make_chunk(9, 0, 5, "unordered");
+  c.unordered = true;
+  EXPECT_EQ(in.accept(c), 1u);
+  auto m = in.pop();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->unordered);
+}
+
+TEST(InboundStreamsTest, InvalidStreamIdIgnored) {
+  InboundStreams in(2);
+  EXPECT_EQ(in.accept(make_chunk(1, 9, 0, "bad")), 0u);
+  EXPECT_FALSE(in.has_deliverable());
+}
+
+TEST(InboundStreamsTest, BufferedBytesTracksPartials) {
+  InboundStreams in(2);
+  in.accept(make_chunk(1, 0, 0, "AAAA", true, false));
+  EXPECT_EQ(in.buffered_bytes(), 4u);
+  in.accept(make_chunk(2, 0, 0, "BB", false, true));
+  EXPECT_EQ(in.buffered_bytes(), 0u);
+  EXPECT_EQ(in.ready_bytes(), 6u);
+  auto m = in.pop();
+  in.on_consumed(m->data.size());
+  EXPECT_EQ(in.ready_bytes(), 0u);
+}
+
+TEST(InboundStreamsTest, SsnWrapAroundDelivers) {
+  InboundStreams in(1);
+  // Fast-forward a stream to SSN 65535, then wrap to 0.
+  InboundStreams in2(1);
+  std::uint32_t tsn = 1;
+  for (std::uint32_t ssn = 0; ssn < 65536; ++ssn) {
+    in2.accept(make_chunk(tsn++, 0, static_cast<std::uint16_t>(ssn), "x"));
+    ASSERT_TRUE(in2.pop().has_value());
+  }
+  // next_ssn wrapped to 0 again.
+  EXPECT_EQ(in2.accept(make_chunk(tsn, 0, 0, "wrapped")), 1u);
+  EXPECT_EQ(in2.pop()->data, bytes_of("wrapped"));
+}
+
+}  // namespace
+}  // namespace sctpmpi::sctp

@@ -1,0 +1,181 @@
+#include "sim/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace sctpmpi::sim {
+namespace {
+
+TEST(Process, RunsBodyToCompletion) {
+  Simulator s;
+  bool ran = false;
+  {
+    ProcessGroup g(s);
+    g.spawn("p0", [&](Process&) { ran = true; });
+    g.run_all();
+  }
+  EXPECT_TRUE(ran);
+}
+
+TEST(Process, SleepForAdvancesVirtualTime) {
+  Simulator s;
+  SimTime t_after = -1;
+  ProcessGroup g(s);
+  g.spawn("p0", [&](Process& self) {
+    self.sleep_for(5 * kMillisecond);
+    t_after = s.now();
+  });
+  g.run_all();
+  EXPECT_EQ(t_after, 5 * kMillisecond);
+}
+
+TEST(Process, SleepsInterleaveDeterministically) {
+  Simulator s;
+  std::vector<std::string> order;
+  ProcessGroup g(s);
+  g.spawn("a", [&](Process& self) {
+    self.sleep_for(10);
+    order.push_back("a10");
+    self.sleep_for(20);  // wakes at 30
+    order.push_back("a30");
+  });
+  g.spawn("b", [&](Process& self) {
+    self.sleep_for(20);
+    order.push_back("b20");
+    self.sleep_for(20);  // wakes at 40
+    order.push_back("b40");
+  });
+  g.run_all();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"a10", "b20", "a30", "b40"}));
+}
+
+TEST(Process, SuspendAndWakeFromEvent) {
+  Simulator s;
+  bool resumed = false;
+  ProcessGroup g(s);
+  Process& p = g.spawn("p0", [&](Process& self) {
+    self.suspend();
+    resumed = true;
+    EXPECT_EQ(s.now(), 77);
+  });
+  s.schedule_at(77, [&] { p.wake(); });
+  g.run_all();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Process, WakeOnNonSuspendedProcessIsNoop) {
+  Simulator s;
+  ProcessGroup g(s);
+  Process& p = g.spawn("p0", [&](Process& self) { self.sleep_for(10); });
+  s.schedule_at(0, [&] { p.wake(); });  // before it even starts: no-op
+  g.run_all();
+  EXPECT_TRUE(p.finished());
+}
+
+TEST(Process, ChargeAccumulatesAndFlushesOnSuspend) {
+  Simulator s;
+  SimTime t_end = -1;
+  ProcessGroup g(s);
+  g.spawn("p0", [&](Process& self) {
+    self.charge(3 * kMicrosecond);  // below threshold: no sleep yet
+    self.charge(4 * kMicrosecond);
+    self.sleep_for(0);  // no-op sleep, debt still pending
+    self.flush_charge();
+    t_end = s.now();
+  });
+  g.run_all();
+  EXPECT_EQ(t_end, 7 * kMicrosecond);
+}
+
+TEST(Process, ChargeOverThresholdFlushesImmediately) {
+  Simulator s;
+  SimTime t_mid = -1;
+  ProcessGroup g(s);
+  g.spawn("p0", [&](Process& self) {
+    self.charge(Process::kChargeFlushThreshold + kMicrosecond);
+    t_mid = s.now();
+  });
+  g.run_all();
+  EXPECT_EQ(t_mid, Process::kChargeFlushThreshold + kMicrosecond);
+}
+
+TEST(Process, ExceptionInBodyPropagatesFromRunAll) {
+  Simulator s;
+  ProcessGroup g(s);
+  g.spawn("bad", [&](Process&) { throw std::runtime_error("boom"); });
+  EXPECT_THROW(g.run_all(), std::runtime_error);
+}
+
+TEST(Process, DeadlockIsDetected) {
+  Simulator s;
+  ProcessGroup g(s);
+  g.spawn("stuck", [&](Process& self) { self.suspend(); });  // never woken
+  EXPECT_THROW(g.run_all(), std::runtime_error);
+}
+
+TEST(Process, ManyProcessesPingPongViaWaitQueue) {
+  Simulator s;
+  WaitQueue wq;
+  int turns = 0;
+  bool token = false;
+  ProcessGroup g(s);
+  g.spawn("producer", [&](Process& self) {
+    for (int i = 0; i < 100; ++i) {
+      token = true;
+      wq.notify_all();
+      self.sleep_for(10);
+    }
+  });
+  g.spawn("consumer", [&](Process& self) {
+    for (int i = 0; i < 100; ++i) {
+      while (!token) wq.wait(self);
+      token = false;
+      ++turns;
+    }
+  });
+  g.run_all();
+  EXPECT_EQ(turns, 100);
+}
+
+TEST(ProcessGroup, RunAllCompletesWithManyProcesses) {
+  Simulator s;
+  ProcessGroup g(s);
+  int done = 0;
+  for (int i = 0; i < 16; ++i) {
+    g.spawn("p" + std::to_string(i), [&, i](Process& self) {
+      self.sleep_for(i * kMicrosecond);
+      ++done;
+    });
+  }
+  g.run_all();
+  EXPECT_EQ(done, 16);
+}
+
+TEST(WaitQueue, NotifyOneWakesSingleWaiter) {
+  Simulator s;
+  WaitQueue wq;
+  int woken = 0;
+  ProcessGroup g(s);
+  bool go = false;
+  for (int i = 0; i < 3; ++i) {
+    g.spawn("w" + std::to_string(i), [&](Process& self) {
+      while (!go) wq.wait(self);
+      ++woken;
+    });
+  }
+  g.spawn("signaller", [&](Process& self) {
+    self.sleep_for(10);
+    go = true;
+    wq.notify_all();
+  });
+  g.run_all();
+  EXPECT_EQ(woken, 3);
+}
+
+}  // namespace
+}  // namespace sctpmpi::sim

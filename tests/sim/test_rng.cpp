@@ -1,0 +1,97 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sctpmpi::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBound) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.uniform_int(17), 17u);
+}
+
+TEST(Rng, UniformRangeIsInclusive) {
+  Rng r(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    auto v = r.uniform_range(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng r(23);
+  int hits = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+    if (r.chance(0.01)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.01, 0.002);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(29);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentOfParentUse) {
+  Rng parent(99);
+  Rng f1 = parent.fork(1);
+  // Consuming the parent after forking must not change the fork's stream.
+  Rng parent2(99);
+  for (int i = 0; i < 50; ++i) parent2.next();
+  Rng f2 = Rng(99).fork(1);
+  EXPECT_EQ(f1.next(), f2.next());
+}
+
+TEST(Rng, ForkedStreamsDifferByStreamId) {
+  Rng parent(99);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace sctpmpi::sim

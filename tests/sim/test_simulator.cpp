@@ -1,0 +1,162 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sctpmpi::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, SameTimeEventsFireFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesRelativeDelay) {
+  Simulator s;
+  SimTime fired = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_after(50, [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, 150);
+}
+
+TEST(Simulator, PastScheduleClampsToNow) {
+  Simulator s;
+  SimTime fired = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_at(10, [&] { fired = s.now(); });  // in the past
+  });
+  s.run();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  auto id = s.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(s.cancel(id));  // double cancel reports failure
+}
+
+TEST(Simulator, CancelInvalidIdIsRejected) {
+  Simulator s;
+  EXPECT_FALSE(s.cancel(Simulator::kInvalidEvent));
+  EXPECT_FALSE(s.cancel(9999));
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator s;
+  s.run_until(500);
+  EXPECT_EQ(s.now(), 500);
+}
+
+TEST(Simulator, RunUntilDoesNotRunLaterEvents) {
+  Simulator s;
+  bool early = false, late = false;
+  s.schedule_at(10, [&] { early = true; });
+  s.schedule_at(1000, [&] { late = true; });
+  s.run_until(100);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(s.now(), 100);
+  s.run();
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(1, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, RunWithMaxEventsStopsEarly) {
+  Simulator s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) s.schedule_at(i, [&] { ++count; });
+  EXPECT_EQ(s.run(4), 4u);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Simulator, LiveEventsExcludesCancelled) {
+  Simulator s;
+  auto a = s.schedule_at(1, [] {});
+  s.schedule_at(2, [] {});
+  s.cancel(a);
+  EXPECT_EQ(s.live_events(), 1u);
+}
+
+TEST(Timer, FiresAfterDelay) {
+  Simulator s;
+  int fires = 0;
+  Timer t(s, [&] { ++fires; });
+  t.arm(100);
+  EXPECT_TRUE(t.armed());
+  s.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(t.armed());
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Timer, RearmReplacesDeadline) {
+  Simulator s;
+  int fires = 0;
+  Timer t(s, [&] { ++fires; });
+  t.arm(100);
+  t.arm(300);
+  s.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(s.now(), 300);
+}
+
+TEST(Timer, CancelStopsFire) {
+  Simulator s;
+  int fires = 0;
+  Timer t(s, [&] { ++fires; });
+  t.arm(100);
+  t.cancel();
+  s.run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Timer, CanRearmFromWithinCallback) {
+  Simulator s;
+  int fires = 0;
+  Timer t(s, [&] {
+    if (++fires < 3) t.arm(10);
+  });
+  t.arm(10);
+  s.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(s.now(), 30);
+}
+
+}  // namespace
+}  // namespace sctpmpi::sim

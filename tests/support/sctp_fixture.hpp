@@ -1,0 +1,129 @@
+// Harness for SCTP socket/association tests: N-host cluster with an SCTP
+// stack per host; helpers to establish associations and exchange whole
+// messages via activity callbacks.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "sctp/socket.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "tests/support/tcp_fixture.hpp"  // pattern_bytes
+
+namespace sctpmpi::test {
+
+class SctpFixture : public ::testing::Test {
+ protected:
+  void build(double loss = 0.0, sctp::SctpConfig cfg = {},
+             std::uint64_t seed = 1, unsigned hosts = 2,
+             unsigned interfaces = 1) {
+    stacks_.clear();
+    cluster_.reset();
+    sim_holder_ = std::make_unique<sim::Simulator>();
+    net::ClusterParams params;
+    params.hosts = hosts;
+    params.interfaces = interfaces;
+    params.link.loss = loss;
+    cluster_ = std::make_unique<net::Cluster>(*sim_holder_, sim::Rng(seed),
+                                              params);
+    for (unsigned h = 0; h < hosts; ++h) {
+      stacks_.push_back(std::make_unique<sctp::SctpStack>(
+          cluster_->host(h), cfg, sim::Rng(seed).fork(1000 + h)));
+    }
+  }
+
+  sim::Simulator& sim() { return *sim_holder_; }
+
+  void run_while(const std::function<bool()>& cond,
+                 std::size_t max_steps = 100'000'000) {
+    std::size_t steps = 0;
+    while (cond()) {
+      ASSERT_TRUE(sim().step()) << "event queue drained while waiting";
+      ASSERT_LT(++steps, max_steps) << "step limit exceeded";
+    }
+  }
+
+  /// Establishes an association from host 0's socket to host 1's listening
+  /// socket. Returns {client socket, server socket, client-side assoc id,
+  /// server-side assoc id}.
+  struct Pair {
+    sctp::SctpSocket* a;
+    sctp::SctpSocket* b;
+    sctp::AssocId a_id;
+    sctp::AssocId b_id;
+  };
+
+  Pair connect_pair(std::uint16_t port = 6000) {
+    sctp::SctpSocket* server = stacks_[1]->create_socket(port);
+    server->listen();
+    sctp::SctpSocket* client = stacks_[0]->create_socket();
+    sctp::AssocId a_id = client->connect(cluster_->addr(1), port);
+    sctp::AssocId b_id = 0;
+    bool a_up = false;
+    run_while([&] {
+      while (auto n = client->poll_notification()) {
+        if (n->type == sctp::NotificationType::kCommUp) a_up = true;
+      }
+      while (auto n = server->poll_notification()) {
+        if (n->type == sctp::NotificationType::kCommUp) b_id = n->assoc;
+      }
+      return !a_up || b_id == 0;
+    });
+    EXPECT_TRUE(client->assoc(a_id)->established());
+    EXPECT_TRUE(server->assoc(b_id)->established());
+    return {client, server, a_id, b_id};
+  }
+
+  /// Sends `messages` (sid, bytes) pairs from `tx` and waits for `rx` to
+  /// deliver them all; returns the delivered messages in arrival order.
+  struct Received {
+    sctp::RecvInfo info;
+    std::vector<std::byte> data;
+  };
+
+  std::vector<Received> exchange(
+      sctp::SctpSocket* tx, sctp::AssocId tx_assoc, sctp::SctpSocket* rx,
+      const std::vector<std::pair<std::uint16_t, std::vector<std::byte>>>&
+          messages) {
+    std::size_t next = 0;
+    std::vector<Received> out;
+    std::vector<std::byte> buf(1 << 20);
+    auto pump_tx = [&] {
+      while (next < messages.size()) {
+        auto n = tx->sendmsg(tx_assoc, messages[next].first,
+                             messages[next].second);
+        if (n <= 0) break;
+        ++next;
+      }
+    };
+    auto pump_rx = [&] {
+      while (true) {
+        sctp::RecvInfo info;
+        auto n = rx->recvmsg(buf, info);
+        if (n <= 0) break;
+        out.push_back(Received{
+            info, std::vector<std::byte>(buf.begin(), buf.begin() + n)});
+      }
+    };
+    tx->set_activity_callback(pump_tx);
+    rx->set_activity_callback(pump_rx);
+    pump_tx();
+    pump_rx();
+    run_while([&] { return out.size() < messages.size(); });
+    tx->set_activity_callback(nullptr);
+    rx->set_activity_callback(nullptr);
+    return out;
+  }
+
+  std::unique_ptr<sim::Simulator> sim_holder_ =
+      std::make_unique<sim::Simulator>();
+  std::unique_ptr<net::Cluster> cluster_;
+  std::vector<std::unique_ptr<sctp::SctpStack>> stacks_;
+};
+
+}  // namespace sctpmpi::test

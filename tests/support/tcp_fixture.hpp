@@ -1,0 +1,124 @@
+// Shared harness for TCP protocol tests: a two-host cluster with a TCP
+// stack on each side and helpers to establish connections and pump bulk
+// data through activity callbacks (no simulated processes needed at this
+// layer).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/socket.hpp"
+
+namespace sctpmpi::test {
+
+inline std::vector<std::byte> pattern_bytes(std::size_t n,
+                                            std::uint8_t seed = 1) {
+  std::vector<std::byte> v(n);
+  std::uint32_t x = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;
+    v[i] = static_cast<std::byte>(x >> 24);
+  }
+  return v;
+}
+
+class TcpPairFixture : public ::testing::Test {
+ protected:
+  void build(double loss = 0.0, tcp::TcpConfig cfg = {},
+             std::uint64_t seed = 1) {
+    // Tear down in reverse order, then recreate: a fresh Simulator per
+    // build() so no stale events reference destroyed stacks.
+    stack_a_.reset();
+    stack_b_.reset();
+    cluster_.reset();
+    sim_holder_ = std::make_unique<sim::Simulator>();
+    net::ClusterParams params;
+    params.hosts = 2;
+    params.link.loss = loss;
+    cluster_ = std::make_unique<net::Cluster>(*sim_holder_, sim::Rng(seed), params);
+    stack_a_ = std::make_unique<tcp::TcpStack>(cluster_->host(0), cfg,
+                                               sim::Rng(seed).fork(100));
+    stack_b_ = std::make_unique<tcp::TcpStack>(cluster_->host(1), cfg,
+                                               sim::Rng(seed).fork(200));
+  }
+
+  /// Establishes a connection from host 0 to a listener on host 1.
+  /// Returns {client, server-accepted}.
+  std::pair<tcp::TcpSocket*, tcp::TcpSocket*> connect_pair(
+      std::uint16_t port = 7000) {
+    tcp::TcpSocket* listener = stack_b_->create_socket();
+    listener->bind(port);
+    listener->listen();
+    tcp::TcpSocket* client = stack_a_->create_socket();
+    client->connect(cluster_->addr(1), port);
+    tcp::TcpSocket* server = nullptr;
+    run_while([&] {
+      if (server == nullptr) server = listener->accept();
+      return server == nullptr || !client->connected() ||
+             !server->connected();
+    });
+    EXPECT_NE(server, nullptr);
+    EXPECT_TRUE(client->connected());
+    return {client, server};
+  }
+
+  /// Steps the simulator while `cond` holds; fails the test if the event
+  /// queue drains or the step limit is hit first.
+  void run_while(const std::function<bool()>& cond,
+                 std::size_t max_steps = 50'000'000) {
+    std::size_t steps = 0;
+    while (cond()) {
+      ASSERT_TRUE(sim().step()) << "event queue drained while waiting";
+      ASSERT_LT(++steps, max_steps) << "step limit exceeded";
+    }
+  }
+
+  /// Pushes `data` through `tx` and collects the same number of bytes from
+  /// `rx`, driving both ends from activity callbacks. Returns received
+  /// bytes.
+  std::vector<std::byte> transfer(tcp::TcpSocket* tx, tcp::TcpSocket* rx,
+                                  const std::vector<std::byte>& data) {
+    std::size_t sent = 0;
+    std::vector<std::byte> received;
+    received.reserve(data.size());
+
+    auto pump_tx = [&] {
+      while (sent < data.size()) {
+        auto n = tx->send(std::span(data).subspan(sent));
+        if (n <= 0) break;
+        sent += static_cast<std::size_t>(n);
+      }
+    };
+    std::array<std::byte, 16384> buf;
+    auto pump_rx = [&] {
+      while (true) {
+        auto n = rx->recv(buf);
+        if (n <= 0) break;
+        received.insert(received.end(), buf.begin(), buf.begin() + n);
+      }
+    };
+    tx->set_activity_callback(pump_tx);
+    rx->set_activity_callback(pump_rx);
+    pump_tx();
+    pump_rx();
+    run_while([&] { return received.size() < data.size(); });
+    tx->set_activity_callback(nullptr);
+    rx->set_activity_callback(nullptr);
+    return received;
+  }
+
+  std::unique_ptr<sim::Simulator> sim_holder_ = std::make_unique<sim::Simulator>();
+  sim::Simulator& sim() { return *sim_holder_; }
+  std::unique_ptr<net::Cluster> cluster_;
+  std::unique_ptr<tcp::TcpStack> stack_a_;
+  std::unique_ptr<tcp::TcpStack> stack_b_;
+};
+
+}  // namespace sctpmpi::test

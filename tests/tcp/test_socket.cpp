@@ -1,0 +1,452 @@
+#include "tcp/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/support/tcp_fixture.hpp"
+
+namespace sctpmpi::tcp {
+namespace {
+
+using test::pattern_bytes;
+using test::TcpPairFixture;
+
+class TcpSocketTest : public TcpPairFixture {};
+
+TEST_F(TcpSocketTest, ThreeWayHandshakeEstablishes) {
+  build();
+  auto [client, server] = connect_pair();
+  EXPECT_EQ(client->state(), TcpState::kEstablished);
+  EXPECT_EQ(server->state(), TcpState::kEstablished);
+  EXPECT_EQ(server->remote_port(), client->local_port());
+}
+
+TEST_F(TcpSocketTest, SendBeforeConnectReturnsAgain) {
+  build();
+  TcpSocket* s = stack_a_->create_socket();
+  auto data = pattern_bytes(10);
+  EXPECT_EQ(s->send(data), kAgain);
+}
+
+TEST_F(TcpSocketTest, RecvOnEmptyReturnsAgain) {
+  build();
+  auto [client, server] = connect_pair();
+  std::array<std::byte, 16> buf;
+  EXPECT_EQ(client->recv(buf), kAgain);
+  EXPECT_EQ(server->recv(buf), kAgain);
+}
+
+TEST_F(TcpSocketTest, SmallTransferDeliversExactBytes) {
+  build();
+  auto [client, server] = connect_pair();
+  auto data = pattern_bytes(100);
+  auto rx = transfer(client, server, data);
+  EXPECT_EQ(rx, data);
+}
+
+TEST_F(TcpSocketTest, BulkTransferDeliversExactBytes) {
+  build();
+  auto [client, server] = connect_pair();
+  auto data = pattern_bytes(1 << 20);  // 1 MiB, many windows
+  auto rx = transfer(client, server, data);
+  EXPECT_EQ(rx, data);
+  EXPECT_EQ(server->stats().retransmits, 0u);
+}
+
+TEST_F(TcpSocketTest, TransferWorksInBothDirectionsConcurrently) {
+  build();
+  auto [client, server] = connect_pair();
+  auto d1 = pattern_bytes(200'000, 1);
+  auto d2 = pattern_bytes(150'000, 2);
+
+  std::size_t s1 = 0, s2 = 0;
+  std::vector<std::byte> r1, r2;
+  std::array<std::byte, 8192> buf;
+  auto pump = [&] {
+    while (s1 < d1.size()) {
+      auto n = client->send(std::span(d1).subspan(s1));
+      if (n <= 0) break;
+      s1 += static_cast<std::size_t>(n);
+    }
+    while (s2 < d2.size()) {
+      auto n = server->send(std::span(d2).subspan(s2));
+      if (n <= 0) break;
+      s2 += static_cast<std::size_t>(n);
+    }
+    while (true) {
+      auto n = server->recv(buf);
+      if (n <= 0) break;
+      r1.insert(r1.end(), buf.begin(), buf.begin() + n);
+    }
+    while (true) {
+      auto n = client->recv(buf);
+      if (n <= 0) break;
+      r2.insert(r2.end(), buf.begin(), buf.begin() + n);
+    }
+  };
+  client->set_activity_callback(pump);
+  server->set_activity_callback(pump);
+  pump();
+  run_while([&] { return r1.size() < d1.size() || r2.size() < d2.size(); });
+  EXPECT_EQ(r1, d1);
+  EXPECT_EQ(r2, d2);
+}
+
+TEST_F(TcpSocketTest, FlowControlWithTinyReceiverBufferNeverLosesData) {
+  TcpConfig cfg;
+  cfg.rcvbuf = 8 * 1024;
+  build(0.0, cfg);
+  auto [client, server] = connect_pair();
+  auto data = pattern_bytes(256 * 1024);
+
+  // Sender pumps eagerly; receiver drains only every 2 ms, slower than the
+  // link can deliver, so the advertised window repeatedly closes.
+  std::size_t sent = 0;
+  std::vector<std::byte> received;
+  auto pump_tx = [&] {
+    while (sent < data.size()) {
+      auto n = client->send(std::span(data).subspan(sent));
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+  };
+  client->set_activity_callback(pump_tx);
+  pump_tx();
+  std::array<std::byte, 2048> buf;
+  std::function<void()> drain = [&] {
+    auto n = server->recv(buf);
+    if (n > 0) received.insert(received.end(), buf.begin(), buf.begin() + n);
+    if (received.size() < data.size()) {
+      sim().schedule_after(2 * sim::kMillisecond, drain);
+    }
+  };
+  sim().schedule_after(2 * sim::kMillisecond, drain);
+  run_while([&] { return received.size() < data.size(); });
+  EXPECT_EQ(received, data);
+}
+
+TEST_F(TcpSocketTest, ZeroWindowIsProbedAndRecovers) {
+  TcpConfig cfg;
+  cfg.rcvbuf = 4 * 1024;
+  build(0.0, cfg);
+  auto [client, server] = connect_pair();
+  auto data = pattern_bytes(16 * 1024);
+
+  std::size_t sent = 0;
+  auto pump_tx = [&] {
+    while (sent < data.size()) {
+      auto n = client->send(std::span(data).subspan(sent));
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+  };
+  client->set_activity_callback(pump_tx);
+  pump_tx();
+  // Let the window fill and stay closed for a while.
+  sim().run_until(sim().now() + 3 * sim::kSecond);
+  // Now drain everything.
+  std::vector<std::byte> received;
+  std::array<std::byte, 4096> buf;
+  auto pump_rx = [&] {
+    while (true) {
+      auto n = server->recv(buf);
+      if (n <= 0) break;
+      received.insert(received.end(), buf.begin(), buf.begin() + n);
+    }
+  };
+  server->set_activity_callback(pump_rx);
+  pump_rx();
+  run_while([&] { return received.size() < data.size(); });
+  EXPECT_EQ(received, data);
+}
+
+TEST_F(TcpSocketTest, ZeroWindowProbeRetransmissionCannotOverrunSentData) {
+  // Regression: with only persist-probe bytes in flight, an RTO
+  // retransmission must not cover more sequence space than was ever sent —
+  // the peer would acknowledge "unsent" data and the sender would discard
+  // those ACKs forever, wedging the connection.
+  TcpConfig cfg;
+  cfg.rcvbuf = 4 * 1024;
+  build(0.0, cfg);
+  auto [client, server] = connect_pair();
+  auto data = pattern_bytes(20 * 1024);
+  std::size_t sent = 0;
+  auto pump_tx = [&] {
+    while (sent < data.size()) {
+      auto n = client->send(std::span(data).subspan(sent));
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+  };
+  client->set_activity_callback(pump_tx);
+  pump_tx();
+  // Window fills; persist probes trickle out; let at least one RTO of the
+  // probe bytes fire before the reader drains anything.
+  sim().run_until(sim().now() + 2500 * sim::kMillisecond);
+  std::vector<std::byte> received;
+  std::array<std::byte, 4096> buf;
+  server->set_activity_callback([&] {
+    while (true) {
+      auto n = server->recv(buf);
+      if (n <= 0) break;
+      received.insert(received.end(), buf.begin(), buf.begin() + n);
+    }
+  });
+  while (true) {
+    auto n = server->recv(buf);
+    if (n <= 0) break;
+    received.insert(received.end(), buf.begin(), buf.begin() + n);
+  }
+  run_while([&] { return received.size() < data.size(); });
+  EXPECT_EQ(received, data);
+  EXPECT_FALSE(client->failed());
+}
+
+TEST_F(TcpSocketTest, SingleDropTriggersFastRetransmit) {
+  build();
+  auto [client, server] = connect_pair();
+  // Drop exactly one data-bearing packet mid-stream.
+  int data_pkts = 0;
+  cluster_->uplink(0).set_drop_filter([&](const net::Packet& p) {
+    if (p.payload.size() > 100) {  // data segment, not a bare ACK
+      ++data_pkts;
+      return data_pkts == 10;
+    }
+    return false;
+  });
+  auto data = pattern_bytes(120 * 1024);
+  auto rx = transfer(client, server, data);
+  EXPECT_EQ(rx, data);
+  EXPECT_GE(client->stats().fast_retransmits, 1u);
+  EXPECT_EQ(client->stats().timeouts, 0u)
+      << "single mid-stream loss must recover without RTO";
+}
+
+TEST_F(TcpSocketTest, TailLossRequiresTimeout) {
+  build();
+  auto [client, server] = connect_pair();
+  // Drop the very last data packet: no dupacks can follow.
+  int data_pkts = 0;
+  const int total_data_pkts = 8;  // 8 segments for ~11.2 KiB
+  cluster_->uplink(0).set_drop_filter([&](const net::Packet& p) {
+    if (p.payload.size() > 100) {
+      ++data_pkts;
+      return data_pkts == total_data_pkts;
+    }
+    return false;
+  });
+  auto data = pattern_bytes(8 * 1400);
+  auto rx = transfer(client, server, data);
+  EXPECT_EQ(rx, data);
+  EXPECT_GE(client->stats().timeouts, 1u);
+  EXPECT_GE(sim().now(), sim::kSecond) << "RTO floor is 1s";
+}
+
+TEST_F(TcpSocketTest, RtoBacksOffExponentially) {
+  build();
+  auto [client, server] = connect_pair();
+  // Black-hole the forward path entirely after the handshake.
+  cluster_->uplink(0).set_drop_filter(
+      [](const net::Packet& p) { return p.payload.size() > 100; });
+  auto data = pattern_bytes(1000);
+  ASSERT_GT(client->send(data), 0);
+  sim::SimTime start = sim().now();
+  // Run 20 virtual seconds: with 1s min RTO and doubling we expect about
+  // 1+2+4+8 -> 4-5 timeouts, not 20.
+  sim().run_until(start + 20 * sim::kSecond);
+  EXPECT_GE(client->stats().timeouts, 3u);
+  EXPECT_LE(client->stats().timeouts, 6u);
+}
+
+TEST_F(TcpSocketTest, TransfersSurviveRandomLoss) {
+  for (double loss : {0.01, 0.02, 0.05}) {
+    SCOPED_TRACE(loss);
+    build(loss, {}, /*seed=*/77);
+    auto [client, server] = connect_pair();
+    auto data = pattern_bytes(300 * 1024);
+    auto rx = transfer(client, server, data);
+    EXPECT_EQ(rx, data);
+    EXPECT_GT(client->stats().retransmits, 0u);
+  }
+}
+
+TEST_F(TcpSocketTest, LossRunsAreDeterministic) {
+  auto run_once = [&]() {
+    build(0.02, {}, /*seed=*/5);
+    auto [client, server] = connect_pair();
+    auto data = pattern_bytes(100 * 1024);
+    auto rx = transfer(client, server, data);
+    EXPECT_EQ(rx, data);
+    return std::tuple(sim().now(), client->stats().retransmits,
+                      client->stats().timeouts);
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(TcpSocketTest, NagleCoalescesSmallWrites) {
+  TcpConfig nagle_on;
+  nagle_on.nagle = true;
+  TcpConfig nagle_off;
+  nagle_off.nagle = false;
+
+  auto run_cfg = [&](TcpConfig cfg) {
+    build(0.0, cfg);
+    auto [client, server] = connect_pair();
+    std::vector<std::byte> received;
+    std::array<std::byte, 4096> buf;
+    server->set_activity_callback([&] {
+      while (true) {
+        auto n = server->recv(buf);
+        if (n <= 0) break;
+        received.insert(received.end(), buf.begin(), buf.begin() + n);
+      }
+    });
+    // 200 x 100-byte application writes, paced 10us apart.
+    auto chunk = pattern_bytes(100);
+    for (int i = 0; i < 200; ++i) {
+      sim().schedule_at(i * 10 * sim::kMicrosecond, [&, chunk] {
+        (void)client->send(chunk);
+      });
+    }
+    run_while([&] { return received.size() < 20'000; });
+    return client->stats().segments_sent;
+  };
+
+  auto with_nagle = run_cfg(nagle_on);
+  auto without_nagle = run_cfg(nagle_off);
+  EXPECT_LT(with_nagle, without_nagle)
+      << "Nagle must coalesce paced small writes into fewer segments";
+}
+
+TEST_F(TcpSocketTest, DelayedAckReducesPureAcks) {
+  TcpConfig cfg;
+  EXPECT_TRUE(cfg.delayed_ack);
+  build(0.0, cfg);
+  auto [client, server] = connect_pair();
+  auto data = pattern_bytes(500 * 1024);
+  transfer(client, server, data);
+  // Receiver acks at most every other full segment (plus window updates):
+  // far fewer segments from the server than data segments from the client.
+  EXPECT_LT(server->stats().segments_sent,
+            client->stats().segments_sent * 3 / 4);
+}
+
+TEST_F(TcpSocketTest, CloseHandshakeReachesTerminalStates) {
+  build();
+  auto [client, server] = connect_pair();
+  client->close();
+  // Server sees EOF, then closes too.
+  std::array<std::byte, 64> buf;
+  run_while([&] { return server->recv(buf) != 0; });
+  server->close();
+  run_while([&] {
+    return client->state() != TcpState::kTimeWait ||
+           server->state() != TcpState::kClosed;
+  });
+  EXPECT_EQ(client->recv(buf), 0) << "client also sees EOF";
+}
+
+TEST_F(TcpSocketTest, CloseFlushesQueuedDataBeforeFin) {
+  build();
+  auto [client, server] = connect_pair();
+  auto data = pattern_bytes(200 * 1024);
+  std::size_t sent = 0;
+  auto pump_tx = [&] {
+    while (sent < data.size()) {
+      auto n = client->send(std::span(data).subspan(sent));
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    if (sent == data.size()) client->close();
+  };
+  client->set_activity_callback(pump_tx);
+  pump_tx();
+  std::vector<std::byte> received;
+  std::array<std::byte, 8192> buf;
+  bool eof = false;
+  server->set_activity_callback([&] {
+    while (true) {
+      auto n = server->recv(buf);
+      if (n > 0) {
+        received.insert(received.end(), buf.begin(), buf.begin() + n);
+      } else {
+        eof = n == 0;
+        break;
+      }
+    }
+  });
+  run_while([&] { return !eof; });
+  EXPECT_EQ(received, data);
+}
+
+TEST_F(TcpSocketTest, AbortSendsRstAndPeerFails) {
+  build();
+  auto [client, server] = connect_pair();
+  client->abort();
+  run_while([&] { return !server->failed(); });
+  std::array<std::byte, 16> buf;
+  EXPECT_EQ(server->recv(buf), kError);
+  EXPECT_EQ(server->send(buf), kError);
+}
+
+TEST_F(TcpSocketTest, ManyParallelConnectionsWork) {
+  build();
+  TcpSocket* listener = stack_b_->create_socket();
+  listener->bind(9000);
+  listener->listen();
+  constexpr int kConns = 50;
+  std::vector<TcpSocket*> clients;
+  for (int i = 0; i < kConns; ++i) {
+    TcpSocket* c = stack_a_->create_socket();
+    c->connect(cluster_->addr(1), 9000);
+    clients.push_back(c);
+  }
+  std::vector<TcpSocket*> servers;
+  run_while([&] {
+    while (TcpSocket* s = listener->accept()) servers.push_back(s);
+    return servers.size() < kConns;
+  });
+  for (auto* c : clients) EXPECT_TRUE(c->connected());
+  // Distinct four-tuples: all client ports unique.
+  std::set<std::uint16_t> ports;
+  for (auto* c : clients) ports.insert(c->local_port());
+  EXPECT_EQ(ports.size(), static_cast<std::size_t>(kConns));
+}
+
+TEST_F(TcpSocketTest, HandshakeSurvivesSynLoss) {
+  build();
+  // Drop the first SYN.
+  bool dropped = false;
+  cluster_->uplink(0).set_drop_filter([&](const net::Packet&) {
+    if (!dropped) {
+      dropped = true;
+      return true;
+    }
+    return false;
+  });
+  auto [client, server] = connect_pair();
+  EXPECT_TRUE(client->connected());
+  EXPECT_GE(sim().now(), 3 * sim::kSecond) << "initial RTO is 3s";
+}
+
+TEST_F(TcpSocketTest, CongestionWindowGrowsDuringSlowStart) {
+  build();
+  auto [client, server] = connect_pair();
+  const auto initial_cwnd = client->cwnd();
+  auto data = pattern_bytes(400 * 1024);
+  transfer(client, server, data);
+  EXPECT_GT(client->cwnd(), initial_cwnd);
+}
+
+TEST_F(TcpSocketTest, StatsCountPayloadBytesExactly) {
+  build();
+  auto [client, server] = connect_pair();
+  auto data = pattern_bytes(12345);
+  transfer(client, server, data);
+  EXPECT_EQ(client->stats().bytes_sent, 12345u);
+  EXPECT_EQ(server->stats().bytes_received, 12345u);
+}
+
+}  // namespace
+}  // namespace sctpmpi::tcp

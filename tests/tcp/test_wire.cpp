@@ -1,0 +1,122 @@
+#include "tcp/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/bytes.hpp"
+
+namespace sctpmpi::tcp {
+namespace {
+
+TEST(TcpWire, RoundTripsPlainDataSegment) {
+  Segment s;
+  s.sport = 1234;
+  s.dport = 80;
+  s.seq = 0xDEADBEEF;
+  s.ack = 0x01020304;
+  s.ack_flag = true;
+  s.psh = true;
+  s.wnd = 220 * 1024;
+  s.payload = {std::byte{1}, std::byte{2}, std::byte{3}};
+
+  Segment d = Segment::decode(s.encode());
+  EXPECT_EQ(d.sport, 1234);
+  EXPECT_EQ(d.dport, 80);
+  EXPECT_EQ(d.seq, 0xDEADBEEF);
+  EXPECT_EQ(d.ack, 0x01020304u);
+  EXPECT_TRUE(d.ack_flag);
+  EXPECT_TRUE(d.psh);
+  EXPECT_FALSE(d.syn);
+  EXPECT_FALSE(d.fin);
+  EXPECT_FALSE(d.rst);
+  EXPECT_EQ(d.payload, s.payload);
+  // Window survives modulo the 64-byte scaling granularity.
+  EXPECT_LE(d.wnd, s.wnd);
+  EXPECT_GE(d.wnd + 64, s.wnd);
+}
+
+TEST(TcpWire, RoundTripsSynWithOptions) {
+  Segment s;
+  s.syn = true;
+  s.seq = 42;
+  s.mss_opt = 1460;
+  s.sack_permitted = true;
+  Segment d = Segment::decode(s.encode());
+  EXPECT_TRUE(d.syn);
+  EXPECT_EQ(d.mss_opt, 1460);
+  EXPECT_TRUE(d.sack_permitted);
+}
+
+TEST(TcpWire, RoundTripsSackBlocks) {
+  Segment s;
+  s.ack_flag = true;
+  s.sacks = {{100, 200}, {300, 450}, {500, 501}};
+  Segment d = Segment::decode(s.encode());
+  ASSERT_EQ(d.sacks.size(), 3u);
+  EXPECT_EQ(d.sacks[0], (SackBlock{100, 200}));
+  EXPECT_EQ(d.sacks[1], (SackBlock{300, 450}));
+  EXPECT_EQ(d.sacks[2], (SackBlock{500, 501}));
+}
+
+TEST(TcpWire, PlainHeaderIsTwentyBytes) {
+  Segment s;
+  s.ack_flag = true;
+  EXPECT_EQ(s.header_bytes(), 20u);
+  EXPECT_EQ(s.encode().size(), 20u);
+}
+
+TEST(TcpWire, HeaderIsPaddedToFourByteBoundary) {
+  Segment s;
+  s.sack_permitted = true;  // 2-byte option -> padded to 4
+  EXPECT_EQ(s.header_bytes() % 4, 0u);
+  Segment d = Segment::decode(s.encode());
+  EXPECT_TRUE(d.sack_permitted);
+}
+
+TEST(TcpWire, WireBytesIncludesPayload) {
+  Segment s;
+  s.payload.resize(100);
+  EXPECT_EQ(s.wire_bytes(), s.header_bytes() + 100);
+}
+
+TEST(TcpWire, DecodeRejectsTruncatedHeader) {
+  std::vector<std::byte> junk(10);
+  EXPECT_THROW(Segment::decode(junk), net::DecodeError);
+}
+
+TEST(TcpWire, DecodeRejectsBadDataOffset) {
+  Segment s;
+  s.ack_flag = true;
+  auto wire = s.encode();
+  wire[12] = std::byte{0x10};  // data offset 1 word (< 5)
+  EXPECT_THROW(Segment::decode(wire), net::DecodeError);
+}
+
+TEST(TcpWire, FlagsRoundTripIndividually) {
+  for (int bit = 0; bit < 5; ++bit) {
+    Segment s;
+    s.fin = bit == 0;
+    s.syn = bit == 1;
+    s.rst = bit == 2;
+    s.psh = bit == 3;
+    s.ack_flag = bit == 4;
+    Segment d = Segment::decode(s.encode());
+    EXPECT_EQ(d.fin, s.fin);
+    EXPECT_EQ(d.syn, s.syn);
+    EXPECT_EQ(d.rst, s.rst);
+    EXPECT_EQ(d.psh, s.psh);
+    EXPECT_EQ(d.ack_flag, s.ack_flag);
+  }
+}
+
+TEST(SeqArith, WrapAroundComparisons) {
+  using net::seq_gt;
+  using net::seq_lt;
+  EXPECT_TRUE(seq_lt(0xFFFFFFF0u, 0x00000010u));  // across the wrap
+  EXPECT_TRUE(seq_gt(0x00000010u, 0xFFFFFFF0u));
+  EXPECT_FALSE(seq_lt(5, 5));
+  EXPECT_TRUE(net::seq_leq(5, 5));
+  EXPECT_EQ(net::seq_diff(0x00000010u, 0xFFFFFFF0u), 0x20);
+}
+
+}  // namespace
+}  // namespace sctpmpi::tcp
