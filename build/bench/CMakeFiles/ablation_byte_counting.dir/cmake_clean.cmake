@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_byte_counting.dir/ablation_byte_counting.cpp.o"
+  "CMakeFiles/ablation_byte_counting.dir/ablation_byte_counting.cpp.o.d"
+  "ablation_byte_counting"
+  "ablation_byte_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_byte_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

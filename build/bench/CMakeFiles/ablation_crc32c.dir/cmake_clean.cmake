@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_crc32c.dir/ablation_crc32c.cpp.o"
+  "CMakeFiles/ablation_crc32c.dir/ablation_crc32c.cpp.o.d"
+  "ablation_crc32c"
+  "ablation_crc32c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crc32c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

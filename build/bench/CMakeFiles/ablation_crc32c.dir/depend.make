@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_crc32c.
+# This may be replaced when dependencies are built.

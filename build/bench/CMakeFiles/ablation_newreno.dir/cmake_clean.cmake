@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_newreno.dir/ablation_newreno.cpp.o"
+  "CMakeFiles/ablation_newreno.dir/ablation_newreno.cpp.o.d"
+  "ablation_newreno"
+  "ablation_newreno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_newreno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

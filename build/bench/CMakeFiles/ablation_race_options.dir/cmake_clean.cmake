@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_race_options.dir/ablation_race_options.cpp.o"
+  "CMakeFiles/ablation_race_options.dir/ablation_race_options.cpp.o.d"
+  "ablation_race_options"
+  "ablation_race_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_race_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_socket_buffers.dir/ablation_socket_buffers.cpp.o"
+  "CMakeFiles/ablation_socket_buffers.dir/ablation_socket_buffers.cpp.o.d"
+  "ablation_socket_buffers"
+  "ablation_socket_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_socket_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_socket_buffers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stream_pool.dir/ablation_stream_pool.cpp.o"
+  "CMakeFiles/ablation_stream_pool.dir/ablation_stream_pool.cpp.o.d"
+  "ablation_stream_pool"
+  "ablation_stream_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stream_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

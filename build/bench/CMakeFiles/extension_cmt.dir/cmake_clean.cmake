@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_cmt.dir/extension_cmt.cpp.o"
+  "CMakeFiles/extension_cmt.dir/extension_cmt.cpp.o.d"
+  "extension_cmt"
+  "extension_cmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_cmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_farm_fanout1.dir/fig10_farm_fanout1.cpp.o"
+  "CMakeFiles/fig10_farm_fanout1.dir/fig10_farm_fanout1.cpp.o.d"
+  "fig10_farm_fanout1"
+  "fig10_farm_fanout1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_farm_fanout1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

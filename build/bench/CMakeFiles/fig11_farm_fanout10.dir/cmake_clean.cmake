@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_farm_fanout10.dir/fig11_farm_fanout10.cpp.o"
+  "CMakeFiles/fig11_farm_fanout10.dir/fig11_farm_fanout10.cpp.o.d"
+  "fig11_farm_fanout10"
+  "fig11_farm_fanout10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_farm_fanout10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_farm_fanout10.
+# This may be replaced when dependencies are built.

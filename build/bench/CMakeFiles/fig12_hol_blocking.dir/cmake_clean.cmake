@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hol_blocking.dir/fig12_hol_blocking.cpp.o"
+  "CMakeFiles/fig12_hol_blocking.dir/fig12_hol_blocking.cpp.o.d"
+  "fig12_hol_blocking"
+  "fig12_hol_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hol_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pingpong_loss.dir/table1_pingpong_loss.cpp.o"
+  "CMakeFiles/table1_pingpong_loss.dir/table1_pingpong_loss.cpp.o.d"
+  "table1_pingpong_loss"
+  "table1_pingpong_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pingpong_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_demo.dir/farm_demo.cpp.o"
+  "CMakeFiles/farm_demo.dir/farm_demo.cpp.o.d"
+  "farm_demo"
+  "farm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistream_demo.dir/multistream_demo.cpp.o"
+  "CMakeFiles/multistream_demo.dir/multistream_demo.cpp.o.d"
+  "multistream_demo"
+  "multistream_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistream_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/farm.cpp" "src/apps/CMakeFiles/sctpmpi_apps.dir/farm.cpp.o" "gcc" "src/apps/CMakeFiles/sctpmpi_apps.dir/farm.cpp.o.d"
+  "/root/repo/src/apps/nas.cpp" "src/apps/CMakeFiles/sctpmpi_apps.dir/nas.cpp.o" "gcc" "src/apps/CMakeFiles/sctpmpi_apps.dir/nas.cpp.o.d"
+  "/root/repo/src/apps/pingpong.cpp" "src/apps/CMakeFiles/sctpmpi_apps.dir/pingpong.cpp.o" "gcc" "src/apps/CMakeFiles/sctpmpi_apps.dir/pingpong.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sctpmpi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/sctpmpi_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sctp/CMakeFiles/sctpmpi_sctp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sctpmpi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sctpmpi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctpmpi_apps.dir/farm.cpp.o"
+  "CMakeFiles/sctpmpi_apps.dir/farm.cpp.o.d"
+  "CMakeFiles/sctpmpi_apps.dir/nas.cpp.o"
+  "CMakeFiles/sctpmpi_apps.dir/nas.cpp.o.d"
+  "CMakeFiles/sctpmpi_apps.dir/pingpong.cpp.o"
+  "CMakeFiles/sctpmpi_apps.dir/pingpong.cpp.o.d"
+  "libsctpmpi_apps.a"
+  "libsctpmpi_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctpmpi_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

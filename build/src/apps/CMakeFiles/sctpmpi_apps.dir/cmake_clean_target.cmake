@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsctpmpi_apps.a"
+)

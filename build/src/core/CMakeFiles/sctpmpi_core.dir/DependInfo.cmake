@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/lamd.cpp" "src/core/CMakeFiles/sctpmpi_core.dir/lamd.cpp.o" "gcc" "src/core/CMakeFiles/sctpmpi_core.dir/lamd.cpp.o.d"
+  "/root/repo/src/core/mpi.cpp" "src/core/CMakeFiles/sctpmpi_core.dir/mpi.cpp.o" "gcc" "src/core/CMakeFiles/sctpmpi_core.dir/mpi.cpp.o.d"
+  "/root/repo/src/core/rpi_sctp.cpp" "src/core/CMakeFiles/sctpmpi_core.dir/rpi_sctp.cpp.o" "gcc" "src/core/CMakeFiles/sctpmpi_core.dir/rpi_sctp.cpp.o.d"
+  "/root/repo/src/core/rpi_tcp.cpp" "src/core/CMakeFiles/sctpmpi_core.dir/rpi_tcp.cpp.o" "gcc" "src/core/CMakeFiles/sctpmpi_core.dir/rpi_tcp.cpp.o.d"
+  "/root/repo/src/core/world.cpp" "src/core/CMakeFiles/sctpmpi_core.dir/world.cpp.o" "gcc" "src/core/CMakeFiles/sctpmpi_core.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/sctpmpi_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sctp/CMakeFiles/sctpmpi_sctp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sctpmpi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sctpmpi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctpmpi_core.dir/lamd.cpp.o"
+  "CMakeFiles/sctpmpi_core.dir/lamd.cpp.o.d"
+  "CMakeFiles/sctpmpi_core.dir/mpi.cpp.o"
+  "CMakeFiles/sctpmpi_core.dir/mpi.cpp.o.d"
+  "CMakeFiles/sctpmpi_core.dir/rpi_sctp.cpp.o"
+  "CMakeFiles/sctpmpi_core.dir/rpi_sctp.cpp.o.d"
+  "CMakeFiles/sctpmpi_core.dir/rpi_tcp.cpp.o"
+  "CMakeFiles/sctpmpi_core.dir/rpi_tcp.cpp.o.d"
+  "CMakeFiles/sctpmpi_core.dir/world.cpp.o"
+  "CMakeFiles/sctpmpi_core.dir/world.cpp.o.d"
+  "libsctpmpi_core.a"
+  "libsctpmpi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctpmpi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

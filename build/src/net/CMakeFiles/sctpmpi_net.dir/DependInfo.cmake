@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cluster.cpp" "src/net/CMakeFiles/sctpmpi_net.dir/cluster.cpp.o" "gcc" "src/net/CMakeFiles/sctpmpi_net.dir/cluster.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/sctpmpi_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/sctpmpi_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/sctpmpi_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/sctpmpi_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/sctpmpi_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/sctpmpi_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sctpmpi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

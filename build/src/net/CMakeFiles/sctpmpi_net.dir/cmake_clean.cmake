@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctpmpi_net.dir/cluster.cpp.o"
+  "CMakeFiles/sctpmpi_net.dir/cluster.cpp.o.d"
+  "CMakeFiles/sctpmpi_net.dir/host.cpp.o"
+  "CMakeFiles/sctpmpi_net.dir/host.cpp.o.d"
+  "CMakeFiles/sctpmpi_net.dir/link.cpp.o"
+  "CMakeFiles/sctpmpi_net.dir/link.cpp.o.d"
+  "CMakeFiles/sctpmpi_net.dir/udp.cpp.o"
+  "CMakeFiles/sctpmpi_net.dir/udp.cpp.o.d"
+  "libsctpmpi_net.a"
+  "libsctpmpi_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctpmpi_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sctp/association.cpp" "src/sctp/CMakeFiles/sctpmpi_sctp.dir/association.cpp.o" "gcc" "src/sctp/CMakeFiles/sctpmpi_sctp.dir/association.cpp.o.d"
+  "/root/repo/src/sctp/chunk.cpp" "src/sctp/CMakeFiles/sctpmpi_sctp.dir/chunk.cpp.o" "gcc" "src/sctp/CMakeFiles/sctpmpi_sctp.dir/chunk.cpp.o.d"
+  "/root/repo/src/sctp/crc32c.cpp" "src/sctp/CMakeFiles/sctpmpi_sctp.dir/crc32c.cpp.o" "gcc" "src/sctp/CMakeFiles/sctpmpi_sctp.dir/crc32c.cpp.o.d"
+  "/root/repo/src/sctp/socket.cpp" "src/sctp/CMakeFiles/sctpmpi_sctp.dir/socket.cpp.o" "gcc" "src/sctp/CMakeFiles/sctpmpi_sctp.dir/socket.cpp.o.d"
+  "/root/repo/src/sctp/streams.cpp" "src/sctp/CMakeFiles/sctpmpi_sctp.dir/streams.cpp.o" "gcc" "src/sctp/CMakeFiles/sctpmpi_sctp.dir/streams.cpp.o.d"
+  "/root/repo/src/sctp/tsn_map.cpp" "src/sctp/CMakeFiles/sctpmpi_sctp.dir/tsn_map.cpp.o" "gcc" "src/sctp/CMakeFiles/sctpmpi_sctp.dir/tsn_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sctpmpi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sctpmpi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

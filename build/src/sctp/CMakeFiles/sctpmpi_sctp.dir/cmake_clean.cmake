@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctpmpi_sctp.dir/association.cpp.o"
+  "CMakeFiles/sctpmpi_sctp.dir/association.cpp.o.d"
+  "CMakeFiles/sctpmpi_sctp.dir/chunk.cpp.o"
+  "CMakeFiles/sctpmpi_sctp.dir/chunk.cpp.o.d"
+  "CMakeFiles/sctpmpi_sctp.dir/crc32c.cpp.o"
+  "CMakeFiles/sctpmpi_sctp.dir/crc32c.cpp.o.d"
+  "CMakeFiles/sctpmpi_sctp.dir/socket.cpp.o"
+  "CMakeFiles/sctpmpi_sctp.dir/socket.cpp.o.d"
+  "CMakeFiles/sctpmpi_sctp.dir/streams.cpp.o"
+  "CMakeFiles/sctpmpi_sctp.dir/streams.cpp.o.d"
+  "CMakeFiles/sctpmpi_sctp.dir/tsn_map.cpp.o"
+  "CMakeFiles/sctpmpi_sctp.dir/tsn_map.cpp.o.d"
+  "libsctpmpi_sctp.a"
+  "libsctpmpi_sctp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctpmpi_sctp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctpmpi_sim.dir/process.cpp.o"
+  "CMakeFiles/sctpmpi_sim.dir/process.cpp.o.d"
+  "CMakeFiles/sctpmpi_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sctpmpi_sim.dir/simulator.cpp.o.d"
+  "libsctpmpi_sim.a"
+  "libsctpmpi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctpmpi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

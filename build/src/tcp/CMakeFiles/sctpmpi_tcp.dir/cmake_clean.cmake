@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctpmpi_tcp.dir/socket.cpp.o"
+  "CMakeFiles/sctpmpi_tcp.dir/socket.cpp.o.d"
+  "CMakeFiles/sctpmpi_tcp.dir/wire.cpp.o"
+  "CMakeFiles/sctpmpi_tcp.dir/wire.cpp.o.d"
+  "libsctpmpi_tcp.a"
+  "libsctpmpi_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctpmpi_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_bytes.cpp" "tests/CMakeFiles/test_net.dir/net/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_bytes.cpp.o.d"
+  "/root/repo/tests/net/test_cluster.cpp" "tests/CMakeFiles/test_net.dir/net/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_cluster.cpp.o.d"
+  "/root/repo/tests/net/test_link.cpp" "tests/CMakeFiles/test_net.dir/net/test_link.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_link.cpp.o.d"
+  "/root/repo/tests/net/test_udp.cpp" "tests/CMakeFiles/test_net.dir/net/test_udp.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sctpmpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sctpmpi_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

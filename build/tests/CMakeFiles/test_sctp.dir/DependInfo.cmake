@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sctp/test_bundling.cpp" "tests/CMakeFiles/test_sctp.dir/sctp/test_bundling.cpp.o" "gcc" "tests/CMakeFiles/test_sctp.dir/sctp/test_bundling.cpp.o.d"
+  "/root/repo/tests/sctp/test_cmt.cpp" "tests/CMakeFiles/test_sctp.dir/sctp/test_cmt.cpp.o" "gcc" "tests/CMakeFiles/test_sctp.dir/sctp/test_cmt.cpp.o.d"
+  "/root/repo/tests/sctp/test_multihoming.cpp" "tests/CMakeFiles/test_sctp.dir/sctp/test_multihoming.cpp.o" "gcc" "tests/CMakeFiles/test_sctp.dir/sctp/test_multihoming.cpp.o.d"
+  "/root/repo/tests/sctp/test_socket.cpp" "tests/CMakeFiles/test_sctp.dir/sctp/test_socket.cpp.o" "gcc" "tests/CMakeFiles/test_sctp.dir/sctp/test_socket.cpp.o.d"
+  "/root/repo/tests/sctp/test_units.cpp" "tests/CMakeFiles/test_sctp.dir/sctp/test_units.cpp.o" "gcc" "tests/CMakeFiles/test_sctp.dir/sctp/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sctpmpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sctpmpi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sctp/CMakeFiles/sctpmpi_sctp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

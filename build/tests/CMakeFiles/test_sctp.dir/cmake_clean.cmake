@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sctp.dir/sctp/test_bundling.cpp.o"
+  "CMakeFiles/test_sctp.dir/sctp/test_bundling.cpp.o.d"
+  "CMakeFiles/test_sctp.dir/sctp/test_cmt.cpp.o"
+  "CMakeFiles/test_sctp.dir/sctp/test_cmt.cpp.o.d"
+  "CMakeFiles/test_sctp.dir/sctp/test_multihoming.cpp.o"
+  "CMakeFiles/test_sctp.dir/sctp/test_multihoming.cpp.o.d"
+  "CMakeFiles/test_sctp.dir/sctp/test_socket.cpp.o"
+  "CMakeFiles/test_sctp.dir/sctp/test_socket.cpp.o.d"
+  "CMakeFiles/test_sctp.dir/sctp/test_units.cpp.o"
+  "CMakeFiles/test_sctp.dir/sctp/test_units.cpp.o.d"
+  "test_sctp"
+  "test_sctp.pdb"
+  "test_sctp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sctp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_process.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_process.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_process.cpp.o.d"
+  "/root/repo/tests/sim/test_rng.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_rng.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sctpmpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sctpmpi_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
