@@ -32,7 +32,7 @@ double overtake_latency_ms(unsigned pool) {
   // Force timeout-class recovery of one chunk of message A: drop that TSN
   // (original + retransmissions) for 2 virtual seconds.
   std::optional<std::uint32_t> victim;
-  w.cluster().uplink(1).set_drop_filter([&](const net::Packet& p) {
+  w.cluster().uplink(1).faults().drop_if([&](const net::Packet& p) {
     if (p.proto != net::IpProto::kSctp) return false;
     auto pkt = sctp::SctpPacket::decode(p.payload, false);
     if (!pkt) return false;

@@ -25,7 +25,7 @@ double run_scenario(core::TransportKind transport) {
 
   // Drop the first large data packet from rank 1 (part of Msg-A).
   int data_packets = 0;
-  world.cluster().uplink(1).set_drop_filter([&](const net::Packet& p) {
+  world.cluster().uplink(1).faults().drop_if([&](const net::Packet& p) {
     if (p.payload.size() > 1000) {
       ++data_packets;
       return data_packets == 1;

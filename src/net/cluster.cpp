@@ -1,5 +1,7 @@
 #include "net/cluster.hpp"
 
+#include <string>
+
 namespace sctpmpi::net {
 
 Cluster::Cluster(sim::Simulator& sim, sim::Rng rng,
@@ -34,6 +36,11 @@ Cluster::Cluster(sim::Simulator& sim, sim::Rng rng,
       Host* host = hosts_[h].get();
       down->set_sink([host](Packet&& p) { host->deliver(std::move(p)); });
 
+      const std::string suffix =
+          std::to_string(h) + "." + std::to_string(s);
+      up->set_trace_label("up" + suffix);
+      down->set_trace_label("dn" + suffix);
+
       host->add_interface(a, up);
       sw->add_route(a, down);
       subnet_links_[s].push_back(up);
@@ -53,6 +60,11 @@ void Cluster::set_loss(double p) {
 
 void Cluster::set_subnet_loss(unsigned subnet, double p) {
   for (Link* l : subnet_links_.at(subnet)) l->set_loss(p);
+}
+
+void Cluster::set_observer(PacketObserver* obs) {
+  for (auto& l : links_) l->set_observer(obs);
+  for (auto& h : hosts_) h->set_observer(obs);
 }
 
 LinkStats Cluster::total_link_stats() const {

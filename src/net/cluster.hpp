@@ -42,6 +42,11 @@ class Cluster {
   /// Aggregate link statistics across the cluster.
   LinkStats total_link_stats() const;
 
+  /// Installs a wire-level observer on every link and host (nullptr
+  /// detaches). Links are labelled "up<host>.<iface>" / "dn<host>.<iface>",
+  /// hosts "h<id>"; trace::PacketTrace::attach() uses this.
+  void set_observer(PacketObserver* obs);
+
   /// The link carrying traffic from `host` into switch `iface` (uplink) or
   /// from switch `iface` to `host` (downlink). Exposed for tests that
   /// install deterministic drop filters.

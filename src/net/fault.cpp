@@ -1,0 +1,137 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sctpmpi::net {
+
+namespace {
+// Stream ids for forking the per-stage rngs. Each stage owns its own
+// stream so configuring one fault never shifts another's draw sequence.
+// The Bernoulli stage keeps the link's base rng unforked so the classic
+// loss sequence is bit-identical to the pre-pipeline LossModel path.
+constexpr std::uint64_t kGeStream = 0x11;
+constexpr std::uint64_t kDupStream = 0x12;
+constexpr std::uint64_t kCorruptStream = 0x13;
+constexpr std::uint64_t kDelayStream = 0x14;
+constexpr std::uint64_t kPayloadStream = 0x15;
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& sim, sim::Rng rng,
+                             double loss_probability)
+    : sim_(sim),
+      loss_(rng, loss_probability),
+      ge_rng_(rng.fork(kGeStream)),
+      dup_rng_(rng.fork(kDupStream)),
+      corrupt_rng_(rng.fork(kCorruptStream)),
+      delay_rng_(rng.fork(kDelayStream)),
+      payload_rng_(rng.fork(kPayloadStream)) {}
+
+void FaultInjector::set_gilbert_elliott(const GilbertElliottParams& ge) {
+  ge_ = ge;
+  ge_bad_ = false;
+}
+
+void FaultInjector::drop_matching(Predicate match,
+                                  std::vector<std::uint64_t> ordinals) {
+  rules_.push_back(
+      Rule{Rule::Action::kDrop, std::move(match), std::move(ordinals), 0, 0});
+}
+
+void FaultInjector::duplicate_matching(Predicate match,
+                                       std::vector<std::uint64_t> ordinals) {
+  rules_.push_back(Rule{Rule::Action::kDuplicate, std::move(match),
+                        std::move(ordinals), 0, 0});
+}
+
+void FaultInjector::corrupt_matching(Predicate match,
+                                     std::vector<std::uint64_t> ordinals) {
+  rules_.push_back(Rule{Rule::Action::kCorrupt, std::move(match),
+                        std::move(ordinals), 0, 0});
+}
+
+void FaultInjector::delay_matching(Predicate match,
+                                   std::vector<std::uint64_t> ordinals,
+                                   sim::SimTime extra) {
+  rules_.push_back(Rule{Rule::Action::kDelay, std::move(match),
+                        std::move(ordinals), extra, 0});
+}
+
+void FaultInjector::add_blackout(sim::SimTime start, sim::SimTime end) {
+  blackouts_.emplace_back(start, end);
+}
+
+void FaultInjector::clear() {
+  rules_.clear();
+  blackouts_.clear();
+  ge_.reset();
+  ge_bad_ = false;
+  dup_p_ = corrupt_p_ = delay_p_ = 0.0;
+  delay_ = 0;
+}
+
+bool FaultInjector::Rule::fires(const Packet& pkt) {
+  if (match && !match(pkt)) return false;  // null match = every packet
+  ++seen;
+  if (ordinals.empty()) return true;
+  return std::find(ordinals.begin(), ordinals.end(), seen) != ordinals.end();
+}
+
+FaultInjector::Decision FaultInjector::apply(const Packet& pkt) {
+  Decision d;
+
+  // 1. Scripted rules, in installation order. Counters advance on match
+  //    even when the packet is already doomed, so ordinals always refer to
+  //    the sequence of *offered* matching packets.
+  for (Rule& r : rules_) {
+    if (!r.fires(pkt)) continue;
+    switch (r.action) {
+      case Rule::Action::kDrop: d.drop = true; break;
+      case Rule::Action::kDuplicate: d.duplicate = true; break;
+      case Rule::Action::kCorrupt: d.corrupt = true; break;
+      case Rule::Action::kDelay: d.extra_delay += r.extra; break;
+    }
+  }
+
+  // 2. Black-out windows.
+  if (!d.drop) {
+    const sim::SimTime now = sim_.now();
+    for (const auto& [start, end] : blackouts_) {
+      if (now >= start && now < end) {
+        d.drop = true;
+        break;
+      }
+    }
+  }
+
+  // 3. Bursty (Gilbert-Elliott) or uniform (Bernoulli) random loss. The
+  //    GE chain advances on every packet so the burst structure does not
+  //    depend on what the scripted stages did.
+  if (ge_) {
+    const double p_flip = ge_bad_ ? ge_->p_bad_to_good : ge_->p_good_to_bad;
+    if (ge_rng_.chance(p_flip)) ge_bad_ = !ge_bad_;
+    const double p_loss = ge_bad_ ? ge_->loss_bad : ge_->loss_good;
+    if (p_loss > 0.0 && ge_rng_.chance(p_loss)) d.drop = true;
+  } else if (loss_.should_drop()) {
+    d.drop = true;
+  }
+  if (d.drop) return d;
+
+  // 4. Random duplication / corruption / delay.
+  if (dup_p_ > 0.0 && dup_rng_.chance(dup_p_)) d.duplicate = true;
+  if (corrupt_p_ > 0.0 && corrupt_rng_.chance(corrupt_p_)) d.corrupt = true;
+  if (delay_p_ > 0.0 && delay_ > 0 && delay_rng_.chance(delay_p_)) {
+    d.extra_delay += delay_;
+  }
+  return d;
+}
+
+void FaultInjector::corrupt_payload(Packet& pkt) {
+  pkt.flags |= kPktFlagCorrupted;
+  if (pkt.payload.empty()) return;
+  const std::size_t idx = static_cast<std::size_t>(
+      payload_rng_.uniform_int(pkt.payload.size()));
+  pkt.payload[idx] ^= std::byte{0xFF};
+}
+
+}  // namespace sctpmpi::net

@@ -1,0 +1,134 @@
+// Composable per-link fault pipeline.
+//
+// Replaces the Bernoulli-only Dummynet path: every packet offered to a Link
+// first passes through its FaultInjector, which combines
+//
+//   * scripted rules — drop/duplicate/delay/corrupt the Nth packet matching
+//     a predicate (1-based ordinals; an empty ordinal list means "every
+//     match"), used by protocol tests to force exact loss patterns;
+//   * timed black-out windows — every packet offered while sim time is
+//     inside a window is dropped, modelling link failure for failover and
+//     RTO-backoff experiments;
+//   * Gilbert-Elliott two-state bursty loss — per-packet state transitions
+//     with independent loss probabilities in the good and bad states;
+//   * the classic Dummynet Bernoulli loss (net::LossModel);
+//   * random duplication, payload corruption, and extra ingress delay.
+//
+// All randomness comes from sub-streams forked from the Link's rng, one per
+// stage, so enabling one stage never perturbs another stage's sequence and
+// runs are bit-for-bit reproducible. Delayed packets re-enter the link
+// queue after the extra delay, so packets offered in between overtake them:
+// delay doubles as the reordering primitive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/loss.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace sctpmpi::net {
+
+/// Two-state Markov loss (E.N. Gilbert 1960 / Elliott 1963): bursty loss
+/// with per-packet state transitions. Defaults give uniform loss 0.
+struct GilbertElliottParams {
+  double p_good_to_bad = 0.0;  // per-packet P(good -> bad)
+  double p_bad_to_good = 1.0;  // per-packet P(bad -> good)
+  double loss_good = 0.0;      // drop probability while in the good state
+  double loss_bad = 1.0;       // drop probability while in the bad state
+};
+
+class FaultInjector {
+ public:
+  using Predicate = std::function<bool(const Packet&)>;
+
+  /// What the pipeline decided for one packet. Actions compose: a packet
+  /// may be duplicated, corrupted and delayed at once; drop wins over all.
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    bool corrupt = false;
+    sim::SimTime extra_delay = 0;
+  };
+
+  FaultInjector(sim::Simulator& sim, sim::Rng rng, double loss_probability);
+
+  // ---- random stages ----------------------------------------------------
+  void set_loss(double p) { loss_.set_probability(p); }
+  double loss_probability() const { return loss_.probability(); }
+  void set_gilbert_elliott(const GilbertElliottParams& ge);
+  void clear_gilbert_elliott() { ge_.reset(); }
+  void set_duplicate_probability(double p) { dup_p_ = p; }
+  void set_corrupt_probability(double p) { corrupt_p_ = p; }
+  /// Adds `extra` ingress delay to a fraction `p` of packets.
+  void set_delay(sim::SimTime extra, double p = 1.0) {
+    delay_ = extra;
+    delay_p_ = p;
+  }
+
+  // ---- scripted stages --------------------------------------------------
+  /// Drops every packet for which `pred` returns true (the successor of the
+  /// old Link::set_drop_filter test hook). Rules accumulate; clear() resets.
+  void drop_if(Predicate pred) { drop_matching(std::move(pred), {}); }
+  /// Drops the given 1-based ordinals of the packets matching `match`.
+  void drop_matching(Predicate match, std::vector<std::uint64_t> ordinals);
+  void duplicate_matching(Predicate match,
+                          std::vector<std::uint64_t> ordinals);
+  void corrupt_matching(Predicate match, std::vector<std::uint64_t> ordinals);
+  /// Holds the selected packets for `extra` before they join the queue;
+  /// packets offered meanwhile overtake them (reordering).
+  void delay_matching(Predicate match, std::vector<std::uint64_t> ordinals,
+                      sim::SimTime extra);
+  /// Drops everything offered while sim time is in [start, end).
+  void add_blackout(sim::SimTime start, sim::SimTime end);
+
+  /// Removes every configured fault (scripted and random) except the base
+  /// Bernoulli loss probability, which is owned by the link parameters.
+  void clear();
+
+  /// True if any stage beyond plain Bernoulli loss is configured.
+  bool scripted() const { return !rules_.empty() || !blackouts_.empty(); }
+
+  /// Runs one packet through the pipeline, advancing all deterministic
+  /// state (rule ordinal counters, Gilbert-Elliott chain, rng streams).
+  Decision apply(const Packet& pkt);
+
+  /// Flips one deterministically chosen payload byte and marks the packet
+  /// corrupted, so real checksum paths (SCTP CRC32c, the modeled TCP
+  /// Internet checksum) see damage.
+  void corrupt_payload(Packet& pkt);
+
+ private:
+  struct Rule {
+    enum class Action { kDrop, kDuplicate, kDelay, kCorrupt };
+    Action action;
+    Predicate match;
+    std::vector<std::uint64_t> ordinals;  // 1-based; empty = every match
+    sim::SimTime extra = 0;
+    std::uint64_t seen = 0;
+
+    /// Advances the match counter; true if the rule fires for this packet.
+    bool fires(const Packet& pkt);
+  };
+
+  sim::Simulator& sim_;
+  LossModel loss_;
+  sim::Rng ge_rng_;
+  sim::Rng dup_rng_;
+  sim::Rng corrupt_rng_;
+  sim::Rng delay_rng_;
+  sim::Rng payload_rng_;
+  std::optional<GilbertElliottParams> ge_;
+  bool ge_bad_ = false;
+  double dup_p_ = 0.0;
+  double corrupt_p_ = 0.0;
+  double delay_p_ = 0.0;
+  sim::SimTime delay_ = 0;
+  std::vector<Rule> rules_;
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> blackouts_;
+};
+
+}  // namespace sctpmpi::net

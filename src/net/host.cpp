@@ -24,6 +24,9 @@ void Host::send_ip(Packet&& pkt, sim::SimTime stack_delay) {
   if (pkt.src.is_any()) pkt.src = iface->addr;
   pkt.uid = (static_cast<std::uint64_t>(id_) << 48) | next_uid_++;
   ++tx_packets_;
+  if (observer_ != nullptr) {
+    observer_->on_packet(sim_.now(), trace_label_, pkt, PacketVerdict::kSent);
+  }
   const sim::SimTime cost =
       stack_delay + costs_.per_packet + costs_.copy_cost(pkt.payload.size());
   const sim::SimTime done_in = occupy_cpu(cost);

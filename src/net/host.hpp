@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/link.hpp"
+#include "net/observer.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 
@@ -45,7 +46,8 @@ class ProtocolHandler {
 class Host {
  public:
   Host(sim::Simulator& sim, unsigned id, HostCostModel costs)
-      : sim_(sim), id_(id), costs_(costs) {}
+      : sim_(sim), id_(id), costs_(costs),
+        trace_label_("h" + std::to_string(id)) {}
 
   unsigned id() const { return id_; }
   sim::Simulator& sim() { return sim_; }
@@ -92,6 +94,11 @@ class Host {
   std::uint64_t tx_packets() const { return tx_packets_; }
   std::uint64_t rx_packets() const { return rx_packets_; }
 
+  /// Wire-level observation hook: send_ip() reports each packet (with its
+  /// freshly assigned uid) as PacketVerdict::kSent before the stack CPU
+  /// cost, so traces can see what the transport handed down and when.
+  void set_observer(PacketObserver* obs) { observer_ = obs; }
+
  private:
   struct Interface {
     IpAddr addr;
@@ -103,6 +110,8 @@ class Host {
   sim::Simulator& sim_;
   unsigned id_;
   HostCostModel costs_;
+  PacketObserver* observer_ = nullptr;
+  std::string trace_label_;
   std::vector<Interface> ifaces_;
   std::vector<std::pair<IpProto, ProtocolHandler*>> handlers_;
   std::uint64_t tx_packets_ = 0;

@@ -7,16 +7,31 @@
 namespace sctpmpi::net {
 
 bool Link::enqueue(Packet&& pkt) {
-  if (drop_filter_ && drop_filter_(pkt)) {
+  const FaultInjector::Decision d = faults_.apply(pkt);
+  if (d.drop) {
     ++stats_.drops_loss;
+    notify_(pkt, PacketVerdict::kDroppedLoss);
     return false;
   }
-  if (loss_.should_drop()) {
-    ++stats_.drops_loss;
-    return false;
+  if (d.corrupt) faults_.corrupt_payload(pkt);
+  if (d.duplicate) {
+    Packet dup = pkt;  // same uid: traces show the duplication
+    accept_(std::move(dup));
   }
+  if (d.extra_delay > 0) {
+    // Held at ingress; packets offered meanwhile overtake it (reordering).
+    sim_.schedule_after(d.extra_delay, [this, p = std::move(pkt)]() mutable {
+      accept_(std::move(p));
+    });
+    return true;
+  }
+  return accept_(std::move(pkt));
+}
+
+bool Link::accept_(Packet&& pkt) {
   if (queue_.size() >= params_.queue_packets) {
     ++stats_.drops_queue;
+    notify_(pkt, PacketVerdict::kDroppedQueue);
     if (getenv("NETTRACE")) {
       std::printf("[%f] QDROP size=%zu wire=%zu\n",
                   static_cast<double>(sim_.now()) / 1e9, queue_.size(),
@@ -24,6 +39,7 @@ bool Link::enqueue(Packet&& pkt) {
     }
     return false;
   }
+  notify_(pkt, PacketVerdict::kQueued);
   queue_.push_back(std::move(pkt));
   if (!transmitting_) start_transmission_();
   return true;
@@ -45,6 +61,7 @@ void Link::start_transmission_() {
     stats_.tx_bytes += pkt.wire_size();
     sim_.schedule_after(params_.delay,
                         [this, p = std::move(pkt)]() mutable {
+                          notify_(p, PacketVerdict::kDelivered);
                           if (sink_) sink_(std::move(p));
                         });
     start_transmission_();  // begin serializing the next packet

@@ -1,12 +1,16 @@
 // Point-to-point unidirectional link with finite rate, propagation delay,
-// a drop-tail output queue, and Dummynet-style loss injection at ingress.
+// a drop-tail output queue, and a composable fault pipeline at ingress
+// (Dummynet-style Bernoulli loss, bursty loss, scripted drops, duplication,
+// corruption, extra delay, black-outs — see net/fault.hpp).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 
-#include "net/loss.hpp"
+#include "net/fault.hpp"
+#include "net/observer.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 
@@ -31,22 +35,28 @@ class Link {
   using Sink = std::function<void(Packet&&)>;
 
   Link(sim::Simulator& sim, LinkParams params, sim::Rng loss_rng)
-      : sim_(sim), params_(params), loss_(loss_rng, params.loss) {}
+      : sim_(sim), params_(params), faults_(sim, loss_rng, params.loss) {}
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
-  void set_loss(double p) { loss_.set_probability(p); }
+  void set_loss(double p) { faults_.set_loss(p); }
 
-  /// Test hook: deterministic drop predicate evaluated per packet before
-  /// the random loss model (returns true to drop). Used to force specific
-  /// loss patterns (e.g. "drop the 7th data packet") in protocol tests.
-  void set_drop_filter(std::function<bool(const Packet&)> f) {
-    drop_filter_ = std::move(f);
-  }
+  /// The link's fault pipeline: scripted drops, duplication, reordering,
+  /// corruption, bursty loss, black-outs. See net/fault.hpp.
+  FaultInjector& faults() { return faults_; }
+
+  /// Wire-level observation hook (tracing). The observer must outlive the
+  /// link or be detached with nullptr.
+  void set_observer(PacketObserver* obs) { observer_ = obs; }
+  /// Names this link in observer events (e.g. "up0.0").
+  void set_trace_label(std::string label) { label_ = std::move(label); }
+  const std::string& trace_label() const { return label_; }
+
   const LinkStats& stats() const { return stats_; }
   const LinkParams& params() const { return params_; }
 
-  /// Offers a packet to the link. Applies loss, then queues it for
-  /// serialized transmission. Returns false if the packet was dropped.
+  /// Offers a packet to the link. Runs the fault pipeline, then queues it
+  /// for serialized transmission. Returns false if the packet was dropped
+  /// immediately (delayed packets count as accepted).
   bool enqueue(Packet&& pkt);
 
  private:
@@ -56,13 +66,18 @@ class Link {
         static_cast<double>(sim::kSecond));
   }
 
+  bool accept_(Packet&& pkt);
   void start_transmission_();
+  void notify_(const Packet& pkt, PacketVerdict v) {
+    if (observer_ != nullptr) observer_->on_packet(sim_.now(), label_, pkt, v);
+  }
 
   sim::Simulator& sim_;
   LinkParams params_;
-  LossModel loss_;
+  FaultInjector faults_;
   Sink sink_;
-  std::function<bool(const Packet&)> drop_filter_;
+  PacketObserver* observer_ = nullptr;
+  std::string label_;
   std::deque<Packet> queue_;
   bool transmitting_ = false;
   LinkStats stats_;

@@ -1,0 +1,47 @@
+// Wire-level observation points.
+//
+// Links and hosts publish the fate of every packet to an optional
+// PacketObserver: accepted into an output queue, dropped by the fault
+// pipeline or by queue overflow, delivered to the far end, or handed from a
+// transport stack to its egress interface. trace::PacketTrace implements
+// this interface to build protocol-level packet traces; the net layer knows
+// nothing about transport formats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace sctpmpi::net {
+
+struct Packet;
+
+enum class PacketVerdict : std::uint8_t {
+  kSent,          // left a host's transport stack toward an egress link
+  kQueued,        // accepted into a link's output queue
+  kDroppedLoss,   // dropped by the link's fault pipeline (loss/blackout/rule)
+  kDroppedQueue,  // dropped by the link's drop-tail queue
+  kDelivered,     // handed to the link's sink after the wire
+};
+
+inline const char* to_string(PacketVerdict v) {
+  switch (v) {
+    case PacketVerdict::kSent: return "sent";
+    case PacketVerdict::kQueued: return "queued";
+    case PacketVerdict::kDroppedLoss: return "dropped-loss";
+    case PacketVerdict::kDroppedQueue: return "dropped-queue";
+    case PacketVerdict::kDelivered: return "delivered";
+  }
+  return "?";
+}
+
+class PacketObserver {
+ public:
+  virtual ~PacketObserver() = default;
+  /// `point` names the observation point ("up0.0", "dn1.2", "h0", ...).
+  virtual void on_packet(sim::SimTime now, const std::string& point,
+                         const Packet& pkt, PacketVerdict verdict) = 0;
+};
+
+}  // namespace sctpmpi::net

@@ -24,12 +24,21 @@ enum class IpProto : std::uint8_t {
   kSctp = 132,
 };
 
+// Out-of-band annotations carried alongside the wire bytes. kRetransmit is
+// set by the transport stacks on packets carrying retransmitted data so
+// traces can tell a retransmission from its original without diffing
+// sequence numbers; kCorrupted is set by the fault pipeline when it flips
+// payload bits (the bytes themselves are damaged too).
+inline constexpr std::uint8_t kPktFlagRetransmit = 0x1;
+inline constexpr std::uint8_t kPktFlagCorrupted = 0x2;
+
 struct Packet {
   IpAddr src;
   IpAddr dst;
   IpProto proto = IpProto::kTcp;
   std::vector<std::byte> payload;
   std::uint64_t uid = 0;  // trace id, assigned by the sending host
+  std::uint8_t flags = 0;  // kPktFlag* annotations (not wire bytes)
 
   std::size_t wire_size() const { return kIpHeaderBytes + payload.size(); }
 };

@@ -25,6 +25,7 @@ class RingBuffer {
   /// Appends up to data.size() bytes; returns the number accepted.
   std::size_t write(std::span<const std::byte> data) {
     const std::size_t n = std::min(data.size(), free_space());
+    if (n == 0) return 0;  // empty spans may carry a null data()
     std::size_t tail = (head_ + size_) % buf_.size();
     std::size_t first = std::min(n, buf_.size() - tail);
     std::memcpy(buf_.data() + tail, data.data(), first);
@@ -37,6 +38,7 @@ class RingBuffer {
   /// Requires offset + len <= size().
   void peek(std::size_t offset, std::span<std::byte> out) const {
     const std::size_t len = out.size();
+    if (len == 0) return;  // empty spans may carry a null data()
     std::size_t pos = (head_ + offset) % buf_.size();
     std::size_t first = std::min(len, buf_.size() - pos);
     std::memcpy(out.data(), buf_.data() + pos, first);

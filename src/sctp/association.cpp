@@ -98,7 +98,7 @@ void Association::send_init_() {
   pkt.dport = peer_port_;
   pkt.vtag = 0;  // INIT always carries tag 0
   pkt.chunks.push_back(TypedChunk{ChunkType::kInit, std::move(init)});
-  transmit_packet_(std::move(pkt), primary_path_);
+  transmit_packet_(std::move(pkt), primary_path_, /*rtx=*/init_retries_ > 0);
 }
 
 void Association::on_init_ack_(const InitChunk& ia, net::IpAddr /*from*/) {
@@ -142,7 +142,7 @@ void Association::send_cookie_echo_() {
   pkt.vtag = peer_vtag_;
   pkt.chunks.push_back(
       TypedChunk{ChunkType::kCookieEcho, CookieEchoChunk{cookie_}});
-  transmit_packet_(std::move(pkt), primary_path_);
+  transmit_packet_(std::move(pkt), primary_path_, /*rtx=*/init_retries_ > 0);
 }
 
 void Association::on_cookie_ack_() {
@@ -431,7 +431,7 @@ bool Association::build_and_send_packet_(std::size_t path_idx,
   if (pkt.chunks.empty()) return false;
   if (has_data && !path.t3->armed()) arm_t3_(path_idx);
   SCTPDBG("[%f] port %u assoc %u TX path=%zu chunks=%zu data=%d flight=%zu\n", (double)sim_.now()/1e9, socket_.port(), id_, path_idx, pkt.chunks.size(), (int)has_data, path.flight);
-  transmit_packet_(std::move(pkt), path_idx);
+  transmit_packet_(std::move(pkt), path_idx, rtx_added);
   return true;
 }
 
@@ -458,9 +458,10 @@ void Association::send_chunk_now_(TypedChunk&& chunk, std::size_t path_idx) {
   transmit_packet_(std::move(pkt), path_idx);
 }
 
-void Association::transmit_packet_(SctpPacket&& pkt, std::size_t path_idx) {
+void Association::transmit_packet_(SctpPacket&& pkt, std::size_t path_idx,
+                                   bool rtx) {
   ++stats_.packets_sent;
-  socket_.stack().transmit(pkt, paths_[path_idx].addr, net::kAddrAny);
+  socket_.stack().transmit(pkt, paths_[path_idx].addr, net::kAddrAny, rtx);
 }
 
 // ---------------------------------------------------------------------------

@@ -178,7 +178,8 @@ class Association {
   void try_transmit_();
   bool build_and_send_packet_(std::size_t path_idx, bool allow_new_data);
   void send_chunk_now_(TypedChunk&& chunk, std::size_t path_idx);
-  void transmit_packet_(SctpPacket&& pkt, std::size_t path_idx);
+  void transmit_packet_(SctpPacket&& pkt, std::size_t path_idx,
+                        bool rtx = false);
   std::size_t pick_rtx_path_(std::size_t original) const;
   bool has_data_on_path_over_cwnd_(const Path& p) const;
   std::size_t max_chunk_payload_() const;

@@ -127,12 +127,13 @@ void SctpStack::on_ip_packet(net::Packet&& pkt) {
 }
 
 void SctpStack::transmit(const SctpPacket& pkt, net::IpAddr dst,
-                         net::IpAddr src) {
+                         net::IpAddr src, bool rtx) {
   net::Packet ip;
   ip.src = src;
   ip.dst = dst;
   ip.proto = net::IpProto::kSctp;
   ip.payload = pkt.encode(cfg_.crc32c_enabled);
+  if (rtx) ip.flags |= net::kPktFlagRetransmit;
   sim::SimTime cost = cfg_.cpu_per_packet;
   if (cfg_.crc32c_enabled) {
     cost += static_cast<sim::SimTime>(

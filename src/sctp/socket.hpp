@@ -193,7 +193,8 @@ class SctpStack : public net::ProtocolHandler {
 
   /// Sends a fully formed SCTP packet (adds CRC32c + its CPU cost when
   /// enabled) from `src` (kAddrAny = route default) to `dst`.
-  void transmit(const SctpPacket& pkt, net::IpAddr dst, net::IpAddr src);
+  void transmit(const SctpPacket& pkt, net::IpAddr dst, net::IpAddr src,
+                bool rtx = false);
 
  private:
   net::Host& host_;

@@ -225,7 +225,7 @@ void TcpSocket::send_data_segment_(std::uint32_t seq, std::size_t len,
   segs_since_ack_ = 0;
   delack_timer_.cancel();
   last_send_time_ = stack_.host().sim().now();
-  stack_.transmit_(std::move(seg), raddr_, net::kAddrAny);
+  stack_.transmit_(std::move(seg), raddr_, net::kAddrAny, rtx);
 }
 
 void TcpSocket::send_flags_(bool syn, bool fin_flag) {
@@ -838,6 +838,10 @@ TcpSocket* TcpStack::create_socket() {
 }
 
 void TcpStack::on_ip_packet(net::Packet&& pkt) {
+  // Modeled Internet checksum: a segment damaged on the wire never reaches
+  // the connection (the header checksum itself is not serialized, so the
+  // fault pipeline marks corrupted packets instead).
+  if (pkt.flags & net::kPktFlagCorrupted) return;
   Segment seg;
   try {
     seg = Segment::decode(pkt.payload);
@@ -861,12 +865,14 @@ void TcpStack::on_ip_packet(net::Packet&& pkt) {
       });
 }
 
-void TcpStack::transmit_(Segment&& seg, net::IpAddr dst, net::IpAddr src) {
+void TcpStack::transmit_(Segment&& seg, net::IpAddr dst, net::IpAddr src,
+                         bool rtx) {
   net::Packet pkt;
   pkt.src = src;
   pkt.dst = dst;
   pkt.proto = net::IpProto::kTcp;
   pkt.payload = seg.encode();
+  if (rtx) pkt.flags |= net::kPktFlagRetransmit;
   host_.send_ip(std::move(pkt), cfg_.cpu_per_packet);
 }
 

@@ -237,7 +237,8 @@ class TcpStack : public net::ProtocolHandler {
     auto operator<=>(const ConnKey&) const = default;
   };
 
-  void transmit_(Segment&& seg, net::IpAddr dst, net::IpAddr src);
+  void transmit_(Segment&& seg, net::IpAddr dst, net::IpAddr src,
+                 bool rtx = false);
   void register_conn_(TcpSocket* s);
   void register_listener_(TcpSocket* s);
   std::uint16_t ephemeral_port_();

@@ -1,0 +1,275 @@
+#include "trace/packet_trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "net/bytes.hpp"
+#include "sctp/chunk.hpp"
+#include "tcp/wire.hpp"
+
+namespace sctpmpi::trace {
+
+namespace {
+
+const char* chunk_name(sctp::ChunkType t) {
+  using sctp::ChunkType;
+  switch (t) {
+    case ChunkType::kData: return "DATA";
+    case ChunkType::kInit: return "INIT";
+    case ChunkType::kInitAck: return "INIT-ACK";
+    case ChunkType::kSack: return "SACK";
+    case ChunkType::kHeartbeat: return "HEARTBEAT";
+    case ChunkType::kHeartbeatAck: return "HEARTBEAT-ACK";
+    case ChunkType::kAbort: return "ABORT";
+    case ChunkType::kShutdown: return "SHUTDOWN";
+    case ChunkType::kShutdownAck: return "SHUTDOWN-ACK";
+    case ChunkType::kError: return "ERROR";
+    case ChunkType::kCookieEcho: return "COOKIE-ECHO";
+    case ChunkType::kCookieAck: return "COOKIE-ACK";
+    case ChunkType::kShutdownComplete: return "SHUTDOWN-COMPLETE";
+  }
+  return "?";
+}
+
+void annotate_tcp(const net::Packet& pkt, TraceRecord& rec) {
+  tcp::Segment seg;
+  try {
+    seg = tcp::Segment::decode(pkt.payload);
+  } catch (...) {
+    rec.kind = "RAW";
+    return;
+  }
+  std::string kind;
+  auto add = [&kind](const char* part) {
+    if (!kind.empty()) kind += '+';
+    kind += part;
+  };
+  if (seg.syn) add("SYN");
+  if (seg.fin) add("FIN");
+  if (seg.rst) add("RST");
+  if (!seg.payload.empty()) add("DATA");
+  if (kind.empty() && seg.ack_flag) kind = "ACK";
+  if (!seg.sacks.empty()) add("SACK");
+  rec.kind = std::move(kind);
+  rec.seq = seg.seq;
+  rec.ack = seg.ack_flag ? seg.ack : 0;
+  rec.data_bytes = static_cast<std::uint32_t>(seg.payload.size());
+  rec.sack_blocks = static_cast<unsigned>(seg.sacks.size());
+}
+
+void annotate_sctp(const net::Packet& pkt, TraceRecord& rec) {
+  std::optional<sctp::SctpPacket> parsed;
+  try {
+    parsed = sctp::SctpPacket::decode(pkt.payload, /*verify_crc=*/false);
+  } catch (...) {
+    rec.kind = "RAW";
+    return;
+  }
+  if (!parsed) {
+    rec.kind = "RAW";
+    return;
+  }
+  std::string kind;
+  bool first_data = true;
+  for (const auto& c : parsed->chunks) {
+    if (!kind.empty()) kind += '+';
+    kind += chunk_name(c.type);
+    if (const auto* d = std::get_if<sctp::DataChunk>(&c.body)) {
+      if (first_data) {
+        rec.seq = d->tsn;
+        first_data = false;
+      }
+      rec.tsns.push_back(d->tsn);
+      rec.sids.push_back(d->sid);
+      rec.data_bytes += static_cast<std::uint32_t>(d->payload.size());
+    } else if (const auto* s = std::get_if<sctp::SackChunk>(&c.body)) {
+      rec.ack = s->cum_tsn_ack;
+      rec.sack_blocks = static_cast<unsigned>(s->gaps.size());
+    }
+  }
+  rec.kind = std::move(kind);
+}
+
+}  // namespace
+
+void annotate(const net::Packet& pkt, TraceRecord& rec) {
+  switch (pkt.proto) {
+    case net::IpProto::kTcp:
+      annotate_tcp(pkt, rec);
+      break;
+    case net::IpProto::kSctp:
+      annotate_sctp(pkt, rec);
+      break;
+    case net::IpProto::kUdp:
+      rec.kind = "UDP";
+      rec.data_bytes = static_cast<std::uint32_t>(
+          pkt.payload.size() > 8 ? pkt.payload.size() - 8 : 0);
+      break;
+  }
+}
+
+bool TraceRecord::has_chunk(const char* name) const {
+  const std::string want(name);
+  std::size_t pos = 0;
+  while (pos <= kind.size()) {
+    std::size_t end = kind.find('+', pos);
+    if (end == std::string::npos) end = kind.size();
+    if (kind.compare(pos, end - pos, want) == 0) return true;
+    pos = end + 1;
+  }
+  return false;
+}
+
+std::string TraceRecord::to_line() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "t=%012" PRId64 " %-6s uid=%016" PRIx64
+                " %-4s %-13s %-24s seq=%010u ack=%010u len=%u sb=%u "
+                "wire=%zu fl=%u",
+                static_cast<std::int64_t>(time), point.c_str(), uid,
+                proto == net::IpProto::kTcp    ? "TCP"
+                : proto == net::IpProto::kSctp ? "SCTP"
+                                               : "UDP",
+                net::to_string(verdict), kind.c_str(), seq, ack, data_bytes,
+                sack_blocks, wire_bytes, flags);
+  std::string line(buf);
+  if (!tsns.empty()) {
+    line += " tsn=";
+    for (std::size_t i = 0; i < tsns.size(); ++i) {
+      if (i > 0) line += ',';
+      line += std::to_string(tsns[i]);
+    }
+    line += " sid=";
+    for (std::size_t i = 0; i < sids.size(); ++i) {
+      if (i > 0) line += ',';
+      line += std::to_string(sids[i]);
+    }
+  }
+  return line;
+}
+
+PacketTrace::~PacketTrace() { detach(); }
+
+void PacketTrace::attach(net::Cluster& cluster) {
+  cluster.set_observer(this);
+  attached_ = &cluster;
+}
+
+void PacketTrace::detach() {
+  if (attached_ != nullptr) {
+    attached_->set_observer(nullptr);
+    attached_ = nullptr;
+  }
+}
+
+void PacketTrace::on_packet(sim::SimTime now, const std::string& point,
+                            const net::Packet& pkt,
+                            net::PacketVerdict verdict) {
+  TraceRecord rec;
+  rec.time = now;
+  rec.point = point;
+  rec.uid = pkt.uid;
+  rec.proto = pkt.proto;
+  rec.verdict = verdict;
+  rec.flags = pkt.flags;
+  rec.wire_bytes = pkt.wire_size();
+  annotate(pkt, rec);
+  if (capture_ && !capture_(rec)) return;
+  records_.push_back(std::move(rec));
+}
+
+std::vector<const TraceRecord*> PacketTrace::select(const Filter& f) const {
+  std::vector<const TraceRecord*> out;
+  for (const auto& r : records_) {
+    if (f(r)) out.push_back(&r);
+  }
+  return out;
+}
+
+std::size_t PacketTrace::count(const Filter& f) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (f(r)) ++n;
+  }
+  return n;
+}
+
+const TraceRecord* PacketTrace::first(const Filter& f) const {
+  for (const auto& r : records_) {
+    if (f(r)) return &r;
+  }
+  return nullptr;
+}
+
+const TraceRecord* PacketTrace::last(const Filter& f) const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (f(*it)) return &*it;
+  }
+  return nullptr;
+}
+
+TraceSummary PacketTrace::summary() const {
+  TraceSummary s;
+  for (const auto& r : records_) {
+    switch (r.verdict) {
+      case net::PacketVerdict::kSent:
+        ++s.sent;
+        if (r.is_retransmit()) ++s.retransmit_packets;
+        if (r.carries_data()) ++s.data_packets;
+        break;
+      case net::PacketVerdict::kQueued:
+        ++s.queued;
+        if (r.is_corrupted()) ++s.corrupted_packets;
+        break;
+      case net::PacketVerdict::kDroppedLoss: ++s.dropped_loss; break;
+      case net::PacketVerdict::kDroppedQueue: ++s.dropped_queue; break;
+      case net::PacketVerdict::kDelivered: ++s.delivered; break;
+    }
+  }
+  return s;
+}
+
+std::string PacketTrace::to_text() const {
+  std::string out;
+  out.reserve(records_.size() * 96);
+  for (const auto& r : records_) {
+    out += r.to_line();
+    out += '\n';
+  }
+  return out;
+}
+
+void PacketTrace::write(std::ostream& os) const { os << to_text(); }
+
+bool is_tcp_data(const net::Packet& pkt) {
+  if (pkt.proto != net::IpProto::kTcp) return false;
+  TraceRecord rec;
+  annotate(pkt, rec);
+  return rec.data_bytes > 0;
+}
+
+bool is_sctp_data(const net::Packet& pkt) {
+  if (pkt.proto != net::IpProto::kSctp) return false;
+  TraceRecord rec;
+  annotate(pkt, rec);
+  return !rec.tsns.empty();
+}
+
+bool has_sctp_tsn(const net::Packet& pkt, std::uint32_t tsn) {
+  if (pkt.proto != net::IpProto::kSctp) return false;
+  TraceRecord rec;
+  annotate(pkt, rec);
+  return rec.has_tsn(tsn);
+}
+
+bool has_sctp_chunk(const net::Packet& pkt, const char* name) {
+  if (pkt.proto != net::IpProto::kSctp) return false;
+  TraceRecord rec;
+  annotate(pkt, rec);
+  return rec.has_chunk(name);
+}
+
+}  // namespace sctpmpi::trace

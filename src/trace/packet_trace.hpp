@@ -1,0 +1,142 @@
+// Protocol-aware packet trace recorder.
+//
+// PacketTrace implements net::PacketObserver: attached to a Cluster it sees
+// every packet event (sent / queued / dropped-loss / dropped-queue /
+// delivered) on every host and link, decodes the transport payload (TCP
+// segment or SCTP packet) and keeps a structured in-memory log. Tests
+// assert on the log to check protocol *mechanics* — which TSN was
+// retransmitted, whether fast retransmit fired before the RTO, how many
+// SACK blocks a segment carried — rather than only end-to-end timings.
+//
+// The text serialization (to_text) is stable and fully deterministic for a
+// seeded simulation, which makes byte-identical golden-trace regression
+// tests possible.
+//
+// This library sits above net/tcp/sctp (it decodes both wire formats), so
+// it lives in its own CMake target, sctpmpi_trace; the net layer only
+// knows the PacketObserver interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "net/observer.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace sctpmpi::trace {
+
+struct TraceRecord {
+  sim::SimTime time = 0;
+  std::string point;  // "h0", "up0.0", "dn1.2"
+  std::uint64_t uid = 0;
+  net::IpProto proto = net::IpProto::kTcp;
+  net::PacketVerdict verdict = net::PacketVerdict::kQueued;
+  std::uint8_t flags = 0;       // net::kPktFlag* annotations
+  std::size_t wire_bytes = 0;
+
+  // Decoded transport summary.
+  std::string kind;             // "SYN+ACK", "DATA", "DATA+SACK", "INIT"...
+  std::uint32_t seq = 0;        // TCP sequence number / first DATA TSN
+  std::uint32_t ack = 0;        // TCP ack / SACK cumulative TSN ack
+  std::uint32_t data_bytes = 0; // transport payload bytes carried
+  unsigned sack_blocks = 0;     // TCP SACK blocks / SCTP gap-ack blocks
+  std::vector<std::uint32_t> tsns;  // all DATA TSNs bundled (SCTP)
+  std::vector<std::uint16_t> sids;  // stream ids of those DATA chunks
+
+  bool is_retransmit() const {
+    return (flags & net::kPktFlagRetransmit) != 0;
+  }
+  bool is_corrupted() const {
+    return (flags & net::kPktFlagCorrupted) != 0;
+  }
+  bool carries_data() const { return data_bytes > 0; }
+  bool has_tsn(std::uint32_t tsn) const {
+    for (std::uint32_t t : tsns)
+      if (t == tsn) return true;
+    return false;
+  }
+  /// Exact match against one "+"-separated token of `kind`, so "INIT"
+  /// does not match an INIT-ACK packet.
+  bool has_chunk(const char* name) const;
+
+  /// One stable text line (no trailing newline).
+  std::string to_line() const;
+};
+
+struct TraceSummary {
+  std::uint64_t sent = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_queue = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t retransmit_packets = 0;  // rtx-flagged, counted at kSent
+  std::uint64_t corrupted_packets = 0;   // corrupted, counted at kQueued
+  std::uint64_t data_packets = 0;        // data-carrying, counted at kSent
+};
+
+class PacketTrace : public net::PacketObserver {
+ public:
+  using Filter = std::function<bool(const TraceRecord&)>;
+
+  PacketTrace() = default;
+  ~PacketTrace() override;
+
+  /// Installs this trace on every link and host of `cluster`. The trace
+  /// detaches automatically on destruction.
+  void attach(net::Cluster& cluster);
+  void detach();
+
+  /// Records only events for which `f` returns true (e.g. uplinks only).
+  /// Filtering at capture keeps golden traces small; pass nullptr to keep
+  /// everything.
+  void set_capture_filter(Filter f) { capture_ = std::move(f); }
+
+  void on_packet(sim::SimTime now, const std::string& point,
+                 const net::Packet& pkt, net::PacketVerdict verdict) override;
+
+  void clear() { records_.clear(); }
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+  /// All records satisfying `f`, in capture order.
+  std::vector<const TraceRecord*> select(const Filter& f) const;
+  std::size_t count(const Filter& f) const;
+  /// First record satisfying `f`, or nullptr.
+  const TraceRecord* first(const Filter& f) const;
+  /// Last record satisfying `f`, or nullptr.
+  const TraceRecord* last(const Filter& f) const;
+
+  TraceSummary summary() const;
+
+  /// Stable text serialization, one line per record. Deterministic for a
+  /// seeded run: suitable for golden-trace comparisons.
+  std::string to_text() const;
+  void write(std::ostream& os) const;
+
+ private:
+  net::Cluster* attached_ = nullptr;
+  Filter capture_;
+  std::vector<TraceRecord> records_;
+};
+
+/// Decodes the transport summary fields (kind/seq/ack/data_bytes/...) of
+/// `pkt` into `rec`. Exposed for tests that build predicates over raw
+/// packets (e.g. fault-injection matchers keyed on TSN).
+void annotate(const net::Packet& pkt, TraceRecord& rec);
+
+/// Convenience matchers for FaultInjector predicates.
+/// True if the packet is a TCP segment carrying payload bytes.
+bool is_tcp_data(const net::Packet& pkt);
+/// True if the packet is an SCTP packet bundling at least one DATA chunk.
+bool is_sctp_data(const net::Packet& pkt);
+/// True if the packet bundles a DATA chunk with the given TSN.
+bool has_sctp_tsn(const net::Packet& pkt, std::uint32_t tsn);
+/// True if the packet contains an SCTP chunk of the given type name
+/// ("INIT", "SACK", ...), matching the trace kind vocabulary.
+bool has_sctp_chunk(const net::Packet& pkt, const char* name);
+
+}  // namespace sctpmpi::trace

@@ -1,0 +1,60 @@
+// Shared harness for the protocol-conformance tier: the TCP/SCTP pair
+// fixtures with a PacketTrace attached to every link and host, so tests
+// assert on wire-level mechanics (which sequence was retransmitted, how
+// many SACK blocks a segment carried, when a chunk was delivered) instead
+// of only end-to-end outcomes.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "tests/support/sctp_fixture.hpp"
+#include "tests/support/tcp_fixture.hpp"
+#include "trace/packet_trace.hpp"
+
+namespace sctpmpi::test {
+
+using trace::PacketTrace;
+using trace::TraceRecord;
+
+/// True for records describing a packet accepted onto a link's queue.
+inline bool queued(const TraceRecord& r) {
+  return r.verdict == net::PacketVerdict::kQueued;
+}
+inline bool delivered(const TraceRecord& r) {
+  return r.verdict == net::PacketVerdict::kDelivered;
+}
+inline bool dropped(const TraceRecord& r) {
+  return r.verdict == net::PacketVerdict::kDroppedLoss;
+}
+inline bool on_point(const TraceRecord& r, const char* point) {
+  return r.point == point;
+}
+
+class TracedTcpFixture : public TcpPairFixture {
+ protected:
+  void build_traced(double loss = 0.0, tcp::TcpConfig cfg = {},
+                    std::uint64_t seed = 1) {
+    trace_.detach();
+    build(loss, cfg, seed);
+    trace_.clear();
+    trace_.attach(*cluster_);
+  }
+
+  PacketTrace trace_;
+};
+
+class TracedSctpFixture : public SctpFixture {
+ protected:
+  void build_traced(double loss = 0.0, sctp::SctpConfig cfg = {},
+                    std::uint64_t seed = 1, unsigned hosts = 2,
+                    unsigned interfaces = 1) {
+    trace_.detach();
+    build(loss, cfg, seed, hosts, interfaces);
+    trace_.clear();
+    trace_.attach(*cluster_);
+  }
+
+  PacketTrace trace_;
+};
+
+}  // namespace sctpmpi::test

@@ -1,0 +1,81 @@
+// Conformance: chunk bundling keeps working under loss (RFC 2960 §6.10).
+// Small messages must still be packed several-to-a-packet while a scripted
+// drop forces recovery, and every TSN lost from a bundled packet must be
+// retransmitted and delivered.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tests/conformance/conformance_fixture.hpp"
+
+namespace sctpmpi::test {
+namespace {
+
+TEST_F(TracedSctpFixture, BundledChunksRecoverFromPacketLoss) {
+  sctp::SctpConfig cfg;
+  cfg.init_cwnd_mtus = 1;  // keep the window tight so sends queue and bundle
+  build_traced(0.0, cfg);
+  auto pair = connect_pair();
+  trace_.clear();
+
+  // Drop the 2nd and 4th data packets outright — if they were bundles,
+  // several TSNs vanish at once.
+  cluster_->uplink(0).faults().drop_matching(trace::is_sctp_data, {2, 4});
+
+  std::vector<std::pair<std::uint16_t, std::vector<std::byte>>> msgs;
+  for (int i = 0; i < 40; ++i) {
+    msgs.emplace_back(static_cast<std::uint16_t>(i % 4),
+                      pattern_bytes(200, static_cast<std::uint8_t>(i + 1)));
+  }
+  const auto got = exchange(pair.a, pair.a_id, pair.b, msgs);
+  ASSERT_EQ(got.size(), msgs.size());
+
+  // Bundling actually happened: some packet carried several DATA chunks.
+  std::size_t max_chunks = 0;
+  for (const auto& r : trace_.records()) {
+    if (queued(r) && on_point(r, "up0.0")) {
+      max_chunks = std::max(max_chunks, r.tsns.size());
+    }
+  }
+  EXPECT_GE(max_chunks, 2u) << "small messages should bundle";
+
+  // Every TSN lost inside a dropped packet was later delivered to host 1.
+  std::set<std::uint32_t> lost_tsns;
+  for (const auto& r : trace_.records()) {
+    if (dropped(r) && on_point(r, "up0.0")) {
+      for (std::uint32_t t : r.tsns) lost_tsns.insert(t);
+    }
+  }
+  ASSERT_GE(lost_tsns.size(), 2u);
+  for (std::uint32_t t : lost_tsns) {
+    EXPECT_GE(trace_.count([&](const TraceRecord& r) {
+                return delivered(r) && on_point(r, "dn1.0") && r.has_tsn(t);
+              }),
+              1u)
+        << "lost TSN " << t << " never delivered";
+  }
+
+  // And the retransmissions are marked as such on the wire.
+  EXPECT_GE(trace_.count([](const TraceRecord& r) {
+              return queued(r) && on_point(r, "up0.0") && r.is_retransmit() &&
+                     r.carries_data();
+            }),
+            1u);
+
+  // Within each stream, messages arrived in the order they were sent.
+  std::array<std::vector<const std::vector<std::byte>*>, 4> expect{};
+  for (const auto& m : msgs) expect[m.first].push_back(&m.second);
+  std::array<std::size_t, 4> next{};
+  for (const auto& rec : got) {
+    const std::uint16_t sid = rec.info.sid;
+    ASSERT_LT(sid, 4u);
+    ASSERT_LT(next[sid], expect[sid].size());
+    EXPECT_EQ(rec.data, *expect[sid][next[sid]])
+        << "stream " << sid << " out of order";
+    ++next[sid];
+  }
+}
+
+}  // namespace
+}  // namespace sctpmpi::test

@@ -1,0 +1,139 @@
+// Conformance: the 4-way cookie handshake (RFC 2960 §5) survives network
+// mischief. A duplicated INIT, an INIT reordered behind its own
+// retransmission, and a duplicated COOKIE-ECHO must all still yield exactly
+// one established association that carries data.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/conformance/conformance_fixture.hpp"
+
+namespace sctpmpi::test {
+namespace {
+
+bool is_init(const net::Packet& p) { return trace::has_sctp_chunk(p, "INIT"); }
+bool is_cookie_echo(const net::Packet& p) {
+  return trace::has_sctp_chunk(p, "COOKIE-ECHO");
+}
+
+class HandshakeTest : public TracedSctpFixture {
+ protected:
+  /// One small message proves the association carries data.
+  void expect_data_flows(sctp::SctpSocket* tx, sctp::AssocId tx_assoc,
+                         sctp::SctpSocket* rx) {
+    const std::vector<std::byte> msg = pattern_bytes(333);
+    std::vector<std::byte> buf(4096);
+    ASSERT_GT(tx->sendmsg(tx_assoc, 0, msg), 0);
+    sctp::RecvInfo info;
+    std::ptrdiff_t n = 0;
+    run_while([&] {
+      n = rx->recvmsg(buf, info);
+      return n <= 0;
+    });
+    ASSERT_EQ(static_cast<std::size_t>(n), msg.size());
+    EXPECT_TRUE(std::equal(msg.begin(), msg.end(), buf.begin()));
+  }
+};
+
+TEST_F(HandshakeTest, DuplicatedInitEstablishesSingleAssociation) {
+  build_traced();
+  cluster_->uplink(0).faults().duplicate_matching(is_init, {1});
+
+  auto pair = connect_pair();
+
+  // Both copies of the INIT reached the server; the stateless responder
+  // answered each with an INIT-ACK...
+  EXPECT_EQ(trace_.count([](const TraceRecord& r) {
+              return delivered(r) && on_point(r, "dn1.0") &&
+                     r.has_chunk("INIT");
+            }),
+            2u);
+  EXPECT_EQ(trace_.count([](const TraceRecord& r) {
+              return queued(r) && on_point(r, "up1.0") &&
+                     r.has_chunk("INIT-ACK");
+            }),
+            2u);
+  // ...but the client echoed exactly one cookie (the second INIT-ACK is
+  // stale once the client left COOKIE-WAIT), so one association forms.
+  EXPECT_EQ(trace_.count([](const TraceRecord& r) {
+              return queued(r) && on_point(r, "up0.0") &&
+                     r.has_chunk("COOKIE-ECHO");
+            }),
+            1u);
+  EXPECT_EQ(trace_.count(
+                [](const TraceRecord& r) { return r.has_chunk("ABORT"); }),
+            0u);
+  expect_data_flows(pair.a, pair.a_id, pair.b);
+}
+
+TEST_F(HandshakeTest, ReorderedInitBehindItsRetransmissionStillConnects) {
+  build_traced();
+  // Hold the first INIT for 3.5 s — past the 3 s initial T1 timeout — so
+  // the client's retransmitted INIT overtakes the original on the wire.
+  cluster_->uplink(0).faults().delay_matching(is_init, {1},
+                                              3'500 * sim::kMillisecond);
+
+  auto pair = connect_pair();
+
+  // connect_pair stops as soon as both sides are up (~3.0 s, right after
+  // the T1 retransmission) — keep the clock running past 3.5 s so the
+  // delayed original INIT actually limps in.
+  bool settled = false;
+  sim().schedule_after(1 * sim::kSecond, [&] { settled = true; });
+  run_while([&] { return !settled; });
+
+  const auto inits = trace_.select([](const TraceRecord& r) {
+    return delivered(r) && on_point(r, "dn1.0") && r.has_chunk("INIT");
+  });
+  ASSERT_EQ(inits.size(), 2u);
+  // The retransmission arrived first; the delayed original limped in later.
+  EXPECT_TRUE(inits[0]->is_retransmit());
+  EXPECT_FALSE(inits[1]->is_retransmit());
+  EXPECT_LT(inits[0]->time, inits[1]->time);
+
+  // The late duplicate hit a live association and was discarded: exactly
+  // one INIT-ACK on the wire, no second handshake, no ABORT.
+  EXPECT_EQ(trace_.count([](const TraceRecord& r) {
+              return queued(r) && on_point(r, "up1.0") &&
+                     r.has_chunk("INIT-ACK");
+            }),
+            1u);
+  EXPECT_EQ(trace_.count(
+                [](const TraceRecord& r) { return r.has_chunk("ABORT"); }),
+            0u);
+  EXPECT_EQ(trace_.count([](const TraceRecord& r) {
+              return queued(r) && on_point(r, "up0.0") &&
+                     r.has_chunk("COOKIE-ECHO");
+            }),
+            1u);
+  expect_data_flows(pair.a, pair.a_id, pair.b);
+}
+
+TEST_F(HandshakeTest, DuplicatedCookieEchoIsReAckedNotReEstablished) {
+  build_traced();
+  cluster_->uplink(0).faults().duplicate_matching(is_cookie_echo, {1});
+
+  auto pair = connect_pair();
+
+  // The duplicate COOKIE-ECHO hits an already-established association and
+  // is answered with a fresh COOKIE-ACK (the peer's ack may have been
+  // lost), not an ABORT and not a second association.
+  EXPECT_EQ(trace_.count([](const TraceRecord& r) {
+              return delivered(r) && on_point(r, "dn1.0") &&
+                     r.has_chunk("COOKIE-ECHO");
+            }),
+            2u);
+  EXPECT_EQ(trace_.count([](const TraceRecord& r) {
+              return queued(r) && on_point(r, "up1.0") &&
+                     r.has_chunk("COOKIE-ACK");
+            }),
+            2u);
+  EXPECT_EQ(trace_.count([](const TraceRecord& r) {
+              return r.has_chunk("ABORT") || r.has_chunk("ERROR");
+            }),
+            0u);
+  expect_data_flows(pair.a, pair.a_id, pair.b);
+}
+
+}  // namespace
+}  // namespace sctpmpi::test

@@ -1,0 +1,72 @@
+// Conformance: SCTP selective retransmission (RFC 2960 §7.2.4). When one
+// single-chunk packet is lost, fast retransmit must resend exactly the lost
+// TSN — every other TSN crosses the wire once and only once.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/conformance/conformance_fixture.hpp"
+
+namespace sctpmpi::test {
+namespace {
+
+TEST_F(TracedSctpFixture, OnlyTheLostTsnIsRetransmitted) {
+  build_traced();
+  auto pair = connect_pair();
+  trace_.clear();
+
+  // 1400-byte messages don't bundle (pmtu 1500), so each data packet
+  // carries exactly one TSN and the drop maps to a single chunk.
+  cluster_->uplink(0).faults().drop_matching(trace::is_sctp_data, {5});
+
+  std::vector<std::pair<std::uint16_t, std::vector<std::byte>>> msgs;
+  for (int i = 0; i < 20; ++i) {
+    msgs.emplace_back(0, pattern_bytes(1400, static_cast<std::uint8_t>(i + 1)));
+  }
+  const auto got = exchange(pair.a, pair.a_id, pair.b, msgs);
+  ASSERT_EQ(got.size(), msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ(got[i].data, msgs[i].second) << "message " << i;
+  }
+
+  const auto drops = trace_.select([](const TraceRecord& r) {
+    return dropped(r) && on_point(r, "up0.0") && r.carries_data();
+  });
+  ASSERT_EQ(drops.size(), 1u);
+  ASSERT_EQ(drops[0]->tsns.size(), 1u) << "drop should hit a single chunk";
+  const std::uint32_t lost = drops[0]->tsns[0];
+
+  // Every TSN was *queued* on the uplink exactly once — including the lost
+  // one, whose only queued copy is the retransmission (the original shows
+  // up as dropped-loss, never queued).
+  std::set<std::uint32_t> all_tsns;
+  for (const auto& r : trace_.records()) {
+    if (on_point(r, "up0.0") && r.carries_data() && (queued(r) || dropped(r))) {
+      for (std::uint32_t t : r.tsns) all_tsns.insert(t);
+    }
+  }
+  ASSERT_EQ(all_tsns.size(), msgs.size());
+  for (std::uint32_t t : all_tsns) {
+    EXPECT_EQ(trace_.count([&](const TraceRecord& r) {
+                return queued(r) && on_point(r, "up0.0") && r.has_tsn(t);
+              }),
+              1u)
+        << "TSN " << t << " crossed the wire more than once";
+  }
+
+  // Exactly one retransmit-flagged packet, carrying exactly the lost TSN.
+  const auto rtxs = trace_.select([](const TraceRecord& r) {
+    return queued(r) && on_point(r, "up0.0") && r.is_retransmit() &&
+           r.carries_data();
+  });
+  ASSERT_EQ(rtxs.size(), 1u);
+  EXPECT_EQ(rtxs[0]->tsns, std::vector<std::uint32_t>{lost});
+
+  // Driven by missing reports, not the T3 timer.
+  const auto& st = pair.a->assoc(pair.a_id)->stats();
+  EXPECT_GE(st.fast_retransmits, 1u);
+  EXPECT_EQ(st.timeouts, 0u);
+}
+
+}  // namespace
+}  // namespace sctpmpi::test

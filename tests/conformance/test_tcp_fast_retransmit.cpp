@@ -1,0 +1,64 @@
+// Conformance: TCP fast retransmit (RFC 5681 §3.2). Dropping one data
+// segment must elicit >= 3 duplicate ACKs stuck at the lost sequence and a
+// retransmission of exactly that sequence well before the RTO floor.
+#include <gtest/gtest.h>
+
+#include "tests/conformance/conformance_fixture.hpp"
+
+namespace sctpmpi::test {
+namespace {
+
+constexpr sim::SimTime kMs = 1'000'000;
+
+TEST_F(TracedTcpFixture, ThreeDupAcksTriggerFastRetransmit) {
+  build_traced();
+  auto [client, server] = connect_pair();
+  trace_.clear();  // keep only the transfer, not the handshake
+
+  // Drop the 10th data-bearing segment on the client's uplink.
+  cluster_->uplink(0).faults().drop_matching(trace::is_tcp_data, {10});
+
+  const auto data = pattern_bytes(120 * 1024);
+  const auto got = transfer(client, server, data);
+  ASSERT_EQ(got, data);
+
+  // Exactly one data segment was dropped; its seq is the hole.
+  const auto drops = trace_.select([](const TraceRecord& r) {
+    return dropped(r) && r.carries_data();
+  });
+  ASSERT_EQ(drops.size(), 1u);
+  const std::uint32_t hole = drops[0]->seq;
+  const sim::SimTime drop_time = drops[0]->time;
+
+  // The receiver emits at least dupack_threshold pure ACKs pinned at the
+  // hole before the retransmission is queued.
+  const auto* rtx = trace_.first([&](const TraceRecord& r) {
+    return queued(r) && on_point(r, "up0.0") && r.is_retransmit() &&
+           r.carries_data() && r.seq == hole;
+  });
+  ASSERT_NE(rtx, nullptr);
+  const std::size_t dupacks_before_rtx = trace_.count([&](const TraceRecord& r) {
+    return queued(r) && on_point(r, "up1.0") && r.has_chunk("ACK") &&
+        r.data_bytes == 0 && r.ack == hole && r.time > drop_time &&
+        r.time < rtx->time;
+  });
+  EXPECT_GE(dupacks_before_rtx, 3u);
+
+  // Recovery was ACK-clocked, not timer-driven: the retransmission left
+  // within a handful of RTTs, far below the 1 s minimum RTO.
+  EXPECT_LT(rtx->time - drop_time, 100 * kMs);
+  EXPECT_GE(client->stats().fast_retransmits, 1u);
+  EXPECT_EQ(client->stats().timeouts, 0u);
+  EXPECT_GE(client->stats().dupacks_received, 3u);
+
+  // The hole's payload crossed the wire exactly twice: dropped, then
+  // retransmitted and delivered.
+  const std::size_t hole_deliveries = trace_.count([&](const TraceRecord& r) {
+    return delivered(r) && on_point(r, "dn1.0") && r.carries_data() &&
+           r.seq == hole;
+  });
+  EXPECT_EQ(hole_deliveries, 1u);
+}
+
+}  // namespace
+}  // namespace sctpmpi::test

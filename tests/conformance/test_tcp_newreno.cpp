@@ -1,0 +1,66 @@
+// Conformance: NewReno partial-ACK behaviour (RFC 6582). With SACK off and
+// two segments lost from one window, the partial ACK that follows the first
+// retransmission must immediately trigger retransmission of the second hole
+// without waiting for three more dupacks or an RTO.
+#include <gtest/gtest.h>
+
+#include "tests/conformance/conformance_fixture.hpp"
+
+namespace sctpmpi::test {
+namespace {
+
+TEST_F(TracedTcpFixture, PartialAckRetransmitsNextHoleWithoutTimeout) {
+  tcp::TcpConfig cfg;
+  cfg.sack_enabled = false;  // pure NewReno
+  build_traced(0.0, cfg);
+  auto [client, server] = connect_pair();
+  trace_.clear();
+
+  // Two losses in the same flight (slow start has cwnd well past 12
+  // segments by the 10th data packet).
+  cluster_->uplink(0).faults().drop_matching(trace::is_tcp_data, {10, 12});
+
+  const auto data = pattern_bytes(160 * 1024);
+  const auto got = transfer(client, server, data);
+  ASSERT_EQ(got, data);
+
+  const auto drops = trace_.select([](const TraceRecord& r) {
+    return dropped(r) && r.carries_data();
+  });
+  ASSERT_EQ(drops.size(), 2u);
+  const std::uint32_t hole1 = drops[0]->seq;
+  const std::uint32_t hole2 = drops[1]->seq;
+  ASSERT_LT(hole1, hole2);
+
+  // First hole recovers via fast retransmit...
+  const auto* rtx1 = trace_.first([&](const TraceRecord& r) {
+    return queued(r) && on_point(r, "up0.0") && r.is_retransmit() &&
+           r.carries_data() && r.seq == hole1;
+  });
+  ASSERT_NE(rtx1, nullptr);
+
+  // ...whose delivery produces a *partial* ACK: cumulative ack advances to
+  // hole2 (not to the end of the flight).
+  const auto* partial = trace_.first([&](const TraceRecord& r) {
+    return queued(r) && on_point(r, "up1.0") && r.data_bytes == 0 &&
+           r.ack == hole2 && r.time > rtx1->time;
+  });
+  ASSERT_NE(partial, nullptr);
+
+  // The partial ACK, not a timer, drives the second retransmission.
+  const auto* rtx2 = trace_.first([&](const TraceRecord& r) {
+    return queued(r) && on_point(r, "up0.0") && r.is_retransmit() &&
+           r.carries_data() && r.seq == hole2;
+  });
+  ASSERT_NE(rtx2, nullptr);
+  EXPECT_GT(rtx2->time, partial->time);
+  // Well under the 1 s minimum RTO after the partial ACK reached the sender.
+  EXPECT_LT(rtx2->time - partial->time, 100'000'000 /* 100 ms */);
+
+  EXPECT_EQ(client->stats().timeouts, 0u);
+  EXPECT_GE(client->stats().fast_retransmits, 1u);
+  EXPECT_GE(client->stats().retransmits, 2u);
+}
+
+}  // namespace
+}  // namespace sctpmpi::test

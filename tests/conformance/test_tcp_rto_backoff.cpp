@@ -1,0 +1,65 @@
+// Conformance: exponential RTO backoff (RFC 2988 §5.5). A timed blackout on
+// the forward path forces repeated retransmission timeouts; successive
+// retransmissions of the same sequence must be spaced by doubling intervals.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/conformance/conformance_fixture.hpp"
+
+namespace sctpmpi::test {
+namespace {
+
+constexpr sim::SimTime kSec = 1'000'000'000;
+
+TEST_F(TracedTcpFixture, BlackoutForcesDoublingRetransmissionIntervals) {
+  build_traced();
+  auto [client, server] = connect_pair();
+  trace_.clear();
+
+  // Sever the client's uplink for 12 s starting now. Every copy of the
+  // segment sent in that window is swallowed, so only the RTO timer can
+  // drive recovery, and each expiry must double the wait.
+  const sim::SimTime t0 = sim().now();
+  cluster_->uplink(0).faults().add_blackout(t0, t0 + 12 * kSec);
+
+  const auto data = pattern_bytes(512);
+  const auto got = transfer(client, server, data);
+  ASSERT_EQ(got, data);
+
+  // All transmission attempts of the first (and only) segment, in order:
+  // offered-to-link events, whether the blackout ate them or not.
+  std::vector<sim::SimTime> attempts;
+  for (const auto& r : trace_.records()) {
+    if (on_point(r, "up0.0") && r.carries_data() &&
+        (dropped(r) || queued(r))) {
+      attempts.push_back(r.time);
+    }
+  }
+  // Original + at least 3 timer-driven retries before the window lifts.
+  ASSERT_GE(attempts.size(), 4u);
+  EXPECT_GE(client->stats().timeouts, 3u);
+  EXPECT_EQ(client->stats().fast_retransmits, 0u);
+
+  // First retry waits at least the minimum RTO; after that each interval
+  // is (at least) double the previous one, allowing for the +/- jitter of
+  // timer scheduling via a 1.9x floor.
+  std::vector<sim::SimTime> gaps;
+  for (std::size_t i = 1; i < attempts.size(); ++i) {
+    gaps.push_back(attempts[i] - attempts[i - 1]);
+  }
+  EXPECT_GE(gaps[0], 1 * kSec);
+  for (std::size_t i = 1; i < gaps.size(); ++i) {
+    EXPECT_GE(gaps[i] * 10, gaps[i - 1] * 19)
+        << "interval " << i << " did not back off";
+  }
+
+  // Retransmissions during the blackout carry the retransmit flag.
+  EXPECT_GE(trace_.count([&](const TraceRecord& r) {
+              return dropped(r) && on_point(r, "up0.0") && r.is_retransmit();
+            }),
+            2u);
+}
+
+}  // namespace
+}  // namespace sctpmpi::test

@@ -1,0 +1,68 @@
+// Conformance: the TCP SACK option is capped at 3 blocks (a real TCP header
+// has room for at most 3-4; this stack models LAM-TCP's 3). Even when the
+// receiver holds more than three out-of-order ranges, no segment on the wire
+// may advertise more than 3 blocks — the root of the paper's observation
+// that SCTP's unlimited gap reporting recovers multi-loss windows faster.
+#include <gtest/gtest.h>
+
+#include "tests/conformance/conformance_fixture.hpp"
+
+namespace sctpmpi::test {
+namespace {
+
+TEST_F(TracedTcpFixture, SackNeverExceedsThreeBlocks) {
+  build_traced();
+  auto [client, server] = connect_pair();
+  trace_.clear();
+
+  // Five alternating losses carve five disjoint holes into the receive
+  // window, so the receiver *wants* to report more ranges than fit.
+  cluster_->uplink(0).faults().drop_matching(trace::is_tcp_data,
+                                             {8, 10, 12, 14, 16});
+
+  const auto data = pattern_bytes(160 * 1024);
+  const auto got = transfer(client, server, data);
+  ASSERT_EQ(got, data);
+
+  unsigned max_blocks = 0;
+  for (const auto& r : trace_.records()) {
+    if (!queued(r) || !on_point(r, "up1.0")) continue;
+    max_blocks = std::max(max_blocks, r.sack_blocks);
+  }
+  // The cap was actually exercised: with five holes outstanding some ACK
+  // wanted more than three blocks and was clamped to exactly 3 — and no
+  // segment ever carried more.
+  EXPECT_EQ(max_blocks, 3u);
+  EXPECT_GE(trace_.count([](const TraceRecord& r) {
+              return queued(r) && on_point(r, "up1.0") && r.sack_blocks == 3;
+            }),
+            1u);
+}
+
+TEST_F(TracedSctpFixture, SctpGapReportsExceedTcpLimit) {
+  build_traced();
+  auto pair = connect_pair();
+  trace_.clear();
+
+  // Same five-hole pattern. SCTP SACKs enumerate every gap, so with five
+  // single-chunk packets lost the gap-block count must climb past TCP's 3.
+  cluster_->uplink(0).faults().drop_matching(trace::is_sctp_data,
+                                             {8, 10, 12, 14, 16});
+
+  std::vector<std::pair<std::uint16_t, std::vector<std::byte>>> msgs;
+  for (int i = 0; i < 40; ++i) {
+    msgs.emplace_back(0, pattern_bytes(1400, static_cast<std::uint8_t>(i + 1)));
+  }
+  const auto got = exchange(pair.a, pair.a_id, pair.b, msgs);
+  ASSERT_EQ(got.size(), msgs.size());
+
+  unsigned max_gaps = 0;
+  for (const auto& r : trace_.records()) {
+    if (!queued(r) || !on_point(r, "up1.0")) continue;
+    max_gaps = std::max(max_gaps, r.sack_blocks);
+  }
+  EXPECT_GE(max_gaps, 4u) << "SCTP SACK should report every hole";
+}
+
+}  // namespace
+}  // namespace sctpmpi::test

@@ -125,8 +125,8 @@ TEST_F(LamdFixture, DeadNodeDetectedByPingTimeout) {
   run_for(2 * sim::kSecond);
   EXPECT_TRUE(daemons_[0]->is_alive(3));
   // Node 3's network dies.
-  cluster_->uplink(3).set_drop_filter([](const net::Packet&) { return true; });
-  cluster_->downlink(3).set_drop_filter(
+  cluster_->uplink(3).faults().drop_if([](const net::Packet&) { return true; });
+  cluster_->downlink(3).faults().drop_if(
       [](const net::Packet&) { return true; });
   run_for(5 * sim::kSecond);
   EXPECT_FALSE(daemons_[0]->is_alive(3));
@@ -138,8 +138,8 @@ TEST_F(LamdFixture, SctpCommLostMarksNodeDead) {
   run_for(2 * sim::kSecond);
   // Kill node 5 and have the master push an abort at it: the association's
   // retransmission limit fires a CommLost notification.
-  cluster_->uplink(5).set_drop_filter([](const net::Packet&) { return true; });
-  cluster_->downlink(5).set_drop_filter(
+  cluster_->uplink(5).faults().drop_if([](const net::Packet&) { return true; });
+  cluster_->downlink(5).faults().drop_if(
       [](const net::Packet&) { return true; });
   daemons_[0]->broadcast_abort();
   run_for(120 * sim::kSecond);  // let the assoc retransmission limit trip

@@ -23,7 +23,7 @@ TEST_F(SctpBundlingTest, SmallMessagesBundleIntoFewerPackets) {
   auto p = connect_pair();
   // Count SCTP data-bearing packets on the wire.
   int data_packets = 0;
-  cluster_->uplink(0).set_drop_filter([&](const net::Packet& pkt) {
+  cluster_->uplink(0).faults().drop_if([&](const net::Packet& pkt) {
     if (pkt.proto != net::IpProto::kSctp) return false;
     auto parsed = SctpPacket::decode(pkt.payload, false);
     if (!parsed) return false;
@@ -63,7 +63,7 @@ TEST_F(SctpBundlingTest, SackPiggybacksOnReverseData) {
   // standalone SACK-only packets.
   int sack_only = 0;
   for (unsigned h = 0; h < 2; ++h) {
-    cluster_->uplink(h).set_drop_filter([&](const net::Packet& pkt) {
+    cluster_->uplink(h).faults().drop_if([&](const net::Packet& pkt) {
       if (pkt.proto != net::IpProto::kSctp) return false;
       auto parsed = SctpPacket::decode(pkt.payload, false);
       if (!parsed || parsed->chunks.empty()) return false;

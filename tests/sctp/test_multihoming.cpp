@@ -35,7 +35,7 @@ TEST_F(SctpMultihomingTest, TimeoutRetransmissionUsesAlternatePath) {
   build(0.0, {}, 1, 2, 3);
   auto p = connect_pair();
   // Black-hole data packets on subnet 0 only, after the handshake.
-  cluster_->uplink(0, 0).set_drop_filter(
+  cluster_->uplink(0, 0).faults().drop_if(
       [](const net::Packet& pkt) { return pkt.payload.size() > 1000; });
   auto rx = exchange(p.a, p.a_id, p.b, {{0, pattern_bytes(3000)}});
   ASSERT_EQ(rx.size(), 1u);

@@ -121,7 +121,7 @@ TEST_F(SctpSocketTest, StreamsDeliverIndependentlyUnderTargetedLoss) {
   build();
   auto p = connect_pair();
   int data_packets = 0;
-  cluster_->uplink(0).set_drop_filter([&](const net::Packet& pkt) {
+  cluster_->uplink(0).faults().drop_if([&](const net::Packet& pkt) {
     if (pkt.payload.size() > 200) {
       ++data_packets;
       return data_packets == 1;
@@ -147,7 +147,7 @@ TEST_F(SctpSocketTest, SameStreamBlocksOnLossWithinStreamOnly) {
   build();
   auto p = connect_pair();
   int data_packets = 0;
-  cluster_->uplink(0).set_drop_filter([&](const net::Packet& pkt) {
+  cluster_->uplink(0).faults().drop_if([&](const net::Packet& pkt) {
     if (pkt.payload.size() > 200) {
       ++data_packets;
       return data_packets == 1;
@@ -205,7 +205,7 @@ TEST_F(SctpSocketTest, FastRetransmitAfterFourStrikes) {
   build();
   auto p = connect_pair();
   int data_packets = 0;
-  cluster_->uplink(0).set_drop_filter([&](const net::Packet& pkt) {
+  cluster_->uplink(0).faults().drop_if([&](const net::Packet& pkt) {
     if (pkt.payload.size() > 1000) {
       ++data_packets;
       return data_packets == 3;  // drop one mid-burst chunk
@@ -226,7 +226,7 @@ TEST_F(SctpSocketTest, TailLossRecoversViaT3) {
   bool dropped = false;
   int data_packets = 0;
   const int total = (30'000 + 1451) / 1452;  // chunks for 30 KB
-  cluster_->uplink(0).set_drop_filter([&](const net::Packet& pkt) {
+  cluster_->uplink(0).faults().drop_if([&](const net::Packet& pkt) {
     if (pkt.payload.size() > 500) {  // the tail chunk is only ~960 B
       ++data_packets;
       if (data_packets == total && !dropped) {
@@ -386,7 +386,7 @@ TEST_F(SctpSocketTest, ForgedCookieIsRejected) {
 TEST_F(SctpSocketTest, HandshakeSurvivesInitLoss) {
   build();
   bool dropped = false;
-  cluster_->uplink(0).set_drop_filter([&](const net::Packet&) {
+  cluster_->uplink(0).faults().drop_if([&](const net::Packet&) {
     if (!dropped) {
       dropped = true;
       return true;  // drop the first INIT
@@ -480,7 +480,7 @@ TEST_F(SctpSocketTest, UnorderedDeliveryBypassesSsn) {
   build();
   auto p = connect_pair();
   int data_packets = 0;
-  cluster_->uplink(0).set_drop_filter([&](const net::Packet& pkt) {
+  cluster_->uplink(0).faults().drop_if([&](const net::Packet& pkt) {
     if (pkt.payload.size() > 200) {
       ++data_packets;
       return data_packets == 1;  // lose the first (ordered) message
@@ -512,7 +512,7 @@ TEST_F(SctpSocketTest, StaleCookieRestartsHandshake) {
   SctpSocket* server = stacks_[1]->create_socket(6300);
   server->listen();
   // Drop all COOKIE-ECHO packets for the first 20 virtual seconds.
-  cluster_->uplink(0).set_drop_filter([this](const net::Packet& p) {
+  cluster_->uplink(0).faults().drop_if([this](const net::Packet& p) {
     if (sim().now() > 20 * sim::kSecond) return false;
     auto pkt = SctpPacket::decode(p.payload, false);
     return pkt && !pkt->chunks.empty() &&

@@ -206,7 +206,7 @@ TEST_F(TcpSocketTest, SingleDropTriggersFastRetransmit) {
   auto [client, server] = connect_pair();
   // Drop exactly one data-bearing packet mid-stream.
   int data_pkts = 0;
-  cluster_->uplink(0).set_drop_filter([&](const net::Packet& p) {
+  cluster_->uplink(0).faults().drop_if([&](const net::Packet& p) {
     if (p.payload.size() > 100) {  // data segment, not a bare ACK
       ++data_pkts;
       return data_pkts == 10;
@@ -227,7 +227,7 @@ TEST_F(TcpSocketTest, TailLossRequiresTimeout) {
   // Drop the very last data packet: no dupacks can follow.
   int data_pkts = 0;
   const int total_data_pkts = 8;  // 8 segments for ~11.2 KiB
-  cluster_->uplink(0).set_drop_filter([&](const net::Packet& p) {
+  cluster_->uplink(0).faults().drop_if([&](const net::Packet& p) {
     if (p.payload.size() > 100) {
       ++data_pkts;
       return data_pkts == total_data_pkts;
@@ -245,7 +245,7 @@ TEST_F(TcpSocketTest, RtoBacksOffExponentially) {
   build();
   auto [client, server] = connect_pair();
   // Black-hole the forward path entirely after the handshake.
-  cluster_->uplink(0).set_drop_filter(
+  cluster_->uplink(0).faults().drop_if(
       [](const net::Packet& p) { return p.payload.size() > 100; });
   auto data = pattern_bytes(1000);
   ASSERT_GT(client->send(data), 0);
@@ -418,7 +418,7 @@ TEST_F(TcpSocketTest, HandshakeSurvivesSynLoss) {
   build();
   // Drop the first SYN.
   bool dropped = false;
-  cluster_->uplink(0).set_drop_filter([&](const net::Packet&) {
+  cluster_->uplink(0).faults().drop_if([&](const net::Packet&) {
     if (!dropped) {
       dropped = true;
       return true;
