@@ -1,14 +1,22 @@
 // Shared plumbing for the reproduction benches: paper-standard world
 // configuration (8 ranks, 1 Gb/s links, 220 KiB buffers, Nagle off, SACK
-// on, CRC32c off — §4 settings 1-5) and a fast-mode switch.
+// on, CRC32c off — §4 settings 1-5), a fast-mode switch, machine-readable
+// BENCH_*.json result emission, and a thread pool for independent trials.
 //
 // Set SCTPMPI_FAST=1 to scale workloads down (~10x) for quick iteration;
-// the default reproduces the paper's parameters.
+// the default reproduces the paper's parameters. Set SCTPMPI_SERIAL=1 to
+// force multi-trial drivers onto one thread.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "apps/report.hpp"
 #include "core/world.hpp"
@@ -39,6 +47,107 @@ inline void banner(const char* title, const char* paper_ref) {
   std::printf("Reproduces: %s\n", paper_ref);
   if (fast_mode()) std::printf("(FAST mode: workloads scaled down)\n");
   std::printf("\n");
+}
+
+/// Wall-clock seconds since an arbitrary epoch, for measuring bench runs.
+inline double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Accumulates named results, each a flat set of numeric metrics, and
+/// serializes them as a BENCH_*.json document:
+///
+///   {"bench": "simcore",
+///    "results": {"event_churn": {"events_per_sec": 1.2e7, ...}, ...}}
+///
+/// Insertion order is preserved so diffs between runs stay readable.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void metric(const std::string& result, const std::string& key,
+              double value) {
+    for (auto& [rname, metrics] : results_) {
+      if (rname == result) {
+        metrics.emplace_back(key, value);
+        return;
+      }
+    }
+    results_.push_back({result, {{key, value}}});
+  }
+
+  std::string str() const {
+    std::string out = "{\n  \"bench\": \"" + name_ + "\",\n  \"results\": {";
+    bool first_result = true;
+    for (const auto& [rname, metrics] : results_) {
+      out += first_result ? "\n" : ",\n";
+      first_result = false;
+      out += "    \"" + rname + "\": {";
+      bool first_metric = true;
+      for (const auto& [key, value] : metrics) {
+        out += first_metric ? "" : ", ";
+        first_metric = false;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "\"%s\": %.8g", key.c_str(), value);
+        out += buf;
+      }
+      out += "}";
+    }
+    out += "\n  }\n}\n";
+    return out;
+  }
+
+  /// Writes the document to `path`. Returns false (and prints) on failure.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = str();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, double>>>>
+      results_;
+};
+
+/// Runs `fn(0..n-1)` across a pool of worker threads. Each trial must be
+/// self-contained (its own Simulator/World); results keyed by index stay
+/// deterministic regardless of scheduling. SCTPMPI_SERIAL=1 forces one
+/// worker for debugging.
+inline void parallel_trials(std::size_t n,
+                            const std::function<void(std::size_t)>& fn,
+                            unsigned max_threads = 0) {
+  unsigned workers = max_threads != 0 ? max_threads
+                                      : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  const char* serial = std::getenv("SCTPMPI_SERIAL");
+  if (serial != nullptr && serial[0] != '0') workers = 1;
+  if (workers > n) workers = static_cast<unsigned>(n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
 }
 
 }  // namespace sctpmpi::bench

@@ -17,18 +17,27 @@ int main() {
 
   apps::Table table({"Message size (bytes)", "LAM_TCP (B/s)",
                      "LAM_SCTP (B/s)", "SCTP/TCP"});
-  for (std::size_t sz : sizes) {
-    double tput[2];
-    int i = 0;
-    for (auto tr : {core::TransportKind::kTcp, core::TransportKind::kSctp}) {
-      apps::PingPongParams pp;
-      pp.message_size = sz;
-      pp.iterations = iters;
-      tput[i++] = apps::run_pingpong(paper_config(tr, 0.0), pp).throughput_Bps;
-    }
-    table.add_row({std::to_string(sz), apps::fmt("%.0f", tput[0]),
-                   apps::fmt("%.0f", tput[1]),
-                   apps::fmt("%.3f", tput[1] / tput[0])});
+  // Each (size, transport) cell is an independent simulation: run all 24
+  // across worker threads (SCTPMPI_SERIAL=1 restores the serial order) and
+  // assemble rows afterwards in the original order.
+  constexpr std::size_t kTransports = 2;
+  const core::TransportKind order[kTransports] = {core::TransportKind::kTcp,
+                                                  core::TransportKind::kSctp};
+  double tput[std::size(sizes)][kTransports];
+  parallel_trials(std::size(sizes) * kTransports, [&](std::size_t i) {
+    const std::size_t row = i / kTransports;
+    const std::size_t col = i % kTransports;
+    apps::PingPongParams pp;
+    pp.message_size = sizes[row];
+    pp.iterations = iters;
+    tput[row][col] =
+        apps::run_pingpong(paper_config(order[col], 0.0), pp).throughput_Bps;
+  });
+  for (std::size_t row = 0; row < std::size(sizes); ++row) {
+    table.add_row({std::to_string(sizes[row]),
+                   apps::fmt("%.0f", tput[row][0]),
+                   apps::fmt("%.0f", tput[row][1]),
+                   apps::fmt("%.3f", tput[row][1] / tput[row][0])});
   }
   table.print();
   std::printf(

@@ -1,0 +1,194 @@
+// Micro-benchmarks of the discrete-event simulation core hot path:
+//
+//   event_churn    — self-rescheduling events through Simulator::schedule /
+//                    step; the cost of one queue insert + pop + dispatch.
+//   timer_churn    — Timer arm / re-arm / cancel cycles, the pattern every
+//                    retransmission timer generates per segment.
+//   packet_forward — packets traversing link -> switch -> link with the
+//                    full serialization/propagation event machinery.
+//
+// Writes machine-readable results with --json PATH (BENCH_simcore.json);
+// --quick scales runs to seconds for the `ctest -L perf` smoke label.
+//
+// kBaseline* constants pin the pre-rewrite core (std::priority_queue +
+// tombstone sets + std::function callbacks, deep-copied vector payloads)
+// measured on the reference container at RelWithDebInfo; the JSON reports
+// current/baseline speedups so the perf trajectory is tracked per PR.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_common.hpp"
+#include "net/link.hpp"
+#include "net/switch.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace sctpmpi;
+
+// Pre-rewrite baseline (PR 2), RelWithDebInfo, reference container.
+constexpr double kBaselineEventsPerSec = 5.14e6;
+constexpr double kBaselineTimerOpsPerSec = 12.5e6;
+constexpr double kBaselinePacketsPerSec = 2.68e6;
+
+struct EventCtx {
+  sim::Simulator* sim;
+  std::uint64_t fired = 0;
+  std::uint64_t scheduled = 0;
+  std::uint64_t target = 0;
+};
+
+// 8-byte functor: fits every small-buffer callback representation, so the
+// bench measures queue cost, not callback-capture cost.
+struct Tick {
+  EventCtx* c;
+  void operator()() const {
+    ++c->fired;
+    if (c->scheduled < c->target) {
+      ++c->scheduled;
+      c->sim->schedule_after(1 + (c->fired & 63), Tick{c});
+    }
+  }
+};
+
+double bench_event_churn(std::uint64_t total, bench::BenchJson& out) {
+  sim::Simulator sim;
+  EventCtx ctx;
+  ctx.sim = &sim;
+  ctx.target = total;
+  constexpr std::uint64_t kWindow = 4096;  // pending events at steady state
+  for (std::uint64_t i = 0; i < kWindow && ctx.scheduled < total; ++i) {
+    ++ctx.scheduled;
+    sim.schedule_after(1 + (i & 63), Tick{&ctx});
+  }
+  const double t0 = bench::wall_seconds();
+  sim.run();
+  const double secs = bench::wall_seconds() - t0;
+  const double rate = static_cast<double>(ctx.fired) / secs;
+  out.metric("event_churn", "events", static_cast<double>(ctx.fired));
+  out.metric("event_churn", "seconds", secs);
+  out.metric("event_churn", "events_per_sec", rate);
+  return rate;
+}
+
+double bench_timer_churn(std::uint64_t rounds, bench::BenchJson& out) {
+  sim::Simulator sim;
+  constexpr int kTimers = 64;  // one RTO timer per simulated connection
+  int fires = 0;
+  std::vector<std::unique_ptr<sim::Timer>> timers;
+  timers.reserve(kTimers);
+  for (int i = 0; i < kTimers; ++i) {
+    timers.push_back(std::make_unique<sim::Timer>(sim, [&fires] { ++fires; }));
+  }
+  std::uint64_t ops = 0;
+  const double t0 = bench::wall_seconds();
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    // Arm everything, re-arm (deadline push-out, the per-ACK RTO restart
+    // pattern), cancel half, then drain what remains.
+    for (auto& t : timers) t->arm(1000 + (ops & 511));
+    ops += kTimers;
+    for (auto& t : timers) t->arm(2000 + (ops & 511));
+    ops += kTimers;
+    for (int i = 0; i < kTimers; i += 2) {
+      timers[static_cast<std::size_t>(i)]->cancel();
+    }
+    ops += kTimers / 2;
+    sim.run();
+  }
+  const double secs = bench::wall_seconds() - t0;
+  const double rate = static_cast<double>(ops) / secs;
+  out.metric("timer_churn", "ops", static_cast<double>(ops));
+  out.metric("timer_churn", "fires", static_cast<double>(fires));
+  out.metric("timer_churn", "seconds", secs);
+  out.metric("timer_churn", "ops_per_sec", rate);
+  return rate;
+}
+
+double bench_packet_forward(std::uint64_t total, bench::BenchJson& out) {
+  sim::Simulator sim;
+  net::LinkParams params;  // 1 Gb/s, 5 us, drop-tail 256
+  net::Link up(sim, params, sim::Rng(7));
+  net::Link down(sim, params, sim::Rng(8));
+  net::Switch sw;
+  const net::IpAddr dst = net::make_addr(0, 1);
+  sw.add_route(dst, &down);
+  up.set_sink([&sw](net::Packet&& p) { sw.forward(std::move(p)); });
+
+  net::Packet tmpl;
+  tmpl.src = net::make_addr(0, 0);
+  tmpl.dst = dst;
+  tmpl.payload = std::vector<std::byte>(1452, std::byte{0x5A});
+  const std::size_t payload_bytes = 1452;
+
+  std::uint64_t delivered = 0;
+  std::uint64_t injected = 0;
+  auto inject = [&] {
+    ++injected;
+    net::Packet p = tmpl;
+    p.uid = injected;
+    up.enqueue(std::move(p));
+  };
+  down.set_sink([&](net::Packet&&) {
+    ++delivered;
+    if (injected < total) inject();
+  });
+  constexpr std::uint64_t kInFlight = 64;
+  const double t0 = bench::wall_seconds();
+  for (std::uint64_t i = 0; i < kInFlight && injected < total; ++i) inject();
+  sim.run();
+  const double secs = bench::wall_seconds() - t0;
+  const double rate = static_cast<double>(delivered) / secs;
+  out.metric("packet_forward", "packets", static_cast<double>(delivered));
+  out.metric("packet_forward", "seconds", secs);
+  out.metric("packet_forward", "packets_per_sec", rate);
+  out.metric("packet_forward", "payload_bytes_per_sec",
+             rate * static_cast<double>(payload_bytes));
+  return rate;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::BenchJson out("simcore");
+  const std::uint64_t events = quick ? 400'000 : 8'000'000;
+  const std::uint64_t rounds = quick ? 2'000 : 40'000;
+  const std::uint64_t packets = quick ? 100'000 : 2'000'000;
+
+  const double ev = bench_event_churn(events, out);
+  const double ti = bench_timer_churn(rounds, out);
+  const double pk = bench_packet_forward(packets, out);
+
+  out.metric("baseline_pre_rewrite", "events_per_sec", kBaselineEventsPerSec);
+  out.metric("baseline_pre_rewrite", "timer_ops_per_sec",
+             kBaselineTimerOpsPerSec);
+  out.metric("baseline_pre_rewrite", "packets_per_sec",
+             kBaselinePacketsPerSec);
+  if (kBaselineEventsPerSec > 0) {
+    out.metric("speedup_vs_baseline", "events_per_sec",
+               ev / kBaselineEventsPerSec);
+    out.metric("speedup_vs_baseline", "timer_ops_per_sec",
+               ti / kBaselineTimerOpsPerSec);
+    out.metric("speedup_vs_baseline", "packets_per_sec",
+               pk / kBaselinePacketsPerSec);
+  }
+
+  std::printf("%s", out.str().c_str());
+  if (!json_path.empty() && !out.write(json_path)) return 1;
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Runs the simulator-core micro benchmark and refreshes BENCH_simcore.json.
+#
+# Usage: bench/run_benches.sh [build-dir] [--quick]
+#   build-dir  defaults to ./build
+#   --quick    seconds-scale run (same configuration as `ctest -L perf`)
+#
+# The JSON lands in the build directory as BENCH_simcore.json; commit a copy
+# next to this script when recording a new performance baseline.
+set -eu
+
+BUILD_DIR=build
+QUICK=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+BIN="$BUILD_DIR/bench/micro_simcore"
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+"$BIN" $QUICK --json "$BUILD_DIR/BENCH_simcore.json"
+echo "wrote $BUILD_DIR/BENCH_simcore.json"

@@ -15,26 +15,54 @@ int main() {
   apps::Table table({"MPI message size", "Loss", "LAM_SCTP (B/s)",
                      "LAM_TCP (B/s)", "SCTP/TCP"});
   // The paper averaged multiple runs; loss results are timeout-dominated
-  // and need the same treatment.
+  // and need the same treatment. Every (size, loss, transport, seed) cell
+  // is an independent simulation, so the trials run across worker threads
+  // (SCTPMPI_SERIAL=1 forces the old serial order); aggregation below
+  // walks the trial list in its construction order, keeping output
+  // byte-identical to a serial run.
   const std::uint64_t seeds[] = {2005, 2006, 2007};
+  struct Trial {
+    std::size_t sz;
+    double loss;
+    core::TransportKind tr;
+    std::uint64_t seed;
+    double loop_seconds = 0;
+    double bytes = 0;
+  };
+  std::vector<Trial> trials;
+  for (std::size_t sz : {std::size_t{30 * 1024}, std::size_t{300 * 1024}}) {
+    for (double loss : {0.01, 0.02}) {
+      for (auto tr :
+           {core::TransportKind::kSctp, core::TransportKind::kTcp}) {
+        for (std::uint64_t seed : seeds) {
+          trials.push_back(Trial{sz, loss, tr, seed});
+        }
+      }
+    }
+  }
+  parallel_trials(trials.size(), [&](std::size_t i) {
+    Trial& t = trials[i];
+    apps::PingPongParams pp;
+    pp.message_size = t.sz;
+    pp.iterations = scaled(150, 20);
+    pp.warmup = 3;
+    auto r = apps::run_pingpong(paper_config(t.tr, t.loss, t.seed), pp);
+    t.loop_seconds = r.loop_seconds;
+    t.bytes = static_cast<double>(t.sz) * pp.iterations;
+  });
+
+  std::size_t at = 0;
   for (std::size_t sz : {std::size_t{30 * 1024}, std::size_t{300 * 1024}}) {
     for (double loss : {0.01, 0.02}) {
       double tput[2] = {0, 0};
-      int i = 0;
-      for (auto tr :
-           {core::TransportKind::kSctp, core::TransportKind::kTcp}) {
+      for (int i = 0; i < 2; ++i) {
         double total_time = 0;
         double total_bytes = 0;
-        for (std::uint64_t seed : seeds) {
-          apps::PingPongParams pp;
-          pp.message_size = sz;
-          pp.iterations = scaled(150, 20);
-          pp.warmup = 3;
-          auto r = apps::run_pingpong(paper_config(tr, loss, seed), pp);
-          total_time += r.loop_seconds;
-          total_bytes += static_cast<double>(sz) * pp.iterations;
+        for (std::size_t s = 0; s < std::size(seeds); ++s, ++at) {
+          total_time += trials[at].loop_seconds;
+          total_bytes += trials[at].bytes;
         }
-        tput[i++] = total_bytes / total_time;
+        tput[i] = total_bytes / total_time;
       }
       table.add_row({sz == 30 * 1024 ? "30K" : "300K",
                      apps::fmt("%.0f%%", loss * 100),

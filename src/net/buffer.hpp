@@ -1,0 +1,181 @@
+// Ref-counted immutable byte buffer: the payload type of net::Packet.
+//
+// A packet's serialized bytes are written once (at the sending transport
+// stack) and then only read — by links, switches, the trace recorder, and
+// the receiving stack. Buffer makes every Packet copy a refcount bump
+// instead of a payload memcpy: link-level duplication, trace capture, and
+// fan-out forwarding all share one block. The single writer after encode is
+// the fault pipeline's bit-flip, which goes through mutable_data() and gets
+// copy-on-write, so a corrupted duplicate never damages the shared original.
+//
+// Blocks are recycled through a thread-local freelist: steady-state packet
+// churn allocates nothing, and recycled vectors keep their capacity so even
+// Builder encodes stop growing after warm-up. The refcount is deliberately
+// NOT atomic: a Simulator and every object inside it live on one thread
+// (parallel bench trials run disjoint simulations), so buffers must never
+// be shared across threads.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace sctpmpi::net {
+
+class Buffer {
+  struct Block;  // refcount + recycled byte vector; defined below
+
+ public:
+  Buffer() noexcept = default;
+
+  /// Adopts the vector's storage (no copy).
+  Buffer(std::vector<std::byte>&& bytes)  // NOLINT(runtime/explicit)
+      : b_(acquire_()) {
+    b_->bytes = std::move(bytes);
+  }
+
+  Buffer(const Buffer& other) noexcept : b_(other.b_) {
+    if (b_ != nullptr) ++b_->refs;
+  }
+  Buffer(Buffer&& other) noexcept : b_(std::exchange(other.b_, nullptr)) {}
+
+  Buffer& operator=(const Buffer& other) noexcept {
+    if (this != &other) {
+      release_(b_);
+      b_ = other.b_;
+      if (b_ != nullptr) ++b_->refs;
+    }
+    return *this;
+  }
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      release_(b_);
+      b_ = std::exchange(other.b_, nullptr);
+    }
+    return *this;
+  }
+  Buffer& operator=(std::vector<std::byte>&& bytes) {
+    release_(b_);
+    b_ = acquire_();
+    b_->bytes = std::move(bytes);
+    return *this;
+  }
+
+  ~Buffer() { release_(b_); }
+
+  std::size_t size() const noexcept {
+    return b_ == nullptr ? 0 : b_->bytes.size();
+  }
+  bool empty() const noexcept { return size() == 0; }
+  const std::byte* data() const noexcept {
+    return b_ == nullptr ? nullptr : b_->bytes.data();
+  }
+  const std::byte* begin() const noexcept { return data(); }
+  const std::byte* end() const noexcept { return data() + size(); }
+  const std::byte& operator[](std::size_t i) const { return b_->bytes[i]; }
+
+  std::span<const std::byte> span() const noexcept {
+    return {data(), size()};
+  }
+  operator std::span<const std::byte>() const noexcept {  // NOLINT
+    return span();
+  }
+
+  /// Write access for in-place damage (the fault pipeline's bit flip).
+  /// Copy-on-write: a shared block is cloned first, so other packets
+  /// holding the same bytes keep the pristine original.
+  std::byte* mutable_data() {
+    unshare_();
+    return b_->bytes.data();
+  }
+
+  /// Grows or shrinks to `n` bytes (new bytes zeroed), copy-on-write.
+  void resize(std::size_t n) {
+    if (b_ == nullptr) {
+      b_ = acquire_();
+    } else {
+      unshare_();
+    }
+    b_->bytes.resize(n);
+  }
+
+  bool operator==(const Buffer& other) const {
+    return b_ == other.b_ ||
+           (span().size() == other.span().size() &&
+            std::equal(begin(), end(), other.begin()));
+  }
+  bool operator==(const std::vector<std::byte>& v) const {
+    return size() == v.size() && std::equal(begin(), end(), v.begin());
+  }
+
+  /// Encode-into target: hands out a pooled vector for ByteWriter-style
+  /// serialization, then seals it into a Buffer without copying.
+  class Builder {
+   public:
+    Builder() : b_(acquire_()) {}
+    Builder(const Builder&) = delete;
+    Builder& operator=(const Builder&) = delete;
+    ~Builder() { release_(b_); }
+
+    std::vector<std::byte>& bytes() { return b_->bytes; }
+
+    Buffer finish() && {
+      Buffer out;
+      out.b_ = std::exchange(b_, nullptr);
+      return out;
+    }
+
+   private:
+    Block* b_;
+  };
+
+ private:
+  struct Block {
+    std::uint32_t refs = 1;
+    std::vector<std::byte> bytes;
+  };
+
+  static constexpr std::size_t kPoolCap = 1024;
+
+  static std::vector<Block*>& pool_() {
+    static thread_local std::vector<Block*> pool;
+    return pool;
+  }
+
+  static Block* acquire_() {
+    auto& pool = pool_();
+    if (!pool.empty()) {
+      Block* b = pool.back();
+      pool.pop_back();
+      b->refs = 1;
+      return b;
+    }
+    return new Block;
+  }
+
+  static void release_(Block* b) noexcept {
+    if (b == nullptr || --b->refs != 0) return;
+    auto& pool = pool_();
+    if (pool.size() < kPoolCap) {
+      b->bytes.clear();  // keeps capacity: recycled blocks don't regrow
+      pool.push_back(b);
+    } else {
+      delete b;
+    }
+  }
+
+  void unshare_() {
+    if (b_->refs == 1) return;
+    Block* fresh = acquire_();
+    fresh->bytes = b_->bytes;
+    --b_->refs;  // > 1, so the old block stays alive for its other holders
+    b_ = fresh;
+  }
+
+  Block* b_ = nullptr;
+};
+
+}  // namespace sctpmpi::net

@@ -131,7 +131,9 @@ void FaultInjector::corrupt_payload(Packet& pkt) {
   if (pkt.payload.empty()) return;
   const std::size_t idx = static_cast<std::size_t>(
       payload_rng_.uniform_int(pkt.payload.size()));
-  pkt.payload[idx] ^= std::byte{0xFF};
+  // mutable_data() is copy-on-write: a duplicate sharing this buffer keeps
+  // the pristine bytes.
+  pkt.payload.mutable_data()[idx] ^= std::byte{0xFF};
 }
 
 }  // namespace sctpmpi::net

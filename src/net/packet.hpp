@@ -8,9 +8,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
 #include "net/address.hpp"
+#include "net/buffer.hpp"
 
 namespace sctpmpi::net {
 
@@ -36,7 +36,7 @@ struct Packet {
   IpAddr src;
   IpAddr dst;
   IpProto proto = IpProto::kTcp;
-  std::vector<std::byte> payload;
+  Buffer payload;  // ref-counted: copying a Packet shares the bytes
   std::uint64_t uid = 0;  // trace id, assigned by the sending host
   std::uint8_t flags = 0;  // kPktFlag* annotations (not wire bytes)
 

@@ -19,13 +19,15 @@ void UdpSocket::sendto(IpAddr dst, std::uint16_t dport,
   Packet pkt;
   pkt.dst = dst;
   pkt.proto = IpProto::kUdp;
-  pkt.payload.reserve(kUdpHeaderBytes + data.size());
-  ByteWriter w(pkt.payload);
+  Buffer::Builder b;
+  b.bytes().reserve(kUdpHeaderBytes + data.size());
+  ByteWriter w(b.bytes());
   w.u16(port_);
   w.u16(dport);
   w.u16(static_cast<std::uint16_t>(kUdpHeaderBytes + data.size()));
   w.u16(0);  // checksum unmodeled
   w.bytes(data);
+  pkt.payload = std::move(b).finish();
   stack_.host_.send_ip(std::move(pkt));
 }
 

@@ -66,8 +66,8 @@ std::size_t SctpPacket::wire_bytes() const {
   return n;
 }
 
-std::vector<std::byte> SctpPacket::encode(bool with_crc) const {
-  std::vector<std::byte> out;
+void SctpPacket::encode_into(std::vector<std::byte>& out, bool with_crc) const {
+  out.clear();
   out.reserve(wire_bytes());
   net::ByteWriter w(out);
   w.u16(sport);
@@ -171,6 +171,11 @@ std::vector<std::byte> SctpPacket::encode(bool with_crc) const {
     const std::uint32_t crc = crc32c(out);
     w.patch_u32(crc_off, crc);
   }
+}
+
+std::vector<std::byte> SctpPacket::encode(bool with_crc) const {
+  std::vector<std::byte> out;
+  encode_into(out, with_crc);
   return out;
 }
 

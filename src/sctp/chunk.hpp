@@ -123,6 +123,9 @@ struct SctpPacket {
   /// (otherwise the checksum field is written as zero, modelling the
   /// paper's disabled-checksum kernel).
   std::vector<std::byte> encode(bool with_crc) const;
+  /// Serializes into `out` (cleared first), reusing its capacity: the
+  /// transmit path encodes into pooled net::Buffer blocks allocation-free.
+  void encode_into(std::vector<std::byte>& out, bool with_crc) const;
   /// Parses; when `verify_crc`, returns nullopt on checksum mismatch.
   /// Throws net::DecodeError on malformed input.
   static std::optional<SctpPacket> decode(std::span<const std::byte> wire,

@@ -132,7 +132,9 @@ void SctpStack::transmit(const SctpPacket& pkt, net::IpAddr dst,
   ip.src = src;
   ip.dst = dst;
   ip.proto = net::IpProto::kSctp;
-  ip.payload = pkt.encode(cfg_.crc32c_enabled);
+  net::Buffer::Builder wire;
+  pkt.encode_into(wire.bytes(), cfg_.crc32c_enabled);
+  ip.payload = std::move(wire).finish();
   if (rtx) ip.flags |= net::kPktFlagRetransmit;
   sim::SimTime cost = cfg_.cpu_per_packet;
   if (cfg_.crc32c_enabled) {

@@ -1,41 +1,60 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
-#include <stdexcept>
 
 namespace sctpmpi::sim {
 
 Simulator::EventId Simulator::schedule_at(SimTime t, Callback cb) {
   if (t < now_) t = now_;  // clamp: never schedule into the past
-  EventId id = next_id_++;
-  queue_.push(Event{t, id, std::move(cb)});
-  pending_.insert(id);
-  return id;
+  const std::uint32_t slot = alloc_slot_();
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  const Entry e{t, (next_seq_++ << kSlotBits) | slot};
+  heap_.push_back(e);
+  sift_up_(static_cast<std::uint32_t>(heap_.size() - 1), e);
+  return make_id_(s.gen, slot);
+}
+
+Simulator::Slot* Simulator::slot_for_(EventId id) {
+  const std::uint64_t low = id & 0xFFFFFFFFull;
+  if (low == 0 || low > slots_.size()) return nullptr;
+  const std::size_t slot = static_cast<std::size_t>(low - 1);
+  if (pos_[slot] == kNoPos) return nullptr;  // fired or cancelled
+  Slot& s = slots_[slot];
+  if (static_cast<std::uint32_t>(id >> 32) != s.gen) return nullptr;  // stale
+  return &s;
 }
 
 bool Simulator::cancel(EventId id) {
-  if (pending_.erase(id) == 0) return false;  // already fired or cancelled
-  // Lazy deletion: remember the id; skip it when popped.
-  cancelled_.insert(id);
+  Slot* s = slot_for_(id);
+  if (s == nullptr) return false;
+  const std::uint32_t slot = static_cast<std::uint32_t>(s - slots_.data());
+  remove_at_(pos_[slot]);
+  free_slot_(slot);
+  return true;
+}
+
+bool Simulator::reschedule(EventId id, SimTime t) {
+  Slot* s = slot_for_(id);
+  if (s == nullptr) return false;
+  if (t < now_) t = now_;
+  const std::uint32_t slot = static_cast<std::uint32_t>(s - slots_.data());
+  const Entry e{t, (next_seq_++ << kSlotBits) | slot};  // fresh FIFO position
+  restore_(pos_[slot], e);
   return true;
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    assert(ev.time >= now_);
-    now_ = ev.time;
-    ++processed_;
-    pending_.erase(ev.id);
-    ev.cb();
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  const Entry top = heap_[0];
+  Slot& s = slots_[top.slot()];
+  Callback cb = std::move(s.cb);  // out of the slot table: the callback may
+  pop_root_();                    // grow slots_ by scheduling new events
+  free_slot_(top.slot());         // before the callback: self-cancel misses
+  now_ = top.time;
+  ++processed_;
+  cb();
+  return true;
 }
 
 std::size_t Simulator::run(std::size_t max_events) {
@@ -45,17 +64,120 @@ std::size_t Simulator::run(std::size_t max_events) {
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (cancelled_.count(top.id) != 0) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      continue;
-    }
-    if (top.time > t) break;
-    step();
-  }
+  while (!heap_.empty() && heap_[0].time <= t) step();
   if (now_ < t) now_ = t;
+}
+
+std::uint32_t Simulator::alloc_slot_() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  assert(slots_.size() < kSlotMask);  // 16M simultaneously pending events
+  slots_.emplace_back();
+  pos_.push_back(kNoPos);
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::free_slot_(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb.reset();
+  pos_[slot] = kNoPos;
+  ++s.gen;
+  free_slots_.push_back(slot);
+}
+
+void Simulator::sift_up_(std::uint32_t pos, const Entry& e) {
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) >> 2;
+    if (!before_(e, heap_[parent])) break;
+    place_(pos, heap_[parent]);
+    pos = parent;
+  }
+  place_(pos, e);
+}
+
+std::uint32_t Simulator::min_child_(std::uint32_t first, std::uint32_t n) {
+  if (first + 4 <= n) {  // full sibling group: branchless tournament
+    const unsigned __int128 r0 = rank_(heap_[first]);
+    const unsigned __int128 r1 = rank_(heap_[first + 1]);
+    const unsigned __int128 r2 = rank_(heap_[first + 2]);
+    const unsigned __int128 r3 = rank_(heap_[first + 3]);
+    const std::uint32_t a = r1 < r0 ? first + 1 : first;
+    const unsigned __int128 ra = r1 < r0 ? r1 : r0;
+    const std::uint32_t b = r3 < r2 ? first + 3 : first + 2;
+    const unsigned __int128 rb = r3 < r2 ? r3 : r2;
+    return rb < ra ? b : a;
+  }
+  std::uint32_t best = first;
+  for (std::uint32_t c = first + 1; c < n; ++c) {
+    if (before_(heap_[c], heap_[best])) best = c;
+  }
+  return best;
+}
+
+void Simulator::sift_down_(std::uint32_t pos, const Entry& e) {
+  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    const std::uint64_t first = 4ull * pos + 1;
+    if (first >= n) break;
+    const std::uint32_t best = min_child_(static_cast<std::uint32_t>(first), n);
+    if (!before_(heap_[best], e)) break;
+    place_(pos, heap_[best]);
+    pos = best;
+  }
+  place_(pos, e);
+}
+
+void Simulator::restore_(std::uint32_t pos, const Entry& e) {
+  if (pos > 0 && before_(e, heap_[(pos - 1) >> 2])) {
+    sift_up_(pos, e);
+  } else {
+    sift_down_(pos, e);
+  }
+}
+
+void Simulator::remove_at_(std::uint32_t pos) {
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail entry itself
+  restore_(pos, last);
+}
+
+void Simulator::pop_root_() {
+  // Hole percolation: walk the hole down along min-children to a leaf, then
+  // float the detached tail entry up from there. The tail entry almost
+  // always belongs near the bottom, so this does about one comparison per
+  // level instead of sift_down_'s compare-against-pivot at every level.
+  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+  if (n <= 1) {
+    heap_.clear();
+    return;
+  }
+  std::uint32_t pos = 0;
+  for (;;) {
+    const std::uint64_t first = 4ull * pos + 1;
+    if (first >= n) break;
+    // The grandchild groups of this sibling group are 4 consecutive cache
+    // lines starting at entry 4*first+1; pull them in while we compare, so
+    // the next level's loads overlap this level's work.
+    const std::uint64_t grand = 4ull * first + 1;
+    if (grand < n) {
+      const unsigned char* g = reinterpret_cast<const unsigned char*>(
+          heap_.data() + static_cast<std::size_t>(grand));
+      __builtin_prefetch(g);
+      __builtin_prefetch(g + 64);
+      __builtin_prefetch(g + 128);
+      __builtin_prefetch(g + 192);
+    }
+    const std::uint32_t best = min_child_(static_cast<std::uint32_t>(first), n);
+    place_(pos, heap_[best]);
+    pos = best;
+  }
+  const Entry tail = heap_.back();
+  heap_.pop_back();
+  if (pos != heap_.size()) sift_up_(pos, tail);
 }
 
 }  // namespace sctpmpi::sim

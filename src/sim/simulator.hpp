@@ -3,21 +3,30 @@
 // Events scheduled for the same instant fire in scheduling order (FIFO),
 // which together with the single-threaded hand-off process model makes every
 // simulation run fully deterministic.
+//
+// The queue is an indexed 4-ary min-heap keyed by (time, seq): heap entries
+// are 24 bytes and never carry the callback, which lives in a slot table
+// addressed by a generation-checked EventId. cancel() and reschedule() find
+// the entry through the slot's heap position and fix the heap in place in
+// O(log n) — no tombstones, so cancelled events release their slot and
+// callback immediately instead of lingering until their timestamp pops.
+// Callbacks are UniqueFunctions (64-byte small-buffer optimization), so
+// scheduling a packet delivery allocates nothing.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <new>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/unique_function.hpp"
 
 namespace sctpmpi::sim {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueFunction;
   using EventId = std::uint64_t;
   static constexpr EventId kInvalidEvent = 0;
 
@@ -29,7 +38,7 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedules `cb` at absolute time `t` (>= now). Returns a handle usable
-  /// with cancel().
+  /// with cancel() / reschedule().
   EventId schedule_at(SimTime t, Callback cb);
 
   /// Schedules `cb` after a relative delay (>= 0).
@@ -37,9 +46,15 @@ class Simulator {
     return schedule_at(now_ + delay, std::move(cb));
   }
 
-  /// Cancels a pending event. Returns false if it already fired or was
-  /// already cancelled.
+  /// Cancels a pending event, releasing its slot and callback immediately.
+  /// Returns false if it already fired or was already cancelled.
   bool cancel(EventId id);
+
+  /// Moves a pending event to absolute time `t` (>= now), keeping its
+  /// callback and id. The event takes a fresh FIFO position, exactly as if
+  /// it had been cancelled and rescheduled. Returns false if `id` is no
+  /// longer pending.
+  bool reschedule(EventId id, SimTime t);
 
   /// Runs the next pending event, if any. Returns false when the queue is
   /// empty.
@@ -52,34 +67,106 @@ class Simulator {
   /// Runs events with timestamp <= t, then advances the clock to t.
   void run_until(SimTime t);
 
-  bool empty() const { return live_events() == 0; }
-  std::size_t live_events() const { return queue_.size() - cancelled_.size(); }
+  bool empty() const { return heap_.empty(); }
+  /// Pending (not cancelled) events; cancellation shrinks this immediately.
+  std::size_t live_events() const { return heap_.size(); }
+  /// Slots ever allocated. Bounded by the peak number of simultaneously
+  /// pending events, not by churn: arm/cancel cycles reuse slots.
+  std::size_t slot_capacity() const { return slots_.size(); }
   std::uint64_t events_processed() const { return processed_; }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+  // A heap entry packs the FIFO sequence number (high 40 bits) above the
+  // slot index (low 24 bits): seq is unique, so ordering the packed word
+  // orders by seq, and entries stay 16 bytes. 2^24 simultaneously pending
+  // events and 2^40 total events are far beyond any simulated run.
+  static constexpr int kSlotBits = 24;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+
+  struct Entry {
     SimTime time;
-    EventId id;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO among same-time events
+    std::uint64_t key;  // (seq << kSlotBits) | slot
+    std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(key) & kSlotMask;
     }
   };
+  // Places the heap array 48 bytes past a 64-byte boundary so each 4-entry
+  // sibling group [4p+1, 4p+4] occupies exactly one cache line; the sift
+  // loops then touch one line per level instead of two.
+  struct EntryAlloc {
+    using value_type = Entry;
+    template <class U>
+    struct rebind {  // vector only ever rebinds to Entry itself
+      using other = EntryAlloc;
+    };
+    Entry* allocate(std::size_t n) {
+      void* base =
+          ::operator new(n * sizeof(Entry) + 48, std::align_val_t{64});
+      return reinterpret_cast<Entry*>(static_cast<unsigned char*>(base) + 48);
+    }
+    void deallocate(Entry* p, std::size_t) noexcept {
+      ::operator delete(reinterpret_cast<unsigned char*>(p) - 48,
+                        std::align_val_t{64});
+    }
+    bool operator==(const EntryAlloc&) const { return true; }
+    bool operator!=(const EntryAlloc&) const { return false; }
+  };
+  // The heap-position backlink lives in pos_, a dense parallel array, NOT in
+  // Slot: heap repair rewrites backlinks at every level, and a packed
+  // uint32 table stays cache-resident while the 64-byte slot lines (callback
+  // storage) would be dragged in one per touched event.
+  struct Slot {
+    Callback cb;            // 56 bytes: 48 inline + ops pointer
+    std::uint32_t gen = 1;  // bumped on release; stale ids miss
+  };
+  static_assert(sizeof(Slot) == 64, "one cache line per event slot");
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> pending_;
-  std::unordered_set<EventId> cancelled_;
+  static EventId make_id_(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | (slot + 1ull);
+  }
+  // (time, key) packed into one 128-bit rank: a single sbb-chain compare
+  // with no data-dependent branch, which matters in the child-min scans
+  // where the branch is a coin flip.
+  static unsigned __int128 rank_(const Entry& e) {
+    return (static_cast<unsigned __int128>(e.time) << 64) | e.key;
+  }
+  static bool before_(const Entry& a, const Entry& b) {
+    return rank_(a) < rank_(b);
+  }
+
+  /// Decodes and validates an id; nullptr unless it names a pending event.
+  Slot* slot_for_(EventId id);
+  std::uint32_t alloc_slot_();
+  void free_slot_(std::uint32_t slot);
+  void place_(std::uint32_t pos, const Entry& e) {
+    heap_[pos] = e;
+    pos_[e.slot()] = pos;
+  }
+  /// Index of the least entry in the sibling group starting at `first`.
+  std::uint32_t min_child_(std::uint32_t first, std::uint32_t n);
+  void sift_up_(std::uint32_t pos, const Entry& e);
+  void sift_down_(std::uint32_t pos, const Entry& e);
+  /// Re-sinks or re-floats the entry at `pos` after its key changed.
+  void restore_(std::uint32_t pos, const Entry& e);
+  /// Detaches the entry at `pos` and repairs the heap.
+  void remove_at_(std::uint32_t pos);
+  /// Detaches the root (hole percolation: cheaper than remove_at_(0)).
+  void pop_root_();
+
+  std::vector<Entry, EntryAlloc> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> pos_;  // slot -> heap index, kNoPos when free
+  std::vector<std::uint32_t> free_slots_;
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
 };
 
 /// A single re-armable timer bound to a Simulator; the building block for
 /// protocol retransmission/delayed-ack/heartbeat timers. Arming an already
-/// armed timer replaces the deadline.
+/// armed timer reschedules the existing event in place (no new callback is
+/// created); deadline() reads 0 whenever the timer is not armed.
 class Timer {
  public:
   Timer(Simulator& sim, std::function<void()> on_fire)
@@ -89,15 +176,19 @@ class Timer {
   Timer& operator=(const Timer&) = delete;
 
   void arm(SimTime delay) {
-    cancel();
     deadline_ = sim_.now() + delay;
-    id_ = sim_.schedule_after(delay, [this] {
+    if (id_ != Simulator::kInvalidEvent && sim_.reschedule(id_, deadline_)) {
+      return;
+    }
+    id_ = sim_.schedule_at(deadline_, [this] {
       id_ = Simulator::kInvalidEvent;
+      deadline_ = 0;
       on_fire_();
     });
   }
 
   void cancel() {
+    deadline_ = 0;
     if (id_ != Simulator::kInvalidEvent) {
       sim_.cancel(id_);
       id_ = Simulator::kInvalidEvent;

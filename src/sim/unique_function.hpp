@@ -1,0 +1,115 @@
+// Move-only type-erased `void()` callable with a 48-byte small-buffer
+// optimization: the event-queue callback type.
+//
+// std::function requires copyable targets and (in libstdc++) spills any
+// capture larger than two words to the heap, which makes every scheduled
+// packet-delivery lambda an allocation. UniqueFunction stores captures up
+// to kInlineBytes inline — large enough for a Packet plus a couple of
+// pointers — and accepts move-only captures, so hot-path events allocate
+// nothing. Larger or throwing-move targets fall back to the heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sctpmpi::sim {
+
+class UniqueFunction {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  UniqueFunction() noexcept = default;
+  UniqueFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, UniqueFunction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  UniqueFunction(F&& f) {  // NOLINT(runtime/explicit)
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= alignof(void*) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::ops;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &HeapOps<D>::ops;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Invokes the target; undefined if empty (like std::function but without
+  /// the throw — the simulator never stores empty callbacks).
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move into raw dst, end src
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static D* target_(void* s) {
+    return std::launder(reinterpret_cast<D*>(s));
+  }
+
+  template <typename D>
+  struct InlineOps {
+    static void invoke(void* s) { (*target_<D>(s))(); }
+    static void relocate(void* dst, void* src) {
+      D* from = target_<D>(src);
+      ::new (dst) D(std::move(*from));
+      from->~D();
+    }
+    static void destroy(void* s) { target_<D>(s)->~D(); }
+    static constexpr Ops ops{invoke, relocate, destroy};
+  };
+
+  template <typename D>
+  struct HeapOps {
+    static void invoke(void* s) { (**target_<D*>(s))(); }
+    static void relocate(void* dst, void* src) {
+      ::new (dst) D*(*target_<D*>(src));
+    }
+    static void destroy(void* s) { delete *target_<D*>(s); }
+    static constexpr Ops ops{invoke, relocate, destroy};
+  };
+
+  alignas(void*) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace sctpmpi::sim

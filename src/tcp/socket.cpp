@@ -871,7 +871,9 @@ void TcpStack::transmit_(Segment&& seg, net::IpAddr dst, net::IpAddr src,
   pkt.src = src;
   pkt.dst = dst;
   pkt.proto = net::IpProto::kTcp;
-  pkt.payload = seg.encode();
+  net::Buffer::Builder wire;
+  seg.encode_into(wire.bytes());
+  pkt.payload = std::move(wire).finish();
   if (rtx) pkt.flags |= net::kPktFlagRetransmit;
   host_.send_ip(std::move(pkt), cfg_.cpu_per_packet);
 }

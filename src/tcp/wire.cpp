@@ -33,8 +33,8 @@ std::size_t Segment::header_bytes() const {
   return kTcpBaseHeaderBytes + options_bytes(*this);
 }
 
-std::vector<std::byte> Segment::encode() const {
-  std::vector<std::byte> out;
+void Segment::encode_into(std::vector<std::byte>& out) const {
+  out.clear();
   out.reserve(wire_bytes());
   net::ByteWriter w(out);
   w.u16(sport);
@@ -79,6 +79,11 @@ std::vector<std::byte> Segment::encode() const {
   }
   while ((out.size() - opt_start) % 4 != 0) w.u8(kOptNop);
   w.bytes(payload);
+}
+
+std::vector<std::byte> Segment::encode() const {
+  std::vector<std::byte> out;
+  encode_into(out);
   return out;
 }
 

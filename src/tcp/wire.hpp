@@ -43,6 +43,9 @@ struct Segment {
 
   /// Serializes into a fresh buffer.
   std::vector<std::byte> encode() const;
+  /// Serializes into `out` (cleared first), reusing its capacity: the
+  /// transmit path encodes into pooled net::Buffer blocks allocation-free.
+  void encode_into(std::vector<std::byte>& out) const;
   /// Parses a segment; throws net::DecodeError on malformed input.
   static Segment decode(std::span<const std::byte> wire);
 };

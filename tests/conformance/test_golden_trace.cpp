@@ -5,6 +5,8 @@
 // experiment in this repo replayable.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -77,6 +79,51 @@ TEST_P(GoldenTrace, TwoFreshRunsSerializeIdentically) {
   if (loss == 0.0) {
     EXPECT_EQ(a.summary.dropped_loss, 0u);
   }
+}
+
+// FNV-1a 64 of the exact trace text each configuration produced BEFORE the
+// simulator-core rewrite (indexed heap + UniqueFunction + ref-counted
+// Buffer payloads; recorded 2026-08-05 from the tombstone-queue build).
+// A hash change here means the rewrite altered observable wire history —
+// the one thing the perf work was required not to do.
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct PreRewriteGolden {
+  core::TransportKind transport;
+  double loss;
+  std::uint64_t text_hash;
+  unsigned lines;
+};
+
+constexpr PreRewriteGolden kPreRewriteGoldens[] = {
+    {core::TransportKind::kTcp, 0.00, 0x2c09227e99a3ce93ULL, 1363u},
+    {core::TransportKind::kTcp, 0.01, 0x00bf9379649add5bULL, 1676u},
+    {core::TransportKind::kTcp, 0.02, 0xd8a0e7a88f125ed4ULL, 1630u},
+    {core::TransportKind::kSctp, 0.00, 0xaf424ebf2c6f5dd6ULL, 1351u},
+    {core::TransportKind::kSctp, 0.01, 0x7f3383f8ff6cb238ULL, 1392u},
+    {core::TransportKind::kSctp, 0.02, 0x07a6798db1adf06bULL, 1418u},
+};
+
+TEST_P(GoldenTrace, MatchesPreRewriteTraceByteForByte) {
+  const auto [transport, loss] = GetParam();
+  const GoldenRun run = pingpong_trace(transport, loss);
+  for (const PreRewriteGolden& g : kPreRewriteGoldens) {
+    if (g.transport != transport || g.loss != loss) continue;
+    const auto lines = static_cast<unsigned>(
+        std::count(run.text.begin(), run.text.end(), '\n'));
+    EXPECT_EQ(fnv1a64(run.text), g.text_hash)
+        << "trace text diverged from the pre-rewrite recording";
+    EXPECT_EQ(lines, g.lines);
+    return;
+  }
+  FAIL() << "no pre-rewrite golden recorded for this configuration";
 }
 
 INSTANTIATE_TEST_SUITE_P(

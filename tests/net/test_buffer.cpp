@@ -1,0 +1,115 @@
+// net::Buffer: ref-counted sharing, copy-on-write, and block recycling.
+#include "net/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace sctpmpi::net {
+namespace {
+
+std::vector<std::byte> bytes(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(Buffer, DefaultIsEmpty) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.span().size(), 0u);
+}
+
+TEST(Buffer, AdoptsVectorWithoutCopy) {
+  auto v = bytes({1, 2, 3});
+  const std::byte* data = v.data();
+  Buffer b(std::move(v));
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.data(), data);  // same storage, not a copy
+  EXPECT_EQ(b[1], std::byte{2});
+}
+
+TEST(Buffer, CopiesShareStorage) {
+  Buffer a(bytes({1, 2, 3}));
+  Buffer b = a;
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Buffer, MutableDataUnsharesBeforeWriting) {
+  Buffer a(bytes({1, 2, 3}));
+  Buffer b = a;
+  b.mutable_data()[0] = std::byte{9};
+  EXPECT_EQ(a[0], std::byte{1}) << "shared holder must keep pristine bytes";
+  EXPECT_EQ(b[0], std::byte{9});
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(Buffer, MutableDataInPlaceWhenUnshared) {
+  Buffer a(bytes({1, 2, 3}));
+  const std::byte* data = a.data();
+  a.mutable_data()[2] = std::byte{7};
+  EXPECT_EQ(a.data(), data);  // sole owner: no copy
+  EXPECT_EQ(a[2], std::byte{7});
+}
+
+TEST(Buffer, ResizeOnEmptyAndCopyOnWrite) {
+  Buffer a;
+  a.resize(4);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[3], std::byte{0});
+  Buffer b = a;
+  b.resize(2);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(Buffer, EqualityComparesContents) {
+  Buffer a(bytes({1, 2}));
+  Buffer b(bytes({1, 2}));
+  Buffer c(bytes({1, 3}));
+  EXPECT_EQ(a, b);  // distinct blocks, same bytes
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a == bytes({1, 2}));
+  EXPECT_FALSE(a == bytes({1}));
+}
+
+TEST(Buffer, BuilderSealsPooledBlock) {
+  Buffer::Builder builder;
+  builder.bytes().push_back(std::byte{5});
+  builder.bytes().push_back(std::byte{6});
+  Buffer b = std::move(builder).finish();
+  EXPECT_EQ(b, bytes({5, 6}));
+}
+
+TEST(Buffer, BlocksAreRecycledThroughThePool) {
+  // Warm the pool, then check that fresh buffers reuse a recycled block
+  // (recycled vectors keep their capacity, so steady state reallocates
+  // nothing). Pointer reuse is how we observe recycling.
+  const std::byte* first;
+  {
+    Buffer warm(std::vector<std::byte>(256));
+    first = warm.data();
+  }
+  Buffer again;
+  again.resize(256);
+  EXPECT_EQ(again.data(), first);
+}
+
+TEST(Buffer, PacketCopySharesPayloadUntilCorruption) {
+  Packet p;
+  p.payload = bytes({1, 2, 3, 4});
+  Packet dup = p;  // link-level duplication: refcount bump, no memcpy
+  EXPECT_EQ(p.payload.data(), dup.payload.data());
+  dup.payload.mutable_data()[0] ^= std::byte{0xFF};
+  EXPECT_EQ(p.payload[0], std::byte{1});
+  EXPECT_NE(dup.payload[0], std::byte{1});
+}
+
+}  // namespace
+}  // namespace sctpmpi::net

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace sctpmpi::sim {
@@ -113,6 +114,65 @@ TEST(Simulator, LiveEventsExcludesCancelled) {
   EXPECT_EQ(s.live_events(), 1u);
 }
 
+TEST(Simulator, RescheduleMovesPendingEvent) {
+  Simulator s;
+  SimTime fired = -1;
+  auto id = s.schedule_at(10, [&] { fired = s.now(); });
+  EXPECT_TRUE(s.reschedule(id, 50));
+  s.run();
+  EXPECT_EQ(fired, 50);
+  EXPECT_FALSE(s.reschedule(id, 100));  // already fired
+}
+
+TEST(Simulator, RescheduleTakesFreshFifoPosition) {
+  // An event rescheduled onto a time shared with later-scheduled events
+  // fires after them, exactly as if it had been cancelled and re-added.
+  Simulator s;
+  std::vector<int> order;
+  auto id = s.schedule_at(5, [&] { order.push_back(0); });
+  s.schedule_at(5, [&] { order.push_back(1); });
+  s.schedule_at(5, [&] { order.push_back(2); });
+  s.reschedule(id, 5);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(Simulator, CancelledEventsReleaseSlotsImmediately) {
+  // Regression: the old tombstone scheme kept cancelled events queued (and
+  // their callbacks alive) until their timestamp popped. The indexed heap
+  // must reclaim both the heap entry and the slot at cancel() time.
+  Simulator s;
+  auto keep = s.schedule_at(1'000'000, [] {});
+  for (int round = 0; round < 10'000; ++round) {
+    auto id = s.schedule_at(500'000 + round, [] {});
+    EXPECT_EQ(s.live_events(), 2u);
+    s.cancel(id);
+    EXPECT_EQ(s.live_events(), 1u);
+  }
+  // Slot storage tracks peak concurrency (2 here), not churn volume.
+  EXPECT_LE(s.slot_capacity(), 4u);
+  s.cancel(keep);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Simulator, StaleIdAfterSlotReuseIsRejected) {
+  Simulator s;
+  auto a = s.schedule_at(10, [] {});
+  s.cancel(a);
+  auto b = s.schedule_at(20, [] {});  // reuses a's slot
+  EXPECT_FALSE(s.cancel(a));          // generation mismatch
+  EXPECT_TRUE(s.cancel(b));
+}
+
+TEST(Simulator, MoveOnlyCallbacksAreAccepted) {
+  Simulator s;
+  auto box = std::make_unique<int>(7);
+  int seen = 0;
+  s.schedule_at(1, [&seen, box = std::move(box)] { seen = *box; });
+  s.run();
+  EXPECT_EQ(seen, 7);
+}
+
 TEST(Timer, FiresAfterDelay) {
   Simulator s;
   int fires = 0;
@@ -144,6 +204,40 @@ TEST(Timer, CancelStopsFire) {
   t.cancel();
   s.run();
   EXPECT_EQ(fires, 0);
+}
+
+TEST(Timer, DeadlineResetsOnCancel) {
+  // Regression: deadline() used to keep reporting the stale deadline after
+  // cancel(); it must read 0 whenever the timer is not armed.
+  Simulator s;
+  Timer t(s, [] {});
+  t.arm(100);
+  EXPECT_EQ(t.deadline(), 100);
+  t.cancel();
+  EXPECT_EQ(t.deadline(), 0);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Timer, DeadlineResetsAfterFire) {
+  Simulator s;
+  Timer t(s, [] {});
+  t.arm(100);
+  s.run();
+  EXPECT_EQ(t.deadline(), 0);
+}
+
+TEST(Timer, RearmReschedulesInPlace) {
+  // Re-arming an armed timer moves the existing event instead of allocating
+  // a fresh callback: the simulator never holds more than one slot for it.
+  Simulator s;
+  int fires = 0;
+  Timer t(s, [&] { ++fires; });
+  for (int i = 0; i < 1000; ++i) t.arm(100 + i);
+  EXPECT_EQ(s.live_events(), 1u);
+  EXPECT_EQ(s.slot_capacity(), 1u);
+  s.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(s.now(), 1099);
 }
 
 TEST(Timer, CanRearmFromWithinCallback) {
