@@ -1,12 +1,13 @@
 #!/usr/bin/env sh
-# Runs the simulator-core micro benchmark and refreshes BENCH_simcore.json.
+# Runs the micro benchmarks and refreshes their JSON result files.
 #
 # Usage: bench/run_benches.sh [build-dir] [--quick]
 #   build-dir  defaults to ./build
 #   --quick    seconds-scale run (same configuration as `ctest -L perf`)
 #
-# The JSON lands in the build directory as BENCH_simcore.json; commit a copy
-# next to this script when recording a new performance baseline.
+# The JSON lands in the build directory as BENCH_simcore.json and
+# BENCH_transport.json; commit a copy next to this script when recording a
+# new performance baseline.
 set -eu
 
 BUILD_DIR=build
@@ -18,11 +19,19 @@ for arg in "$@"; do
   esac
 done
 
-BIN="$BUILD_DIR/bench/micro_simcore"
-if [ ! -x "$BIN" ]; then
-  echo "error: $BIN not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
-  exit 1
-fi
+# Every bench binary must exist before anything runs: a silently skipped
+# bench would let a perf regression (or a broken bench target) go unnoticed.
+MISSING=0
+for name in micro_simcore micro_transport; do
+  if [ ! -x "$BUILD_DIR/bench/$name" ]; then
+    echo "error: $BUILD_DIR/bench/$name not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    MISSING=1
+  fi
+done
+[ "$MISSING" -eq 0 ] || exit 1
 
-"$BIN" $QUICK --json "$BUILD_DIR/BENCH_simcore.json"
-echo "wrote $BUILD_DIR/BENCH_simcore.json"
+for name in micro_simcore micro_transport; do
+  OUT="$BUILD_DIR/BENCH_${name#micro_}.json"
+  "$BUILD_DIR/bench/$name" $QUICK --json "$OUT"
+  echo "wrote $OUT"
+done

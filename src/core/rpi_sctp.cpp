@@ -140,13 +140,13 @@ void SctpRpi::start_send(RpiRequest* req) {
     job.body_len = req->send_len;
     job.req = req;
     job.completes_request = !req->sync;
-    if (req->sync) pending_ssend_[{peer, req->seq}] = req;
+    if (req->sync) pending_ssend_.put(peer, req->seq, req);
     ++stats_.eager_msgs;
   } else {
     env.flags = kFlagLong;
     job.kind = OutJob::Kind::kLongEnv;
     job.header = env.encode();
-    pending_long_send_[{peer, req->seq}] = req;
+    pending_long_send_.put(peer, req->seq, req);
     ++stats_.rendezvous_msgs;
   }
   outq_(peer, sid).push_back(std::move(job));
@@ -159,7 +159,7 @@ void SctpRpi::start_recv(RpiRequest* req) {
     const Envelope& env = um->env;
     const std::uint16_t sid = stream_of(env.context, env.tag);
     if ((env.flags & kFlagLong) != 0) {
-      pending_long_recv_[{env.src_rank, env.seq}] = req;
+      pending_long_recv_.put(env.src_rank, env.seq, req);
       Envelope ack;
       ack.flags = kFlagLongAck;
       ack.tag = env.tag;
@@ -374,10 +374,7 @@ void SctpRpi::handle_envelope_(int peer, std::uint16_t sid,
     return;
   }
   if ((env.flags & kFlagLongAck) != 0) {
-    auto it = pending_long_send_.find({peer, env.seq});
-    if (it != pending_long_send_.end()) {
-      RpiRequest* req = it->second;
-      pending_long_send_.erase(it);
+    if (RpiRequest* req = pending_long_send_.take(peer, env.seq)) {
       OutJob job;
       job.kind = OutJob::Kind::kLongBody;
       Envelope env2;
@@ -397,18 +394,12 @@ void SctpRpi::handle_envelope_(int peer, std::uint16_t sid,
     return;
   }
   if ((env.flags & kFlagSsendAck) != 0) {
-    auto it = pending_ssend_.find({peer, env.seq});
-    if (it != pending_ssend_.end()) {
-      it->second->done = true;
-      pending_ssend_.erase(it);
-    }
+    if (RpiRequest* req = pending_ssend_.take(peer, env.seq)) req->done = true;
     return;
   }
   if ((env.flags & kFlagLongBody) != 0) {
     StreamIn& st = instate_(peer, sid);
-    auto it = pending_long_recv_.find({peer, env.seq});
-    st.long_req = it != pending_long_recv_.end() ? it->second : nullptr;
-    if (it != pending_long_recv_.end()) pending_long_recv_.erase(it);
+    st.long_req = pending_long_recv_.take(peer, env.seq);
     st.remaining = env.length;
     st.offset = 0;
     if (st.long_req != nullptr) {
@@ -419,7 +410,7 @@ void SctpRpi::handle_envelope_(int peer, std::uint16_t sid,
   }
   if ((env.flags & kFlagLong) != 0) {
     if (RpiRequest* req = match_.match_posted(env)) {
-      pending_long_recv_[{peer, env.seq}] = req;
+      pending_long_recv_.put(peer, env.seq, req);
       Envelope ack;
       ack.flags = kFlagLongAck;
       ack.tag = env.tag;

@@ -18,6 +18,7 @@
 #include <map>
 #include <vector>
 
+#include "core/flat_hash.hpp"
 #include "core/matching.hpp"
 #include "core/rpi.hpp"
 #include "sctp/socket.hpp"
@@ -121,9 +122,10 @@ class SctpRpi : public Rpi {
   std::vector<std::deque<OutJob>> out_;
   std::vector<StreamIn> in_;
   MatchEngine match_;
-  std::map<std::pair<int, std::uint32_t>, RpiRequest*> pending_long_send_;
-  std::map<std::pair<int, std::uint32_t>, RpiRequest*> pending_long_recv_;
-  std::map<std::pair<int, std::uint32_t>, RpiRequest*> pending_ssend_;
+  // Probed point-wise per message, never iterated: flat hash tables.
+  PeerSeqMap<RpiRequest*> pending_long_send_;
+  PeerSeqMap<RpiRequest*> pending_long_recv_;
+  PeerSeqMap<RpiRequest*> pending_ssend_;
   std::vector<std::uint32_t> next_seq_;
   int barrier_ctl_seen_ = 0;  // init-barrier bookkeeping
 

@@ -133,7 +133,7 @@ void TcpRpi::start_send(RpiRequest* req) {
     m.body_len = req->send_len;
     m.req = req;
     m.completes_request = !req->sync;  // ssend completes on the ack
-    if (req->sync) pending_ssend_[{peer, req->seq}] = req;
+    if (req->sync) pending_ssend_.put(peer, req->seq, req);
     p.outq.push_back(std::move(m));
     ++stats_.eager_msgs;
   } else {
@@ -142,7 +142,7 @@ void TcpRpi::start_send(RpiRequest* req) {
     OutMsg m;
     m.header = env.encode();
     p.outq.push_back(std::move(m));
-    pending_long_send_[{peer, req->seq}] = req;
+    pending_long_send_.put(peer, req->seq, req);
     ++stats_.rendezvous_msgs;
   }
   pump_writes_(peer);
@@ -155,7 +155,7 @@ void TcpRpi::start_recv(RpiRequest* req) {
     const Envelope& env = um->env;
     if ((env.flags & kFlagLong) != 0) {
       // Buffered rendezvous envelope: now send the ACK.
-      pending_long_recv_[{env.src_rank, env.seq}] = req;
+      pending_long_recv_.put(env.src_rank, env.seq, req);
       Envelope ack;
       ack.flags = kFlagLongAck;
       ack.tag = env.tag;
@@ -357,27 +357,18 @@ void TcpRpi::on_envelope_(int peer) {
   const Envelope& env = p.env;
 
   if ((env.flags & kFlagLongAck) != 0) {
-    auto it = pending_long_send_.find({peer, env.seq});
-    if (it != pending_long_send_.end()) {
-      RpiRequest* req = it->second;
-      pending_long_send_.erase(it);
+    if (RpiRequest* req = pending_long_send_.take(peer, env.seq)) {
       enqueue_long_body_(peer, req);
     }
     return;
   }
   if ((env.flags & kFlagSsendAck) != 0) {
-    auto it = pending_ssend_.find({peer, env.seq});
-    if (it != pending_ssend_.end()) {
-      it->second->done = true;
-      pending_ssend_.erase(it);
-    }
+    if (RpiRequest* req = pending_ssend_.take(peer, env.seq)) req->done = true;
     return;
   }
   if ((env.flags & kFlagLongBody) != 0) {
     // Second envelope of the rendezvous: body follows on this stream.
-    auto it = pending_long_recv_.find({peer, env.seq});
-    p.recv_req = it != pending_long_recv_.end() ? it->second : nullptr;
-    if (it != pending_long_recv_.end()) pending_long_recv_.erase(it);
+    p.recv_req = pending_long_recv_.take(peer, env.seq);
     p.body_total = env.length;
     p.body_have = 0;
     p.temp_body.clear();
@@ -387,7 +378,7 @@ void TcpRpi::on_envelope_(int peer) {
   if ((env.flags & kFlagLong) != 0) {
     // Rendezvous request. Match now or buffer the envelope.
     if (RpiRequest* req = match_.match_posted(env)) {
-      pending_long_recv_[{peer, env.seq}] = req;
+      pending_long_recv_.put(peer, env.seq, req);
       Envelope ack;
       ack.flags = kFlagLongAck;
       ack.tag = env.tag;

@@ -9,10 +9,10 @@
 
 #include <array>
 #include <deque>
-#include <map>
 #include <memory>
 #include <vector>
 
+#include "core/flat_hash.hpp"
 #include "core/matching.hpp"
 #include "core/rpi.hpp"
 #include "sim/process.hpp"
@@ -96,9 +96,11 @@ class TcpRpi : public Rpi {
   std::vector<Peer> peers_;
   MatchEngine match_;
   // Rendezvous state: long sends awaiting ACK / long recvs awaiting body.
-  std::map<std::pair<int, std::uint32_t>, RpiRequest*> pending_long_send_;
-  std::map<std::pair<int, std::uint32_t>, RpiRequest*> pending_long_recv_;
-  std::map<std::pair<int, std::uint32_t>, RpiRequest*> pending_ssend_;
+  // Probed point-wise per message, so flat hash tables replace the old
+  // node-based maps without affecting any ordering.
+  PeerSeqMap<RpiRequest*> pending_long_send_;
+  PeerSeqMap<RpiRequest*> pending_long_recv_;
+  PeerSeqMap<RpiRequest*> pending_ssend_;
   std::vector<std::uint32_t> next_seq_;  // per peer
 
   sim::Process* proc_ = nullptr;          // rank process (set at init)

@@ -141,8 +141,16 @@ class Buffer {
   static constexpr std::size_t kPoolCap = 1024;
 
   static std::vector<Block*>& pool_() {
-    static thread_local std::vector<Block*> pool;
-    return pool;
+    // Owns the recycled blocks so thread exit frees them (keeps the pool
+    // invisible to leak checkers).
+    struct Pool {
+      std::vector<Block*> blocks;
+      ~Pool() {
+        for (Block* b : blocks) delete b;
+      }
+    };
+    static thread_local Pool pool;
+    return pool.blocks;
   }
 
   static Block* acquire_() {

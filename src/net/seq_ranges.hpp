@@ -1,0 +1,275 @@
+// Run-length containers for 32-bit serial-number spaces (RFC 1982), shared
+// by the transport scoreboards: the SCTP receiver TSN map, the TCP SACK
+// scoreboard, and the sender retransmission queues.
+//
+// Both containers assume the values they hold span well under 2^31 of
+// serial space at any instant (true for any windowed transport: the flight
+// is bounded by the socket buffer), so serial comparison is a total order
+// over the live contents even as the absolute values wrap through 2^32.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/bytes.hpp"
+
+namespace sctpmpi::net {
+
+/// Sorted set of 32-bit serial-space values stored as disjoint,
+/// non-adjacent half-open runs [lo, hi). Dense workloads (a receiver under
+/// low loss, a SACK scoreboard in recovery) collapse to a handful of runs,
+/// so every operation that used to walk a per-value node container touches
+/// a few cache lines instead.
+class SeqRuns {
+ public:
+  struct Run {
+    std::uint32_t lo = 0;  // first value in the run
+    std::uint32_t hi = 0;  // one past the last value
+    bool operator==(const Run&) const = default;
+  };
+
+  bool empty() const { return head_ == runs_.size(); }
+  std::size_t run_count() const { return runs_.size() - head_; }
+  /// i-th run in ascending serial order.
+  const Run& run(std::size_t i) const { return runs_[head_ + i]; }
+  const Run& front() const { return runs_[head_]; }
+  const Run& back() const { return runs_.back(); }
+  /// Total number of values covered by all runs.
+  std::uint64_t value_count() const { return count_; }
+
+  void clear() {
+    runs_.clear();
+    head_ = 0;
+    count_ = 0;
+  }
+
+  /// Drops the first run (used when a cumulative ack point swallows it).
+  void pop_front() {
+    assert(!empty());
+    count_ -= width_(runs_[head_]);
+    ++head_;
+    maybe_compact_();
+  }
+
+  bool contains(std::uint32_t v) const {
+    const Run* r = find_covering_(v);
+    return r != nullptr;
+  }
+
+  /// True when [lo, hi) is entirely covered. Runs are maximal, so coverage
+  /// of a contiguous range implies a single covering run.
+  bool contains_range(std::uint32_t lo, std::uint32_t hi) const {
+    const Run* r = find_covering_(lo);
+    return r != nullptr && seq_leq(hi, r->hi);
+  }
+
+  /// Inserts [lo, hi), merging into neighbouring runs. Returns the number
+  /// of newly covered values (0 = range was already fully present).
+  std::uint32_t insert(std::uint32_t lo, std::uint32_t hi) {
+    assert(seq_lt(lo, hi));
+    // Fast paths: empty set, extend-or-append at the tail (the in-order
+    // arrival pattern that dominates every transport workload).
+    if (empty() || seq_gt(lo, runs_.back().hi)) {
+      runs_.push_back(Run{lo, hi});
+      count_ += hi - lo;
+      return hi - lo;
+    }
+    if (lo == runs_.back().hi) {
+      runs_.back().hi = hi;
+      count_ += hi - lo;
+      return hi - lo;
+    }
+    // First run that can touch [lo, hi): lowest run with run.hi >= lo.
+    std::size_t i = head_;
+    {
+      std::size_t n = runs_.size() - head_;
+      while (n > 0) {  // branchless-friendly binary search on run.hi
+        const std::size_t half = n / 2;
+        if (seq_lt(runs_[i + half].hi, lo)) {
+          i += half + 1;
+          n -= half + 1;
+        } else {
+          n = half;
+        }
+      }
+    }
+    if (i == runs_.size() || seq_lt(hi, runs_[i].lo)) {
+      // Disjoint, non-adjacent: insert a fresh run before i.
+      runs_.insert(runs_.begin() + static_cast<std::ptrdiff_t>(i),
+                   Run{lo, hi});
+      count_ += hi - lo;
+      return hi - lo;
+    }
+    // Merge [lo, hi) with runs_[i..j): all runs with run.lo <= hi.
+    std::uint32_t covered = 0;  // values of [lo,hi) already present
+    Run merged{seq_lt(runs_[i].lo, lo) ? runs_[i].lo : lo,
+               seq_gt(runs_[i].hi, hi) ? runs_[i].hi : hi};
+    std::size_t j = i;
+    while (j < runs_.size() && seq_leq(runs_[j].lo, hi)) {
+      const Run& r = runs_[j];
+      // Overlap of r with [lo, hi).
+      const std::uint32_t olo = seq_gt(r.lo, lo) ? r.lo : lo;
+      const std::uint32_t ohi = seq_lt(r.hi, hi) ? r.hi : hi;
+      if (seq_lt(olo, ohi)) covered += ohi - olo;
+      if (seq_gt(r.hi, merged.hi)) merged.hi = r.hi;
+      ++j;
+    }
+    const std::uint32_t added = (hi - lo) - covered;
+    runs_[i] = merged;
+    runs_.erase(runs_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                runs_.begin() + static_cast<std::ptrdiff_t>(j));
+    count_ += added;
+    return added;
+  }
+
+  /// Inserts a single value; returns false when it was already present.
+  bool insert_value(std::uint32_t v) { return insert(v, v + 1) != 0; }
+
+  /// Removes every value serially below `bound` (runs are dropped whole or
+  /// trimmed at the left edge).
+  void erase_below(std::uint32_t bound) {
+    while (!empty() && seq_leq(runs_[head_].hi, bound)) pop_front();
+    if (!empty() && seq_lt(runs_[head_].lo, bound)) {
+      count_ -= bound - runs_[head_].lo;
+      runs_[head_].lo = bound;
+    }
+  }
+
+  /// First value >= `from` (serially) that is not covered, or nullopt when
+  /// `from` lies at/beyond the end of the last run. Mirrors the TCP
+  /// retransmission "next hole" scan: holes past the highest SACKed byte
+  /// are unknown, not missing.
+  std::optional<std::uint32_t> next_hole(std::uint32_t from) const {
+    std::uint32_t probe = from;
+    for (std::size_t i = head_; i < runs_.size(); ++i) {
+      if (seq_lt(probe, runs_[i].lo)) return probe;
+      if (seq_lt(probe, runs_[i].hi)) probe = runs_[i].hi;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  static std::uint32_t width_(const Run& r) { return r.hi - r.lo; }
+
+  const Run* find_covering_(std::uint32_t v) const {
+    // Lowest run with run.hi > v, then check it actually starts at/below v.
+    std::size_t i = head_;
+    std::size_t n = runs_.size() - head_;
+    while (n > 0) {
+      const std::size_t half = n / 2;
+      if (seq_leq(runs_[i + half].hi, v)) {
+        i += half + 1;
+        n -= half + 1;
+      } else {
+        n = half;
+      }
+    }
+    if (i == runs_.size() || seq_gt(runs_[i].lo, v)) return nullptr;
+    return &runs_[i];
+  }
+
+  void maybe_compact_() {
+    if (head_ >= 32 && head_ * 2 >= runs_.size()) {
+      runs_.erase(runs_.begin(),
+                  runs_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  std::vector<Run> runs_;  // live runs are [head_, runs_.size())
+  std::size_t head_ = 0;   // amortizes pop_front without a memmove per pop
+  std::uint64_t count_ = 0;
+};
+
+/// Circular queue of records indexed by a dense 32-bit serial key: element
+/// i holds key base+i. This is the shape of a sender's retransmission
+/// scoreboard — TSNs/sequence numbers are assigned consecutively and only
+/// ever retired from the front (cumulative ack), so lookup by key is one
+/// subtraction and a bounds check, and scans are contiguous memory.
+template <typename T>
+class SeqIndexedQueue {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  /// Key of the front element (unspecified when empty).
+  std::uint32_t base() const { return base_; }
+  /// Key of element i.
+  std::uint32_t key_at(std::size_t i) const {
+    return base_ + static_cast<std::uint32_t>(i);
+  }
+
+  T& front() { return slot_(0); }
+  const T& front() const { return slot_(0); }
+  T& at_offset(std::size_t i) {
+    assert(i < size_);
+    return slot_(i);
+  }
+  const T& at_offset(std::size_t i) const {
+    assert(i < size_);
+    return slot_(i);
+  }
+
+  /// Offset of `key` from the base, or -1 when outside [base, base+size).
+  std::ptrdiff_t index_of(std::uint32_t key) const {
+    const std::int32_t d = seq_diff(key, base_);
+    if (d < 0 || static_cast<std::size_t>(d) >= size_) return -1;
+    return d;
+  }
+
+  T* find(std::uint32_t key) {
+    const std::ptrdiff_t i = index_of(key);
+    return i < 0 ? nullptr : &slot_(static_cast<std::size_t>(i));
+  }
+
+  /// Appends the record for `key`. Keys must be dense: when non-empty,
+  /// `key` must equal base+size (the next serial number).
+  void push_back(std::uint32_t key, T&& v) {
+    if (size_ == slots_.size()) grow_();
+    if (size_ == 0) {
+      base_ = key;
+      head_ = 0;
+    } else {
+      assert(key == base_ + static_cast<std::uint32_t>(size_) &&
+             "SeqIndexedQueue keys must be consecutive");
+    }
+    slots_[wrap_(head_ + size_)] = std::move(v);
+    ++size_;
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    slots_[head_] = T{};  // release payload memory eagerly
+    head_ = wrap_(head_ + 1);
+    ++base_;
+    --size_;
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) slot_(i) = T{};
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t wrap_(std::size_t i) const { return i & (slots_.size() - 1); }
+  T& slot_(std::size_t i) { return slots_[wrap_(head_ + i)]; }
+  const T& slot_(std::size_t i) const { return slots_[wrap_(head_ + i)]; }
+
+  void grow_() {
+    const std::size_t cap = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) next[i] = std::move(slot_(i));
+    slots_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;  // power-of-2 capacity ring
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint32_t base_ = 0;
+};
+
+}  // namespace sctpmpi::net

@@ -302,7 +302,8 @@ void Association::try_transmit_() {
   while (burst < cfg_.max_burst) {
     // Retransmissions go first, to their designated path.
     std::size_t rtx_path = SIZE_MAX;
-    for (const auto& [tsn, oc] : inflight_) {
+    for (std::size_t i = 0; i < inflight_.size(); ++i) {
+      const OutChunk& oc = inflight_.at_offset(i);
       if (oc.marked_rtx) {
         rtx_path = oc.rtx_path != SIZE_MAX ? oc.rtx_path : oc.path;
         break;
@@ -368,7 +369,8 @@ bool Association::build_and_send_packet_(std::size_t path_idx,
 
   // Bundle retransmissions destined for this path.
   bool rtx_added = false;
-  for (auto& [tsn, oc] : inflight_) {
+  for (std::size_t i = 0; i < inflight_.size(); ++i) {
+    OutChunk& oc = inflight_.at_offset(i);
     if (!oc.marked_rtx) continue;
     const std::size_t dest =
         oc.rtx_path != SIZE_MAX ? oc.rtx_path : oc.path;
@@ -419,7 +421,7 @@ bool Association::build_and_send_packet_(std::size_t path_idx,
         path.rtt_start = sim_.now();
       }
       pkt.chunks.push_back(std::move(tc));
-      inflight_.emplace(oc.data.tsn, std::move(oc));
+      inflight_.push_back(oc.data.tsn, std::move(oc));
       sendq_.pop_front();
       ++stats_.data_chunks_sent;
       has_data = true;
@@ -479,9 +481,8 @@ void Association::handle_sack_(const SackChunk& sack) {
 
   // Cumulative acknowledgment: everything <= cum is done.
   while (!inflight_.empty()) {
-    auto it = inflight_.begin();
-    if (seq_gt(it->first, cum)) break;
-    OutChunk& oc = it->second;
+    if (seq_gt(inflight_.base(), cum)) break;
+    OutChunk& oc = inflight_.front();
     const std::size_t size = oc.data.payload.size();
     if (!oc.sacked && !oc.marked_rtx) {
       paths_[oc.path].flight -= std::min(paths_[oc.path].flight, size);
@@ -501,7 +502,7 @@ void Association::handle_sack_(const SackChunk& sack) {
     }
     sndbuf_used_ -= std::min(sndbuf_used_, size);
     cum_advanced = true;
-    inflight_.erase(it);
+    inflight_.pop_front();
   }
 
   // Gap-ack blocks: mark chunks the peer holds above the cumulative point.
@@ -510,9 +511,12 @@ void Association::handle_sack_(const SackChunk& sack) {
     const std::uint32_t lo = cum + g.start;
     const std::uint32_t hi = cum + g.end;
     if (seq_gt(hi, highest_sacked)) highest_sacked = hi;
-    for (auto it = inflight_.lower_bound(lo);
-         it != inflight_.end() && seq_leq(it->first, hi); ++it) {
-      OutChunk& oc = it->second;
+    std::ptrdiff_t start =
+        inflight_.empty() ? 0 : net::seq_diff(lo, inflight_.base());
+    if (start < 0) start = 0;  // block begins below the oldest outstanding
+    for (std::size_t i = static_cast<std::size_t>(start);
+         i < inflight_.size() && seq_leq(inflight_.key_at(i), hi); ++i) {
+      OutChunk& oc = inflight_.at_offset(i);
       if (oc.sacked) continue;
       oc.sacked = true;
       if (!oc.marked_rtx) {
@@ -536,8 +540,9 @@ void Association::handle_sack_(const SackChunk& sack) {
   // New-Reno variant: all missing chunks are marked at once).
   bool newly_marked = false;
   std::set<std::size_t> cut_paths;
-  for (auto& [tsn, oc] : inflight_) {
-    if (!seq_lt(tsn, highest_sacked)) break;
+  for (std::size_t i = 0; i < inflight_.size(); ++i) {
+    if (!seq_lt(inflight_.key_at(i), highest_sacked)) break;
+    OutChunk& oc = inflight_.at_offset(i);
     if (oc.sacked || oc.marked_rtx) continue;
     // RFC 2960 §7.2.4: fast-retransmit a TSN at most once; a chunk lost
     // again waits for T3 (the era behaviour the paper measured). With
@@ -578,8 +583,8 @@ void Association::handle_sack_(const SackChunk& sack) {
     // New-Reno SCTP (paper §4.1.1, citing Caro et al.): start the next
     // recovery epoch with clean missing-report counters so chunks lost
     // again can be fast-retransmitted instead of stalling for T3.
-    for (auto& [tsn, oc] : inflight_) {
-      oc.missing_reports = 0;
+    for (std::size_t i = 0; i < inflight_.size(); ++i) {
+      inflight_.at_offset(i).missing_reports = 0;
     }
   }
 
@@ -672,7 +677,8 @@ void Association::on_t3_timeout_(std::size_t path_idx) {
   fast_recovery_ = false;
 
   const std::size_t rtx_dest = pick_rtx_path_(path_idx);
-  for (auto& [tsn, oc] : inflight_) {
+  for (std::size_t i = 0; i < inflight_.size(); ++i) {
+    OutChunk& oc = inflight_.at_offset(i);
     if (oc.path != path_idx || oc.sacked || oc.marked_rtx) continue;
     oc.marked_rtx = true;
     oc.rtx_path = rtx_dest;

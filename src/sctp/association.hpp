@@ -20,6 +20,7 @@
 
 #include "net/address.hpp"
 #include "net/bytes.hpp"
+#include "net/seq_ranges.hpp"
 #include "sctp/chunk.hpp"
 #include "sctp/config.hpp"
 #include "sctp/streams.hpp"
@@ -234,7 +235,11 @@ class Association {
   std::uint32_t next_tsn_ = 0;
   std::vector<OutStream> out_streams_;
   std::deque<OutChunk> sendq_;  // queued, never transmitted
-  std::map<std::uint32_t, OutChunk, TsnLess> inflight_;
+  // Retransmission scoreboard indexed by TSN offset from the oldest
+  // outstanding TSN. TSNs are assigned densely and retired only from the
+  // front (cumulative ack), so the ring gives O(1) lookup and contiguous
+  // scans where the std::map it replaced walked nodes.
+  net::SeqIndexedQueue<OutChunk> inflight_;
   std::size_t sndbuf_used_ = 0;
   std::size_t outstanding_bytes_ = 0;  // inflight payload not yet sacked
   std::uint32_t peer_arwnd_ = 0;

@@ -186,7 +186,13 @@ class SctpStack : public net::ProtocolHandler {
     } while (t == 0);
     return t;
   }
-  std::uint32_t random_tsn() { return static_cast<std::uint32_t>(rng_.next()); }
+  std::uint32_t random_tsn() {
+    if (forced_tsn_) return *forced_tsn_;
+    return static_cast<std::uint32_t>(rng_.next());
+  }
+  /// Test hook: pins every initial TSN this stack hands out, so tests can
+  /// place an association's TSN space right below the 2^32 wrap.
+  void force_initial_tsn(std::uint32_t tsn) { forced_tsn_ = tsn; }
 
   /// Keyed MAC over cookie bytes (signature field zeroed during signing).
   std::uint64_t sign_cookie(std::span<const std::byte> cookie_bytes) const;
@@ -201,6 +207,7 @@ class SctpStack : public net::ProtocolHandler {
   SctpConfig cfg_;
   sim::Rng rng_;
   std::uint64_t secret_;
+  std::optional<std::uint32_t> forced_tsn_;
   std::vector<std::unique_ptr<SctpSocket>> sockets_;
   std::map<std::uint16_t, SctpSocket*> by_port_;
   std::uint16_t next_ephemeral_ = 52000;

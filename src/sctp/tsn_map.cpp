@@ -5,22 +5,22 @@ namespace sctpmpi::sctp {
 bool TsnMap::record(std::uint32_t tsn) {
   using net::seq_leq;
   if (seq_leq(tsn, cum_tsn_)) {
-    duplicates_.push_back(tsn);
+    note_duplicate_(tsn);
     return false;
   }
   if (tsn == cum_tsn_ + 1) {
     cum_tsn_ = tsn;
-    // Advance across any now-contiguous pending TSNs.
-    auto it = pending_.begin();
-    while (it != pending_.end() && *it == cum_tsn_ + 1) {
-      cum_tsn_ = *it;
-      it = pending_.erase(it);
+    // Runs are disjoint and non-adjacent, so at most the first run can now
+    // touch the cumulative point; absorbing it swallows every TSN the old
+    // per-element walk would have merged.
+    if (!pending_.empty() && pending_.front().lo == cum_tsn_ + 1) {
+      cum_tsn_ = pending_.front().hi - 1;
+      pending_.pop_front();
     }
     return true;
   }
-  auto [_, inserted] = pending_.insert(tsn);
-  if (!inserted) {
-    duplicates_.push_back(tsn);
+  if (!pending_.insert_value(tsn)) {
+    note_duplicate_(tsn);
     return false;
   }
   return true;
@@ -28,24 +28,11 @@ bool TsnMap::record(std::uint32_t tsn) {
 
 std::vector<GapBlock> TsnMap::gap_blocks() const {
   std::vector<GapBlock> blocks;
-  std::uint32_t run_start = 0, run_end = 0;
-  bool in_run = false;
-  for (std::uint32_t tsn : pending_) {
-    if (in_run && tsn == run_end + 1) {
-      run_end = tsn;
-      continue;
-    }
-    if (in_run) {
-      blocks.push_back(GapBlock{
-          static_cast<std::uint16_t>(run_start - cum_tsn_),
-          static_cast<std::uint16_t>(run_end - cum_tsn_)});
-    }
-    run_start = run_end = tsn;
-    in_run = true;
-  }
-  if (in_run) {
-    blocks.push_back(GapBlock{static_cast<std::uint16_t>(run_start - cum_tsn_),
-                              static_cast<std::uint16_t>(run_end - cum_tsn_)});
+  blocks.reserve(pending_.run_count());
+  for (std::size_t i = 0; i < pending_.run_count(); ++i) {
+    const net::SeqRuns::Run& r = pending_.run(i);
+    blocks.push_back(GapBlock{static_cast<std::uint16_t>(r.lo - cum_tsn_),
+                              static_cast<std::uint16_t>(r.hi - 1 - cum_tsn_)});
   }
   return blocks;
 }

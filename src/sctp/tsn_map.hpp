@@ -1,13 +1,20 @@
 // Receiver-side TSN accounting: cumulative TSN ack point, gap-ack blocks
 // (unlimited — a key SCTP advantage over TCP's 3-block SACK option, paper
 // §4.1.1), and duplicate detection.
+//
+// Out-of-order TSNs are kept as run-length ranges (net::SeqRuns) rather
+// than a per-TSN std::set: record() is an O(1) amortized run extension on
+// the common in-order/tail-append paths, gap_blocks() copies the runs
+// directly instead of re-deriving them from a per-SACK scan of every
+// pending TSN, and a filled gap advances the cumulative point by popping
+// whole runs.
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <vector>
 
 #include "net/bytes.hpp"
+#include "net/seq_ranges.hpp"
 #include "sctp/chunk.hpp"
 
 namespace sctpmpi::sctp {
@@ -21,6 +28,14 @@ struct TsnLess {
 
 class TsnMap {
  public:
+  /// Duplicate TSNs held for the next SACK's dup list. RFC 2960 reports
+  /// duplicates best-effort, so the list is bounded by what a single
+  /// PMTU-sized SACK chunk could carry (12-byte header + 4 bytes per
+  /// entry inside 1452 bytes of IP payload, leaving room for gap blocks);
+  /// anything beyond that — only reachable under a persistent duplicator
+  /// fault — is dropped rather than buffered without limit.
+  static constexpr std::size_t kMaxReportedDups = 256;
+
   /// `initial_tsn` is the first TSN expected from the peer.
   explicit TsnMap(std::uint32_t initial_tsn) : cum_tsn_(initial_tsn - 1) {}
 
@@ -41,11 +56,17 @@ class TsnMap {
   /// Drains the recorded duplicate TSNs (reported once, in the next SACK).
   std::vector<std::uint32_t> take_duplicates();
 
-  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t pending_count() const {
+    return static_cast<std::size_t>(pending_.value_count());
+  }
 
  private:
-  std::uint32_t cum_tsn_;                    // last in-order TSN received
-  std::set<std::uint32_t, TsnLess> pending_; // out-of-order TSNs above cum
+  void note_duplicate_(std::uint32_t tsn) {
+    if (duplicates_.size() < kMaxReportedDups) duplicates_.push_back(tsn);
+  }
+
+  std::uint32_t cum_tsn_;   // last in-order TSN received
+  net::SeqRuns pending_;    // out-of-order TSN runs above cum
   std::vector<std::uint32_t> duplicates_;
 };
 

@@ -302,14 +302,14 @@ std::vector<SackBlock> TcpSocket::build_sack_blocks_() const {
   // Report the most recently arrived out-of-order ranges, coalesced,
   // limited to the era-typical option space (3 blocks).
   std::vector<SackBlock> blocks;
-  for (auto it = ooo_.begin(); it != ooo_.end(); ++it) {
-    const std::uint32_t left = it->first;
-    const std::uint32_t right =
-        left + static_cast<std::uint32_t>(it->second.size());
-    if (!blocks.empty() && blocks.back().right == left) {
-      blocks.back().right = right;
+  blocks.reserve(ooo_.size());
+  for (const OooSegment& s : ooo_) {
+    // Adjacent ranges are merged at insert time; segments that overlap a
+    // neighbour (window-trimmed tails) still coalesce here.
+    if (!blocks.empty() && blocks.back().right == s.seq) {
+      blocks.back().right = s.end();
     } else {
-      blocks.push_back({left, right});
+      blocks.push_back({s.seq, s.end()});
     }
   }
   if (blocks.size() > cfg_.max_sack_blocks) {
@@ -456,9 +456,8 @@ void TcpSocket::process_ack_(const Segment& seg) {
     }
     rtx_shift_ = 0;
 
-    // Drop now-cumulatively-acked scoreboard entries.
-    std::erase_if(scoreboard_,
-                  [&](const SackBlock& b) { return seq_leq(b.right, snd_una_); });
+    // Drop now-cumulatively-acked scoreboard ranges.
+    scoreboard_.erase_below(snd_una_);
 
     on_new_ack_(acked, was_in_recovery);
 
@@ -551,49 +550,18 @@ void TcpSocket::on_dupack_(const Segment& seg) {
 void TcpSocket::merge_peer_sacks_(const std::vector<SackBlock>& blocks) {
   for (const auto& b : blocks) {
     if (seq_leq(b.right, snd_una_)) continue;
-    scoreboard_.push_back(b);
+    scoreboard_.insert(b.left, b.right);
   }
-  // Normalize: sort by left edge and coalesce.
-  std::sort(scoreboard_.begin(), scoreboard_.end(),
-            [](const SackBlock& a, const SackBlock& b) {
-              return seq_lt(a.left, b.left);
-            });
-  std::vector<SackBlock> merged;
-  for (const auto& b : scoreboard_) {
-    if (!merged.empty() && seq_geq(merged.back().right, b.left)) {
-      if (seq_lt(merged.back().right, b.right)) merged.back().right = b.right;
-    } else {
-      merged.push_back(b);
-    }
-  }
-  scoreboard_ = std::move(merged);
 }
 
 bool TcpSocket::range_sacked_(std::uint32_t seq, std::size_t len) const {
-  for (const auto& b : scoreboard_) {
-    if (seq_leq(b.left, seq) &&
-        seq_geq(b.right, seq + static_cast<std::uint32_t>(len)))
-      return true;
-  }
-  return false;
+  return scoreboard_.contains_range(seq,
+                                    seq + static_cast<std::uint32_t>(len));
 }
 
 std::optional<std::uint32_t> TcpSocket::next_rtx_hole_() const {
   if (scoreboard_.empty()) return snd_una_;
-  std::uint32_t probe = snd_una_;
-  const std::uint32_t high = scoreboard_.back().right;
-  while (seq_lt(probe, high)) {
-    bool covered = false;
-    for (const auto& b : scoreboard_) {
-      if (seq_leq(b.left, probe) && seq_lt(probe, b.right)) {
-        probe = b.right;
-        covered = true;
-        break;
-      }
-    }
-    if (!covered) return probe;
-  }
-  return std::nullopt;
+  return scoreboard_.next_hole(snd_una_);
 }
 
 void TcpSocket::retransmit_one_(std::uint32_t seq) {
@@ -619,6 +587,49 @@ void TcpSocket::retransmit_one_(std::uint32_t seq) {
   rtt_sampling_ = false;  // Karn: never time a retransmitted segment
 }
 
+void TcpSocket::insert_ooo_(std::uint32_t seq, std::span<const std::byte> data) {
+  if (data.empty()) return;
+  std::uint32_t end = seq + static_cast<std::uint32_t>(data.size());
+  auto it = std::lower_bound(
+      ooo_.begin(), ooo_.end(), seq,
+      [](const OooSegment& s, std::uint32_t v) { return seq_lt(s.seq, v); });
+  if (it != ooo_.begin()) {
+    const OooSegment& prev = *(it - 1);
+    if (seq_leq(end, prev.end())) return;  // fully buffered already
+    if (seq_lt(seq, prev.end())) {
+      // Keep only the new tail beyond the predecessor.
+      data = data.subspan(static_cast<std::size_t>(seq_diff(prev.end(), seq)));
+      seq = prev.end();
+    }
+  }
+  if (it != ooo_.end() && seq_lt(it->seq, end)) {
+    // Drop what the successor already buffers (a retransmission re-sends a
+    // previously sent range, so its tail never extends past the successor).
+    data = data.subspan(0, static_cast<std::size_t>(seq_diff(it->seq, seq)));
+    end = it->seq;
+  }
+  if (data.empty()) return;
+  if (it != ooo_.begin() && (it - 1)->end() == seq) {
+    OooSegment& prev = *(it - 1);
+    prev.data.insert(prev.data.end(), data.begin(), data.end());
+    ooo_bytes_ += data.size();
+    if (it != ooo_.end() && it->seq == end) {
+      // This insert closed the gap: fold the successor in too.
+      prev.data.insert(prev.data.end(), it->data.begin(), it->data.end());
+      ooo_.erase(it);
+    }
+    return;
+  }
+  if (it != ooo_.end() && it->seq == end) {
+    it->data.insert(it->data.begin(), data.begin(), data.end());
+    it->seq = seq;
+    ooo_bytes_ += data.size();
+    return;
+  }
+  ooo_.insert(it, OooSegment{seq, {data.begin(), data.end()}});
+  ooo_bytes_ += data.size();
+}
+
 void TcpSocket::process_payload_(Segment& seg) {
   std::uint32_t seq = seg.seq;
   std::span<const std::byte> data = seg.payload;
@@ -642,15 +653,15 @@ void TcpSocket::process_payload_(Segment& seg) {
       rcv_nxt_ += static_cast<std::uint32_t>(take);
       // Pull any now-contiguous out-of-order data across.
       while (!ooo_.empty()) {
-        auto it = ooo_.begin();
-        if (seq_gt(it->first, rcv_nxt_)) break;
-        std::span<const std::byte> seg_data = it->second;
-        if (seq_lt(it->first, rcv_nxt_)) {
+        OooSegment& front = ooo_.front();
+        if (seq_gt(front.seq, rcv_nxt_)) break;
+        std::span<const std::byte> seg_data = front.data;
+        if (seq_lt(front.seq, rcv_nxt_)) {
           const auto dup =
-              static_cast<std::size_t>(seq_diff(rcv_nxt_, it->first));
+              static_cast<std::size_t>(seq_diff(rcv_nxt_, front.seq));
           if (dup >= seg_data.size()) {
-            ooo_bytes_ -= it->second.size();
-            ooo_.erase(it);
+            ooo_bytes_ -= front.data.size();
+            ooo_.erase(ooo_.begin());
             continue;
           }
           seg_data = seg_data.subspan(dup);
@@ -659,8 +670,8 @@ void TcpSocket::process_payload_(Segment& seg) {
         if (t2 < seg_data.size()) break;  // no room; leave for later
         recv_q_.write(seg_data);
         rcv_nxt_ += static_cast<std::uint32_t>(t2);
-        ooo_bytes_ -= it->second.size();
-        ooo_.erase(it);
+        ooo_bytes_ -= front.data.size();
+        ooo_.erase(ooo_.begin());
       }
     }
     if (!ooo_.empty()) {
@@ -674,15 +685,9 @@ void TcpSocket::process_payload_(Segment& seg) {
     // duplicate ACK carrying SACK blocks.
     const std::size_t wnd = recv_q_.free_space();
     const auto offset = static_cast<std::size_t>(seq_diff(seq, rcv_nxt_));
-    if (offset < wnd && ooo_.find(seq) == ooo_.end()) {
+    if (offset < wnd) {
       const std::size_t take = std::min(data.size(), wnd - offset);
-      if (take > 0) {
-        ooo_.emplace(seq, std::vector<std::byte>(data.begin(),
-                                                 data.begin() +
-                                                     static_cast<std::ptrdiff_t>(
-                                                         take)));
-        ooo_bytes_ += take;
-      }
+      if (take > 0) insert_ooo_(seq, data.subspan(0, take));
     }
     ack_now_();
   }

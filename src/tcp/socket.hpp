@@ -21,6 +21,7 @@
 #include "net/host.hpp"
 #include "net/packet.hpp"
 #include "net/ring_buffer.hpp"
+#include "net/seq_ranges.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/config.hpp"
@@ -184,7 +185,7 @@ class TcpSocket {
   unsigned dupacks_ = 0;
   bool fast_recovery_ = false;
   std::uint32_t recover_ = 0;
-  std::vector<SackBlock> scoreboard_;  // peer-reported SACKed ranges
+  net::SeqRuns scoreboard_;  // peer-reported SACKed ranges (run-length)
   bool peer_sack_ok_ = false;
 
   // RTT estimation (Karn's algorithm: one unretransmitted sample at a time).
@@ -200,7 +201,19 @@ class TcpSocket {
   // Receive side.
   net::RingBuffer recv_q_;
   std::uint32_t rcv_nxt_ = 0;
-  std::map<std::uint32_t, std::vector<std::byte>> ooo_;  // out-of-order
+  /// One buffered out-of-order byte range.
+  struct OooSegment {
+    std::uint32_t seq = 0;
+    std::vector<std::byte> data;
+    std::uint32_t end() const {
+      return seq + static_cast<std::uint32_t>(data.size());
+    }
+  };
+  void insert_ooo_(std::uint32_t seq, std::span<const std::byte> data);
+  // Out-of-order reassembly: segments kept sorted in serial order with
+  // exactly-adjacent ranges merged on insert, so SACK blocks read straight
+  // off the list and the pull-across on a filled hole moves whole ranges.
+  std::vector<OooSegment> ooo_;
   std::size_t ooo_bytes_ = 0;
   bool fin_received_ = false;
   unsigned segs_since_ack_ = 0;

@@ -1,0 +1,208 @@
+// Unit tests for the run-length serial-space containers, with particular
+// attention to behaviour across the 2^32 wrap: every transport scoreboard
+// built on these must keep working when TSNs/sequence numbers roll over.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+
+#include "net/seq_ranges.hpp"
+
+namespace sctpmpi::net {
+namespace {
+
+// ---- SeqRuns ---------------------------------------------------------------
+
+TEST(SeqRuns, InsertMergesAdjacentAndOverlapping) {
+  SeqRuns r;
+  EXPECT_EQ(r.insert(10, 20), 10u);
+  EXPECT_EQ(r.insert(30, 40), 10u);
+  EXPECT_EQ(r.run_count(), 2u);
+  // Adjacent on the left run's right edge: merge, no new gap.
+  EXPECT_EQ(r.insert(20, 25), 5u);
+  EXPECT_EQ(r.run_count(), 2u);
+  EXPECT_EQ(r.front(), (SeqRuns::Run{10, 25}));
+  // Bridge the gap: one run remains.
+  EXPECT_EQ(r.insert(22, 32), 5u);
+  EXPECT_EQ(r.run_count(), 1u);
+  EXPECT_EQ(r.front(), (SeqRuns::Run{10, 40}));
+  EXPECT_EQ(r.value_count(), 30u);
+  // Fully covered insert adds nothing.
+  EXPECT_EQ(r.insert(12, 38), 0u);
+  EXPECT_EQ(r.value_count(), 30u);
+}
+
+TEST(SeqRuns, InsertValueReportsDuplicates) {
+  SeqRuns r;
+  EXPECT_TRUE(r.insert_value(100));
+  EXPECT_FALSE(r.insert_value(100));
+  EXPECT_TRUE(r.insert_value(102));
+  EXPECT_EQ(r.run_count(), 2u);
+  EXPECT_TRUE(r.insert_value(101));  // closes the gap
+  EXPECT_EQ(r.run_count(), 1u);
+  EXPECT_EQ(r.front(), (SeqRuns::Run{100, 103}));
+}
+
+TEST(SeqRuns, ContainsAndContainsRange) {
+  SeqRuns r;
+  r.insert(10, 20);
+  r.insert(30, 40);
+  EXPECT_TRUE(r.contains(10));
+  EXPECT_TRUE(r.contains(19));
+  EXPECT_FALSE(r.contains(20));
+  EXPECT_FALSE(r.contains(25));
+  EXPECT_TRUE(r.contains_range(12, 18));
+  EXPECT_TRUE(r.contains_range(10, 20));
+  EXPECT_FALSE(r.contains_range(15, 25));
+  EXPECT_FALSE(r.contains_range(15, 35));  // straddles the hole
+}
+
+TEST(SeqRuns, EraseBelowDropsAndTrims) {
+  SeqRuns r;
+  r.insert(10, 20);
+  r.insert(30, 40);
+  r.insert(50, 60);
+  r.erase_below(35);  // drops [10,20), trims [30,40) to [35,40)
+  EXPECT_EQ(r.run_count(), 2u);
+  EXPECT_EQ(r.front(), (SeqRuns::Run{35, 40}));
+  EXPECT_EQ(r.value_count(), 15u);
+  r.erase_below(100);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.value_count(), 0u);
+}
+
+TEST(SeqRuns, NextHoleMatchesRtxScanSemantics) {
+  SeqRuns r;
+  // Empty scoreboard: no information at all.
+  EXPECT_EQ(r.next_hole(100), std::nullopt);
+  r.insert(10, 20);
+  r.insert(30, 40);
+  EXPECT_EQ(r.next_hole(5), std::optional<std::uint32_t>(5));
+  EXPECT_EQ(r.next_hole(10), std::optional<std::uint32_t>(20));
+  EXPECT_EQ(r.next_hole(15), std::optional<std::uint32_t>(20));
+  EXPECT_EQ(r.next_hole(20), std::optional<std::uint32_t>(20));
+  EXPECT_EQ(r.next_hole(35), std::nullopt);  // beyond highest SACKed edge
+  EXPECT_EQ(r.next_hole(40), std::nullopt);
+}
+
+TEST(SeqRuns, PopFrontAfterManyRunsStaysConsistent) {
+  SeqRuns r;
+  // 100 disjoint runs, then retire from the front to exercise head_
+  // compaction.
+  for (std::uint32_t i = 0; i < 100; ++i) r.insert(i * 10, i * 10 + 4);
+  EXPECT_EQ(r.run_count(), 100u);
+  for (std::uint32_t i = 0; i < 80; ++i) r.pop_front();
+  EXPECT_EQ(r.run_count(), 20u);
+  EXPECT_EQ(r.front(), (SeqRuns::Run{800, 804}));
+  EXPECT_EQ(r.value_count(), 20u * 4u);
+  EXPECT_TRUE(r.contains(990));
+  EXPECT_FALSE(r.contains(790));
+}
+
+TEST(SeqRuns, WorksAcrossSerialWrap) {
+  SeqRuns r;
+  const std::uint32_t near_top = 0xFFFFFFF0u;
+  // A run that straddles the wrap: [0xFFFFFFF0, 0x10) in serial space.
+  EXPECT_EQ(r.insert(near_top, 0x10u), 0x20u);
+  EXPECT_EQ(r.run_count(), 1u);
+  EXPECT_TRUE(r.contains(0xFFFFFFFFu));
+  EXPECT_TRUE(r.contains(0u));
+  EXPECT_TRUE(r.contains(0xFu));
+  EXPECT_FALSE(r.contains(0x10u));
+  EXPECT_TRUE(r.contains_range(0xFFFFFFF8u, 0x8u));
+  // Merge across the wrap from both sides.
+  EXPECT_EQ(r.insert(0x10u, 0x20u), 0x10u);
+  EXPECT_EQ(r.run_count(), 1u);
+  EXPECT_EQ(r.front(), (SeqRuns::Run{near_top, 0x20u}));
+  // erase_below with a bound past the wrap point.
+  r.erase_below(0x8u);
+  EXPECT_EQ(r.front(), (SeqRuns::Run{0x8u, 0x20u}));
+  EXPECT_EQ(r.value_count(), 0x18u);
+}
+
+TEST(SeqRuns, NextHoleAcrossWrap) {
+  SeqRuns r;
+  r.insert(0xFFFFFFF0u, 0xFFFFFFF8u);
+  r.insert(0x4u, 0x8u);
+  EXPECT_EQ(r.next_hole(0xFFFFFFF0u),
+            std::optional<std::uint32_t>(0xFFFFFFF8u));
+  EXPECT_EQ(r.next_hole(0xFFFFFFFAu),
+            std::optional<std::uint32_t>(0xFFFFFFFAu));
+  EXPECT_EQ(r.next_hole(0x4u), std::nullopt);
+}
+
+TEST(SeqRuns, DuplicateDetectionAcrossWrap) {
+  SeqRuns r;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(r.insert_value(0xFFFFFFFCu + i));
+  }
+  EXPECT_EQ(r.run_count(), 1u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_FALSE(r.insert_value(0xFFFFFFFCu + i));
+  }
+  EXPECT_EQ(r.value_count(), 8u);
+}
+
+// ---- SeqIndexedQueue -------------------------------------------------------
+
+TEST(SeqIndexedQueue, PushPopFindBasics) {
+  SeqIndexedQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  for (std::uint32_t i = 0; i < 10; ++i) q.push_back(1000 + i, 100 + i);
+  EXPECT_EQ(q.size(), 10u);
+  EXPECT_EQ(q.base(), 1000u);
+  EXPECT_EQ(q.front(), 100);
+  EXPECT_EQ(q.at_offset(7), 107);
+  EXPECT_EQ(q.key_at(7), 1007u);
+  ASSERT_NE(q.find(1003), nullptr);
+  EXPECT_EQ(*q.find(1003), 103);
+  EXPECT_EQ(q.find(999), nullptr);
+  EXPECT_EQ(q.find(1010), nullptr);
+  q.pop_front();
+  EXPECT_EQ(q.base(), 1001u);
+  EXPECT_EQ(q.index_of(1001), 0);
+  EXPECT_EQ(q.index_of(1000), -1);
+}
+
+TEST(SeqIndexedQueue, GrowsPastInitialCapacityAcrossWrap) {
+  SeqIndexedQueue<std::uint32_t> q;
+  const std::uint32_t first = 0xFFFFFFB0u;  // wraps after 80 pushes
+  for (std::uint32_t i = 0; i < 300; ++i) q.push_back(first + i, i + 0u);
+  EXPECT_EQ(q.size(), 300u);
+  EXPECT_EQ(q.base(), first);
+  // Keys and values stay aligned through growth and the 2^32 wrap.
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(q.key_at(i), first + i);
+    EXPECT_EQ(q.at_offset(i), i);
+  }
+  ASSERT_NE(q.find(0x0u), nullptr);
+  EXPECT_EQ(*q.find(0x0u), 0x50u);
+  // Retire across the wrap point.
+  for (std::uint32_t i = 0; i < 150; ++i) q.pop_front();
+  EXPECT_EQ(q.base(), first + 150);
+  EXPECT_EQ(q.front(), 150u);
+  EXPECT_EQ(q.find(first + 10), nullptr);
+  for (std::uint32_t i = 0; i < 150; ++i) q.pop_front();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SeqIndexedQueue, ReusableAfterClearAndEmpty) {
+  SeqIndexedQueue<int> q;
+  q.push_back(5, 50);
+  q.push_back(6, 60);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  // A fresh base is adopted on the first push after clear.
+  q.push_back(0xFFFFFFFFu, 1);
+  q.push_back(0x0u, 2);
+  EXPECT_EQ(q.base(), 0xFFFFFFFFu);
+  EXPECT_EQ(q.at_offset(1), 2);
+  q.pop_front();
+  q.pop_front();
+  EXPECT_TRUE(q.empty());
+  q.push_back(42, 7);
+  EXPECT_EQ(q.base(), 42u);
+}
+
+}  // namespace
+}  // namespace sctpmpi::net

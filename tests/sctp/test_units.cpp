@@ -246,6 +246,43 @@ TEST(TsnMapTest, WorksAcrossSerialNumberWrap) {
   EXPECT_EQ(m.cum_tsn(), 1u);
 }
 
+TEST(TsnMapTest, GapBlocksStraddleSerialNumberWrap) {
+  TsnMap m(0xFFFFFFFC);
+  m.record(0xFFFFFFFC);
+  // A gap that sits across the wrap: TSNs ...FFFE, ...FFFF, 1, 2 pending.
+  m.record(0xFFFFFFFE);
+  m.record(0xFFFFFFFF);
+  m.record(1);
+  m.record(2);
+  EXPECT_EQ(m.cum_tsn(), 0xFFFFFFFCu);
+  auto gaps = m.gap_blocks();
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0], (GapBlock{2, 3}));  // offsets of ...FFFE..FFFF
+  EXPECT_EQ(gaps[1], (GapBlock{5, 6}));  // offsets of 1..2
+  EXPECT_EQ(m.pending_count(), 4u);
+  // Filling both holes advances the cumulative point past zero.
+  m.record(0xFFFFFFFD);
+  EXPECT_EQ(m.cum_tsn(), 0xFFFFFFFFu);
+  m.record(0);
+  EXPECT_EQ(m.cum_tsn(), 2u);
+  EXPECT_FALSE(m.has_gaps());
+}
+
+TEST(TsnMapTest, DuplicateListIsBoundedPerSack) {
+  TsnMap m(1);
+  m.record(1);
+  // A pathological duplicator replays the same TSN far beyond what one
+  // SACK chunk can report; the list must cap, not grow without bound.
+  for (std::size_t i = 0; i < 3 * TsnMap::kMaxReportedDups; ++i) {
+    EXPECT_FALSE(m.record(1));
+  }
+  auto dups = m.take_duplicates();
+  EXPECT_EQ(dups.size(), TsnMap::kMaxReportedDups);
+  // Draining resets the budget for the next SACK interval.
+  EXPECT_FALSE(m.record(1));
+  EXPECT_EQ(m.take_duplicates().size(), 1u);
+}
+
 // ---- InboundStreams ----------------------------------------------------------
 
 DataChunk make_chunk(std::uint32_t tsn, std::uint16_t sid, std::uint16_t ssn,
