@@ -4,14 +4,74 @@
 //
 //   $ ./examples/farm_demo            # 0% loss
 //   $ ./examples/farm_demo 0.02       # 2% Dummynet-style loss
+//   $ ./examples/farm_demo --kill     # failure-aware farm, one worker
+//                                     # blacked out mid-job: the manager
+//                                     # reassigns its tasks and finishes
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "apps/farm.hpp"
+#include "apps/farm_recovery.hpp"
 
 using namespace sctpmpi;
 
+namespace {
+
+// One worker goes dark mid-job; the control plane writes it off and the
+// manager redistributes its outstanding tasks to the survivors.
+int run_kill_demo() {
+  apps::FarmRecoveryParams fp;
+  fp.num_tasks = 200;
+  fp.task_size = 8 * 1024;
+  fp.work_per_task = 20 * sim::kMillisecond;
+
+  std::printf("Failure-aware farm: %d tasks x %zu bytes, 8 ranks, worker 3\n"
+              "blacked out permanently at t=0.3s\n\n",
+              fp.num_tasks, fp.task_size);
+
+  std::uint64_t expected = 0;
+  for (int t = 0; t < fp.num_tasks; ++t) {
+    expected += apps::farm_task_result(static_cast<std::uint32_t>(t));
+  }
+
+  bool ok = true;
+  for (auto tr : {core::TransportKind::kTcp, core::TransportKind::kSctp}) {
+    core::WorldConfig cfg;
+    cfg.ranks = 8;
+    cfg.transport = tr;
+    cfg.enable_lamd = true;
+    cfg.lamd.status_interval = 200 * sim::kMillisecond;
+    cfg.lamd.dead_after = sim::kSecond;
+    cfg.rpi.recovery.enabled = true;
+    cfg.rpi.recovery.passive_give_up = 5 * sim::kSecond;
+    cfg.tcp.max_rto = 2 * sim::kSecond;
+    cfg.tcp.max_data_retries = 3;
+    cfg.sctp.rto_max = 2 * sim::kSecond;
+    cfg.sctp.assoc_max_retrans = 3;
+    auto r = apps::run_farm_recovering(cfg, fp, [](core::World& w) {
+      w.cluster().uplink(3).faults().add_blackout(300 * sim::kMillisecond,
+                                                  sim::SimTime{1} << 62);
+      w.cluster().downlink(3).faults().add_blackout(300 * sim::kMillisecond,
+                                                    sim::SimTime{1} << 62);
+    });
+    const bool correct = !r.aborted && r.result_sum == expected;
+    ok = ok && correct;
+    std::printf("%-10s run time %8.3f s   %d/%d tasks, %d reassigned from "
+                "%d dead worker(s), results %s\n",
+                core::to_string(tr), r.total_runtime_seconds,
+                r.tasks_completed, fp.num_tasks, r.reassigned_tasks,
+                r.workers_failed, correct ? "correct" : "WRONG");
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--kill") == 0) {
+    return run_kill_demo();
+  }
   const double loss = argc > 1 ? std::atof(argv[1]) : 0.0;
 
   apps::FarmParams fp;

@@ -1,0 +1,257 @@
+#include "apps/farm_recovery.hpp"
+
+#include <cassert>
+#include <deque>
+#include <vector>
+
+namespace sctpmpi::apps {
+
+namespace {
+
+// Tag 0 carries worker->manager requests (1 byte) and results (8 bytes:
+// task id + check value), and manager->worker terminations (4 bytes).
+// Task payloads travel on tags 1..max_work_tags so distinct task types
+// keep landing on distinct SCTP streams, as in the stock farm.
+constexpr int kCtlTag = 0;
+
+void put_u32(std::byte* p, std::uint32_t v) {
+  p[0] = static_cast<std::byte>(v >> 24);
+  p[1] = static_cast<std::byte>(v >> 16);
+  p[2] = static_cast<std::byte>(v >> 8);
+  p[3] = static_cast<std::byte>(v);
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+// Task ownership markers (owner[] holds a worker rank otherwise).
+constexpr int kUnassigned = -1;
+constexpr int kDone = -2;
+
+}  // namespace
+
+// Request/reply accounting: every request a worker sends is answered with
+// exactly one message — a task or a termination. A worker keeps `window`
+// requests outstanding, issues a replacement request per task received,
+// and exits once `window` terminations arrived (all its requests are then
+// retired). The manager terminates a request only when every task is done,
+// so counts balance on both sides no matter how replies interleave.
+//
+// Failure rule: a worker declared dead has its unfinished tasks returned
+// to the pool; its pending request (if deferred) is dropped; it is no
+// longer required to retire. Schedules must not revive a worker after it
+// was written off — a revived "zombie" would keep requesting work after
+// the manager exited and hang the job (see DESIGN.md, failure semantics).
+FarmRecoveryResult run_farm_recovering(
+    core::WorldConfig cfg, FarmRecoveryParams params,
+    const std::function<void(core::World&)>& pre_run) {
+  assert(cfg.ranks >= 2);
+  assert(cfg.enable_lamd && "failure events need the control plane");
+  assert(params.task_size >= 4);
+  core::World world(cfg);
+  if (pre_run) pre_run(world);
+  FarmRecoveryResult result;
+
+  world.run([&](core::Mpi& mpi) {
+    const int nworkers = mpi.size() - 1;
+
+    if (mpi.rank() == 0) {
+      // ---- Manager ------------------------------------------------------
+      const int ntasks = params.num_tasks;
+      std::vector<int> owner(static_cast<std::size_t>(ntasks), kUnassigned);
+      std::deque<std::uint32_t> pool;
+      for (int t = 0; t < ntasks; ++t) {
+        pool.push_back(static_cast<std::uint32_t>(t));
+      }
+      std::vector<std::vector<std::uint32_t>> outstanding(
+          static_cast<std::size_t>(mpi.size()));
+      std::vector<bool> live(static_cast<std::size_t>(mpi.size()), true);
+      std::vector<int> terms_sent(static_cast<std::size_t>(mpi.size()), 0);
+      std::deque<int> waiting;  // workers whose request is deferred
+      int done_tasks = 0;
+      int alive_workers = nworkers;
+      int next_tag = 1;
+
+      std::vector<std::byte> task(params.task_size, std::byte{0x7});
+      std::byte term[4];
+      put_u32(term, 0xFFFFFFFFu);
+
+      // Worker->manager traffic in flight is bounded by the request window
+      // plus one result per outstanding task reply.
+      const int slots = nworkers * (2 * params.window + 2);
+      std::vector<std::vector<std::byte>> bufs(
+          static_cast<std::size_t>(slots), std::vector<std::byte>(8));
+      std::vector<core::Request> recvs(static_cast<std::size_t>(slots));
+      for (int i = 0; i < slots; ++i) {
+        recvs[static_cast<std::size_t>(i)] = mpi.irecv(
+            bufs[static_cast<std::size_t>(i)], core::kAnySource, kCtlTag);
+      }
+
+      auto assign = [&](int w) {
+        const std::uint32_t id = pool.front();
+        pool.pop_front();
+        owner[id] = w;
+        outstanding[static_cast<std::size_t>(w)].push_back(id);
+        put_u32(task.data(), id);
+        mpi.send(task, w, next_tag);
+        next_tag = next_tag % params.max_work_tags + 1;
+      };
+      auto terminate_one = [&](int w) {
+        mpi.send(std::span<const std::byte>(term, 4), w, kCtlTag);
+        ++terms_sent[static_cast<std::size_t>(w)];
+      };
+      auto serve = [&](int w) {
+        if (!live[static_cast<std::size_t>(w)]) {
+          // Written off but still talking (should not happen under the
+          // schedule contract): unwind it with a termination.
+          terminate_one(w);
+        } else if (!pool.empty()) {
+          assign(w);
+        } else if (done_tasks == ntasks) {
+          terminate_one(w);
+        } else {
+          waiting.push_back(w);  // tasks still in flight elsewhere
+        }
+      };
+      auto retired = [&] {
+        if (done_tasks < ntasks) return false;
+        for (int w = 1; w < mpi.size(); ++w) {
+          if (live[static_cast<std::size_t>(w)] &&
+              terms_sent[static_cast<std::size_t>(w)] < params.window) {
+            return false;
+          }
+        }
+        return true;
+      };
+      auto on_worker_dead = [&](int w) {
+        if (w <= 0 || w >= mpi.size() || !live[static_cast<std::size_t>(w)]) {
+          return;
+        }
+        live[static_cast<std::size_t>(w)] = false;
+        --alive_workers;
+        ++result.workers_failed;
+        auto& out = outstanding[static_cast<std::size_t>(w)];
+        for (std::uint32_t id : out) {
+          if (owner[id] == w) {
+            owner[id] = kUnassigned;
+            pool.push_back(id);
+            ++result.reassigned_tasks;
+          }
+        }
+        out.clear();
+        std::erase(waiting, w);
+        // Hand the recovered tasks to whoever was starved waiting.
+        while (!pool.empty() && !waiting.empty()) {
+          const int ww = waiting.front();
+          waiting.pop_front();
+          assign(ww);
+        }
+      };
+
+      while (!retired()) {
+        if (alive_workers == 0 && done_tasks < ntasks) {
+          result.aborted = true;  // nobody left to run the pool
+          break;
+        }
+        core::MpiStatus st;
+        int failed = -1;
+        const int idx = mpi.waitany_or_failure(recvs, &st, &failed);
+        if (idx < 0) {
+          on_worker_dead(failed);
+          continue;
+        }
+        const int w = st.source;
+        const auto& buf = bufs[static_cast<std::size_t>(idx)];
+        if (st.count == 8) {
+          // Result: accept exactly once, keyed by task id.
+          const std::uint32_t id = get_u32(buf.data());
+          const std::uint32_t val = get_u32(buf.data() + 4);
+          assert(val == farm_task_result(id));
+          if (static_cast<int>(id) < ntasks && owner[id] != kDone) {
+            owner[id] = kDone;
+            ++done_tasks;
+            result.result_sum += val;
+            auto& out = outstanding[static_cast<std::size_t>(w)];
+            std::erase(out, id);
+            if (done_tasks == ntasks) {
+              // Pool dry and every task accounted for: retire the floor.
+              while (!waiting.empty()) {
+                terminate_one(waiting.front());
+                waiting.pop_front();
+              }
+            }
+          } else {
+            ++result.duplicate_results;
+          }
+        } else if (st.count == 1) {
+          serve(w);  // request
+        }  // 2-byte liveness nudges are dropped on the floor
+        recvs[static_cast<std::size_t>(idx)] = mpi.irecv(
+            bufs[static_cast<std::size_t>(idx)], core::kAnySource, kCtlTag);
+      }
+      for (auto& r : recvs) mpi.cancel(r);
+      result.tasks_completed = done_tasks;
+    } else {
+      // ---- Worker ---------------------------------------------------------
+      std::vector<std::vector<std::byte>> bufs(
+          static_cast<std::size_t>(params.window),
+          std::vector<std::byte>(params.task_size));
+      std::vector<core::Request> recvs(
+          static_cast<std::size_t>(params.window));
+      for (int i = 0; i < params.window; ++i) {
+        recvs[static_cast<std::size_t>(i)] =
+            mpi.irecv(bufs[static_cast<std::size_t>(i)], 0, core::kAnyTag);
+      }
+      std::byte req{1};
+      for (int i = 0; i < params.window; ++i) {
+        mpi.send(std::span(&req, 1), 0, kCtlTag);
+      }
+
+      int terms = 0;
+      while (terms < params.window) {
+        core::MpiStatus st;
+        int failed = -1;
+        // The 1 s timeout is the worker's isolation detector: an idle
+        // worker has no traffic in flight, so a blacked-out link would
+        // never surface a transport error. The periodic nudge gives the
+        // transport something to fail on; the RPI then runs its give-up
+        // protocol and announces the manager unreachable.
+        const int idx =
+            mpi.waitany_or_failure(recvs, &st, &failed, sim::kSecond);
+        if (idx == -2) {
+          std::byte nudge[2] = {std::byte{0}, std::byte{0}};
+          mpi.send(std::span<const std::byte>(nudge, 2), 0, kCtlTag);
+          continue;
+        }
+        if (idx < 0) {
+          if (failed == 0) break;  // isolated: the manager is unreachable
+          continue;                // some other worker died — not our task
+        }
+        if (st.tag == kCtlTag) {
+          ++terms;  // a request retired with no replacement
+          continue;
+        }
+        const std::uint32_t id =
+            get_u32(bufs[static_cast<std::size_t>(idx)].data());
+        mpi.compute(params.work_per_task);
+        std::byte res[8];
+        put_u32(res, id);
+        put_u32(res + 4, farm_task_result(id));
+        mpi.send(std::span<const std::byte>(res, 8), 0, kCtlTag);
+        recvs[static_cast<std::size_t>(idx)] = mpi.irecv(
+            bufs[static_cast<std::size_t>(idx)], 0, core::kAnyTag);
+        mpi.send(std::span(&req, 1), 0, kCtlTag);
+      }
+      for (auto& r : recvs) mpi.cancel(r);
+    }
+  });
+
+  result.total_runtime_seconds = world.elapsed_seconds();
+  return result;
+}
+
+}  // namespace sctpmpi::apps

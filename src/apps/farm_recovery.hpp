@@ -1,0 +1,58 @@
+// Failure-aware Bulk Processor Farm: the paper's manager/worker program
+// (§4.2.1) restructured so the job completes even when workers die.
+//
+// The stock farm (farm.hpp) assumes every rank survives; one lost worker
+// deadlocks the manager. This variant gives every task an identity, makes
+// the manager track which worker owns which task, and subscribes the
+// manager to the rank-failure events World's control plane publishes
+// (LamDaemon dead-node verdicts + local RPI give-ups, fanned out on the
+// FailureBus). When a worker is declared dead its unfinished tasks return
+// to the pool and are reassigned; duplicate results from a worker that
+// was written off but revived are detected by task id and dropped. The
+// job is correct iff every task's result arrives exactly once.
+//
+// Requires WorldConfig.enable_lamd and RpiConfig.recovery.enabled — with
+// recovery off, a worker loss stalls the job exactly like stock LAM.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "core/world.hpp"
+
+namespace sctpmpi::apps {
+
+struct FarmRecoveryParams {
+  int num_tasks = 200;
+  std::size_t task_size = 8 * 1024;  // payload per task (id + filler)
+  int window = 4;                    // outstanding requests per worker
+  int max_work_tags = 10;            // task tags 1..max (stream spread)
+  sim::SimTime work_per_task = sim::kMillisecond;
+};
+
+/// The check value a worker reports for task `id` (Knuth multiplicative
+/// hash — cheap, deterministic, and wrong answers cannot collide with
+/// other tasks' right answers).
+inline std::uint32_t farm_task_result(std::uint32_t id) {
+  return id * 2654435761u;
+}
+
+struct FarmRecoveryResult {
+  double total_runtime_seconds = 0;
+  int tasks_completed = 0;          // distinct tasks with a result
+  std::uint64_t result_sum = 0;     // sum of all accepted results
+  int reassigned_tasks = 0;         // pool returns from dead workers
+  int duplicate_results = 0;        // dropped by task-id dedup
+  int workers_failed = 0;           // distinct workers written off
+  bool aborted = false;             // every worker died: gave up
+};
+
+/// Runs the failure-aware farm on a fresh World built from `cfg` (>= 2
+/// ranks). The hook runs after World construction, before the job —
+/// chaos tests use it to install fault schedules.
+FarmRecoveryResult run_farm_recovering(
+    core::WorldConfig cfg, FarmRecoveryParams params,
+    const std::function<void(core::World&)>& pre_run = {});
+
+}  // namespace sctpmpi::apps

@@ -25,6 +25,8 @@ enum EnvFlags : std::uint16_t {
   kFlagSsend = 0x0008,     // synchronous send: sender waits for match ack
   kFlagSsendAck = 0x0010,
   kFlagCtl = 0x0020,       // middleware control (init barrier, finalize)
+  kFlagReplayAck = 0x0040, // recovery: cumulative delivered-seq ack (seq
+                           // field = highest contiguous delivered seq)
 };
 
 struct Envelope {

@@ -1,0 +1,73 @@
+// Rank-failure event distribution: the bridge between failure detectors
+// (the lamd master's liveness tracking, a local RPI giving up on a peer)
+// and the running MPI job. Detectors push events in; each rank polls its
+// own queue through the Mpi facade (poll_rank_failure / waitany_or_failure)
+// and is woken from a transport block when an event lands.
+//
+// This stands in for LAM's out-of-band abort/cleanup broadcast: the master
+// daemon's dead-node verdict reaches every surviving rank. The dead rank
+// itself is excluded from daemon-sourced announcements — a blacked-out
+// node cannot hear a broadcast; it learns of its isolation from its own
+// RPI declaring the manager unreachable.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sim/process.hpp"
+
+namespace sctpmpi::core {
+
+class FailureBus {
+ public:
+  explicit FailureBus(int ranks)
+      : subs_(static_cast<std::size_t>(ranks)) {}
+
+  /// Registers the rank's process so announcements can wake it from an
+  /// RPI block. Events queued before attach are kept.
+  void attach(int rank, sim::Process* proc) {
+    subs_[static_cast<std::size_t>(rank)].proc = proc;
+  }
+  void detach(int rank) {
+    subs_[static_cast<std::size_t>(rank)].proc = nullptr;
+  }
+
+  /// Announces `about` to every rank except `except` (the dead rank —
+  /// it cannot hear the daemon's broadcast).
+  void announce(int about, int except = -1) {
+    for (int r = 0; r < static_cast<int>(subs_.size()); ++r) {
+      if (r != except && r != about) announce_to(r, about);
+    }
+  }
+
+  /// Announces `about` to one rank (local RPI detection). Duplicate
+  /// announcements about the same rank are collapsed.
+  void announce_to(int rank, int about) {
+    Sub& s = subs_[static_cast<std::size_t>(rank)];
+    for (int seen : s.seen) {
+      if (seen == about) return;
+    }
+    s.seen.push_back(about);
+    s.q.push_back(about);
+    if (s.proc != nullptr) s.proc->wake();
+  }
+
+  /// Next failed rank queued for `rank`, or -1.
+  int poll(int rank) {
+    Sub& s = subs_[static_cast<std::size_t>(rank)];
+    if (s.q.empty()) return -1;
+    const int about = s.q.front();
+    s.q.pop_front();
+    return about;
+  }
+
+ private:
+  struct Sub {
+    sim::Process* proc = nullptr;
+    std::deque<int> q;
+    std::vector<int> seen;  // ranks already announced to this subscriber
+  };
+  std::vector<Sub> subs_;
+};
+
+}  // namespace sctpmpi::core

@@ -49,6 +49,18 @@ class PeerSeqMap {
     return missing;
   }
 
+  /// Visits every (peer, seq, value) entry. Only the recovery dead-peer
+  /// sweep uses this; it completes requests (sets flags), so the
+  /// unordered visiting order stays invisible to the simulation.
+  template <typename Fn>
+  void for_each(Fn fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key == 0) continue;
+      fn(static_cast<int>((s.key >> 32) - 1u),
+         static_cast<std::uint32_t>(s.key), s.value);
+    }
+  }
+
   /// Removes the entry and returns its value, or `missing` when absent.
   T take(int peer, std::uint32_t seq, T missing = T{}) {
     if (slots_.empty()) return missing;

@@ -18,7 +18,8 @@ LamDaemon::LamDaemon(net::Host& host, int node, int nodes, LamdConfig cfg,
       udp_stack_(udp_stack),
       status_timer_(host.sim(), [this] { on_status_timer_(); }),
       last_seen_(static_cast<std::size_t>(nodes), 0),
-      comm_lost_(static_cast<std::size_t>(nodes), false) {
+      comm_lost_(static_cast<std::size_t>(nodes), false),
+      reported_dead_(static_cast<std::size_t>(nodes), false) {
   if (cfg_.transport == CtlTransport::kSctp) {
     assert(sctp_stack_ != nullptr);
     sctp_sock_ = sctp_stack_->create_socket(cfg_.port);
@@ -35,6 +36,7 @@ LamDaemon::LamDaemon(net::Host& host, int node, int nodes, LamdConfig cfg,
 LamDaemon::~LamDaemon() = default;
 
 void LamDaemon::start() {
+  start_time_ = host_.sim().now();
   if (cfg_.transport == CtlTransport::kSctp && !is_master()) {
     // Slaves open the control association to the master.
     node_assoc_[0] = sctp_sock_->connect(peer_addr_(0), cfg_.port);
@@ -74,8 +76,24 @@ void LamDaemon::on_status_timer_() {
   if (!is_master()) {
     send_ctl_(0, kStatus);
     ++stats_.status_sent;
+  } else {
+    check_transitions_();
   }
   status_timer_.arm(cfg_.status_interval);
+}
+
+void LamDaemon::check_transitions_() {
+  for (int node = 0; node < nodes_; ++node) {
+    if (node == node_) continue;
+    const bool alive = is_alive(node);
+    const bool reported = reported_dead_[static_cast<std::size_t>(node)];
+    if (!alive && !reported) {
+      reported_dead_[static_cast<std::size_t>(node)] = true;
+      if (on_node_dead_) on_node_dead_(node);
+    } else if (alive && reported) {
+      reported_dead_[static_cast<std::size_t>(node)] = false;  // revived
+    }
+  }
 }
 
 void LamDaemon::pump_sctp_() {
@@ -88,6 +106,9 @@ void LamDaemon::pump_sctp_() {
         if (node >= 0 && node < nodes_) {
           node_assoc_[static_cast<std::size_t>(node)] = n->assoc;
           assoc_node_[n->assoc] = node;
+          // A fresh association from a node previously reported lost means
+          // it restarted/reconnected: clear the sticky loss flag.
+          comm_lost_[static_cast<std::size_t>(node)] = false;
         }
       }
     } else if (n->type == sctp::NotificationType::kCommLost) {
@@ -96,6 +117,7 @@ void LamDaemon::pump_sctp_() {
       auto it = assoc_node_.find(n->assoc);
       if (it != assoc_node_.end()) {
         comm_lost_[static_cast<std::size_t>(it->second)] = true;
+        if (is_master()) check_transitions_();
       }
     }
   }
@@ -129,7 +151,13 @@ bool LamDaemon::is_alive(int node) const {
     return false;
   }
   const sim::SimTime seen = last_seen_[static_cast<std::size_t>(node)];
-  return seen != 0 && host_.sim().now() - seen < cfg_.dead_after;
+  if (seen == 0) {
+    // Never heard from: grace period of dead_after from start(). The old
+    // `seen != 0 && ...` check declared such a node dead immediately —
+    // at t=0 every node looked dead before its first ping could arrive.
+    return host_.sim().now() - start_time_ < cfg_.dead_after;
+  }
+  return host_.sim().now() - seen < cfg_.dead_after;
 }
 
 int LamDaemon::alive_count() const {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -57,9 +58,19 @@ class LamDaemon {
 
   // ---- master-side queries ---------------------------------------------
   /// True if the master has heard from `node` within cfg.dead_after (or
-  /// its SCTP association is still up and never reported lost).
+  /// its SCTP association is still up and never reported lost). A node the
+  /// master has never heard from gets a grace period of cfg.dead_after
+  /// from start() — without it a slow starter would be declared dead at
+  /// t=0 before its first status ping could possibly arrive.
   bool is_alive(int node) const;
   int alive_count() const;
+
+  /// Master-side push notification: fires once per alive->dead transition
+  /// of a node (and re-fires if the node revives and dies again). Checked
+  /// on every master status tick and immediately on an SCTP kCommLost.
+  void set_node_dead_callback(std::function<void(int)> cb) {
+    on_node_dead_ = std::move(cb);
+  }
 
   /// Broadcasts an abort/cleanup order to every node (paper: "carrying
   /// out cleanup when a user aborts an MPI process").
@@ -78,6 +89,7 @@ class LamDaemon {
   void on_status_timer_();
   void pump_sctp_();
   void pump_udp_();
+  void check_transitions_();
 
   net::Host& host_;
   int node_;
@@ -96,6 +108,9 @@ class LamDaemon {
   sim::Timer status_timer_;
   std::vector<sim::SimTime> last_seen_;   // master: per node
   std::vector<bool> comm_lost_;           // master, SCTP only
+  sim::SimTime start_time_ = 0;           // grace-period anchor
+  std::vector<bool> reported_dead_;       // transition dedup for callback
+  std::function<void(int)> on_node_dead_;
 
   LamdStats stats_;
 };

@@ -63,6 +63,11 @@ class MatchEngine {
   }
 
   void add_posted(RpiRequest* req) { posted_.push_back(req); }
+  /// Re-inserts a receive at the FRONT of the posted queue: used by the
+  /// recovery path when a teardown interrupts a partially received message
+  /// whose matched receive must win the re-match against later-posted
+  /// receives of the same TRC (MPI ordering).
+  void add_posted_front(RpiRequest* req) { posted_.push_front(req); }
   void remove_posted(RpiRequest* req) {
     for (auto it = posted_.begin(); it != posted_.end(); ++it) {
       if (*it == req) {

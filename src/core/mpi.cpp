@@ -3,6 +3,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/failure.hpp"
+#include "sim/simulator.hpp"
+
 namespace sctpmpi::core {
 
 Mpi::Mpi(int rank, int size, Rpi& rpi, sim::Process& proc)
@@ -130,6 +133,59 @@ int Mpi::waitany(std::span<Request> reqs, MpiStatus* status) {
     idx = find_done();
     return idx >= 0;
   });
+  RpiRequest* r = reqs[static_cast<std::size_t>(idx)].impl_;
+  if (status != nullptr) *status = r->status;
+  release_(r);
+  reqs[static_cast<std::size_t>(idx)].impl_ = nullptr;
+  return idx;
+}
+
+void Mpi::cancel(Request& req) {
+  if (!req.valid()) return;
+  RpiRequest* r = req.impl_;
+  if (!r->done) rpi_.cancel_recv(r);
+  release_(r);
+  req.impl_ = nullptr;
+}
+
+int Mpi::poll_rank_failure() {
+  return bus_ != nullptr ? bus_->poll(rank_) : -1;
+}
+
+int Mpi::waitany_or_failure(std::span<Request> reqs, MpiStatus* status,
+                            int* failed_rank, sim::SimTime timeout) {
+  auto find_done = [&]() -> int {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i].valid() && reqs[i].impl_->done) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  // The timer only wakes the process out of its RPI block; the predicate
+  // re-checks the deadline against sim time.
+  sim::Timer wakeup(proc_.sim(), [this] { proc_.wake(); });
+  const sim::SimTime deadline = proc_.sim().now() + timeout;
+  if (timeout > 0) wakeup.arm(timeout);
+  int idx = -1;
+  int failed = -1;
+  bool timed_out = false;
+  wait_until_([&] {
+    idx = find_done();
+    if (idx >= 0) return true;
+    failed = poll_rank_failure();
+    if (failed >= 0) return true;
+    if (timeout > 0 && proc_.sim().now() >= deadline) {
+      timed_out = true;
+      return true;
+    }
+    return false;
+  });
+  if (timed_out && idx < 0 && failed < 0) return -2;
+  if (idx < 0) {
+    if (failed_rank != nullptr) *failed_rank = failed;
+    return -1;
+  }
   RpiRequest* r = reqs[static_cast<std::size_t>(idx)].impl_;
   if (status != nullptr) *status = r->status;
   release_(r);

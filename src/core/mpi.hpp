@@ -21,6 +21,8 @@
 
 namespace sctpmpi::core {
 
+class FailureBus;
+
 /// Communicator handle: a context id. All communicators span all ranks
 /// (MPI_COMM_WORLD plus dup()-ed contexts); what matters for the paper is
 /// that (context, rank, tag) — TRC — scopes message matching.
@@ -72,6 +74,28 @@ class Mpi {
   MpiStatus probe(int src, int tag, Comm c = {});
   bool iprobe(int src, int tag, Comm c, MpiStatus* status);
 
+  // ---- failure awareness (WorldConfig.enable_lamd) -----------------------
+  /// Wired by World when a FailureBus exists; the bus wakes this rank's
+  /// process when a rank-failure verdict lands.
+  void set_failure_bus(FailureBus* bus) { bus_ = bus; }
+  /// Next failed rank announced to this rank, or -1. Non-blocking; each
+  /// failed rank is reported exactly once.
+  int poll_rank_failure();
+  /// True once this rank's own RPI has declared `rank` unreachable.
+  bool peer_dead(int rank) const { return rpi_.peer_dead(rank); }
+  /// Blocks until a request completes, a rank-failure verdict arrives,
+  /// or `timeout` (sim time, 0 = never) elapses — whichever is first.
+  /// On completion: returns the index (invalidated, status filled). On
+  /// failure: returns -1 with *failed_rank set — the requests stay valid
+  /// so the caller can decide which to abandon. On timeout: returns -2
+  /// (applications use this to emit liveness nudges while otherwise idle,
+  /// giving their transport traffic to fail on when they are isolated).
+  int waitany_or_failure(std::span<Request> reqs, MpiStatus* status,
+                         int* failed_rank, sim::SimTime timeout = 0);
+  /// Abandons a posted (unmatched) receive and invalidates the request —
+  /// how a recovery path drops a recv aimed at a rank declared dead.
+  void cancel(Request& req);
+
   // ---- collectives (built on point-to-point, paper §2.2.2) ---------------
   void barrier(Comm c = {});
   void bcast(std::span<std::byte> buf, int root, Comm c = {});
@@ -118,6 +142,7 @@ class Mpi {
   int size_;
   Rpi& rpi_;
   sim::Process& proc_;
+  FailureBus* bus_ = nullptr;
   std::uint32_t next_context_ = 1;
   std::unordered_map<RpiRequest*, std::unique_ptr<RpiRequest>> live_;
 };

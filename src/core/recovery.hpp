@@ -1,0 +1,82 @@
+// Per-peer recovery state shared by both RPI modules: the retained-send
+// queue that makes replay possible, and the delivered-sequence set that
+// makes replay safe (exactly-once delivery to the matching layer).
+//
+// The RPI sequence space is dense per (sender, peer) — start_send assigns
+// 1, 2, 3, ... — so the receiver's delivered set collapses to a handful of
+// net::SeqRuns runs and the contiguous prefix ("cum") is the natural
+// replay-trim point, exactly like a transport cumulative ack one layer up.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "net/seq_ranges.hpp"
+
+namespace sctpmpi::core {
+
+/// One retained copy of a data-bearing message (eager, ssend or long).
+/// Bodies are owned (shared_ptr) because eager sends complete before
+/// delivery is confirmed, at which point the user buffer may be reused;
+/// replay jobs share ownership so trimming the queue cannot pull a body
+/// out from under a partially written job.
+struct RetainedMsg {
+  std::uint32_t seq = 0;
+  std::uint16_t flags = 0;
+  std::vector<std::byte> header;  // encoded envelope
+  std::shared_ptr<std::vector<std::byte>> body;
+  bool is_long = false;
+};
+
+/// Send- and receive-side recovery bookkeeping toward one peer.
+struct PeerReplay {
+  // ---- send side ---------------------------------------------------------
+  /// Copies of data messages not yet covered by the peer's replay ack,
+  /// in ascending seq order (seqs are assigned monotonically).
+  std::deque<RetainedMsg> retained;
+  /// Highest contiguous seq the peer confirmed delivered (kFlagReplayAck).
+  std::uint32_t acked_cum = 0;
+
+  // ---- receive side ------------------------------------------------------
+  /// Seqs whose payload was fully received (delivered or buffered
+  /// unexpected). Duplicates arriving through replay are dropped here.
+  net::SeqRuns delivered;
+  /// Contiguous delivered prefix; advertised back in replay acks.
+  std::uint32_t delivered_cum = 0;
+  std::uint32_t msgs_since_ack = 0;
+  /// Long-message envelopes seen (rendezvous request received and matched
+  /// or buffered) but whose body has not yet completed. A replayed long
+  /// envelope in this set is a duplicate even though `delivered` does not
+  /// cover it yet.
+  net::SeqRuns long_seen;
+
+  // ---- reconnection ------------------------------------------------------
+  bool down = false;       // endpoint currently torn down
+  bool dead = false;       // reconnection given up; peer declared failed
+  unsigned attempts = 0;   // reconnect attempts since last success
+
+  void note_delivered(std::uint32_t seq) {
+    delivered.insert(seq, seq + 1);
+    while (delivered.contains(delivered_cum + 1)) ++delivered_cum;
+    ++msgs_since_ack;
+  }
+
+  bool was_delivered(std::uint32_t seq) const {
+    return delivered.contains(seq);
+  }
+
+  void retain(RetainedMsg&& m) { retained.push_back(std::move(m)); }
+
+  /// Drops retained copies covered by the peer's cumulative replay ack.
+  void trim(std::uint32_t cum) {
+    if (net::seq_gt(cum, acked_cum)) acked_cum = cum;
+    while (!retained.empty() &&
+           net::seq_leq(retained.front().seq, acked_cum)) {
+      retained.pop_front();
+    }
+  }
+};
+
+}  // namespace sctpmpi::core

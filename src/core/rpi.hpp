@@ -9,6 +9,7 @@
 
 #include "core/request.hpp"
 #include "sim/process.hpp"
+#include "sim/time.hpp"
 
 namespace sctpmpi::core {
 
@@ -20,6 +21,37 @@ struct RpiStats {
   std::uint64_t unexpected_msgs = 0;   // arrived before a matching recv
   std::uint64_t ctl_msgs = 0;          // acks / control messages
   std::uint64_t blocks = 0;            // times the process suspended
+  // Recovery counters (all zero while recovery is disabled).
+  std::uint64_t peer_downs = 0;        // endpoint teardowns observed
+  std::uint64_t reconnects = 0;        // endpoints re-established
+  std::uint64_t replayed_msgs = 0;     // retained messages re-sent
+  std::uint64_t dup_drops = 0;         // replayed duplicates dropped
+  std::uint64_t peers_declared_dead = 0;
+};
+
+/// Failure-recovery tuning (tentpole of the robustness work). Disabled by
+/// default: with `enabled == false` every recovery code path is inert and
+/// the wire behavior is bit-identical to the pre-recovery stack (the
+/// golden conformance traces pin this).
+struct RecoveryConfig {
+  bool enabled = false;
+  /// Active-side reconnect attempts before the peer is declared dead.
+  unsigned max_reconnect_attempts = 4;
+  /// Exponential backoff between attempts: base * 2^k, capped, plus
+  /// uniform jitter of up to `jitter` * delay drawn from a seeded stream
+  /// (deterministic per rank: seed is forked from the world seed).
+  sim::SimTime backoff_base = 100 * sim::kMillisecond;
+  sim::SimTime backoff_max = 2 * sim::kSecond;
+  double jitter = 0.5;
+  /// Passive side (the rank that accepted the original connection) cannot
+  /// re-initiate; it waits this long for the peer to come back before
+  /// declaring it dead.
+  sim::SimTime passive_give_up = 10 * sim::kSecond;
+  /// Receiver advertises its cumulative delivered seq (kFlagReplayAck)
+  /// every this many delivered data messages, letting the sender trim the
+  /// retained queue.
+  std::uint32_t ack_every = 16;
+  std::uint64_t seed = 1;
 };
 
 /// Middleware-level tuning (shared by both RPIs; defaults per LAM).
@@ -44,6 +76,7 @@ struct RpiConfig {
   /// buffer to locate the message boundaries").
   sim::SimTime call_cost = 700;       // ns per socket call
   double rx_byte_cost_ns = 0.0;       // set per RPI by WorldConfig
+  RecoveryConfig recovery;
 };
 
 class Rpi {
@@ -75,6 +108,20 @@ class Rpi {
   virtual const Envelope* probe(std::uint32_t context, int src, int tag) = 0;
 
   virtual const RpiStats& stats() const = 0;
+
+  /// True once recovery has given up on `peer`: its endpoint stays torn
+  /// down, sends to it complete as no-ops and nothing more will arrive.
+  virtual bool peer_dead(int peer) const {
+    (void)peer;
+    return false;
+  }
+
+  /// Fires (at most once per peer) when reconnection attempts are
+  /// exhausted and the peer is declared dead. Used by World to feed the
+  /// rank-failure bus.
+  virtual void set_peer_unreachable_callback(std::function<void(int)> cb) {
+    (void)cb;
+  }
 
   /// Diagnostic state dump; invoked by World on simulated-job deadlock.
   virtual void debug_dump() const {}

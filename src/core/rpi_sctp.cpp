@@ -21,6 +21,11 @@ SctpRpi::SctpRpi(sctp::SctpStack& stack, int rank, int size, RpiConfig cfg,
       out_(static_cast<std::size_t>(size) * cfg.stream_pool),
       in_(static_cast<std::size_t>(size) * cfg.stream_pool),
       next_seq_(static_cast<std::size_t>(size), 1),
+      rec_(static_cast<std::size_t>(size)),
+      reconnect_timers_(static_cast<std::size_t>(size)),
+      giveup_timers_(static_cast<std::size_t>(size)),
+      jitter_rng_(sim::Rng(cfg.recovery.seed)
+                      .fork(9500u + static_cast<std::uint64_t>(rank))),
       rxbuf_(stack.config().rcvbuf) {
   // sctp_sendmsg is bounded by the send buffer (paper §3.4): clamp the
   // middleware's eager limit and long-message fragment size so a single
@@ -121,6 +126,12 @@ void SctpRpi::start_send(RpiRequest* req) {
   ++stats_.sends_started;
   const int peer = req->peer;
   assert(peer != rank_);
+  if (recovering_() && rec_of_(peer).dead) {
+    // Peer declared failed: sends complete as no-ops; the application
+    // learns of the failure through the rank-failure event.
+    req->done = true;
+    return;
+  }
   req->seq = next_seq_[static_cast<std::size_t>(peer)]++;
   const std::uint16_t sid = stream_of(req->context, req->tag);
 
@@ -136,16 +147,36 @@ void SctpRpi::start_send(RpiRequest* req) {
     env.flags = req->sync ? kFlagSsend : kFlagShort;
     job.kind = OutJob::Kind::kEager;
     job.header = env.encode();
-    job.body = req->send_buf;
-    job.body_len = req->send_len;
-    job.req = req;
-    job.completes_request = !req->sync;
-    if (req->sync) pending_ssend_.put(peer, req->seq, req);
+    if (recovering_()) {
+      // Retain an owned copy: the request completes now (eager buffering),
+      // so the user buffer may be reused before delivery is confirmed.
+      job.owned = std::make_shared<std::vector<std::byte>>(
+          req->send_buf, req->send_buf + req->send_len);
+      job.body = job.owned->data();
+      job.body_len = job.owned->size();
+      rec_of_(peer).retain(
+          RetainedMsg{req->seq, env.flags, job.header, job.owned, false});
+      if (req->sync) {
+        pending_ssend_.put(peer, req->seq, req);
+      } else {
+        req->done = true;
+      }
+    } else {
+      job.body = req->send_buf;
+      job.body_len = req->send_len;
+      job.req = req;
+      job.completes_request = !req->sync;
+      if (req->sync) pending_ssend_.put(peer, req->seq, req);
+    }
     ++stats_.eager_msgs;
   } else {
     env.flags = kFlagLong;
     job.kind = OutJob::Kind::kLongEnv;
     job.header = env.encode();
+    if (recovering_()) {
+      rec_of_(peer).retain(
+          RetainedMsg{req->seq, env.flags, job.header, nullptr, true});
+    }
     pending_long_send_.put(peer, req->seq, req);
     ++stats_.rendezvous_msgs;
   }
@@ -213,6 +244,7 @@ void SctpRpi::enqueue_ctl_(int peer, std::uint16_t sid, const Envelope& env) {
 // ---------------------------------------------------------------------------
 
 void SctpRpi::advance() {
+  if (recovering_()) drain_notifications_();
   pump_writes_();
   pump_reads_();
 }
@@ -356,6 +388,9 @@ void SctpRpi::handle_message_(int peer, std::uint16_t sid,
       if (st.long_req != nullptr) {
         st.long_req->status.count = std::min(st.offset, st.long_req->recv_cap);
         st.long_req->done = true;
+        if (recovering_()) note_delivered_(peer, st.seq);
+      } else if (recovering_()) {
+        ++stats_.dup_drops;  // replayed body drained to nowhere
       }
       st.long_req = nullptr;
       st.offset = 0;
@@ -373,6 +408,12 @@ void SctpRpi::handle_envelope_(int peer, std::uint16_t sid,
     ++barrier_ctl_seen_;
     return;
   }
+  if ((env.flags & kFlagReplayAck) != 0) {
+    // Recovery: peer advertises its contiguous delivered prefix; trim the
+    // retained-send queue up to it.
+    rec_of_(peer).trim(env.seq);
+    return;
+  }
   if ((env.flags & kFlagLongAck) != 0) {
     if (RpiRequest* req = pending_long_send_.take(peer, env.seq)) {
       OutJob job;
@@ -385,11 +426,30 @@ void SctpRpi::handle_envelope_(int peer, std::uint16_t sid,
       env2.src_rank = rank_;
       env2.seq = req->seq;
       job.header = env2.encode();
-      job.body = req->send_buf;
+      if (recovering_()) {
+        // Once the body is written the request completes and the user
+        // buffer may be reused; attach an owned copy to the retained
+        // rendezvous entry so a later replay can still resend the body.
+        job.owned = std::make_shared<std::vector<std::byte>>(
+            req->send_buf, req->send_buf + req->send_len);
+        job.body = job.owned->data();
+        if (RetainedMsg* r = find_retained_(peer, req->seq)) {
+          r->body = job.owned;
+        }
+      } else {
+        job.body = req->send_buf;
+      }
       job.body_len = req->send_len;
       job.req = req;
       outq_(peer, stream_of(req->context, req->tag)).push_back(std::move(job));
       pump_writes_();
+    } else if (recovering_()) {
+      // Re-acked after our request already completed (replay): resend the
+      // body from the retained copy.
+      RetainedMsg* r = find_retained_(peer, env.seq);
+      if (r != nullptr && r->body != nullptr) {
+        enqueue_retained_body_(peer, *r);
+      }
     }
     return;
   }
@@ -402,13 +462,40 @@ void SctpRpi::handle_envelope_(int peer, std::uint16_t sid,
     st.long_req = pending_long_recv_.take(peer, env.seq);
     st.remaining = env.length;
     st.offset = 0;
+    st.seq = env.seq;
     if (st.long_req != nullptr) {
       st.long_req->status.source = env.src_rank;
       st.long_req->status.tag = env.tag;
     }
+    // With a null long_req the fragments are drained and discarded — under
+    // recovery that is the replayed-duplicate path (counted on completion).
     return;
   }
   if ((env.flags & kFlagLong) != 0) {
+    if (recovering_()) {
+      PeerReplay& rec = rec_of_(peer);
+      if (rec.was_delivered(env.seq)) {
+        ++stats_.dup_drops;  // body already fully delivered
+        return;
+      }
+      if (pending_long_recv_.find(peer, env.seq) != nullptr) {
+        // Our earlier ACK (or the body it triggered) was lost: re-ack.
+        ++stats_.dup_drops;
+        Envelope ack;
+        ack.flags = kFlagLongAck;
+        ack.tag = env.tag;
+        ack.context = env.context;
+        ack.src_rank = rank_;
+        ack.seq = env.seq;
+        enqueue_ctl_(peer, sid, ack);
+        return;
+      }
+      if (rec.long_seen.contains(env.seq)) {
+        ++stats_.dup_drops;  // already buffered unexpected
+        return;
+      }
+      rec.long_seen.insert(env.seq, env.seq + 1);
+    }
     if (RpiRequest* req = match_.match_posted(env)) {
       pending_long_recv_.put(peer, env.seq, req);
       Envelope ack;
@@ -426,6 +513,21 @@ void SctpRpi::handle_envelope_(int peer, std::uint16_t sid,
   }
 
   // Eager short message: the whole body arrived with the envelope.
+  if (recovering_() && rec_of_(peer).was_delivered(env.seq)) {
+    // Replayed duplicate (message framing: nothing to drain). For ssend,
+    // re-ack so the sender — whose first ack may have been lost — can
+    // complete.
+    ++stats_.dup_drops;
+    if ((env.flags & kFlagSsend) != 0) {
+      Envelope ack;
+      ack.flags = kFlagSsendAck;
+      ack.context = env.context;
+      ack.src_rank = rank_;
+      ack.seq = env.seq;
+      enqueue_ctl_(peer, sid, ack);
+    }
+    return;
+  }
   if (RpiRequest* req = match_.match_posted(env)) {
     deliver_matched_(req, env, body);
     if ((env.flags & kFlagSsend) != 0) {
@@ -441,6 +543,302 @@ void SctpRpi::handle_envelope_(int peer, std::uint16_t sid,
     match_.add_unexpected(
         UnexpectedMsg{env, std::vector<std::byte>(body.begin(), body.end())});
   }
+  if (recovering_()) note_delivered_(peer, env.seq);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery: notification handling, teardown, re-association, replay
+// ---------------------------------------------------------------------------
+
+void SctpRpi::map_assoc_(int peer, sctp::AssocId id) {
+  rank_to_assoc_[static_cast<std::size_t>(peer)] = id;
+  assoc_to_rank_[id] = peer;
+}
+
+void SctpRpi::unmap_assoc_(int peer) {
+  const sctp::AssocId id = rank_to_assoc_[static_cast<std::size_t>(peer)];
+  if (id != 0) assoc_to_rank_.erase(id);
+  rank_to_assoc_[static_cast<std::size_t>(peer)] = 0;
+}
+
+void SctpRpi::drain_notifications_() {
+  while (auto n = sock_->poll_notification()) {
+    switch (n->type) {
+      case sctp::NotificationType::kCommLost: {
+        auto it = assoc_to_rank_.find(n->assoc);
+        if (it == assoc_to_rank_.end()) break;  // already unmapped
+        const int peer = it->second;
+        PeerReplay& rec = rec_of_(peer);
+        if (rec.dead) break;
+        if (!rec.down) {
+          handle_peer_down_(peer);
+        } else if (rank_to_assoc_[static_cast<std::size_t>(peer)] ==
+                   n->assoc) {
+          // Our reconnect attempt failed (INIT retries exhausted).
+          unmap_assoc_(peer);
+          if (peer > rank_) schedule_reconnect_(peer);
+        }
+        break;
+      }
+      case sctp::NotificationType::kCommUp: {
+        auto it = assoc_to_rank_.find(n->assoc);
+        int peer;
+        if (it != assoc_to_rank_.end()) {
+          peer = it->second;  // our own (re)connect came up
+        } else {
+          // Passive side: identify the reconnecting peer by address.
+          const sctp::Association* a = sock_->assoc(n->assoc);
+          if (a == nullptr) break;
+          peer = static_cast<int>(net::host_of(a->paths()[0].addr));
+          if (peer < 0 || peer >= size_ || peer == rank_) break;
+          if (rec_of_(peer).dead) {
+            sock_->abort_assoc(n->assoc);
+            break;
+          }
+          if (!rec_of_(peer).down) {
+            // Fresh association while the old one still looks alive (peer
+            // restarted and its INIT raced our traffic): tear down first.
+            handle_peer_down_(peer);
+          }
+          map_assoc_(peer, n->assoc);
+        }
+        if (rec_of_(peer).down && !rec_of_(peer).dead) on_reconnected_(peer);
+        break;
+      }
+      default:
+        break;  // shutdown-complete / path events: no recovery action
+    }
+  }
+}
+
+void SctpRpi::handle_peer_down_(int peer) {
+  PeerReplay& rec = rec_of_(peer);
+  if (rec.down || rec.dead) return;
+  rec.down = true;
+  ++stats_.peer_downs;
+  unmap_assoc_(peer);
+
+  // Receive side: abandon partial long-body reassembly on every stream and
+  // re-arm the rendezvous so the replayed request is re-acked.
+  for (unsigned sid = 0; sid < cfg_.stream_pool; ++sid) {
+    StreamIn& st = instate_(peer, static_cast<std::uint16_t>(sid));
+    if (st.remaining > 0 && st.long_req != nullptr) {
+      pending_long_recv_.put(peer, st.seq, st.long_req);
+    }
+    st.long_req = nullptr;
+    st.remaining = 0;
+    st.offset = 0;
+    st.seq = 0;
+  }
+
+  // Send side: keep control jobs, drop data jobs (the retained queue is
+  // the source of truth for replay); in-progress long bodies re-arm their
+  // rendezvous handshake.
+  for (unsigned sid = 0; sid < cfg_.stream_pool; ++sid) {
+    auto& q = outq_(peer, static_cast<std::uint16_t>(sid));
+    std::deque<OutJob> kept;
+    for (OutJob& job : q) {
+      if (job.kind == OutJob::Kind::kCtl) {
+        kept.push_back(std::move(job));
+      } else if (job.kind == OutJob::Kind::kLongBody && job.req != nullptr) {
+        pending_long_send_.put(peer, job.req->seq, job.req);
+      }
+    }
+    q = std::move(kept);
+  }
+
+  sim::Simulator& sim = stack_.host().sim();
+  auto& rt = reconnect_timers_[static_cast<std::size_t>(peer)];
+  auto& gt = giveup_timers_[static_cast<std::size_t>(peer)];
+  if (peer > rank_) {
+    // We initiated this association originally; we re-initiate.
+    rec.attempts = 0;
+    (void)rt;
+    schedule_reconnect_(peer);
+  } else {
+    // Passive side: wait for the peer's fresh INIT, bounded.
+    if (!gt) {
+      gt = std::make_unique<sim::Timer>(sim,
+                                        [this, peer] { declare_dead_(peer); });
+    }
+    gt->arm(cfg_.recovery.passive_give_up);
+  }
+  note_activity_();
+}
+
+void SctpRpi::schedule_reconnect_(int peer) {
+  PeerReplay& rec = rec_of_(peer);
+  if (rec.dead) return;
+  if (rec.attempts >= cfg_.recovery.max_reconnect_attempts) {
+    declare_dead_(peer);
+    return;
+  }
+  auto& rt = reconnect_timers_[static_cast<std::size_t>(peer)];
+  if (!rt) {
+    rt = std::make_unique<sim::Timer>(
+        stack_.host().sim(), [this, peer] { attempt_reconnect_(peer); });
+  }
+  sim::SimTime delay = std::min(
+      cfg_.recovery.backoff_base << rec.attempts, cfg_.recovery.backoff_max);
+  delay += static_cast<sim::SimTime>(cfg_.recovery.jitter *
+                                     jitter_rng_.uniform() *
+                                     static_cast<double>(delay));
+  rt->arm(delay);
+}
+
+void SctpRpi::attempt_reconnect_(int peer) {
+  PeerReplay& rec = rec_of_(peer);
+  if (rec.dead || !rec.down) return;
+  ++rec.attempts;
+  const sctp::AssocId id =
+      sock_->connect(rank_addr_(peer),
+                     static_cast<std::uint16_t>(base_port_ + peer));
+  map_assoc_(peer, id);
+  charge_(cfg_.call_cost);
+  note_activity_();
+}
+
+void SctpRpi::on_reconnected_(int peer) {
+  PeerReplay& rec = rec_of_(peer);
+  rec.down = false;
+  rec.attempts = 0;
+  ++stats_.reconnects;
+  auto& rt = reconnect_timers_[static_cast<std::size_t>(peer)];
+  auto& gt = giveup_timers_[static_cast<std::size_t>(peer)];
+  if (rt) rt->cancel();
+  if (gt) gt->cancel();
+
+  // Drop data jobs queued while down (all covered by the retained queue)
+  // so replays — appended below in seq order — cannot be overtaken by a
+  // later message on the same stream.
+  for (unsigned sid = 0; sid < cfg_.stream_pool; ++sid) {
+    auto& q = outq_(peer, static_cast<std::uint16_t>(sid));
+    std::deque<OutJob> kept;
+    for (OutJob& job : q) {
+      if (job.kind == OutJob::Kind::kCtl) kept.push_back(std::move(job));
+    }
+    q = std::move(kept);
+  }
+
+  // Our cumulative delivered ack first (lets the peer trim immediately).
+  {
+    Envelope ack;
+    ack.flags = kFlagReplayAck;
+    ack.src_rank = rank_;
+    ack.seq = rec.delivered_cum;
+    OutJob job;
+    job.kind = OutJob::Kind::kCtl;
+    job.header = ack.encode();
+    outq_(peer, 0).push_front(std::move(job));
+    ++stats_.ctl_msgs;
+  }
+  rec.msgs_since_ack = 0;
+
+  // Replay unacknowledged retained messages in send order, each on its
+  // original stream (same-TRC ordering is per stream).
+  for (const RetainedMsg& r : rec.retained) {
+    if (!net::seq_gt(r.seq, rec.acked_cum)) continue;
+    const Envelope env = Envelope::decode(r.header);
+    const std::uint16_t sid = stream_of(env.context, env.tag);
+    OutJob job;
+    job.header = r.header;
+    if (r.is_long) {
+      job.kind = OutJob::Kind::kLongEnv;  // receiver re-acks if unserved
+    } else {
+      job.kind = OutJob::Kind::kEager;
+      job.owned = r.body;
+      job.body = r.body->data();
+      job.body_len = r.body->size();
+    }
+    ++stats_.replayed_msgs;
+    outq_(peer, sid).push_back(std::move(job));
+  }
+  pump_writes_();
+  note_activity_();
+}
+
+void SctpRpi::enqueue_retained_body_(int peer, const RetainedMsg& r) {
+  // Replay path: the rendezvous completed on our side before the failure,
+  // but the receiver re-acked it — rebuild the body job from the retained
+  // copy.
+  Envelope env = Envelope::decode(r.header);
+  env.flags = kFlagLong | kFlagLongBody;
+  OutJob job;
+  job.kind = OutJob::Kind::kLongBody;
+  job.header = env.encode();
+  job.owned = r.body;
+  job.body = r.body->data();
+  job.body_len = r.body->size();
+  ++stats_.replayed_msgs;
+  outq_(peer, stream_of(env.context, env.tag)).push_back(std::move(job));
+  pump_writes_();
+}
+
+void SctpRpi::declare_dead_(int peer) {
+  PeerReplay& rec = rec_of_(peer);
+  if (rec.dead) return;
+  rec.dead = true;
+  rec.down = true;
+  ++stats_.peers_declared_dead;
+  auto& rt = reconnect_timers_[static_cast<std::size_t>(peer)];
+  auto& gt = giveup_timers_[static_cast<std::size_t>(peer)];
+  if (rt) rt->cancel();
+  if (gt) gt->cancel();
+  const sctp::AssocId id = rank_to_assoc_[static_cast<std::size_t>(peer)];
+  unmap_assoc_(peer);
+  if (id != 0 && sock_->assoc(id) != nullptr) sock_->abort_assoc(id);
+  for (unsigned sid = 0; sid < cfg_.stream_pool; ++sid) {
+    outq_(peer, static_cast<std::uint16_t>(sid)).clear();
+  }
+  rec.retained.clear();
+
+  // Complete requests that can never finish so the application does not
+  // hang inside MPI_Wait; it learns of the failure via the event callback.
+  auto sweep = [peer](PeerSeqMap<RpiRequest*>& map, auto on_req) {
+    std::vector<std::uint32_t> seqs;
+    map.for_each([&](int pr, std::uint32_t s, RpiRequest*) {
+      if (pr == peer) seqs.push_back(s);
+    });
+    for (std::uint32_t s : seqs) {
+      if (RpiRequest* req = map.take(peer, s)) on_req(req);
+    }
+  };
+  sweep(pending_long_send_, [](RpiRequest* req) { req->done = true; });
+  sweep(pending_ssend_, [](RpiRequest* req) { req->done = true; });
+  sweep(pending_long_recv_, [peer](RpiRequest* req) {
+    req->status.source = peer;
+    req->status.count = 0;  // truncated: the body will never arrive
+    req->done = true;
+  });
+
+  if (on_peer_unreachable_) on_peer_unreachable_(peer);
+  note_activity_();
+}
+
+void SctpRpi::send_replay_ack_(int peer) {
+  PeerReplay& rec = rec_of_(peer);
+  Envelope ack;
+  ack.flags = kFlagReplayAck;
+  ack.src_rank = rank_;
+  ack.seq = rec.delivered_cum;
+  rec.msgs_since_ack = 0;
+  enqueue_ctl_(peer, 0, ack);
+}
+
+void SctpRpi::note_delivered_(int peer, std::uint32_t seq) {
+  PeerReplay& rec = rec_of_(peer);
+  rec.note_delivered(seq);
+  if (rec.msgs_since_ack >= cfg_.recovery.ack_every && !rec.dead &&
+      !rec.down) {
+    send_replay_ack_(peer);
+  }
+}
+
+RetainedMsg* SctpRpi::find_retained_(int peer, std::uint32_t seq) {
+  for (RetainedMsg& r : rec_of_(peer).retained) {
+    if (r.seq == seq) return &r;
+  }
+  return nullptr;
 }
 
 }  // namespace sctpmpi::core

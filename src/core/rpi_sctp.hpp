@@ -12,17 +12,30 @@
 // per-stream FIFO serialization) by default, with Option A available for
 // the ablation study. MPI_Init performs association setup with all peers
 // followed by an explicit barrier (§3.4).
+//
+// With RecoveryConfig.enabled the module also survives association
+// failure: kCommLost tears the peer's endpoint down, the lower rank
+// re-establishes the association with bounded exponential backoff (the
+// higher rank waits for the fresh INIT), and retained copies of
+// unacknowledged data messages are replayed under receiver-side sequence
+// dedup — exactly-once delivery to the matching layer. A peer-restart
+// (fresh INIT on an established association) surfaces as kCommLost
+// followed by kCommUp and flows through the same path.
 #pragma once
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "core/flat_hash.hpp"
 #include "core/matching.hpp"
+#include "core/recovery.hpp"
 #include "core/rpi.hpp"
 #include "sctp/socket.hpp"
 #include "sim/process.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
 
 namespace sctpmpi::core {
 
@@ -43,6 +56,13 @@ class SctpRpi : public Rpi {
     return match_.peek_unexpected(context, src, tag);
   }
   const RpiStats& stats() const override { return stats_; }
+
+  bool peer_dead(int peer) const override {
+    return rec_[static_cast<std::size_t>(peer)].dead;
+  }
+  void set_peer_unreachable_callback(std::function<void(int)> cb) override {
+    on_peer_unreachable_ = std::move(cb);
+  }
 
   /// TRC -> stream mapping (paper §2.3/§3.2.1): deterministic on both
   /// sides, bounded by the stream pool size.
@@ -66,13 +86,14 @@ class SctpRpi : public Rpi {
     enum class Kind { kEager, kCtl, kLongEnv, kLongBody };
     Kind kind = Kind::kCtl;
     std::vector<std::byte> header;      // envelope bytes
-    const std::byte* body = nullptr;    // user buffer view
+    const std::byte* body = nullptr;    // view into user buffer or `owned`
     std::size_t body_len = 0;
     RpiRequest* req = nullptr;
     bool completes_request = false;
     // Long-body progression.
     bool env_sent = false;
     std::size_t body_off = 0;
+    std::shared_ptr<std::vector<std::byte>> owned;  // retained body copy
   };
 
   /// Receive-side state per (association, stream) — paper §3.2.4: with
@@ -81,6 +102,7 @@ class SctpRpi : public Rpi {
     RpiRequest* long_req = nullptr;   // body destination (null: discard)
     std::size_t remaining = 0;        // long-body bytes still expected
     std::size_t offset = 0;
+    std::uint32_t seq = 0;            // message seq (recovery bookkeeping)
   };
 
   void pump_writes_();
@@ -107,6 +129,24 @@ class SctpRpi : public Rpi {
     return in_[static_cast<std::size_t>(peer) * cfg_.stream_pool + sid];
   }
 
+  // ---- recovery ----------------------------------------------------------
+  bool recovering_() const { return cfg_.recovery.enabled; }
+  PeerReplay& rec_of_(int peer) {
+    return rec_[static_cast<std::size_t>(peer)];
+  }
+  void drain_notifications_();
+  void handle_peer_down_(int peer);
+  void schedule_reconnect_(int peer);
+  void attempt_reconnect_(int peer);
+  void on_reconnected_(int peer);
+  void declare_dead_(int peer);
+  void send_replay_ack_(int peer);
+  void note_delivered_(int peer, std::uint32_t seq);
+  RetainedMsg* find_retained_(int peer, std::uint32_t seq);
+  void enqueue_retained_body_(int peer, const RetainedMsg& r);
+  void map_assoc_(int peer, sctp::AssocId id);
+  void unmap_assoc_(int peer);
+
   sctp::SctpStack& stack_;
   int rank_;
   int size_;
@@ -128,6 +168,13 @@ class SctpRpi : public Rpi {
   PeerSeqMap<RpiRequest*> pending_ssend_;
   std::vector<std::uint32_t> next_seq_;
   int barrier_ctl_seen_ = 0;  // init-barrier bookkeeping
+
+  // Recovery state (inert while cfg_.recovery.enabled is false).
+  std::vector<PeerReplay> rec_;
+  std::vector<std::unique_ptr<sim::Timer>> reconnect_timers_;
+  std::vector<std::unique_ptr<sim::Timer>> giveup_timers_;
+  sim::Rng jitter_rng_;
+  std::function<void(int)> on_peer_unreachable_;
 
   std::vector<std::byte> rxbuf_;
   sim::Process* proc_ = nullptr;

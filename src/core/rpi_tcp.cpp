@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "sim/simulator.hpp"
+
 namespace sctpmpi::core {
 
 TcpRpi::TcpRpi(tcp::TcpStack& stack, int rank, int size, RpiConfig cfg,
@@ -16,7 +18,10 @@ TcpRpi::TcpRpi(tcp::TcpStack& stack, int rank, int size, RpiConfig cfg,
       rank_addr_(std::move(rank_addr)),
       base_port_(base_port),
       peers_(static_cast<std::size_t>(size)),
-      next_seq_(static_cast<std::size_t>(size), 1) {}
+      next_seq_(static_cast<std::size_t>(size), 1),
+      rec_(static_cast<std::size_t>(size)),
+      jitter_rng_(sim::Rng(cfg.recovery.seed)
+                      .fork(9000u + static_cast<std::uint64_t>(rank))) {}
 
 void TcpRpi::charge_(sim::SimTime t) {
   if (proc_ != nullptr) proc_->charge(t);
@@ -30,10 +35,10 @@ void TcpRpi::charge_(sim::SimTime t) {
 
 void TcpRpi::init(sim::Process& proc) {
   proc_ = &proc;
-  tcp::TcpSocket* listener = stack_.create_socket();
-  listener->bind(static_cast<std::uint16_t>(base_port_ + rank_));
-  listener->listen();
-  listener->set_activity_callback([this] { note_activity_(); });
+  listener_ = stack_.create_socket();
+  listener_->bind(static_cast<std::uint16_t>(base_port_ + rank_));
+  listener_->listen();
+  listener_->set_activity_callback([this] { note_activity_(); });
 
   // Active connections to higher ranks; the 4-byte rank id identifies us.
   for (int peer = rank_ + 1; peer < size_; ++peer) {
@@ -67,7 +72,7 @@ void TcpRpi::init(sim::Process& proc) {
       }
     }
     // Accept from lower ranks and read their identification word.
-    while (tcp::TcpSocket* child = listener->accept()) {
+    while (tcp::TcpSocket* child = listener_->accept()) {
       child->set_activity_callback([this] { note_activity_(); });
       unidentified.push_back(child);
     }
@@ -87,6 +92,12 @@ void TcpRpi::init(sim::Process& proc) {
     }
     if (all_active_ready && identified == rank_) break;
     block(proc);
+  }
+
+  if (recovering_()) {
+    for (int peer = 0; peer < size_; ++peer) {
+      if (peer != rank_) wire_error_callback_(peer);
+    }
   }
 }
 
@@ -114,6 +125,13 @@ void TcpRpi::start_send(RpiRequest* req) {
   ++stats_.sends_started;
   const int peer = req->peer;
   assert(peer != rank_ && "self-sends are handled in the Mpi facade");
+  if (recovering_() && rec_of_(peer).dead) {
+    // Peer declared failed: sends complete as no-ops (the application
+    // learns of the failure through the rank-failure event, not through
+    // a hang inside MPI_Send).
+    req->done = true;
+    return;
+  }
   req->seq = next_seq_[static_cast<std::size_t>(peer)]++;
 
   Envelope env;
@@ -129,11 +147,27 @@ void TcpRpi::start_send(RpiRequest* req) {
     env.flags = req->sync ? kFlagSsend : kFlagShort;
     OutMsg m;
     m.header = env.encode();
-    m.body = req->send_buf;
-    m.body_len = req->send_len;
-    m.req = req;
-    m.completes_request = !req->sync;  // ssend completes on the ack
-    if (req->sync) pending_ssend_.put(peer, req->seq, req);
+    if (recovering_()) {
+      // Retain an owned copy: the request completes now (eager buffering),
+      // so the user buffer may be reused before delivery is confirmed.
+      m.owned = std::make_shared<std::vector<std::byte>>(
+          req->send_buf, req->send_buf + req->send_len);
+      m.body = m.owned->data();
+      m.body_len = m.owned->size();
+      rec_of_(peer).retain(
+          RetainedMsg{req->seq, env.flags, m.header, m.owned, false});
+      if (req->sync) {
+        pending_ssend_.put(peer, req->seq, req);
+      } else {
+        req->done = true;
+      }
+    } else {
+      m.body = req->send_buf;
+      m.body_len = req->send_len;
+      m.req = req;
+      m.completes_request = !req->sync;  // ssend completes on the ack
+      if (req->sync) pending_ssend_.put(peer, req->seq, req);
+    }
     p.outq.push_back(std::move(m));
     ++stats_.eager_msgs;
   } else {
@@ -141,6 +175,10 @@ void TcpRpi::start_send(RpiRequest* req) {
     env.flags = kFlagLong;
     OutMsg m;
     m.header = env.encode();
+    if (recovering_()) {
+      rec_of_(peer).retain(
+          RetainedMsg{req->seq, env.flags, m.header, nullptr, true});
+    }
     p.outq.push_back(std::move(m));
     pending_long_send_.put(peer, req->seq, req);
     ++stats_.rendezvous_msgs;
@@ -198,6 +236,7 @@ void TcpRpi::deliver_matched_(RpiRequest* req, const Envelope& env,
 void TcpRpi::enqueue_ctl_(int peer, const Envelope& env) {
   OutMsg m;
   m.header = env.encode();
+  m.is_ctl = true;
   peers_[static_cast<std::size_t>(peer)].outq.push_back(std::move(m));
   ++stats_.ctl_msgs;
   pump_writes_(peer);
@@ -215,10 +254,36 @@ void TcpRpi::enqueue_long_body_(int peer, RpiRequest* req) {
   env.seq = req->seq;
   OutMsg m;
   m.header = env.encode();
-  m.body = req->send_buf;
+  if (recovering_()) {
+    // Once the body is written the request completes and the user buffer
+    // may be reused; attach an owned copy to the retained rendezvous entry
+    // so a post-completion replay can still resend the body.
+    m.owned = std::make_shared<std::vector<std::byte>>(
+        req->send_buf, req->send_buf + req->send_len);
+    m.body = m.owned->data();
+    if (RetainedMsg* r = find_retained_(peer, req->seq)) r->body = m.owned;
+  } else {
+    m.body = req->send_buf;
+  }
   m.body_len = req->send_len;
   m.req = req;
   m.completes_request = true;
+  peers_[static_cast<std::size_t>(peer)].outq.push_back(std::move(m));
+  pump_writes_(peer);
+}
+
+void TcpRpi::enqueue_long_body_retained_(int peer, const RetainedMsg& r) {
+  // Replay path: the rendezvous request completed on our side before the
+  // failure, but the receiver re-acked it — rebuild the body envelope from
+  // the retained copy.
+  Envelope env = Envelope::decode(r.header);
+  env.flags = kFlagLong | kFlagLongBody;
+  OutMsg m;
+  m.header = env.encode();
+  m.owned = r.body;
+  m.body = r.body->data();
+  m.body_len = r.body->size();
+  ++stats_.replayed_msgs;
   peers_[static_cast<std::size_t>(peer)].outq.push_back(std::move(m));
   pump_writes_(peer);
 }
@@ -228,9 +293,19 @@ void TcpRpi::enqueue_long_body_(int peer, RpiRequest* req) {
 // ---------------------------------------------------------------------------
 
 void TcpRpi::advance() {
+  if (recovering_()) accept_reconnects_();
   for (int peer = 0; peer < size_; ++peer) {
-    if (peer == rank_ || peers_[static_cast<std::size_t>(peer)].sock == nullptr)
-      continue;
+    if (peer == rank_) continue;
+    Peer& p = peers_[static_cast<std::size_t>(peer)];
+    if (recovering_()) {
+      PeerReplay& rec = rec_of_(peer);
+      if (rec.down && !rec.dead && p.sock != nullptr &&
+          p.sock->connected()) {
+        on_reconnected_(peer);
+      }
+      if (rec.down || rec.dead) continue;  // endpoint not usable yet
+    }
+    if (p.sock == nullptr) continue;
     pump_writes_(peer);
     pump_reads_(peer);
   }
@@ -258,7 +333,14 @@ void TcpRpi::debug_dump() const {
               pending_long_send_.size(), pending_long_recv_.size());
   for (int peer = 0; peer < size_; ++peer) {
     const Peer& p = peers_[static_cast<std::size_t>(peer)];
-    if (p.sock == nullptr) continue;
+    const PeerReplay& rec = rec_[static_cast<std::size_t>(peer)];
+    if (p.sock == nullptr && !rec.down && !rec.dead) continue;
+    if (p.sock == nullptr) {
+      std::printf("  peer %d: down=%d dead=%d attempts=%u retained=%zu\n",
+                  peer, (int)rec.down, (int)rec.dead, rec.attempts,
+                  rec.retained.size());
+      continue;
+    }
     std::printf(
         "  peer %d: outq=%zu head_written=%zu rstate=%d body=%zu/%zu "
         "sock[%s cwnd=%u wnd_known=? buf=%zu readable=%d writable=%d]\n",
@@ -356,9 +438,22 @@ void TcpRpi::on_envelope_(int peer) {
   Peer& p = peers_[static_cast<std::size_t>(peer)];
   const Envelope& env = p.env;
 
+  if ((env.flags & kFlagReplayAck) != 0) {
+    // Recovery: peer advertises its contiguous delivered prefix; trim the
+    // retained-send queue up to it.
+    rec_of_(peer).trim(env.seq);
+    return;
+  }
   if ((env.flags & kFlagLongAck) != 0) {
     if (RpiRequest* req = pending_long_send_.take(peer, env.seq)) {
       enqueue_long_body_(peer, req);
+    } else if (recovering_()) {
+      // Re-acked after our request already completed (replay): resend the
+      // body from the retained copy.
+      RetainedMsg* r = find_retained_(peer, env.seq);
+      if (r != nullptr && r->body != nullptr) {
+        enqueue_long_body_retained_(peer, *r);
+      }
     }
     return;
   }
@@ -369,6 +464,10 @@ void TcpRpi::on_envelope_(int peer) {
   if ((env.flags & kFlagLongBody) != 0) {
     // Second envelope of the rendezvous: body follows on this stream.
     p.recv_req = pending_long_recv_.take(peer, env.seq);
+    if (recovering_() && p.recv_req == nullptr) {
+      // Replayed body we already consumed (double-ack race): drain it.
+      p.discard_body = true;
+    }
     p.body_total = env.length;
     p.body_have = 0;
     p.temp_body.clear();
@@ -377,6 +476,30 @@ void TcpRpi::on_envelope_(int peer) {
   }
   if ((env.flags & kFlagLong) != 0) {
     // Rendezvous request. Match now or buffer the envelope.
+    if (recovering_()) {
+      PeerReplay& rec = rec_of_(peer);
+      if (rec.was_delivered(env.seq)) {
+        ++stats_.dup_drops;  // body already fully delivered
+        return;
+      }
+      if (pending_long_recv_.find(peer, env.seq) != nullptr) {
+        // Our earlier ACK (or the body it triggered) was lost: re-ack.
+        ++stats_.dup_drops;
+        Envelope ack;
+        ack.flags = kFlagLongAck;
+        ack.tag = env.tag;
+        ack.context = env.context;
+        ack.src_rank = rank_;
+        ack.seq = env.seq;
+        enqueue_ctl_(peer, ack);
+        return;
+      }
+      if (rec.long_seen.contains(env.seq)) {
+        ++stats_.dup_drops;  // already buffered unexpected
+        return;
+      }
+      rec.long_seen.insert(env.seq, env.seq + 1);
+    }
     if (RpiRequest* req = match_.match_posted(env)) {
       pending_long_recv_.put(peer, env.seq, req);
       Envelope ack;
@@ -394,6 +517,21 @@ void TcpRpi::on_envelope_(int peer) {
   }
 
   // Eager short (possibly synchronous): body of env.length follows.
+  if (recovering_() && rec_of_(peer).was_delivered(env.seq)) {
+    // Replayed duplicate: drain the body, then (for ssend) re-ack so the
+    // sender — whose first ack may have been lost — can complete.
+    p.recv_req = nullptr;
+    p.discard_body = true;
+    p.body_total = env.length;
+    p.body_have = 0;
+    p.temp_body.clear();
+    if (env.length == 0) {
+      finish_body_(peer);
+    } else {
+      p.rstate = RState::kBody;
+    }
+    return;
+  }
   p.recv_req = match_.match_posted(env);
   p.body_total = env.length;
   p.body_have = 0;
@@ -411,6 +549,24 @@ void TcpRpi::finish_body_(int peer) {
   Peer& p = peers_[static_cast<std::size_t>(peer)];
   const Envelope& env = p.env;
   const bool needs_ssend_ack = (env.flags & kFlagSsend) != 0;
+
+  if (recovering_() && p.discard_body) {
+    // Replayed duplicate fully drained off the stream.
+    ++stats_.dup_drops;
+    if (needs_ssend_ack) {
+      Envelope ack;
+      ack.flags = kFlagSsendAck;
+      ack.context = env.context;
+      ack.src_rank = rank_;
+      ack.seq = env.seq;
+      enqueue_ctl_(peer, ack);
+    }
+    p.discard_body = false;
+    p.recv_req = nullptr;
+    p.temp_body = {};
+    p.rstate = RState::kEnvelope;
+    return;
+  }
 
   // A matching receive may have been posted while the body was in flight
   // on the byte stream; re-match now so a LATER message cannot overtake
@@ -446,6 +602,285 @@ void TcpRpi::finish_body_(int peer) {
   p.recv_req = nullptr;
   p.temp_body = {};
   p.rstate = RState::kEnvelope;
+  if (recovering_()) note_delivered_(peer, env.seq);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery: teardown, reconnect, replay
+// ---------------------------------------------------------------------------
+
+void TcpRpi::wire_error_callback_(int peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (p.sock == nullptr) return;
+  p.sock->set_error_callback(
+      [this, peer](const char*) { on_sock_error_(peer); });
+}
+
+void TcpRpi::on_sock_error_(int peer) {
+  if (!recovering_()) return;
+  PeerReplay& rec = rec_of_(peer);
+  if (rec.dead) return;
+  if (!rec.down) {
+    handle_peer_down_(peer);
+    return;
+  }
+  // Already down: an active-side reconnect attempt just failed.
+  if (peer > rank_) schedule_reconnect_(peer);
+}
+
+void TcpRpi::handle_peer_down_(int peer) {
+  PeerReplay& rec = rec_of_(peer);
+  if (rec.down || rec.dead) return;
+  rec.down = true;
+  ++stats_.peer_downs;
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (p.sock != nullptr) {
+    p.sock->deactivate();
+    p.sock = nullptr;
+  }
+
+  // Read side: rescue the in-flight incoming message's state. The bytes
+  // already read are discarded — replay re-sends the whole message.
+  if (p.rstate == RState::kBody && !p.discard_body) {
+    if ((p.env.flags & kFlagLongBody) != 0 && p.recv_req != nullptr) {
+      // Interrupted long body: re-arm the rendezvous so the replayed
+      // request envelope is re-acked and the body resent.
+      pending_long_recv_.put(peer, p.env.seq, p.recv_req);
+    } else if ((p.env.flags & kFlagLongBody) == 0 && p.recv_req != nullptr) {
+      // Interrupted eager body already matched a receive: put the receive
+      // back at the FRONT of the posted queue so the replay re-matches it
+      // before any later-posted receive (MPI same-TRC ordering).
+      match_.add_posted_front(p.recv_req);
+    }
+  }
+  p.rstate = RState::kEnvelope;
+  p.env_have = 0;
+  p.body_have = 0;
+  p.body_total = 0;
+  p.recv_req = nullptr;
+  p.temp_body = {};
+  p.discard_body = false;
+
+  // Write side: keep control messages (acks are not retained), drop data —
+  // the retained queue is the source of truth for replay. Dropped long-body
+  // jobs re-arm their rendezvous handshake.
+  std::deque<OutMsg> kept;
+  for (OutMsg& m : p.outq) {
+    if (m.is_ctl) {
+      m.written = 0;  // partial writes restart on the fresh connection
+      kept.push_back(std::move(m));
+    } else if (m.req != nullptr && m.completes_request) {
+      // In-progress long body: completes only once actually delivered.
+      pending_long_send_.put(peer, m.req->seq, m.req);
+    }
+  }
+  p.outq = std::move(kept);
+
+  sim::Simulator& sim = stack_.host().sim();
+  if (peer > rank_) {
+    // We dialed this connection originally; we re-dial.
+    rec.attempts = 0;
+    schedule_reconnect_(peer);
+  } else {
+    // Passive side: wait for the peer to re-dial, bounded.
+    if (!p.giveup_timer) {
+      p.giveup_timer = std::make_unique<sim::Timer>(
+          sim, [this, peer] { declare_dead_(peer); });
+    }
+    p.giveup_timer->arm(cfg_.recovery.passive_give_up);
+  }
+  note_activity_();
+}
+
+void TcpRpi::schedule_reconnect_(int peer) {
+  PeerReplay& rec = rec_of_(peer);
+  if (rec.dead) return;
+  if (rec.attempts >= cfg_.recovery.max_reconnect_attempts) {
+    declare_dead_(peer);
+    return;
+  }
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (!p.reconnect_timer) {
+    p.reconnect_timer = std::make_unique<sim::Timer>(
+        stack_.host().sim(), [this, peer] { attempt_reconnect_(peer); });
+  }
+  sim::SimTime delay = std::min(
+      cfg_.recovery.backoff_base << rec.attempts, cfg_.recovery.backoff_max);
+  delay += static_cast<sim::SimTime>(cfg_.recovery.jitter *
+                                     jitter_rng_.uniform() *
+                                     static_cast<double>(delay));
+  p.reconnect_timer->arm(delay);
+}
+
+void TcpRpi::attempt_reconnect_(int peer) {
+  PeerReplay& rec = rec_of_(peer);
+  if (rec.dead || !rec.down) return;
+  ++rec.attempts;
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  tcp::TcpSocket* s = stack_.create_socket();
+  s->connect(rank_addr_(peer),
+             static_cast<std::uint16_t>(base_port_ + peer));
+  s->set_activity_callback([this] { note_activity_(); });
+  p.sock = s;
+  wire_error_callback_(peer);
+  note_activity_();  // make sure advance() polls the connection state
+}
+
+void TcpRpi::accept_reconnects_() {
+  if (listener_ == nullptr) return;
+  while (tcp::TcpSocket* child = listener_->accept()) {
+    child->set_activity_callback([this] { note_activity_(); });
+    unidentified_.push_back(child);
+  }
+  for (auto it = unidentified_.begin(); it != unidentified_.end();) {
+    std::array<std::byte, 4> idword;
+    auto n = (*it)->recv(idword);
+    charge_(cfg_.call_cost);
+    if (n != 4) {
+      if ((*it)->failed()) {
+        it = unidentified_.erase(it);
+      } else {
+        ++it;
+      }
+      continue;
+    }
+    net::ByteReader r(idword);
+    const int peer = static_cast<int>(r.u32());
+    tcp::TcpSocket* s = *it;
+    it = unidentified_.erase(it);
+    // Only lower ranks dial us; reject nonsense and dead peers.
+    if (peer < 0 || peer >= rank_ || rec_of_(peer).dead) {
+      s->deactivate();
+      continue;
+    }
+    Peer& p = peers_[static_cast<std::size_t>(peer)];
+    if (!rec_of_(peer).down) {
+      // The peer re-dialed before we noticed the old connection die
+      // (e.g. it was restarted): tear the stale endpoint down first.
+      handle_peer_down_(peer);
+    }
+    p.sock = s;
+    wire_error_callback_(peer);
+    on_reconnected_(peer);
+  }
+}
+
+void TcpRpi::on_reconnected_(int peer) {
+  PeerReplay& rec = rec_of_(peer);
+  rec.down = false;
+  rec.attempts = 0;
+  ++stats_.reconnects;
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (p.reconnect_timer) p.reconnect_timer->cancel();
+  if (p.giveup_timer) p.giveup_timer->cancel();
+
+  // Rebuild the output queue: identification word (active side), then our
+  // cumulative delivered ack (lets the peer trim immediately), then the
+  // unacknowledged retained messages in send order, then surviving
+  // control messages.
+  std::deque<OutMsg> q;
+  if (peer > rank_) {
+    OutMsg id;
+    net::ByteWriter w(id.header);
+    w.u32(static_cast<std::uint32_t>(rank_));
+    q.push_back(std::move(id));
+  }
+  {
+    Envelope ack;
+    ack.flags = kFlagReplayAck;
+    ack.src_rank = rank_;
+    ack.seq = rec.delivered_cum;
+    OutMsg m;
+    m.header = ack.encode();
+    m.is_ctl = true;
+    ++stats_.ctl_msgs;
+    q.push_back(std::move(m));
+  }
+  rec.msgs_since_ack = 0;
+  for (const RetainedMsg& r : rec.retained) {
+    if (!net::seq_gt(r.seq, rec.acked_cum)) continue;
+    OutMsg m;
+    m.header = r.header;
+    if (!r.is_long && r.body != nullptr) {
+      // Eager replay: envelope + owned body. Long messages replay only the
+      // rendezvous envelope; the receiver re-acks if it still wants it.
+      m.owned = r.body;
+      m.body = r.body->data();
+      m.body_len = r.body->size();
+    }
+    ++stats_.replayed_msgs;
+    q.push_back(std::move(m));
+  }
+  for (OutMsg& m : p.outq) {
+    if (m.is_ctl) q.push_back(std::move(m));
+  }
+  p.outq = std::move(q);
+  pump_writes_(peer);
+  note_activity_();
+}
+
+void TcpRpi::declare_dead_(int peer) {
+  PeerReplay& rec = rec_of_(peer);
+  if (rec.dead) return;
+  rec.dead = true;
+  rec.down = true;
+  ++stats_.peers_declared_dead;
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (p.reconnect_timer) p.reconnect_timer->cancel();
+  if (p.giveup_timer) p.giveup_timer->cancel();
+  if (p.sock != nullptr) {
+    p.sock->deactivate();
+    p.sock = nullptr;
+  }
+  p.outq.clear();
+  rec.retained.clear();
+
+  // Complete requests that can never finish so the application does not
+  // hang inside MPI_Wait; it learns of the failure via the event callback.
+  auto sweep = [peer](PeerSeqMap<RpiRequest*>& map, auto on_req) {
+    std::vector<std::uint32_t> seqs;
+    map.for_each([&](int pr, std::uint32_t s, RpiRequest*) {
+      if (pr == peer) seqs.push_back(s);
+    });
+    for (std::uint32_t s : seqs) {
+      if (RpiRequest* req = map.take(peer, s)) on_req(req);
+    }
+  };
+  sweep(pending_long_send_, [](RpiRequest* req) { req->done = true; });
+  sweep(pending_ssend_, [](RpiRequest* req) { req->done = true; });
+  sweep(pending_long_recv_, [peer](RpiRequest* req) {
+    req->status.source = peer;
+    req->status.count = 0;  // truncated: the body will never arrive
+    req->done = true;
+  });
+
+  if (on_peer_unreachable_) on_peer_unreachable_(peer);
+  note_activity_();
+}
+
+void TcpRpi::send_replay_ack_(int peer) {
+  PeerReplay& rec = rec_of_(peer);
+  Envelope ack;
+  ack.flags = kFlagReplayAck;
+  ack.src_rank = rank_;
+  ack.seq = rec.delivered_cum;
+  rec.msgs_since_ack = 0;
+  enqueue_ctl_(peer, ack);
+}
+
+void TcpRpi::note_delivered_(int peer, std::uint32_t seq) {
+  PeerReplay& rec = rec_of_(peer);
+  rec.note_delivered(seq);
+  if (rec.msgs_since_ack >= cfg_.recovery.ack_every && !rec.dead) {
+    send_replay_ack_(peer);
+  }
+}
+
+RetainedMsg* TcpRpi::find_retained_(int peer, std::uint32_t seq) {
+  for (RetainedMsg& r : rec_of_(peer).retained) {
+    if (r.seq == seq) return &r;
+  }
+  return nullptr;
 }
 
 }  // namespace sctpmpi::core

@@ -5,6 +5,13 @@
 // in strict order, only one incoming message per peer can be in progress
 // (paper §3.2.4) — which is precisely what produces head-of-line blocking
 // between unrelated tags.
+//
+// With RecoveryConfig.enabled the module also survives connection failure:
+// the socket's error callback tears the endpoint down, the lower rank
+// re-dials with bounded exponential backoff (the higher rank waits on its
+// retained listener), and retained copies of unacknowledged data messages
+// are replayed under receiver-side sequence dedup — exactly-once delivery
+// to the matching layer (see DESIGN.md "failure semantics").
 #pragma once
 
 #include <array>
@@ -14,8 +21,10 @@
 
 #include "core/flat_hash.hpp"
 #include "core/matching.hpp"
+#include "core/recovery.hpp"
 #include "core/rpi.hpp"
 #include "sim/process.hpp"
+#include "sim/rng.hpp"
 #include "tcp/socket.hpp"
 
 namespace sctpmpi::core {
@@ -40,6 +49,13 @@ class TcpRpi : public Rpi {
   }
   const RpiStats& stats() const override { return stats_; }
 
+  bool peer_dead(int peer) const override {
+    return rec_[static_cast<std::size_t>(peer)].dead;
+  }
+  void set_peer_unreachable_callback(std::function<void(int)> cb) override {
+    on_peer_unreachable_ = std::move(cb);
+  }
+
   const MatchEngine& matcher() const { return match_; }
 
   /// Diagnostic state dump (used by deadlock investigations and tests).
@@ -48,11 +64,13 @@ class TcpRpi : public Rpi {
  private:
   struct OutMsg {
     std::vector<std::byte> header;      // envelope (+ owned control bytes)
-    const std::byte* body = nullptr;    // view into the user buffer
+    const std::byte* body = nullptr;    // view into user buffer or `owned`
     std::size_t body_len = 0;
     std::size_t written = 0;            // across header+body
     RpiRequest* req = nullptr;          // completed when fully written
     bool completes_request = false;
+    bool is_ctl = false;                // survives a recovery teardown
+    std::shared_ptr<std::vector<std::byte>> owned;  // retained body copy
   };
 
   enum class RState { kEnvelope, kBody };
@@ -68,8 +86,12 @@ class TcpRpi : public Rpi {
     std::vector<std::byte> temp_body;     // unexpected-message buffer
     std::size_t body_have = 0;
     std::size_t body_total = 0;
+    bool discard_body = false;            // replayed duplicate: drain only
     // Write side.
     std::deque<OutMsg> outq;
+    // Recovery timers (created lazily when recovery is enabled).
+    std::unique_ptr<sim::Timer> reconnect_timer;  // active (lower-rank) side
+    std::unique_ptr<sim::Timer> giveup_timer;     // passive side
   };
 
   void pump_reads_(int peer);
@@ -85,6 +107,24 @@ class TcpRpi : public Rpi {
     activity_ = true;
     if (blocked_proc_ != nullptr) blocked_proc_->wake();
   }
+
+  // ---- recovery ----------------------------------------------------------
+  bool recovering_() const { return cfg_.recovery.enabled; }
+  PeerReplay& rec_of_(int peer) {
+    return rec_[static_cast<std::size_t>(peer)];
+  }
+  void wire_error_callback_(int peer);
+  void on_sock_error_(int peer);
+  void handle_peer_down_(int peer);
+  void schedule_reconnect_(int peer);
+  void attempt_reconnect_(int peer);
+  void accept_reconnects_();
+  void on_reconnected_(int peer);
+  void declare_dead_(int peer);
+  void send_replay_ack_(int peer);
+  void note_delivered_(int peer, std::uint32_t seq);
+  RetainedMsg* find_retained_(int peer, std::uint32_t seq);
+  void enqueue_long_body_retained_(int peer, const RetainedMsg& r);
 
   tcp::TcpStack& stack_;
   int rank_;
@@ -102,6 +142,13 @@ class TcpRpi : public Rpi {
   PeerSeqMap<RpiRequest*> pending_long_recv_;
   PeerSeqMap<RpiRequest*> pending_ssend_;
   std::vector<std::uint32_t> next_seq_;  // per peer
+
+  // Recovery state (inert while cfg_.recovery.enabled is false).
+  std::vector<PeerReplay> rec_;
+  tcp::TcpSocket* listener_ = nullptr;   // retained to accept reconnects
+  std::vector<tcp::TcpSocket*> unidentified_;  // accepted, id word pending
+  sim::Rng jitter_rng_;
+  std::function<void(int)> on_peer_unreachable_;
 
   sim::Process* proc_ = nullptr;          // rank process (set at init)
   sim::Process* blocked_proc_ = nullptr;  // non-null while suspended

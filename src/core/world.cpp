@@ -54,11 +54,50 @@ World::World(WorldConfig cfg) : cfg_(cfg) {
           *sctp_stacks_.back(), r, cfg_.ranks, rpi_cfg, rank_addr));
     }
   }
+
+  if (cfg_.enable_lamd) {
+    bus_ = std::make_unique<FailureBus>(cfg_.ranks);
+    LamdConfig lcfg = cfg_.lamd;
+    // A TCP world has no SCTP stacks to carry the control channel; fall
+    // back to stock LAM's UDP daemons (paper §3.5.3).
+    if (cfg_.transport == TransportKind::kTcp) {
+      lcfg.transport = CtlTransport::kUdp;
+    }
+    for (int r = 0; r < cfg_.ranks; ++r) {
+      net::Host& host = cluster_->host(static_cast<unsigned>(r));
+      sctp::SctpStack* ss = nullptr;
+      net::UdpStack* us = nullptr;
+      if (lcfg.transport == CtlTransport::kSctp) {
+        ss = sctp_stacks_[static_cast<std::size_t>(r)].get();
+      } else {
+        udp_stacks_.push_back(std::make_unique<net::UdpStack>(host));
+        us = udp_stacks_.back().get();
+      }
+      lamds_.push_back(std::make_unique<LamDaemon>(host, r, cfg_.ranks, lcfg,
+                                                   rank_addr, ss, us));
+    }
+    // Dead-node verdicts from the master reach every surviving rank; a
+    // rank whose own RPI gives up on a peer hears about it locally even
+    // if it is the one cut off from the master.
+    lamds_[0]->set_node_dead_callback(
+        [this](int node) { bus_->announce(node, /*except=*/node); });
+    for (int r = 0; r < cfg_.ranks; ++r) {
+      rpis_[static_cast<std::size_t>(r)]->set_peer_unreachable_callback(
+          [this, r](int peer) { bus_->announce_to(r, peer); });
+    }
+  }
 }
 
 World::~World() = default;
 
 void World::run(std::function<void(Mpi&)> body) {
+  if (cfg_.enable_lamd && !lamds_started_) {
+    // Daemons live outside the rank processes: their timers keep firing
+    // for as long as the simulation is driven, and ProcessGroup::run_all
+    // returns once every rank finishes regardless of pending timer events.
+    for (auto& d : lamds_) d->start();
+    lamds_started_ = true;
+  }
   sim::ProcessGroup group(sim_);
   std::vector<sim::SimTime> finish(static_cast<std::size_t>(cfg_.ranks), 0);
   for (int r = 0; r < cfg_.ranks; ++r) {
@@ -67,7 +106,12 @@ void World::run(std::function<void(Mpi&)> body) {
                   Rpi& rpi = *rpis_[static_cast<std::size_t>(r)];
                   rpi.init(proc);
                   Mpi mpi(r, cfg_.ranks, rpi, proc);
+                  if (bus_ != nullptr) {
+                    bus_->attach(r, &proc);
+                    mpi.set_failure_bus(bus_.get());
+                  }
                   body(mpi);
+                  if (bus_ != nullptr) bus_->detach(r);
                   finish[static_cast<std::size_t>(r)] = sim_.now();
                   rpi.finalize(proc);
                 });

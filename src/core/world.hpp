@@ -8,9 +8,12 @@
 #include <memory>
 #include <vector>
 
+#include "core/failure.hpp"
+#include "core/lamd.hpp"
 #include "core/mpi.hpp"
 #include "core/rpi.hpp"
 #include "net/cluster.hpp"
+#include "net/udp.hpp"
 #include "sctp/config.hpp"
 #include "sctp/socket.hpp"
 #include "sim/process.hpp"
@@ -45,6 +48,12 @@ struct WorldConfig {
   /// discussed in DESIGN.md.
   double tcp_rx_byte_cost_ns = 4.5;
   double sctp_rx_byte_cost_ns = 0.35;
+  /// Runs a LAM daemon on every node and routes its master's dead-node
+  /// verdicts (plus per-rank RPI give-ups) onto a FailureBus the job can
+  /// poll through Mpi::poll_rank_failure. Off by default: the daemons add
+  /// background control traffic that would perturb the golden traces.
+  bool enable_lamd = false;
+  LamdConfig lamd;
 };
 
 class World {
@@ -68,6 +77,13 @@ class World {
   Rpi& rpi(int rank) { return *rpis_.at(static_cast<std::size_t>(rank)); }
   const WorldConfig& config() const { return cfg_; }
 
+  /// Rank-failure event fan-out (null unless cfg.enable_lamd).
+  FailureBus* failure_bus() { return bus_.get(); }
+  /// Node `n`'s daemon (cfg.enable_lamd only; node 0 is the master).
+  LamDaemon& lamd(int node) {
+    return *lamds_.at(static_cast<std::size_t>(node));
+  }
+
   /// Aggregate transport statistics across all ranks.
   struct Totals {
     std::uint64_t packets = 0;
@@ -84,6 +100,11 @@ class World {
   std::vector<std::unique_ptr<tcp::TcpStack>> tcp_stacks_;
   std::vector<std::unique_ptr<sctp::SctpStack>> sctp_stacks_;
   std::vector<std::unique_ptr<Rpi>> rpis_;
+  // Control plane (enable_lamd only).
+  std::unique_ptr<FailureBus> bus_;
+  std::vector<std::unique_ptr<net::UdpStack>> udp_stacks_;
+  std::vector<std::unique_ptr<LamDaemon>> lamds_;
+  bool lamds_started_ = false;
   sim::SimTime elapsed_ = 0;
 };
 

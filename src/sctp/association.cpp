@@ -962,6 +962,7 @@ void Association::shutdown() {
 
 void Association::abort() {
   if (state_ == AssocState::kClosed) return;
+  SCTPDBG("[%f] port %u assoc %u ABORT send\n", (double)sim_.now()/1e9, socket_.port(), id_);
   send_chunk_now_(TypedChunk{ChunkType::kAbort, AbortChunk{}}, primary_path_);
   enter_closed_(/*lost=*/true);
 }
@@ -1035,6 +1036,7 @@ void Association::handle_shutdown_(const ShutdownChunk& sd) {
 }
 
 void Association::enter_closed_(bool lost) {
+  SCTPDBG("[%f] port %u assoc %u CLOSED lost=%d\n", (double)sim_.now()/1e9, socket_.port(), id_, (int)lost);
   state_ = AssocState::kClosed;
   t1_timer_.cancel();
   t2_timer_.cancel();

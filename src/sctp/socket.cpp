@@ -316,7 +316,17 @@ void SctpSocket::handle_init_(const SctpPacket& pkt, const InitChunk& init,
                               net::IpAddr from, net::IpAddr to) {
   Association* existing = find_by_peer_(from, pkt.sport);
   if (existing != nullptr && existing->established()) {
-    return;  // stale duplicate INIT for a live association: ignore
+    if (init.initiate_tag == existing->peer_vtag()) {
+      return;  // stale duplicate INIT for a live association: ignore
+    }
+    // Peer restart (RFC 4960 §5.2.2, action A): a *fresh* INIT — new
+    // initiate tag — on an established association means the peer lost
+    // all association state (crash/restart or a recovery reconnect from
+    // the far side). Tear the old association down, surfacing kCommLost,
+    // then answer the INIT below as a brand-new stateless setup.
+    ++restarts_detected_;
+    existing->enter_closed_(/*lost=*/true);
+    existing = nullptr;
   }
   if (existing == nullptr && !listening_) return;
 

@@ -124,6 +124,9 @@ class SctpSocket {
   SctpStack& stack() { return stack_; }
   const SctpConfig& config() const;
   std::size_t association_count() const { return assocs_.size(); }
+  /// Peer restarts detected: fresh INITs (new verification tag) received
+  /// on an established association, each tearing the old association down.
+  std::uint64_t restarts_detected() const { return restarts_detected_; }
 
   /// Fires whenever readability/writability/notifications may have changed.
   void set_activity_callback(std::function<void()> cb) {
@@ -164,6 +167,7 @@ class SctpSocket {
   std::deque<QueuedMessage> recv_q_;
   std::deque<Notification> notifications_;
   AssocId next_assoc_id_ = 1;
+  std::uint64_t restarts_detected_ = 0;
   std::function<void()> on_activity_;
 };
 

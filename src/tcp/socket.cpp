@@ -734,11 +734,25 @@ void TcpSocket::fail_(const char* reason) {
                 snd_nxt_ - snd_una_, snd_wnd_);
   }
   failed_ = true;
+  failure_reason_ = reason;
   state_ = TcpState::kClosed;
   rtx_timer_.cancel();
   persist_timer_.cancel();
   delack_timer_.cancel();
   notify_activity_();
+  if (on_error_) on_error_(reason);
+}
+
+void TcpSocket::deactivate() {
+  if (failed_ || state_ == TcpState::kClosed) return;
+  // Quiet local teardown: no RST, no error callback — the owner asked for
+  // this, it is not a failure being discovered.
+  failed_ = true;
+  failure_reason_ = "deactivated";
+  state_ = TcpState::kClosed;
+  rtx_timer_.cancel();
+  persist_timer_.cancel();
+  delack_timer_.cancel();
 }
 
 // --------------------------------------------------------------------------

@@ -86,6 +86,10 @@ class TcpSocket {
   std::ptrdiff_t recv(std::span<std::byte> out);
   void close();
   void abort();  // send RST, drop everything
+  /// Local teardown without wire traffic: used when a recovered connection
+  /// supersedes this one and the old peer endpoint is already gone (an RST
+  /// would be addressed to nobody).
+  void deactivate();
 
   bool readable() const {
     return !recv_q_.empty() || (fin_received_ && ooo_.empty()) || failed_;
@@ -98,6 +102,8 @@ class TcpSocket {
   bool has_pending_accept() const { return !accept_q_.empty(); }
   bool connected() const { return state_ == TcpState::kEstablished; }
   bool failed() const { return failed_; }
+  /// Why fail_() fired; empty string while !failed().
+  const char* failure_reason() const { return failure_reason_; }
   TcpState state() const { return state_; }
   std::uint16_t local_port() const { return lport_; }
   net::IpAddr remote_addr() const { return raddr_; }
@@ -114,6 +120,14 @@ class TcpSocket {
   /// may have changed; progress engines hook their wakeups here.
   void set_activity_callback(std::function<void()> cb) {
     on_activity_ = std::move(cb);
+  }
+
+  /// Invoked exactly once when the connection fails terminally (RST
+  /// received, retransmission limits exceeded): the explicit upward error
+  /// notification the recovery layer keys on. Fires after `failed()`
+  /// becomes observable.
+  void set_error_callback(std::function<void(const char*)> cb) {
+    on_error_ = std::move(cb);
   }
 
  private:
@@ -161,6 +175,8 @@ class TcpSocket {
   TcpConfig cfg_;
   TcpState state_ = TcpState::kClosed;
   bool failed_ = false;
+  const char* failure_reason_ = "";
+  std::function<void(const char*)> on_error_;
 
   std::uint16_t lport_ = 0;
   net::IpAddr raddr_;

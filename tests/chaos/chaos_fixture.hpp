@@ -1,0 +1,213 @@
+// Shared harness for the randomized chaos tier (`ctest -L chaos`).
+//
+// Each chaos test builds a World with recovery enabled and tightened
+// failure-detection timers, derives a fault schedule from a seed (timed
+// blackouts, Gilbert-Elliott bursty loss, base Bernoulli loss), runs a
+// payload-verified workload and checks the recovery oracles:
+//
+//   1. correctness — every payload byte verified at the receiver; the
+//      farm additionally checks exactly-once task accounting;
+//   2. liveness — the job finishes within a generous sim-time budget
+//      (a hang surfaces as the simulator's deadlock exception first);
+//   3. protocol sanity — cumulative acks never move backwards on a
+//      surviving connection/association (wraparound-aware);
+//   4. determinism — rerunning a seed reproduces the packet trace
+//      byte-for-byte (checked on a subset of seeds to bound test time).
+//
+// Schedule contract (see DESIGN.md "failure semantics"): a temporary
+// blackout must be shorter than every declare-dead threshold in play, and
+// a worker once declared dead must never be revived by the schedule.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/world.hpp"
+#include "net/bytes.hpp"
+#include "sim/rng.hpp"
+#include "trace/packet_trace.hpp"
+
+namespace sctpmpi::chaos {
+
+/// Recovery-enabled world with failure detection tightened so teardown,
+/// reconnect and replay all happen within a few sim-seconds instead of
+/// the conservative production defaults (447 s for stock TCP).
+inline core::WorldConfig chaos_world_config(core::TransportKind t,
+                                            std::uint64_t seed, int ranks) {
+  core::WorldConfig cfg;
+  cfg.transport = t;
+  cfg.seed = seed;
+  cfg.ranks = ranks;
+  cfg.rpi.recovery.enabled = true;
+  cfg.rpi.recovery.seed = seed;
+  cfg.rpi.recovery.max_reconnect_attempts = 8;
+  cfg.rpi.recovery.backoff_base = 200 * sim::kMillisecond;
+  cfg.rpi.recovery.backoff_max = 2 * sim::kSecond;
+  cfg.rpi.recovery.passive_give_up = 12 * sim::kSecond;
+  // Transport-level failure detection: give up after roughly 3 s of
+  // unanswered retransmissions (0.2+0.4+0.8+1.6 once the measured RTT
+  // has pulled the RTO down to min_rto) rather than minutes.
+  cfg.tcp.min_rto = 200 * sim::kMillisecond;
+  cfg.tcp.initial_rto = 400 * sim::kMillisecond;
+  cfg.tcp.max_rto = 2 * sim::kSecond;
+  cfg.tcp.max_data_retries = 3;
+  cfg.sctp.rto_min = 200 * sim::kMillisecond;
+  cfg.sctp.rto_initial = 400 * sim::kMillisecond;
+  cfg.sctp.rto_max = 2 * sim::kSecond;
+  cfg.sctp.assoc_max_retrans = 3;
+  cfg.sctp.path_max_retrans = 2;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Fault schedules
+// ---------------------------------------------------------------------------
+
+/// Blacks out host `h` in both directions over [start, end).
+inline void blackout_host(core::World& w, unsigned h, sim::SimTime start,
+                          sim::SimTime end) {
+  w.cluster().uplink(h).faults().add_blackout(start, end);
+  w.cluster().downlink(h).faults().add_blackout(start, end);
+}
+
+/// Seed-derived background chaos: 1-3 short blackouts on random hosts
+/// plus optional bursty and Bernoulli loss. Every blackout is shorter
+/// than `max_blackout`, which callers pick below the declare-dead
+/// thresholds for survivable schedules.
+inline void add_random_faults(core::World& w, std::uint64_t seed,
+                              sim::SimTime earliest, sim::SimTime latest,
+                              sim::SimTime max_blackout) {
+  sim::Rng rng(seed ^ 0xC4A05ull);
+  const unsigned hosts = static_cast<unsigned>(w.config().ranks);
+  const int blackouts = 1 + static_cast<int>(rng.uniform_int(3));
+  for (int i = 0; i < blackouts; ++i) {
+    const unsigned h = static_cast<unsigned>(rng.uniform_int(hosts));
+    const sim::SimTime start =
+        earliest + static_cast<sim::SimTime>(
+                       rng.uniform() * static_cast<double>(latest - earliest));
+    const sim::SimTime len =
+        max_blackout / 4 +
+        static_cast<sim::SimTime>(
+            rng.uniform() * static_cast<double>(max_blackout / 2));
+    blackout_host(w, h, start, start + len);
+  }
+  if (rng.uniform() < 0.5) {
+    net::GilbertElliottParams ge;
+    ge.p_good_to_bad = 0.002;
+    ge.p_bad_to_good = 0.2;
+    ge.loss_bad = 0.3;
+    const unsigned h = static_cast<unsigned>(rng.uniform_int(hosts));
+    w.cluster().uplink(h).faults().set_gilbert_elliott(ge);
+  }
+  if (rng.uniform() < 0.5) {
+    w.cluster().set_loss(0.005 + rng.uniform() * 0.01);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Payload-verified ping-pong
+// ---------------------------------------------------------------------------
+
+inline std::byte expected_byte(std::uint32_t stamp, std::size_t pos) {
+  return static_cast<std::byte>((stamp * 2654435761u + pos * 131u) >> 13);
+}
+
+inline void fill_payload(std::vector<std::byte>& buf, std::uint32_t stamp) {
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = expected_byte(stamp, i);
+  }
+}
+
+inline void check_payload(const std::vector<std::byte>& buf,
+                          std::uint32_t stamp, std::size_t count) {
+  ASSERT_EQ(count, buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    ASSERT_EQ(buf[i], expected_byte(stamp, i))
+        << "payload corrupt at byte " << i << " of message " << stamp;
+  }
+}
+
+/// Blocking ping-pong between ranks 0 and 1 with per-message payload
+/// stamps verified on both sides; tags cycle so SCTP spreads messages
+/// across streams. `pace` is simulated compute between iterations on
+/// rank 0 — it stretches the run across sim-time so a fault schedule
+/// actually overlaps the traffic instead of landing after a
+/// microsecond-scale burst has already finished.
+inline void run_verified_pingpong(core::World& world, int iterations,
+                                  std::size_t message_size,
+                                  sim::SimTime pace = 0) {
+  world.run([&](core::Mpi& mpi) {
+    std::vector<std::byte> buf(message_size);
+    for (int i = 0; i < iterations; ++i) {
+      const auto stamp = static_cast<std::uint32_t>(i);
+      const int tag = 1 + i % 8;
+      if (mpi.rank() == 0) {
+        fill_payload(buf, stamp);
+        mpi.send(buf, 1, tag);
+        const core::MpiStatus st = mpi.recv(buf, 1, tag);
+        check_payload(buf, stamp + 0x10000u, st.count);
+        if (pace > 0) mpi.compute(pace);
+      } else {
+        const core::MpiStatus st = mpi.recv(buf, 0, tag);
+        check_payload(buf, stamp, st.count);
+        fill_payload(buf, stamp + 0x10000u);
+        mpi.send(buf, 0, tag);
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Oracles
+// ---------------------------------------------------------------------------
+
+/// Oracle 3: on a run with no connection teardown, the cumulative ack
+/// (TCP ack field / SCTP SACK cum-TSN) observed at each capture point
+/// never moves backwards, modulo serial-number wraparound. Grouping by
+/// point is sound only while each host pair keeps a single
+/// connection/association — callers restrict this oracle to 2-rank
+/// schedules without teardown.
+inline void check_cum_ack_monotonic(const trace::PacketTrace& trace,
+                                    core::TransportKind transport) {
+  std::uint32_t last_h0 = 0, last_h1 = 0;
+  bool seen_h0 = false, seen_h1 = false;
+  for (const auto& r : trace.records()) {
+    if (r.verdict != net::PacketVerdict::kSent) continue;
+    if (transport == core::TransportKind::kSctp) {
+      if (!r.has_chunk("SACK")) continue;
+    } else {
+      // TCP: every established-state segment carries the cumulative ack;
+      // skip the handshake (ack not yet meaningful) and resets.
+      if (r.ack == 0 || r.has_chunk("SYN") || r.has_chunk("RST")) continue;
+    }
+    std::uint32_t* last = nullptr;
+    bool* seen = nullptr;
+    if (r.point == "h0") {
+      last = &last_h0;
+      seen = &seen_h0;
+    } else if (r.point == "h1") {
+      last = &last_h1;
+      seen = &seen_h1;
+    } else {
+      continue;
+    }
+    if (*seen) {
+      ASSERT_FALSE(net::seq_gt(*last, r.ack))
+          << "cumulative ack moved backwards at " << r.point << " t="
+          << r.time << ": " << *last << " -> " << r.ack;
+    }
+    *last = r.ack;
+    *seen = true;
+  }
+}
+
+/// Oracle 2: the job finished inside the sim-time budget.
+inline void check_budget(const core::World& world, double budget_seconds) {
+  ASSERT_LT(world.elapsed_seconds(), budget_seconds)
+      << "job exceeded its sim-time budget — recovery stalled somewhere";
+}
+
+}  // namespace sctpmpi::chaos

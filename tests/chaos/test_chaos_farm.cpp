@@ -1,0 +1,173 @@
+// Chaos tier: the failure-aware processor farm under fault schedules,
+// including mid-job worker kills. The manager learns of dead workers
+// through the control plane (LamDaemon verdicts + RPI give-ups on the
+// FailureBus), returns their unfinished tasks to the pool and reassigns
+// them; killed workers detect their own isolation and exit, so the whole
+// simulated job terminates. Exactly-once accounting is the core oracle:
+// every task id contributes its check value to result_sum exactly once,
+// no matter how many times it was assigned.
+#include <gtest/gtest.h>
+
+#include "apps/farm_recovery.hpp"
+#include "tests/chaos/chaos_fixture.hpp"
+
+namespace sctpmpi {
+namespace {
+
+using chaos::add_random_faults;
+using chaos::blackout_host;
+using chaos::chaos_world_config;
+
+constexpr int kRanks = 5;  // one manager + four workers
+constexpr int kTasks = 80;
+
+struct FarmCase {
+  core::TransportKind transport;
+  std::uint64_t seed;
+};
+
+std::string case_name(const testing::TestParamInfo<FarmCase>& info) {
+  return std::string(core::to_string(info.param.transport)) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+core::WorldConfig farm_config(const FarmCase& p) {
+  core::WorldConfig cfg = chaos_world_config(p.transport, p.seed, kRanks);
+  cfg.enable_lamd = true;
+  cfg.lamd.status_interval = 200 * sim::kMillisecond;
+  cfg.lamd.dead_after = sim::kSecond;
+  // A killed worker is the passive side of its manager link; this is how
+  // long it waits for the manager to redial before concluding it is the
+  // one that was cut off.
+  cfg.rpi.recovery.passive_give_up = 5 * sim::kSecond;
+  return cfg;
+}
+
+apps::FarmRecoveryParams farm_params() {
+  apps::FarmRecoveryParams params;
+  params.num_tasks = kTasks;
+  params.task_size = 8 * 1024;
+  params.window = 4;
+  // 80 tasks x 50 ms across four workers keeps the job alive for ~1.1 s
+  // of sim time, so mid-job kill schedules actually land mid-job.
+  params.work_per_task = 50 * sim::kMillisecond;
+  return params;
+}
+
+std::uint64_t expected_result_sum() {
+  std::uint64_t sum = 0;
+  for (int t = 0; t < kTasks; ++t) {
+    sum += apps::farm_task_result(static_cast<std::uint32_t>(t));
+  }
+  return sum;
+}
+
+void check_exactly_once(const apps::FarmRecoveryResult& r) {
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.tasks_completed, kTasks);
+  EXPECT_EQ(r.result_sum, expected_result_sum())
+      << "result sum off: a task was double-counted or lost";
+}
+
+// ---------------------------------------------------------------------------
+// Survive: background chaos below every declare-dead threshold
+// ---------------------------------------------------------------------------
+
+class ChaosFarmSurvive : public testing::TestWithParam<FarmCase> {};
+
+TEST_P(ChaosFarmSurvive, AllTasksExactlyOnceNoFailures) {
+  const auto& p = GetParam();
+  // Blackouts of at most ~300 ms: below the ~3 s transport give-up AND
+  // below the 1 s lamd dead_after, so no worker is ever written off.
+  const auto result = apps::run_farm_recovering(
+      farm_config(p), farm_params(), [&](core::World& w) {
+        add_random_faults(w, p.seed, 100 * sim::kMillisecond,
+                          sim::kSecond, 300 * sim::kMillisecond);
+      });
+  check_exactly_once(result);
+  EXPECT_EQ(result.workers_failed, 0);
+  EXPECT_EQ(result.reassigned_tasks, 0);
+  EXPECT_LT(result.total_runtime_seconds, 60.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, ChaosFarmSurvive,
+    testing::Values(FarmCase{core::TransportKind::kSctp, 41},
+                    FarmCase{core::TransportKind::kSctp, 43},
+                    FarmCase{core::TransportKind::kTcp, 41},
+                    FarmCase{core::TransportKind::kTcp, 42}),
+    case_name);
+
+// ---------------------------------------------------------------------------
+// Worker kill: permanent mid-job blackout of one worker
+// ---------------------------------------------------------------------------
+
+class ChaosFarmWorkerKill : public testing::TestWithParam<FarmCase> {};
+
+TEST_P(ChaosFarmWorkerKill, TasksReassignedJobCompletes) {
+  const auto& p = GetParam();
+  const auto result = apps::run_farm_recovering(
+      farm_config(p), farm_params(), [&](core::World& w) {
+        sim::Rng kill_rng(p.seed ^ 0xDEADull);
+        const unsigned victim =
+            1 + static_cast<unsigned>(kill_rng.uniform_int(kRanks - 1));
+        const auto at = static_cast<sim::SimTime>(
+            300 * sim::kMillisecond +
+            kill_rng.uniform() * static_cast<double>(600 * sim::kMillisecond));
+        blackout_host(w, victim, at, 10'000 * sim::kSecond);
+      });
+  check_exactly_once(result);
+  EXPECT_EQ(result.workers_failed, 1);
+  EXPECT_LT(result.total_runtime_seconds, 90.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, ChaosFarmWorkerKill,
+    testing::Values(FarmCase{core::TransportKind::kSctp, 51},
+                    FarmCase{core::TransportKind::kSctp, 52},
+                    FarmCase{core::TransportKind::kTcp, 51},
+                    FarmCase{core::TransportKind::kTcp, 52}),
+    case_name);
+
+// Two workers die at different times; half the compute capacity is gone
+// but every task still lands exactly once.
+class ChaosFarmTwoKills : public testing::TestWithParam<FarmCase> {};
+
+TEST_P(ChaosFarmTwoKills, SurvivorsFinishThePool) {
+  const auto& p = GetParam();
+  const auto result = apps::run_farm_recovering(
+      farm_config(p), farm_params(), [&](core::World& w) {
+        blackout_host(w, 1, 400 * sim::kMillisecond, 10'000 * sim::kSecond);
+        blackout_host(w, 3, 900 * sim::kMillisecond, 10'000 * sim::kSecond);
+      });
+  check_exactly_once(result);
+  EXPECT_EQ(result.workers_failed, 2);
+  EXPECT_LT(result.total_runtime_seconds, 90.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, ChaosFarmTwoKills,
+    testing::Values(FarmCase{core::TransportKind::kSctp, 61},
+                    FarmCase{core::TransportKind::kTcp, 61}),
+    case_name);
+
+// Determinism oracle for the full stack, lamd control traffic and a
+// worker kill included: the same seed reproduces the run's observable
+// outcome (result sum, reassignments, sim-time to the nanosecond).
+TEST(ChaosFarmDeterminism, SeedReproducesRun) {
+  auto one_run = [&] {
+    FarmCase p{core::TransportKind::kTcp, 71};
+    std::string text;
+    const auto result = apps::run_farm_recovering(
+        farm_config(p), farm_params(), [&](core::World& w) {
+          blackout_host(w, 2, 800 * sim::kMillisecond, 10'000 * sim::kSecond);
+        });
+    EXPECT_EQ(result.tasks_completed, kTasks);
+    return result.result_sum + result.reassigned_tasks * 1000003ull +
+           static_cast<std::uint64_t>(result.total_runtime_seconds * 1e9);
+  };
+  EXPECT_EQ(one_run(), one_run());
+}
+
+}  // namespace
+}  // namespace sctpmpi

@@ -1,0 +1,209 @@
+// Chaos tier: payload-verified ping-pong under randomized fault
+// schedules. Three scenario families:
+//
+//   * Survive — short blackouts + bursty/Bernoulli loss, all below the
+//     teardown thresholds: the transports ride it out with plain
+//     retransmission and no endpoint is ever torn down (the monotonic
+//     cum-ack oracle depends on that).
+//   * Teardown — a blackout long enough for the transport to give up:
+//     the RPI tears the endpoint down, reconnects with backoff once the
+//     blackout lifts and replays retained messages. The pingpong still
+//     verifies every payload byte, pinning exactly-once delivery.
+//   * PeerRestart (SCTP) — only the active side (rank 0) is blacked out
+//     and gives up; the passive side keeps its association until the
+//     fresh INIT arrives, exercising the restart path (new vtag on an
+//     established association).
+#include <gtest/gtest.h>
+
+#include "core/rpi_sctp.hpp"
+#include "tests/chaos/chaos_fixture.hpp"
+
+namespace sctpmpi {
+namespace {
+
+using chaos::add_random_faults;
+using chaos::blackout_host;
+using chaos::chaos_world_config;
+using chaos::check_budget;
+using chaos::check_cum_ack_monotonic;
+using chaos::run_verified_pingpong;
+
+struct PingPongCase {
+  core::TransportKind transport;
+  std::uint64_t seed;
+};
+
+std::string case_name(const testing::TestParamInfo<PingPongCase>& info) {
+  return std::string(core::to_string(info.param.transport)) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+// ---------------------------------------------------------------------------
+// Survive: faults below every teardown threshold
+// ---------------------------------------------------------------------------
+
+class ChaosPingPongSurvive : public testing::TestWithParam<PingPongCase> {};
+
+TEST_P(ChaosPingPongSurvive, CompletesWithVerifiedPayloads) {
+  const auto& p = GetParam();
+  core::WorldConfig cfg = chaos_world_config(p.transport, p.seed, 2);
+  core::World world(cfg);
+  trace::PacketTrace trace;
+  trace.attach(world.cluster());
+  // Blackouts of at most ~100 ms: far below the ~3 s transport give-up,
+  // so both endpoints survive and the single connection/association per
+  // host pair persists for the whole run. The 40 ms pace stretches the
+  // run to ~2.4 s so the schedule overlaps the traffic.
+  add_random_faults(world, p.seed, 50 * sim::kMillisecond, 2 * sim::kSecond,
+                    100 * sim::kMillisecond);
+  run_verified_pingpong(world, /*iterations=*/60, /*message_size=*/8 * 1024,
+                        /*pace=*/40 * sim::kMillisecond);
+  check_budget(world, 60.0);
+  check_cum_ack_monotonic(trace, p.transport);
+  EXPECT_EQ(world.rpi(0).stats().peers_declared_dead, 0u);
+  EXPECT_EQ(world.rpi(1).stats().peers_declared_dead, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, ChaosPingPongSurvive,
+    testing::Values(PingPongCase{core::TransportKind::kSctp, 1},
+                    PingPongCase{core::TransportKind::kSctp, 2},
+                    PingPongCase{core::TransportKind::kSctp, 3},
+                    PingPongCase{core::TransportKind::kSctp, 4},
+                    PingPongCase{core::TransportKind::kSctp, 5},
+                    PingPongCase{core::TransportKind::kTcp, 1},
+                    PingPongCase{core::TransportKind::kTcp, 2},
+                    PingPongCase{core::TransportKind::kTcp, 3},
+                    PingPongCase{core::TransportKind::kTcp, 4},
+                    PingPongCase{core::TransportKind::kTcp, 5}),
+    case_name);
+
+// Oracle 4 on a subset: the same seed reproduces the packet trace
+// byte-for-byte, fault schedule and recovery machinery included.
+class ChaosPingPongDeterminism : public testing::TestWithParam<PingPongCase> {
+};
+
+TEST_P(ChaosPingPongDeterminism, SeedReproducesTraceByteForByte) {
+  const auto& p = GetParam();
+  auto one_run = [&] {
+    core::WorldConfig cfg = chaos_world_config(p.transport, p.seed, 2);
+    core::World world(cfg);
+    trace::PacketTrace trace;
+    trace.attach(world.cluster());
+    add_random_faults(world, p.seed, 50 * sim::kMillisecond,
+                      2 * sim::kSecond, 100 * sim::kMillisecond);
+    run_verified_pingpong(world, 40, 8 * 1024, 40 * sim::kMillisecond);
+    return trace.to_text();
+  };
+  const std::string first = one_run();
+  const std::string second = one_run();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, ChaosPingPongDeterminism,
+    testing::Values(PingPongCase{core::TransportKind::kSctp, 7},
+                    PingPongCase{core::TransportKind::kTcp, 7}),
+    case_name);
+
+// ---------------------------------------------------------------------------
+// Teardown: blackout outlives the transport give-up; reconnect + replay
+// ---------------------------------------------------------------------------
+
+class ChaosPingPongTeardown : public testing::TestWithParam<PingPongCase> {};
+
+TEST_P(ChaosPingPongTeardown, ReconnectsAndReplays) {
+  const auto& p = GetParam();
+  core::WorldConfig cfg = chaos_world_config(p.transport, p.seed, 2);
+  core::World world(cfg);
+  sim::Rng rng(p.seed ^ 0x7EA2ull);
+  // One long blackout of host 1 (3.5-4.5 s), comfortably past the ~3 s
+  // transport give-up, landing mid-run: both RPIs observe the failure,
+  // tear down, and the active side (rank 0) redials under backoff until
+  // the blackout lifts.
+  const auto start = static_cast<sim::SimTime>(
+      200 * sim::kMillisecond +
+      rng.uniform() * static_cast<double>(300 * sim::kMillisecond));
+  const auto len = static_cast<sim::SimTime>(
+      3500 * sim::kMillisecond +
+      rng.uniform() * static_cast<double>(1000 * sim::kMillisecond));
+  blackout_host(world, 1, start, start + len);
+  run_verified_pingpong(world, 60, 8 * 1024, 100 * sim::kMillisecond);
+  check_budget(world, 90.0);
+  EXPECT_GE(world.rpi(0).stats().peer_downs +
+                world.rpi(1).stats().peer_downs,
+            1u);
+  EXPECT_GE(world.rpi(0).stats().reconnects +
+                world.rpi(1).stats().reconnects,
+            1u);
+  EXPECT_EQ(world.rpi(0).stats().peers_declared_dead, 0u);
+  EXPECT_EQ(world.rpi(1).stats().peers_declared_dead, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, ChaosPingPongTeardown,
+    testing::Values(PingPongCase{core::TransportKind::kSctp, 11},
+                    PingPongCase{core::TransportKind::kSctp, 12},
+                    PingPongCase{core::TransportKind::kTcp, 11},
+                    PingPongCase{core::TransportKind::kTcp, 12}),
+    case_name);
+
+// Long (rendezvous) messages through a teardown: the retained-body copy
+// is what makes post-completion replay of a long send possible.
+class ChaosPingPongLong : public testing::TestWithParam<PingPongCase> {};
+
+TEST_P(ChaosPingPongLong, LongMessagesSurviveTeardown) {
+  const auto& p = GetParam();
+  core::WorldConfig cfg = chaos_world_config(p.transport, p.seed, 2);
+  core::World world(cfg);
+  sim::Rng rng(p.seed ^ 0x10E6ull);
+  const auto start = static_cast<sim::SimTime>(
+      300 * sim::kMillisecond +
+      rng.uniform() * static_cast<double>(400 * sim::kMillisecond));
+  blackout_host(world, 1, start, start + 4 * sim::kSecond);
+  // 128 KiB messages: above the 64 KiB eager limit, so every message
+  // goes through the rendezvous protocol.
+  run_verified_pingpong(world, 12, 128 * 1024, 100 * sim::kMillisecond);
+  check_budget(world, 90.0);
+  EXPECT_GE(world.rpi(0).stats().rendezvous_msgs, 12u);
+  EXPECT_EQ(world.rpi(0).stats().peers_declared_dead, 0u);
+  EXPECT_EQ(world.rpi(1).stats().peers_declared_dead, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, ChaosPingPongLong,
+    testing::Values(PingPongCase{core::TransportKind::kSctp, 21},
+                    PingPongCase{core::TransportKind::kTcp, 21}),
+    case_name);
+
+// ---------------------------------------------------------------------------
+// Peer restart (SCTP): fresh INIT with a new vtag on an established assoc
+// ---------------------------------------------------------------------------
+
+TEST(ChaosPeerRestartSctp, PassiveSideAbsorbsRestart) {
+  core::WorldConfig cfg = chaos_world_config(core::TransportKind::kSctp, 31, 2);
+  core::World world(cfg);
+  // Black out the ACTIVE side (rank 0) mid-run, between paced exchanges
+  // so rank 1 has nothing in flight. Rank 0's transport gives up and the
+  // RPI tears down; rank 1 sits idle in a posted recv, so its
+  // association survives the blackout untouched. When rank 0 redials,
+  // its fresh INIT (new vtag) lands on rank 1's established association
+  // — the restart path.
+  blackout_host(world, 0, 450 * sim::kMillisecond,
+                450 * sim::kMillisecond + 4 * sim::kSecond);
+  run_verified_pingpong(world, 40, 8 * 1024, 100 * sim::kMillisecond);
+  check_budget(world, 90.0);
+  auto* sctp1 = static_cast<core::SctpRpi&>(world.rpi(1)).socket();
+  EXPECT_GE(sctp1->restarts_detected() +
+                static_cast<core::SctpRpi&>(world.rpi(0)).socket()
+                    ->restarts_detected(),
+            1u)
+      << "expected at least one peer-restart detection";
+  EXPECT_GE(world.rpi(0).stats().reconnects +
+                world.rpi(1).stats().reconnects,
+            1u);
+}
+
+}  // namespace
+}  // namespace sctpmpi

@@ -1,0 +1,267 @@
+// Conformance tests for the transport-level failure machinery the
+// recovery tentpole keys on:
+//
+//   * TCP bounded retransmission give-up — exactly max_data_retries
+//     retransmissions of the stuck segment, exponential RTO doubling
+//     capped at max_rto, then a hard failure (the condition LAM-TCP
+//     would sit on for ~nine minutes with era defaults);
+//   * SCTP ABORT mid-transfer — the peer learns immediately via
+//     kCommLost, no timeout involved (paper §3.5.2);
+//   * stale COOKIE-ECHO answered with ERROR cause 3 and a transparent
+//     handshake restart (RFC 2960 §5.2.6);
+//   * per-path failover accounting — path_failovers increments exactly
+//     once per primary switch, and a HEARTBEAT-ACK resets the path's
+//     error counter (RFC 2960 §8.3).
+#include <gtest/gtest.h>
+
+#include "tests/conformance/conformance_fixture.hpp"
+
+namespace sctpmpi {
+namespace {
+
+using test::TracedSctpFixture;
+using test::TracedTcpFixture;
+
+// ---------------------------------------------------------------------------
+// TCP give-up
+// ---------------------------------------------------------------------------
+
+class TcpGiveUpConformance : public TracedTcpFixture {};
+
+TEST_F(TcpGiveUpConformance, BoundedRetransmissionsThenHardFailure) {
+  tcp::TcpConfig cfg;  // era defaults: min_rto 1 s, max_rto 64 s, 12 retries
+  build_traced(0.0, cfg);
+  auto [client, server] = connect_pair();
+
+  // Push one segment into an established connection, then cut the peer
+  // off completely. Every retransmission dies on the blacked-out link.
+  const auto data = test::pattern_bytes(1000);
+  const sim::SimTime cut = sim().now();
+  cluster_->uplink(1).faults().add_blackout(cut, sim::SimTime{1} << 62);
+  cluster_->downlink(1).faults().add_blackout(cut, sim::SimTime{1} << 62);
+  ASSERT_GT(client->send(data), 0);
+  const sim::SimTime sent_at = sim().now();
+
+  run_while([&] { return !client->failed(); });
+
+  EXPECT_STREQ(client->failure_reason(), "too many retransmissions");
+  // Exactly max_data_retries retransmissions of the stuck data left the
+  // sending host; the next (13th) timeout gives up instead.
+  const auto rtx = trace_.count([](const trace::TraceRecord& r) {
+    return r.point == "h0" && r.verdict == net::PacketVerdict::kSent &&
+           r.is_retransmit() && r.carries_data();
+  });
+  EXPECT_EQ(rtx, cfg.max_data_retries);
+  // Doubling schedule pinned end to end: 1+2+4+8+16+32 then seven RTOs
+  // capped at 64 s = 511 s from first transmission to the failure
+  // verdict (small slack for the measured-RTT contribution to the RTO).
+  const double elapsed = sim::to_seconds(sim().now() - sent_at);
+  EXPECT_NEAR(elapsed, 511.0, 15.0);
+  // The retransmission gaps never shrink (exponential backoff).
+  std::vector<sim::SimTime> times;
+  for (const auto& r : trace_.records()) {
+    if (r.point == "h0" && r.verdict == net::PacketVerdict::kSent &&
+        r.is_retransmit() && r.carries_data()) {
+      times.push_back(r.time);
+    }
+  }
+  for (std::size_t i = 2; i < times.size(); ++i) {
+    EXPECT_GE(times[i] - times[i - 1], times[i - 1] - times[i - 2]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SCTP ABORT mid-transfer
+// ---------------------------------------------------------------------------
+
+class SctpAbortConformance : public TracedSctpFixture {};
+
+TEST_F(SctpAbortConformance, AbortMidTransferNotifiesPeerImmediately) {
+  build_traced();
+  auto p = connect_pair();
+
+  // Stream a run of messages and abort from the sending side once a few
+  // have landed — well before the stream drains, so data is in flight.
+  std::vector<std::byte> buf(1 << 16);
+  std::size_t queued = 0;
+  std::size_t drained = 0;
+  auto pump = [&] {
+    while (queued < 40 &&
+           p.a->sendmsg(p.a_id, 0, test::pattern_bytes(5000)) > 0) {
+      ++queued;
+    }
+  };
+  pump();
+  run_while([&] {
+    pump();
+    sctp::RecvInfo info;
+    while (p.b->recvmsg(buf, info) > 0) ++drained;
+    return drained < 5;
+  });
+  const sim::SimTime start = sim().now();
+  ASSERT_TRUE(p.a->assoc(p.a_id)->established());
+  p.a->abort_assoc(p.a_id);
+
+  bool b_lost = false;
+  run_while([&] {
+    while (auto n = p.b->poll_notification()) {
+      if (n->type == sctp::NotificationType::kCommLost) b_lost = true;
+    }
+    return !b_lost;
+  });
+  const sim::SimTime lost_at = sim().now();
+
+  // The ABORT chunk crossed the wire and the peer's verdict came from
+  // it, not from any retransmission timeout: one link RTT, not seconds.
+  EXPECT_GE(trace_.count([](const trace::TraceRecord& r) {
+              return r.has_chunk("ABORT") &&
+                     r.verdict == net::PacketVerdict::kDelivered;
+            }),
+            1u);
+  EXPECT_LT(sim::to_seconds(lost_at - start), 0.1);
+  // The aborting side is closed too (the object survives for queries).
+  EXPECT_FALSE(p.a->assoc(p.a_id)->established());
+}
+
+// ---------------------------------------------------------------------------
+// Stale cookie: ERROR cause 3 and handshake restart
+// ---------------------------------------------------------------------------
+
+class SctpStaleCookieConformance : public TracedSctpFixture {};
+
+TEST_F(SctpStaleCookieConformance, StaleCookieEchoDrawsErrorCause3) {
+  sctp::SctpConfig cfg;
+  cfg.valid_cookie_life = 50 * sim::kMillisecond;
+  build_traced(0.0, cfg);
+  // Hold the first COOKIE-ECHO on the wire past the cookie's lifetime;
+  // the server must reject it with ERROR cause 3 (stale cookie) and the
+  // client restarts the handshake with a fresh INIT.
+  cluster_->uplink(0).faults().delay_matching(
+      [](const net::Packet& pkt) {
+        return trace::has_sctp_chunk(pkt, "COOKIE-ECHO");
+      },
+      {1}, 200 * sim::kMillisecond);
+
+  auto p = connect_pair();  // must still establish, via the restart
+  EXPECT_TRUE(p.a->assoc(p.a_id)->established());
+
+  EXPECT_GE(trace_.count([](const trace::TraceRecord& r) {
+              return r.has_chunk("ERROR") &&
+                     r.verdict == net::PacketVerdict::kDelivered;
+            }),
+            1u)
+      << "server should answer the stale COOKIE-ECHO with an ERROR chunk";
+  // The client went through at least two INITs: the original and the
+  // post-ERROR restart.
+  EXPECT_GE(trace_.count([](const trace::TraceRecord& r) {
+              return r.point == "h0" &&
+                     r.verdict == net::PacketVerdict::kSent &&
+                     r.has_chunk("INIT");
+            }),
+            2u);
+}
+
+// ---------------------------------------------------------------------------
+// Failover accounting
+// ---------------------------------------------------------------------------
+
+class SctpFailoverStatsConformance : public TracedSctpFixture {};
+
+TEST_F(SctpFailoverStatsConformance, FailoverCountsExactlyOncePerSwitch) {
+  sctp::SctpConfig cfg;
+  cfg.path_max_retrans = 2;
+  cfg.hb_interval = 2 * sim::kSecond;  // surface idle-path failures fast
+  build_traced(0.0, cfg, 1, /*hosts=*/2, /*interfaces=*/3);
+  auto p = connect_pair();
+
+  auto drive = [&](std::uint8_t stamp) {
+    std::vector<std::byte> buf(1 << 16);
+    std::size_t got = 0;
+    ASSERT_GT(p.a->sendmsg(p.a_id, 0, test::pattern_bytes(2000, stamp)), 0);
+    run_while([&] {
+      sctp::RecvInfo info;
+      while (p.b->recvmsg(buf, info) > 0) ++got;
+      return got < 1;
+    });
+  };
+
+  // Retransmissions escape to an alternate path at the first T3 (§4.1.1
+  // policy), so data gets through well before the dead path trips its
+  // path_max_retrans; the failover verdict itself is driven by the
+  // heartbeat probes that keep failing on the idle dead path.
+  auto wait_failovers = [&](std::uint64_t n) {
+    run_while([&] {
+      return p.a->assoc(p.a_id)->stats().path_failovers < n;
+    });
+  };
+
+  EXPECT_EQ(p.a->assoc(p.a_id)->stats().path_failovers, 0u);
+  cluster_->set_subnet_loss(0, 1.0);  // kill the primary network
+  drive(1);                           // delivered via an alternate path
+  wait_failovers(1);
+  EXPECT_EQ(p.a->assoc(p.a_id)->stats().path_failovers, 1u);
+  const std::size_t primary_after_first = p.a->assoc(p.a_id)->primary_path();
+  EXPECT_NE(primary_after_first, 0u);
+
+  // More traffic on the healthy new primary must not count again, and
+  // neither may the probes that keep failing on the dead path.
+  drive(2);
+  drive(3);
+  EXPECT_EQ(p.a->assoc(p.a_id)->stats().path_failovers, 1u);
+
+  // Kill the new primary too: exactly one more switch.
+  cluster_->set_subnet_loss(static_cast<unsigned>(primary_after_first), 1.0);
+  drive(4);
+  wait_failovers(2);
+  EXPECT_EQ(p.a->assoc(p.a_id)->stats().path_failovers, 2u);
+  const std::size_t final_primary = p.a->assoc(p.a_id)->primary_path();
+  EXPECT_NE(final_primary, primary_after_first);
+  EXPECT_NE(final_primary, 0u);
+
+  // Let more heartbeat probes fail on the two dead paths: the counter
+  // must not move again without an actual switch.
+  const sim::SimTime settle = sim().now() + 10 * sim::kSecond;
+  run_while([&] { return sim().now() < settle; });
+  EXPECT_EQ(p.a->assoc(p.a_id)->stats().path_failovers, 2u);
+}
+
+TEST_F(SctpFailoverStatsConformance, HeartbeatAckResetsPathErrorCount) {
+  sctp::SctpConfig cfg;
+  cfg.hb_interval = sim::kSecond;
+  cfg.path_max_retrans = 6;  // high enough that the path never fails here
+  build_traced(0.0, cfg, 1, /*hosts=*/2, /*interfaces=*/2);
+  auto p = connect_pair();
+
+  // Sever the alternate subnet: its heartbeats go unanswered and the
+  // path's error counter climbs (but stays below path_max_retrans).
+  cluster_->set_subnet_loss(1, 1.0);
+  run_while(
+      [&] {
+        while (p.a->poll_notification()) {
+        }
+        return p.a->assoc(p.a_id)->paths()[1].error_count < 2;
+      },
+      200'000'000);
+  EXPECT_TRUE(p.a->assoc(p.a_id)->paths()[1].active);
+
+  // Heal it: the next HEARTBEAT-ACK must clear the counter (RFC 2960
+  // §8.3: the sender clears the error count of the destination on an
+  // acknowledged heartbeat).
+  cluster_->set_subnet_loss(1, 0.0);
+  run_while(
+      [&] {
+        while (p.a->poll_notification()) {
+        }
+        return p.a->assoc(p.a_id)->paths()[1].error_count != 0;
+      },
+      200'000'000);
+  EXPECT_EQ(p.a->assoc(p.a_id)->paths()[1].error_count, 0u);
+  EXPECT_GE(trace_.count([](const trace::TraceRecord& r) {
+              return r.has_chunk("HEARTBEAT-ACK") &&
+                     r.verdict == net::PacketVerdict::kDelivered;
+            }),
+            1u);
+}
+
+}  // namespace
+}  // namespace sctpmpi

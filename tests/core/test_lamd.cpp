@@ -146,6 +146,54 @@ TEST_F(LamdFixture, SctpCommLostMarksNodeDead) {
   EXPECT_FALSE(daemons_[0]->is_alive(5));
 }
 
+TEST_F(LamdFixture, NeverHeardFromGetsGracePeriodThenDeclaredDead) {
+  // Regression: a node the master has never heard from must get a grace
+  // period of dead_after from start(). The old check compared against a
+  // zero last-seen stamp, declaring every node dead at t=0 until its
+  // first ping happened to land.
+  build(CtlTransport::kUdp);
+  // Node 3 is cut off from the very first instant: the master never
+  // receives a single status ping from it.
+  cluster_->uplink(3).faults().add_blackout(0, sim::SimTime{1} << 62);
+  run_for(sim::kSecond);  // inside the 2 s dead_after grace window
+  EXPECT_TRUE(daemons_[0]->is_alive(3))
+      << "silent node declared dead before its grace period expired";
+  EXPECT_EQ(daemons_[0]->alive_count(), 8);
+  run_for(5 * sim::kSecond / 2);  // now well past the grace window
+  EXPECT_FALSE(daemons_[0]->is_alive(3));
+  EXPECT_EQ(daemons_[0]->alive_count(), 7);
+}
+
+TEST_F(LamdFixture, NodeDeadCallbackFiresOncePerTransition) {
+  build(CtlTransport::kUdp);
+  std::vector<int> deaths;
+  daemons_[0]->set_node_dead_callback([&](int n) { deaths.push_back(n); });
+  run_for(2 * sim::kSecond);  // everyone pinging
+  EXPECT_TRUE(deaths.empty());
+
+  // First death: node 2 goes silent at 2 s, for 4 s. The master's verdict
+  // lands one dead_after (2 s) after the last ping got through, and the
+  // callback fires exactly once no matter how many ticks confirm it.
+  cluster_->uplink(2).faults().add_blackout(sim_->now(),
+                                            sim_->now() + 4 * sim::kSecond);
+  run_for(5 * sim::kSecond);
+  ASSERT_EQ(deaths.size(), 1u);
+  EXPECT_EQ(deaths[0], 2);
+
+  // The blackout has lifted: pings resume and the node counts as alive
+  // again, which re-arms the transition.
+  run_for(2 * sim::kSecond);
+  EXPECT_TRUE(daemons_[0]->is_alive(2));
+  ASSERT_EQ(deaths.size(), 1u);
+
+  // Second death of the same node fires the callback again.
+  cluster_->uplink(2).faults().add_blackout(sim_->now(),
+                                            sim::SimTime{1} << 62);
+  run_for(5 * sim::kSecond);
+  ASSERT_EQ(deaths.size(), 2u);
+  EXPECT_EQ(deaths[1], 2);
+}
+
 TEST_F(LamdFixture, UdpDaemonsCarryNoConnectionState) {
   // A UDP daemon restarted mid-run just keeps working (datagrams are
   // stateless) — the flip side of having no failure notifications.
