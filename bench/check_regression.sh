@@ -1,0 +1,54 @@
+#!/bin/sh
+# Compare a freshly emitted BENCH_datapath.json against the committed
+# baseline. Only speedup ratios (zero-copy vs copying) are compared --
+# absolute MB/s depends on the host, ratios do not. A run fails when any
+# case's speedup drops below baseline/THRESHOLD.
+#
+# Usage: check_regression.sh NEW_JSON [BASELINE_JSON] [THRESHOLD]
+set -eu
+
+NEW="${1:?usage: check_regression.sh NEW_JSON [BASELINE_JSON] [THRESHOLD]}"
+BASE="${2:-$(dirname "$0")/BENCH_datapath.json}"
+THRESHOLD="${3:-1.5}"
+
+[ -f "$NEW" ] || { echo "check_regression: missing $NEW" >&2; exit 2; }
+[ -f "$BASE" ] || { echo "check_regression: missing $BASE" >&2; exit 2; }
+
+# Emit "name speedup" pairs from one bench JSON (one result object per line).
+speedups() {
+  awk '
+    match($0, /"[A-Za-z0-9_]+": \{/) {
+      name = substr($0, RSTART + 1)
+      sub(/": \{.*/, "", name)
+      if (match($0, /"speedup": [0-9.]+/)) {
+        val = substr($0, RSTART + 11, RLENGTH - 11)
+        print name, val
+      }
+    }
+  ' "$1"
+}
+
+speedups "$BASE" > /tmp/check_regression_base.$$
+speedups "$NEW" > /tmp/check_regression_new.$$
+trap 'rm -f /tmp/check_regression_base.$$ /tmp/check_regression_new.$$' EXIT
+
+fail=0
+while read -r name base_speedup; do
+  new_speedup=$(awk -v n="$name" '$1 == n {print $2}' /tmp/check_regression_new.$$)
+  if [ -z "$new_speedup" ]; then
+    echo "FAIL $name: missing from $NEW" >&2
+    fail=1
+    continue
+  fi
+  ok=$(awk -v b="$base_speedup" -v n="$new_speedup" -v t="$THRESHOLD" \
+        'BEGIN {print (n * t >= b) ? 1 : 0}')
+  if [ "$ok" -eq 1 ]; then
+    echo "ok   $name: speedup $new_speedup (baseline $base_speedup)"
+  else
+    echo "FAIL $name: speedup $new_speedup < baseline $base_speedup / $THRESHOLD" >&2
+    fail=1
+  fi
+done < /tmp/check_regression_base.$$
+
+[ "$fail" -eq 0 ] && echo "check_regression: all speedups within ${THRESHOLD}x of baseline"
+exit "$fail"

@@ -362,7 +362,7 @@ double run_reassembly(std::size_t messages, std::uint64_t* delivered_out) {
     c.ssn = static_cast<std::uint16_t>(msg / kStreams);
     c.begin = frag == 0;
     c.end = frag == kFragsPerMsg - 1;
-    c.payload.assign(256, std::byte{0x5A});
+    c.payload = sctpmpi::net::SliceChain::adopt(std::vector<std::byte>(256, std::byte{0x5A}));
   }
 
   sctp::InboundStreams in(kStreams);
@@ -398,12 +398,13 @@ void bench_wire_codec(std::uint64_t rounds, bench::BenchJson& out) {
   sctp::DataChunk d;
   d.begin = d.end = true;
   d.tsn = 42;
-  d.payload.assign(1452, std::byte{0x7});
+  d.payload = sctpmpi::net::SliceChain::adopt(std::vector<std::byte>(1452, std::byte{0x7}));
   pkt.chunks.push_back(sctp::TypedChunk{sctp::ChunkType::kData, d});
   tcp::Segment seg;
   seg.ack_flag = true;
   seg.sacks = {{100, 200}, {300, 400}};
-  seg.payload.assign(1460, std::byte{0x7});
+  seg.payload =
+      net::SliceChain::adopt(std::vector<std::byte>(1460, std::byte{0x7}));
 
   std::uint64_t sink = 0;
   double t0 = bench::wall_seconds();

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "net/buffer.hpp"
 #include "net/bytes.hpp"
 
 namespace sctpmpi::core {
@@ -53,6 +54,15 @@ struct Envelope {
     out.reserve(kEnvelopeBytes);
     encode_to(out);
     return out;
+  }
+
+  /// Encodes into an immutable ref-counted Buffer: the form the RPIs queue
+  /// (and the recovery layer retains) so requeues are refcount bumps.
+  net::Buffer encode_buffer() const {
+    net::Buffer::Builder b;
+    b.bytes().reserve(kEnvelopeBytes);
+    encode_to(b.bytes());
+    return std::move(b).finish();
   }
 
   static Envelope decode(std::span<const std::byte> wire) {

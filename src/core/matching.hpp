@@ -10,15 +10,18 @@
 
 #include "core/envelope.hpp"
 #include "core/request.hpp"
+#include "net/slice.hpp"
 
 namespace sctpmpi::core {
 
 /// A message that arrived before a matching receive was posted. For eager
-/// (short) messages the body is buffered; for long messages only the
-/// rendezvous envelope is held until a receive triggers the ACK.
+/// (short) messages the body is buffered as retained slices (SCTP: straight
+/// off the reassembled chain; TCP: the adopted staging vector); for long
+/// messages only the rendezvous envelope is held until a receive triggers
+/// the ACK.
 struct UnexpectedMsg {
   Envelope env;
-  std::vector<std::byte> body;
+  net::SliceChain body;
 };
 
 class MatchEngine {

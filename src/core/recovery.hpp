@@ -10,23 +10,24 @@
 
 #include <cstdint>
 #include <deque>
-#include <memory>
-#include <vector>
 
+#include "net/buffer.hpp"
 #include "net/seq_ranges.hpp"
 
 namespace sctpmpi::core {
 
-/// One retained copy of a data-bearing message (eager, ssend or long).
-/// Bodies are owned (shared_ptr) because eager sends complete before
-/// delivery is confirmed, at which point the user buffer may be reused;
-/// replay jobs share ownership so trimming the queue cannot pull a body
-/// out from under a partially written job.
+/// One retained reference to a data-bearing message (eager, ssend or long).
+/// Header and body are ref-counted Buffers shared with the request and the
+/// output queue, so retaining a message is a refcount bump, not a copy, and
+/// trimming the queue cannot pull a body out from under a partially written
+/// replay job. `body` is empty for a long message retained before its
+/// rendezvous body was enqueued (`is_long` tells the replay path apart from
+/// a zero-length eager message).
 struct RetainedMsg {
   std::uint32_t seq = 0;
   std::uint16_t flags = 0;
-  std::vector<std::byte> header;  // encoded envelope
-  std::shared_ptr<std::vector<std::byte>> body;
+  net::Buffer header;  // encoded envelope
+  net::Buffer body;
   bool is_long = false;
 };
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "core/envelope.hpp"
+#include "net/buffer.hpp"
 
 namespace sctpmpi::core {
 
@@ -34,6 +35,11 @@ struct RpiRequest {
   // Send fields.
   const std::byte* send_buf = nullptr;
   std::size_t send_len = 0;
+  /// The body ingested into an immutable Buffer at start_send (the single
+  /// send-side user copy). Transport queues slice this Buffer, so the user
+  /// may reuse send_buf the moment the request completes even though slices
+  /// are still queued or retained for replay.
+  net::Buffer send_body;
   bool sync = false;            // MPI_Ssend: completion needs receiver ack
   std::uint32_t seq = 0;        // assigned by the RPI at start_send
 

@@ -1,6 +1,7 @@
 #include "core/rpi_sctp.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 namespace sctpmpi::core {
@@ -25,8 +26,7 @@ SctpRpi::SctpRpi(sctp::SctpStack& stack, int rank, int size, RpiConfig cfg,
       reconnect_timers_(static_cast<std::size_t>(size)),
       giveup_timers_(static_cast<std::size_t>(size)),
       jitter_rng_(sim::Rng(cfg.recovery.seed)
-                      .fork(9500u + static_cast<std::uint64_t>(rank))),
-      rxbuf_(stack.config().rcvbuf) {
+                      .fork(9500u + static_cast<std::uint64_t>(rank))) {
   // sctp_sendmsg is bounded by the send buffer (paper §3.4): clamp the
   // middleware's eager limit and long-message fragment size so a single
   // message always fits, whatever the socket buffers are configured to.
@@ -134,6 +134,10 @@ void SctpRpi::start_send(RpiRequest* req) {
   }
   req->seq = next_seq_[static_cast<std::size_t>(peer)]++;
   const std::uint16_t sid = stream_of(req->context, req->tag);
+  // Ingest the body into an immutable ref-counted Buffer (the single
+  // send-side user copy); everything below carries slices of it.
+  req->send_body =
+      net::Buffer::copy_of(std::span(req->send_buf, req->send_len));
 
   Envelope env;
   env.length = static_cast<std::uint32_t>(req->send_len);
@@ -146,24 +150,20 @@ void SctpRpi::start_send(RpiRequest* req) {
   if (req->send_len <= cfg_.eager_limit) {
     env.flags = req->sync ? kFlagSsend : kFlagShort;
     job.kind = OutJob::Kind::kEager;
-    job.header = env.encode();
+    job.header = env.encode_buffer();
+    job.body = net::BufferSlice{req->send_body};
     if (recovering_()) {
-      // Retain an owned copy: the request completes now (eager buffering),
-      // so the user buffer may be reused before delivery is confirmed.
-      job.owned = std::make_shared<std::vector<std::byte>>(
-          req->send_buf, req->send_buf + req->send_len);
-      job.body = job.owned->data();
-      job.body_len = job.owned->size();
+      // The retained entry shares the ingested body (refcount bump): the
+      // request completes now (eager buffering), so the user buffer may be
+      // reused before delivery is confirmed.
       rec_of_(peer).retain(
-          RetainedMsg{req->seq, env.flags, job.header, job.owned, false});
+          RetainedMsg{req->seq, env.flags, job.header, req->send_body, false});
       if (req->sync) {
         pending_ssend_.put(peer, req->seq, req);
       } else {
         req->done = true;
       }
     } else {
-      job.body = req->send_buf;
-      job.body_len = req->send_len;
       job.req = req;
       job.completes_request = !req->sync;
       if (req->sync) pending_ssend_.put(peer, req->seq, req);
@@ -172,10 +172,10 @@ void SctpRpi::start_send(RpiRequest* req) {
   } else {
     env.flags = kFlagLong;
     job.kind = OutJob::Kind::kLongEnv;
-    job.header = env.encode();
+    job.header = env.encode_buffer();
     if (recovering_()) {
       rec_of_(peer).retain(
-          RetainedMsg{req->seq, env.flags, job.header, nullptr, true});
+          RetainedMsg{req->seq, env.flags, job.header, req->send_body, true});
     }
     pending_long_send_.put(peer, req->seq, req);
     ++stats_.rendezvous_msgs;
@@ -217,9 +217,9 @@ void SctpRpi::start_recv(RpiRequest* req) {
 void SctpRpi::cancel_recv(RpiRequest* req) { match_.remove_posted(req); }
 
 void SctpRpi::deliver_matched_(RpiRequest* req, const Envelope& env,
-                               std::span<const std::byte> body) {
+                               const net::SliceChain& body) {
   const std::size_t n = std::min(body.size(), req->recv_cap);
-  std::copy_n(body.begin(), static_cast<std::ptrdiff_t>(n), req->recv_buf);
+  body.copy_to(std::span(req->recv_buf, n));
   const auto copy_cost = static_cast<sim::SimTime>(cfg_.rx_byte_cost_ns *
                                                    static_cast<double>(n));
   stack_.host().occupy_cpu(copy_cost);
@@ -233,7 +233,7 @@ void SctpRpi::deliver_matched_(RpiRequest* req, const Envelope& env,
 void SctpRpi::enqueue_ctl_(int peer, std::uint16_t sid, const Envelope& env) {
   OutJob job;
   job.kind = OutJob::Kind::kCtl;
-  job.header = env.encode();
+  job.header = env.encode_buffer();
   outq_(peer, sid).push_back(std::move(job));
   ++stats_.ctl_msgs;
   pump_writes_();
@@ -310,7 +310,7 @@ bool SctpRpi::advance_job_(int peer, std::uint16_t sid, OutJob& job) {
       // message framing, so the receiver gets the whole message at once.
       charge_(cfg_.call_cost);
       const auto r = sock_->sendmsg_gather(
-          assoc, sid, job.header, std::span(job.body, job.body_len),
+          assoc, sid, net::BufferSlice{job.header}, job.body,
           static_cast<std::uint32_t>(rank_));
       if (r <= 0) return false;
       if (job.completes_request && job.req != nullptr) job.req->done = true;
@@ -331,12 +331,12 @@ bool SctpRpi::advance_job_(int peer, std::uint16_t sid, OutJob& job) {
           return false;
         job.env_sent = true;
       }
-      while (job.body_off < job.body_len) {
+      while (job.body_off < job.body.len) {
         const std::size_t n =
-            std::min(cfg_.long_fragment, job.body_len - job.body_off);
+            std::min(cfg_.long_fragment, job.body.len - job.body_off);
         charge_(cfg_.call_cost);
-        const auto r = sock_->sendmsg(
-            assoc, sid, std::span(job.body + job.body_off, n),
+        const auto r = sock_->sendmsg_gather(
+            assoc, sid, job.body.sub(job.body_off, n), net::BufferSlice{},
             static_cast<std::uint32_t>(rank_));
         if (r <= 0) return false;
         job.body_off += n;
@@ -353,30 +353,29 @@ void SctpRpi::pump_reads_() {
   // one-to-many receive loop the paper uses instead of select() (§3.3).
   while (sock_->readable()) {
     sctp::RecvInfo info;
+    net::SliceChain data;
     charge_(cfg_.call_cost);
-    const auto n = sock_->recvmsg(rxbuf_, info);
-    if (n <= 0) break;
+    if (!sock_->pop_message(data, info)) break;
     auto it = assoc_to_rank_.find(info.assoc);
     if (it == assoc_to_rank_.end()) continue;  // unknown peer (teardown)
-    handle_message_(it->second, info.sid,
-                    std::span(rxbuf_).subspan(0, static_cast<std::size_t>(n)));
+    handle_message_(it->second, info.sid, std::move(data));
   }
 }
 
 void SctpRpi::handle_message_(int peer, std::uint16_t sid,
-                              std::span<const std::byte> data) {
+                              net::SliceChain data) {
   StreamIn& st = instate_(peer, sid);
   if (st.remaining > 0) {
     // Raw long-body fragment for the in-progress message on this
-    // (association, stream) — the RPI-level reassembly of §3.4.
+    // (association, stream) — the RPI-level reassembly of §3.4. The chain
+    // is copied straight into the user buffer: the one receive-side copy.
     const std::size_t n = std::min(data.size(), st.remaining);
     if (st.long_req != nullptr) {
       const std::size_t fit =
           st.offset < st.long_req->recv_cap
               ? std::min(n, st.long_req->recv_cap - st.offset)
               : 0;
-      std::copy_n(data.begin(), static_cast<std::ptrdiff_t>(fit),
-                  st.long_req->recv_buf + st.offset);
+      data.copy_to(std::span(st.long_req->recv_buf + st.offset, fit));
       const auto copy_cost = static_cast<sim::SimTime>(
           cfg_.rx_byte_cost_ns * static_cast<double>(n));
       stack_.host().occupy_cpu(copy_cost);
@@ -397,13 +396,16 @@ void SctpRpi::handle_message_(int peer, std::uint16_t sid,
     }
     return;
   }
-  const Envelope env = Envelope::decode(data);
-  handle_envelope_(peer, sid, env, data.subspan(kEnvelopeBytes));
+  // The envelope may straddle slice boundaries; peek it out (uncounted —
+  // header bytes, not payload).
+  std::array<std::byte, kEnvelopeBytes> env_bytes;
+  data.raw_copy_to(env_bytes);
+  const Envelope env = Envelope::decode(env_bytes);
+  handle_envelope_(peer, sid, env, data.subchain(kEnvelopeBytes));
 }
 
 void SctpRpi::handle_envelope_(int peer, std::uint16_t sid,
-                               const Envelope& env,
-                               std::span<const std::byte> body) {
+                               const Envelope& env, net::SliceChain body) {
   if ((env.flags & kFlagCtl) != 0) {
     ++barrier_ctl_seen_;
     return;
@@ -425,21 +427,11 @@ void SctpRpi::handle_envelope_(int peer, std::uint16_t sid,
       env2.flags = kFlagLong | kFlagLongBody;
       env2.src_rank = rank_;
       env2.seq = req->seq;
-      job.header = env2.encode();
-      if (recovering_()) {
-        // Once the body is written the request completes and the user
-        // buffer may be reused; attach an owned copy to the retained
-        // rendezvous entry so a later replay can still resend the body.
-        job.owned = std::make_shared<std::vector<std::byte>>(
-            req->send_buf, req->send_buf + req->send_len);
-        job.body = job.owned->data();
-        if (RetainedMsg* r = find_retained_(peer, req->seq)) {
-          r->body = job.owned;
-        }
-      } else {
-        job.body = req->send_buf;
-      }
-      job.body_len = req->send_len;
+      job.header = env2.encode_buffer();
+      // The body was ingested and retained (under recovery) at start_send,
+      // so the user buffer may be reused once the request completes even
+      // though replay still references the same Buffer.
+      job.body = net::BufferSlice{req->send_body};
       job.req = req;
       outq_(peer, stream_of(req->context, req->tag)).push_back(std::move(job));
       pump_writes_();
@@ -447,7 +439,7 @@ void SctpRpi::handle_envelope_(int peer, std::uint16_t sid,
       // Re-acked after our request already completed (replay): resend the
       // body from the retained copy.
       RetainedMsg* r = find_retained_(peer, env.seq);
-      if (r != nullptr && r->body != nullptr) {
+      if (r != nullptr && !r->body.empty()) {
         enqueue_retained_body_(peer, *r);
       }
     }
@@ -540,8 +532,7 @@ void SctpRpi::handle_envelope_(int peer, std::uint16_t sid,
     }
   } else {
     ++stats_.unexpected_msgs;
-    match_.add_unexpected(
-        UnexpectedMsg{env, std::vector<std::byte>(body.begin(), body.end())});
+    match_.add_unexpected(UnexpectedMsg{env, std::move(body)});
   }
   if (recovering_()) note_delivered_(peer, env.seq);
 }
@@ -728,7 +719,7 @@ void SctpRpi::on_reconnected_(int peer) {
     ack.seq = rec.delivered_cum;
     OutJob job;
     job.kind = OutJob::Kind::kCtl;
-    job.header = ack.encode();
+    job.header = ack.encode_buffer();
     outq_(peer, 0).push_front(std::move(job));
     ++stats_.ctl_msgs;
   }
@@ -746,9 +737,7 @@ void SctpRpi::on_reconnected_(int peer) {
       job.kind = OutJob::Kind::kLongEnv;  // receiver re-acks if unserved
     } else {
       job.kind = OutJob::Kind::kEager;
-      job.owned = r.body;
-      job.body = r.body->data();
-      job.body_len = r.body->size();
+      job.body = net::BufferSlice{r.body};  // refcount bump, not a copy
     }
     ++stats_.replayed_msgs;
     outq_(peer, sid).push_back(std::move(job));
@@ -765,10 +754,8 @@ void SctpRpi::enqueue_retained_body_(int peer, const RetainedMsg& r) {
   env.flags = kFlagLong | kFlagLongBody;
   OutJob job;
   job.kind = OutJob::Kind::kLongBody;
-  job.header = env.encode();
-  job.owned = r.body;
-  job.body = r.body->data();
-  job.body_len = r.body->size();
+  job.header = env.encode_buffer();
+  job.body = net::BufferSlice{r.body};
   ++stats_.replayed_msgs;
   outq_(peer, stream_of(env.context, env.tag)).push_back(std::move(job));
   pump_writes_();

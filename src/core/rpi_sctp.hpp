@@ -85,15 +85,13 @@ class SctpRpi : public Rpi {
   struct OutJob {
     enum class Kind { kEager, kCtl, kLongEnv, kLongBody };
     Kind kind = Kind::kCtl;
-    std::vector<std::byte> header;      // envelope bytes
-    const std::byte* body = nullptr;    // view into user buffer or `owned`
-    std::size_t body_len = 0;
+    net::Buffer header;                 // encoded envelope
+    net::BufferSlice body;              // slice of the ingested send body
     RpiRequest* req = nullptr;
     bool completes_request = false;
     // Long-body progression.
     bool env_sent = false;
     std::size_t body_off = 0;
-    std::shared_ptr<std::vector<std::byte>> owned;  // retained body copy
   };
 
   /// Receive-side state per (association, stream) — paper §3.2.4: with
@@ -108,13 +106,12 @@ class SctpRpi : public Rpi {
   void pump_writes_();
   bool advance_job_(int peer, std::uint16_t sid, OutJob& job);
   void pump_reads_();
-  void handle_message_(int peer, std::uint16_t sid,
-                       std::span<const std::byte> data);
+  void handle_message_(int peer, std::uint16_t sid, net::SliceChain data);
   void handle_envelope_(int peer, std::uint16_t sid, const Envelope& env,
-                        std::span<const std::byte> body);
+                        net::SliceChain body);
   void enqueue_ctl_(int peer, std::uint16_t sid, const Envelope& env);
   void deliver_matched_(RpiRequest* req, const Envelope& env,
-                        std::span<const std::byte> body);
+                        const net::SliceChain& body);
   void charge_(sim::SimTime t) {
     if (proc_ != nullptr) proc_->charge(t);
   }
@@ -176,7 +173,6 @@ class SctpRpi : public Rpi {
   sim::Rng jitter_rng_;
   std::function<void(int)> on_peer_unreachable_;
 
-  std::vector<std::byte> rxbuf_;
   sim::Process* proc_ = nullptr;
   sim::Process* blocked_proc_ = nullptr;
   bool activity_ = false;

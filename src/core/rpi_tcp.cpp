@@ -64,8 +64,10 @@ void TcpRpi::init(sim::Process& proc) {
       }
       if (!id_sent[static_cast<std::size_t>(peer)]) {
         OutMsg id;
-        net::ByteWriter w(id.header);
+        net::Buffer::Builder b;
+        net::ByteWriter w(b.bytes());
         w.u32(static_cast<std::uint32_t>(rank_));
+        id.header = std::move(b).finish();
         p.outq.push_back(std::move(id));
         id_sent[static_cast<std::size_t>(peer)] = true;
         pump_writes_(peer);
@@ -142,28 +144,29 @@ void TcpRpi::start_send(RpiRequest* req) {
   env.seq = req->seq;
 
   Peer& p = peers_[static_cast<std::size_t>(peer)];
+  // Ingest the user buffer into an immutable ref-counted body exactly once;
+  // everything downstream (send queue, socket, retained replay copies)
+  // shares slices of it.
+  req->send_body =
+      net::Buffer::copy_of(std::span(req->send_buf, req->send_len));
   if (req->send_len <= cfg_.eager_limit) {
     // Eager send: envelope + body back-to-back (paper §2.2.2).
     env.flags = req->sync ? kFlagSsend : kFlagShort;
     OutMsg m;
-    m.header = env.encode();
+    m.header = env.encode_buffer();
+    m.body = net::BufferSlice{req->send_body};
     if (recovering_()) {
-      // Retain an owned copy: the request completes now (eager buffering),
-      // so the user buffer may be reused before delivery is confirmed.
-      m.owned = std::make_shared<std::vector<std::byte>>(
-          req->send_buf, req->send_buf + req->send_len);
-      m.body = m.owned->data();
-      m.body_len = m.owned->size();
+      // Retain shared references: the request completes now (eager
+      // buffering), so the user buffer may be reused before delivery is
+      // confirmed — the Buffer keeps the bytes alive.
       rec_of_(peer).retain(
-          RetainedMsg{req->seq, env.flags, m.header, m.owned, false});
+          RetainedMsg{req->seq, env.flags, m.header, req->send_body, false});
       if (req->sync) {
         pending_ssend_.put(peer, req->seq, req);
       } else {
         req->done = true;
       }
     } else {
-      m.body = req->send_buf;
-      m.body_len = req->send_len;
       m.req = req;
       m.completes_request = !req->sync;  // ssend completes on the ack
       if (req->sync) pending_ssend_.put(peer, req->seq, req);
@@ -174,10 +177,10 @@ void TcpRpi::start_send(RpiRequest* req) {
     // Rendezvous: envelope only; the body follows after the ACK.
     env.flags = kFlagLong;
     OutMsg m;
-    m.header = env.encode();
+    m.header = env.encode_buffer();
     if (recovering_()) {
       rec_of_(peer).retain(
-          RetainedMsg{req->seq, env.flags, m.header, nullptr, true});
+          RetainedMsg{req->seq, env.flags, m.header, req->send_body, true});
     }
     p.outq.push_back(std::move(m));
     pending_long_send_.put(peer, req->seq, req);
@@ -220,9 +223,9 @@ void TcpRpi::start_recv(RpiRequest* req) {
 void TcpRpi::cancel_recv(RpiRequest* req) { match_.remove_posted(req); }
 
 void TcpRpi::deliver_matched_(RpiRequest* req, const Envelope& env,
-                              std::span<const std::byte> body) {
+                              const net::SliceChain& body) {
   const std::size_t n = std::min(body.size(), req->recv_cap);
-  std::copy_n(body.begin(), static_cast<std::ptrdiff_t>(n), req->recv_buf);
+  body.copy_to(std::span(req->recv_buf, n));
   const auto copy_cost = static_cast<sim::SimTime>(cfg_.rx_byte_cost_ns *
                                                    static_cast<double>(n));
   stack_.host().occupy_cpu(copy_cost);
@@ -235,7 +238,7 @@ void TcpRpi::deliver_matched_(RpiRequest* req, const Envelope& env,
 
 void TcpRpi::enqueue_ctl_(int peer, const Envelope& env) {
   OutMsg m;
-  m.header = env.encode();
+  m.header = env.encode_buffer();
   m.is_ctl = true;
   peers_[static_cast<std::size_t>(peer)].outq.push_back(std::move(m));
   ++stats_.ctl_msgs;
@@ -253,19 +256,11 @@ void TcpRpi::enqueue_long_body_(int peer, RpiRequest* req) {
   env.src_rank = rank_;
   env.seq = req->seq;
   OutMsg m;
-  m.header = env.encode();
-  if (recovering_()) {
-    // Once the body is written the request completes and the user buffer
-    // may be reused; attach an owned copy to the retained rendezvous entry
-    // so a post-completion replay can still resend the body.
-    m.owned = std::make_shared<std::vector<std::byte>>(
-        req->send_buf, req->send_buf + req->send_len);
-    m.body = m.owned->data();
-    if (RetainedMsg* r = find_retained_(peer, req->seq)) r->body = m.owned;
-  } else {
-    m.body = req->send_buf;
-  }
-  m.body_len = req->send_len;
+  m.header = env.encode_buffer();
+  // The retained rendezvous entry (recovery) already shares req->send_body,
+  // so a post-completion replay can resend the body after the user buffer
+  // is reused.
+  m.body = net::BufferSlice{req->send_body};
   m.req = req;
   m.completes_request = true;
   peers_[static_cast<std::size_t>(peer)].outq.push_back(std::move(m));
@@ -275,14 +270,12 @@ void TcpRpi::enqueue_long_body_(int peer, RpiRequest* req) {
 void TcpRpi::enqueue_long_body_retained_(int peer, const RetainedMsg& r) {
   // Replay path: the rendezvous request completed on our side before the
   // failure, but the receiver re-acked it — rebuild the body envelope from
-  // the retained copy.
+  // the retained reference.
   Envelope env = Envelope::decode(r.header);
   env.flags = kFlagLong | kFlagLongBody;
   OutMsg m;
-  m.header = env.encode();
-  m.owned = r.body;
-  m.body = r.body->data();
-  m.body_len = r.body->size();
+  m.header = env.encode_buffer();
+  m.body = net::BufferSlice{r.body};
   ++stats_.replayed_msgs;
   peers_[static_cast<std::size_t>(peer)].outq.push_back(std::move(m));
   pump_writes_(peer);
@@ -360,16 +353,15 @@ void TcpRpi::pump_writes_(int peer) {
     // Header and body go out in one writev-style call so that small
     // messages coalesce into a single segment.
     while (m.written < m.header.size()) {
-      auto n = p.sock->send_gather(std::span(m.header).subspan(m.written),
-                                   std::span(m.body, m.body_len));
+      auto n = p.sock->send_gather(
+          net::BufferSlice{m.header}.sub(m.written), m.body);
       charge_(cfg_.call_cost);
       if (n <= 0) return;
       m.written += static_cast<std::size_t>(n);
     }
-    while (m.written < m.header.size() + m.body_len) {
+    while (m.written < m.header.size() + m.body.len) {
       const std::size_t off = m.written - m.header.size();
-      auto n = p.sock->send(
-          std::span(m.body, m.body_len).subspan(off));
+      auto n = p.sock->send(m.body.sub(off));
       charge_(cfg_.call_cost);
       if (n <= 0) return;
       m.written += static_cast<std::size_t>(n);
@@ -451,7 +443,7 @@ void TcpRpi::on_envelope_(int peer) {
       // Re-acked after our request already completed (replay): resend the
       // body from the retained copy.
       RetainedMsg* r = find_retained_(peer, env.seq);
-      if (r != nullptr && r->body != nullptr) {
+      if (r != nullptr && !r->body.empty()) {
         enqueue_long_body_retained_(peer, *r);
       }
     }
@@ -576,6 +568,7 @@ void TcpRpi::finish_body_(int peer) {
       const std::size_t n = std::min(p.temp_body.size(), req->recv_cap);
       std::copy_n(p.temp_body.begin(), static_cast<std::ptrdiff_t>(n),
                   req->recv_buf);
+      net::count_payload_copy(n);
       p.recv_req = req;
     }
   }
@@ -596,7 +589,8 @@ void TcpRpi::finish_body_(int peer) {
     }
   } else {
     ++stats_.unexpected_msgs;
-    match_.add_unexpected(UnexpectedMsg{env, std::move(p.temp_body)});
+    match_.add_unexpected(
+        UnexpectedMsg{env, net::SliceChain::adopt(std::move(p.temp_body))});
     // ssend ack is deferred until the receive is posted (start_recv).
   }
   p.recv_req = nullptr;
@@ -781,8 +775,10 @@ void TcpRpi::on_reconnected_(int peer) {
   std::deque<OutMsg> q;
   if (peer > rank_) {
     OutMsg id;
-    net::ByteWriter w(id.header);
+    net::Buffer::Builder b;
+    net::ByteWriter w(b.bytes());
     w.u32(static_cast<std::uint32_t>(rank_));
+    id.header = std::move(b).finish();
     q.push_back(std::move(id));
   }
   {
@@ -791,7 +787,7 @@ void TcpRpi::on_reconnected_(int peer) {
     ack.src_rank = rank_;
     ack.seq = rec.delivered_cum;
     OutMsg m;
-    m.header = ack.encode();
+    m.header = ack.encode_buffer();
     m.is_ctl = true;
     ++stats_.ctl_msgs;
     q.push_back(std::move(m));
@@ -801,12 +797,11 @@ void TcpRpi::on_reconnected_(int peer) {
     if (!net::seq_gt(r.seq, rec.acked_cum)) continue;
     OutMsg m;
     m.header = r.header;
-    if (!r.is_long && r.body != nullptr) {
-      // Eager replay: envelope + owned body. Long messages replay only the
-      // rendezvous envelope; the receiver re-acks if it still wants it.
-      m.owned = r.body;
-      m.body = r.body->data();
-      m.body_len = r.body->size();
+    if (!r.is_long) {
+      // Eager replay: envelope + the same retained body Buffer (refcount
+      // bump). Long messages replay only the rendezvous envelope; the
+      // receiver re-acks if it still wants it.
+      m.body = net::BufferSlice{r.body};
     }
     ++stats_.replayed_msgs;
     q.push_back(std::move(m));

@@ -63,14 +63,12 @@ class TcpRpi : public Rpi {
 
  private:
   struct OutMsg {
-    std::vector<std::byte> header;      // envelope (+ owned control bytes)
-    const std::byte* body = nullptr;    // view into user buffer or `owned`
-    std::size_t body_len = 0;
+    net::Buffer header;                 // envelope (+ owned control bytes)
+    net::BufferSlice body;              // slice of the ingested send body
     std::size_t written = 0;            // across header+body
     RpiRequest* req = nullptr;          // completed when fully written
     bool completes_request = false;
     bool is_ctl = false;                // survives a recovery teardown
-    std::shared_ptr<std::vector<std::byte>> owned;  // retained body copy
   };
 
   enum class RState { kEnvelope, kBody };
@@ -99,7 +97,7 @@ class TcpRpi : public Rpi {
   void on_envelope_(int peer);
   void finish_body_(int peer);
   void deliver_matched_(RpiRequest* req, const Envelope& env,
-                        std::span<const std::byte> body);
+                        const net::SliceChain& body);
   void enqueue_ctl_(int peer, const Envelope& env);
   void enqueue_long_body_(int peer, RpiRequest* req);
   void charge_(sim::SimTime t);

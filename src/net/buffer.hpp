@@ -25,6 +25,32 @@
 
 namespace sctpmpi::net {
 
+/// Copy-discipline instrumentation. `payload_copy_bytes` counts data-path
+/// memcpys of message payload: the wire-encode append on the send side and
+/// the queue/chain -> user-buffer copy on the receive side. `ingest_bytes`
+/// counts the user-span -> owned Buffer copy at the MPI boundary, which
+/// MPI buffer-reuse semantics require and which therefore sits outside the
+/// <=1-copy-per-direction budget. Always on (not debug-gated): the
+/// datapath benches self-check their copy counts in release builds.
+/// Process-global rather than thread-local: simulated rank processes run
+/// on their own OS threads (strictly sequential handoff, same argument as
+/// the non-atomic Buffer refcounts), and the budget spans all of them.
+struct CopyStats {
+  std::uint64_t payload_copy_bytes = 0;
+  std::uint64_t ingest_bytes = 0;
+
+  static CopyStats& get() {
+    static CopyStats stats;
+    return stats;
+  }
+  static void reset() { get() = CopyStats{}; }
+};
+
+inline void count_payload_copy(std::size_t n) {
+  CopyStats::get().payload_copy_bytes += n;
+}
+inline void count_ingest(std::size_t n) { CopyStats::get().ingest_bytes += n; }
+
 class Buffer {
   struct Block;  // refcount + recycled byte vector; defined below
 
@@ -62,6 +88,19 @@ class Buffer {
     b_ = acquire_();
     b_->bytes = std::move(bytes);
     return *this;
+  }
+
+  /// Copies `src` into a fresh owned block. This is the MPI-boundary
+  /// ingest copy (user buffer -> immutable Buffer), counted separately
+  /// from data-path payload copies.
+  static Buffer copy_of(std::span<const std::byte> src) {
+    Buffer out;
+    if (!src.empty()) {
+      out.b_ = acquire_();
+      out.b_->bytes.assign(src.begin(), src.end());
+      count_ingest(src.size());
+    }
+    return out;
   }
 
   ~Buffer() { release_(b_); }
@@ -121,6 +160,23 @@ class Buffer {
     ~Builder() { release_(b_); }
 
     std::vector<std::byte>& bytes() { return b_->bytes; }
+    std::size_t size() const { return b_->bytes.size(); }
+
+    /// Scatter-gather encode: appends raw header bytes (uncounted — header
+    /// bytes are written exactly once by construction).
+    void append(std::span<const std::byte> src) {
+      b_->bytes.insert(b_->bytes.end(), src.begin(), src.end());
+    }
+
+    /// Scatter-gather encode: appends a payload slice from another Buffer.
+    /// This is the single allowed send-side payload copy (body bytes land
+    /// in the wire image exactly once, at MTU boundaries), so it is
+    /// counted against the copy budget.
+    void append(const Buffer& src, std::size_t off, std::size_t len) {
+      const std::byte* p = src.data() + off;
+      b_->bytes.insert(b_->bytes.end(), p, p + len);
+      count_payload_copy(len);
+    }
 
     Buffer finish() && {
       Buffer out;

@@ -1,0 +1,301 @@
+// Zero-copy payload slices over ref-counted net::Buffer blocks.
+//
+// The datapath carries message bodies as {Buffer, offset, len} spans from
+// the MPI boundary down to segment/chunk encode: queuing, segmentation,
+// bundling, retransmission and reassembly all move slice descriptors
+// (refcount bumps) instead of payload bytes. Bytes are touched exactly
+// twice per direction — once when the user span is ingested into an
+// immutable Buffer (MPI buffer-reuse semantics) and once when the wire
+// image is encoded (send) or the user buffer is filled (receive); see
+// net::CopyStats in buffer.hpp for the accounting.
+//
+//   BufferSlice — one contiguous view into a Buffer.
+//   SliceChain  — an ordered run of slices forming one logical byte string
+//                 (a message body, a segment payload, a reassembled span).
+//   SliceQueue  — a bounded FIFO of slices with RingBuffer-identical byte
+//                 accounting (partial accept against free space), used for
+//                 the TCP send/receive queues.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/buffer.hpp"
+
+namespace sctpmpi::net {
+
+struct BufferSlice {
+  Buffer buf;
+  std::size_t off = 0;
+  std::size_t len = 0;
+
+  BufferSlice() = default;
+  BufferSlice(Buffer b, std::size_t o, std::size_t l)
+      : buf(std::move(b)), off(o), len(l) {
+    assert(off + len <= buf.size());
+  }
+  /// Whole-buffer view.
+  explicit BufferSlice(Buffer b) : buf(std::move(b)) { len = buf.size(); }
+
+  bool empty() const { return len == 0; }
+  std::span<const std::byte> span() const { return {buf.data() + off, len}; }
+
+  /// Sub-view (no copy, refcount bump).
+  BufferSlice sub(std::size_t o, std::size_t l) const {
+    assert(o + l <= len);
+    return BufferSlice{buf, off + o, l};
+  }
+  BufferSlice sub(std::size_t o) const { return sub(o, len - o); }
+};
+
+/// One logical byte string assembled from slices. Append/trim/sub
+/// operations move descriptors only; the single byte-copy primitive is
+/// copy_to() (receive-side, counted) / append_to() (encode-side, counted
+/// through Buffer::Builder::append).
+class SliceChain {
+ public:
+  SliceChain() = default;
+  explicit SliceChain(BufferSlice s) { push_back(std::move(s)); }
+
+  /// Adopts a plain byte vector as a single owned slice (no byte copy:
+  /// the Buffer adopts the vector's storage).
+  static SliceChain adopt(std::vector<std::byte>&& bytes) {
+    return SliceChain{BufferSlice{Buffer{std::move(bytes)}}};
+  }
+
+  /// Copies a raw span into a fresh owned slice (ingest-counted).
+  static SliceChain copy_of(std::span<const std::byte> src) {
+    if (src.empty()) return SliceChain{};
+    return SliceChain{BufferSlice{Buffer::copy_of(src)}};
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() {
+    slices_.clear();
+    size_ = 0;
+  }
+
+  const std::vector<BufferSlice>& slices() const { return slices_; }
+
+  void push_back(BufferSlice s) {
+    if (s.len == 0) return;
+    size_ += s.len;
+    slices_.push_back(std::move(s));
+  }
+
+  void append(const SliceChain& other) {
+    for (const auto& s : other.slices_) push_back(s);
+  }
+  void append(SliceChain&& other) {
+    for (auto& s : other.slices_) push_back(std::move(s));
+    other.clear();
+  }
+
+  /// Sub-string view [off, off+len): descriptor copies only.
+  SliceChain subchain(std::size_t off, std::size_t len) const {
+    assert(off + len <= size_);
+    SliceChain out;
+    for (const auto& s : slices_) {
+      if (len == 0) break;
+      if (off >= s.len) {
+        off -= s.len;
+        continue;
+      }
+      const std::size_t take = std::min(s.len - off, len);
+      out.push_back(s.sub(off, take));
+      off = 0;
+      len -= take;
+    }
+    return out;
+  }
+  SliceChain subchain(std::size_t off) const {
+    return subchain(off, size_ - off);
+  }
+
+  /// Drops the first `n` bytes (descriptor trim).
+  void trim_front(std::size_t n) {
+    assert(n <= size_);
+    size_ -= n;
+    std::size_t drop = 0;
+    while (n > 0 && slices_[drop].len <= n) {
+      n -= slices_[drop].len;
+      ++drop;
+    }
+    if (drop > 0) slices_.erase(slices_.begin(), slices_.begin() + drop);
+    if (n > 0) slices_.front() = slices_.front().sub(n);
+  }
+
+  /// Copies [from, from+out.size()) into `out`. This is the receive-side
+  /// payload copy, counted against the budget.
+  void copy_to(std::span<std::byte> out, std::size_t from = 0) const {
+    raw_copy_to(out, from);
+    count_payload_copy(out.size());
+  }
+
+  /// Uncounted raw copy: envelope peeks and test conveniences.
+  void raw_copy_to(std::span<std::byte> out, std::size_t from = 0) const {
+    assert(from + out.size() <= size_);
+    std::size_t want = out.size();
+    std::byte* dst = out.data();
+    for (const auto& s : slices_) {
+      if (want == 0) break;
+      if (from >= s.len) {
+        from -= s.len;
+        continue;
+      }
+      const std::size_t take = std::min(s.len - from, want);
+      const std::byte* src = s.buf.data() + s.off + from;
+      std::copy(src, src + take, dst);
+      dst += take;
+      want -= take;
+      from = 0;
+    }
+  }
+
+  /// Appends all bytes to a plain vector (uncounted: test/serialization
+  /// convenience path).
+  void append_to(std::vector<std::byte>& out) const {
+    for (const auto& s : slices_) {
+      const std::byte* p = s.buf.data() + s.off;
+      out.insert(out.end(), p, p + s.len);
+    }
+  }
+
+  /// Appends all bytes to a wire Builder (send-side payload copy, counted
+  /// through Builder::append).
+  void append_to(Buffer::Builder& b) const {
+    for (const auto& s : slices_) b.append(s.buf, s.off, s.len);
+  }
+
+  std::vector<std::byte> to_vector() const {
+    std::vector<std::byte> out;
+    out.reserve(size_);
+    append_to(out);
+    return out;
+  }
+
+  bool operator==(const SliceChain& other) const {
+    if (size_ != other.size_) return false;
+    return to_vector() == other.to_vector();
+  }
+  bool operator==(const std::vector<std::byte>& v) const {
+    if (size_ != v.size()) return false;
+    std::size_t i = 0;
+    for (const auto& s : slices_) {
+      const std::byte* p = s.buf.data() + s.off;
+      if (!std::equal(p, p + s.len, v.begin() + static_cast<std::ptrdiff_t>(i)))
+        return false;
+      i += s.len;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<BufferSlice> slices_;
+  std::size_t size_ = 0;
+};
+
+/// Bounded FIFO byte queue over slices, with the same partial-accept byte
+/// accounting as net::RingBuffer (writes accept min(n, free_space), reads
+/// drain from the front) so it can replace the TCP socket buffers without
+/// changing any window or flow-control arithmetic.
+class SliceQueue {
+ public:
+  explicit SliceQueue(std::size_t capacity) : cap_(capacity) {}
+
+  std::size_t capacity() const { return cap_; }
+  std::size_t size() const { return size_; }
+  std::size_t free_space() const { return cap_ - size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Copy-in write (raw span from a caller that may reuse its storage):
+  /// accepts min(n, free_space) bytes into one owned slice.
+  std::size_t write(std::span<const std::byte> data) {
+    const std::size_t n = std::min(data.size(), free_space());
+    if (n == 0) return 0;
+    push_(BufferSlice{Buffer::copy_of(data.subspan(0, n))});
+    return n;
+  }
+
+  /// Zero-copy write: accepts min(s.len, free_space) bytes of the slice.
+  std::size_t write(const BufferSlice& s) {
+    const std::size_t n = std::min(s.len, free_space());
+    if (n == 0) return 0;
+    push_(s.sub(0, n));
+    return n;
+  }
+
+  /// Zero-copy write of a chain prefix: accepts min(c.size, free_space).
+  std::size_t write(const SliceChain& c) {
+    std::size_t accepted = 0;
+    for (const auto& s : c.slices()) {
+      const std::size_t n = write(s);
+      accepted += n;
+      if (n < s.len) break;
+    }
+    return accepted;
+  }
+
+  /// Zero-copy view of [offset, offset+len): used by TCP segmentation and
+  /// retransmission to reference queued bytes without touching them.
+  SliceChain gather(std::size_t offset, std::size_t len) const {
+    assert(offset + len <= size_);
+    SliceChain out;
+    for (const auto& s : slices_) {
+      if (len == 0) break;
+      if (offset >= s.len) {
+        offset -= s.len;
+        continue;
+      }
+      const std::size_t take = std::min(s.len - offset, len);
+      out.push_back(s.sub(offset, take));
+      offset = 0;
+      len -= take;
+    }
+    return out;
+  }
+
+  /// Copies [offset, offset+out.size()) without consuming (uncounted:
+  /// RingBuffer-parity helper for tests).
+  void peek(std::size_t offset, std::span<std::byte> out) const {
+    gather(offset, out.size()).raw_copy_to(out);
+  }
+
+  /// Copies up to out.size() bytes from the front into `out` and drops
+  /// them. This is the receive-side user copy (counted).
+  std::size_t read(std::span<std::byte> out) {
+    const std::size_t n = std::min(out.size(), size_);
+    if (n == 0) return 0;
+    gather(0, n).copy_to(out.subspan(0, n));
+    drop(n);
+    return n;
+  }
+
+  /// Drops `n` bytes from the front (descriptor trim, e.g. on ack).
+  void drop(std::size_t n) {
+    assert(n <= size_);
+    size_ -= n;
+    while (n > 0 && slices_.front().len <= n) {
+      n -= slices_.front().len;
+      slices_.pop_front();
+    }
+    if (n > 0) slices_.front() = slices_.front().sub(n);
+  }
+
+ private:
+  void push_(BufferSlice s) {
+    size_ += s.len;
+    slices_.push_back(std::move(s));
+  }
+
+  std::deque<BufferSlice> slices_;
+  std::size_t size_ = 0;
+  std::size_t cap_;
+};
+
+}  // namespace sctpmpi::net

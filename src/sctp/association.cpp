@@ -206,24 +206,43 @@ bool Association::writable() const {
   return sndbuf_used_ < cfg_.sndbuf;
 }
 
-std::ptrdiff_t Association::sendmsg_gather(std::uint16_t sid,
-                                           std::span<const std::byte> head,
-                                           std::span<const std::byte> body,
-                                           std::uint32_t ppid,
-                                           bool unordered) {
+std::ptrdiff_t Association::send_check_(std::uint16_t sid,
+                                        std::size_t total) const {
   if (state_ == AssocState::kClosed ||
       state_ == AssocState::kShutdownPending ||
       state_ == AssocState::kShutdownSent ||
       state_ == AssocState::kShutdownReceived ||
       state_ == AssocState::kShutdownAckSent)
     return kError;
-  const std::size_t total = head.size() + body.size();
   if (total == 0) return kError;  // SCTP forbids empty user messages
   if (sid >= num_ostreams_) return kError;
   // The paper §3.4/§3.6: a single sctp_sendmsg is limited by the send
   // buffer size; larger messages must be segmented by the application.
   if (total > cfg_.sndbuf) return kMsgSize;
   if (sndbuf_used_ + total > cfg_.sndbuf) return kAgain;
+  return 0;
+}
+
+std::ptrdiff_t Association::sendmsg_gather(std::uint16_t sid,
+                                           std::span<const std::byte> head,
+                                           std::span<const std::byte> body,
+                                           std::uint32_t ppid,
+                                           bool unordered) {
+  const std::size_t total = head.size() + body.size();
+  if (const auto rc = send_check_(sid, total); rc != 0) return rc;
+  // Ingest after the guards so rejected sends never copy.
+  return sendmsg_gather(sid, net::BufferSlice{net::Buffer::copy_of(head)},
+                        net::BufferSlice{net::Buffer::copy_of(body)}, ppid,
+                        unordered);
+}
+
+std::ptrdiff_t Association::sendmsg_gather(std::uint16_t sid,
+                                           const net::BufferSlice& head,
+                                           const net::BufferSlice& body,
+                                           std::uint32_t ppid,
+                                           bool unordered) {
+  const std::size_t total = head.len + body.len;
+  if (const auto rc = send_check_(sid, total); rc != 0) return rc;
 
   fragment_message_(sid, head, body, ppid, unordered);
   stats_.bytes_sent += total;
@@ -238,30 +257,23 @@ std::size_t Association::max_chunk_payload_() const {
 }
 
 void Association::fragment_message_(std::uint16_t sid,
-                                    std::span<const std::byte> head,
-                                    std::span<const std::byte> body,
+                                    const net::BufferSlice& head,
+                                    const net::BufferSlice& body,
                                     std::uint32_t ppid, bool unordered) {
   const std::size_t frag = max_chunk_payload_();
   const std::uint16_t ssn = out_streams_[sid].next_ssn();
-  const std::size_t total = head.size() + body.size();
-  // Logical concatenation of the two gather segments.
-  auto copy_range = [&](std::size_t offset, std::size_t n,
-                        std::vector<std::byte>& out) {
-    out.resize(n);
-    std::size_t filled = 0;
-    if (offset < head.size()) {
-      const std::size_t h = std::min(n, head.size() - offset);
-      std::copy_n(head.begin() + static_cast<std::ptrdiff_t>(offset), h,
-                  out.begin());
-      filled = h;
+  const std::size_t total = head.len + body.len;
+  // Logical concatenation of the two gather segments: each chunk's payload
+  // is at most two slices (a head tail and a body prefix) — no byte copies.
+  auto slice_range = [&](std::size_t offset, std::size_t n,
+                         net::SliceChain& out) {
+    if (offset < head.len) {
+      const std::size_t h = std::min(n, head.len - offset);
+      out.push_back(head.sub(offset, h));
       offset += h;
+      n -= h;
     }
-    if (filled < n) {
-      const std::size_t boff = offset - head.size();
-      std::copy_n(body.begin() + static_cast<std::ptrdiff_t>(boff),
-                  n - filled,
-                  out.begin() + static_cast<std::ptrdiff_t>(filled));
-    }
+    if (n > 0) out.push_back(body.sub(offset - head.len, n));
   };
   std::size_t offset = 0;
   while (offset < total) {
@@ -274,7 +286,7 @@ void Association::fragment_message_(std::uint16_t sid,
     oc.data.sid = sid;
     oc.data.ssn = ssn;
     oc.data.ppid = ppid;
-    copy_range(offset, n, oc.data.payload);
+    slice_range(offset, n, oc.data.payload);
     sndbuf_used_ += n;
     sendq_.push_back(std::move(oc));
     offset += n;

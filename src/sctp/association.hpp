@@ -119,10 +119,18 @@ class Association {
   }
 
   /// Gather variant: sends head followed by body as ONE user message (used
-  /// by the MPI middleware to prepend the envelope without copying).
+  /// by the MPI middleware to prepend the envelope without copying). The
+  /// spans are ingested into owned Buffers (callers may reuse storage).
   std::ptrdiff_t sendmsg_gather(std::uint16_t sid,
                                 std::span<const std::byte> head,
                                 std::span<const std::byte> body,
+                                std::uint32_t ppid, bool unordered);
+
+  /// Zero-copy gather variant: fragmentation slices the given Buffers into
+  /// per-chunk views; payload bytes are not touched until wire encode.
+  std::ptrdiff_t sendmsg_gather(std::uint16_t sid,
+                                const net::BufferSlice& head,
+                                const net::BufferSlice& body,
                                 std::uint32_t ppid, bool unordered);
 
   /// Packet input (already vtag-checked by the socket).
@@ -173,8 +181,12 @@ class Association {
   void on_t1_timeout_();
 
   // -- outbound data path --------------------------------------------------
-  void fragment_message_(std::uint16_t sid, std::span<const std::byte> head,
-                         std::span<const std::byte> body, std::uint32_t ppid,
+  /// Guard checks shared by both sendmsg_gather overloads: returns 0 when
+  /// the message may be queued, else kError/kMsgSize/kAgain (checked before
+  /// any ingest copy happens).
+  std::ptrdiff_t send_check_(std::uint16_t sid, std::size_t total) const;
+  void fragment_message_(std::uint16_t sid, const net::BufferSlice& head,
+                         const net::BufferSlice& body, std::uint32_t ppid,
                          bool unordered);
   void try_transmit_();
   bool build_and_send_packet_(std::size_t path_idx, bool allow_new_data);

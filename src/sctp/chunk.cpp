@@ -66,10 +66,22 @@ std::size_t SctpPacket::wire_bytes() const {
   return n;
 }
 
-void SctpPacket::encode_into(std::vector<std::byte>& out, bool with_crc) const {
+namespace {
+// Shared serializer: `append_payload(chain)` sinks DATA payload bytes into
+// `out` — an uncounted vector insert on the plain path, a counted
+// Buffer::Builder::append on the transmit path. Everything else (headers,
+// control chunk bodies, length patching, padding, CRC) is written through
+// the ByteWriter exactly once either way, so the two paths cannot drift.
+template <typename AppendPayload>
+void encode_impl(const SctpPacket& p, std::vector<std::byte>& out,
+                 bool with_crc, AppendPayload&& append_payload) {
   out.clear();
-  out.reserve(wire_bytes());
+  out.reserve(p.wire_bytes());
   net::ByteWriter w(out);
+  const auto& sport = p.sport;
+  const auto& dport = p.dport;
+  const auto& vtag = p.vtag;
+  const auto& chunks = p.chunks;
   w.u16(sport);
   w.u16(dport);
   w.u32(vtag);
@@ -97,7 +109,7 @@ void SctpPacket::encode_into(std::vector<std::byte>& out, bool with_crc) const {
         w.u16(d.sid);
         w.u16(d.ssn);
         w.u32(d.ppid);
-        w.bytes(d.payload);
+        append_payload(d.payload);
         break;
       }
       case ChunkType::kInit:
@@ -172,6 +184,17 @@ void SctpPacket::encode_into(std::vector<std::byte>& out, bool with_crc) const {
     w.patch_u32(crc_off, crc);
   }
 }
+}  // namespace
+
+void SctpPacket::encode_into(std::vector<std::byte>& out, bool with_crc) const {
+  encode_impl(*this, out, with_crc,
+              [&out](const net::SliceChain& c) { c.append_to(out); });
+}
+
+void SctpPacket::encode_into(net::Buffer::Builder& out, bool with_crc) const {
+  encode_impl(*this, out.bytes(), with_crc,
+              [&out](const net::SliceChain& c) { c.append_to(out); });
+}
 
 std::vector<std::byte> SctpPacket::encode(bool with_crc) const {
   std::vector<std::byte> out;
@@ -179,17 +202,32 @@ std::vector<std::byte> SctpPacket::encode(bool with_crc) const {
   return out;
 }
 
-std::optional<SctpPacket> SctpPacket::decode(std::span<const std::byte> wire,
-                                             bool verify_crc) {
+namespace {
+// Streams the CRC over header | four zero bytes | rest, so verification
+// never copies the packet just to blank the checksum field.
+bool crc_matches(std::span<const std::byte> wire) {
+  const std::uint32_t got = (static_cast<std::uint32_t>(wire[8]) << 24) |
+                            (static_cast<std::uint32_t>(wire[9]) << 16) |
+                            (static_cast<std::uint32_t>(wire[10]) << 8) |
+                            static_cast<std::uint32_t>(wire[11]);
+  static constexpr std::byte kZeros[4] = {};
+  Crc32c c;
+  c.update(wire.first(8));
+  c.update(kZeros);
+  c.update(wire.subspan(12));
+  return c.finalize() == got;
+}
+
+// Shared parser: `make_payload(pos, len)` produces a DATA chunk's payload
+// chain from the wire range — a copy on the raw-span path, retained
+// zero-copy slices on the Buffer path.
+template <typename MakePayload>
+std::optional<SctpPacket> decode_impl(std::span<const std::byte> wire,
+                                      bool verify_crc,
+                                      MakePayload&& make_payload) {
   if (verify_crc) {
     if (wire.size() < kCommonHeaderBytes) throw net::DecodeError("short SCTP");
-    std::vector<std::byte> copy(wire.begin(), wire.end());
-    const std::uint32_t got = (static_cast<std::uint32_t>(copy[8]) << 24) |
-                              (static_cast<std::uint32_t>(copy[9]) << 16) |
-                              (static_cast<std::uint32_t>(copy[10]) << 8) |
-                              static_cast<std::uint32_t>(copy[11]);
-    copy[8] = copy[9] = copy[10] = copy[11] = std::byte{0};
-    if (crc32c(copy) != got) return std::nullopt;
+    if (!crc_matches(wire)) return std::nullopt;
   }
 
   net::ByteReader r(wire);
@@ -219,7 +257,9 @@ std::optional<SctpPacket> SctpPacket::decode(std::span<const std::byte> wire,
         d.sid = r.u16();
         d.ssn = r.u16();
         d.ppid = r.u32();
-        d.payload = r.bytes(body_end - r.position());
+        const std::size_t plen = body_end - r.position();
+        d.payload = make_payload(r.position(), plen);
+        r.skip(plen);
         tc.body = std::move(d);
         break;
       }
@@ -319,6 +359,25 @@ std::optional<SctpPacket> SctpPacket::decode(std::span<const std::byte> wire,
     p.chunks.push_back(std::move(tc));
   }
   return p;
+}
+}  // namespace
+
+std::optional<SctpPacket> SctpPacket::decode(std::span<const std::byte> wire,
+                                             bool verify_crc) {
+  return decode_impl(wire, verify_crc,
+                     [wire](std::size_t pos, std::size_t len) {
+                       return net::SliceChain::copy_of(wire.subspan(pos, len));
+                     });
+}
+
+std::optional<SctpPacket> SctpPacket::decode(const net::Buffer& wire,
+                                             bool verify_crc) {
+  return decode_impl(wire.span(), verify_crc,
+                     [&wire](std::size_t pos, std::size_t len) {
+                       net::SliceChain c;
+                       if (len > 0) c.push_back(net::BufferSlice{wire, pos, len});
+                       return c;
+                     });
 }
 
 }  // namespace sctpmpi::sctp

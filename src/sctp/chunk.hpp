@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "net/address.hpp"
+#include "net/buffer.hpp"
 #include "net/bytes.hpp"
+#include "net/slice.hpp"
 
 namespace sctpmpi::sctp {
 
@@ -44,7 +46,9 @@ struct DataChunk {
   std::uint16_t sid = 0;    // stream identifier (SNo in the paper's Fig. 1)
   std::uint16_t ssn = 0;    // stream sequence number
   std::uint32_t ppid = 0;   // payload protocol id (paper §2.3: PID mapping)
-  std::vector<std::byte> payload;
+  /// Fragment bytes as zero-copy slices of the sender's message Buffer
+  /// (outbound) or the received wire Buffer (inbound).
+  net::SliceChain payload;
 
   std::size_t wire_bytes() const {
     return kDataChunkHeaderBytes + ((payload.size() + 3) & ~std::size_t{3});
@@ -126,9 +130,22 @@ struct SctpPacket {
   /// Serializes into `out` (cleared first), reusing its capacity: the
   /// transmit path encodes into pooled net::Buffer blocks allocation-free.
   void encode_into(std::vector<std::byte>& out, bool with_crc) const;
+  /// Scatter-gather serialization: headers are written once into the
+  /// Builder, DATA payload slices are appended (the single send-side
+  /// payload copy, counted). Used by the transmit path.
+  void encode_into(net::Buffer::Builder& out, bool with_crc) const;
   /// Parses; when `verify_crc`, returns nullopt on checksum mismatch.
-  /// Throws net::DecodeError on malformed input.
+  /// Throws net::DecodeError on malformed input. DATA payloads are copied
+  /// out of `wire` (callers holding only a raw span).
   static std::optional<SctpPacket> decode(std::span<const std::byte> wire,
+                                          bool verify_crc);
+  /// Disambiguates vector arguments (convertible to both span and Buffer).
+  static std::optional<SctpPacket> decode(const std::vector<std::byte>& wire,
+                                          bool verify_crc) {
+    return decode(std::span<const std::byte>{wire}, verify_crc);
+  }
+  /// Zero-copy parse: DATA payload chains retain slices of `wire`'s block.
+  static std::optional<SctpPacket> decode(const net::Buffer& wire,
                                           bool verify_crc);
 };
 

@@ -7,28 +7,61 @@ namespace sctpmpi::sctp {
 namespace {
 constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
 
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> t{};
+// Slicing-by-8: table[0] is the classic byte-at-a-time table; table[k]
+// advances a byte's contribution k extra positions, so one step folds in
+// eight input bytes with eight independent lookups.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t crc = i;
     for (int k = 0; k < 8; ++k) {
       crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
     }
-    t[i] = crc;
+    t[0][i] = crc;
+  }
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+    }
   }
   return t;
 }
 
-constexpr auto kTable = make_table();
+constexpr auto kTables = make_tables();
+
+inline std::uint32_t load_le32(const std::byte* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
 }  // namespace
 
-std::uint32_t crc32c(std::span<const std::byte> data) {
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::byte b : data) {
-    crc = (crc >> 8) ^
-          kTable[(crc ^ static_cast<std::uint32_t>(b)) & 0xFF];
+void Crc32c::update(std::span<const std::byte> data) {
+  std::uint32_t crc = state_;
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    const std::uint32_t lo = crc ^ load_le32(p);
+    const std::uint32_t hi = load_le32(p + 4);
+    crc = kTables[7][lo & 0xFF] ^ kTables[6][(lo >> 8) & 0xFF] ^
+          kTables[5][(lo >> 16) & 0xFF] ^ kTables[4][lo >> 24] ^
+          kTables[3][hi & 0xFF] ^ kTables[2][(hi >> 8) & 0xFF] ^
+          kTables[1][(hi >> 16) & 0xFF] ^ kTables[0][hi >> 24];
+    p += 8;
+    n -= 8;
   }
-  return crc ^ 0xFFFFFFFFu;
+  while (n-- > 0) {
+    crc = (crc >> 8) ^
+          kTables[0][(crc ^ static_cast<std::uint32_t>(*p++)) & 0xFF];
+  }
+  state_ = crc;
+}
+
+std::uint32_t crc32c(std::span<const std::byte> data) {
+  Crc32c c;
+  c.update(data);
+  return c.finalize();
 }
 
 }  // namespace sctpmpi::sctp

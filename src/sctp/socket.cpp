@@ -133,7 +133,7 @@ void SctpStack::transmit(const SctpPacket& pkt, net::IpAddr dst,
   ip.dst = dst;
   ip.proto = net::IpProto::kSctp;
   net::Buffer::Builder wire;
-  pkt.encode_into(wire.bytes(), cfg_.crc32c_enabled);
+  pkt.encode_into(wire, cfg_.crc32c_enabled);
   ip.payload = std::move(wire).finish();
   if (rtx) ip.flags |= net::kPktFlagRetransmit;
   sim::SimTime cost = cfg_.cpu_per_packet;
@@ -208,16 +208,35 @@ std::ptrdiff_t SctpSocket::sendmsg_gather(AssocId id, std::uint16_t sid,
   return a->sendmsg_gather(sid, head, body, ppid, unordered);
 }
 
+std::ptrdiff_t SctpSocket::sendmsg_gather(AssocId id, std::uint16_t sid,
+                                          const net::BufferSlice& head,
+                                          const net::BufferSlice& body,
+                                          std::uint32_t ppid, bool unordered) {
+  Association* a = assoc(id);
+  if (a == nullptr) return Association::kError;
+  return a->sendmsg_gather(sid, head, body, ppid, unordered);
+}
+
 std::ptrdiff_t SctpSocket::recvmsg(std::span<std::byte> out, RecvInfo& info) {
   if (recv_q_.empty()) return Association::kAgain;
   QueuedMessage& m = recv_q_.front();
   if (m.data.size() > out.size()) return Association::kMsgSize;
-  std::copy(m.data.begin(), m.data.end(), out.begin());
-  info = m.info;
   const std::size_t n = m.data.size();
+  m.data.copy_to(out.subspan(0, n));  // the one receive-side payload copy
+  info = m.info;
   if (Association* a = assoc(m.info.assoc)) a->on_app_consumed(n);
   recv_q_.pop_front();
   return static_cast<std::ptrdiff_t>(n);
+}
+
+bool SctpSocket::pop_message(net::SliceChain& out, RecvInfo& info) {
+  if (recv_q_.empty()) return false;
+  QueuedMessage& m = recv_q_.front();
+  info = m.info;
+  if (Association* a = assoc(m.info.assoc)) a->on_app_consumed(m.data.size());
+  out = std::move(m.data);
+  recv_q_.pop_front();
+  return true;
 }
 
 bool SctpSocket::writable(AssocId id) {

@@ -102,11 +102,24 @@ class SctpSocket {
                                 std::uint32_t ppid = 0,
                                 bool unordered = false);
 
+  /// Zero-copy gather variant: slices of immutable Buffers are carried
+  /// through fragmentation untouched until wire encode.
+  std::ptrdiff_t sendmsg_gather(AssocId id, std::uint16_t sid,
+                                const net::BufferSlice& head,
+                                const net::BufferSlice& body,
+                                std::uint32_t ppid = 0,
+                                bool unordered = false);
+
   /// sctp_recvmsg: copies the next whole message (any association, arrival
   /// order) into `out` and fills `info`. Returns the message size,
   /// kAgain when nothing is deliverable, or kMsgSize if `out` is too small
   /// (message left queued).
   std::ptrdiff_t recvmsg(std::span<std::byte> out, RecvInfo& info);
+
+  /// Zero-copy receive: moves the next whole message's slice chain into
+  /// `out` and consumes it (receive-buffer accounting fires first, exactly
+  /// as in recvmsg). Returns false when nothing is deliverable.
+  bool pop_message(net::SliceChain& out, RecvInfo& info);
 
   /// Size of the next deliverable message, or 0 if none.
   std::size_t next_message_size() const {
@@ -139,7 +152,7 @@ class SctpSocket {
 
   struct QueuedMessage {
     RecvInfo info;
-    std::vector<std::byte> data;
+    net::SliceChain data;
   };
 
   void on_packet_(SctpPacket&& pkt, net::IpAddr from, net::IpAddr to);

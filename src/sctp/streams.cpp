@@ -65,9 +65,9 @@ bool InboundStreams::try_complete_(StreamIn& stream, std::uint16_t sid,
   m.sid = sid;
   m.ssn = ssn;
   m.ppid = pm.ppid;
-  m.data.reserve(total);
+  (void)total;
   for (auto& [tsn, frag] : pm.fragments) {
-    m.data.insert(m.data.end(), frag.data.begin(), frag.data.end());
+    m.data.append(std::move(frag.data));  // splice slices, no byte copy
   }
   // Bytes stay counted in buffered_bytes_ until the message becomes
   // SSN-eligible (release_in_order_), since they still occupy the receive

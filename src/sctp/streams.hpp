@@ -26,7 +26,8 @@ struct DeliveredMessage {
   std::uint16_t ssn = 0;
   std::uint32_t ppid = 0;
   bool unordered = false;
-  std::vector<std::byte> data;
+  /// Reassembled body: spliced fragment slices, never a concatenating copy.
+  net::SliceChain data;
 };
 
 /// Outbound SSN assignment for one stream.
@@ -68,7 +69,7 @@ class InboundStreams {
   struct Fragment {
     bool begin = false;
     bool end = false;
-    std::vector<std::byte> data;
+    net::SliceChain data;
   };
   struct TsnOrder {
     bool operator()(std::uint32_t a, std::uint32_t b) const {

@@ -101,6 +101,20 @@ std::ptrdiff_t TcpSocket::send_gather(std::span<const std::byte> a,
   return static_cast<std::ptrdiff_t>(n);
 }
 
+std::ptrdiff_t TcpSocket::send_gather(const net::BufferSlice& a,
+                                      const net::BufferSlice& b) {
+  if (failed_) return kError;
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait)
+    return kAgain;
+  if (fin_pending_ || fin_sent_) return kError;  // already closed for writing
+  std::size_t n = snd_buf_.write(a);
+  if (n == a.len) n += snd_buf_.write(b);
+  if (n == 0) return kAgain;
+  stats_.bytes_sent += n;
+  try_output_();
+  return static_cast<std::ptrdiff_t>(n);
+}
+
 std::ptrdiff_t TcpSocket::recv(std::span<std::byte> out) {
   if (failed_) return kError;
   const std::size_t n = recv_q_.read(out);
@@ -216,8 +230,7 @@ void TcpSocket::send_data_segment_(std::uint32_t seq, std::size_t len,
   seg.wnd = static_cast<std::uint32_t>(recv_q_.free_space());
   last_advertised_wnd_ = seg.wnd;
   const std::size_t off = static_cast<std::size_t>(seq_diff(seq, snd_una_));
-  seg.payload.resize(len);
-  snd_buf_.peek(off, seg.payload);
+  seg.payload = snd_buf_.gather(off, len);  // zero-copy slice view
   seg.psh = (off + len == snd_buf_.size());
   if (!ooo_.empty() && peer_sack_ok_) seg.sacks = build_sack_blocks_();
   if (rtx) ++stats_.retransmits;
@@ -587,7 +600,7 @@ void TcpSocket::retransmit_one_(std::uint32_t seq) {
   rtt_sampling_ = false;  // Karn: never time a retransmitted segment
 }
 
-void TcpSocket::insert_ooo_(std::uint32_t seq, std::span<const std::byte> data) {
+void TcpSocket::insert_ooo_(std::uint32_t seq, net::SliceChain&& data) {
   if (data.empty()) return;
   std::uint32_t end = seq + static_cast<std::uint32_t>(data.size());
   auto it = std::lower_bound(
@@ -598,41 +611,49 @@ void TcpSocket::insert_ooo_(std::uint32_t seq, std::span<const std::byte> data) 
     if (seq_leq(end, prev.end())) return;  // fully buffered already
     if (seq_lt(seq, prev.end())) {
       // Keep only the new tail beyond the predecessor.
-      data = data.subspan(static_cast<std::size_t>(seq_diff(prev.end(), seq)));
+      data.trim_front(static_cast<std::size_t>(seq_diff(prev.end(), seq)));
       seq = prev.end();
     }
   }
   if (it != ooo_.end() && seq_lt(it->seq, end)) {
     // Drop what the successor already buffers (a retransmission re-sends a
     // previously sent range, so its tail never extends past the successor).
-    data = data.subspan(0, static_cast<std::size_t>(seq_diff(it->seq, seq)));
+    data = data.subchain(0, static_cast<std::size_t>(seq_diff(it->seq, seq)));
     end = it->seq;
   }
   if (data.empty()) return;
+  const std::size_t added = data.size();
   if (it != ooo_.begin() && (it - 1)->end() == seq) {
     OooSegment& prev = *(it - 1);
-    prev.data.insert(prev.data.end(), data.begin(), data.end());
-    ooo_bytes_ += data.size();
+    prev.data.append(std::move(data));
+    ooo_bytes_ += added;
     if (it != ooo_.end() && it->seq == end) {
       // This insert closed the gap: fold the successor in too.
-      prev.data.insert(prev.data.end(), it->data.begin(), it->data.end());
+      prev.data.append(std::move(it->data));
       ooo_.erase(it);
     }
     return;
   }
   if (it != ooo_.end() && it->seq == end) {
-    it->data.insert(it->data.begin(), data.begin(), data.end());
+    // Front-extend the successor by splicing its chain behind the new data
+    // — descriptor appends only. (The old byte-vector representation did
+    // data.insert(begin, ...) here, memmoving the successor's whole body on
+    // every front-extension: O(n^2) while filling a long gap backwards.)
+    data.append(std::move(it->data));
+    it->data = std::move(data);
     it->seq = seq;
-    ooo_bytes_ += data.size();
+    ooo_bytes_ += added;
     return;
   }
-  ooo_.insert(it, OooSegment{seq, {data.begin(), data.end()}});
-  ooo_bytes_ += data.size();
+  ooo_.insert(it, OooSegment{seq, std::move(data)});
+  ooo_bytes_ += added;
 }
 
 void TcpSocket::process_payload_(Segment& seg) {
   std::uint32_t seq = seg.seq;
-  std::span<const std::byte> data = seg.payload;
+  // Chain copy (refcount bumps), not a move: process_fin_ still reads
+  // seg.payload.size() after this returns.
+  net::SliceChain data = seg.payload;
 
   // Trim anything already delivered.
   if (seq_lt(seq, rcv_nxt_)) {
@@ -641,7 +662,7 @@ void TcpSocket::process_payload_(Segment& seg) {
       ack_now_();  // pure duplicate: re-ack
       return;
     }
-    data = data.subspan(dup);
+    data.trim_front(dup);
     seq = rcv_nxt_;
   }
 
@@ -649,28 +670,28 @@ void TcpSocket::process_payload_(Segment& seg) {
   if (seq == rcv_nxt_) {
     const std::size_t take = std::min(data.size(), space);
     if (take > 0) {
-      recv_q_.write(data.subspan(0, take));
+      recv_q_.write(take == data.size() ? std::move(data)
+                                        : data.subchain(0, take));
       rcv_nxt_ += static_cast<std::uint32_t>(take);
       // Pull any now-contiguous out-of-order data across.
       while (!ooo_.empty()) {
         OooSegment& front = ooo_.front();
         if (seq_gt(front.seq, rcv_nxt_)) break;
-        std::span<const std::byte> seg_data = front.data;
+        std::size_t drop = 0;
         if (seq_lt(front.seq, rcv_nxt_)) {
-          const auto dup =
-              static_cast<std::size_t>(seq_diff(rcv_nxt_, front.seq));
-          if (dup >= seg_data.size()) {
+          drop = static_cast<std::size_t>(seq_diff(rcv_nxt_, front.seq));
+          if (drop >= front.data.size()) {
             ooo_bytes_ -= front.data.size();
             ooo_.erase(ooo_.begin());
             continue;
           }
-          seg_data = seg_data.subspan(dup);
         }
-        const std::size_t t2 = std::min(seg_data.size(), recv_q_.free_space());
-        if (t2 < seg_data.size()) break;  // no room; leave for later
-        recv_q_.write(seg_data);
-        rcv_nxt_ += static_cast<std::uint32_t>(t2);
-        ooo_bytes_ -= front.data.size();
+        const std::size_t want = front.data.size() - drop;
+        if (want > recv_q_.free_space()) break;  // no room; leave for later
+        if (drop > 0) front.data.trim_front(drop);
+        ooo_bytes_ -= front.data.size() + drop;
+        recv_q_.write(std::move(front.data));
+        rcv_nxt_ += static_cast<std::uint32_t>(want);
         ooo_.erase(ooo_.begin());
       }
     }
@@ -687,7 +708,9 @@ void TcpSocket::process_payload_(Segment& seg) {
     const auto offset = static_cast<std::size_t>(seq_diff(seq, rcv_nxt_));
     if (offset < wnd) {
       const std::size_t take = std::min(data.size(), wnd - offset);
-      if (take > 0) insert_ooo_(seq, data.subspan(0, take));
+      if (take > 0)
+        insert_ooo_(seq, take == data.size() ? std::move(data)
+                                             : data.subchain(0, take));
     }
     ack_now_();
   }
@@ -891,7 +914,7 @@ void TcpStack::transmit_(Segment&& seg, net::IpAddr dst, net::IpAddr src,
   pkt.dst = dst;
   pkt.proto = net::IpProto::kTcp;
   net::Buffer::Builder wire;
-  seg.encode_into(wire.bytes());
+  seg.encode_into(wire);  // header once + counted payload scatter-gather
   pkt.payload = std::move(wire).finish();
   if (rtx) pkt.flags |= net::kPktFlagRetransmit;
   host_.send_ip(std::move(pkt), cfg_.cpu_per_packet);

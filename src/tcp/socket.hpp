@@ -20,8 +20,8 @@
 
 #include "net/host.hpp"
 #include "net/packet.hpp"
-#include "net/ring_buffer.hpp"
 #include "net/seq_ranges.hpp"
+#include "net/slice.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/config.hpp"
@@ -81,6 +81,14 @@ class TcpSocket {
   /// envelope+body back-to-back this way).
   std::ptrdiff_t send_gather(std::span<const std::byte> a,
                              std::span<const std::byte> b);
+  /// Zero-copy gather send: queues slice descriptors of immutable Buffers
+  /// (no payload memcpy). Same partial-accept byte accounting as the span
+  /// overload; the caller advances its slices by the returned count.
+  std::ptrdiff_t send_gather(const net::BufferSlice& a,
+                             const net::BufferSlice& b);
+  std::ptrdiff_t send(const net::BufferSlice& a) {
+    return send_gather(a, net::BufferSlice{});
+  }
   /// Reads in-order data; returns bytes read, 0 at EOF, kAgain if no data,
   /// kError after reset.
   std::ptrdiff_t recv(std::span<std::byte> out);
@@ -184,8 +192,10 @@ class TcpSocket {
   TcpSocket* parent_listener_ = nullptr;
   std::deque<TcpSocket*> accept_q_;
 
-  // Send side. snd_buf_ holds [snd_una_, snd_una_ + snd_buf_.size()).
-  net::RingBuffer snd_buf_;
+  // Send side. snd_buf_ holds [snd_una_, snd_una_ + snd_buf_.size()) as
+  // zero-copy slices; segmentation gathers sub-ranges without touching
+  // payload bytes.
+  net::SliceQueue snd_buf_;
   std::uint32_t iss_ = 0;
   std::uint32_t snd_una_ = 0;
   std::uint32_t snd_nxt_ = 0;
@@ -215,20 +225,22 @@ class TcpSocket {
   unsigned retries_ = 0;
 
   // Receive side.
-  net::RingBuffer recv_q_;
+  net::SliceQueue recv_q_;
   std::uint32_t rcv_nxt_ = 0;
-  /// One buffered out-of-order byte range.
+  /// One buffered out-of-order byte range: a chain of retained wire-buffer
+  /// slices, so buffering and merging never copy payload.
   struct OooSegment {
     std::uint32_t seq = 0;
-    std::vector<std::byte> data;
+    net::SliceChain data;
     std::uint32_t end() const {
       return seq + static_cast<std::uint32_t>(data.size());
     }
   };
-  void insert_ooo_(std::uint32_t seq, std::span<const std::byte> data);
+  void insert_ooo_(std::uint32_t seq, net::SliceChain&& data);
   // Out-of-order reassembly: segments kept sorted in serial order with
-  // exactly-adjacent ranges merged on insert, so SACK blocks read straight
-  // off the list and the pull-across on a filled hole moves whole ranges.
+  // exactly-adjacent ranges merged on insert (slice splices in both
+  // directions — no byte moves), so SACK blocks read straight off the list
+  // and the pull-across on a filled hole moves whole ranges.
   std::vector<OooSegment> ooo_;
   std::size_t ooo_bytes_ = 0;
   bool fin_received_ = false;

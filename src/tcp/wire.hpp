@@ -2,13 +2,20 @@
 // MSS, SACK-permitted, SACK blocks). Segments are serialized into the IP
 // packet payload and parsed back on receive, so header/option overheads are
 // charged on the wire exactly as in the real protocol.
+//
+// The payload is a net::SliceChain: segmentation gathers slices straight
+// out of the send queue, encode writes header bytes once and appends the
+// payload scatter-gather style, and decode over a net::Buffer retains
+// slices of the wire block instead of copying the payload out.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "net/buffer.hpp"
 #include "net/bytes.hpp"
+#include "net/slice.hpp"
 
 namespace sctpmpi::tcp {
 
@@ -36,18 +43,28 @@ struct Segment {
   std::uint16_t mss_opt = 0;        // 0 = absent
   bool sack_permitted = false;
   std::vector<SackBlock> sacks;
-  std::vector<std::byte> payload;
+  net::SliceChain payload;
 
   std::size_t header_bytes() const;
   std::size_t wire_bytes() const { return header_bytes() + payload.size(); }
 
   /// Serializes into a fresh buffer.
   std::vector<std::byte> encode() const;
-  /// Serializes into `out` (cleared first), reusing its capacity: the
-  /// transmit path encodes into pooled net::Buffer blocks allocation-free.
+  /// Serializes into `out` (cleared first), reusing its capacity.
   void encode_into(std::vector<std::byte>& out) const;
-  /// Parses a segment; throws net::DecodeError on malformed input.
+  /// Scatter-gather serialization into a wire Builder: header bytes are
+  /// written once, payload slices are appended (the single send-side
+  /// payload copy). Used by the transmit path.
+  void encode_into(net::Buffer::Builder& out) const;
+  /// Parses a segment; throws net::DecodeError on malformed input. The
+  /// payload is copied out of `wire` (callers holding only a raw span).
   static Segment decode(std::span<const std::byte> wire);
+  /// Disambiguates vector arguments (convertible to both span and Buffer).
+  static Segment decode(const std::vector<std::byte>& wire) {
+    return decode(std::span<const std::byte>{wire});
+  }
+  /// Zero-copy parse: the payload chain retains slices of `wire`'s block.
+  static Segment decode(const net::Buffer& wire);
 };
 
 }  // namespace sctpmpi::tcp

@@ -1,0 +1,226 @@
+// Slice-layer unit tests: BufferSlice views, SliceChain descriptor
+// algebra, SliceQueue RingBuffer-parity accounting, and the copy-budget
+// counters that pin where the datapath is allowed to touch bytes.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "net/buffer.hpp"
+#include "net/slice.hpp"
+
+namespace {
+
+using sctpmpi::net::Buffer;
+using sctpmpi::net::BufferSlice;
+using sctpmpi::net::CopyStats;
+using sctpmpi::net::SliceChain;
+using sctpmpi::net::SliceQueue;
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed = 1) {
+  std::vector<std::byte> v(n);
+  unsigned x = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;
+    v[i] = static_cast<std::byte>(x >> 24);
+  }
+  return v;
+}
+
+TEST(BufferSlice, WholeViewAndSub) {
+  const auto bytes = pattern(64);
+  Buffer buf{std::vector<std::byte>(bytes)};
+  const BufferSlice whole{buf};
+  EXPECT_EQ(whole.off, 0u);
+  EXPECT_EQ(whole.len, 64u);
+
+  const BufferSlice mid = whole.sub(10, 20);
+  ASSERT_EQ(mid.len, 20u);
+  EXPECT_TRUE(std::equal(mid.span().begin(), mid.span().end(),
+                         bytes.begin() + 10));
+
+  // Sub-of-sub composes offsets; tail overload runs to the end.
+  const BufferSlice tail = mid.sub(5);
+  ASSERT_EQ(tail.len, 15u);
+  EXPECT_TRUE(std::equal(tail.span().begin(), tail.span().end(),
+                         bytes.begin() + 15));
+
+  // Slices share the underlying block: no reallocation, same data pointer.
+  EXPECT_EQ(mid.buf.data(), buf.data());
+  EXPECT_EQ(whole.sub(0, 0).empty(), true);
+}
+
+TEST(SliceChain, PushBackSkipsEmptyAndTracksSize) {
+  SliceChain c;
+  EXPECT_TRUE(c.empty());
+  c.push_back(BufferSlice{});  // len == 0: dropped
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.slices().size(), 0u);
+
+  Buffer buf{pattern(32)};
+  c.push_back(BufferSlice{buf}.sub(0, 16));
+  c.push_back(BufferSlice{buf}.sub(16, 0));  // dropped
+  c.push_back(BufferSlice{buf}.sub(16, 16));
+  EXPECT_EQ(c.size(), 32u);
+  EXPECT_EQ(c.slices().size(), 2u);
+  EXPECT_EQ(c.to_vector(), std::vector<std::byte>(buf.begin(), buf.end()));
+}
+
+// Model test: a chain built from arbitrary slice cuts must behave exactly
+// like the flat byte vector it represents, under subchain / trim_front /
+// append / copy_to.
+TEST(SliceChain, MatchesFlatVectorModel) {
+  const auto flat = pattern(1000, 7);
+  Buffer buf{std::vector<std::byte>(flat)};
+  const BufferSlice whole{buf};
+
+  // Cut into uneven pieces.
+  SliceChain c;
+  const std::size_t cuts[] = {1, 13, 256, 300, 430};
+  std::size_t off = 0;
+  for (std::size_t n : cuts) {
+    c.push_back(whole.sub(off, n));
+    off += n;
+  }
+  ASSERT_EQ(off, flat.size());
+  EXPECT_TRUE(c == flat);
+  EXPECT_EQ(c.to_vector(), flat);
+
+  // subchain at slice-interior boundaries.
+  for (std::size_t from : {0u, 1u, 13u, 14u, 269u, 999u}) {
+    for (std::size_t len : {0u, 1u, 5u, 700u}) {
+      if (from + len > flat.size()) continue;
+      const SliceChain sub = c.subchain(from, len);
+      const std::vector<std::byte> want(flat.begin() + from,
+                                        flat.begin() + from + len);
+      EXPECT_TRUE(sub == want) << "subchain(" << from << "," << len << ")";
+    }
+  }
+
+  // trim_front across whole-slice and mid-slice boundaries.
+  SliceChain t = c.subchain(0);
+  t.trim_front(14);  // drops first slice (1) + whole of second (13)
+  EXPECT_EQ(t.size(), flat.size() - 14);
+  t.trim_front(100);  // mid-slice
+  std::vector<std::byte> got(t.size());
+  t.raw_copy_to(got);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), flat.begin() + 114));
+
+  // copy_to with offset.
+  std::vector<std::byte> window(55);
+  c.copy_to(window, 400);
+  EXPECT_TRUE(std::equal(window.begin(), window.end(), flat.begin() + 400));
+
+  // append (copy and move forms) concatenates byte strings.
+  SliceChain a = c.subchain(0, 500);
+  SliceChain b = c.subchain(500);
+  SliceChain joined;
+  joined.append(a);
+  joined.append(std::move(b));
+  EXPECT_TRUE(joined == flat);
+  EXPECT_TRUE(b.empty());  // moved-from chain is cleared
+}
+
+TEST(SliceChain, AdoptAndCopyOfOwnership) {
+  auto bytes = pattern(48, 3);
+  const auto want = bytes;
+  const SliceChain adopted = SliceChain::adopt(std::move(bytes));
+  EXPECT_TRUE(adopted == want);
+
+  CopyStats::reset();
+  const SliceChain copied = SliceChain::copy_of(want);
+  EXPECT_TRUE(copied == want);
+  // copy_of is an ingest, not a payload copy.
+  EXPECT_EQ(CopyStats::get().ingest_bytes, want.size());
+  EXPECT_EQ(CopyStats::get().payload_copy_bytes, 0u);
+  EXPECT_TRUE(SliceChain::copy_of({}).empty());
+}
+
+TEST(SliceQueue, RingBufferParityAccounting) {
+  SliceQueue q(100);
+  EXPECT_EQ(q.capacity(), 100u);
+  EXPECT_EQ(q.free_space(), 100u);
+
+  // Partial accept on raw-span write.
+  const auto data = pattern(150, 9);
+  EXPECT_EQ(q.write(std::span<const std::byte>(data)), 100u);
+  EXPECT_EQ(q.size(), 100u);
+  EXPECT_EQ(q.free_space(), 0u);
+  EXPECT_EQ(q.write(std::span<const std::byte>(data)), 0u);
+
+  // peek does not consume.
+  std::vector<std::byte> head(10);
+  q.peek(0, head);
+  EXPECT_TRUE(std::equal(head.begin(), head.end(), data.begin()));
+  EXPECT_EQ(q.size(), 100u);
+
+  // read drains from the front; drop trims descriptors.
+  std::vector<std::byte> out(30);
+  EXPECT_EQ(q.read(out), 30u);
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), data.begin()));
+  q.drop(20);
+  EXPECT_EQ(q.size(), 50u);
+  std::vector<std::byte> rest(50);
+  EXPECT_EQ(q.read(rest), 50u);
+  EXPECT_TRUE(std::equal(rest.begin(), rest.end(), data.begin() + 50));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SliceQueue, ZeroCopyWritesAndGather) {
+  const auto flat = pattern(200, 11);
+  Buffer buf{std::vector<std::byte>(flat)};
+  const BufferSlice whole{buf};
+
+  SliceQueue q(120);
+  // Slice write: partial accept keeps a prefix view, no byte copy.
+  CopyStats::reset();
+  EXPECT_EQ(q.write(whole.sub(0, 80)), 80u);
+  SliceChain rest;
+  rest.push_back(whole.sub(80, 60));
+  rest.push_back(whole.sub(140, 60));
+  EXPECT_EQ(q.write(rest), 40u);  // fills to capacity mid-chain
+  EXPECT_EQ(CopyStats::get().payload_copy_bytes, 0u);
+  EXPECT_EQ(CopyStats::get().ingest_bytes, 0u);
+
+  // gather returns views over queued bytes (still no copy).
+  const SliceChain seg = q.gather(70, 30);
+  const std::vector<std::byte> want(flat.begin() + 70, flat.begin() + 100);
+  EXPECT_TRUE(seg == want);
+  EXPECT_EQ(CopyStats::get().payload_copy_bytes, 0u);
+
+  // A gathered view stays valid after the queue drops those bytes
+  // (retransmission safety: slices pin the Buffer refcount).
+  q.drop(120);
+  EXPECT_TRUE(seg == want);
+}
+
+TEST(CopyBudget, BuilderAndChainCountOnlyPayloadPaths) {
+  const auto flat = pattern(512, 13);
+  Buffer body{std::vector<std::byte>(flat)};
+
+  CopyStats::reset();
+  Buffer::Builder b;
+  const std::byte header[8] = {};
+  b.append(std::span<const std::byte>(header));  // header bytes: uncounted
+  EXPECT_EQ(CopyStats::get().payload_copy_bytes, 0u);
+
+  SliceChain chain{BufferSlice{body}};
+  chain.append_to(b);  // wire encode of the body: the one send-side copy
+  EXPECT_EQ(CopyStats::get().payload_copy_bytes, flat.size());
+
+  const Buffer wire = std::move(b).finish();
+  ASSERT_EQ(wire.size(), 8 + flat.size());
+  EXPECT_TRUE(std::equal(flat.begin(), flat.end(), wire.begin() + 8));
+
+  // Receive side: copy_to is counted, raw_copy_to is not.
+  std::vector<std::byte> user(flat.size());
+  CopyStats::reset();
+  chain.raw_copy_to(user);
+  EXPECT_EQ(CopyStats::get().payload_copy_bytes, 0u);
+  chain.copy_to(user);
+  EXPECT_EQ(CopyStats::get().payload_copy_bytes, flat.size());
+  EXPECT_EQ(user, flat);
+}
+
+}  // namespace

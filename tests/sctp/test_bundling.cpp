@@ -110,7 +110,7 @@ TEST_F(SctpBundlingTest, DataChunkHeaderOverheadOnWire) {
   // payload per packet. Verify the wire sizes match the spec arithmetic.
   DataChunk d;
   d.begin = d.end = true;
-  d.payload = pattern_bytes(1452);
+  d.payload = sctpmpi::net::SliceChain::adopt(pattern_bytes(1452));
   SctpPacket p;
   p.chunks.push_back(TypedChunk{ChunkType::kData, d});
   // 12 (common) + 16 (data header) + 1452 = 1480 = MTU - IP header.

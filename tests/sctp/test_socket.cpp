@@ -349,7 +349,7 @@ TEST_F(SctpSocketTest, BlindInjectionWithWrongVtagIsDropped) {
   DataChunk d;
   d.begin = d.end = true;
   d.tsn = 1;
-  d.payload = pattern_bytes(10);
+  d.payload = sctpmpi::net::SliceChain::adopt(pattern_bytes(10));
   forged.chunks.push_back(TypedChunk{ChunkType::kData, std::move(d)});
   stacks_[0]->transmit(forged, cluster_->addr(1), net::kAddrAny);
   sim().run_until(sim().now() + 10 * sim::kMillisecond);

@@ -43,6 +43,42 @@ TEST(Crc32c, SensitiveToSingleBitFlip) {
   EXPECT_NE(crc32c(data), orig);
 }
 
+TEST(Crc32c, StreamingMatchesOneShot) {
+  // The streaming class must produce the one-shot value regardless of how
+  // the input is split — including splits inside the slicing-by-8 stride
+  // and a degenerate empty update.
+  std::vector<std::byte> data(253);
+  std::uint32_t x = 0xC0FFEE;
+  for (auto& b : data) {
+    x = x * 1664525u + 1013904223u;
+    b = static_cast<std::byte>(x >> 24);
+  }
+  const std::uint32_t want = crc32c(data);
+
+  for (std::size_t split : {0u, 1u, 3u, 7u, 8u, 9u, 16u, 126u, 252u, 253u}) {
+    Crc32c c;
+    c.update(std::span(data).subspan(0, split));
+    c.update(std::span(data).subspan(split));
+    EXPECT_EQ(c.finalize(), want) << "split at " << split;
+  }
+
+  // Byte-at-a-time, with interleaved empty updates.
+  Crc32c c;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    c.update(std::span(data).subspan(i, 1));
+    c.update({});
+  }
+  EXPECT_EQ(c.finalize(), want);
+
+  // Streaming over the RFC 3720 vector as three ragged pieces.
+  const auto rfc = bytes_of("123456789");
+  Crc32c r;
+  r.update(std::span(rfc).subspan(0, 2));
+  r.update(std::span(rfc).subspan(2, 5));
+  r.update(std::span(rfc).subspan(7));
+  EXPECT_EQ(r.finalize(), 0xE3069283u);
+}
+
 // ---- Chunk codec ------------------------------------------------------------
 
 TEST(SctpWire, DataChunkRoundTrip) {
@@ -58,7 +94,7 @@ TEST(SctpWire, DataChunkRoundTrip) {
   d.sid = 7;
   d.ssn = 99;
   d.ppid = 42;
-  d.payload = bytes_of("payload-bytes");
+  d.payload = sctpmpi::net::SliceChain::adopt(bytes_of("payload-bytes"));
   p.chunks.push_back(TypedChunk{ChunkType::kData, d});
 
   auto decoded = SctpPacket::decode(p.encode(false), false);
@@ -132,13 +168,13 @@ TEST(SctpWire, BundlingMultipleChunksRoundTrip) {
   DataChunk d1;
   d1.begin = d1.end = true;
   d1.tsn = 6;
-  d1.payload = bytes_of("abc");
+  d1.payload = sctpmpi::net::SliceChain::adopt(bytes_of("abc"));
   p.chunks.push_back(TypedChunk{ChunkType::kData, d1});
   DataChunk d2;
   d2.begin = d2.end = true;
   d2.tsn = 7;
   d2.sid = 3;
-  d2.payload = bytes_of("defgh");
+  d2.payload = sctpmpi::net::SliceChain::adopt(bytes_of("defgh"));
   p.chunks.push_back(TypedChunk{ChunkType::kData, d2});
 
   auto dec = SctpPacket::decode(p.encode(false), false);
@@ -174,7 +210,7 @@ TEST(SctpWire, CrcDetectsCorruption) {
   DataChunk d;
   d.begin = d.end = true;
   d.tsn = 1;
-  d.payload = bytes_of("data");
+  d.payload = sctpmpi::net::SliceChain::adopt(bytes_of("data"));
   p.chunks.push_back(TypedChunk{ChunkType::kData, d});
   auto wire = p.encode(true);
   ASSERT_TRUE(SctpPacket::decode(wire, true).has_value());
@@ -187,7 +223,7 @@ TEST(SctpWire, WireBytesMatchesEncodedSize) {
   p.chunks.push_back(TypedChunk{ChunkType::kSack, SackChunk{1, 2, {{3, 4}}, {5}}});
   DataChunk d;
   d.begin = d.end = true;
-  d.payload = bytes_of("xy");  // padded to 4
+  d.payload = sctpmpi::net::SliceChain::adopt(bytes_of("xy"));  // padded to 4
   p.chunks.push_back(TypedChunk{ChunkType::kData, d});
   EXPECT_EQ(p.encode(false).size(), p.wire_bytes());
 }
@@ -293,7 +329,7 @@ DataChunk make_chunk(std::uint32_t tsn, std::uint16_t sid, std::uint16_t ssn,
   c.ssn = ssn;
   c.begin = begin;
   c.end = end;
-  c.payload = bytes_of(data);
+  c.payload = sctpmpi::net::SliceChain::adopt(bytes_of(data));
   return c;
 }
 

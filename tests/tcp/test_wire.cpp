@@ -16,7 +16,7 @@ TEST(TcpWire, RoundTripsPlainDataSegment) {
   s.ack_flag = true;
   s.psh = true;
   s.wnd = 220 * 1024;
-  s.payload = {std::byte{1}, std::byte{2}, std::byte{3}};
+  s.payload = net::SliceChain::adopt({std::byte{1}, std::byte{2}, std::byte{3}});
 
   Segment d = Segment::decode(s.encode());
   EXPECT_EQ(d.sport, 1234);
@@ -74,7 +74,7 @@ TEST(TcpWire, HeaderIsPaddedToFourByteBoundary) {
 
 TEST(TcpWire, WireBytesIncludesPayload) {
   Segment s;
-  s.payload.resize(100);
+  s.payload = net::SliceChain::adopt(std::vector<std::byte>(100));
   EXPECT_EQ(s.wire_bytes(), s.header_bytes() + 100);
 }
 
