@@ -1,0 +1,247 @@
+// Micro-benchmarks of the ISSUE 7 event-dispatch rebuild, plus the two
+// paper-driver end-to-end canaries the rebuild was aimed at:
+//
+//   wheel_arm_cancel   — Timer arm + cancel with no fire: the dominant RTO
+//                        pattern (every ACK restarts the timer, almost none
+//                        expire). O(1) on the wheel vs O(log n) + tombstone
+//                        on the old heap.
+//   wheel_rearm_pushout— re-arm in place to a later deadline, the per-ACK
+//                        RTO push-out, with a periodic fire so cascades run.
+//   due_now_dispatch   — schedule_at(now()) chains: the process-wakeup path
+//                        that the due-now FIFO serves without touching the
+//                        heap (one wakeup per delivered packet in the
+//                        drivers).
+//   wheel_cascade_far  — far-future deadlines that enter high wheel levels
+//                        and cascade down as the clock advances.
+//   e2e_*              — wall-clock of the fig10 farm and table1 ping-pong
+//                        drivers at 2% loss, both transports, against wall
+//                        times pinned immediately before this PR on the
+//                        reference machine. Each carries a "speedup" key so
+//                        check_regression.sh gates the achieved ratio.
+//
+// The e2e speedups are the PR's acceptance metric. Measured outcome (see
+// EXPERIMENTS.md): TCP reaches ~2.9x, SCTP ~2.3x. The 3x target is not
+// reachable for SCTP without breaking byte-identical traces — burst
+// batching delivery events changes (time, seq) firing order — so the gate
+// pins the achieved ratios instead and the tradeoff is documented in
+// DESIGN.md ("Event loop and timers").
+//
+// Writes machine-readable results with --json PATH (BENCH_eventloop.json);
+// --quick scales runs to seconds for the `ctest -L perf` smoke label.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/farm.hpp"
+#include "apps/pingpong.hpp"
+#include "bench/bench_common.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace sctpmpi;
+
+// Wall-clock of the paper drivers measured immediately before this PR
+// (PR 6 code base), RelWithDebInfo, reference machine, full workload sizes
+// (1000 ping-pong iterations, 5000 farm tasks). Stored per iteration/task
+// so quick mode scales.
+constexpr double kPrePrPingpongSctpWallPerIter = 0.31674526 / 1000;
+constexpr double kPrePrPingpongTcpWallPerIter = 0.57438433 / 1000;
+constexpr double kPrePrFarmSctpWallPerTask = 0.79216414 / 5000;
+constexpr double kPrePrFarmTcpWallPerTask = 0.93232145 / 5000;
+
+double bench_wheel_arm_cancel(std::uint64_t rounds, bench::BenchJson& out) {
+  sim::Simulator sim;
+  constexpr int kTimers = 64;
+  std::vector<std::unique_ptr<sim::Timer>> timers;
+  timers.reserve(kTimers);
+  for (int i = 0; i < kTimers; ++i) {
+    timers.push_back(std::make_unique<sim::Timer>(sim, [] {}));
+  }
+  std::uint64_t ops = 0;
+  const double t0 = bench::wall_seconds();
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    for (auto& t : timers) t->arm(200 * sim::kMillisecond + (ops & 1023));
+    for (auto& t : timers) t->cancel();
+    ops += 2 * kTimers;
+  }
+  const double secs = bench::wall_seconds() - t0;
+  const double rate = static_cast<double>(ops) / secs;
+  out.metric("wheel_arm_cancel", "ops", static_cast<double>(ops));
+  out.metric("wheel_arm_cancel", "seconds", secs);
+  out.metric("wheel_arm_cancel", "ops_per_sec", rate);
+  return rate;
+}
+
+double bench_wheel_rearm_pushout(std::uint64_t rounds,
+                                 bench::BenchJson& out) {
+  sim::Simulator sim;
+  constexpr int kTimers = 64;
+  int fires = 0;
+  std::vector<std::unique_ptr<sim::Timer>> timers;
+  timers.reserve(kTimers);
+  for (int i = 0; i < kTimers; ++i) {
+    timers.push_back(std::make_unique<sim::Timer>(sim, [&fires] { ++fires; }));
+  }
+  std::uint64_t ops = 0;
+  const double t0 = bench::wall_seconds();
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    // Each "ACK" pushes every RTO out by a bit; every 32nd round the clock
+    // catches up so wheel cascades and fires actually happen.
+    for (auto& t : timers) t->arm(200 * sim::kMillisecond + (ops & 1023));
+    ops += kTimers;
+    if ((r & 31) == 31) sim.run();
+  }
+  sim.run();
+  const double secs = bench::wall_seconds() - t0;
+  const double rate = static_cast<double>(ops) / secs;
+  out.metric("wheel_rearm_pushout", "ops", static_cast<double>(ops));
+  out.metric("wheel_rearm_pushout", "fires", static_cast<double>(fires));
+  out.metric("wheel_rearm_pushout", "seconds", secs);
+  out.metric("wheel_rearm_pushout", "ops_per_sec", rate);
+  return rate;
+}
+
+double bench_due_now_dispatch(std::uint64_t total, bench::BenchJson& out) {
+  // One wakeup chain: each due-now event schedules the next, so the whole
+  // run stays at one simulated instant and never touches heap or wheel —
+  // exactly the per-packet process-wakeup pattern in the drivers.
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  struct Chain {
+    sim::Simulator* sim;
+    std::uint64_t* fired;
+    std::uint64_t target;
+    void operator()() const {
+      if (++*fired < target) sim->schedule_at(sim->now(), Chain{*this});
+    }
+  };
+  sim.schedule_at(0, Chain{&sim, &fired, total});
+  const double t0 = bench::wall_seconds();
+  sim.run();
+  const double secs = bench::wall_seconds() - t0;
+  const double rate = static_cast<double>(fired) / secs;
+  out.metric("due_now_dispatch", "events", static_cast<double>(fired));
+  out.metric("due_now_dispatch", "seconds", secs);
+  out.metric("due_now_dispatch", "events_per_sec", rate);
+  return rate;
+}
+
+double bench_wheel_cascade_far(std::uint64_t total, bench::BenchJson& out) {
+  // Deadlines spread across seconds-scale horizons: nodes enter levels 2-4
+  // and cascade down bucket by bucket as the clock walks forward.
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  constexpr std::uint64_t kBatch = 512;
+  std::uint64_t scheduled = 0;
+  std::function<void()> refill = [&] {
+    for (std::uint64_t i = 0; i < kBatch && scheduled < total; ++i) {
+      ++scheduled;
+      const sim::SimTime delay =
+          (1 + (scheduled % 300)) * 10 * sim::kMillisecond + (scheduled & 511);
+      sim.schedule_after(delay, [&] { ++fired; });
+    }
+    if (scheduled < total) sim.schedule_after(50 * sim::kMillisecond, refill);
+  };
+  refill();
+  const double t0 = bench::wall_seconds();
+  sim.run();
+  const double secs = bench::wall_seconds() - t0;
+  const double rate = static_cast<double>(fired) / secs;
+  out.metric("wheel_cascade_far", "events", static_cast<double>(fired));
+  out.metric("wheel_cascade_far", "seconds", secs);
+  out.metric("wheel_cascade_far", "events_per_sec", rate);
+  return rate;
+}
+
+// End-to-end: the drivers the rebuild targets, at 2% loss, min of two
+// passes (wall time on short runs swings with cache state). The "speedup"
+// key in each result is what check_regression.sh gates.
+void bench_e2e(bool quick, bench::BenchJson& out) {
+  for (auto tr : {core::TransportKind::kSctp, core::TransportKind::kTcp}) {
+    const bool is_sctp = tr == core::TransportKind::kSctp;
+
+    apps::FarmParams fp;
+    fp.num_tasks = quick ? 1500 : 5000;
+    fp.task_size = 30 * 1024;
+    fp.fanout = 1;
+    fp.work_per_task = 6 * sim::kMillisecond;
+    double farm_secs = 1e30;
+    apps::FarmResult fr;
+    for (int pass = 0; pass < 2; ++pass) {
+      const double t0 = bench::wall_seconds();
+      fr = apps::run_farm(bench::paper_config(tr, 0.02, 2005), fp);
+      const double secs = bench::wall_seconds() - t0;
+      if (secs < farm_secs) farm_secs = secs;
+    }
+    const double farm_base =
+        (is_sctp ? kPrePrFarmSctpWallPerTask : kPrePrFarmTcpWallPerTask) *
+        static_cast<double>(fp.num_tasks);
+    const char* fname = is_sctp ? "e2e_fig10_farm_2pct_sctp"
+                                : "e2e_fig10_farm_2pct_tcp";
+    out.metric(fname, "wall_seconds", farm_secs);
+    out.metric(fname, "pre_pr_wall_seconds", farm_base);
+    out.metric(fname, "sim_runtime_seconds", fr.total_runtime_seconds);
+    out.metric(fname, "tasks_completed",
+               static_cast<double>(fr.tasks_completed));
+    out.metric(fname, "speedup", farm_base / farm_secs);
+
+    apps::PingPongParams pp;
+    pp.message_size = 30 * 1024;
+    pp.iterations = quick ? 300 : 1000;
+    pp.warmup = 3;
+    double pp_secs = 1e30;
+    apps::PingPongResult pr;
+    for (int pass = 0; pass < 2; ++pass) {
+      const double t0 = bench::wall_seconds();
+      pr = apps::run_pingpong(bench::paper_config(tr, 0.02, 2005), pp);
+      const double secs = bench::wall_seconds() - t0;
+      if (secs < pp_secs) pp_secs = secs;
+    }
+    const double pp_base = (is_sctp ? kPrePrPingpongSctpWallPerIter
+                                    : kPrePrPingpongTcpWallPerIter) *
+                           static_cast<double>(pp.iterations);
+    const char* pname = is_sctp ? "e2e_table1_pingpong_2pct_sctp"
+                                : "e2e_table1_pingpong_2pct_tcp";
+    out.metric(pname, "wall_seconds", pp_secs);
+    out.metric(pname, "pre_pr_wall_seconds", pp_base);
+    out.metric(pname, "sim_loop_seconds", pr.loop_seconds);
+    out.metric(pname, "speedup", pp_base / pp_secs);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::BenchJson out("eventloop");
+  const std::uint64_t rounds = quick ? 20'000 : 400'000;
+  const std::uint64_t due_events = quick ? 2'000'000 : 40'000'000;
+  const std::uint64_t cascade_events = quick ? 400'000 : 4'000'000;
+
+  bench_wheel_arm_cancel(rounds, out);
+  bench_wheel_rearm_pushout(rounds, out);
+  bench_due_now_dispatch(due_events, out);
+  bench_wheel_cascade_far(cascade_events, out);
+  bench_e2e(quick, out);
+
+  std::printf("%s", out.str().c_str());
+  if (!json_path.empty() && !out.write(json_path)) return 1;
+  return 0;
+}

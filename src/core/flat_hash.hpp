@@ -1,52 +1,36 @@
-// Open-addressing hash table for the RPI rendezvous/ssend bookkeeping:
-// (peer rank, message sequence) -> request pointer. These tables sit on the
-// per-message fast path (every long message touches one twice, every ssend
-// once), where the node-based std::map they replace paid an allocation and
-// a pointer chase per lookup. Entries are only ever probed point-wise —
-// never iterated — so the unordered layout cannot change simulation order.
+// (peer rank, message seq) -> value bookkeeping for the RPI
+// rendezvous/ssend fast paths: every long message probes one of these
+// tables twice and every ssend once. A thin packing adapter over the
+// generic open-addressing net::FlatMap64 (net/flat_map.hpp), which also
+// backs the per-packet flow demux in the TCP and SCTP stacks. Entries are
+// only ever probed point-wise on hot paths, so the unordered layout cannot
+// change simulation order.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+
+#include "net/flat_map.hpp"
 
 namespace sctpmpi::core {
 
-/// Flat hash map keyed by (peer, seq) holding a small trivially-copyable
-/// value. Linear probing with backward-shift deletion, so there are no
-/// tombstones and the load factor stays honest across the constant
-/// insert/erase churn of rendezvous traffic.
+/// Flat hash map keyed by (peer rank, message seq) holding a small
+/// trivially-copyable value.
 template <typename T>
 class PeerSeqMap {
  public:
-  std::size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
-
-  void clear() {
-    slots_.clear();
-    size_ = 0;
-  }
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
 
   /// Inserts or overwrites the entry for (peer, seq).
   void put(int peer, std::uint32_t seq, T value) {
-    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) grow_();
-    const std::uint64_t key = pack_(peer, seq);
-    std::size_t i = hash_(key) & mask_();
-    while (slots_[i].key != 0 && slots_[i].key != key) i = (i + 1) & mask_();
-    if (slots_[i].key == 0) ++size_;
-    slots_[i] = Slot{key, value};
+    map_.put(pack_(peer, seq), value);
   }
 
   /// Returns the mapped value, or `missing` when absent.
   T find(int peer, std::uint32_t seq, T missing = T{}) const {
-    if (slots_.empty()) return missing;
-    const std::uint64_t key = pack_(peer, seq);
-    std::size_t i = hash_(key) & mask_();
-    while (slots_[i].key != 0) {
-      if (slots_[i].key == key) return slots_[i].value;
-      i = (i + 1) & mask_();
-    }
-    return missing;
+    return map_.find(pack_(peer, seq), missing);
   }
 
   /// Visits every (peer, seq, value) entry. Only the recovery dead-peer
@@ -54,36 +38,18 @@ class PeerSeqMap {
   /// unordered visiting order stays invisible to the simulation.
   template <typename Fn>
   void for_each(Fn fn) const {
-    for (const Slot& s : slots_) {
-      if (s.key == 0) continue;
-      fn(static_cast<int>((s.key >> 32) - 1u),
-         static_cast<std::uint32_t>(s.key), s.value);
-    }
+    map_.for_each([&fn](std::uint64_t key, const T& value) {
+      fn(static_cast<int>((key >> 32) - 1u), static_cast<std::uint32_t>(key),
+         value);
+    });
   }
 
   /// Removes the entry and returns its value, or `missing` when absent.
   T take(int peer, std::uint32_t seq, T missing = T{}) {
-    if (slots_.empty()) return missing;
-    const std::uint64_t key = pack_(peer, seq);
-    std::size_t i = hash_(key) & mask_();
-    while (slots_[i].key != 0) {
-      if (slots_[i].key == key) {
-        T out = slots_[i].value;
-        erase_at_(i);
-        --size_;
-        return out;
-      }
-      i = (i + 1) & mask_();
-    }
-    return missing;
+    return map_.take(pack_(peer, seq), missing);
   }
 
  private:
-  struct Slot {
-    std::uint64_t key = 0;  // 0 = empty (packed keys are never 0)
-    T value{};
-  };
-
   static std::uint64_t pack_(int peer, std::uint32_t seq) {
     // peer+1 keeps the packed key nonzero so 0 can mark an empty slot.
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer) + 1u)
@@ -91,48 +57,7 @@ class PeerSeqMap {
            seq;
   }
 
-  static std::size_t hash_(std::uint64_t x) {
-    // splitmix64 finalizer: full-avalanche, so linear probing sees a
-    // uniform spread even though seq values are consecutive per peer.
-    x += 0x9E3779B97F4A7C15ull;
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-    return static_cast<std::size_t>(x ^ (x >> 31));
-  }
-
-  std::size_t mask_() const { return slots_.size() - 1; }
-
-  /// Backward-shift deletion: closes the hole at i by sliding later probe
-  /// chain members down, preserving the invariant that every entry is
-  /// reachable from its home slot without tombstones.
-  void erase_at_(std::size_t i) {
-    std::size_t hole = i;
-    std::size_t j = i;
-    for (;;) {
-      j = (j + 1) & mask_();
-      if (slots_[j].key == 0) break;
-      const std::size_t home = hash_(slots_[j].key) & mask_();
-      if (((j - home) & mask_()) >= ((j - hole) & mask_())) {
-        slots_[hole] = slots_[j];
-        hole = j;
-      }
-    }
-    slots_[hole] = Slot{};
-  }
-
-  void grow_() {
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
-    for (const Slot& s : old) {
-      if (s.key == 0) continue;
-      std::size_t i = hash_(s.key) & mask_();
-      while (slots_[i].key != 0) i = (i + 1) & mask_();
-      slots_[i] = s;
-    }
-  }
-
-  std::vector<Slot> slots_;  // power-of-2 capacity
-  std::size_t size_ = 0;
+  net::FlatMap64<T> map_;
 };
 
 }  // namespace sctpmpi::core

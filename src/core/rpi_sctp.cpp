@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cassert>
 
 namespace sctpmpi::core {
@@ -20,6 +21,7 @@ SctpRpi::SctpRpi(sctp::SctpStack& stack, int rank, int size, RpiConfig cfg,
       rank_addr_(std::move(rank_addr)),
       base_port_(base_port),
       out_(static_cast<std::size_t>(size) * cfg.stream_pool),
+      out_busy_((static_cast<std::size_t>(size) * cfg.stream_pool + 63) / 64),
       in_(static_cast<std::size_t>(size) * cfg.stream_pool),
       next_seq_(static_cast<std::size_t>(size), 1),
       rec_(static_cast<std::size_t>(size)),
@@ -271,27 +273,51 @@ void SctpRpi::pump_writes_() {
   // stream to that peer only*, §3.4.2). Under Option A, a long body at the
   // head of any queue is driven to completion before any other queue may
   // proceed (§3.4.1 — maximum simplicity, minimum concurrency).
+  // Both passes walk the busy bitmap instead of every queue: each marked
+  // queue is visited at most once per pass in ascending index order (the
+  // order the plain scan used), and bits found empty are cleared lazily.
   if (cfg_.race_fix == RpiConfig::RaceFix::kOptionA) {
-    for (std::size_t qi = 0; qi < out_.size(); ++qi) {
-      auto& q = out_[qi];
-      if (q.empty()) continue;
-      if (q.front().kind == OutJob::Kind::kLongBody) {
-        const int peer = static_cast<int>(qi / cfg_.stream_pool);
-        const auto sid = static_cast<std::uint16_t>(qi % cfg_.stream_pool);
-        // Drive this job; if it cannot finish (send buffer full), stall
-        // all output until it can.
-        if (!advance_job_(peer, sid, q.front())) return;
-        q.pop_front();
+    for (std::size_t w = 0; w < out_busy_.size(); ++w) {
+      std::uint64_t done = 0;
+      for (;;) {
+        const std::uint64_t pending = out_busy_[w] & ~done;
+        if (pending == 0) break;
+        const int b = std::countr_zero(pending);
+        done |= 1ull << b;
+        const std::size_t qi = w * 64 + static_cast<std::size_t>(b);
+        auto& q = out_[qi];
+        if (q.empty()) {
+          out_busy_[w] &= ~(1ull << b);
+          continue;
+        }
+        if (q.front().kind == OutJob::Kind::kLongBody) {
+          const int peer = static_cast<int>(qi / cfg_.stream_pool);
+          const auto sid = static_cast<std::uint16_t>(qi % cfg_.stream_pool);
+          // Drive this job; if it cannot finish (send buffer full), stall
+          // all output until it can.
+          if (!advance_job_(peer, sid, q.front())) return;
+          q.pop_front();
+          if (q.empty()) out_busy_[w] &= ~(1ull << b);
+        }
       }
     }
   }
-  for (std::size_t qi = 0; qi < out_.size(); ++qi) {
-    auto& q = out_[qi];
-    while (!q.empty()) {
+  for (std::size_t w = 0; w < out_busy_.size(); ++w) {
+    std::uint64_t done = 0;
+    for (;;) {
+      const std::uint64_t pending = out_busy_[w] & ~done;
+      if (pending == 0) break;
+      const int b = std::countr_zero(pending);
+      done |= 1ull << b;
+      const std::size_t qi = w * 64 + static_cast<std::size_t>(b);
+      auto& q = out_[qi];
       const int peer = static_cast<int>(qi / cfg_.stream_pool);
       const auto sid = static_cast<std::uint16_t>(qi % cfg_.stream_pool);
-      if (!advance_job_(peer, sid, q.front())) break;
-      q.pop_front();
+      while (!q.empty()) {
+        if (!advance_job_(peer, sid, q.front())) break;
+        q.pop_front();
+      }
+      if (q.empty()) out_busy_[w] &= ~(1ull << b);
     }
   }
 }

@@ -120,7 +120,13 @@ class SctpRpi : public Rpi {
     if (blocked_proc_ != nullptr) blocked_proc_->wake();
   }
   std::deque<OutJob>& outq_(int peer, std::uint16_t sid) {
-    return out_[static_cast<std::size_t>(peer) * cfg_.stream_pool + sid];
+    const std::size_t qi =
+        static_cast<std::size_t>(peer) * cfg_.stream_pool + sid;
+    // Conservatively mark the queue busy on any access: pump_writes_ scans
+    // only marked queues and lazily clears bits it finds empty, so a spare
+    // mark costs one look while a missed one would strand a job.
+    out_busy_[qi >> 6] |= 1ull << (qi & 63);
+    return out_[qi];
   }
   StreamIn& instate_(int peer, std::uint16_t sid) {
     return in_[static_cast<std::size_t>(peer) * cfg_.stream_pool + sid];
@@ -155,8 +161,11 @@ class SctpRpi : public Rpi {
   std::vector<sctp::AssocId> rank_to_assoc_;
   std::map<sctp::AssocId, int> assoc_to_rank_;
 
-  // Option B: per-(peer, stream) FIFO job queues (flattened).
+  // Option B: per-(peer, stream) FIFO job queues (flattened), plus a
+  // possibly-nonempty bitmap so the write pump skips idle queues instead
+  // of scanning all peers x streams on every send.
   std::vector<std::deque<OutJob>> out_;
+  std::vector<std::uint64_t> out_busy_;
   std::vector<StreamIn> in_;
   MatchEngine match_;
   // Probed point-wise per message, never iterated: flat hash tables.

@@ -1,6 +1,7 @@
 // Big-endian wire codec helpers shared by the TCP and SCTP codecs.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -10,24 +11,22 @@
 
 namespace sctpmpi::net {
 
+namespace detail {
+// std::byteswap stand-in (not in this libstdc++ yet).
+inline std::uint16_t bswap(std::uint16_t v) { return __builtin_bswap16(v); }
+inline std::uint32_t bswap(std::uint32_t v) { return __builtin_bswap32(v); }
+inline std::uint64_t bswap(std::uint64_t v) { return __builtin_bswap64(v); }
+}  // namespace detail
+
 /// Appends big-endian integers and raw bytes to a growing buffer.
 class ByteWriter {
  public:
   explicit ByteWriter(std::vector<std::byte>& out) : out_(out) {}
 
   void u8(std::uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
-  void u16(std::uint16_t v) {
-    u8(static_cast<std::uint8_t>(v >> 8));
-    u8(static_cast<std::uint8_t>(v));
-  }
-  void u32(std::uint32_t v) {
-    u16(static_cast<std::uint16_t>(v >> 16));
-    u16(static_cast<std::uint16_t>(v));
-  }
-  void u64(std::uint64_t v) {
-    u32(static_cast<std::uint32_t>(v >> 32));
-    u32(static_cast<std::uint32_t>(v));
-  }
+  void u16(std::uint16_t v) { put_(v); }
+  void u32(std::uint32_t v) { put_(v); }
+  void u64(std::uint64_t v) { put_(v); }
   void bytes(std::span<const std::byte> b) {
     out_.insert(out_.end(), b.begin(), b.end());
   }
@@ -46,6 +45,16 @@ class ByteWriter {
   }
 
  private:
+  // One insert (single capacity check) per field instead of one per byte.
+  template <typename T>
+  void put_(T v) {
+    if constexpr (std::endian::native == std::endian::little) {
+      v = detail::bswap(v);
+    }
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    out_.insert(out_.end(), p, p + sizeof(T));
+  }
+
   std::vector<std::byte>& out_;
 };
 
@@ -64,15 +73,9 @@ class ByteReader {
     need_(1);
     return static_cast<std::uint8_t>(in_[pos_++]);
   }
-  std::uint16_t u16() {
-    return static_cast<std::uint16_t>((std::uint16_t{u8()} << 8) | u8());
-  }
-  std::uint32_t u32() {
-    return (std::uint32_t{u16()} << 16) | u16();
-  }
-  std::uint64_t u64() {
-    return (std::uint64_t{u32()} << 32) | u32();
-  }
+  std::uint16_t u16() { return rd_<std::uint16_t>(); }
+  std::uint32_t u32() { return rd_<std::uint32_t>(); }
+  std::uint64_t u64() { return rd_<std::uint64_t>(); }
   std::vector<std::byte> bytes(std::size_t n) {
     need_(n);
     std::vector<std::byte> out(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
@@ -91,6 +94,18 @@ class ByteReader {
  private:
   void need_(std::size_t n) const {
     if (pos_ + n > in_.size()) throw DecodeError("wire buffer underrun");
+  }
+  // One bounds check + word load per field instead of one per byte.
+  template <typename T>
+  T rd_() {
+    need_(sizeof(T));
+    T v;
+    std::memcpy(&v, in_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    if constexpr (std::endian::native == std::endian::little) {
+      v = detail::bswap(v);
+    }
+    return v;
   }
   std::span<const std::byte> in_;
   std::size_t pos_ = 0;

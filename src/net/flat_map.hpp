@@ -1,0 +1,154 @@
+// Open-addressing hash tables for per-packet and per-message fast paths.
+//
+// FlatMap64 is the primitive: nonzero 64-bit key -> small trivially
+// copyable value, linear probing with backward-shift deletion (no
+// tombstones, honest load factor under steady insert/erase churn). It backs
+// the flow demux on every host receive path — TCP (lport, raddr, rport) ->
+// socket, SCTP port -> socket and peer (addr, port) -> association — where
+// the node-based std::map it replaced paid an allocation plus a pointer
+// chase per packet. Entries are only ever probed point-wise on hot paths —
+// never iterated — so the unordered layout cannot change simulation order;
+// the few cold-path scans (ephemeral-port checks, teardown sweeps) compute
+// order-insensitive results.
+//
+// (core/flat_hash.hpp layers the RPI-facing PeerSeqMap adapter on top.)
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sctpmpi::net {
+
+/// Flat hash map: nonzero uint64 key -> small trivially-copyable value.
+template <typename T>
+class FlatMap64 {
+ public:
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+  /// Inserts or overwrites the entry for `key` (must be nonzero).
+  void put(std::uint64_t key, T value) {
+    assert(key != 0);
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) grow_();
+    std::size_t i = hash_(key) & mask_();
+    while (slots_[i].key != 0 && slots_[i].key != key) i = (i + 1) & mask_();
+    if (slots_[i].key == 0) ++size_;
+    slots_[i] = Slot{key, value};
+  }
+
+  /// Returns the mapped value, or `missing` when absent.
+  T find(std::uint64_t key, T missing = T{}) const {
+    if (slots_.empty()) return missing;
+    std::size_t i = hash_(key) & mask_();
+    while (slots_[i].key != 0) {
+      if (slots_[i].key == key) return slots_[i].value;
+      i = (i + 1) & mask_();
+    }
+    return missing;
+  }
+
+  bool contains(std::uint64_t key) const {
+    if (slots_.empty()) return false;
+    std::size_t i = hash_(key) & mask_();
+    while (slots_[i].key != 0) {
+      if (slots_[i].key == key) return true;
+      i = (i + 1) & mask_();
+    }
+    return false;
+  }
+
+  /// Removes the entry and returns its value, or `missing` when absent.
+  T take(std::uint64_t key, T missing = T{}) {
+    if (slots_.empty()) return missing;
+    std::size_t i = hash_(key) & mask_();
+    while (slots_[i].key != 0) {
+      if (slots_[i].key == key) {
+        T out = slots_[i].value;
+        erase_at_(i);
+        --size_;
+        return out;
+      }
+      i = (i + 1) & mask_();
+    }
+    return missing;
+  }
+
+  /// Visits every (key, value) entry in unspecified order. Cold paths only;
+  /// callers must compute order-insensitive results.
+  template <typename Fn>
+  void for_each(Fn fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != 0) fn(s.key, s.value);
+    }
+  }
+
+  /// Erases every entry matching pred(key, value). Cold path (teardown).
+  template <typename Pred>
+  void erase_if(Pred pred) {
+    // Collect first: backward-shift deletion moves entries, so erasing
+    // while scanning would skip or revisit slots.
+    std::vector<std::uint64_t> doomed;
+    for (const Slot& s : slots_) {
+      if (s.key != 0 && pred(s.key, s.value)) doomed.push_back(s.key);
+    }
+    for (std::uint64_t key : doomed) take(key);
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;  // 0 = empty
+    T value{};
+  };
+
+  static std::size_t hash_(std::uint64_t x) {
+    // splitmix64 finalizer: full-avalanche, so linear probing sees a
+    // uniform spread even for dense key ranges (consecutive seqs, ports).
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+
+  std::size_t mask_() const { return slots_.size() - 1; }
+
+  /// Backward-shift deletion: closes the hole at i by sliding later probe
+  /// chain members down, preserving the invariant that every entry is
+  /// reachable from its home slot without tombstones.
+  void erase_at_(std::size_t i) {
+    std::size_t hole = i;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_();
+      if (slots_[j].key == 0) break;
+      const std::size_t home = hash_(slots_[j].key) & mask_();
+      if (((j - home) & mask_()) >= ((j - hole) & mask_())) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    slots_[hole] = Slot{};
+  }
+
+  void grow_() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    for (const Slot& s : old) {
+      if (s.key == 0) continue;
+      std::size_t i = hash_(s.key) & mask_();
+      while (slots_[i].key != 0) i = (i + 1) & mask_();
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;  // power-of-2 capacity
+  std::size_t size_ = 0;
+};
+
+}  // namespace sctpmpi::net

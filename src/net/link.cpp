@@ -6,6 +6,12 @@
 
 namespace sctpmpi::net {
 
+Link::Link(sim::Simulator& sim, LinkParams params, sim::Rng loss_rng)
+    : sim_(sim),
+      params_(params),
+      faults_(sim, loss_rng, params.loss),
+      unbatched_(std::getenv("SCTPMPI_UNBATCHED") != nullptr) {}
+
 bool Link::enqueue(Packet&& pkt) {
   const FaultInjector::Decision d = faults_.apply(pkt);
   if (d.drop) {
@@ -29,14 +35,77 @@ bool Link::enqueue(Packet&& pkt) {
 }
 
 bool Link::accept_(Packet&& pkt) {
+  return unbatched_ ? accept_unbatched_(std::move(pkt))
+                    : accept_fifo_(std::move(pkt));
+}
+
+void Link::drop_queue_full_(const Packet& pkt, std::size_t occupancy) {
+  ++stats_.drops_queue;
+  notify_(pkt, PacketVerdict::kDroppedQueue);
+  if (getenv("NETTRACE")) {
+    std::printf("[%f] QDROP size=%zu wire=%zu\n",
+                static_cast<double>(sim_.now()) / 1e9, occupancy,
+                pkt.wire_size());
+  }
+}
+
+// ---- FIFO datapath -------------------------------------------------------
+//
+// Event-schedule parity with the legacy path is structural: both schedule
+// one event when the transmitter goes busy, and from each departure one
+// arrival event plus (queue permitting) the next departure event, in that
+// order. Identical schedule calls at identical instants means identical
+// FIFO sequence numbers, so same-time ties resolve identically and traces
+// stay byte-for-byte equal.
+
+bool Link::accept_fifo_(Packet&& pkt) {
+  // Drop-tail depth counts only packets that have not left the transmitter;
+  // departed packets are on the wire, not in the output queue.
+  if (queue_.size() - departed_ >= params_.queue_packets) {
+    drop_queue_full_(pkt, queue_.size() - departed_);
+    return false;
+  }
+  notify_(pkt, PacketVerdict::kQueued);
+  const bool was_idle = queue_.size() == departed_;
+  queue_.push_back(std::move(pkt));
+  if (was_idle) {
+    sim_.schedule_after(serialization_time(queue_.back().wire_size()),
+                        [this] { on_departure_(); });
+  }
+  return true;
+}
+
+void Link::on_departure_() {
+  // Advance the departed/queued boundary in place: no packet moves here.
+  const Packet& pkt = queue_[departed_++];
+  ++stats_.tx_packets;
+  stats_.tx_bytes += pkt.wire_size();
+  sim_.schedule_after(params_.delay, [this] { on_arrival_(); });
+  if (queue_.size() > departed_) {
+    sim_.schedule_after(serialization_time(queue_[departed_].wire_size()),
+                        [this] { on_departure_(); });
+  }
+}
+
+void Link::on_arrival_() {
+  // Arrival events fire in FIFO order (departures are FIFO and the
+  // propagation delay is constant), so the head is always the one due.
+  Packet pkt = std::move(queue_.front());
+  queue_.pop_front();
+  --departed_;
+  notify_(pkt, PacketVerdict::kDelivered);
+  if (sink_) sink_(std::move(pkt));
+}
+
+// ---- legacy datapath (SCTPMPI_UNBATCHED=1) -------------------------------
+//
+// The original two-closures-per-packet formulation, kept as a determinism
+// cross-check: each departure captures the Packet into the delivery
+// closure (a per-packet allocation the FIFO path avoids).
+
+bool Link::accept_unbatched_(Packet&& pkt) {
   if (queue_.size() >= params_.queue_packets) {
-    ++stats_.drops_queue;
-    notify_(pkt, PacketVerdict::kDroppedQueue);
-    if (getenv("NETTRACE")) {
-      std::printf("[%f] QDROP size=%zu wire=%zu\n",
-                  static_cast<double>(sim_.now()) / 1e9, queue_.size(),
-                  pkt.wire_size());
-    }
+    drop_queue_full_(pkt, queue_.size());
     return false;
   }
   notify_(pkt, PacketVerdict::kQueued);

@@ -2,6 +2,20 @@
 // a drop-tail output queue, and a composable fault pipeline at ingress
 // (Dummynet-style Bernoulli loss, bursty loss, scripted drops, duplication,
 // corruption, extra delay, black-outs — see net/fault.hpp).
+//
+// Datapath: accepted packets accumulate in an in-flight FIFO and the
+// transmitter is driven by exactly two slim events per packet — one at end
+// of serialization (departure), one at arrival — whose callbacks capture
+// only the link pointer. Packets live in the FIFO until handed to the sink,
+// never inside an event callback, so the per-packet closure allocation and
+// double Packet move of the naive formulation disappear. The event schedule
+// (timestamps AND scheduling order) is bit-for-bit the one the legacy
+// event-per-packet code produced, which keeps golden traces byte-identical:
+// same-nanosecond event ties resolve by scheduling order, so each delivery
+// event must be allocated exactly at its packet's departure instant (see
+// DESIGN.md "Event loop and timers" on why this can't be relaxed). Set
+// SCTPMPI_UNBATCHED=1 to run the legacy two-closures-per-packet datapath;
+// traces must match byte-for-byte either way.
 #pragma once
 
 #include <cstdint>
@@ -34,8 +48,7 @@ class Link {
  public:
   using Sink = std::function<void(Packet&&)>;
 
-  Link(sim::Simulator& sim, LinkParams params, sim::Rng loss_rng)
-      : sim_(sim), params_(params), faults_(sim, loss_rng, params.loss) {}
+  Link(sim::Simulator& sim, LinkParams params, sim::Rng loss_rng);
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
   void set_loss(double p) { faults_.set_loss(p); }
@@ -67,6 +80,14 @@ class Link {
   }
 
   bool accept_(Packet&& pkt);
+  bool accept_fifo_(Packet&& pkt);
+  bool accept_unbatched_(Packet&& pkt);
+  /// Fires at the head packet's end of serialization: moves it from the
+  /// transmit queue to the propagation stage and schedules its delivery.
+  void on_departure_();
+  /// Fires at the oldest in-flight packet's arrival: delivers it.
+  void on_arrival_();
+  void drop_queue_full_(const Packet& pkt, std::size_t occupancy);
   void start_transmission_();
   void notify_(const Packet& pkt, PacketVerdict v) {
     if (observer_ != nullptr) observer_->on_packet(sim_.now(), label_, pkt, v);
@@ -78,9 +99,19 @@ class Link {
   Sink sink_;
   PacketObserver* observer_ = nullptr;
   std::string label_;
-  std::deque<Packet> queue_;
-  bool transmitting_ = false;
   LinkStats stats_;
+
+  // FIFO datapath: one deque holds every in-flight packet in order. The
+  // first departed_ entries have left the transmitter and are propagating
+  // (one pending arrival event each, FIFO); the rest await serialization.
+  // Departure just advances the boundary — packets move only twice: in at
+  // accept, out at delivery. Invariant: a departure event is pending iff
+  // an undeparted packet exists (queue_.size() > departed_).
+  std::deque<Packet> queue_;
+  std::size_t departed_ = 0;
+
+  bool transmitting_ = false;  // legacy datapath (SCTPMPI_UNBATCHED=1)
+  bool unbatched_ = false;
 };
 
 }  // namespace sctpmpi::net

@@ -1,0 +1,84 @@
+// Thread-local freelist allocator for the datapath's tiny hot vectors
+// (slice chains, per-packet chunk lists): 1-2 element vectors allocated and
+// freed once per packet otherwise hit malloc/free on every packet.
+//
+// Capacities are rounded up to a power-of-two class (1, 2, 4, 8 elements);
+// freed blocks park on a per-class thread-local freelist and are handed
+// back on the next allocation of the same class. Larger requests fall
+// through to operator new. The simulation is single-threaded per run, so
+// the thread-local lists see every alloc/free pair; blocks stay reachable
+// from the lists for the thread's lifetime (bounded by the peak number of
+// simultaneously live containers, not by churn).
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace sctpmpi::net {
+
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    const int c = class_of_(n);
+    if (c >= 0) {
+      Node*& head = lists_()[c];
+      if (head != nullptr) {
+        Node* p = head;
+        head = p->next;
+        return reinterpret_cast<T*>(p);
+      }
+      return static_cast<T*>(
+          ::operator new((std::size_t{1} << c) * sizeof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    const int c = class_of_(n);
+    if (c < 0) {
+      ::operator delete(p);
+      return;
+    }
+    Node* node = reinterpret_cast<Node*>(p);
+    node->next = lists_()[c];
+    lists_()[c] = node;
+  }
+
+  bool operator==(const PoolAllocator&) const { return true; }
+  bool operator!=(const PoolAllocator&) const { return false; }
+
+ private:
+  struct Node {
+    Node* next;
+  };
+  static_assert(sizeof(T) >= sizeof(Node*),
+                "pooled blocks double as freelist nodes");
+  static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                "pooled blocks use default operator new alignment");
+
+  static constexpr int kClasses = 4;  // capacity classes 1, 2, 4, 8
+
+  /// Class index for a capacity, or -1 when the request is too large to
+  /// pool. Same rounding on allocate and deallocate, so blocks always
+  /// return to the class they came from.
+  static int class_of_(std::size_t n) {
+    if (n == 0 || n > (std::size_t{1} << (kClasses - 1))) return -1;
+    int c = 0;
+    while ((std::size_t{1} << c) < n) ++c;
+    return c;
+  }
+
+  static Node** lists_() {
+    thread_local Node* lists[kClasses] = {};
+    return lists;
+  }
+};
+
+}  // namespace sctpmpi::net

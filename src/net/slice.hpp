@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "net/buffer.hpp"
+#include "net/pool_alloc.hpp"
 
 namespace sctpmpi::net {
 
@@ -58,6 +59,11 @@ struct BufferSlice {
 /// through Buffer::Builder::append).
 class SliceChain {
  public:
+  // Chains are created and destroyed per packet/chunk and almost always
+  // hold one or two slices: the descriptor array comes from the small-block
+  // pool, not malloc.
+  using SliceVec = std::vector<BufferSlice, PoolAllocator<BufferSlice>>;
+
   SliceChain() = default;
   explicit SliceChain(BufferSlice s) { push_back(std::move(s)); }
 
@@ -80,7 +86,7 @@ class SliceChain {
     size_ = 0;
   }
 
-  const std::vector<BufferSlice>& slices() const { return slices_; }
+  const SliceVec& slices() const { return slices_; }
 
   void push_back(BufferSlice s) {
     if (s.len == 0) return;
@@ -196,7 +202,7 @@ class SliceChain {
   }
 
  private:
-  std::vector<BufferSlice> slices_;
+  SliceVec slices_;
   std::size_t size_ = 0;
 };
 

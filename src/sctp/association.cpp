@@ -7,10 +7,18 @@
 #include <set>
 
 // Runtime-gated protocol tracing: set SCTPTRACE=1 to log transmissions,
-// SACK processing, timeouts and handshake steps to stdout.
+// SACK processing, timeouts and handshake steps to stdout. The env lookup
+// is latched once — this macro sits on per-packet paths and getenv walks
+// the whole environment block on every call.
+namespace {
+bool sctp_trace_enabled() {
+  static const bool on = std::getenv("SCTPTRACE") != nullptr;
+  return on;
+}
+}  // namespace
 #define SCTPDBG(...) \
   do {               \
-    if (std::getenv("SCTPTRACE") != nullptr) std::printf(__VA_ARGS__); \
+    if (sctp_trace_enabled()) std::printf(__VA_ARGS__); \
   } while (0)
 
 #include "sctp/socket.hpp"

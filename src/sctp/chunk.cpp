@@ -237,6 +237,10 @@ std::optional<SctpPacket> decode_impl(std::span<const std::byte> wire,
   p.vtag = r.u32();
   r.skip(4);  // checksum
 
+  // Nearly every packet carries 1-2 chunks (DATA, or SACK piggybacked on
+  // DATA); one up-front reservation avoids the grow-and-move on the second.
+  p.chunks.reserve(2);
+
   while (r.remaining() >= kChunkHeaderBytes) {
     const auto type = static_cast<ChunkType>(r.u8());
     const std::uint8_t flags = r.u8();

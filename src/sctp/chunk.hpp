@@ -120,7 +120,8 @@ struct SctpPacket {
   std::uint16_t sport = 0;
   std::uint16_t dport = 0;
   std::uint32_t vtag = 0;
-  std::vector<TypedChunk> chunks;
+  // One list per packet in flight: pooled small-block storage, not malloc.
+  std::vector<TypedChunk, net::PoolAllocator<TypedChunk>> chunks;
 
   std::size_t wire_bytes() const;
   /// Serializes; computes and stores CRC32c when `with_crc` is true

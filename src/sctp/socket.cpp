@@ -83,12 +83,12 @@ SctpStack::SctpStack(net::Host& host, SctpConfig cfg, sim::Rng rng)
 
 SctpSocket* SctpStack::create_socket(std::uint16_t port) {
   if (port == 0) {
-    while (by_port_.count(next_ephemeral_) != 0) ++next_ephemeral_;
+    while (by_port_.contains(next_ephemeral_)) ++next_ephemeral_;
     port = next_ephemeral_++;
   }
-  assert(by_port_.count(port) == 0 && "port already bound");
+  assert(!by_port_.contains(port) && "port already bound");
   sockets_.push_back(std::make_unique<SctpSocket>(*this, port));
-  by_port_[port] = sockets_.back().get();
+  by_port_.put(port, sockets_.back().get());
   return sockets_.back().get();
 }
 
@@ -120,9 +120,9 @@ void SctpStack::on_ip_packet(net::Packet&& pkt) {
           return;  // malformed
         }
         if (!parsed) return;  // checksum failure
-        auto it = by_port_.find(parsed->dport);
-        if (it == by_port_.end()) return;  // no socket: drop (no ABORT model)
-        it->second->on_packet_(std::move(*parsed), from, to);
+        SctpSocket* s = by_port_.find(parsed->dport);
+        if (s == nullptr) return;  // no socket: drop (no ABORT model)
+        s->on_packet_(std::move(*parsed), from, to);
       });
 }
 
@@ -169,7 +169,7 @@ AssocId SctpSocket::connect(net::IpAddr peer_primary, std::uint16_t peer_port,
   Association* a = assoc.get();
   assocs_.emplace(id, std::move(assoc));
   for (net::IpAddr addr : addrs) {
-    peer_index_[{addr.v, peer_port}] = id;
+    peer_index_.put(peer_key_(addr.v, peer_port), a);
   }
   a->start_init();
   return id;
@@ -186,9 +186,7 @@ const Association* SctpSocket::assoc(AssocId id) const {
 }
 
 Association* SctpSocket::find_by_peer_(net::IpAddr addr, std::uint16_t port) {
-  auto it = peer_index_.find({addr.v, port});
-  if (it == peer_index_.end()) return nullptr;
-  return assoc(it->second);
+  return peer_index_.find(peer_key_(addr.v, port));
 }
 
 std::ptrdiff_t SctpSocket::sendmsg(AssocId id, std::uint16_t sid,
@@ -277,19 +275,14 @@ void SctpSocket::notify_(Notification n) {
 }
 
 void SctpSocket::register_peer_addr_(Association& a, net::IpAddr addr) {
-  peer_index_[{addr.v, a.peer_port()}] = a.id();
+  peer_index_.put(peer_key_(addr.v, a.peer_port()), &a);
 }
 
 void SctpSocket::remove_association_(AssocId id) {
   // Keep the Association object (ids stay valid for queries); only remove
   // the demux entries so the peer can set up a fresh association later.
-  for (auto it = peer_index_.begin(); it != peer_index_.end();) {
-    if (it->second == id) {
-      it = peer_index_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  peer_index_.erase_if(
+      [id](std::uint64_t, Association* a) { return a->id() == id; });
   notify_activity_();
 }
 
@@ -442,7 +435,7 @@ void SctpSocket::handle_cookie_echo_(const SctpPacket& pkt,
     a = owned.get();
     assocs_.emplace(id, std::move(owned));
     for (net::IpAddr addr : cookie->peer_addrs) {
-      peer_index_[{addr.v, cookie->peer_port}] = id;
+      peer_index_.put(peer_key_(addr.v, cookie->peer_port), a);
     }
   }
   a->establish_from_cookie(*cookie);

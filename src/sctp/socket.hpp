@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "net/flat_map.hpp"
 #include "net/host.hpp"
 #include "net/packet.hpp"
 #include "sctp/association.hpp"
@@ -161,6 +162,12 @@ class SctpSocket {
   void handle_cookie_echo_(const SctpPacket& pkt,
                            const CookieEchoChunk& ce, net::IpAddr from);
   Association* find_by_peer_(net::IpAddr addr, std::uint16_t port);
+  /// Demux key for peer_index_: nonzero because peers always send from a
+  /// bound (nonzero) port.
+  static std::uint64_t peer_key_(std::uint32_t addr, std::uint16_t port) {
+    return (static_cast<std::uint64_t>(addr) << 16) |
+           static_cast<std::uint64_t>(port);
+  }
 
   // Association-facing services.
   void deliver_message_(Association& a, DeliveredMessage&& m);
@@ -175,8 +182,11 @@ class SctpSocket {
   std::uint16_t port_;
   bool listening_ = false;
   std::map<AssocId, std::unique_ptr<Association>> assocs_;
-  // Peer (addr, port) -> association, covering all peer addresses.
-  std::map<std::pair<std::uint32_t, std::uint16_t>, AssocId> peer_index_;
+  // Peer (addr, port) -> association, covering all peer addresses: the
+  // per-packet demux probe. Stores the Association directly (objects live
+  // for the socket's lifetime even after teardown unlinks them here), so
+  // receive demux is a single O(1) probe with no id indirection.
+  net::FlatMap64<Association*> peer_index_;
   std::deque<QueuedMessage> recv_q_;
   std::deque<Notification> notifications_;
   AssocId next_assoc_id_ = 1;
@@ -226,7 +236,8 @@ class SctpStack : public net::ProtocolHandler {
   std::uint64_t secret_;
   std::optional<std::uint32_t> forced_tsn_;
   std::vector<std::unique_ptr<SctpSocket>> sockets_;
-  std::map<std::uint16_t, SctpSocket*> by_port_;
+  // O(1) receive-path port demux (bound ports are never 0).
+  net::FlatMap64<SctpSocket*> by_port_;
   std::uint16_t next_ephemeral_ = 52000;
 };
 

@@ -27,6 +27,14 @@ std::size_t InboundStreams::accept(const DataChunk& chunk) {
 
   PartialMessage& pm = stream.partial[chunk.ssn];
   pm.ppid = chunk.ppid;
+  if (chunk.begin) {
+    pm.has_begin = true;
+    pm.begin_tsn = chunk.tsn;
+  }
+  if (chunk.end) {
+    pm.has_end = true;
+    pm.end_tsn = chunk.tsn;
+  }
   Fragment frag;
   frag.begin = chunk.begin;
   frag.end = chunk.end;
@@ -48,24 +56,29 @@ bool InboundStreams::try_complete_(StreamIn& stream, std::uint16_t sid,
   PartialMessage& pm = pit->second;
 
   // Complete iff: first fragment has B, last has E, TSNs contiguous.
-  if (pm.fragments.empty()) return false;
+  // Fragments are unique per TSN (deduplicated upstream), so the count can
+  // only fill the B-to-E span when the message is plausibly complete: that
+  // O(1) gate culls every partial arrival, and the exact contiguity walk —
+  // which also rejects malformed fragment sets with strays outside [B, E]
+  // — runs once per message instead of once per fragment.
+  if (!pm.has_begin || !pm.has_end) return false;
+  const std::int32_t d = net::seq_diff(pm.end_tsn, pm.begin_tsn);
+  if (d < 0 ||
+      pm.fragments.size() != static_cast<std::size_t>(d) + 1) {
+    return false;
+  }
   if (!pm.fragments.begin()->second.begin) return false;
   if (!pm.fragments.rbegin()->second.end) return false;
   std::uint32_t expect = pm.fragments.begin()->first;
-  std::size_t total = 0;
-  bool unordered = false;
   for (const auto& [tsn, frag] : pm.fragments) {
     if (tsn != expect) return false;
     ++expect;
-    total += frag.data.size();
-    (void)unordered;
   }
 
   DeliveredMessage m;
   m.sid = sid;
   m.ssn = ssn;
   m.ppid = pm.ppid;
-  (void)total;
   for (auto& [tsn, frag] : pm.fragments) {
     m.data.append(std::move(frag.data));  // splice slices, no byte copy
   }

@@ -79,8 +79,15 @@ class InboundStreams {
   struct PartialMessage {
     std::uint32_t ppid = 0;
     // Fragments keyed by TSN; a message is complete when it has a B
-    // fragment, an E fragment, and contiguous TSNs in between.
+    // fragment, an E fragment, and contiguous TSNs in between. Fragments
+    // are TSN-deduplicated upstream (TsnMap), so completeness reduces to
+    // counting: fragment count == E-to-B TSN span. O(1) per arrival
+    // instead of walking every buffered fragment.
     std::map<std::uint32_t, Fragment, TsnOrder> fragments;
+    bool has_begin = false;
+    bool has_end = false;
+    std::uint32_t begin_tsn = 0;
+    std::uint32_t end_tsn = 0;
   };
   struct StreamIn {
     std::uint16_t next_ssn = 0;

@@ -1,0 +1,155 @@
+#include "sim/fiber.hpp"
+
+#if SCTPMPI_HAS_FIBERS
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SCTPMPI_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SCTPMPI_ASAN 1
+#endif
+#endif
+
+#ifdef SCTPMPI_ASAN
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* stack_bottom,
+                                    std::size_t stack_size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** stack_bottom_old,
+                                     std::size_t* stack_size_old);
+}
+#endif
+
+// The switch primitive: saves the SysV callee-saved registers and the
+// return address on the current stack, parks %rsp through *save_sp, adopts
+// `resume_sp`, and returns into whatever that stack was executing. 6 pushes
+// + 6 pops + 2 moves + ret — no syscalls, no cache-hostile futex word.
+//
+// Top-level asm (not a C function with inline asm) because GCC does not
+// support naked functions on x86-64 and a compiler-generated prologue would
+// corrupt the hand-built frame.
+asm(R"(
+        .text
+        .align 16
+        .globl  sctpmpi_fiber_switch
+        .hidden sctpmpi_fiber_switch
+        .type   sctpmpi_fiber_switch, @function
+sctpmpi_fiber_switch:
+        pushq   %rbp
+        pushq   %rbx
+        pushq   %r12
+        pushq   %r13
+        pushq   %r14
+        pushq   %r15
+        movq    %rsp, (%rdi)
+        movq    %rsi, %rsp
+        popq    %r15
+        popq    %r14
+        popq    %r13
+        popq    %r12
+        popq    %rbx
+        popq    %rbp
+        ret
+        .size   sctpmpi_fiber_switch, . - sctpmpi_fiber_switch
+
+        .align 16
+        .globl  sctpmpi_fiber_trampoline
+        .hidden sctpmpi_fiber_trampoline
+        .type   sctpmpi_fiber_trampoline, @function
+sctpmpi_fiber_trampoline:
+        movq    %r12, %rdi      # Fiber* planted in the r12 slot at init
+        call    sctpmpi_fiber_main
+        ud2                     # fiber_main_ never returns
+        .size   sctpmpi_fiber_trampoline, . - sctpmpi_fiber_trampoline
+)");
+
+extern "C" {
+void sctpmpi_fiber_switch(void** save_sp, void* resume_sp);
+void sctpmpi_fiber_trampoline();
+void sctpmpi_fiber_main(void* fiber);
+}
+
+namespace sctpmpi::sim {
+
+/// First and last code to run on the fiber's stack.
+void fiber_main_(Fiber* f) {
+#ifdef SCTPMPI_ASAN
+  // Complete the inbound switch; learn the scheduler stack's extent so
+  // outbound switches can describe their target.
+  __sanitizer_finish_switch_fiber(nullptr, &f->sched_stack_bottom_,
+                                  &f->sched_stack_size_);
+#endif
+  f->entry_();
+  f->finished_ = true;
+#ifdef SCTPMPI_ASAN
+  // nullptr fake-stack save: this context is dying, release its fake stack.
+  __sanitizer_start_switch_fiber(nullptr, f->sched_stack_bottom_,
+                                 f->sched_stack_size_);
+#endif
+  sctpmpi_fiber_switch(&f->sp_, f->sched_sp_);
+  __builtin_unreachable();
+}
+
+extern "C" void sctpmpi_fiber_main(void* fiber) {
+  fiber_main_(static_cast<Fiber*>(fiber));
+}
+
+Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
+    : stack_(new std::byte[stack_bytes]),
+      stack_size_(stack_bytes),
+      entry_(std::move(entry)) {
+  // Hand-build the frame sctpmpi_fiber_switch restores on first entry.
+  // Layout (low to high): r15 r14 r13 r12 rbx rbp <return address>; the
+  // return address is the trampoline, entered with %rsp ≡ 0 (mod 16) as
+  // the ABI requires at a call site.
+  auto top = reinterpret_cast<std::uintptr_t>(stack_.get()) + stack_size_;
+  top &= ~std::uintptr_t{15};
+  auto* frame = reinterpret_cast<std::uintptr_t*>(top - 72);
+  frame[0] = 0;                                          // r15
+  frame[1] = 0;                                          // r14
+  frame[2] = 0;                                          // r13
+  frame[3] = reinterpret_cast<std::uintptr_t>(this);     // r12 -> %rdi
+  frame[4] = 0;                                          // rbx
+  frame[5] = 0;                                          // rbp
+  frame[6] = reinterpret_cast<std::uintptr_t>(&sctpmpi_fiber_trampoline);
+  sp_ = frame;
+}
+
+Fiber::~Fiber() {
+  // A live (started, unfinished) fiber must be driven to completion by its
+  // owner before destruction; Process's abandon protocol guarantees it.
+  assert(sp_ == nullptr || finished_ || sched_sp_ == nullptr);
+}
+
+void Fiber::switch_in() {
+  assert(!finished_);
+#ifdef SCTPMPI_ASAN
+  void* fake = nullptr;
+  __sanitizer_start_switch_fiber(&fake, stack_.get(), stack_size_);
+#endif
+  sctpmpi_fiber_switch(&sched_sp_, sp_);
+#ifdef SCTPMPI_ASAN
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
+}
+
+void Fiber::switch_out() {
+#ifdef SCTPMPI_ASAN
+  void* fake = nullptr;
+  __sanitizer_start_switch_fiber(&fake, sched_stack_bottom_,
+                                 sched_stack_size_);
+#endif
+  sctpmpi_fiber_switch(&sp_, sched_sp_);
+#ifdef SCTPMPI_ASAN
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
+}
+
+}  // namespace sctpmpi::sim
+
+#endif  // SCTPMPI_HAS_FIBERS

@@ -9,13 +9,61 @@ Process::Process(Simulator& sim, std::string name,
                  std::function<void(Process&)> body)
     : sim_(sim), name_(std::move(name)), body_(std::move(body)) {}
 
+#if SCTPMPI_HAS_FIBERS
+
+Process::~Process() {
+  if (fiber_ && state_ != State::Finished) {
+    // Abandoned mid-run (e.g. an exception unwound the driver). Hand the
+    // body control until it observes abandoned_ and unwinds; only then can
+    // its stack be reclaimed.
+    abandoned_ = true;
+    while (state_ != State::Finished) fiber_->switch_in();
+  }
+}
+
+void Process::start() {
+  assert(state_ == State::Created);
+  state_ = State::Runnable;
+  fiber_ = std::make_unique<Fiber>([this] { body_main_(); });
+  const std::uint64_t ep = epoch_;
+  sim_.schedule_at(sim_.now(), [this, ep] {
+    if (state_ == State::Runnable && epoch_ == ep) resume_();
+  });
+}
+
+void Process::body_main_() {
+  // Entered on the fiber's stack at the first resume_().
+  if (!abandoned_) {
+    try {
+      body_(*this);
+    } catch (...) {
+      error_ = std::current_exception();
+    }
+  }
+  state_ = State::Finished;
+  // Returning ends the fiber; Fiber::switch_in() in resume_() returns.
+}
+
+void Process::resume_() {
+  assert(state_ == State::Runnable);
+  // Invalidate any event scheduled against a previous suspension: without
+  // this, a stale sleep-wakeup could cut a later sleep or suspend short.
+  ++epoch_;
+  state_ = State::Running;
+  fiber_->switch_in();
+  // Process is now Suspended or Finished.
+}
+
+void Process::yield_() {
+  fiber_->switch_out();
+  if (abandoned_) throw AbandonedError{};
+  state_ = State::Running;
+}
+
+#else  // thread fallback for non-x86-64 hosts
+
 Process::~Process() {
   if (thread_.joinable()) {
-    // Abandoned mid-run (e.g. an exception unwound the driver). Let the
-    // body thread run to its next suspension point and detach it is unsafe;
-    // instead we require normal completion in practice and just hand the
-    // thread one final turn so it can observe shutdown. Tests always drive
-    // processes to completion, so this path only joins finished threads.
     if (state_ != State::Finished) {
       abandoned_ = true;
       while (state_ != State::Finished) {
@@ -52,8 +100,6 @@ void Process::body_main_() {
 
 void Process::resume_() {
   assert(state_ == State::Runnable);
-  // Invalidate any event scheduled against a previous suspension: without
-  // this, a stale sleep-wakeup could cut a later sleep or suspend short.
   ++epoch_;
   state_ = State::Running;
   to_proc_.release();
@@ -67,6 +113,8 @@ void Process::yield_() {
   if (abandoned_) throw AbandonedError{};
   state_ = State::Running;
 }
+
+#endif  // SCTPMPI_HAS_FIBERS
 
 void Process::wake() {
   if (state_ != State::Suspended) return;

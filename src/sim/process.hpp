@@ -1,31 +1,40 @@
 // Cooperative simulated processes (one per MPI rank).
 //
-// Each Process runs its body on a dedicated OS thread, but execution is
-// strictly sequential: the simulator thread and the process threads hand
-// control back and forth through binary semaphores, so at any instant
-// exactly one of them is running. Blocking operations inside a process
-// (compute phases, waiting for socket readiness) suspend the process and
-// return control to the event loop; events later wake it at the current
-// virtual time. The result is deterministic, virtual-time-accurate
-// execution of ordinary blocking code.
+// Each Process runs its body on its own stack, but execution is strictly
+// sequential: the simulator and the process bodies hand control back and
+// forth, so at any instant exactly one of them is running. Blocking
+// operations inside a process (compute phases, waiting for socket
+// readiness) suspend the process and return control to the event loop;
+// events later wake it at the current virtual time. The result is
+// deterministic, virtual-time-accurate execution of ordinary blocking code.
+//
+// On x86-64 the body's stack is a sim::Fiber and the hand-off is a ~20
+// instruction user-space context switch. Elsewhere each body runs on a
+// dedicated OS thread gated by a pair of binary semaphores — semantically
+// identical (the same single-runner hand-off), just paying two futex
+// round-trips per suspension.
 #pragma once
 
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <semaphore>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "sim/fiber.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+
+#if !SCTPMPI_HAS_FIBERS
+#include <semaphore>
+#include <thread>
+#endif
 
 namespace sctpmpi::sim {
 
 /// Thrown inside a process body when its owner is destroyed mid-run; unwinds
-/// the body thread so the owning Process can join it.
+/// the body stack so the owning Process can reclaim it.
 struct AbandonedError {};
 
 class Process {
@@ -83,18 +92,22 @@ class Process {
   friend class ProcessGroup;
 
   void body_main_();
-  /// Simulator side: transfers control to the process thread and waits for
+  /// Simulator side: transfers control to the process stack and waits for
   /// it to suspend or finish.
   void resume_();
-  /// Process side: transfers control back to the simulator thread.
+  /// Process side: transfers control back to the simulator stack.
   void yield_();
 
   Simulator& sim_;
   std::string name_;
   std::function<void(Process&)> body_;
+#if SCTPMPI_HAS_FIBERS
+  std::unique_ptr<Fiber> fiber_;
+#else
   std::thread thread_;
   std::binary_semaphore to_proc_{0};
   std::binary_semaphore to_sched_{0};
+#endif
   State state_ = State::Created;
   SimTime charge_debt_ = 0;
   std::uint64_t epoch_ = 0;  // bumped on every resume; guards stale events

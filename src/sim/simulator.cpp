@@ -1,15 +1,38 @@
 #include "sim/simulator.hpp"
 
+#include <bit>
 #include <cassert>
 
 namespace sctpmpi::sim {
 
 Simulator::EventId Simulator::schedule_at(SimTime t, Callback cb) {
-  if (t < now_) t = now_;  // clamp: never schedule into the past
   const std::uint32_t slot = alloc_slot_();
   Slot& s = slots_[slot];
   s.cb = std::move(cb);
-  const Entry e{t, (next_seq_++ << kSlotBits) | slot};
+  const std::uint64_t seq = next_seq_++;
+  if (t <= now_) {
+    // Due this very instant (wakeups, deferred work): skip the heap. The
+    // entry outranks nothing pending at now and everything later, so FIFO
+    // append preserves the exact (time, seq) firing order — see header.
+    s.due_seq32 = static_cast<std::uint32_t>(seq);
+    pos_[slot] = kDuePos;
+    due_.push_back(Entry{now_, (seq << kSlotBits) | slot});
+    ++due_live_;
+    return make_id_(s.gen, slot);
+  }
+  const Entry e{t, (seq << kSlotBits) | slot};
+  heap_.push_back(e);
+  sift_up_(static_cast<std::uint32_t>(heap_.size() - 1), e);
+  return make_id_(s.gen, slot);
+}
+
+Simulator::EventId Simulator::schedule_preseq_(SimTime t, std::uint64_t seq,
+                                               Callback cb) {
+  if (t < now_) t = now_;
+  const std::uint32_t slot = alloc_slot_();
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  const Entry e{t, (seq << kSlotBits) | slot};
   heap_.push_back(e);
   sift_up_(static_cast<std::uint32_t>(heap_.size() - 1), e);
   return make_id_(s.gen, slot);
@@ -29,7 +52,11 @@ bool Simulator::cancel(EventId id) {
   Slot* s = slot_for_(id);
   if (s == nullptr) return false;
   const std::uint32_t slot = static_cast<std::uint32_t>(s - slots_.data());
-  remove_at_(pos_[slot]);
+  if (pos_[slot] == kDuePos) {
+    --due_live_;  // queue entry becomes a tombstone, skipped on pop
+  } else {
+    remove_at_(pos_[slot]);
+  }
   free_slot_(slot);
   return true;
 }
@@ -39,12 +66,60 @@ bool Simulator::reschedule(EventId id, SimTime t) {
   if (s == nullptr) return false;
   if (t < now_) t = now_;
   const std::uint32_t slot = static_cast<std::uint32_t>(s - slots_.data());
-  const Entry e{t, (next_seq_++ << kSlotBits) | slot};  // fresh FIFO position
+  const std::uint64_t seq = next_seq_++;  // fresh FIFO position
+  const Entry e{t, (seq << kSlotBits) | slot};
+  if (pos_[slot] == kDuePos) {
+    // The old queue entry tombstones (its seq no longer matches); the new
+    // placement re-enters the due FIFO or moves to the heap.
+    --due_live_;
+    if (t <= now_) {
+      s->due_seq32 = static_cast<std::uint32_t>(seq);
+      due_.push_back(e);
+      ++due_live_;
+    } else {
+      heap_.push_back(e);
+      sift_up_(static_cast<std::uint32_t>(heap_.size() - 1), e);
+    }
+    return true;
+  }
   restore_(pos_[slot], e);
   return true;
 }
 
+void Simulator::prune_due_() {
+  while (!due_.empty()) {
+    const Entry& e = due_.front();
+    const std::uint32_t slot = e.slot();
+    if (pos_[slot] == kDuePos &&
+        slots_[slot].due_seq32 ==
+            static_cast<std::uint32_t>(e.key >> kSlotBits)) {
+      return;  // live
+    }
+    due_.pop_front();  // tombstone
+  }
+}
+
+void Simulator::fire_due_() {
+  const Entry e = due_.front();
+  due_.pop_front();
+  --due_live_;
+  const std::uint32_t slot = e.slot();
+  Slot& s = slots_[slot];
+  Callback cb = std::move(s.cb);
+  free_slot_(slot);
+  // e.time == now_ by construction: the clock does not move.
+  ++processed_;
+  cb();
+}
+
 bool Simulator::step() {
+  prune_due_();
+  wheel_catch_up_();
+  if (!due_.empty() &&
+      (heap_.empty() || rank_(due_.front()) < rank_(heap_[0]))) {
+    fire_due_();
+    return true;
+  }
   if (heap_.empty()) return false;
   const Entry top = heap_[0];
   Slot& s = slots_[top.slot()];
@@ -64,8 +139,37 @@ std::size_t Simulator::run(std::size_t max_events) {
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!heap_.empty() && heap_[0].time <= t) step();
+  for (;;) {
+    prune_due_();
+    wheel_catch_up_();
+    if (!due_.empty() &&
+        (heap_.empty() || rank_(due_.front()) < rank_(heap_[0]))) {
+      if (due_.front().time > t) break;
+      fire_due_();
+      continue;
+    }
+    if (heap_.empty() || heap_[0].time > t) break;
+    const Entry top = heap_[0];
+    Slot& s = slots_[top.slot()];
+    Callback cb = std::move(s.cb);
+    pop_root_();
+    free_slot_(top.slot());
+    now_ = top.time;
+    ++processed_;
+    cb();
+  }
   if (now_ < t) now_ = t;
+}
+
+SimTime Simulator::next_event_bound(SimTime fallback) const {
+  SimTime best = kNoBucket;
+  if (due_live_ != 0) best = now_;  // live due entries always fire at now
+  if (!heap_.empty() && heap_[0].time < best) best = heap_[0].time;
+  if (wheel_live_ != 0) {
+    const SimTime b = wheel_peek_(nullptr, nullptr);
+    if (b < best) best = b;
+  }
+  return best == kNoBucket ? fallback : best;
 }
 
 std::uint32_t Simulator::alloc_slot_() {
@@ -178,6 +282,163 @@ void Simulator::pop_root_() {
   const Entry tail = heap_.back();
   heap_.pop_back();
   if (pos != heap_.size()) sift_up_(pos, tail);
+}
+
+// ---- hierarchical timer wheel ------------------------------------------
+
+void Simulator::timer_arm_(Timer& tm, SimTime t) {
+  if (t < now_) {
+    t = now_;
+    tm.deadline_ = t;
+  }
+  // Drop the previous placement, wherever it lives. A re-arm consumes
+  // exactly one fresh sequence number — the same FIFO accounting as the old
+  // heap-only reschedule path, which is what keeps traces byte-identical.
+  if (tm.node_.linked()) {
+    wheel_unlink_(&tm.node_);
+  } else if (tm.heap_id_ != kInvalidEvent) {
+    cancel(tm.heap_id_);
+    tm.heap_id_ = kInvalidEvent;
+  }
+  tm.node_.time = t;
+  tm.node_.seq = next_seq_++;
+  wheel_insert_(&tm.node_);
+}
+
+void Simulator::timer_cancel_(Timer& tm) {
+  if (tm.node_.linked()) {
+    wheel_unlink_(&tm.node_);
+  } else if (tm.heap_id_ != kInvalidEvent) {
+    cancel(tm.heap_id_);
+    tm.heap_id_ = kInvalidEvent;
+  }
+}
+
+void Simulator::wheel_insert_(WheelNode* n) {
+  const std::uint64_t ntick = static_cast<std::uint64_t>(n->time) >> kTickBits;
+  // Arms never land behind the wheel cursor while events pop in time order;
+  // the clamp covers run_until() advancing the clock past flushed windows.
+  const std::uint64_t delta = ntick > wheel_tick_ ? ntick - wheel_tick_ : 0;
+  int level = 0;
+  while (level + 1 < kWheelLevels &&
+         (delta >> (kLevelBits * (level + 1))) != 0) {
+    ++level;
+  }
+  std::uint64_t eff_tick = wheel_tick_ + delta;
+  // Wrap guard: with an unaligned cursor, a delta close to the level's full
+  // span can round onto the cursor's own slot one revolution ahead — a node
+  // there would re-enter the very bucket being flushed and the flush loop
+  // would never drain. Park such nodes one level coarser; at the top level,
+  // clamp them into the last representable bucket (they re-cascade when
+  // they surface, keeping their exact deadline).
+  while (level + 1 < kWheelLevels &&
+         (eff_tick >> (kLevelBits * level)) -
+                 (wheel_tick_ >> (kLevelBits * level)) >=
+             kWheelSlots) {
+    ++level;
+  }
+  const int shift = kLevelBits * level;
+  const std::uint64_t base = wheel_tick_ >> shift;
+  if ((eff_tick >> shift) - base >= kWheelSlots) {
+    eff_tick = ((base + kWheelSlots) << shift) - 1;
+  }
+  const auto slot =
+      static_cast<std::uint32_t>((eff_tick >> shift) & (kWheelSlots - 1));
+  n->level = static_cast<std::uint8_t>(level);
+  n->slot = static_cast<std::uint8_t>(slot);
+  WheelNode*& head = buckets_[level][slot];
+  n->next = head;
+  if (head != nullptr) head->pprev = &n->next;
+  head = n;
+  n->pprev = &buckets_[level][slot];
+  occupancy_[level] |= 1ull << slot;
+  ++wheel_live_;
+  // This bucket's window start bounds the node's fire time from below.
+  const SimTime start = static_cast<SimTime>(((eff_tick >> shift) << shift)
+                                             << kTickBits);
+  if (start < wheel_bound_) wheel_bound_ = start;
+}
+
+void Simulator::wheel_unlink_(WheelNode* n) {
+  *n->pprev = n->next;
+  if (n->next != nullptr) n->next->pprev = n->pprev;
+  if (buckets_[n->level][n->slot] == nullptr) {
+    occupancy_[n->level] &= ~(1ull << n->slot);
+  }
+  n->next = nullptr;
+  n->pprev = nullptr;
+  --wheel_live_;
+  if (wheel_live_ == 0) wheel_bound_ = kNoBucket;
+}
+
+SimTime Simulator::wheel_peek_(int* level, std::uint64_t* tick) const {
+  SimTime best = kNoBucket;
+  for (int j = 0; j < kWheelLevels; ++j) {
+    const std::uint64_t occ = occupancy_[j];
+    if (occ == 0) continue;
+    const std::uint64_t base = wheel_tick_ >> (kLevelBits * j);
+    const auto cur = static_cast<int>(base & (kWheelSlots - 1));
+    const int d = std::countr_zero(std::rotr(occ, cur));
+    // Next occurrence (>= the cursor) of the occupied slot. When the cursor
+    // sits inside the bucket (d == 0) its window is already open: treat the
+    // start as the cursor itself rather than rounding down into the past.
+    std::uint64_t t = (base + static_cast<std::uint64_t>(d))
+                      << (kLevelBits * j);
+    if (t < wheel_tick_) t = wheel_tick_;
+    const SimTime start = static_cast<SimTime>(t << kTickBits);
+    if (start < best) {
+      best = start;
+      if (level != nullptr) *level = j;
+      if (tick != nullptr) *tick = t;
+    }
+  }
+  return best;
+}
+
+void Simulator::wheel_flush_bucket_(int level, std::uint64_t tick) {
+  const auto slot = static_cast<std::uint32_t>(
+      (tick >> (kLevelBits * level)) & (kWheelSlots - 1));
+  assert(tick >= wheel_tick_);
+  wheel_tick_ = tick;
+  WheelNode* n = buckets_[level][slot];
+  buckets_[level][slot] = nullptr;
+  occupancy_[level] &= ~(1ull << slot);
+  while (n != nullptr) {
+    WheelNode* next = n->next;
+    n->next = nullptr;
+    n->pprev = nullptr;
+    --wheel_live_;
+    if (level == 0) {
+      // Migrate to the heap under the sequence number allocated at arm
+      // time: ties against one-shot events resolve exactly as they did
+      // when timers were plain schedule_at() events.
+      Timer* tm = n->owner;
+      tm->heap_id_ = schedule_preseq_(n->time, n->seq, [tm] { tm->fire_(); });
+    } else {
+      wheel_insert_(n);  // cascade into a finer level
+    }
+    n = next;
+  }
+}
+
+void Simulator::wheel_catch_up_() {
+  while (wheel_live_ != 0) {
+    // A bucket's window start bounds every deadline inside it from below,
+    // so buckets opening after the next candidate event (heap root or a
+    // live due-now entry, which fires at now) cannot affect what fires
+    // next. The cached wheel_bound_ answers that without scanning.
+    SimTime bound = kNoBucket;
+    if (due_live_ != 0) bound = now_;
+    if (!heap_.empty() && heap_[0].time < bound) bound = heap_[0].time;
+    if (bound != kNoBucket && wheel_bound_ > bound) break;
+    int level = 0;
+    std::uint64_t tick = 0;
+    const SimTime start = wheel_peek_(&level, &tick);
+    wheel_bound_ = start;  // exact as of this scan
+    if (bound != kNoBucket && start > bound) break;
+    wheel_flush_bucket_(level, tick);
+  }
+  if (wheel_live_ == 0) wheel_bound_ = kNoBucket;
 }
 
 }  // namespace sctpmpi::sim

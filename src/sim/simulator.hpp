@@ -4,17 +4,43 @@
 // which together with the single-threaded hand-off process model makes every
 // simulation run fully deterministic.
 //
-// The queue is an indexed 4-ary min-heap keyed by (time, seq): heap entries
-// are 24 bytes and never carry the callback, which lives in a slot table
-// addressed by a generation-checked EventId. cancel() and reschedule() find
-// the entry through the slot's heap position and fix the heap in place in
-// O(log n) — no tombstones, so cancelled events release their slot and
-// callback immediately instead of lingering until their timestamp pops.
-// Callbacks are UniqueFunctions (64-byte small-buffer optimization), so
-// scheduling a packet delivery allocates nothing.
+// Three structures back the queue:
+//
+//  * An indexed 4-ary min-heap keyed by (time, seq) holds sparse one-shot
+//    events (packet deliveries, future wakeups). Heap entries are 16 bytes
+//    and never carry the callback, which lives in a slot table addressed by
+//    a generation-checked EventId. cancel() and reschedule() find the entry
+//    through the slot's heap position and fix the heap in place in O(log n).
+//
+//  * A hierarchical timer wheel (6 levels x 64 slots, 1.024 us ticks,
+//    ~70000 s span) absorbs protocol-timer churn: RTO, delayed-ACK,
+//    heartbeat and SACK timers arm, re-arm and cancel in O(1) with no heap
+//    traffic at all. Wheel entries are intrusive nodes owned by sim::Timer.
+//
+//  * A due-now FIFO absorbs events scheduled for the current instant
+//    (process wakeups: one per packet delivery). Such an event carries the
+//    largest sequence number allocated so far and a timestamp no later than
+//    any pending event, so it fires after everything already queued at now
+//    and before anything later — exactly its heap position — but push and
+//    pop are O(1) with no sift traffic. The FIFO provably drains before the
+//    clock advances, and each pop picks the min rank across all three
+//    structures, so the global (time, seq) firing order is bit-for-bit the
+//    order a heap-only queue would produce. Cancelled or rescheduled FIFO
+//    entries tombstone in place (validated by slot state + sequence low
+//    bits) and are skipped on pop.
+//
+// Determinism across the two structures is exact, not approximate: every
+// arm consumes one FIFO sequence number, and when a wheel bucket's window
+// opens its timers are flushed into the heap carrying the sequence number
+// they were armed with. The heap's (time, seq) order therefore interleaves
+// timer fires and one-shot events precisely as if every timer had been
+// schedule_at()-ed directly — wheel quantization only decides when a timer
+// migrates to the heap, never when or in what order it fires.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <new>
 #include <vector>
@@ -23,6 +49,8 @@
 #include "sim/unique_function.hpp"
 
 namespace sctpmpi::sim {
+
+class Timer;
 
 class Simulator {
  public:
@@ -67,22 +95,49 @@ class Simulator {
   /// Runs events with timestamp <= t, then advances the clock to t.
   void run_until(SimTime t);
 
-  bool empty() const { return heap_.empty(); }
-  /// Pending (not cancelled) events; cancellation shrinks this immediately.
-  std::size_t live_events() const { return heap_.size(); }
+  /// Earliest pending timestamp (heap or wheel bucket window), or `fallback`
+  /// when nothing is pending. A wheel bucket reports its window start, which
+  /// is <= every deadline it holds, so the returned bound is conservative:
+  /// no event can fire strictly before it.
+  SimTime next_event_bound(SimTime fallback) const;
+
+  bool empty() const {
+    return heap_.empty() && wheel_live_ == 0 && due_live_ == 0;
+  }
+  /// Pending (not cancelled) events, wheel-resident timers included;
+  /// cancellation shrinks this immediately.
+  std::size_t live_events() const {
+    return heap_.size() + wheel_live_ + due_live_;
+  }
+  /// Timers currently parked on the wheel (not yet migrated to the heap).
+  std::size_t wheel_pending() const { return wheel_live_; }
   /// Slots ever allocated. Bounded by the peak number of simultaneously
   /// pending events, not by churn: arm/cancel cycles reuse slots.
   std::size_t slot_capacity() const { return slots_.size(); }
   std::uint64_t events_processed() const { return processed_; }
 
  private:
+  friend class Timer;
+
   static constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+  // pos_ marker for events parked in the due-now FIFO instead of the heap.
+  static constexpr std::uint32_t kDuePos = 0xFFFFFFFEu;
   // A heap entry packs the FIFO sequence number (high 40 bits) above the
   // slot index (low 24 bits): seq is unique, so ordering the packed word
   // orders by seq, and entries stay 16 bytes. 2^24 simultaneously pending
   // events and 2^40 total events are far beyond any simulated run.
   static constexpr int kSlotBits = 24;
   static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+
+  // Wheel geometry: 2^10 ns ticks, 6 levels of 64 slots. Level j buckets
+  // span 64^j ticks; total horizon 64^6 ticks ~ 70368 s. Deadlines beyond
+  // the horizon clamp into the top level and re-cascade when they surface.
+  static constexpr int kTickBits = 10;
+  static constexpr int kLevelBits = 6;
+  static constexpr int kWheelLevels = 6;
+  static constexpr std::uint64_t kWheelSlots = 1ull << kLevelBits;
+  static constexpr std::uint64_t kWheelSpan = 1ull
+                                             << (kLevelBits * kWheelLevels);
 
   struct Entry {
     SimTime time;
@@ -119,8 +174,26 @@ class Simulator {
   struct Slot {
     Callback cb;            // 56 bytes: 48 inline + ops pointer
     std::uint32_t gen = 1;  // bumped on release; stale ids miss
+    // Low 32 bits of the sequence number of this slot's live due-FIFO
+    // entry; distinguishes it from tombstones of earlier entries that
+    // named the same slot within the same instant.
+    std::uint32_t due_seq32 = 0;
   };
   static_assert(sizeof(Slot) == 64, "one cache line per event slot");
+
+  // Intrusive wheel node, embedded in sim::Timer. pprev points at whatever
+  // holds the forward pointer to this node (bucket head or predecessor's
+  // next), so unlink is O(1) without walking the bucket.
+  struct WheelNode {
+    WheelNode* next = nullptr;
+    WheelNode** pprev = nullptr;
+    SimTime time = 0;
+    std::uint64_t seq = 0;  // FIFO position allocated at arm time
+    Timer* owner = nullptr;
+    std::uint8_t level = 0;
+    std::uint8_t slot = 0;
+    bool linked() const { return pprev != nullptr; }
+  };
 
   static EventId make_id_(std::uint32_t gen, std::uint32_t slot) {
     return (static_cast<EventId>(gen) << 32) | (slot + 1ull);
@@ -154,6 +227,37 @@ class Simulator {
   /// Detaches the root (hole percolation: cheaper than remove_at_(0)).
   void pop_root_();
 
+  /// Heap insert that reuses a sequence number allocated earlier (at arm
+  /// time): how wheel timers keep their FIFO position when they migrate.
+  EventId schedule_preseq_(SimTime t, std::uint64_t seq, Callback cb);
+
+  /// Drops tombstoned entries (cancelled / rescheduled-away) from the front
+  /// of the due-now FIFO, leaving a live entry or an empty queue.
+  void prune_due_();
+  /// Pops and runs the front of the due-now FIFO (must be live).
+  void fire_due_();
+
+  // ---- timer wheel (driven by sim::Timer) ------------------------------
+  /// Places (or re-places) a timer on the wheel at absolute deadline `t`,
+  /// consuming one fresh sequence number — the same FIFO cost as a plain
+  /// schedule_at, so heap/wheel interleavings are reproducible.
+  void timer_arm_(Timer& tm, SimTime t);
+  /// Removes a timer from wheel or heap; no-op if it is not pending.
+  void timer_cancel_(Timer& tm);
+  void wheel_insert_(WheelNode* n);
+  void wheel_unlink_(WheelNode* n);
+  /// Start time (ns) of the earliest occupied wheel bucket; kNoBucket when
+  /// the wheel is empty. Out-params name the bucket.
+  static constexpr SimTime kNoBucket = INT64_MAX;
+  SimTime wheel_peek_(int* level, std::uint64_t* tick) const;
+  /// Empties one bucket: level-0 timers migrate to the heap with their
+  /// preserved seq; coarser buckets cascade back into the wheel.
+  void wheel_flush_bucket_(int level, std::uint64_t tick);
+  /// Migrates every wheel bucket whose window opens at or before the heap
+  /// root (or unconditionally while the heap is empty), so heap_[0] is the
+  /// globally next event afterwards.
+  void wheel_catch_up_();
+
   std::vector<Entry, EntryAlloc> heap_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> pos_;  // slot -> heap index, kNoPos when free
@@ -161,47 +265,80 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
+
+  // Due-now FIFO: events scheduled at the current instant, in allocation
+  // (= firing) order. Every live entry's time equals now_ — the queue
+  // drains before the clock advances. due_live_ excludes tombstones.
+  std::deque<Entry> due_;
+  std::size_t due_live_ = 0;
+
+  WheelNode* buckets_[kWheelLevels][kWheelSlots] = {};
+  std::uint64_t occupancy_[kWheelLevels] = {};
+  std::uint64_t wheel_tick_ = 0;  // buckets before this tick are flushed
+  std::size_t wheel_live_ = 0;
+  // Lower bound (ns) on the earliest wheel bucket window: no wheel timer
+  // can fire strictly before it. Maintained cheaply (min on insert, exact
+  // after each peek, reset when the wheel drains); lets the per-step
+  // catch-up skip the 6-level occupancy scan when the bound is already
+  // past the next heap/due event. A stale-low bound only costs a wasted
+  // peek, never a missed flush.
+  SimTime wheel_bound_ = kNoBucket;
 };
 
 /// A single re-armable timer bound to a Simulator; the building block for
-/// protocol retransmission/delayed-ack/heartbeat timers. Arming an already
-/// armed timer reschedules the existing event in place (no new callback is
-/// created); deadline() reads 0 whenever the timer is not armed.
+/// protocol retransmission/delayed-ack/heartbeat timers. Armed timers live
+/// on the simulator's hierarchical wheel: arm(), re-arm (earlier or later)
+/// and cancel() are all O(1) and touch no heap state until the deadline's
+/// bucket window opens. deadline() reads 0 whenever the timer is not armed.
+///
+/// Pinned re-arm semantics (see tests/sim/test_timer_wheel.cpp): arm() on an
+/// already armed timer atomically replaces the deadline — the timer stays
+/// armed() throughout, never holds more than one pending event, and a
+/// deadline() read between arm() calls always reports the latest value,
+/// even if the previous placement had already migrated to the heap (the
+/// re-arm-in-place path that used to leave a dead deadline_ read behind
+/// when reschedule() failed).
 class Timer {
  public:
   Timer(Simulator& sim, std::function<void()> on_fire)
-      : sim_(sim), on_fire_(std::move(on_fire)) {}
+      : sim_(sim), on_fire_(std::move(on_fire)) {
+    node_.owner = this;
+  }
   ~Timer() { cancel(); }
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
 
   void arm(SimTime delay) {
     deadline_ = sim_.now() + delay;
-    if (id_ != Simulator::kInvalidEvent && sim_.reschedule(id_, deadline_)) {
-      return;
-    }
-    id_ = sim_.schedule_at(deadline_, [this] {
-      id_ = Simulator::kInvalidEvent;
-      deadline_ = 0;
-      on_fire_();
-    });
+    sim_.timer_arm_(*this, deadline_);
   }
 
   void cancel() {
     deadline_ = 0;
-    if (id_ != Simulator::kInvalidEvent) {
-      sim_.cancel(id_);
-      id_ = Simulator::kInvalidEvent;
-    }
+    sim_.timer_cancel_(*this);
   }
 
-  bool armed() const { return id_ != Simulator::kInvalidEvent; }
+  bool armed() const {
+    return node_.linked() || heap_id_ != Simulator::kInvalidEvent;
+  }
   SimTime deadline() const { return deadline_; }
 
  private:
+  friend class Simulator;
+
+  /// Invoked by the simulator when the migrated heap event pops. State is
+  /// cleared before on_fire_ runs, so cancel()/arm() from inside the
+  /// callback see a disarmed timer.
+  void fire_() {
+    heap_id_ = Simulator::kInvalidEvent;
+    deadline_ = 0;
+    on_fire_();
+  }
+
   Simulator& sim_;
   std::function<void()> on_fire_;
-  Simulator::EventId id_ = Simulator::kInvalidEvent;
+  Simulator::WheelNode node_;
+  Simulator::EventId heap_id_ = Simulator::kInvalidEvent;
   SimTime deadline_ = 0;
 };
 

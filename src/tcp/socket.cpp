@@ -884,24 +884,30 @@ void TcpStack::on_ip_packet(net::Packet&& pkt) {
   // the connection (the header checksum itself is not serialized, so the
   // fault pipeline marks corrupted packets instead).
   if (pkt.flags & net::kPktFlagCorrupted) return;
-  Segment seg;
-  try {
-    seg = Segment::decode(pkt.payload);
-  } catch (const net::DecodeError&) {
-    return;  // malformed: drop
-  }
-  // Stack receive CPU (serialized on the host CPU), then processing.
+  // Stack receive CPU (serialized on the host CPU), then processing. The
+  // segment is decoded inside the deferred callback: capturing the
+  // refcounted payload Buffer instead of a decoded Segment keeps the
+  // closure within the scheduler's inline buffer (no per-packet
+  // allocation) and skips decode work for packets the simulation never
+  // gets to. Well-formedness of non-corrupted packets is an invariant
+  // (we built them), so deferring the malformed-drop check is unobservable.
   const net::IpAddr src = pkt.src;
   host_.sim().schedule_after(
       host_.occupy_cpu(cfg_.cpu_per_packet),
-      [this, seg = std::move(seg), src]() mutable {
-        const ConnKey key{seg.dport, src.v, seg.sport};
-        if (auto it = conns_.find(key); it != conns_.end()) {
-          it->second->on_segment(std::move(seg), src);
+      [this, payload = std::move(pkt.payload), src]() mutable {
+        Segment seg;
+        try {
+          seg = Segment::decode(payload);
+        } catch (const net::DecodeError&) {
+          return;  // malformed: drop
+        }
+        if (TcpSocket* s = conns_.find(conn_key_(seg.dport, src.v, seg.sport));
+            s != nullptr) {
+          s->on_segment(std::move(seg), src);
           return;
         }
-        if (auto it = listeners_.find(seg.dport); it != listeners_.end()) {
-          it->second->on_segment(std::move(seg), src);
+        if (TcpSocket* s = listeners_.find(seg.dport); s != nullptr) {
+          s->on_segment(std::move(seg), src);
         }
         // else: no matching socket; silently drop (no RST model needed)
       });
@@ -921,23 +927,21 @@ void TcpStack::transmit_(Segment&& seg, net::IpAddr dst, net::IpAddr src,
 }
 
 void TcpStack::register_conn_(TcpSocket* s) {
-  conns_[ConnKey{s->lport_, s->raddr_.v, s->rport_}] = s;
+  conns_.put(conn_key_(s->lport_, s->raddr_.v, s->rport_), s);
 }
 
-void TcpStack::register_listener_(TcpSocket* s) {
-  listeners_[s->lport_] = s;
-}
+void TcpStack::register_listener_(TcpSocket* s) { listeners_.put(s->lport_, s); }
 
 std::uint16_t TcpStack::ephemeral_port_() {
   while (true) {
     const std::uint16_t p = next_ephemeral_++;
     if (next_ephemeral_ == 0) next_ephemeral_ = 49152;
-    bool in_use = listeners_.count(p) != 0;
-    for (const auto& [key, sock] : conns_) {
-      if (key.lport == p) {
-        in_use = true;
-        break;
-      }
+    bool in_use = listeners_.contains(p);
+    if (!in_use) {
+      // Cold path (once per connect); the any-of scan is order-insensitive.
+      conns_.for_each([&](std::uint64_t key, TcpSocket*) {
+        if (static_cast<std::uint16_t>(key >> 48) == p) in_use = true;
+      });
     }
     if (!in_use) return p;
   }

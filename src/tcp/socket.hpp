@@ -12,12 +12,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "net/flat_map.hpp"
 #include "net/host.hpp"
 #include "net/packet.hpp"
 #include "net/seq_ranges.hpp"
@@ -271,12 +271,14 @@ class TcpStack : public net::ProtocolHandler {
  private:
   friend class TcpSocket;
 
-  struct ConnKey {
-    std::uint16_t lport;
-    std::uint32_t raddr;
-    std::uint16_t rport;
-    auto operator<=>(const ConnKey&) const = default;
-  };
+  /// Demux key (lport, raddr, rport) packed into one nonzero word: lport
+  /// occupies the top 16 bits and bound sockets never have lport 0.
+  static std::uint64_t conn_key_(std::uint16_t lport, std::uint32_t raddr,
+                                 std::uint16_t rport) {
+    return (static_cast<std::uint64_t>(lport) << 48) |
+           (static_cast<std::uint64_t>(raddr) << 16) |
+           static_cast<std::uint64_t>(rport);
+  }
 
   void transmit_(Segment&& seg, net::IpAddr dst, net::IpAddr src,
                  bool rtx = false);
@@ -289,8 +291,9 @@ class TcpStack : public net::ProtocolHandler {
   TcpConfig cfg_;
   sim::Rng rng_;
   std::vector<std::unique_ptr<TcpSocket>> sockets_;
-  std::map<ConnKey, TcpSocket*> conns_;
-  std::map<std::uint16_t, TcpSocket*> listeners_;
+  // O(1) receive-path flow demux (one probe per packet, no node allocs).
+  net::FlatMap64<TcpSocket*> conns_;
+  net::FlatMap64<TcpSocket*> listeners_;
   std::uint16_t next_ephemeral_ = 49152;
 };
 

@@ -227,14 +227,17 @@ TEST(Timer, DeadlineResetsAfterFire) {
 }
 
 TEST(Timer, RearmReschedulesInPlace) {
-  // Re-arming an armed timer moves the existing event instead of allocating
-  // a fresh callback: the simulator never holds more than one slot for it.
+  // Re-arming an armed timer moves the existing wheel node instead of
+  // allocating a fresh callback or event: the simulator holds exactly one
+  // pending entry for it, and no heap slot at all until the deadline's
+  // bucket window opens.
   Simulator s;
   int fires = 0;
   Timer t(s, [&] { ++fires; });
   for (int i = 0; i < 1000; ++i) t.arm(100 + i);
   EXPECT_EQ(s.live_events(), 1u);
-  EXPECT_EQ(s.slot_capacity(), 1u);
+  EXPECT_EQ(s.wheel_pending(), 1u);
+  EXPECT_EQ(s.slot_capacity(), 0u);
   s.run();
   EXPECT_EQ(fires, 1);
   EXPECT_EQ(s.now(), 1099);
@@ -250,6 +253,107 @@ TEST(Timer, CanRearmFromWithinCallback) {
   s.run();
   EXPECT_EQ(fires, 3);
   EXPECT_EQ(s.now(), 30);
+}
+
+// ---- due-now FIFO --------------------------------------------------------
+// Events scheduled at t <= now() take the O(1) side-queue fast path instead
+// of the heap. These tests pin the cases where the FIFO's tombstoning and
+// rank interleaving could diverge from heap semantics.
+
+TEST(SimulatorDueNow, CancelledDueEventDoesNotFire) {
+  Simulator s;
+  bool ran = false;
+  s.schedule_at(100, [&] {
+    const auto id = s.schedule_at(s.now(), [&] { ran = true; });
+    EXPECT_TRUE(s.cancel(id));  // tombstones the deque entry
+  });
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SimulatorDueNow, RescheduleDueEventToFutureMovesIt) {
+  Simulator s;
+  SimTime fired = -1;
+  s.schedule_at(100, [&] {
+    const auto id = s.schedule_at(s.now(), [&] { fired = s.now(); });
+    EXPECT_TRUE(s.reschedule(id, 250));  // due-FIFO entry -> heap
+  });
+  s.run();
+  EXPECT_EQ(fired, 250);
+}
+
+TEST(SimulatorDueNow, RescheduleDueEventToNowTakesFreshFifoPosition) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(100, [&] {
+    const auto a = s.schedule_at(s.now(), [&] { order.push_back(1); });
+    s.schedule_at(s.now(), [&] { order.push_back(2); });
+    EXPECT_TRUE(s.reschedule(a, s.now()));  // drops behind event 2
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(SimulatorDueNow, SlotReuseAtSameInstantFiresNewEventOnce) {
+  // Cancel frees the slot while its tombstoned deque entry is still
+  // queued; an immediate re-schedule at the same instant reuses the slot.
+  // The stale entry must not fire the new callback (nor fire it twice).
+  Simulator s;
+  int fires = 0;
+  s.schedule_at(100, [&] {
+    const auto a = s.schedule_at(s.now(), [] { FAIL() << "cancelled"; });
+    EXPECT_TRUE(s.cancel(a));
+    s.schedule_at(s.now(), [&] { ++fires; });  // may reuse a's slot
+  });
+  s.run();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(SimulatorDueNow, ChainedDueEventsDrainBeforeClockAdvances) {
+  Simulator s;
+  std::vector<SimTime> times;
+  s.schedule_at(100, [&] {
+    s.schedule_at(s.now(), [&] {
+      times.push_back(s.now());
+      s.schedule_at(s.now(), [&] { times.push_back(s.now()); });
+    });
+  });
+  s.schedule_at(101, [&] { times.push_back(s.now()); });
+  s.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{100, 100, 101}));
+}
+
+TEST(SimulatorDueNow, DueEventsOutrankNothingScheduledEarlier) {
+  // A timer armed before the due event but landing at the same instant
+  // (wheel -> heap migration) keeps its earlier arm-time sequence number
+  // and must fire first.
+  Simulator s;
+  std::vector<int> order;
+  Timer t(s, [&] { order.push_back(1); });
+  t.arm(100);
+  s.schedule_at(100, [&] { order.push_back(2); });
+  s.schedule_at(50, [&] {
+    // At t=50 this schedules for t=50 (due) -- fires before everything
+    // at t=100 but after nothing at t=50.
+    s.schedule_at(s.now(), [&] { order.push_back(0); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimulatorDueNow, LiveEventsCountsDueEntries) {
+  Simulator s;
+  s.schedule_at(100, [&] {
+    const auto a = s.schedule_at(s.now(), [] {});
+    s.schedule_at(s.now(), [] {});
+    EXPECT_EQ(s.live_events(), 2u);
+    s.cancel(a);
+    EXPECT_EQ(s.live_events(), 1u);
+  });
+  EXPECT_EQ(s.live_events(), 1u);
+  s.run();
+  EXPECT_TRUE(s.empty());
 }
 
 }  // namespace

@@ -1,0 +1,236 @@
+// sim::Timer on the hierarchical wheel: the edge cases that distinguish a
+// correct wheel from a merely fast one. Every behavior here is also what
+// the old heap-only Timer did — the wheel is an implementation change, not
+// a semantic one — so these tests double as the pinned contract for the
+// re-arm-in-place path (ISSUE 7's dead-deadline_ audit).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace sctpmpi::sim {
+namespace {
+
+TEST(TimerWheel, RearmToEarlierDeadlineFiresEarly) {
+  // Shrinking an RTO: the second arm() wins even though the first placed
+  // the timer in a later wheel bucket.
+  Simulator s;
+  SimTime fired = -1;
+  Timer t(s, [&] { fired = s.now(); });
+  t.arm(500 * kMillisecond);
+  t.arm(10 * kMillisecond);
+  EXPECT_EQ(t.deadline(), 10 * kMillisecond);
+  s.run();
+  EXPECT_EQ(fired, 10 * kMillisecond);
+  EXPECT_EQ(s.now(), 10 * kMillisecond);  // the 500 ms placement is gone
+}
+
+TEST(TimerWheel, RearmEarlierAfterHeapMigration) {
+  // The first deadline's bucket window can open (migrating the timer into
+  // the heap) before the re-arm happens; the re-arm must chase it there.
+  Simulator s;
+  std::vector<SimTime> fires;
+  Timer t(s, [&] { fires.push_back(s.now()); });
+  t.arm(2 * kMicrosecond);
+  // An event in between, after which the timer is re-armed much later:
+  // by now the 2 us deadline has migrated out of the wheel.
+  s.schedule_at(1 * kMicrosecond, [&] { t.arm(90 * kMicrosecond); });
+  s.run();
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], 1 * kMicrosecond + 90 * kMicrosecond);
+}
+
+TEST(TimerWheel, CancelInsideOwnCallbackIsANoop) {
+  // fire_() disarms before invoking the callback, so a self-cancel must
+  // neither crash nor unarm a follow-up arm().
+  Simulator s;
+  int fires = 0;
+  Timer* self = nullptr;
+  Timer t(s, [&] {
+    ++fires;
+    self->cancel();            // no-op: already disarmed
+    if (fires < 2) self->arm(5 * kMicrosecond);  // and re-arm still works
+  });
+  self = &t;
+  t.arm(5 * kMicrosecond);
+  s.run();
+  EXPECT_EQ(fires, 2);
+  EXPECT_FALSE(t.armed());
+  EXPECT_EQ(t.deadline(), 0);
+}
+
+TEST(TimerWheel, SameTickFifoOrdering) {
+  // Timers and plain events landing on the same nanosecond fire in arm /
+  // schedule order, even though the timers route through wheel buckets:
+  // the preserved arm-time sequence number is the tie-break.
+  Simulator s;
+  std::vector<int> order;
+  Timer t1(s, [&] { order.push_back(1); });
+  t1.arm(1000);
+  s.schedule_at(1000, [&] { order.push_back(2); });
+  Timer t3(s, [&] { order.push_back(3); });
+  t3.arm(1000);
+  s.schedule_at(1000, [&] { order.push_back(4); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(TimerWheel, SameTickRearmTakesFreshFifoPosition) {
+  // Matches the documented reschedule() contract: a re-arm is equivalent to
+  // cancel + fresh arm, so it drops behind same-instant events armed since.
+  Simulator s;
+  std::vector<int> order;
+  Timer t1(s, [&] { order.push_back(1); });
+  t1.arm(1000);
+  s.schedule_at(1000, [&] { order.push_back(2); });
+  t1.arm(1000);  // re-arm to the same deadline: now behind event 2
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(TimerWheel, FarFutureDeadlineCascadesAcrossLevels) {
+  // A heartbeat-scale deadline starts several wheel levels up and must
+  // cascade down through intermediate buckets to fire at the exact
+  // nanosecond, not at a bucket boundary.
+  Simulator s;
+  const SimTime deadline = 30 * kSecond + 12345;  // level 4 at 1 us ticks
+  SimTime fired = -1;
+  Timer t(s, [&] { fired = s.now(); });
+  t.arm(deadline);
+  // Sprinkle events so the wheel advances in many small steps rather than
+  // one big flush.
+  for (int i = 1; i <= 64; ++i) {
+    s.schedule_at(i * 400 * kMillisecond, [] {});
+  }
+  s.run();
+  EXPECT_EQ(fired, deadline);
+  EXPECT_EQ(s.now(), deadline);
+}
+
+TEST(TimerWheel, BeyondHorizonDeadlineClampsAndStillFiresExactly) {
+  // Past the wheel's ~70000 s span: the node parks in the top level and
+  // re-cascades when it surfaces. Exact fire time must survive the clamp.
+  Simulator s;
+  const SimTime deadline = 100'000 * kSecond + 7;
+  SimTime fired = -1;
+  Timer t(s, [&] { fired = s.now(); });
+  t.arm(deadline);
+  s.run();
+  EXPECT_EQ(fired, deadline);
+}
+
+TEST(TimerWheel, NearSpanDeltaWithUnalignedCursorDoesNotLivelock) {
+  // Regression: with the wheel cursor at a tick that is not a multiple of
+  // 64, a deadline whose delta is just under a level's full span rounds
+  // onto the cursor's own slot one revolution ahead. Without the insert-
+  // time wrap guard the flush loop reinserts the node into the bucket it
+  // is draining and never terminates.
+  Simulator s;
+  Timer a(s, [] {});
+  a.arm(100 * 1024 + 7);  // fires at tick 100: cursor lands unaligned
+  s.run();
+  const SimTime deadline = (100 + 4090) * 1024 + 3;  // delta ~ 64^2 ticks
+  SimTime fired = -1;
+  Timer b(s, [&] { fired = s.now(); });
+  b.arm(deadline - s.now());
+  s.run();
+  EXPECT_EQ(fired, deadline);
+}
+
+TEST(TimerWheel, ManyTimersSameBucketAllFireInArmOrder) {
+  Simulator s;
+  std::vector<int> order;
+  std::vector<std::unique_ptr<Timer>> timers;
+  for (int i = 0; i < 32; ++i) {
+    timers.push_back(std::make_unique<Timer>(s, [&order, i] {
+      order.push_back(i);
+    }));
+    // All land in one level-0 bucket (same 1.024 us tick), distinct times.
+    timers.back()->arm(10 * kMicrosecond + (i % 2));
+  }
+  s.run();
+  ASSERT_EQ(order.size(), 32u);
+  // Time majorizes seq: the even-offset timers (earlier ns) fire first in
+  // arm order, then the odd-offset ones.
+  std::vector<int> expect;
+  for (int i = 0; i < 32; i += 2) expect.push_back(i);
+  for (int i = 1; i < 32; i += 2) expect.push_back(i);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(TimerWheel, CancelAfterHeapMigrationStopsFire) {
+  Simulator s;
+  int fires = 0;
+  Timer t(s, [&] { ++fires; });
+  t.arm(2 * kMicrosecond);
+  // This event pops first; by then the timer has migrated into the heap.
+  s.schedule_at(1 * kMicrosecond, [&] { t.cancel(); });
+  s.run();
+  EXPECT_EQ(fires, 0);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(TimerWheel, DestroyArmedTimerReleasesItsEvent) {
+  Simulator s;
+  {
+    Timer t(s, [] { FAIL() << "destroyed timer fired"; });
+    t.arm(1000);
+  }
+  EXPECT_TRUE(s.empty());
+  s.run();
+  EXPECT_EQ(s.now(), 0);
+}
+
+// ---- ISSUE 7 small fix: the re-arm-in-place path -----------------------
+// The old Timer::arm wrote deadline_ before attempting reschedule(); when
+// the reschedule failed (timer not actually pending) the already-written
+// deadline_ was a dead read — correct only by accident, because the
+// fallback schedule_at used the same value. The wheel implementation arms
+// unconditionally; these tests pin the observable contract either way.
+
+TEST(TimerWheel, RearmWhileDisarmedBehavesLikeFirstArm) {
+  Simulator s;
+  int fires = 0;
+  Timer t(s, [&] { ++fires; });
+  t.arm(100);
+  s.run();                       // fires; timer now disarmed
+  ASSERT_EQ(fires, 1);
+  t.arm(100);                    // "re-arm" with no pending placement
+  EXPECT_TRUE(t.armed());
+  EXPECT_EQ(t.deadline(), s.now() + 100);
+  s.run();
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(TimerWheel, DeadlineAlwaysReportsLatestArm) {
+  Simulator s;
+  Timer t(s, [] {});
+  t.arm(100);
+  EXPECT_EQ(t.deadline(), 100);
+  t.arm(700);                    // re-arm in place, later
+  EXPECT_EQ(t.deadline(), 700);
+  t.arm(50);                     // re-arm in place, earlier
+  EXPECT_EQ(t.deadline(), 50);
+  EXPECT_TRUE(t.armed());
+  EXPECT_EQ(s.live_events(), 1u);  // never more than one pending placement
+  t.cancel();
+  EXPECT_EQ(t.deadline(), 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(TimerWheel, ZeroDelayArmFiresAtNowInFifoOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(0, [&] { order.push_back(1); });
+  Timer t(s, [&] { order.push_back(2); });
+  t.arm(0);
+  s.schedule_at(0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace sctpmpi::sim
