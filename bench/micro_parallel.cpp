@@ -1,0 +1,188 @@
+// Micro-benchmark of the sharded parallel simulator: the fig-10 farm and
+// the many-flow open-loop workload on a k=4 fat-tree, swept over 1/2/4/8
+// shards, plus a single-shard fat-tree size sweep (k = 4..8).
+//
+// Each swept case reports:
+//   wall_seconds         — host wall clock for the run
+//   sim_elapsed_seconds  — virtual job time (a determinism canary: it must
+//                          be bit-stable run over run at a fixed shard
+//                          count, though it may differ ACROSS shard counts
+//                          — different same-instant interleavings)
+//   speedup              — wall(1 shard) / wall(this shard count); the
+//                          1-shard case records 1.0 by construction
+//
+// The "speedup" keys are the regression surface consumed by
+// bench/check_regression.sh: they are self-scaling (ratios of two runs on
+// the same host), so the committed bench/BENCH_parallel.json baseline is
+// machine-independent. On a single-core container the multi-shard speedup
+// sits below 1 (barrier overhead, no parallel hardware) — the gate tracks
+// that honest ratio rather than an aspirational one.
+//
+// Self-checks (exit 1 on failure): the farm completes every task and the
+// many-flow workload delivers every expected message, at every shard
+// count.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/farm.hpp"
+#include "apps/manyflow.hpp"
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace sctpmpi;
+
+core::WorldConfig fattree_config(int ranks, unsigned k, unsigned shards) {
+  core::WorldConfig cfg;
+  cfg.ranks = ranks;
+  cfg.transport = core::TransportKind::kSctp;
+  cfg.seed = 2005;
+  cfg.topology = net::TopologyKind::kFatTree;
+  cfg.fattree.k = k;
+  cfg.shards = shards;
+  return cfg;
+}
+
+// Best-of-two wall time: the sharded runs are sub-second, so a single
+// noisy pass would wobble the speedup ratios the regression gate watches.
+template <typename Fn>
+double min2(Fn&& fn) {
+  const double a = fn();
+  const double b = fn();
+  return a < b ? a : b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::banner("micro: sharded parallel simulator",
+                "conservative-lookahead sharding on fat-tree topologies");
+  bench::BenchJson out("parallel");
+  bool ok = true;
+  const unsigned kShardSweep[] = {1, 2, 4, 8};
+
+  // ---- fig-10 farm (fanout 1) on a k=4 fat-tree, 16 ranks ----------------
+  {
+    apps::FarmParams fp;
+    fp.num_tasks = quick ? 300 : 1500;
+    fp.task_size = 30 * 1024;
+    fp.fanout = 1;
+
+    double wall1 = 0;
+    for (const unsigned shards : kShardSweep) {
+      apps::FarmResult fr;
+      const double wall = min2([&] {
+        const double t0 = bench::wall_seconds();
+        fr = apps::run_farm(fattree_config(16, 4, shards), fp);
+        return bench::wall_seconds() - t0;
+      });
+      if (shards == 1) wall1 = wall;
+      if (fr.tasks_completed != fp.num_tasks) {
+        std::fprintf(stderr,
+                     "self-check FAILED: farm at %u shards completed %d of "
+                     "%d tasks\n",
+                     shards, fr.tasks_completed, fp.num_tasks);
+        ok = false;
+      }
+      const std::string name =
+          "farm_fig10_k4_shards" + std::to_string(shards);
+      out.metric(name, "wall_seconds", wall);
+      out.metric(name, "sim_elapsed_seconds", fr.total_runtime_seconds);
+      out.metric(name, "speedup", shards == 1 ? 1.0 : wall1 / wall);
+      std::printf("%-26s wall %7.3fs  sim %7.3fs  speedup %.2fx\n",
+                  name.c_str(), wall, fr.total_runtime_seconds,
+                  shards == 1 ? 1.0 : wall1 / wall);
+    }
+  }
+
+  // ---- many-flow open loop on a k=4 fat-tree, 16 ranks -------------------
+  {
+    apps::ManyflowParams mp;
+    mp.msgs_per_peer = quick ? 100 : 400;
+    mp.fanout = 3;
+    mp.msg_size = 8 * 1024;
+
+    double wall1 = 0;
+    for (const unsigned shards : kShardSweep) {
+      apps::ManyflowResult mr;
+      const double wall = min2([&] {
+        const double t0 = bench::wall_seconds();
+        mr = apps::run_manyflow(fattree_config(16, 4, shards), mp);
+        return bench::wall_seconds() - t0;
+      });
+      if (shards == 1) wall1 = wall;
+      const std::uint64_t expect = 16ull * 3 *
+                                   static_cast<std::uint64_t>(mp.msgs_per_peer);
+      if (mr.messages_received != expect) {
+        std::fprintf(stderr,
+                     "self-check FAILED: manyflow at %u shards delivered "
+                     "%llu of %llu messages\n",
+                     shards,
+                     static_cast<unsigned long long>(mr.messages_received),
+                     static_cast<unsigned long long>(expect));
+        ok = false;
+      }
+      const std::string name = "manyflow_k4_shards" + std::to_string(shards);
+      out.metric(name, "wall_seconds", wall);
+      out.metric(name, "sim_elapsed_seconds", mr.total_runtime_seconds);
+      out.metric(name, "sim_goodput_MBps", mr.aggregate_goodput_mb_s);
+      out.metric(name, "speedup", shards == 1 ? 1.0 : wall1 / wall);
+      std::printf("%-26s wall %7.3fs  sim %7.3fs  speedup %.2fx\n",
+                  name.c_str(), wall, mr.total_runtime_seconds,
+                  shards == 1 ? 1.0 : wall1 / wall);
+    }
+  }
+
+  // ---- fat-tree size sweep, single shard (topology-build + route scale) --
+  {
+    apps::ManyflowParams mp;
+    mp.msgs_per_peer = quick ? 10 : 30;
+    mp.fanout = 3;
+    mp.msg_size = 4 * 1024;
+    std::vector<unsigned> ks = {4, 6};
+    if (!quick) ks.push_back(8);
+    for (const unsigned k : ks) {
+      const int ranks = static_cast<int>(k * k * k / 4);
+      const double t0 = bench::wall_seconds();
+      const apps::ManyflowResult mr =
+          apps::run_manyflow(fattree_config(ranks, k, 1), mp);
+      const double wall = bench::wall_seconds() - t0;
+      const std::uint64_t expect =
+          static_cast<std::uint64_t>(ranks) * 3 *
+          static_cast<std::uint64_t>(mp.msgs_per_peer);
+      if (mr.messages_received != expect) {
+        std::fprintf(stderr,
+                     "self-check FAILED: k=%u sweep delivered %llu of %llu "
+                     "messages\n",
+                     k, static_cast<unsigned long long>(mr.messages_received),
+                     static_cast<unsigned long long>(expect));
+        ok = false;
+      }
+      const std::string name = "fattree_scale_k" + std::to_string(k);
+      out.metric(name, "hosts", static_cast<double>(ranks));
+      out.metric(name, "wall_seconds", wall);
+      out.metric(name, "sim_elapsed_seconds", mr.total_runtime_seconds);
+      std::printf("%-26s hosts %4d  wall %7.3fs  sim %7.3fs\n", name.c_str(),
+                  ranks, wall, mr.total_runtime_seconds);
+    }
+  }
+
+  if (!json_path.empty() && !out.write(json_path)) return 1;
+  return ok ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "apps/farm.hpp"
 
+#include <atomic>
 #include <cassert>
 #include <vector>
 
@@ -27,7 +28,8 @@ FarmResult run_farm(core::WorldConfig cfg, FarmParams params,
   core::World world(cfg);
   if (pre_run) pre_run(world);
   FarmResult result;
-  int tasks_done_total = 0;
+  // Atomic: on sharded worlds the worker bodies run on different threads.
+  std::atomic<int> tasks_done_total{0};
 
   world.run([&](core::Mpi& mpi) {
     const int nworkers = mpi.size() - 1;
@@ -137,12 +139,12 @@ FarmResult run_farm(core::WorldConfig cfg, FarmParams params,
           mpi.send(std::span(&req, 1), 0, kCtlTag);
         }
       }
-      tasks_done_total += my_tasks;  // sequential hand-off: no data race
+      tasks_done_total.fetch_add(my_tasks, std::memory_order_relaxed);
     }
   });
 
   result.total_runtime_seconds = world.elapsed_seconds();
-  result.tasks_completed = tasks_done_total;
+  result.tasks_completed = tasks_done_total.load(std::memory_order_relaxed);
   return result;
 }
 

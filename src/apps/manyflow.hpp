@@ -1,0 +1,44 @@
+// Many-flow open-loop workload: every rank streams eager messages to a
+// ring of `fanout` neighbour ranks while draining pre-posted wildcard
+// receives. Unlike the farm (one manager serializing every request), no
+// rank is a hot spot: traffic is spread uniformly over the topology, which
+// is what exercises ECMP spreading on a fat-tree and gives the sharded
+// simulator a workload whose events split evenly across shards.
+//
+// The injection is open-loop: a rank posts its round of isends, reaps
+// whatever receives have already landed without blocking, and moves on —
+// no end-to-end request/reply coupling. Messages stay at or below the
+// eager limit so progression never needs a rendezvous round-trip (an
+// all-to-all rendezvous storm can deadlock an open loop; eager traffic
+// cannot, it just queues as unexpected messages).
+#pragma once
+
+#include <cstddef>
+
+#include "core/world.hpp"
+
+namespace sctpmpi::apps {
+
+struct ManyflowParams {
+  int msgs_per_peer = 64;           // messages sent to each neighbour
+  std::size_t msg_size = 8 * 1024;  // must stay <= RpiConfig::eager_limit
+  int fanout = 3;                   // neighbour ranks: r+1 .. r+fanout
+  int recv_window = 32;             // pre-posted wildcard receives
+  /// Per-round injection gap (0 = as fast as the stack accepts).
+  sim::SimTime think_time = 0;
+};
+
+struct ManyflowResult {
+  double total_runtime_seconds = 0;
+  std::uint64_t messages_received = 0;  // summed over all ranks
+  /// Application payload drained per second of virtual time, all ranks.
+  double aggregate_goodput_mb_s = 0;
+};
+
+/// Runs the workload on a fresh World built from `cfg` (needs >= 2 ranks).
+/// The optional hook runs after construction, before the job starts.
+ManyflowResult run_manyflow(
+    core::WorldConfig cfg, ManyflowParams params,
+    const std::function<void(core::World&)>& pre_run = {});
+
+}  // namespace sctpmpi::apps

@@ -1,6 +1,8 @@
 #include "core/world.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <stdexcept>
 
 #include "core/rpi_sctp.hpp"
 #include "core/rpi_tcp.hpp"
@@ -15,14 +17,26 @@ const char* to_string(TransportKind t) {
   return "?";
 }
 
-World::World(WorldConfig cfg) : cfg_(cfg) {
+World::World(WorldConfig cfg)
+    : cfg_(cfg), group_(cfg.shards == 0 ? 1 : cfg.shards) {
+  if (cfg_.shards == 0) {
+    throw std::invalid_argument("World: shards must be >= 1");
+  }
+  if (cfg_.shards > 1 && cfg_.enable_lamd) {
+    throw std::invalid_argument(
+        "World: enable_lamd requires shards == 1 (the failure bus and "
+        "daemon control plane are not shard-safe)");
+  }
   net::ClusterParams params;
   params.hosts = static_cast<unsigned>(cfg_.ranks);
   params.interfaces = cfg_.interfaces;
   params.link = cfg_.link;
   params.link.loss = cfg_.loss;
   params.costs = cfg_.host_costs;
-  cluster_ = std::make_unique<net::Cluster>(sim_, sim::Rng(cfg_.seed),
+  params.topology = cfg_.topology;
+  params.fattree = cfg_.fattree;
+  params.placement = cfg_.placement;
+  cluster_ = std::make_unique<net::Cluster>(group_, sim::Rng(cfg_.seed),
                                             params);
 
   auto rank_addr = [this](int r) {
@@ -98,11 +112,16 @@ void World::run(std::function<void(Mpi&)> body) {
     for (auto& d : lamds_) d->start();
     lamds_started_ = true;
   }
-  sim::ProcessGroup group(sim_);
+  if (group_.count() > 1 || cfg_.force_parallel_driver) {
+    run_parallel_(body);
+    return;
+  }
+  sim::Simulator& sim0 = group_.shard(0);
+  sim::ProcessGroup group(sim0);
   std::vector<sim::SimTime> finish(static_cast<std::size_t>(cfg_.ranks), 0);
   for (int r = 0; r < cfg_.ranks; ++r) {
     group.spawn("rank" + std::to_string(r),
-                [this, r, &body, &finish](sim::Process& proc) {
+                [this, r, &body, &finish, &sim0](sim::Process& proc) {
                   Rpi& rpi = *rpis_[static_cast<std::size_t>(r)];
                   rpi.init(proc);
                   Mpi mpi(r, cfg_.ranks, rpi, proc);
@@ -112,7 +131,7 @@ void World::run(std::function<void(Mpi&)> body) {
                   }
                   body(mpi);
                   if (bus_ != nullptr) bus_->detach(r);
-                  finish[static_cast<std::size_t>(r)] = sim_.now();
+                  finish[static_cast<std::size_t>(r)] = sim0.now();
                   rpi.finalize(proc);
                 });
   }
@@ -121,6 +140,66 @@ void World::run(std::function<void(Mpi&)> body) {
   } catch (const std::exception&) {
     // Post-mortem for simulated-job deadlocks: dump every rank's
     // progression state before propagating.
+    for (auto& r : rpis_) r->debug_dump();
+    throw;
+  }
+  elapsed_ = *std::max_element(finish.begin(), finish.end());
+}
+
+void World::run_parallel_(const std::function<void(Mpi&)>& body) {
+  const unsigned shards = group_.count();
+  std::vector<std::unique_ptr<sim::ProcessGroup>> groups;
+  groups.reserve(shards);
+  for (unsigned s = 0; s < shards; ++s) {
+    groups.push_back(std::make_unique<sim::ProcessGroup>(group_.shard(s)));
+  }
+  std::vector<sim::SimTime> finish(static_cast<std::size_t>(cfg_.ranks), 0);
+  std::atomic<std::uint32_t> unfinished{
+      static_cast<std::uint32_t>(cfg_.ranks)};
+  for (int r = 0; r < cfg_.ranks; ++r) {
+    const unsigned s = cluster_->shard_of_host(static_cast<unsigned>(r));
+    groups[s]->spawn(
+        "rank" + std::to_string(r),
+        [this, r, &body, &finish, &unfinished](sim::Process& proc) {
+          Rpi& rpi = *rpis_[static_cast<std::size_t>(r)];
+          rpi.init(proc);
+          Mpi mpi(r, cfg_.ranks, rpi, proc);
+          if (bus_ != nullptr) {
+            bus_->attach(r, &proc);
+            mpi.set_failure_bus(bus_.get());
+          }
+          body(mpi);
+          if (bus_ != nullptr) bus_->detach(r);
+          finish[static_cast<std::size_t>(r)] = proc.sim().now();
+          rpi.finalize(proc);
+          // Must stay the body's final statement: run_all() observes
+          // finished() right after the event in which the body returns, so
+          // decrementing here makes the forced single-shard driver's stop
+          // cut land on the identical event boundary.
+          unfinished.fetch_sub(1, std::memory_order_relaxed);
+        });
+  }
+  // Process::start only schedules the first activation on the process's
+  // own simulator; no worker thread is running yet, so this is safe.
+  for (auto& g : groups) {
+    for (std::size_t i = 0; i < g->size(); ++i) g->at(i).start();
+  }
+  sim::ShardGroup::RunOptions opts;
+  opts.lookahead = cluster_->cross_shard_lookahead();
+  opts.shard_done = [&groups](unsigned s) {
+    sim::ProcessGroup& g = *groups[s];
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (!g.at(i).finished()) return false;
+    }
+    return true;
+  };
+  opts.stop = &unfinished;
+  try {
+    group_.run(opts);
+    for (auto& g : groups) {
+      for (std::size_t i = 0; i < g->size(); ++i) g->at(i).rethrow_error();
+    }
+  } catch (const std::exception&) {
     for (auto& r : rpis_) r->debug_dump();
     throw;
   }

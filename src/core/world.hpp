@@ -18,6 +18,7 @@
 #include "sctp/socket.hpp"
 #include "sim/process.hpp"
 #include "sim/rng.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/config.hpp"
 #include "tcp/socket.hpp"
@@ -54,6 +55,20 @@ struct WorldConfig {
   /// background control traffic that would perturb the golden traces.
   bool enable_lamd = false;
   LamdConfig lamd;
+  /// Network topology. kFlat is the paper's 8-node testbed; kFatTree is a
+  /// k-ary Clos (ranks must equal k^3/4, interfaces must be 1).
+  net::TopologyKind topology = net::TopologyKind::kFlat;
+  net::FatTreeParams fattree;  // used when topology == kFatTree
+  /// Simulator shards. 1 = the classic single-threaded run (golden-trace
+  /// path). >1 partitions hosts over worker threads synchronized by
+  /// conservative lookahead (see sim/shard.hpp); incompatible with
+  /// enable_lamd and with packet observers.
+  unsigned shards = 1;
+  /// Host -> shard placement override; empty = contiguous blocks.
+  std::vector<unsigned> placement;
+  /// Forces the windowed ShardGroup driver even at shards == 1. Testing
+  /// hook: that path must be byte-identical to the classic run_all path.
+  bool force_parallel_driver = false;
 };
 
 class World {
@@ -72,7 +87,10 @@ class World {
   sim::SimTime elapsed() const { return elapsed_; }
   double elapsed_seconds() const { return sim::to_seconds(elapsed_); }
 
-  sim::Simulator& sim() { return sim_; }
+  /// Shard 0's simulator (the only one, in single-shard worlds).
+  sim::Simulator& sim() { return group_.shard(0); }
+  sim::ShardGroup& shard_group() { return group_; }
+  unsigned shards() const { return group_.count(); }
   net::Cluster& cluster() { return *cluster_; }
   Rpi& rpi(int rank) { return *rpis_.at(static_cast<std::size_t>(rank)); }
   const WorldConfig& config() const { return cfg_; }
@@ -94,8 +112,10 @@ class World {
   Totals transport_totals() const;
 
  private:
+  void run_parallel_(const std::function<void(Mpi&)>& body);
+
   WorldConfig cfg_;
-  sim::Simulator sim_;
+  sim::ShardGroup group_;
   std::unique_ptr<net::Cluster> cluster_;
   std::vector<std::unique_ptr<tcp::TcpStack>> tcp_stacks_;
   std::vector<std::unique_ptr<sctp::SctpStack>> sctp_stacks_;

@@ -12,16 +12,25 @@
 // churn allocates nothing, and recycled vectors keep their capacity so even
 // Builder encodes stop growing after warm-up. The refcount is deliberately
 // NOT atomic: a Simulator and every object inside it live on one thread
-// (parallel bench trials run disjoint simulations), so buffers must never
-// be shared across threads.
+// (sharded runs drive each shard's simulator from exactly one worker), so a
+// buffer must never be shared across shards. The one sanctioned exception
+// is the cross-shard link handoff, which transfers *sole* ownership:
+// detach_for_handoff() clones the block if anything else still references
+// it, so the receiving shard adopts a block no other thread can touch.
+// Debug builds tag every block with its owning shard and assert the rule.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
+
+#include "sim/shard_id.hpp"
 
 namespace sctpmpi::net {
 
@@ -32,24 +41,102 @@ namespace sctpmpi::net {
 /// MPI buffer-reuse semantics require and which therefore sits outside the
 /// <=1-copy-per-direction budget. Always on (not debug-gated): the
 /// datapath benches self-check their copy counts in release builds.
-/// Process-global rather than thread-local: simulated rank processes run
-/// on their own OS threads (strictly sequential handoff, same argument as
-/// the non-atomic Buffer refcounts), and the budget spans all of them.
+///
+/// Sharded runs mutate these counters from several worker threads at once,
+/// so the hot-path increment lands in a per-thread counter pair (relaxed
+/// atomics, uncontended); get() aggregates every thread's pair — live
+/// threads plus totals retired at thread exit — into an exact snapshot.
+/// Exactness at get()/reset() assumes the counted work is quiescent (no
+/// simulation mid-run), which is how every budget check already calls it.
+class CopyLedger {
+ public:
+  struct Counters {
+    std::atomic<std::uint64_t> payload{0};
+    std::atomic<std::uint64_t> ingest{0};
+  };
+
+  static CopyLedger& instance() {
+    static CopyLedger ledger;
+    return ledger;
+  }
+
+  /// The calling thread's counter pair (registered on first use).
+  Counters& local() {
+    static thread_local Handle handle;
+    return handle.counters;
+  }
+
+  void snapshot(std::uint64_t* payload, std::uint64_t* ingest) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    std::uint64_t p = retired_payload_;
+    std::uint64_t g = retired_ingest_;
+    for (const Counters* c : live_) {
+      p += c->payload.load(std::memory_order_relaxed);
+      g += c->ingest.load(std::memory_order_relaxed);
+    }
+    *payload = p;
+    *ingest = g;
+  }
+
+  void reset() {
+    const std::lock_guard<std::mutex> lk(mu_);
+    retired_payload_ = 0;
+    retired_ingest_ = 0;
+    for (Counters* c : live_) {
+      c->payload.store(0, std::memory_order_relaxed);
+      c->ingest.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Handle {
+    Counters counters;
+    Handle() { instance().register_(&counters); }
+    ~Handle() { instance().retire_(&counters); }
+  };
+
+  void register_(Counters* c) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    live_.push_back(c);
+  }
+
+  void retire_(Counters* c) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    retired_payload_ += c->payload.load(std::memory_order_relaxed);
+    retired_ingest_ += c->ingest.load(std::memory_order_relaxed);
+    live_.erase(std::find(live_.begin(), live_.end(), c));
+  }
+
+  std::mutex mu_;
+  std::vector<Counters*> live_;
+  std::uint64_t retired_payload_ = 0;
+  std::uint64_t retired_ingest_ = 0;
+};
+
+/// Aggregated copy counters. get() returns a value snapshot (call sites
+/// read fields off the result exactly as they did when this was a plain
+/// process-global struct).
 struct CopyStats {
   std::uint64_t payload_copy_bytes = 0;
   std::uint64_t ingest_bytes = 0;
 
-  static CopyStats& get() {
-    static CopyStats stats;
-    return stats;
+  static CopyStats get() {
+    CopyStats out;
+    CopyLedger::instance().snapshot(&out.payload_copy_bytes,
+                                    &out.ingest_bytes);
+    return out;
   }
-  static void reset() { get() = CopyStats{}; }
+  static void reset() { CopyLedger::instance().reset(); }
 };
 
 inline void count_payload_copy(std::size_t n) {
-  CopyStats::get().payload_copy_bytes += n;
+  CopyLedger::instance().local().payload.fetch_add(n,
+                                                   std::memory_order_relaxed);
 }
-inline void count_ingest(std::size_t n) { CopyStats::get().ingest_bytes += n; }
+inline void count_ingest(std::size_t n) {
+  CopyLedger::instance().local().ingest.fetch_add(n,
+                                                  std::memory_order_relaxed);
+}
 
 class Buffer {
   struct Block;  // refcount + recycled byte vector; defined below
@@ -64,12 +151,14 @@ class Buffer {
   }
 
   Buffer(const Buffer& other) noexcept : b_(other.b_) {
+    check_shard_(b_);
     if (b_ != nullptr) ++b_->refs;
   }
   Buffer(Buffer&& other) noexcept : b_(std::exchange(other.b_, nullptr)) {}
 
   Buffer& operator=(const Buffer& other) noexcept {
     if (this != &other) {
+      check_shard_(other.b_);
       release_(b_);
       b_ = other.b_;
       if (b_ != nullptr) ++b_->refs;
@@ -129,6 +218,40 @@ class Buffer {
   std::byte* mutable_data() {
     unshare_();
     return b_->bytes.data();
+  }
+
+  /// Prepares this buffer to cross a shard boundary: guarantees sole
+  /// ownership of the block (cloning it if the trace recorder, a duplicate
+  /// packet or any other holder still references it), so the non-atomic
+  /// refcount is touched by exactly one thread at a time for the rest of
+  /// the block's life. The clone is handoff infrastructure, not a datapath
+  /// copy, so it is NOT counted against the CopyStats budget (cross-shard
+  /// packets are almost always sole owners already: the clone only fires
+  /// when a link-level duplicate or in-flight trace share is crossing).
+  /// Pair with adopt_after_handoff() on the receiving shard.
+  void detach_for_handoff() {
+    if (b_ == nullptr) return;
+    if (b_->refs != 1) {
+      Block* fresh = acquire_();
+      fresh->bytes = b_->bytes;
+      --b_->refs;  // old block stays with its same-shard co-owners
+      b_ = fresh;
+    }
+#ifndef NDEBUG
+    b_->owner = sim::kShardInTransit;
+#endif
+  }
+
+  /// Adopts a buffer that arrived over a cross-shard channel: the current
+  /// thread's shard becomes the block's owner.
+  void adopt_after_handoff() noexcept {
+#ifndef NDEBUG
+    if (b_ != nullptr) {
+      assert(b_->refs == 1 && b_->owner == sim::kShardInTransit &&
+             "adopt_after_handoff on a buffer that was not handed off");
+      b_->owner = sim::current_shard();
+    }
+#endif
   }
 
   /// Grows or shrinks to `n` bytes (new bytes zeroed), copy-on-write.
@@ -191,8 +314,28 @@ class Buffer {
  private:
   struct Block {
     std::uint32_t refs = 1;
+#ifndef NDEBUG
+    // Owning shard (sim::current_shard() at acquire), sim::kShardInTransit
+    // while crossing shards, sim::kUnsharded on non-shard threads. Debug
+    // builds assert that refcount traffic stays on the owning shard.
+    int owner = sim::kUnsharded;
+#endif
     std::vector<std::byte> bytes;
   };
+
+  /// Debug check: refcount traffic on a block must come from its owning
+  /// shard (or from unsharded threads, e.g. tests inspecting results).
+  static void check_shard_(const Block* b) noexcept {
+#ifndef NDEBUG
+    if (b == nullptr) return;
+    const int cur = sim::current_shard();
+    assert((b->owner < 0 || cur < 0 || b->owner == cur) &&
+           "net::Buffer block touched from a foreign shard outside the "
+           "cross-shard handoff path");
+#else
+    (void)b;
+#endif
+  }
 
   static constexpr std::size_t kPoolCap = 1024;
 
@@ -211,16 +354,22 @@ class Buffer {
 
   static Block* acquire_() {
     auto& pool = pool_();
+    Block* b;
     if (!pool.empty()) {
-      Block* b = pool.back();
+      b = pool.back();
       pool.pop_back();
       b->refs = 1;
-      return b;
+    } else {
+      b = new Block;
     }
-    return new Block;
+#ifndef NDEBUG
+    b->owner = sim::current_shard();
+#endif
+    return b;
   }
 
   static void release_(Block* b) noexcept {
+    check_shard_(b);
     if (b == nullptr || --b->refs != 0) return;
     auto& pool = pool_();
     if (pool.size() < kPoolCap) {
@@ -232,6 +381,7 @@ class Buffer {
   }
 
   void unshare_() {
+    check_shard_(b_);
     if (b_->refs == 1) return;
     Block* fresh = acquire_();
     fresh->bytes = b_->bytes;

@@ -1,38 +1,107 @@
 #include "net/cluster.hpp"
 
+#include <algorithm>
+#include <stdexcept>
 #include <string>
 
 namespace sctpmpi::net {
 
 Cluster::Cluster(sim::Simulator& sim, sim::Rng rng,
                  const ClusterParams& params)
-    : params_(params) {
-  hosts_.reserve(params.hosts);
-  for (unsigned h = 0; h < params.hosts; ++h) {
-    hosts_.push_back(std::make_unique<Host>(sim, h, params.costs));
+    : params_(params), single_sim_(&sim) {
+  resolve_placement_();
+  if (params_.topology == TopologyKind::kFatTree) {
+    build_fattree_(rng);
+  } else {
+    build_flat_(rng);
   }
-  subnet_links_.resize(params.interfaces);
-  up_.assign(params.hosts, std::vector<Link*>(params.interfaces, nullptr));
-  down_.assign(params.hosts, std::vector<Link*>(params.interfaces, nullptr));
-  for (unsigned s = 0; s < params.interfaces; ++s) {
+}
+
+Cluster::Cluster(sim::ShardGroup& group, sim::Rng rng,
+                 const ClusterParams& params)
+    : params_(params), group_(&group) {
+  resolve_placement_();
+  if (params_.topology == TopologyKind::kFatTree) {
+    build_fattree_(rng);
+  } else {
+    build_flat_(rng);
+  }
+}
+
+void Cluster::resolve_placement_() {
+  const unsigned shards = shard_count();
+  if (!params_.placement.empty()) {
+    if (params_.placement.size() != params_.hosts) {
+      throw std::invalid_argument(
+          "Cluster: placement size != host count");
+    }
+    for (const unsigned s : params_.placement) {
+      if (s >= shards) {
+        throw std::invalid_argument("Cluster: placement names bad shard");
+      }
+    }
+    shard_of_ = params_.placement;
+    return;
+  }
+  // Contiguous blocks: neighbours share a shard, so in structured
+  // topologies (pods, ToR groups) the cut edges land on the upper tiers.
+  shard_of_.resize(params_.hosts);
+  for (unsigned h = 0; h < params_.hosts; ++h) {
+    shard_of_[h] = static_cast<unsigned>(
+        static_cast<std::uint64_t>(h) * shards / params_.hosts);
+  }
+}
+
+Link* Cluster::make_link_(unsigned src_shard, unsigned dst_shard,
+                          const LinkParams& lp, sim::Rng rng) {
+  links_.push_back(
+      std::make_unique<Link>(shard_sim_(src_shard), lp, std::move(rng)));
+  Link* l = links_.back().get();
+  if (src_shard != dst_shard) {
+    l->set_cross_shard(&group_->channel(src_shard, dst_shard));
+    lookahead_ = std::min(lookahead_, lp.delay);
+  }
+  return l;
+}
+
+// ---- flat (paper testbed) build ------------------------------------------
+//
+// Build order and rng.fork stream ids are frozen: golden traces depend on
+// per-link RNG streams, and the single-shard build must stay byte-identical
+// to the original single-simulator constructor.
+
+void Cluster::build_flat_(sim::Rng& rng) {
+  hosts_.reserve(params_.hosts);
+  for (unsigned h = 0; h < params_.hosts; ++h) {
+    hosts_.push_back(std::make_unique<Host>(shard_sim_(shard_of_[h]), h,
+                                            params_.costs));
+  }
+  subnet_links_.resize(params_.interfaces);
+  up_.assign(params_.hosts,
+             std::vector<Link*>(params_.interfaces, nullptr));
+  down_.assign(params_.hosts,
+               std::vector<Link*>(params_.interfaces, nullptr));
+  // Subnet switches live on shard 0: the flat topology has no structure to
+  // co-locate them with, and single-shard builds (the golden path) make
+  // every link same-shard anyway.
+  const unsigned sw_shard = 0;
+  for (unsigned s = 0; s < params_.interfaces; ++s) {
     switches_.push_back(std::make_unique<Switch>());
     Switch* sw = switches_.back().get();
-    for (unsigned h = 0; h < params.hosts; ++h) {
+    for (unsigned h = 0; h < params_.hosts; ++h) {
       const IpAddr a = make_addr(s, h);
       // Host -> switch link.
-      links_.push_back(std::make_unique<Link>(
-          sim, params.link, rng.fork((s * 1000ull + h) * 2)));
-      Link* up = links_.back().get();
+      Link* up = make_link_(shard_of_[h], sw_shard, params_.link,
+                            rng.fork((s * 1000ull + h) * 2));
       up->set_sink([sw](Packet&& p) { sw->forward(std::move(p)); });
       // Switch -> host link. Dummynet-style random loss is applied once
       // per end-to-end path (on the uplink); the downlink only models
       // rate/queueing so a configured loss rate is the per-packet rate,
       // not its square.
-      LinkParams down_params = params.link;
+      LinkParams down_params = params_.link;
       down_params.loss = 0.0;
-      links_.push_back(std::make_unique<Link>(
-          sim, down_params, rng.fork((s * 1000ull + h) * 2 + 1)));
-      Link* down = links_.back().get();
+      Link* down = make_link_(sw_shard, shard_of_[h], down_params,
+                              rng.fork((s * 1000ull + h) * 2 + 1));
       Host* host = hosts_[h].get();
       down->set_sink([host](Packet&& p) { host->deliver(std::move(p)); });
 
@@ -51,8 +120,160 @@ Cluster::Cluster(sim::Simulator& sim, sim::Rng rng,
   }
 }
 
+// ---- k-ary fat-tree / Clos build -----------------------------------------
+
+void Cluster::build_fattree_(sim::Rng& rng) {
+  const unsigned k = params_.fattree.k;
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("fat-tree: k must be even and >= 2");
+  }
+  const unsigned half = k / 2;
+  const unsigned hosts_per_pod = half * half;
+  const unsigned want_hosts = k * hosts_per_pod;  // k^3/4
+  if (params_.hosts != want_hosts) {
+    throw std::invalid_argument(
+        "fat-tree: hosts must equal k^3/4 (k=" + std::to_string(k) +
+        " => " + std::to_string(want_hosts) + ")");
+  }
+  if (params_.interfaces != 1) {
+    throw std::invalid_argument("fat-tree: hosts are single-homed");
+  }
+
+  hosts_.reserve(params_.hosts);
+  for (unsigned h = 0; h < params_.hosts; ++h) {
+    hosts_.push_back(std::make_unique<Host>(shard_sim_(shard_of_[h]), h,
+                                            params_.costs));
+  }
+  subnet_links_.resize(1);
+  up_.assign(params_.hosts, std::vector<Link*>(1, nullptr));
+  down_.assign(params_.hosts, std::vector<Link*>(1, nullptr));
+
+  // Switch co-location: a ToR lives with its first host, an aggregation
+  // switch with its pod's first host, core switch c on shard c % shards.
+  // With the default contiguous placement and shards <= pods this makes
+  // every intra-pod link same-shard; only agg<->core links cross.
+  const auto tor_shard = [&](unsigned p, unsigned e) {
+    return shard_of_[p * hosts_per_pod + e * half];
+  };
+  const auto agg_shard = [&](unsigned p) {
+    return shard_of_[p * hosts_per_pod];
+  };
+  const unsigned shards = shard_count();
+
+  // RNG streams: a fresh, collision-free index space (flat build owns
+  // (s*1000+h)*2 and +1). Stream ids are assigned in build order, which is
+  // fixed, so every link's loss stream is reproducible.
+  std::uint64_t stream = 1ull << 32;
+  const auto next_stream = [&stream] { return stream++; };
+
+  std::vector<std::vector<Switch*>> tor(k), agg(k);
+  std::vector<Switch*> core;
+
+  // Edge tier: ToR switches and host edge links.
+  for (unsigned p = 0; p < k; ++p) {
+    tor[p].resize(half);
+    for (unsigned e = 0; e < half; ++e) {
+      switches_.push_back(std::make_unique<Switch>());
+      Switch* sw = switches_.back().get();
+      tor[p][e] = sw;
+      const unsigned ts = tor_shard(p, e);
+      for (unsigned i = 0; i < half; ++i) {
+        const unsigned h = p * hosts_per_pod + e * half + i;
+        const IpAddr a = make_addr(0, h);
+        Link* up = make_link_(shard_of_[h], ts, params_.link,
+                              rng.fork(next_stream()));
+        up->set_sink([sw](Packet&& pk) { sw->forward(std::move(pk)); });
+        LinkParams down_params = params_.link;
+        down_params.loss = 0.0;
+        Link* down = make_link_(ts, shard_of_[h], down_params,
+                                rng.fork(next_stream()));
+        Host* host = hosts_[h].get();
+        down->set_sink([host](Packet&& pk) { host->deliver(std::move(pk)); });
+        const std::string suffix = std::to_string(h) + ".0";
+        up->set_trace_label("up" + suffix);
+        down->set_trace_label("dn" + suffix);
+        host->add_interface(a, up);
+        sw->add_route(a, down);
+        subnet_links_[0].push_back(up);
+        subnet_links_[0].push_back(down);
+        up_[h][0] = up;
+        down_[h][0] = down;
+      }
+    }
+  }
+
+  // Aggregation tier: agg switches, ToR<->agg links, ECMP up from ToRs,
+  // exact pod-host routes down from aggs.
+  for (unsigned p = 0; p < k; ++p) {
+    agg[p].resize(half);
+    for (unsigned a = 0; a < half; ++a) {
+      switches_.push_back(std::make_unique<Switch>());
+      agg[p][a] = switches_.back().get();
+    }
+    for (unsigned e = 0; e < half; ++e) {
+      for (unsigned a = 0; a < half; ++a) {
+        Switch* te = tor[p][e];
+        Switch* ag = agg[p][a];
+        Link* ta = make_link_(tor_shard(p, e), agg_shard(p),
+                              params_.fattree.aggr_link,
+                              rng.fork(next_stream()));
+        ta->set_sink([ag](Packet&& pk) { ag->forward(std::move(pk)); });
+        ta->set_trace_label("ta" + std::to_string(p) + "." +
+                            std::to_string(e) + "." + std::to_string(a));
+        te->add_ecmp_uplink(ta);
+        Link* at = make_link_(agg_shard(p), tor_shard(p, e),
+                              params_.fattree.aggr_link,
+                              rng.fork(next_stream()));
+        at->set_sink([te](Packet&& pk) { te->forward(std::move(pk)); });
+        at->set_trace_label("at" + std::to_string(p) + "." +
+                            std::to_string(a) + "." + std::to_string(e));
+        // Downward exact routes: every host under ToR e goes via this link.
+        for (unsigned i = 0; i < half; ++i) {
+          const unsigned h = p * hosts_per_pod + e * half + i;
+          ag->add_route(make_addr(0, h), at);
+        }
+      }
+    }
+  }
+
+  // Core tier: (k/2)^2 core switches; core c = a*half + j links to
+  // aggregation switch a of every pod.
+  core.resize(half * half);
+  for (unsigned c = 0; c < half * half; ++c) {
+    switches_.push_back(std::make_unique<Switch>());
+    core[c] = switches_.back().get();
+  }
+  for (unsigned p = 0; p < k; ++p) {
+    for (unsigned a = 0; a < half; ++a) {
+      Switch* ag = agg[p][a];
+      for (unsigned j = 0; j < half; ++j) {
+        const unsigned c = a * half + j;
+        Switch* co = core[c];
+        const unsigned cs = c % shards;
+        Link* ac = make_link_(agg_shard(p), cs, params_.fattree.core_link,
+                              rng.fork(next_stream()));
+        ac->set_sink([co](Packet&& pk) { co->forward(std::move(pk)); });
+        ac->set_trace_label("ac" + std::to_string(p) + "." +
+                            std::to_string(a) + "." + std::to_string(j));
+        ag->add_ecmp_uplink(ac);
+        Link* ca = make_link_(cs, agg_shard(p), params_.fattree.core_link,
+                              rng.fork(next_stream()));
+        ca->set_sink([ag](Packet&& pk) { ag->forward(std::move(pk)); });
+        ca->set_trace_label("ca" + std::to_string(c) + "." +
+                            std::to_string(p));
+        // Downward exact routes: every host of pod p goes via this link.
+        for (unsigned h = p * hosts_per_pod; h < (p + 1) * hosts_per_pod;
+             ++h) {
+          co->add_route(make_addr(0, h), ca);
+        }
+      }
+    }
+  }
+}
+
 void Cluster::set_loss(double p) {
-  // Per-path semantics: loss lives on the uplinks only (see constructor).
+  // Per-path semantics: loss lives on the host uplinks only (see the
+  // builders); tier links never drop randomly.
   for (auto& host_links : up_) {
     for (Link* l : host_links) l->set_loss(p);
   }
@@ -76,6 +297,12 @@ LinkStats Cluster::total_link_stats() const {
     total.drops_loss += s.drops_loss;
     total.drops_queue += s.drops_queue;
   }
+  return total;
+}
+
+std::uint64_t Cluster::total_unroutable() const {
+  std::uint64_t total = 0;
+  for (const auto& sw : switches_) total += sw->unroutable();
   return total;
 }
 

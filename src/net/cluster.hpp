@@ -1,30 +1,74 @@
-// Cluster topology builder reproducing the paper's testbed: N hosts, each
-// with K gigabit interfaces, interface k of every host connected to switch k
-// (K independent networks). Per-link Dummynet loss is configurable at build
-// time and can be changed later (Cluster::set_loss), including per subnet —
-// used by the multihoming failover experiments.
+// Cluster topology builder.
+//
+// Two topologies:
+//
+//  * kFlat — the paper's testbed: N hosts, each with K gigabit interfaces,
+//    interface k of every host connected to switch k (K independent
+//    networks). This is the golden-trace topology and its build order and
+//    RNG stream assignment are frozen.
+//
+//  * kFatTree — a k-ary fat-tree/Clos: k pods of k/2 ToR and k/2
+//    aggregation switches, (k/2)^2 core switches, k^3/4 single-homed hosts.
+//    Downward forwarding uses exact routes; upward forwarding is
+//    ECMP-hashed over the k/2 uplinks at each tier (see net/switch.hpp).
+//    This is the datacenter-scale topology for sharded runs.
+//
+// Either topology can be built over a sim::ShardGroup: every host is
+// assigned a shard (contiguous blocks by default, or an explicit placement
+// vector), switches are co-located with the hosts they serve, and every
+// link whose endpoints land on different shards becomes a cross-shard
+// handoff (Link::set_cross_shard). cross_shard_lookahead() — the minimum
+// propagation delay over those links — is the conservative-lookahead bound
+// the ShardGroup driver runs with.
+//
+// Per-link Dummynet loss is configurable at build time and can be changed
+// later (Cluster::set_loss), including per subnet — used by the multihoming
+// failover experiments. Loss lives on host uplinks only, so a configured
+// rate is per end-to-end path in both topologies.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "net/host.hpp"
 #include "net/switch.hpp"
 #include "sim/rng.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 
 namespace sctpmpi::net {
+
+enum class TopologyKind { kFlat, kFatTree };
+
+struct FatTreeParams {
+  unsigned k = 4;  // even, >= 2; pods = k, hosts = k^3/4
+  // Tier links: host<->ToR uses ClusterParams::link; the upper tiers get
+  // longer propagation (more fiber, more PHY) which is also what gives the
+  // sharded driver a usable lookahead window.
+  LinkParams aggr_link{1e9, 10 * sim::kMicrosecond, 256, 0.0};  // ToR<->agg
+  LinkParams core_link{1e9, 20 * sim::kMicrosecond, 256, 0.0};  // agg<->core
+};
 
 struct ClusterParams {
   unsigned hosts = 8;
   unsigned interfaces = 1;  // paper's nodes had 3; experiments used 1
   LinkParams link;
   HostCostModel costs;
+  TopologyKind topology = TopologyKind::kFlat;
+  FatTreeParams fattree;  // used when topology == kFatTree
+  /// Host -> shard placement. Empty = contiguous blocks (host h on shard
+  /// h * shards / hosts). Ignored for single-simulator builds.
+  std::vector<unsigned> placement;
 };
 
 class Cluster {
  public:
+  /// Classic single-simulator build (golden-trace path, byte-frozen).
   Cluster(sim::Simulator& sim, sim::Rng rng, const ClusterParams& params);
+  /// Shard-aware build over `group`; with group.count() == 1 it produces
+  /// the identical wiring as the single-simulator constructor.
+  Cluster(sim::ShardGroup& group, sim::Rng rng, const ClusterParams& params);
 
   Host& host(unsigned i) { return *hosts_.at(i); }
   unsigned host_count() const { return static_cast<unsigned>(hosts_.size()); }
@@ -33,7 +77,17 @@ class Cluster {
     return make_addr(iface, host);
   }
 
-  /// Reconfigures the Dummynet loss probability on every link.
+  /// Shard carrying `host` (0 for single-simulator builds).
+  unsigned shard_of_host(unsigned host) const { return shard_of_.at(host); }
+  unsigned shard_count() const {
+    return group_ != nullptr ? group_->count() : 1;
+  }
+  /// Minimum propagation delay over links that cross shards — the
+  /// conservative lookahead for ShardGroup::run. kNoEvent when no link
+  /// crosses (single shard, or a placement with no cut edges).
+  sim::SimTime cross_shard_lookahead() const { return lookahead_; }
+
+  /// Reconfigures the Dummynet loss probability on every host uplink.
   void set_loss(double p);
   /// Reconfigures loss on every link of one subnet only (e.g. to fail a
   /// path for the multihoming experiments; p = 1.0 severs it).
@@ -41,15 +95,19 @@ class Cluster {
 
   /// Aggregate link statistics across the cluster.
   LinkStats total_link_stats() const;
+  /// Packets dropped by switches for want of any route or uplink.
+  std::uint64_t total_unroutable() const;
 
   /// Installs a wire-level observer on every link and host (nullptr
   /// detaches). Links are labelled "up<host>.<iface>" / "dn<host>.<iface>",
-  /// hosts "h<id>"; trace::PacketTrace::attach() uses this.
+  /// hosts "h<id>"; trace::PacketTrace::attach() uses this. Observers are
+  /// single-threaded: only attach on single-shard runs.
   void set_observer(PacketObserver* obs);
 
   /// The link carrying traffic from `host` into switch `iface` (uplink) or
   /// from switch `iface` to `host` (downlink). Exposed for tests that
-  /// install deterministic drop filters.
+  /// install deterministic drop filters. (Fat-tree hosts have one
+  /// interface; iface 0 names their ToR edge links.)
   Link& uplink(unsigned host, unsigned iface = 0) {
     return *up_.at(host).at(iface);
   }
@@ -57,10 +115,30 @@ class Cluster {
     return *down_.at(host).at(iface);
   }
 
+  /// Every link in build order. Exposed for topology tests (path spread,
+  /// per-tier utilization).
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
  private:
+  sim::Simulator& shard_sim_(unsigned shard) {
+    return group_ != nullptr ? group_->shard(shard) : *single_sim_;
+  }
+  /// Creates a link whose source entity lives on `src_shard` and whose
+  /// sink runs on `dst_shard`, wiring the cross-shard handoff when they
+  /// differ and folding the delay into the lookahead bound.
+  Link* make_link_(unsigned src_shard, unsigned dst_shard,
+                   const LinkParams& lp, sim::Rng rng);
+  void resolve_placement_();
+  void build_flat_(sim::Rng& rng);
+  void build_fattree_(sim::Rng& rng);
+
   ClusterParams params_;
+  sim::ShardGroup* group_ = nullptr;
+  sim::Simulator* single_sim_ = nullptr;
+  std::vector<unsigned> shard_of_;  // host -> shard
+  sim::SimTime lookahead_ = sim::ShardGroup::kNoEvent;
   std::vector<std::unique_ptr<Host>> hosts_;
-  std::vector<std::unique_ptr<Switch>> switches_;  // one per subnet
+  std::vector<std::unique_ptr<Switch>> switches_;
   std::vector<std::unique_ptr<Link>> links_;
   // links per subnet, for set_subnet_loss
   std::vector<std::vector<Link*>> subnet_links_;

@@ -38,6 +38,17 @@ void Host::send_ip(Packet&& pkt, sim::SimTime stack_delay) {
 
 void Host::deliver(Packet&& pkt) {
   ++rx_packets_;
+  if (digest_on_) {
+    const std::uint64_t words[4] = {
+        static_cast<std::uint64_t>(sim_.now()), pkt.uid, pkt.src.v,
+        pkt.payload.size()};
+    for (const std::uint64_t w : words) {
+      for (int i = 0; i < 8; ++i) {
+        rx_digest_ ^= (w >> (8 * i)) & 0xFF;
+        rx_digest_ *= 1099511628211ull;
+      }
+    }
+  }
   for (auto& [proto, handler] : handlers_) {
     if (proto == pkt.proto) {
       // Receive-path CPU: the stack's processing queues on the host CPU.

@@ -94,6 +94,14 @@ class Host {
   std::uint64_t tx_packets() const { return tx_packets_; }
   std::uint64_t rx_packets() const { return rx_packets_; }
 
+  /// Opt-in receive digest for determinism tests: deliver() folds each
+  /// packet's (arrival time, uid, src, payload size) into an
+  /// order-sensitive FNV-1a hash, so two runs with equal digests received
+  /// the same packets in the same order at the same instants. Cheaper than
+  /// full tracing and safe on sharded runs (host state is shard-local).
+  void enable_rx_digest() { digest_on_ = true; }
+  std::uint64_t rx_digest() const { return rx_digest_; }
+
   /// Wire-level observation hook: send_ip() reports each packet (with its
   /// freshly assigned uid) as PacketVerdict::kSent before the stack CPU
   /// cost, so traces can see what the transport handed down and when.
@@ -118,6 +126,8 @@ class Host {
   std::uint64_t rx_packets_ = 0;
   sim::SimTime cpu_next_free_ = 0;
   std::uint64_t next_uid_ = 1;
+  bool digest_on_ = false;
+  std::uint64_t rx_digest_ = 14695981039346656037ull;  // FNV-1a-64 basis
 };
 
 }  // namespace sctpmpi::net

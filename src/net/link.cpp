@@ -76,6 +76,28 @@ bool Link::accept_fifo_(Packet&& pkt) {
 }
 
 void Link::on_departure_() {
+  if (cross_ != nullptr) {
+    // Cross-shard: the propagation stage lives on the destination shard.
+    // departed_ stays 0 (no local arrivals are ever pending), so the
+    // departing packet is always the queue front. The handoff transfers
+    // sole ownership of the payload block — see Buffer::detach_for_handoff.
+    Packet pkt = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.tx_packets;
+    stats_.tx_bytes += pkt.wire_size();
+    const sim::SimTime deliver_at = sim_.now() + params_.delay;
+    pkt.payload.detach_for_handoff();
+    cross_->push(deliver_at,
+                 [this, deliver_at, p = std::move(pkt)]() mutable {
+                   p.payload.adopt_after_handoff();
+                   deliver_cross_(deliver_at, std::move(p));
+                 });
+    if (!queue_.empty()) {
+      sim_.schedule_after(serialization_time(queue_.front().wire_size()),
+                          [this] { on_departure_(); });
+    }
+    return;
+  }
   // Advance the departed/queued boundary in place: no packet moves here.
   const Packet& pkt = queue_[departed_++];
   ++stats_.tx_packets;
@@ -85,6 +107,15 @@ void Link::on_departure_() {
     sim_.schedule_after(serialization_time(queue_[departed_].wire_size()),
                         [this] { on_departure_(); });
   }
+}
+
+void Link::deliver_cross_(sim::SimTime t, Packet&& pkt) {
+  // Runs on the destination shard's worker: sim_ (the source simulator)
+  // must not be touched here, so the observer gets the carried timestamp.
+  if (observer_ != nullptr) {
+    observer_->on_packet(t, label_, pkt, PacketVerdict::kDelivered);
+  }
+  if (sink_) sink_(std::move(pkt));
 }
 
 void Link::on_arrival_() {

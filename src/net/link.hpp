@@ -26,6 +26,7 @@
 #include "net/fault.hpp"
 #include "net/observer.hpp"
 #include "net/packet.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 
 namespace sctpmpi::net {
@@ -72,6 +73,19 @@ class Link {
   /// immediately (delayed packets count as accepted).
   bool enqueue(Packet&& pkt);
 
+  /// Marks this link as crossing shards: the source shard keeps the fault
+  /// pipeline, output queue and serialization stage, but at departure the
+  /// packet is pushed into `ch` with its delivery time (now + delay)
+  /// instead of scheduling a local arrival; the destination shard's ingest
+  /// schedules the delivery into its own simulator. The link's propagation
+  /// delay is the handoff latency that the group's conservative lookahead
+  /// is derived from. Build-time wiring; forces the FIFO datapath.
+  void set_cross_shard(sim::ShardGroup::Channel* ch) {
+    cross_ = ch;
+    unbatched_ = false;  // the legacy path cannot hand off across shards
+  }
+  bool cross_shard() const { return cross_ != nullptr; }
+
  private:
   sim::SimTime serialization_time(std::size_t bytes) const {
     return static_cast<sim::SimTime>(
@@ -87,6 +101,8 @@ class Link {
   void on_departure_();
   /// Fires at the oldest in-flight packet's arrival: delivers it.
   void on_arrival_();
+  /// Runs on the destination shard at the packet's delivery time.
+  void deliver_cross_(sim::SimTime t, Packet&& pkt);
   void drop_queue_full_(const Packet& pkt, std::size_t occupancy);
   void start_transmission_();
   void notify_(const Packet& pkt, PacketVerdict v) {
@@ -96,6 +112,7 @@ class Link {
   sim::Simulator& sim_;
   LinkParams params_;
   FaultInjector faults_;
+  sim::ShardGroup::Channel* cross_ = nullptr;
   Sink sink_;
   PacketObserver* observer_ = nullptr;
   std::string label_;

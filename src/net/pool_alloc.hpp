@@ -5,14 +5,20 @@
 // Capacities are rounded up to a power-of-two class (1, 2, 4, 8 elements);
 // freed blocks park on a per-class thread-local freelist and are handed
 // back on the next allocation of the same class. Larger requests fall
-// through to operator new. The simulation is single-threaded per run, so
-// the thread-local lists see every alloc/free pair; blocks stay reachable
-// from the lists for the thread's lifetime (bounded by the peak number of
-// simultaneously live containers, not by churn).
+// through to operator new. Each simulator shard runs on exactly one thread,
+// so the thread-local lists see every alloc/free pair; pooled containers
+// are shard-local state (transport queues, fault pipelines) and must never
+// cross shards — only Buffer blocks may, via their sanctioned handoff path.
+// Debug builds stamp each pooled block with the shard that allocated it and
+// assert the free happens on the same shard. Parked blocks are released at
+// thread exit (worker threads would otherwise leak their freelists).
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <new>
+
+#include "sim/shard_id.hpp"
 
 namespace sctpmpi::net {
 
@@ -32,10 +38,10 @@ class PoolAllocator {
       if (head != nullptr) {
         Node* p = head;
         head = p->next;
-        return reinterpret_cast<T*>(p);
+        return stamp_(reinterpret_cast<T*>(p));
       }
-      return static_cast<T*>(
-          ::operator new((std::size_t{1} << c) * sizeof(T)));
+      return stamp_(static_cast<T*>(raw_new_((std::size_t{1} << c) *
+                                             sizeof(T))));
     }
     return static_cast<T*>(::operator new(n * sizeof(T)));
   }
@@ -46,6 +52,7 @@ class PoolAllocator {
       ::operator delete(p);
       return;
     }
+    check_shard_(p);
     Node* node = reinterpret_cast<Node*>(p);
     node->next = lists_()[c];
     lists_()[c] = node;
@@ -65,6 +72,46 @@ class PoolAllocator {
 
   static constexpr int kClasses = 4;  // capacity classes 1, 2, 4, 8
 
+  // Debug builds prepend a 16-byte header (preserves default new
+  // alignment) recording the allocating shard; the header travels with the
+  // block through the freelist, and deallocate asserts the block comes
+  // back on the shard that took it out.
+#ifndef NDEBUG
+  static constexpr std::size_t kHeader = 16;
+#else
+  static constexpr std::size_t kHeader = 0;
+#endif
+
+  static void* raw_new_(std::size_t bytes) {
+    void* base = ::operator new(bytes + kHeader);
+    return static_cast<unsigned char*>(base) + kHeader;
+  }
+
+  static void raw_delete_(void* user) noexcept {
+    ::operator delete(static_cast<unsigned char*>(user) - kHeader);
+  }
+
+  static T* stamp_(T* user) noexcept {
+#ifndef NDEBUG
+    *reinterpret_cast<int*>(reinterpret_cast<unsigned char*>(user) -
+                            kHeader) = sim::current_shard();
+#endif
+    return user;
+  }
+
+  static void check_shard_(T* user) noexcept {
+#ifndef NDEBUG
+    const int owner = *reinterpret_cast<const int*>(
+        reinterpret_cast<const unsigned char*>(user) - kHeader);
+    const int cur = sim::current_shard();
+    assert((owner < 0 || cur < 0 || owner == cur) &&
+           "net::PoolAllocator block freed on a foreign shard: pooled "
+           "containers are shard-local and must not cross shards");
+#else
+    (void)user;
+#endif
+  }
+
   /// Class index for a capacity, or -1 when the request is too large to
   /// pool. Same rounding on allocate and deallocate, so blocks always
   /// return to the class they came from.
@@ -76,8 +123,22 @@ class PoolAllocator {
   }
 
   static Node** lists_() {
-    thread_local Node* lists[kClasses] = {};
-    return lists;
+    // Owns the parked blocks so thread exit frees them: shard worker
+    // threads come and go per run, and their freelists must not leak.
+    struct Lists {
+      Node* heads[kClasses] = {};
+      ~Lists() {
+        for (Node* h : heads) {
+          while (h != nullptr) {
+            Node* next = h->next;
+            raw_delete_(h);
+            h = next;
+          }
+        }
+      }
+    };
+    thread_local Lists lists;
+    return lists.heads;
   }
 };
 

@@ -1,9 +1,18 @@
-// Layer-two switch model: static forwarding to the output link serving each
-// destination address, with a small store-and-forward latency absorbed in
-// the per-port links. One switch instance per subnet.
+// Layer-two/three switch model: static forwarding to the output link
+// serving each destination address, with a small store-and-forward latency
+// absorbed in the per-port links. Flat topologies use one switch per
+// subnet; fat-tree topologies use one per ToR/aggregation/core position.
+//
+// Forwarding is exact-route first (the downward direction of a fat-tree,
+// where every host has one correct next hop), then ECMP over the uplink
+// set: a stateless flow hash over (src, dst, proto) picks the same uplink
+// for every packet of a flow — per-flow path stability, per-flow-pair load
+// spreading, and full determinism (no RNG in the forwarding plane).
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
@@ -15,20 +24,45 @@ class Switch {
   /// Registers the egress link toward `addr`.
   void add_route(IpAddr addr, Link* out) { routes_[addr] = out; }
 
-  /// Forwards one packet; drops if the destination is unknown.
+  /// Adds one uplink to the ECMP set used when no exact route matches.
+  void add_ecmp_uplink(Link* out) { ecmp_.push_back(out); }
+
+  /// Forwards one packet; drops if the destination is unknown and no
+  /// uplink exists.
   void forward(Packet&& pkt) {
     auto it = routes_.find(pkt.dst);
-    if (it == routes_.end()) {
-      ++unroutable_;
+    if (it != routes_.end()) {
+      it->second->enqueue(std::move(pkt));
       return;
     }
-    it->second->enqueue(std::move(pkt));
+    if (!ecmp_.empty()) {
+      const std::size_t i =
+          static_cast<std::size_t>(flow_hash(pkt) % ecmp_.size());
+      ecmp_[i]->enqueue(std::move(pkt));
+      return;
+    }
+    ++unroutable_;
+  }
+
+  /// Deterministic per-flow hash: splitmix64 finalizer over the packed
+  /// (src, dst, proto) tuple. Both directions of a flow hash independently
+  /// (real ECMP gives no reverse-path symmetry either).
+  static std::uint64_t flow_hash(const Packet& pkt) {
+    std::uint64_t h = (static_cast<std::uint64_t>(pkt.src.v) << 32) |
+                      pkt.dst.v;
+    h ^= static_cast<std::uint64_t>(pkt.proto) << 7;
+    h += 0x9E3779B97F4A7C15ull;
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    return h ^ (h >> 31);
   }
 
   std::uint64_t unroutable() const { return unroutable_; }
+  std::size_t ecmp_width() const { return ecmp_.size(); }
 
  private:
   std::unordered_map<IpAddr, Link*> routes_;
+  std::vector<Link*> ecmp_;
   std::uint64_t unroutable_ = 0;
 };
 

@@ -1,0 +1,175 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/shard_id.hpp"
+
+namespace sctpmpi::sim {
+
+ShardGroup::ShardGroup(unsigned shards) {
+  if (shards == 0) shards = 1;
+  sims_.reserve(shards);
+  for (unsigned i = 0; i < shards; ++i) {
+    sims_.push_back(std::make_unique<Simulator>());
+  }
+  channels_.resize(shards);
+  for (auto& row : channels_) row.resize(shards);
+}
+
+ShardGroup::~ShardGroup() = default;
+
+ShardGroup::Channel& ShardGroup::channel(unsigned src, unsigned dst) {
+  auto& slot = channels_[src][dst];
+  if (slot == nullptr) slot = std::make_unique<Channel>(src, dst);
+  return *slot;
+}
+
+namespace {
+enum class Verdict : int { kRunning, kDone, kDeadlock, kError };
+}  // namespace
+
+struct ShardGroup::Control {
+  // std::barrier requires a nothrow-invocable completion; std::function is
+  // not, so the completion is this tiny pointer-carrying functor.
+  struct ReduceFn {
+    Control* c;
+    void operator()() const noexcept;
+  };
+
+  explicit Control(unsigned n, const RunOptions& o)
+      : bounds(n, kNoEvent),
+        done(n, 0),
+        opts(o),
+        reduce(n, ReduceFn{this}),
+        publish(n) {}
+
+  /// Runs once per round on whichever worker arrives last at the reduce
+  /// barrier, while every other worker is blocked in it.
+  void reduce_step() noexcept {
+    if (error.load(std::memory_order_relaxed)) {
+      verdict = Verdict::kError;
+      return;
+    }
+    bool all_done = true;
+    SimTime m = kNoEvent;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      all_done = all_done && done[i] != 0;
+      m = std::min(m, bounds[i]);
+    }
+    if (all_done) {
+      verdict = Verdict::kDone;
+      return;
+    }
+    if (m == kNoEvent) {
+      // Every simulator drained yet some shard is not done: nothing can
+      // ever fire again.
+      verdict = Verdict::kDeadlock;
+      return;
+    }
+    const SimTime window = std::min(opts.lookahead, opts.max_window);
+    window_end = m > kNoEvent - window ? kNoEvent : m + window;
+    ++rounds;
+  }
+
+  void record_error() {
+    const std::lock_guard<std::mutex> lk(mu);
+    if (!eptr) eptr = std::current_exception();
+    error.store(true, std::memory_order_relaxed);
+  }
+
+  std::vector<SimTime> bounds;
+  std::vector<char> done;
+  const RunOptions& opts;
+  SimTime window_end = 0;
+  Verdict verdict = Verdict::kRunning;
+  std::uint64_t rounds = 0;
+  std::atomic<bool> error{false};
+  std::mutex mu;
+  std::exception_ptr eptr;
+  std::barrier<ReduceFn> reduce;
+  std::barrier<> publish;
+};
+
+void ShardGroup::Control::ReduceFn::operator()() const noexcept {
+  c->reduce_step();
+}
+
+void ShardGroup::ingest_(unsigned i, std::vector<Msg>& scratch) {
+  scratch.clear();
+  for (unsigned src = 0; src < count(); ++src) {
+    Channel* ch = channels_[src][i].get();
+    if (ch == nullptr) continue;
+    Msg m;
+    while (ch->q_.pop(m)) scratch.push_back(std::move(m));
+  }
+  // Gather order is (source shard, seq); a stable sort by time alone turns
+  // that into exact (time, shard_id, seq) order. Scheduling in that order
+  // assigns destination-simulator sequence numbers deterministically.
+  std::stable_sort(scratch.begin(), scratch.end(),
+                   [](const Msg& a, const Msg& b) { return a.time < b.time; });
+  for (Msg& m : scratch) {
+    sims_[i]->schedule_at(m.time, std::move(m.cb));
+  }
+}
+
+void ShardGroup::worker_(unsigned i, Control& ctl, const RunOptions& opts) {
+  const ShardIdScope scope(static_cast<int>(i));
+  Simulator& sim = *sims_[i];
+  std::vector<Msg> scratch;
+  const std::atomic<std::uint32_t>* stop = count() == 1 ? opts.stop : nullptr;
+  for (;;) {
+    try {
+      ingest_(i, scratch);
+      ctl.bounds[i] = sim.next_event_bound(kNoEvent);
+      // An exhausted stop counter is completion in itself: run_until's
+      // early-out leaves the cut shard's leftover events pending forever,
+      // so its done-predicate (e.g. "simulator drained") may never hold.
+      const bool stopped =
+          stop != nullptr && stop->load(std::memory_order_relaxed) == 0;
+      ctl.done[i] = stopped || (opts.shard_done ? opts.shard_done(i)
+                                                : sim.empty())
+                        ? 1
+                        : 0;
+    } catch (...) {
+      ctl.record_error();
+    }
+    ctl.reduce.arrive_and_wait();
+    if (ctl.verdict != Verdict::kRunning) break;
+    try {
+      sim.run_until_or_stop(ctl.window_end - 1, stop);
+    } catch (...) {
+      ctl.record_error();
+    }
+    ctl.publish.arrive_and_wait();
+  }
+}
+
+void ShardGroup::run(const RunOptions& opts) {
+  const unsigned n = count();
+  Control ctl(n, opts);
+  if (n == 1) {
+    worker_(0, ctl, opts);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(n - 1);
+    for (unsigned i = 1; i < n; ++i) {
+      threads.emplace_back([this, i, &ctl, &opts] { worker_(i, ctl, opts); });
+    }
+    worker_(0, ctl, opts);
+    for (auto& t : threads) t.join();
+  }
+  rounds_ = ctl.rounds;
+  if (ctl.eptr) std::rethrow_exception(ctl.eptr);
+  if (ctl.verdict == Verdict::kDeadlock) {
+    throw std::runtime_error(
+        "ShardGroup: deadlock — every shard's simulator drained with "
+        "unfinished work");
+  }
+}
+
+}  // namespace sctpmpi::sim

@@ -1,0 +1,143 @@
+// Sharded parallel simulation driver with conservative lookahead.
+//
+// A ShardGroup owns N independent sim::Simulator instances (timer wheel,
+// due-now FIFO and heap untouched), one per worker-thread shard, plus one
+// SPSC handoff channel per (source, destination) shard pair. Synchronization
+// is classic conservative (CMB-style) windowing:
+//
+//   round k:  ingest   — each shard drains its inbound channels and
+//                        schedules the messages into its own simulator
+//             reduce   — barrier; the completion computes
+//                          M = min over shards of next_event_bound()
+//                          W = M + min(lookahead, max_window)
+//             run      — each shard runs all local events with t < W
+//                        (run_until(W - 1)); cross-shard sends are pushed
+//                        into channels, never executed directly
+//             publish  — barrier; pushes become visible to consumers
+//
+// Safety: `lookahead` must be a lower bound on the latency of every
+// cross-shard handoff (for a network, the minimum delay of any cross-shard
+// link). An event executed in round k has t >= M; a message it emits
+// arrives at t + lookahead >= M + lookahead = W — strictly after the window
+// being executed — so no shard can ever receive a message into its past.
+//
+// Determinism: a message carries (deliver_time, producer seq); the consumer
+// drains channels in source-shard order (each channel is FIFO, i.e. seq
+// order) and stable-sorts by time, so cross-shard messages enter the
+// destination simulator in exact (time, source shard, seq) order. Window
+// boundaries depend only on event timestamps, so a given sharding of a
+// given seed is rerun-identical. With one shard there are no channels and
+// the driver degenerates to run_until() over the whole horizon — the same
+// event order as ProcessGroup::run_all(), byte-identical traces included
+// (see RunOptions::stop for the exact-termination cut).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/spsc_queue.hpp"
+#include "sim/time.hpp"
+#include "sim/unique_function.hpp"
+
+namespace sctpmpi::sim {
+
+class ShardGroup {
+ public:
+  /// No-pending-event sentinel used for bounds and lookahead.
+  static constexpr SimTime kNoEvent = INT64_MAX;
+
+  /// One message in flight between shards: run `cb` on the destination
+  /// shard's simulator at absolute time `time`. `seq` is assigned by the
+  /// producing channel and breaks same-instant ties deterministically.
+  struct Msg {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    UniqueFunction cb;
+  };
+
+  /// SPSC handoff channel from one shard to another. push() may only be
+  /// called by the source shard's worker during the run phase; the
+  /// destination worker drains it during the ingest phase.
+  class Channel {
+   public:
+    Channel(unsigned src, unsigned dst) : src_(src), dst_(dst) {}
+    void push(SimTime time, UniqueFunction cb) {
+      q_.push(Msg{time, next_seq_++, std::move(cb)});
+    }
+    unsigned src() const { return src_; }
+    unsigned dst() const { return dst_; }
+
+   private:
+    friend class ShardGroup;
+    SpscQueue<Msg> q_;
+    std::uint64_t next_seq_ = 0;  // producer-side; FIFO makes pops ordered
+    unsigned src_;
+    unsigned dst_;
+  };
+
+  struct RunOptions {
+    /// Lower bound on cross-shard handoff latency (min cross-shard link
+    /// delay). kNoEvent when no channel exists; always clamped by
+    /// max_window. Must be >= 1 ns when channels exist.
+    SimTime lookahead = kNoEvent;
+    /// Window cap: keeps rounds finite so done-predicates are re-checked
+    /// even when the lookahead is unbounded (self-re-arming timers would
+    /// otherwise let run_until spin forever after the workload finished).
+    SimTime max_window = 10 * kMillisecond;
+    /// Per-shard completion predicate, evaluated by that shard's worker at
+    /// the top of each round (after ingest). The group stops at the first
+    /// round where every shard reports done. Default: simulator drained.
+    std::function<bool(unsigned)> shard_done;
+    /// Single-shard only: when non-null and *stop reaches 0, the window in
+    /// progress aborts without advancing the clock — reproducing
+    /// ProcessGroup::run_all()'s stop-at-last-process-exit cut exactly.
+    /// Ignored with more than one shard (a mid-window cut would be
+    /// nondeterministic there; multi-shard runs instead finish the round
+    /// in which every shard reports done).
+    const std::atomic<std::uint32_t>* stop = nullptr;
+  };
+
+  explicit ShardGroup(unsigned shards);
+  ~ShardGroup();
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  unsigned count() const { return static_cast<unsigned>(sims_.size()); }
+  Simulator& shard(unsigned i) { return *sims_[i]; }
+  const Simulator& shard(unsigned i) const { return *sims_[i]; }
+
+  /// The src -> dst handoff channel, created on first use. Channel creation
+  /// is build-time wiring: call only before run(), from one thread.
+  Channel& channel(unsigned src, unsigned dst);
+  bool has_channel(unsigned src, unsigned dst) const {
+    return channels_[src][dst] != nullptr;
+  }
+
+  /// Drives every shard to completion (all shard_done true) on one worker
+  /// thread per shard; shard 0 runs on the calling thread. Throws on a
+  /// cross-shard deadlock (every simulator drained, some shard not done)
+  /// and rethrows the first exception a shard's events raised.
+  void run(const RunOptions& opts);
+
+  /// Barrier rounds executed by the last run().
+  std::uint64_t rounds() const { return rounds_; }
+
+ private:
+  struct Control;  // per-run shared state (bounds, window, verdict)
+
+  void worker_(unsigned i, Control& ctl, const RunOptions& opts);
+  void ingest_(unsigned i, std::vector<Msg>& scratch);
+
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  // channels_[src][dst]; null until wired. Shard counts are small (the
+  // matrix is n^2 pointers) and the per-destination scan in ingest_ walks
+  // sources in index order, which is what pins the shard_id tie-break.
+  std::vector<std::vector<std::unique_ptr<Channel>>> channels_;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace sctpmpi::sim

@@ -1,0 +1,40 @@
+// Thread-local shard identity.
+//
+// Sharded runs (sim::ShardGroup) drive each sim::Simulator from a dedicated
+// worker thread; that thread announces which shard it is via a thread-local
+// id so lower layers (buffer pools, allocators) can assert that memory never
+// crosses shards outside the sanctioned handoff path. Unsharded threads
+// (tests, benches, the classic single-threaded driver) read kUnsharded and
+// every ownership check degrades to a no-op.
+#pragma once
+
+namespace sctpmpi::sim {
+
+inline constexpr int kUnsharded = -1;
+/// Sentinel owner id for memory in flight between shards (set by the
+/// handoff producer, replaced by the consumer's shard id on adoption).
+inline constexpr int kShardInTransit = -2;
+
+namespace detail {
+inline thread_local int t_shard_id = kUnsharded;
+}  // namespace detail
+
+/// Shard id of the worker thread driving the current simulator, or
+/// kUnsharded on threads that are not shard workers.
+inline int current_shard() { return detail::t_shard_id; }
+
+/// RAII: marks the current thread as shard `id` for its lifetime.
+class ShardIdScope {
+ public:
+  explicit ShardIdScope(int id) : prev_(detail::t_shard_id) {
+    detail::t_shard_id = id;
+  }
+  ~ShardIdScope() { detail::t_shard_id = prev_; }
+  ShardIdScope(const ShardIdScope&) = delete;
+  ShardIdScope& operator=(const ShardIdScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+}  // namespace sctpmpi::sim

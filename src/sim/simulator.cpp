@@ -138,8 +138,12 @@ std::size_t Simulator::run(std::size_t max_events) {
   return n;
 }
 
-void Simulator::run_until(SimTime t) {
+void Simulator::run_until_or_stop(SimTime t,
+                                  const std::atomic<std::uint32_t>* stop) {
   for (;;) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed) == 0) {
+      return;  // stop condition reached: leave the clock at the last event
+    }
     prune_due_();
     wheel_catch_up_();
     if (!due_.empty() &&

@@ -38,6 +38,7 @@
 // migrates to the heap, never when or in what order it fires.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <deque>
@@ -93,7 +94,15 @@ class Simulator {
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
   /// Runs events with timestamp <= t, then advances the clock to t.
-  void run_until(SimTime t);
+  void run_until(SimTime t) { run_until_or_stop(t, nullptr); }
+
+  /// run_until() with an early-out: before each event, if `*stop` reads 0
+  /// the call returns immediately WITHOUT advancing the clock to t. This is
+  /// how the sharded windowed driver reproduces ProcessGroup::run_all()'s
+  /// stop-at-last-process-exit cut exactly: remaining events inside the
+  /// window are simply never run, and now() stays at the last fired event.
+  /// `stop == nullptr` behaves as plain run_until().
+  void run_until_or_stop(SimTime t, const std::atomic<std::uint32_t>* stop);
 
   /// Earliest pending timestamp (heap or wheel bucket window), or `fallback`
   /// when nothing is pending. A wheel bucket reports its window start, which

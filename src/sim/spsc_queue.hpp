@@ -1,0 +1,110 @@
+// Unbounded single-producer / single-consumer queue.
+//
+// The cross-shard handoff channels need exactly SPSC semantics: each
+// (source shard, destination shard) pair owns one queue, the source worker
+// pushes during its event window, and the destination worker drains at the
+// start of its next window — the barrier protocol guarantees the two sides
+// never contend for the same element.
+//
+// Layout: a linked list of fixed-size segments. The producer writes a slot,
+// then publishes it with a release store of the segment's count; the
+// consumer acquires the count before reading the slot. A full segment is
+// linked to a fresh one through a release-stored `next` pointer. The
+// consumer frees drained segments; the producer allocates new ones — one
+// allocation per kSegCap elements, amortised to nothing on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace sctpmpi::sim {
+
+template <typename T, std::size_t kSegCap = 128>
+class SpscQueue {
+ public:
+  SpscQueue() : head_(new Segment), tail_(head_) {}
+  ~SpscQueue() {
+    T scratch;
+    while (pop(scratch)) {
+    }
+    // All segments behind head_ were already freed by pop(); a fully
+    // drained queue holds exactly one (possibly part-consumed) segment,
+    // plus any empty successors the producer linked but never filled.
+    Segment* s = head_;
+    while (s != nullptr) {
+      Segment* next = s->next.load(std::memory_order_acquire);
+      delete s;
+      s = next;
+    }
+  }
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side only.
+  void push(T v) {
+    Segment* s = tail_;
+    std::size_t i = s->count.load(std::memory_order_relaxed);
+    if (i == kSegCap) {
+      Segment* fresh = new Segment;
+      s->next.store(fresh, std::memory_order_release);
+      tail_ = fresh;
+      s = fresh;
+      i = 0;
+    }
+    new (s->slot(i)) T(std::move(v));
+    s->count.store(i + 1, std::memory_order_release);
+  }
+
+  /// Consumer side only. Returns false when no published element remains.
+  bool pop(T& out) {
+    Segment* s = head_;
+    std::size_t avail = s->count.load(std::memory_order_acquire);
+    if (read_ == avail) {
+      if (read_ < kSegCap) return false;  // producer still filling here
+      Segment* next = s->next.load(std::memory_order_acquire);
+      if (next == nullptr) return false;
+      delete s;
+      head_ = s = next;
+      read_ = 0;
+      avail = s->count.load(std::memory_order_acquire);
+      if (avail == 0) return false;
+    }
+    T* p = s->slot(read_);
+    out = std::move(*p);
+    p->~T();
+    ++read_;
+    return true;
+  }
+
+  /// Consumer side only: true when no published element is waiting.
+  bool empty() const {
+    const Segment* s = head_;
+    if (read_ < s->count.load(std::memory_order_acquire)) return false;
+    if (read_ < kSegCap) return true;
+    const Segment* next = s->next.load(std::memory_order_acquire);
+    return next == nullptr ||
+           next->count.load(std::memory_order_acquire) == 0;
+  }
+
+ private:
+  struct Segment {
+    alignas(alignof(T)) unsigned char storage[kSegCap * sizeof(T)];
+    std::atomic<std::size_t> count{0};   // producer-published element count
+    std::atomic<Segment*> next{nullptr};
+    T* slot(std::size_t i) {
+      return std::launder(reinterpret_cast<T*>(storage + i * sizeof(T)));
+    }
+    const T* slot(std::size_t i) const {
+      return std::launder(
+          reinterpret_cast<const T*>(storage + i * sizeof(T)));
+    }
+  };
+
+  Segment* head_;          // consumer-owned
+  std::size_t read_ = 0;   // consumer-owned: elements consumed in head_
+  Segment* tail_;          // producer-owned
+};
+
+}  // namespace sctpmpi::sim

@@ -92,11 +92,12 @@ struct BatteryRun {
   trace::TraceSummary summary;
 };
 
-BatteryRun run_case(const BatteryCase& c) {
+BatteryRun run_case(const BatteryCase& c, bool force_parallel = false) {
   core::WorldConfig cfg;
   cfg.transport = c.transport;
   cfg.loss = c.loss;
   cfg.seed = c.seed;
+  cfg.force_parallel_driver = force_parallel;
   switch (c.shape) {
     case Shape::kPingPong30k:
     case Shape::kPingPongSsend:
@@ -225,6 +226,22 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(
           kBattery[static_cast<std::size_t>(info.param)].name);
     });
+
+// The sharded simulator's windowed driver, forced at one shard, must
+// reproduce the classic run_all() schedule exactly — all 32 golden hashes
+// included. This is the strongest statement that the conservative-window
+// machinery (run_until rounds, stop-counter cut, ShardGroup-built cluster)
+// adds zero observable behavior of its own.
+TEST(TraceBatteryParallelDriver, ForcedWindowedDriverKeepsAllGoldenHashes) {
+  if (std::getenv("SCTPMPI_RECORD_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "record mode";
+  }
+  for (const BatteryCase& c : kBattery) {
+    const BatteryRun run = run_case(c, /*force_parallel=*/true);
+    EXPECT_EQ(fnv1a64(run.text), c.text_hash)
+        << c.name << ": windowed 1-shard driver diverged from golden trace";
+  }
+}
 
 // Determinism canary: the FIFO link datapath and the legacy
 // two-closures-per-packet datapath (SCTPMPI_UNBATCHED=1, consulted once per

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -109,6 +111,57 @@ TEST(Buffer, PacketCopySharesPayloadUntilCorruption) {
   dup.payload.mutable_data()[0] ^= std::byte{0xFF};
   EXPECT_EQ(p.payload[0], std::byte{1});
   EXPECT_NE(dup.payload[0], std::byte{1});
+}
+
+TEST(Buffer, HandoffKeepsSoleOwnershipWithoutCopying) {
+  Buffer b = bytes({1, 2, 3});
+  const std::byte* block = b.data();
+  b.detach_for_handoff();  // refcount 1: same block travels
+  b.adopt_after_handoff();
+  EXPECT_EQ(b.data(), block);
+  EXPECT_EQ(b, bytes({1, 2, 3}));
+}
+
+TEST(Buffer, HandoffClonesWhenThePayloadIsShared) {
+  Buffer b = bytes({7, 8, 9});
+  Buffer keeper = b;  // e.g. a retransmit queue still references the bytes
+  b.detach_for_handoff();
+  b.adopt_after_handoff();
+  EXPECT_NE(b.data(), keeper.data());  // the traveling copy got its own block
+  EXPECT_EQ(b, keeper);               // ... with identical bytes
+  EXPECT_EQ(keeper, bytes({7, 8, 9}));
+}
+
+TEST(CopyStats, CountsExactlyAcrossThreads) {
+  // The ledger is per-thread internally; get() must still aggregate to the
+  // exact global sum, including counts from threads that already exited.
+  CopyStats::reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([] {
+        const std::vector<std::byte> src(3, std::byte{0x5A});
+        for (int i = 0; i < kPerThread; ++i) {
+          count_payload_copy(2);
+          // copy_of counts 3 ingest bytes and cycles this thread's block
+          // pool (whose parked freelist must not leak at thread exit).
+          const Buffer b = Buffer::copy_of(src);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  const CopyStats after = CopyStats::get();
+  constexpr std::uint64_t kOps =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(after.payload_copy_bytes, kOps * 2);
+  EXPECT_EQ(after.ingest_bytes, kOps * 3);
+  CopyStats::reset();
+  const CopyStats zero = CopyStats::get();
+  EXPECT_EQ(zero.payload_copy_bytes, 0u);
+  EXPECT_EQ(zero.ingest_bytes, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+// Fat-tree/Clos topology: structure, all-pairs reachability through exact
+// downward routes + ECMP upward hashing, per-flow path stability, and the
+// sharded build (cross-shard links, lookahead bound, rerun determinism).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "net/packet.hpp"
+#include "net/switch.hpp"
+#include "sim/rng.hpp"
+#include "sim/shard.hpp"
+#include "sim/simulator.hpp"
+
+namespace sctpmpi::net {
+namespace {
+
+ClusterParams fattree_params(unsigned k) {
+  ClusterParams p;
+  p.topology = TopologyKind::kFatTree;
+  p.fattree.k = k;
+  p.hosts = k * k * k / 4;
+  p.interfaces = 1;
+  return p;
+}
+
+// One empty-payload packet from every host to every other host.
+void inject_all_pairs(Cluster& c) {
+  const unsigned n = c.host_count();
+  for (unsigned s = 0; s < n; ++s) {
+    for (unsigned d = 0; d < n; ++d) {
+      if (s == d) continue;
+      Host& h = c.host(s);
+      h.sim().schedule_at(0, [&h, &c, s, d] {
+        Packet pkt;
+        pkt.src = c.addr(s);
+        pkt.dst = c.addr(d);
+        pkt.proto = IpProto::kTcp;
+        h.send_ip(std::move(pkt));
+      });
+    }
+  }
+}
+
+TEST(FatTree, BuildsTheExpectedShape) {
+  for (unsigned k : {2u, 4u, 6u}) {
+    sim::Simulator sim;
+    Cluster c(sim, sim::Rng(1), fattree_params(k));
+    EXPECT_EQ(c.host_count(), k * k * k / 4) << "k=" << k;
+    // Links: 2 per host (edge), 2 * (k/2)^2 per pod (ToR<->agg), and
+    // 2 * (k/2)^2 per pod again (agg<->core).
+    const unsigned half = k / 2;
+    const unsigned expect_links = 2 * c.host_count() + 2 * k * half * half * 2;
+    EXPECT_EQ(c.links().size(), expect_links) << "k=" << k;
+  }
+}
+
+TEST(FatTree, RejectsInvalidParameters) {
+  sim::Simulator sim;
+  {
+    ClusterParams p = fattree_params(4);
+    p.hosts = 15;  // must be k^3/4 = 16
+    EXPECT_THROW(Cluster(sim, sim::Rng(1), p), std::invalid_argument);
+  }
+  {
+    ClusterParams p = fattree_params(3);  // odd k
+    EXPECT_THROW(Cluster(sim, sim::Rng(1), p), std::invalid_argument);
+  }
+  {
+    ClusterParams p = fattree_params(4);
+    p.interfaces = 2;  // fat-tree hosts are single-homed
+    EXPECT_THROW(Cluster(sim, sim::Rng(1), p), std::invalid_argument);
+  }
+}
+
+TEST(FatTree, AllPairsReachableWithoutUnroutableDrops) {
+  for (unsigned k : {4u, 6u}) {
+    sim::Simulator sim;
+    Cluster c(sim, sim::Rng(7), fattree_params(k));
+    inject_all_pairs(c);
+    sim.run_until(sim::kSecond);
+    const unsigned n = c.host_count();
+    EXPECT_EQ(c.total_unroutable(), 0u) << "k=" << k;
+    for (unsigned h = 0; h < n; ++h) {
+      EXPECT_EQ(c.host(h).rx_packets(), n - 1) << "k=" << k << " host " << h;
+    }
+  }
+}
+
+TEST(FatTree, EcmpSpreadsFlowsAcrossUplinks) {
+  // The flow hash must actually use both uplinks of a k=4 ToR across the
+  // host-pair population (a constant hash would funnel everything through
+  // one aggregation switch).
+  sim::Simulator sim;
+  Cluster c(sim, sim::Rng(7), fattree_params(4));
+  inject_all_pairs(c);
+  sim.run_until(sim::kSecond);
+  // ToR->agg links are labelled by make; count the loaded ones via build
+  // order: edge links come first (2 per host), then per-pod ta/at pairs.
+  unsigned loaded_ta = 0, total_ta = 0;
+  const auto& links = c.links();
+  for (std::size_t i = 2 * c.host_count(); i < links.size(); ++i) {
+    // ta links alternate with at links in build order; both tiers carry
+    // traffic in a loaded fabric, so just count how many upper-tier links
+    // saw packets at all.
+    ++total_ta;
+    if (links[i]->stats().tx_packets > 0) ++loaded_ta;
+  }
+  ASSERT_GT(total_ta, 0u);
+  // With 16 hosts sending 15 flows each, far more than half the fabric
+  // links must be in use; a broken (constant) ECMP hash loads only one
+  // path per ToR.
+  EXPECT_GT(loaded_ta, total_ta / 2);
+}
+
+TEST(FatTree, FlowHashIsDeterministicPerFlow) {
+  Packet a;
+  a.src = make_addr(0, 3);
+  a.dst = make_addr(0, 9);
+  a.proto = IpProto::kSctp;
+  const std::uint64_t h1 = Switch::flow_hash(a);
+  const std::uint64_t h2 = Switch::flow_hash(a);
+  EXPECT_EQ(h1, h2);
+  Packet b = a;
+  b.dst = make_addr(0, 10);
+  EXPECT_NE(Switch::flow_hash(b), h1);  // astronomically unlikely to collide
+}
+
+TEST(FatTree, ShardedBuildCrossesOnlyUpperTiers) {
+  // k=4, 4 shards, contiguous placement: one pod per shard. Edge and
+  // ToR<->agg links stay pod-local; only agg<->core links cross, so the
+  // lookahead is the core-link delay.
+  sim::ShardGroup g(4);
+  ClusterParams p = fattree_params(4);
+  Cluster c(g, sim::Rng(7), p);
+  EXPECT_EQ(c.shard_count(), 4u);
+  for (unsigned h = 0; h < c.host_count(); ++h) {
+    EXPECT_EQ(c.shard_of_host(h), h / 4) << "host " << h;
+  }
+  EXPECT_EQ(c.cross_shard_lookahead(), p.fattree.core_link.delay);
+}
+
+TEST(FatTree, ShardedAllPairsDeliversEverythingDeterministically) {
+  auto run_once = [](unsigned shards) {
+    sim::ShardGroup g(shards);
+    Cluster c(g, sim::Rng(7), fattree_params(4));
+    for (unsigned h = 0; h < c.host_count(); ++h) {
+      c.host(h).enable_rx_digest();
+    }
+    inject_all_pairs(c);
+    sim::ShardGroup::RunOptions opts;
+    opts.lookahead = c.cross_shard_lookahead();
+    g.run(opts);
+    EXPECT_EQ(c.total_unroutable(), 0u);
+    std::vector<std::uint64_t> digests;
+    for (unsigned h = 0; h < c.host_count(); ++h) {
+      EXPECT_EQ(c.host(h).rx_packets(), c.host_count() - 1) << "host " << h;
+      digests.push_back(c.host(h).rx_digest());
+    }
+    return digests;
+  };
+  for (unsigned shards : {2u, 4u}) {
+    const auto a = run_once(shards);
+    const auto b = run_once(shards);
+    EXPECT_EQ(a, b) << shards << "-shard rerun diverged";
+  }
+}
+
+}  // namespace
+}  // namespace sctpmpi::net
