@@ -1,0 +1,255 @@
+// Micro-benchmark of the service tier: the open-loop client fleet against
+// the Maglev L4 balancer (apps/service.hpp), TCP vs SCTP.
+//
+// Three scenarios, each run over both transports:
+//
+//   tails_fattree_*   — tens of thousands of clients on a k=4 fat-tree,
+//                       Poisson arrivals, log-normal sizes, no faults:
+//                       the clean p50/p99/p999 response-tail comparison.
+//   churn_flat_*      — flat multihomed farm under scale-in/out churn:
+//                       one backend drained and restored, another killed
+//                       and revived (probe ejection + re-admission).
+//   failover_flat_*   — the paper's multihoming story at service scale:
+//                       one subnet blacked out mid-run; SCTP associations
+//                       fail over (zero request retries — self-checked),
+//                       TCP tears down and reconnects.
+//
+// All latency metrics are SIM-time (deterministic given the seed), so the
+// "speedup" ratios (tcp_p999 / sctp_p999 and friends) are bit-stable run
+// over run and machine-independent — exactly what check_regression.sh
+// wants to gate. Self-checks exit 1: lossless completion everywhere, zero
+// SCTP retries across the blackout.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/service.hpp"
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace sctpmpi;
+using apps::ServiceParams;
+using apps::ServiceResult;
+using apps::ServiceSim;
+using apps::ServiceTransport;
+
+const char* tname(ServiceTransport t) {
+  return t == ServiceTransport::kTcp ? "tcp" : "sctp";
+}
+
+/// Shared tuning: chaos-tier failure-detection clocks (seconds, not
+/// minutes) and small per-socket buffers so a 20k-client fleet fits.
+ServiceParams tuned(ServiceTransport t, bool quick) {
+  ServiceParams p;
+  p.transport = t;
+  p.seed = 2005;
+  p.tcp.min_rto = 200 * sim::kMillisecond;
+  p.tcp.initial_rto = 400 * sim::kMillisecond;
+  p.tcp.max_rto = 2 * sim::kSecond;
+  p.tcp.max_data_retries = 3;
+  p.sctp.rto_min = 200 * sim::kMillisecond;
+  p.sctp.rto_initial = 400 * sim::kMillisecond;
+  p.sctp.rto_max = 2 * sim::kSecond;
+  p.sctp.assoc_max_retrans = 3;
+  p.sctp.path_max_retrans = 2;
+  p.sctp.hb_interval = 2 * sim::kSecond;
+  p.tcp.sndbuf = 8 * 1024;
+  p.tcp.rcvbuf = 4 * 1024;
+  p.sctp.sndbuf = 8 * 1024;
+  p.sctp.rcvbuf = 4 * 1024;
+  p.size_mu = 6.0;  // ~400 B median
+  p.size_sigma = 1.0;
+  p.size_max = 1024;
+  (void)quick;
+  return p;
+}
+
+void record(bench::BenchJson& out, const std::string& name,
+            const ServiceResult& r, double wall) {
+  out.metric(name, "issued", static_cast<double>(r.issued));
+  out.metric(name, "completed", static_cast<double>(r.completed));
+  out.metric(name, "retried", static_cast<double>(r.retried));
+  out.metric(name, "abandoned", static_cast<double>(r.abandoned));
+  out.metric(name, "reconnects", static_cast<double>(r.reconnects));
+  out.metric(name, "failovers", static_cast<double>(r.failovers));
+  out.metric(name, "p50_ms", r.p50_ms);
+  out.metric(name, "p99_ms", r.p99_ms);
+  out.metric(name, "p999_ms", r.p999_ms);
+  out.metric(name, "sim_runtime_seconds", r.runtime_seconds);
+  out.metric(name, "lb_forwarded", static_cast<double>(r.lb.forwarded));
+  out.metric(name, "lb_ejections", static_cast<double>(r.lb.ejections));
+  out.metric(name, "lb_readmissions",
+             static_cast<double>(r.lb.readmissions));
+  out.metric(name, "wall_seconds", wall);
+  std::printf(
+      "%-22s %8llu req  p50 %7.2fms  p99 %8.2fms  p999 %8.2fms  "
+      "retried %5llu  loss %llu  wall %6.2fs\n",
+      name.c_str(), static_cast<unsigned long long>(r.completed), r.p50_ms,
+      r.p99_ms, r.p999_ms, static_cast<unsigned long long>(r.retried),
+      static_cast<unsigned long long>(r.abandoned), wall);
+}
+
+bool check_lossless(const char* name, const ServiceResult& r) {
+  if (r.completed + r.abandoned != r.issued || r.abandoned != 0) {
+    std::fprintf(stderr,
+                 "self-check FAILED: %s lost requests (issued %llu, "
+                 "completed %llu, abandoned %llu)\n",
+                 name, static_cast<unsigned long long>(r.issued),
+                 static_cast<unsigned long long>(r.completed),
+                 static_cast<unsigned long long>(r.abandoned));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::banner("micro: L4 service tier",
+                "Maglev balancer + open-loop fleet — response tails, churn "
+                "loss and multihomed failover, TCP vs SCTP");
+  bench::BenchJson out("service");
+  bool ok = true;
+
+  // ---- response tails on the k=4 fat-tree --------------------------------
+  double tails_p999[2] = {0, 0};
+  for (const auto t : {ServiceTransport::kTcp, ServiceTransport::kSctp}) {
+    ServiceParams p = tuned(t, quick);
+    p.topology = apps::ServiceTopology::kFatTree;
+    p.fattree_k = 4;  // 16 hosts: 11 client hosts, 4 backends, 1 balancer
+    p.backends = 4;
+    p.clients_per_host = quick ? 200u : 2000u;  // 2.2k / 22k clients
+    p.requests = quick ? 20000u : 200000u;
+    // Below the farm's saturation point: the clean-tail scenario measures
+    // protocol overhead, not queueing collapse.
+    p.arrival_rate_hz = quick ? 20000 : 40000;
+    const std::string name = std::string("tails_fattree_") + tname(t);
+    const double t0 = bench::wall_seconds();
+    const ServiceResult r = apps::run_service(p);
+    const double wall = bench::wall_seconds() - t0;
+    record(out, name, r, wall);
+    ok &= check_lossless(name.c_str(), r);
+    if (r.retried != 0) {
+      std::fprintf(stderr, "self-check FAILED: %s retried %llu with no "
+                   "faults scheduled\n", name.c_str(),
+                   static_cast<unsigned long long>(r.retried));
+      ok = false;
+    }
+    tails_p999[t == ServiceTransport::kSctp] = r.p999_ms;
+  }
+  out.metric("tails_p999_ratio", "speedup", tails_p999[0] / tails_p999[1]);
+
+  // ---- scale-in/out churn on the flat multihomed farm --------------------
+  auto churn_schedule = [](ServiceSim& svc) {
+    // Scale-in: drain backend 1 mid-burst, restore it later (scale-out).
+    svc.at(600 * sim::kMillisecond,
+           [&svc] { svc.lb().drain_backend(1); });
+    svc.at(1400 * sim::kMillisecond,
+           [&svc] { svc.lb().restore_backend(1); });
+    // Hard churn: backend 0 dies outright and comes back; the probes must
+    // eject it (re-steering its flows) and re-admit it afterwards.
+    const unsigned h = svc.backend_host(0);
+    for (unsigned i = 0; i < svc.cluster().interface_count(); ++i) {
+      svc.cluster().uplink(h, i).faults().add_blackout(
+          800 * sim::kMillisecond, 1600 * sim::kMillisecond);
+      svc.cluster().downlink(h, i).faults().add_blackout(
+          800 * sim::kMillisecond, 1600 * sim::kMillisecond);
+    }
+  };
+  std::uint64_t churn_retried[2] = {0, 0};
+  for (const auto t : {ServiceTransport::kTcp, ServiceTransport::kSctp}) {
+    ServiceParams p = tuned(t, quick);
+    p.topology = apps::ServiceTopology::kFlatMultihomed;
+    p.interfaces = 2;
+    p.backends = 4;
+    p.client_hosts = 4;
+    p.clients_per_host = quick ? 50u : 500u;
+    p.requests = quick ? 5000u : 40000u;
+    p.arrival_rate_hz = quick ? 4000 : 20000;
+    const std::string name = std::string("churn_flat_") + tname(t);
+    const double t0 = bench::wall_seconds();
+    const ServiceResult r = apps::run_service(p, churn_schedule);
+    const double wall = bench::wall_seconds() - t0;
+    record(out, name, r, wall);
+    ok &= check_lossless(name.c_str(), r);
+    if (r.lb.ejections < 1 || r.lb.readmissions < 1) {
+      std::fprintf(stderr, "self-check FAILED: %s saw no ejection/"
+                   "re-admission cycle\n", name.c_str());
+      ok = false;
+    }
+    churn_retried[t == ServiceTransport::kSctp] = r.retried;
+  }
+  // Retry burden ratio under identical churn (+1 guards the zero case).
+  out.metric("churn_retry_ratio", "speedup",
+             static_cast<double>(churn_retried[0] + 1) /
+                 static_cast<double>(churn_retried[1] + 1));
+
+  // ---- multihomed failover: one subnet blacked out -----------------------
+  // 3.5 s outage: long enough that TCP exhausts its data retries and must
+  // tear down + reconnect, while SCTP fails over within ~1 s.
+  auto failover_schedule = [](ServiceSim& svc) {
+    svc.at(600 * sim::kMillisecond,
+           [&svc] { svc.cluster().set_subnet_loss(0, 1.0); });
+    svc.at(4100 * sim::kMillisecond,
+           [&svc] { svc.cluster().set_subnet_loss(0, 0.0); });
+  };
+  double failover_p999[2] = {0, 0};
+  for (const auto t : {ServiceTransport::kTcp, ServiceTransport::kSctp}) {
+    ServiceParams p = tuned(t, quick);
+    p.topology = apps::ServiceTopology::kFlatMultihomed;
+    p.interfaces = 2;
+    p.backends = 4;
+    p.client_hosts = 4;
+    p.clients_per_host = quick ? 50u : 500u;
+    p.requests = quick ? 5000u : 40000u;
+    p.arrival_rate_hz = quick ? 4000 : 20000;
+    const std::string name = std::string("failover_flat_") + tname(t);
+    const double t0 = bench::wall_seconds();
+    const ServiceResult r = apps::run_service(p, failover_schedule);
+    const double wall = bench::wall_seconds() - t0;
+    record(out, name, r, wall);
+    ok &= check_lossless(name.c_str(), r);
+    if (t == ServiceTransport::kSctp) {
+      // The acceptance property: tracked multihomed associations ride the
+      // blackout with zero request-level retries.
+      if (r.retried != 0 || r.failovers == 0) {
+        std::fprintf(stderr,
+                     "self-check FAILED: SCTP failover retried %llu "
+                     "(want 0) with %llu path failovers (want > 0)\n",
+                     static_cast<unsigned long long>(r.retried),
+                     static_cast<unsigned long long>(r.failovers));
+        ok = false;
+      }
+    } else if (r.reconnects == 0) {
+      std::fprintf(stderr, "self-check FAILED: TCP rode out a blackout of "
+                   "its only VIP subnet without reconnecting\n");
+      ok = false;
+    }
+    failover_p999[t == ServiceTransport::kSctp] = r.p999_ms;
+  }
+  out.metric("failover_p999_ratio", "speedup",
+             failover_p999[0] / failover_p999[1]);
+
+  std::printf("\ntail ratio (tcp p999 / sctp p999): clean %.2f, "
+              "blackout %.2f\n",
+              tails_p999[0] / tails_p999[1],
+              failover_p999[0] / failover_p999[1]);
+
+  if (!json_path.empty() && !out.write(json_path)) return 1;
+  return ok ? 0 : 1;
+}

@@ -22,7 +22,7 @@ done
 # Every bench binary must exist before anything runs: a silently skipped
 # bench would let a perf regression (or a broken bench target) go unnoticed.
 MISSING=0
-for name in micro_simcore micro_transport micro_datapath micro_eventloop micro_parallel; do
+for name in micro_simcore micro_transport micro_datapath micro_eventloop micro_parallel micro_service; do
   if [ ! -x "$BUILD_DIR/bench/$name" ]; then
     echo "error: $BUILD_DIR/bench/$name not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
     MISSING=1
@@ -30,7 +30,7 @@ for name in micro_simcore micro_transport micro_datapath micro_eventloop micro_p
 done
 [ "$MISSING" -eq 0 ] || exit 1
 
-for name in micro_simcore micro_transport micro_datapath micro_eventloop micro_parallel; do
+for name in micro_simcore micro_transport micro_datapath micro_eventloop micro_parallel micro_service; do
   OUT="$BUILD_DIR/BENCH_${name#micro_}.json"
   "$BUILD_DIR/bench/$name" $QUICK --json "$OUT"
   echo "wrote $OUT"

@@ -1,13 +1,58 @@
 // Small fixed-width table printer for the benchmark binaries, so every
 // bench emits paper-style rows that are easy to diff against
-// EXPERIMENTS.md.
+// EXPERIMENTS.md — plus exact sorted-sample quantile helpers for the
+// tail-latency reports (service workload p50/p99/p999).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 namespace sctpmpi::apps {
+
+/// Exact empirical quantile of a SORTED sample: linear interpolation
+/// between closest ranks (the R-7 / NumPy default definition), so p=0 is
+/// the minimum, p=1 the maximum and p=0.5 the median. NaN on empty input.
+inline double quantile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return std::nan("");
+  if (sorted.size() == 1) return sorted.front();
+  p = std::min(1.0, std::max(0.0, p));
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+/// Sorting variant for unsorted samples (copies; tail reports are cold).
+inline double quantile(std::vector<double> sample, double p) {
+  std::sort(sample.begin(), sample.end());
+  return quantile_sorted(sample, p);
+}
+
+/// The standard latency-tail summary in one pass over one sort.
+struct TailSummary {
+  std::size_t count = 0;
+  double min = 0, p50 = 0, p99 = 0, p999 = 0, max = 0, mean = 0;
+};
+
+inline TailSummary tail_summary(std::vector<double> sample) {
+  TailSummary t;
+  if (sample.empty()) return t;
+  std::sort(sample.begin(), sample.end());
+  t.count = sample.size();
+  t.min = sample.front();
+  t.max = sample.back();
+  t.p50 = quantile_sorted(sample, 0.50);
+  t.p99 = quantile_sorted(sample, 0.99);
+  t.p999 = quantile_sorted(sample, 0.999);
+  double sum = 0;
+  for (const double v : sample) sum += v;
+  t.mean = sum / static_cast<double>(t.count);
+  return t;
+}
 
 class Table {
  public:

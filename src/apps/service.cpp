@@ -1,0 +1,701 @@
+#include "apps/service.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/report.hpp"
+#include "core/failure.hpp"
+#include "net/bytes.hpp"
+#include "sctp/socket.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/socket.hpp"
+
+namespace sctpmpi::apps {
+
+namespace {
+
+constexpr std::uint32_t kReqMagic = 0x53525131;   // "SRQ1"
+constexpr std::uint32_t kRespMagic = 0x53525031;  // "SRP1"
+constexpr std::size_t kFrameHeader = 16;  // magic u32, req id u64, len u32
+constexpr std::uint16_t kServicePort = 80;
+constexpr std::uint16_t kClientPortBase = 10000;
+constexpr std::uint16_t kRetryPortBase = 40000;
+
+// RNG stream ids: clusters own (s*1000+h)*2(+1) and 1<<32.. (fat-tree);
+// these must not collide.
+constexpr std::uint64_t kStackStreamBase = 3ull << 40;
+constexpr std::uint64_t kWorkloadStream = 7ull << 40;
+
+void put_frame(std::vector<std::byte>& out, std::uint32_t magic,
+               std::uint64_t req_id, std::uint32_t body_len) {
+  net::ByteWriter w(out);
+  w.u32(magic);
+  w.u64(req_id);
+  w.u32(body_len);
+  out.resize(out.size() + body_len);  // zero body: sizes, not content
+}
+
+struct Frame {
+  std::uint32_t magic = 0;
+  std::uint64_t req_id = 0;
+  std::uint32_t body_len = 0;
+};
+
+/// Parses one complete frame from the front of `buf`; consumes it and
+/// returns true, or returns false when bytes are still missing.
+bool take_frame(std::vector<std::byte>& buf, Frame& f) {
+  if (buf.size() < kFrameHeader) return false;
+  net::ByteReader r(buf);
+  f.magic = r.u32();
+  f.req_id = r.u64();
+  f.body_len = r.u32();
+  const std::size_t total = kFrameHeader + f.body_len;
+  if (buf.size() < total) return false;
+  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(total));
+  return true;
+}
+
+}  // namespace
+
+// ===========================================================================
+// ServiceEngine
+// ===========================================================================
+
+class ServiceEngine {
+ public:
+  explicit ServiceEngine(ServiceParams p);
+
+  void at(sim::SimTime t, std::function<void()> fn) {
+    sim_.schedule_at(t, std::move(fn));
+  }
+  net::LoadBalancer& lb() { return *lb_; }
+  net::Cluster& cluster() { return *cluster_; }
+  unsigned backend_host(unsigned b) const { return backend_host_base_ + b; }
+  unsigned lb_host() const { return lb_host_; }
+
+  ServiceResult run();
+
+ private:
+  struct Request {
+    std::uint64_t id = 0;
+    std::uint32_t size = 0;
+    sim::SimTime issue_time = 0;
+  };
+
+  struct Client {
+    unsigned host = 0;
+    std::uint16_t sport = 0;
+    // Exactly one of the two is used, per transport.
+    tcp::TcpSocket* tcp = nullptr;
+    sctp::SctpSocket* sctp = nullptr;
+    sctp::AssocId assoc = 0;
+    bool connected = false;
+    bool connecting = false;
+    std::deque<Request> pending;      // not yet (fully) sent
+    std::deque<Request> outstanding;  // sent, awaiting response
+    std::vector<std::byte> frame;     // TCP: serialized front request
+    std::size_t write_off = 0;        // TCP: bytes of `frame` accepted
+    std::vector<std::byte> inbuf;     // TCP: response reassembly
+    unsigned attempts = 0;            // consecutive failed connects
+    std::unique_ptr<sim::Timer> reconnect_timer;
+  };
+
+  struct TcpConn {  // backend side, one per accepted socket
+    std::vector<std::byte> inbuf;
+    std::vector<std::byte> outbuf;
+  };
+
+  struct Backend {
+    unsigned host = 0;
+    tcp::TcpStack* tstack = nullptr;
+    tcp::TcpSocket* listener = nullptr;
+    sctp::SctpStack* sstack = nullptr;
+    sctp::SctpSocket* ssock = nullptr;
+    std::unique_ptr<net::HealthResponder> health;
+    std::unordered_map<tcp::TcpSocket*, TcpConn> conns;
+    // SCTP responses deferred by a full send buffer.
+    std::deque<std::pair<sctp::AssocId, std::uint64_t>> outbox;
+    std::uint64_t served = 0;
+  };
+
+  bool tcp_mode() const {
+    return params_.transport == ServiceTransport::kTcp;
+  }
+
+  void build_fleet_();
+  void issue_next_();
+  void connect_client_(Client& c);
+  void pump_client_(Client& c);
+  void drain_client_notifications_(Client& c);
+  void read_client_tcp_(Client& c);
+  void fail_client_(Client& c);
+  void complete_(Client& c, std::uint64_t req_id);
+  void accept_loop_(Backend& b);
+  void pump_conn_(Backend& b, tcp::TcpSocket* s);
+  void flush_conn_(Backend& b, tcp::TcpSocket* s);
+  void serve_request_(Backend& b, tcp::TcpSocket* conn, sctp::AssocId assoc,
+                      std::uint16_t sid, std::uint64_t req_id);
+  void pump_backend_sctp_(Backend& b);
+  void maybe_finish_();
+  void finish_at_deadline_();
+
+  ServiceParams params_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Cluster> cluster_;
+  std::unique_ptr<net::LoadBalancer> lb_;
+  std::vector<net::IpAddr> vips_;
+  unsigned lb_host_ = 0;
+  unsigned backend_host_base_ = 0;
+  unsigned client_host_count_ = 0;
+
+  std::vector<std::unique_ptr<tcp::TcpStack>> tcp_stacks_;    // per host id
+  std::vector<std::unique_ptr<sctp::SctpStack>> sctp_stacks_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  core::FailureBus bus_;
+
+  sim::Rng rng_workload_;
+  std::unique_ptr<sim::Timer> arrival_timer_;
+  std::unique_ptr<sim::Timer> deadline_timer_;
+  double mean_gap_ns_ = 0;
+  std::uint16_t next_retry_sport_ = kRetryPortBase;
+
+  bool done_ = false;
+  sim::SimTime first_arrival_ = 0;
+  sim::SimTime last_event_ = 0;
+  std::uint64_t next_req_id_ = 1;
+  ServiceResult res_;
+  std::vector<double> samples_ms_;
+  std::vector<std::byte> scratch_;
+  std::vector<std::byte> zero_body_;
+};
+
+ServiceEngine::ServiceEngine(ServiceParams p)
+    : params_(p),
+      bus_(static_cast<int>(p.backends) + 1),
+      rng_workload_(0) {
+  sim::Rng root(params_.seed);
+  rng_workload_ = root.fork(kWorkloadStream);
+
+  net::ClusterParams cp;
+  cp.link.loss = 0.0;
+  if (params_.topology == ServiceTopology::kFatTree) {
+    const unsigned k = params_.fattree_k;
+    const unsigned total = k * k * k / 4;
+    if (params_.backends + 1 >= total) {
+      throw std::invalid_argument("service: fat-tree too small for farm");
+    }
+    cp.topology = net::TopologyKind::kFatTree;
+    cp.fattree.k = k;
+    cp.hosts = total;
+    cp.interfaces = 1;
+    lb_host_ = total - 1;
+    backend_host_base_ = total - 1 - params_.backends;
+    client_host_count_ = backend_host_base_;
+    vips_.push_back(net::make_addr(9, 0));  // any unused subnet octet
+  } else {
+    cp.topology = net::TopologyKind::kFlat;
+    cp.interfaces = std::max(1u, params_.interfaces);
+    cp.hosts = params_.client_hosts + params_.backends + 1;
+    lb_host_ = cp.hosts - 1;
+    backend_host_base_ = params_.client_hosts;
+    client_host_count_ = params_.client_hosts;
+    for (unsigned s = 0; s < cp.interfaces; ++s) {
+      vips_.push_back(net::make_addr(s, cp.hosts + 7));
+    }
+  }
+  cluster_ = std::make_unique<net::Cluster>(sim_, root, cp);
+  for (const net::IpAddr vip : vips_) {
+    cluster_->add_service_route(vip, lb_host_);
+  }
+
+  lb_ = std::make_unique<net::LoadBalancer>(cluster_->host(lb_host_),
+                                            params_.lb);
+  for (const net::IpAddr vip : vips_) lb_->add_vip(vip);
+  lb_->set_backend_down_callback([this](int b) {
+    ++res_.backend_down_events;
+    // The operator (subscriber 0) hears every ejection, exactly as ranks
+    // hear a dead peer; FailureBus dedups repeats per subscriber.
+    bus_.announce_to(0, b);
+  });
+  lb_->set_backend_up_callback([this](int) { ++res_.backend_up_events; });
+
+  build_fleet_();
+
+  mean_gap_ns_ = 1e9 / params_.arrival_rate_hz;
+  arrival_timer_ =
+      std::make_unique<sim::Timer>(sim_, [this] { issue_next_(); });
+  deadline_timer_ =
+      std::make_unique<sim::Timer>(sim_, [this] { finish_at_deadline_(); });
+
+  scratch_.resize(params_.size_max + 4096);
+  zero_body_.resize(params_.size_max);
+}
+
+void ServiceEngine::build_fleet_() {
+  sim::Rng root(params_.seed);
+  const unsigned hosts = cluster_->host_count();
+  tcp_stacks_.resize(hosts);
+  sctp_stacks_.resize(hosts);
+  auto stack_rng = [&](unsigned h) { return root.fork(kStackStreamBase + h); };
+
+  // Backends: transport stack + VIP-bound service socket + probe echo.
+  for (unsigned b = 0; b < params_.backends; ++b) {
+    auto be = std::make_unique<Backend>();
+    Backend& bk = *be;
+    bk.host = backend_host_base_ + b;
+    net::Host& host = cluster_->host(bk.host);
+    bk.health = std::make_unique<net::HealthResponder>(host);
+    if (tcp_mode()) {
+      tcp_stacks_[bk.host] = std::make_unique<tcp::TcpStack>(
+          host, params_.tcp, stack_rng(bk.host));
+      bk.tstack = tcp_stacks_[bk.host].get();
+      bk.listener = bk.tstack->create_socket();
+      bk.listener->bind(vips_[0], kServicePort);
+      bk.listener->listen();
+      bk.listener->set_activity_callback([this, &bk] { accept_loop_(bk); });
+    } else {
+      sctp_stacks_[bk.host] = std::make_unique<sctp::SctpStack>(
+          host, params_.sctp, stack_rng(bk.host));
+      bk.sstack = sctp_stacks_[bk.host].get();
+      bk.ssock = bk.sstack->create_socket(kServicePort);
+      bk.ssock->set_local_addrs(vips_);
+      bk.ssock->listen(true);
+      bk.ssock->set_activity_callback(
+          [this, &bk] { pump_backend_sctp_(bk); });
+    }
+    std::vector<net::IpAddr> real;
+    for (unsigned i = 0; i < cluster_->interface_count(); ++i) {
+      real.push_back(cluster_->addr(bk.host, i));
+    }
+    lb_->add_backend(std::move(real));
+    backends_.push_back(std::move(be));
+  }
+
+  // Clients: one socket/association per simulated client, fleet-unique
+  // source ports so the balancer's ports-only tracking key never collides.
+  for (unsigned h = 0; h < client_host_count_; ++h) {
+    net::Host& host = cluster_->host(h);
+    if (tcp_mode()) {
+      tcp_stacks_[h] = std::make_unique<tcp::TcpStack>(host, params_.tcp,
+                                                       stack_rng(h));
+    } else {
+      sctp_stacks_[h] = std::make_unique<sctp::SctpStack>(host, params_.sctp,
+                                                          stack_rng(h));
+    }
+    for (unsigned j = 0; j < params_.clients_per_host; ++j) {
+      auto cl = std::make_unique<Client>();
+      Client& c = *cl;
+      c.host = h;
+      c.sport = static_cast<std::uint16_t>(kClientPortBase +
+                                           clients_.size());
+      c.reconnect_timer = std::make_unique<sim::Timer>(
+          sim_, [this, &c] { connect_client_(c); });
+      clients_.push_back(std::move(cl));
+    }
+  }
+  if (clients_.size() > kRetryPortBase - kClientPortBase) {
+    throw std::invalid_argument("service: client port space exhausted");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+void ServiceEngine::connect_client_(Client& c) {
+  c.connecting = true;
+  c.connected = false;
+  if (tcp_mode()) {
+    // A fresh socket per attempt: TCP connections are not resumable. The
+    // first attempt uses the client's stable port (so the balancer steers
+    // it like any flow); retries draw fleet-unique ports, which re-rolls
+    // the Maglev choice away from a dead backend.
+    tcp::TcpSocket* s = tcp_stacks_[c.host]->create_socket();
+    c.tcp = s;
+    const std::uint16_t port =
+        c.attempts == 0 ? c.sport
+                        : static_cast<std::uint16_t>(next_retry_sport_++);
+    s->bind(port);
+    s->set_activity_callback([this, &c] {
+      if (c.tcp != nullptr && c.tcp->connected() && !c.connected) {
+        c.connected = true;
+        c.connecting = false;
+        c.attempts = 0;
+      }
+      read_client_tcp_(c);
+      pump_client_(c);
+    });
+    s->set_error_callback([this, &c](const char*) { fail_client_(c); });
+    s->connect(vips_[0], kServicePort);
+  } else {
+    if (c.sctp == nullptr) {
+      c.sctp = sctp_stacks_[c.host]->create_socket(c.sport);
+      c.sctp->set_activity_callback([this, &c] {
+        drain_client_notifications_(c);
+        pump_client_(c);
+      });
+    }
+    std::vector<net::IpAddr> alternates(vips_.begin() + 1, vips_.end());
+    c.assoc = c.sctp->connect(vips_[0], kServicePort, alternates);
+  }
+}
+
+void ServiceEngine::drain_client_notifications_(Client& c) {
+  while (auto n = c.sctp->poll_notification()) {
+    switch (n->type) {
+      case sctp::NotificationType::kCommUp:
+        if (n->assoc == c.assoc) {
+          c.connected = true;
+          c.connecting = false;
+          c.attempts = 0;
+        }
+        break;
+      case sctp::NotificationType::kCommLost:
+        if (n->assoc == c.assoc) fail_client_(c);
+        break;
+      case sctp::NotificationType::kPathFailover:
+        ++res_.failovers;
+        break;
+      default:
+        break;
+    }
+  }
+  // Deliverable responses, any association (only ours exists).
+  sctp::RecvInfo info;
+  for (;;) {
+    const std::ptrdiff_t n = c.sctp->recvmsg(scratch_, info);
+    if (n <= 0) break;
+    net::ByteReader r(std::span<const std::byte>(scratch_.data(),
+                                                 static_cast<std::size_t>(n)));
+    try {
+      const std::uint32_t magic = r.u32();
+      const std::uint64_t req_id = r.u64();
+      if (magic == kRespMagic) complete_(c, req_id);
+    } catch (const net::DecodeError&) {
+    }
+  }
+}
+
+void ServiceEngine::read_client_tcp_(Client& c) {
+  if (c.tcp == nullptr || c.tcp->failed()) return;
+  std::byte tmp[4096];
+  for (;;) {
+    const std::ptrdiff_t n = c.tcp->recv(tmp);
+    if (n <= 0) break;
+    c.inbuf.insert(c.inbuf.end(), tmp, tmp + n);
+  }
+  Frame f;
+  while (take_frame(c.inbuf, f)) {
+    if (f.magic == kRespMagic) complete_(c, f.req_id);
+  }
+}
+
+void ServiceEngine::pump_client_(Client& c) {
+  if (!c.connected) {
+    if (!c.connecting && !c.pending.empty() && !c.reconnect_timer->armed()) {
+      connect_client_(c);
+    }
+    return;
+  }
+  if (tcp_mode()) {
+    while (!c.pending.empty()) {
+      Request& req = c.pending.front();
+      if (c.frame.empty()) {
+        put_frame(c.frame, kReqMagic, req.id, req.size);
+        c.write_off = 0;
+      }
+      const std::span<const std::byte> rest(c.frame.data() + c.write_off,
+                                            c.frame.size() - c.write_off);
+      const std::ptrdiff_t n = c.tcp->send(rest);
+      if (n <= 0) return;  // buffer full or failing; retry on activity
+      c.write_off += static_cast<std::size_t>(n);
+      if (c.write_off < c.frame.size()) return;
+      c.frame.clear();
+      c.outstanding.push_back(req);
+      c.pending.pop_front();
+    }
+  } else {
+    while (!c.pending.empty()) {
+      Request& req = c.pending.front();
+      std::vector<std::byte> head;
+      net::ByteWriter w(head);
+      w.u32(kReqMagic);
+      w.u64(req.id);
+      w.u32(req.size);
+      const std::uint16_t sid = static_cast<std::uint16_t>(
+          req.id % params_.sctp.num_ostreams);
+      const std::ptrdiff_t n = c.sctp->sendmsg_gather(
+          c.assoc, sid, std::span<const std::byte>(head),
+          std::span<const std::byte>(zero_body_.data(), req.size));
+      if (n <= 0) return;  // flow control (kAgain) or dying association
+      c.outstanding.push_back(req);
+      c.pending.pop_front();
+    }
+  }
+}
+
+void ServiceEngine::fail_client_(Client& c) {
+  c.connected = false;
+  c.connecting = false;
+  if (tcp_mode() && c.tcp != nullptr) {
+    // Silence the dead socket (it stays owned by the stack); a late timer
+    // on it must not tear down the replacement connection.
+    c.tcp->set_activity_callback({});
+    c.tcp->set_error_callback({});
+    c.tcp = nullptr;
+  }
+  // Everything unanswered goes back to the front of the queue, original
+  // issue timestamps intact: the retry cost lands in the latency tail.
+  std::size_t requeued = c.outstanding.size();
+  while (!c.outstanding.empty()) {
+    c.pending.push_front(c.outstanding.back());
+    c.outstanding.pop_back();
+  }
+  if (!c.frame.empty()) {
+    c.frame.clear();  // half-written request restarts on the new socket
+    c.write_off = 0;
+  }
+  res_.retried += requeued;
+  if (c.pending.empty()) return;  // idle client reconnects lazily
+  ++res_.reconnects;
+  ++c.attempts;
+  const sim::SimTime shift = std::min<unsigned>(c.attempts - 1, 8);
+  const sim::SimTime backoff =
+      std::min(params_.reconnect_backoff << shift,
+               params_.reconnect_backoff_max);
+  c.reconnect_timer->arm(backoff);
+}
+
+void ServiceEngine::complete_(Client& c, std::uint64_t req_id) {
+  for (auto it = c.outstanding.begin(); it != c.outstanding.end(); ++it) {
+    if (it->id != req_id) continue;
+    const sim::SimTime now = sim_.now();
+    samples_ms_.push_back(static_cast<double>(now - it->issue_time) / 1e6);
+    ++res_.completed;
+    last_event_ = now;
+    // Order-sensitive FNV-1a fold over (req id, completion instant).
+    const std::uint64_t words[2] = {req_id, static_cast<std::uint64_t>(now)};
+    for (const std::uint64_t wd : words) {
+      for (int i = 0; i < 8; ++i) {
+        res_.digest ^= (wd >> (8 * i)) & 0xFF;
+        res_.digest *= 1099511628211ull;
+      }
+    }
+    c.outstanding.erase(it);
+    maybe_finish_();
+    return;
+  }
+  ++res_.duplicate_responses;  // answered twice across a retry
+}
+
+// ---------------------------------------------------------------------------
+// Backend side
+// ---------------------------------------------------------------------------
+
+void ServiceEngine::accept_loop_(Backend& b) {
+  while (tcp::TcpSocket* child = b.listener->accept()) {
+    b.conns.emplace(child, TcpConn{});
+    child->set_activity_callback([this, &b, child] {
+      pump_conn_(b, child);
+      flush_conn_(b, child);
+    });
+    child->set_error_callback([this, &b, child](const char*) {
+      b.conns.erase(child);
+    });
+    pump_conn_(b, child);
+  }
+}
+
+void ServiceEngine::pump_conn_(Backend& b, tcp::TcpSocket* s) {
+  auto it = b.conns.find(s);
+  if (it == b.conns.end()) return;
+  TcpConn& conn = it->second;
+  std::byte tmp[4096];
+  for (;;) {
+    const std::ptrdiff_t n = s->recv(tmp);
+    if (n <= 0) break;
+    conn.inbuf.insert(conn.inbuf.end(), tmp, tmp + n);
+  }
+  Frame f;
+  while (take_frame(conn.inbuf, f)) {
+    if (f.magic != kReqMagic) continue;
+    const std::uint64_t req_id = f.req_id;
+    sim_.schedule_after(params_.service_time, [this, &b, s, req_id] {
+      serve_request_(b, s, 0, 0, req_id);
+    });
+  }
+}
+
+void ServiceEngine::flush_conn_(Backend& b, tcp::TcpSocket* s) {
+  auto it = b.conns.find(s);
+  if (it == b.conns.end()) return;
+  TcpConn& conn = it->second;
+  while (!conn.outbuf.empty()) {
+    const std::ptrdiff_t n = s->send(conn.outbuf);
+    if (n <= 0) return;
+    conn.outbuf.erase(conn.outbuf.begin(),
+                      conn.outbuf.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+}
+
+void ServiceEngine::serve_request_(Backend& b, tcp::TcpSocket* conn,
+                                   sctp::AssocId assoc, std::uint16_t sid,
+                                   std::uint64_t req_id) {
+  ++b.served;
+  if (tcp_mode()) {
+    auto it = b.conns.find(conn);
+    if (it == b.conns.end()) return;  // client reset while we computed
+    put_frame(it->second.outbuf, kRespMagic, req_id,
+              static_cast<std::uint32_t>(params_.response_size));
+    flush_conn_(b, conn);
+  } else {
+    std::vector<std::byte> head;
+    net::ByteWriter w(head);
+    w.u32(kRespMagic);
+    w.u64(req_id);
+    w.u32(static_cast<std::uint32_t>(params_.response_size));
+    const std::ptrdiff_t n = b.ssock->sendmsg_gather(
+        assoc, sid, std::span<const std::byte>(head),
+        std::span<const std::byte>(zero_body_.data(), params_.response_size));
+    if (n == sctp::Association::kAgain) {
+      b.outbox.emplace_back(assoc, req_id);  // retry when sndbuf drains
+    }
+    // kError: the association died; the client retries elsewhere.
+  }
+}
+
+void ServiceEngine::pump_backend_sctp_(Backend& b) {
+  while (auto n = b.ssock->poll_notification()) {
+    (void)n;  // backend does not act on comm events; clients drive retry
+  }
+  sctp::RecvInfo info;
+  for (;;) {
+    const std::ptrdiff_t n = b.ssock->recvmsg(scratch_, info);
+    if (n <= 0) break;
+    try {
+      net::ByteReader r(std::span<const std::byte>(
+          scratch_.data(), static_cast<std::size_t>(n)));
+      const std::uint32_t magic = r.u32();
+      const std::uint64_t req_id = r.u64();
+      if (magic != kReqMagic) continue;
+      const sctp::AssocId assoc = info.assoc;
+      const std::uint16_t sid = info.sid;
+      sim_.schedule_after(params_.service_time,
+                          [this, &b, assoc, sid, req_id] {
+                            serve_request_(b, nullptr, assoc, sid, req_id);
+                          });
+    } catch (const net::DecodeError&) {
+    }
+  }
+  // Flow-controlled responses: retry in arrival order.
+  while (!b.outbox.empty()) {
+    auto [assoc, req_id] = b.outbox.front();
+    std::vector<std::byte> head;
+    net::ByteWriter w(head);
+    w.u32(kRespMagic);
+    w.u64(req_id);
+    w.u32(static_cast<std::uint32_t>(params_.response_size));
+    const std::ptrdiff_t n = b.ssock->sendmsg_gather(
+        assoc, 0, std::span<const std::byte>(head),
+        std::span<const std::byte>(zero_body_.data(), params_.response_size));
+    if (n == sctp::Association::kAgain) break;
+    b.outbox.pop_front();  // sent, or dead association (drop)
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arrivals and termination
+// ---------------------------------------------------------------------------
+
+void ServiceEngine::issue_next_() {
+  if (res_.issued >= params_.requests) return;
+  Client& c = *clients_[rng_workload_.uniform_int(clients_.size())];
+  Request req;
+  req.id = next_req_id_++;
+  const double raw = rng_workload_.lognormal(params_.size_mu,
+                                             params_.size_sigma);
+  req.size = static_cast<std::uint32_t>(std::min<double>(
+      static_cast<double>(params_.size_max), std::max(32.0, raw)));
+  req.issue_time = sim_.now();
+  if (res_.issued == 0) first_arrival_ = req.issue_time;
+  ++res_.issued;
+  c.pending.push_back(req);
+  pump_client_(c);
+  if (res_.issued < params_.requests) {
+    arrival_timer_->arm(static_cast<sim::SimTime>(
+        rng_workload_.exponential(mean_gap_ns_)));
+  }
+}
+
+void ServiceEngine::maybe_finish_() {
+  if (done_) return;
+  if (res_.issued == params_.requests &&
+      res_.completed + res_.abandoned == res_.issued) {
+    done_ = true;
+  }
+}
+
+void ServiceEngine::finish_at_deadline_() {
+  // Whatever has not completed is lost: the open-loop fleet's users gave
+  // up. This is the "request loss" the chaos oracles assert on.
+  res_.abandoned = res_.issued - res_.completed;
+  done_ = true;
+}
+
+ServiceResult ServiceEngine::run() {
+  if (params_.lb_probes) lb_->start_probes();
+  arrival_timer_->arm(0);
+  deadline_timer_->arm(params_.deadline);
+  while (!done_) {
+    if (!sim_.step()) break;  // queue drained (all timers stopped): done
+  }
+  lb_->stop();
+
+  for (int b = bus_.poll(0); b >= 0; b = bus_.poll(0)) {
+    res_.failure_bus_log.push_back(b);
+  }
+  const TailSummary t = tail_summary(samples_ms_);
+  res_.p50_ms = t.p50;
+  res_.p99_ms = t.p99;
+  res_.p999_ms = t.p999;
+  res_.mean_ms = t.mean;
+  res_.max_ms = t.max;
+  res_.runtime_seconds =
+      static_cast<double>(last_event_ - first_arrival_) / 1e9;
+  res_.lb = lb_->stats();
+  return res_;
+}
+
+// ===========================================================================
+// ServiceSim facade
+// ===========================================================================
+
+ServiceSim::ServiceSim(ServiceParams params)
+    : engine_(std::make_unique<ServiceEngine>(std::move(params))) {}
+ServiceSim::~ServiceSim() = default;
+
+void ServiceSim::at(sim::SimTime t, std::function<void()> fn) {
+  engine_->at(t, std::move(fn));
+}
+net::LoadBalancer& ServiceSim::lb() { return engine_->lb(); }
+net::Cluster& ServiceSim::cluster() { return engine_->cluster(); }
+unsigned ServiceSim::backend_host(unsigned b) const {
+  return engine_->backend_host(b);
+}
+unsigned ServiceSim::lb_host() const { return engine_->lb_host(); }
+ServiceResult ServiceSim::run() { return engine_->run(); }
+
+ServiceResult run_service(const ServiceParams& params,
+                          const std::function<void(ServiceSim&)>& pre_run) {
+  ServiceSim sim(params);
+  if (pre_run) pre_run(sim);
+  return sim.run();
+}
+
+}  // namespace sctpmpi::apps

@@ -1,0 +1,128 @@
+// Open-loop service workload against net::LoadBalancer: a fleet of
+// simulated clients issues Poisson-arrival, log-normal-sized requests to a
+// service VIP; a Maglev balancer steers them to a backend farm; backends
+// answer the clients directly as the VIP (DSR). The paper's loss-resilience
+// story retold at service scale: the same workload runs over TCP
+// (connection per client, reconnect on failure) and SCTP (association per
+// client, multihomed failover), and the result reports the response-tail
+// difference plus request loss under backend churn and path blackout.
+//
+// The arrival process is OPEN-LOOP: request issue times come from a seeded
+// Poisson process that does not slow down when the service degrades — the
+// honest way to measure tail latency (closed loops self-throttle and hide
+// queueing collapse). Requests that cannot complete are retried on a fresh
+// connection/association with the ORIGINAL issue timestamp, so retry cost
+// lands in the latency distribution rather than vanishing.
+//
+// Everything is deterministic from ServiceParams::seed: arrivals, sizes,
+// client choice, and every protocol timer. A rerun reproduces the
+// completion digest byte-for-byte; the chaos tier asserts exactly that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/cluster.hpp"
+#include "net/load_balancer.hpp"
+#include "sctp/config.hpp"
+#include "sim/time.hpp"
+#include "tcp/config.hpp"
+
+namespace sctpmpi::apps {
+
+enum class ServiceTransport { kTcp, kSctp };
+enum class ServiceTopology {
+  kFlatMultihomed,  // K-subnet flat cluster, one VIP per subnet (failover)
+  kFatTree,         // k-ary fat-tree, single VIP (scale/tails)
+};
+
+struct ServiceParams {
+  ServiceTransport transport = ServiceTransport::kTcp;
+  ServiceTopology topology = ServiceTopology::kFlatMultihomed;
+  std::uint64_t seed = 1;
+
+  unsigned backends = 4;
+  unsigned client_hosts = 4;
+  unsigned clients_per_host = 16;  // sockets/associations per client host
+  unsigned interfaces = 2;         // flat-multihomed subnets (>= 1)
+  unsigned fattree_k = 4;          // fat-tree arity (hosts = k^3/4)
+
+  std::uint64_t requests = 2000;   // fleet-wide request budget
+  double arrival_rate_hz = 5000;   // fleet-level Poisson arrival rate
+  // Log-normal body sizes exp(N(mu, sigma)), clamped to [32, size_max]:
+  // median ~e^mu bytes with a heavy tail.
+  double size_mu = 6.5;   // ~665 B median
+  double size_sigma = 1.0;
+  std::size_t size_max = 8 * 1024;
+  std::size_t response_size = 128;
+  /// Simulated backend compute per request, before the response.
+  sim::SimTime service_time = 20 * sim::kMicrosecond;
+
+  /// Hard stop: unfinished requests are abandoned (counted as lost) here.
+  sim::SimTime deadline = 60 * sim::kSecond;
+  /// Client reconnect backoff after a connection/association failure.
+  sim::SimTime reconnect_backoff = 100 * sim::kMillisecond;
+  sim::SimTime reconnect_backoff_max = 1600 * sim::kMillisecond;
+
+  tcp::TcpConfig tcp;
+  sctp::SctpConfig sctp;
+  net::LoadBalancerParams lb;
+  bool lb_probes = true;
+};
+
+struct ServiceResult {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t retried = 0;    // re-issued after a connection failure
+  std::uint64_t abandoned = 0;  // unfinished at the deadline (= request loss)
+  std::uint64_t reconnects = 0;
+  std::uint64_t failovers = 0;  // SCTP path-failover notifications
+  std::uint64_t duplicate_responses = 0;  // at-least-once retry artifacts
+  std::uint64_t backend_down_events = 0;
+  std::uint64_t backend_up_events = 0;
+  /// Ejections announced through core::FailureBus, in announcement order.
+  std::vector<int> failure_bus_log;
+
+  // Response-time distribution (sim-time, milliseconds), completions only.
+  double p50_ms = 0, p99_ms = 0, p999_ms = 0, mean_ms = 0, max_ms = 0;
+  double runtime_seconds = 0;  // sim-time from first arrival to quiescence
+  /// Order-sensitive FNV-1a over every completion (req id, sim time):
+  /// equal digests = identical runs.
+  std::uint64_t digest = 0;
+
+  net::LoadBalancerStats lb;
+};
+
+class ServiceEngine;  // internal
+
+/// Builds the cluster, balancer and fleet; lets chaos schedules hook in;
+/// then runs to quiescence or the deadline.
+class ServiceSim {
+ public:
+  explicit ServiceSim(ServiceParams params);
+  ~ServiceSim();
+
+  /// Schedules a chaos action (drain, weight change, blackout...) at
+  /// absolute sim-time `t`. Call before run().
+  void at(sim::SimTime t, std::function<void()> fn);
+
+  net::LoadBalancer& lb();
+  net::Cluster& cluster();
+  /// Host id carrying backend `b` (for fault injection on its links).
+  unsigned backend_host(unsigned b) const;
+  unsigned lb_host() const;
+
+  ServiceResult run();
+
+ private:
+  std::unique_ptr<ServiceEngine> engine_;
+};
+
+/// One-call wrapper: construct, apply `pre_run` (chaos hooks), run.
+ServiceResult run_service(
+    const ServiceParams& params,
+    const std::function<void(ServiceSim&)>& pre_run = {});
+
+}  // namespace sctpmpi::apps

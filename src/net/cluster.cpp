@@ -271,6 +271,18 @@ void Cluster::build_fattree_(sim::Rng& rng) {
   }
 }
 
+void Cluster::add_service_route(IpAddr vip, unsigned host) {
+  const Host& h = *hosts_.at(host);
+  for (auto& sw : switches_) {
+    for (std::size_t i = 0; i < h.interface_count(); ++i) {
+      if (Link* out = sw->route_for(h.addr(i))) {
+        sw->add_route(vip, out);
+        break;
+      }
+    }
+  }
+}
+
 void Cluster::set_loss(double p) {
   // Per-path semantics: loss lives on the host uplinks only (see the
   // builders); tier links never drop randomly.

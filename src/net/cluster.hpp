@@ -87,6 +87,16 @@ class Cluster {
   /// crosses (single shard, or a placement with no cut edges).
   sim::SimTime cross_shard_lookahead() const { return lookahead_; }
 
+  /// Aliases `vip` onto the routes already serving `host`: every switch
+  /// holding an exact route toward one of the host's interface addresses
+  /// gets the same egress registered for the VIP. In the flat topology the
+  /// VIP should share a subnet octet with one of the host's interfaces so
+  /// Host::route_ and ECMP-free switches steer it; in the fat-tree the
+  /// copied routes cover the downward direction at every tier while ECMP
+  /// carries VIP-bound packets upward unchanged. Call after construction,
+  /// before traffic.
+  void add_service_route(IpAddr vip, unsigned host);
+
   /// Reconfigures the Dummynet loss probability on every host uplink.
   void set_loss(double p);
   /// Reconfigures loss on every link of one subnet only (e.g. to fail a

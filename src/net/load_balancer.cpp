@@ -1,0 +1,325 @@
+#include "net/load_balancer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/bytes.hpp"
+
+namespace sctpmpi::net {
+
+namespace {
+
+// Probe wire format (16 bytes): magic, backend id, sequence.
+Buffer encode_probe(std::uint32_t magic, std::uint32_t id, std::uint64_t seq) {
+  std::vector<std::byte> out;
+  out.reserve(16);
+  ByteWriter w(out);
+  w.u32(magic);
+  w.u32(id);
+  w.u64(seq);
+  return Buffer(std::move(out));
+}
+
+}  // namespace
+
+LoadBalancer::LoadBalancer(Host& host, LoadBalancerParams params)
+    : host_(host), params_(params), maglev_(params.maglev_size) {
+  host_.register_protocol(IpProto::kTcp, this);
+  host_.register_protocol(IpProto::kSctp, this);
+  host_.register_protocol(IpProto::kUdp, this);
+  sweep_timer_ = std::make_unique<sim::Timer>(host_.sim(), [this] {
+    sweep_track_();
+    sweep_timer_->arm(params_.track_sweep_period);
+  });
+}
+
+LoadBalancer::~LoadBalancer() { stop(); }
+
+void LoadBalancer::add_vip(IpAddr vip) { vips_.push_back(vip); }
+
+int LoadBalancer::add_backend(std::vector<IpAddr> addrs, double weight) {
+  const int id = static_cast<int>(backends_.size());
+  auto b = std::make_unique<Backend>();
+  b->addrs = std::move(addrs);
+  b->weight = weight;
+  b->probe_timer = std::make_unique<sim::Timer>(
+      host_.sim(), [this, id] { send_probe_(id); });
+  b->timeout_timer = std::make_unique<sim::Timer>(
+      host_.sim(), [this, id] { on_probe_timeout_(id); });
+  backends_.push_back(std::move(b));
+  rebuild_();
+  return id;
+}
+
+void LoadBalancer::drain_backend(int id) {
+  Backend& b = *backends_.at(static_cast<std::size_t>(id));
+  if (b.state != BackendState::kUp) return;
+  b.state = BackendState::kDraining;
+  rebuild_();
+}
+
+void LoadBalancer::restore_backend(int id) {
+  Backend& b = *backends_.at(static_cast<std::size_t>(id));
+  if (b.state == BackendState::kUp) return;
+  b.state = BackendState::kUp;
+  b.fails = 0;
+  b.oks = 0;
+  b.backoff = 0;
+  rebuild_();
+}
+
+void LoadBalancer::remove_backend(int id) {
+  Backend& b = *backends_.at(static_cast<std::size_t>(id));
+  b.state = BackendState::kDown;
+  b.probe_timer->cancel();
+  b.timeout_timer->cancel();
+  track_.erase_if([id](std::uint64_t, const TrackEntry& e) {
+    return e.backend == id;
+  });
+  rebuild_();
+}
+
+void LoadBalancer::set_backend_weight(int id, double weight) {
+  backends_.at(static_cast<std::size_t>(id))->weight = weight;
+  rebuild_();
+}
+
+void LoadBalancer::start_probes(sim::SimTime initial_delay) {
+  const std::size_t n = backends_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Deterministic stagger: spread the fleet's probes across one period.
+    backends_[i]->probe_timer->arm(
+        initial_delay +
+        static_cast<sim::SimTime>(
+            (static_cast<std::uint64_t>(params_.probe_period) * i) /
+            std::max<std::size_t>(n, 1)));
+  }
+  sweep_timer_->arm(params_.track_sweep_period);
+}
+
+void LoadBalancer::stop() {
+  if (sweep_timer_) sweep_timer_->cancel();
+  for (auto& b : backends_) {
+    b->probe_timer->cancel();
+    b->timeout_timer->cancel();
+  }
+}
+
+BackendState LoadBalancer::backend_state(int id) const {
+  return backends_.at(static_cast<std::size_t>(id))->state;
+}
+
+std::size_t LoadBalancer::tracked_flows(int id) const {
+  std::size_t n = 0;
+  track_.for_each([&](std::uint64_t, const TrackEntry& e) {
+    if (e.backend == id) ++n;
+  });
+  return n;
+}
+
+std::int32_t LoadBalancer::backend_of(std::uint16_t sport,
+                                      std::uint16_t dport) const {
+  const std::uint64_t key = track_key_(sport, dport);
+  if (key != 0) {
+    const TrackEntry e = track_.find(key, TrackEntry{});
+    if (e.backend >= 0 &&
+        backends_[static_cast<std::size_t>(e.backend)]->state !=
+            BackendState::kDown) {
+      return e.backend;
+    }
+  }
+  return maglev_.lookup(key);
+}
+
+void LoadBalancer::on_ip_packet(Packet&& pkt) {
+  if (pkt.proto == IpProto::kUdp) {
+    on_probe_ack_(pkt);
+    return;
+  }
+  if (!is_vip_(pkt.dst)) {
+    ++stats_.non_vip_drops;
+    return;
+  }
+  forward_(std::move(pkt));
+}
+
+bool LoadBalancer::is_vip_(IpAddr a) const {
+  return std::find(vips_.begin(), vips_.end(), a) != vips_.end();
+}
+
+void LoadBalancer::rebuild_() {
+  std::vector<MaglevBackend> mb;
+  mb.reserve(backends_.size());
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    const Backend& b = *backends_[i];
+    // Identity stays i+1 across rebuilds so each backend keeps its
+    // permutation — that is what makes disruption minimal. Draining and
+    // down backends stay in the vector (table values are backend ids) but
+    // claim nothing.
+    mb.push_back(MaglevBackend{static_cast<std::uint64_t>(i) + 1,
+                               b.state == BackendState::kUp ? b.weight : 0.0});
+  }
+  maglev_.build(mb);
+  ++stats_.table_rebuilds;
+}
+
+void LoadBalancer::forward_(Packet&& pkt) {
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  try {
+    // Both TCP segments and SCTP common headers open with sport, dport.
+    ByteReader r(pkt.payload.span());
+    sport = r.u16();
+    dport = r.u16();
+  } catch (const DecodeError&) {
+    ++stats_.malformed_drops;
+    return;
+  }
+  const std::uint64_t key = track_key_(sport, dport);
+  const sim::SimTime now = host_.sim().now();
+  std::int32_t chosen = -1;
+  if (key != 0) {
+    const TrackEntry e = track_.find(key, TrackEntry{});
+    if (e.backend >= 0 &&
+        backends_[static_cast<std::size_t>(e.backend)]->state !=
+            BackendState::kDown) {
+      chosen = e.backend;
+      ++stats_.tracked_hits;
+    }
+  }
+  if (chosen < 0) {
+    chosen = maglev_.lookup(key);
+    if (chosen < 0) {
+      ++stats_.no_backend_drops;
+      return;
+    }
+    ++stats_.maglev_assignments;
+  }
+  if (key != 0) track_.put(key, TrackEntry{chosen, now});
+
+  const Backend& b = *backends_[static_cast<std::size_t>(chosen)];
+  // DSR forwarding: rewrite the destination to the backend's real address
+  // on the VIP's subnet (multihomed backends keep per-path affinity), and
+  // let the backend answer the client as the VIP directly.
+  IpAddr target = b.addrs.front();
+  for (const IpAddr a : b.addrs) {
+    if (subnet_of(a) == subnet_of(pkt.dst)) {
+      target = a;
+      break;
+    }
+  }
+  pkt.dst = target;
+  ++stats_.forwarded;
+  host_.send_ip(std::move(pkt), host_.costs().syscall);
+}
+
+void LoadBalancer::send_probe_(int id) {
+  Backend& b = *backends_[static_cast<std::size_t>(id)];
+  ++b.probe_seq;
+  b.awaiting_ack = true;
+  ++stats_.probes_sent;
+  Packet probe;
+  // Rotate the probed address so one dead path cannot eject a multihomed
+  // backend: a miss on the failed path is followed by an ack on a live
+  // one, which resets the consecutive-miss counter.
+  probe.dst = b.addrs[static_cast<std::size_t>(
+      b.probe_seq % static_cast<std::uint64_t>(b.addrs.size()))];
+  probe.proto = IpProto::kUdp;
+  probe.payload = encode_probe(kHealthProbeMagic,
+                               static_cast<std::uint32_t>(id), b.probe_seq);
+  host_.send_ip(std::move(probe), host_.costs().syscall);
+  b.timeout_timer->arm(params_.probe_timeout);
+  b.probe_timer->arm(b.state == BackendState::kDown ? b.backoff
+                                                    : params_.probe_period);
+}
+
+void LoadBalancer::on_probe_timeout_(int id) {
+  Backend& b = *backends_[static_cast<std::size_t>(id)];
+  if (!b.awaiting_ack) return;
+  b.awaiting_ack = false;
+  b.oks = 0;
+  ++b.fails;
+  ++stats_.probe_timeouts;
+  if (b.state != BackendState::kDown) {
+    if (b.fails >= params_.probe_fail_threshold) {
+      b.state = BackendState::kDown;
+      b.backoff = params_.probe_backoff_initial;
+      ++stats_.ejections;
+      rebuild_();
+      b.probe_timer->arm(b.backoff);
+      if (on_backend_down_) on_backend_down_(id);
+    }
+  } else {
+    b.backoff = std::min(b.backoff * 2, params_.probe_backoff_max);
+    b.probe_timer->arm(b.backoff);
+  }
+}
+
+void LoadBalancer::on_probe_ack_(const Packet& pkt) {
+  std::uint32_t magic = 0;
+  std::uint32_t id = 0;
+  std::uint64_t seq = 0;
+  try {
+    ByteReader r(pkt.payload.span());
+    magic = r.u32();
+    id = r.u32();
+    seq = r.u64();
+  } catch (const DecodeError&) {
+    ++stats_.malformed_drops;
+    return;
+  }
+  if (magic != kHealthAckMagic || id >= backends_.size()) {
+    ++stats_.malformed_drops;
+    return;
+  }
+  Backend& b = *backends_[id];
+  if (!b.awaiting_ack || seq != b.probe_seq) return;  // stale ack
+  b.awaiting_ack = false;
+  b.timeout_timer->cancel();
+  b.fails = 0;
+  ++stats_.probes_acked;
+  if (b.state == BackendState::kDown) {
+    ++b.oks;
+    if (b.oks >= params_.probe_ok_threshold) {
+      b.state = BackendState::kUp;
+      b.oks = 0;
+      b.backoff = 0;
+      ++stats_.readmissions;
+      rebuild_();
+      b.probe_timer->arm(params_.probe_period);
+      if (on_backend_up_) on_backend_up_(static_cast<int>(id));
+    }
+  }
+}
+
+void LoadBalancer::sweep_track_() {
+  const sim::SimTime now = host_.sim().now();
+  const std::size_t before = track_.size();
+  track_.erase_if([&](std::uint64_t, const TrackEntry& e) {
+    return e.last_active + params_.track_idle_expiry < now;
+  });
+  stats_.entries_expired += before - track_.size();
+}
+
+void HealthResponder::on_ip_packet(Packet&& pkt) {
+  std::uint32_t magic = 0;
+  std::uint32_t id = 0;
+  std::uint64_t seq = 0;
+  try {
+    ByteReader r(pkt.payload.span());
+    magic = r.u32();
+    id = r.u32();
+    seq = r.u64();
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (magic != kHealthProbeMagic) return;
+  ++probes_answered_;
+  Packet ack;
+  ack.dst = pkt.src;  // straight back to the prober's ingress address
+  ack.proto = IpProto::kUdp;
+  ack.payload = encode_probe(kHealthAckMagic, id, seq);
+  host_.send_ip(std::move(ack), host_.costs().syscall);
+}
+
+}  // namespace sctpmpi::net

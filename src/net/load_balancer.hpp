@@ -1,0 +1,206 @@
+// Simulated L4 load balancer (Maglev-style, DSR return path).
+//
+// The balancer is a ProtocolHandler on its own Host: switches steer the
+// service VIPs toward it (Cluster::add_service_route), it picks a backend,
+// rewrites the packet's destination to the backend's real address and
+// re-emits it — the stand-in for encap/DSR forwarding. Backends answer the
+// client directly with the VIP as source (TcpSocket::bind(addr, port),
+// SctpSocket::set_local_addrs), so return traffic never transits the
+// balancer, exactly the asymmetry Maglev deployments rely on.
+//
+// Steering is two-level:
+//
+//  1. Connection tracking (FlatMap64, ports-only key): an established flow
+//     keeps its backend across Maglev table rebuilds. Entries expire after
+//     an idle window via a periodic sweep.
+//  2. Maglev consistent hashing over the healthy backend set for new flows.
+//
+// Both levels key on (source port, destination port) ONLY — never on
+// addresses. Every path of a multihomed SCTP association shares its port
+// pair, so the association's INIT, its data over the primary path, and its
+// failover traffic over the alternate path all steer to the same backend
+// with no SCTP-specific parsing. (TCP and SCTP both lay out sport/dport as
+// the first four wire bytes, so one parse serves both protos.)
+//
+// Control plane: periodic per-backend UDP health probes (rotating across
+// the backend's addresses, so a single dead path cannot eject a multihomed
+// backend) with consecutive-miss ejection, exponential probe backoff while
+// down, and consecutive-ack re-admission; graceful drain (tracked flows
+// finish, new flows steer away) and weighted re-admission for slow ramp-in.
+// Liveness transitions surface through callbacks — the app layer wires them
+// into core::FailureBus.
+//
+// Determinism: no RNG anywhere; probe schedules are staggered
+// deterministically, the tracking sweep computes order-insensitive results,
+// and Maglev rebuilds depend only on the backend set and states.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/flat_map.hpp"
+#include "net/host.hpp"
+#include "net/maglev.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace sctpmpi::net {
+
+inline constexpr std::uint32_t kHealthProbeMagic = 0x48504221;  // "HPB!"
+inline constexpr std::uint32_t kHealthAckMagic = 0x48504141;    // "HPAA"
+
+struct LoadBalancerParams {
+  std::uint32_t maglev_size = 65537;  // prime; see net/maglev.hpp
+  /// Tracking entries idle longer than this are swept.
+  sim::SimTime track_idle_expiry = 60 * sim::kSecond;
+  sim::SimTime track_sweep_period = 5 * sim::kSecond;
+  /// Health probing: one probe per backend per period while up, backing
+  /// off exponentially from `probe_backoff_initial` while down.
+  sim::SimTime probe_period = 100 * sim::kMillisecond;
+  sim::SimTime probe_timeout = 50 * sim::kMillisecond;
+  sim::SimTime probe_backoff_initial = 200 * sim::kMillisecond;
+  sim::SimTime probe_backoff_max = 2 * sim::kSecond;
+  unsigned probe_fail_threshold = 3;  // consecutive misses to eject
+  unsigned probe_ok_threshold = 2;    // consecutive acks to re-admit
+};
+
+enum class BackendState : std::uint8_t { kUp, kDraining, kDown };
+
+struct LoadBalancerStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t tracked_hits = 0;
+  std::uint64_t maglev_assignments = 0;
+  std::uint64_t no_backend_drops = 0;
+  std::uint64_t malformed_drops = 0;
+  std::uint64_t non_vip_drops = 0;
+  std::uint64_t table_rebuilds = 0;
+  std::uint64_t entries_expired = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_acked = 0;
+  std::uint64_t probe_timeouts = 0;
+  std::uint64_t ejections = 0;
+  std::uint64_t readmissions = 0;
+};
+
+class LoadBalancer : public ProtocolHandler {
+ public:
+  /// Registers itself on `host` for TCP, SCTP and UDP (the probe-ack
+  /// channel). The host should run no transport stacks of its own.
+  LoadBalancer(Host& host, LoadBalancerParams params = {});
+  ~LoadBalancer();
+
+  /// Declares `vip` as a service address; packets to any other destination
+  /// are dropped (and counted). Call before traffic.
+  void add_vip(IpAddr vip);
+
+  /// Adds a backend with its real per-path addresses (index = subnet
+  /// preference; forwarding picks the address matching the VIP's subnet,
+  /// falling back to addrs[0]). Returns the backend id. Rebuilds the table.
+  int add_backend(std::vector<IpAddr> addrs, double weight = 1.0);
+
+  /// Graceful scale-in: the backend leaves the Maglev table (no new flows)
+  /// but tracked flows keep steering to it until they go idle.
+  void drain_backend(int id);
+  /// Returns a drained (or ejected) backend to service.
+  void restore_backend(int id);
+  /// Hard scale-in: out of the table AND tracked entries dropped, so even
+  /// established flows re-steer. (Drain first for graceful removal.)
+  void remove_backend(int id);
+  /// Scale-out ramp: adjust the backend's Maglev weight (e.g. admit a new
+  /// backend at 0.25 and step to 1.0). Rebuilds the table.
+  void set_backend_weight(int id, double weight);
+
+  /// Starts the health-probe cycle for every backend, deterministically
+  /// staggered so probes never synchronize.
+  void start_probes(sim::SimTime initial_delay = 0);
+  /// Cancels all timers (probes and tracking sweep) so a simulation can
+  /// drain to quiescence.
+  void stop();
+
+  void set_backend_down_callback(std::function<void(int)> cb) {
+    on_backend_down_ = std::move(cb);
+  }
+  void set_backend_up_callback(std::function<void(int)> cb) {
+    on_backend_up_ = std::move(cb);
+  }
+
+  // ProtocolHandler: VIP traffic (TCP/SCTP) and probe acks (UDP).
+  void on_ip_packet(Packet&& pkt) override;
+
+  BackendState backend_state(int id) const;
+  std::size_t backend_count() const { return backends_.size(); }
+  /// Tracked-flow count currently steering to `id` (cold scan; drain
+  /// completion check).
+  std::size_t tracked_flows(int id) const;
+  std::size_t tracked_total() const { return track_.size(); }
+  /// Steering decision for a port pair without forwarding (test hook):
+  /// tracked backend if live, else the Maglev choice, else -1.
+  std::int32_t backend_of(std::uint16_t sport, std::uint16_t dport) const;
+  const LoadBalancerStats& stats() const { return stats_; }
+  const MaglevTable& maglev() const { return maglev_; }
+
+ private:
+  struct Backend {
+    std::vector<IpAddr> addrs;
+    double weight = 1.0;
+    BackendState state = BackendState::kUp;
+    unsigned fails = 0;        // consecutive probe misses
+    unsigned oks = 0;          // consecutive acks while down
+    std::uint64_t probe_seq = 0;
+    bool awaiting_ack = false;
+    sim::SimTime backoff = 0;  // current probe interval while down
+    std::unique_ptr<sim::Timer> probe_timer;    // fires: send next probe
+    std::unique_ptr<sim::Timer> timeout_timer;  // fires: probe missed
+  };
+
+  struct TrackEntry {
+    std::int32_t backend = -1;
+    sim::SimTime last_active = 0;
+  };
+
+  static std::uint64_t track_key_(std::uint16_t sport, std::uint16_t dport) {
+    // Ports only — the SCTP-affinity invariant. Never zero for real flows
+    // (both sides bind nonzero ports), which FlatMap64 requires.
+    return (static_cast<std::uint64_t>(sport) << 16) | dport;
+  }
+
+  bool is_vip_(IpAddr a) const;
+  void rebuild_();
+  void forward_(Packet&& pkt);
+  void send_probe_(int id);
+  void on_probe_timeout_(int id);
+  void on_probe_ack_(const Packet& pkt);
+  void sweep_track_();
+
+  Host& host_;
+  LoadBalancerParams params_;
+  std::vector<IpAddr> vips_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  MaglevTable maglev_;
+  FlatMap64<TrackEntry> track_;
+  std::unique_ptr<sim::Timer> sweep_timer_;
+  std::function<void(int)> on_backend_down_;
+  std::function<void(int)> on_backend_up_;
+  LoadBalancerStats stats_;
+};
+
+/// Backend-side probe echo: registered for UDP on each backend host,
+/// answers kHealthProbeMagic datagrams straight back to the prober.
+class HealthResponder : public ProtocolHandler {
+ public:
+  explicit HealthResponder(Host& host) : host_(host) {
+    host_.register_protocol(IpProto::kUdp, this);
+  }
+
+  void on_ip_packet(Packet&& pkt) override;
+
+  std::uint64_t probes_answered() const { return probes_answered_; }
+
+ private:
+  Host& host_;
+  std::uint64_t probes_answered_ = 0;
+};
+
+}  // namespace sctpmpi::net

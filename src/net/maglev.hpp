@@ -1,0 +1,106 @@
+// Maglev consistent hashing (Eisenbud et al., NSDI'16 §3.4).
+//
+// Each backend owns a permutation of the table positions derived from two
+// hashes of its name; the table is filled by giving backends turns at
+// claiming their next unclaimed position. The result is (a) near-perfect
+// evenness — with equal weights, per-backend shares differ by at most one
+// entry — and (b) minimal disruption: removing one of N backends remaps
+// roughly 1/N of the keyspace and little else, because the surviving
+// permutations are unchanged and mostly re-claim their old positions.
+//
+// Weights are per-turn credits: a backend with weight w claims w positions
+// per round (fractions accumulate), so a freshly admitted backend can be
+// ramped in at reduced weight before taking its full share.
+//
+// The table is rebuilt from scratch on membership change; lookups between
+// rebuilds are one hash + one array probe. Connection affinity across
+// rebuilds is NOT this table's job — net::LoadBalancer layers a tracking
+// table on top for that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sctpmpi::net {
+
+struct MaglevBackend {
+  std::uint64_t name = 0;  // stable identity; hashed into the permutation
+  double weight = 1.0;     // relative share; <= 0 excludes the backend
+};
+
+class MaglevTable {
+ public:
+  /// `size` should be prime and well above the maximum backend count
+  /// (the paper uses 65537 for minimal-disruption experiments).
+  explicit MaglevTable(std::uint32_t size = 65537) : m_(size) {}
+
+  /// Rebuilds the lookup table over `backends`; entry values are indices
+  /// into that vector. An empty or all-zero-weight set clears the table.
+  void build(const std::vector<MaglevBackend>& backends) {
+    table_.assign(m_, -1);
+    struct Perm {
+      std::int32_t index;
+      std::uint64_t offset;
+      std::uint64_t skip;
+      std::uint64_t next;    // how many permutation entries consumed
+      double weight;
+      double credit;
+    };
+    std::vector<Perm> perms;
+    perms.reserve(backends.size());
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      if (backends[i].weight <= 0.0) continue;
+      const std::uint64_t h1 = mix_(backends[i].name ^ 0x9E3779B97F4A7C15ull);
+      const std::uint64_t h2 = mix_(backends[i].name + 0xC2B2AE3D27D4EB4Full);
+      perms.push_back(Perm{static_cast<std::int32_t>(i), h1 % m_,
+                           h2 % (m_ - 1) + 1, 0, backends[i].weight, 0.0});
+    }
+    if (perms.empty()) return;
+    std::uint32_t filled = 0;
+    while (filled < m_) {
+      for (Perm& p : perms) {
+        p.credit += p.weight;
+        while (p.credit >= 1.0 && filled < m_) {
+          p.credit -= 1.0;
+          // Claim the next unclaimed position of p's permutation.
+          for (;;) {
+            const std::uint64_t pos = (p.offset + p.next * p.skip) % m_;
+            ++p.next;
+            if (table_[pos] < 0) {
+              table_[pos] = p.index;
+              ++filled;
+              break;
+            }
+          }
+        }
+        if (filled >= m_) break;
+      }
+    }
+  }
+
+  /// Backend index for `key` (already any stable flow identity; mixed
+  /// internally), or -1 while the table is empty.
+  std::int32_t lookup(std::uint64_t key) const {
+    if (table_.empty()) return -1;
+    return table_[mix_(key) % m_];
+  }
+
+  std::uint32_t size() const { return m_; }
+  bool empty() const { return table_.empty(); }
+  /// Raw entries, for the property tests (evenness, disruption).
+  const std::vector<std::int32_t>& entries() const { return table_; }
+
+ private:
+  /// splitmix64 finalizer — full avalanche, shared idiom with FlatMap64.
+  static std::uint64_t mix_(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  std::uint32_t m_;
+  std::vector<std::int32_t> table_;  // -1 = unclaimed (only before build)
+};
+
+}  // namespace sctpmpi::net

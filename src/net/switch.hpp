@@ -27,6 +27,14 @@ class Switch {
   /// Adds one uplink to the ECMP set used when no exact route matches.
   void add_ecmp_uplink(Link* out) { ecmp_.push_back(out); }
 
+  /// The exact-route egress toward `addr`, or nullptr when this switch
+  /// only reaches it via ECMP. Used to alias service VIPs onto the routes
+  /// already serving the balancer host (Cluster::add_service_route).
+  Link* route_for(IpAddr addr) const {
+    auto it = routes_.find(addr);
+    return it != routes_.end() ? it->second : nullptr;
+  }
+
   /// Forwards one packet; drops if the destination is unknown and no
   /// uplink exists.
   void forward(Packet&& pkt) {

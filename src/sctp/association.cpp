@@ -96,10 +96,17 @@ void Association::send_init_() {
   init.num_ostreams = cfg_.num_ostreams;
   init.max_instreams = cfg_.max_instreams;
   init.initial_tsn = next_tsn_;
-  // Advertise all our interface addresses (multihoming).
-  net::Host& host = socket_.stack().host();
-  for (std::size_t i = 0; i < host.interface_count(); ++i) {
-    init.addresses.push_back(host.addr(i));
+  // Advertise all our interface addresses (multihoming), or the socket's
+  // configured override (DSR backends advertising service VIPs).
+  if (socket_.local_addrs().empty()) {
+    net::Host& host = socket_.stack().host();
+    for (std::size_t i = 0; i < host.interface_count(); ++i) {
+      init.addresses.push_back(host.addr(i));
+    }
+  } else {
+    for (const net::IpAddr a : socket_.local_addrs()) {
+      init.addresses.push_back(a);
+    }
   }
   SctpPacket pkt;
   pkt.sport = socket_.port();
@@ -483,7 +490,11 @@ void Association::send_chunk_now_(TypedChunk&& chunk, std::size_t path_idx) {
 void Association::transmit_packet_(SctpPacket&& pkt, std::size_t path_idx,
                                    bool rtx) {
   ++stats_.packets_sent;
-  socket_.stack().transmit(pkt, paths_[path_idx].addr, net::kAddrAny, rtx);
+  // Pin the source to the path's local address: route_ pairs it with the
+  // matching interface, and an overridden socket speaks as the VIP on
+  // every path.
+  socket_.stack().transmit(pkt, paths_[path_idx].addr,
+                           socket_.local_addr_for(paths_[path_idx].addr), rtx);
 }
 
 // ---------------------------------------------------------------------------

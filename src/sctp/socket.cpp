@@ -378,8 +378,12 @@ void SctpSocket::handle_init_(const SctpPacket& pkt, const InitChunk& init,
   ia.num_ostreams = config().num_ostreams;
   ia.max_instreams = config().max_instreams;
   ia.initial_tsn = cookie.local_itsn;
-  for (std::size_t i = 0; i < stack_.host().interface_count(); ++i) {
-    ia.addresses.push_back(stack_.host().addr(i));
+  if (local_addrs_.empty()) {
+    for (std::size_t i = 0; i < stack_.host().interface_count(); ++i) {
+      ia.addresses.push_back(stack_.host().addr(i));
+    }
+  } else {
+    for (const net::IpAddr a : local_addrs_) ia.addresses.push_back(a);
   }
   ia.cookie = std::move(bytes);
 
@@ -388,7 +392,7 @@ void SctpSocket::handle_init_(const SctpPacket& pkt, const InitChunk& init,
   reply.dport = pkt.sport;
   reply.vtag = init.initiate_tag;  // INIT-ACK uses the initiator's tag
   reply.chunks.push_back(TypedChunk{ChunkType::kInitAck, std::move(ia)});
-  stack_.transmit(reply, from, net::kAddrAny);
+  stack_.transmit(reply, from, local_addr_for(from));
 }
 
 void SctpSocket::handle_cookie_echo_(const SctpPacket& pkt,
@@ -412,7 +416,7 @@ void SctpSocket::handle_cookie_echo_(const SctpPacket& pkt,
     err.dport = pkt.sport;
     err.vtag = cookie->peer_itag;
     err.chunks.push_back(TypedChunk{ChunkType::kError, ErrorChunk{3}});
-    stack_.transmit(err, from, net::kAddrAny);
+    stack_.transmit(err, from, local_addr_for(from));
     return;
   }
 
@@ -424,7 +428,7 @@ void SctpSocket::handle_cookie_echo_(const SctpPacket& pkt,
     ack.dport = pkt.sport;
     ack.vtag = a->peer_vtag();
     ack.chunks.push_back(TypedChunk{ChunkType::kCookieAck, CookieAckChunk{}});
-    stack_.transmit(ack, from, net::kAddrAny);
+    stack_.transmit(ack, from, local_addr_for(from));
     return;
   }
 
@@ -445,7 +449,7 @@ void SctpSocket::handle_cookie_echo_(const SctpPacket& pkt,
   ack.dport = pkt.sport;
   ack.vtag = a->peer_vtag();
   ack.chunks.push_back(TypedChunk{ChunkType::kCookieAck, CookieAckChunk{}});
-  stack_.transmit(ack, from, net::kAddrAny);
+  stack_.transmit(ack, from, local_addr_for(from));
 }
 
 // ---------------------------------------------------------------------------

@@ -147,6 +147,27 @@ class SctpSocket {
     on_activity_ = std::move(cb);
   }
 
+  /// Overrides the local addresses this socket advertises in INIT/INIT-ACK
+  /// and stamps as per-path packet sources. A DSR backend behind
+  /// net::LoadBalancer advertises the service VIPs instead of the host's
+  /// real interfaces, so every path of the association speaks as the
+  /// service. Empty (default) = host interfaces / routing default. Set
+  /// before any association exists.
+  void set_local_addrs(std::vector<net::IpAddr> addrs) {
+    local_addrs_ = std::move(addrs);
+  }
+  const std::vector<net::IpAddr>& local_addrs() const { return local_addrs_; }
+
+  /// Source address for packets toward `peer`: the override sharing the
+  /// peer's subnet, else the first override, else any (route default).
+  net::IpAddr local_addr_for(net::IpAddr peer) const {
+    if (local_addrs_.empty()) return net::kAddrAny;
+    for (const net::IpAddr a : local_addrs_) {
+      if (net::subnet_of(a) == net::subnet_of(peer)) return a;
+    }
+    return local_addrs_.front();
+  }
+
  private:
   friend class Association;
   friend class SctpStack;
@@ -191,6 +212,7 @@ class SctpSocket {
   std::deque<Notification> notifications_;
   AssocId next_assoc_id_ = 1;
   std::uint64_t restarts_detected_ = 0;
+  std::vector<net::IpAddr> local_addrs_;  // empty = host interfaces
   std::function<void()> on_activity_;
 };
 

@@ -58,6 +58,24 @@ class Rng {
     return -mean * std::log(u);
   }
 
+  /// Standard-normal variate via Box-Muller. Always consumes exactly two
+  /// uniforms and discards the second deviate — no cached spare, so the
+  /// stream position after a call never depends on call history (a spare
+  /// would make interleaved draws order-sensitive across fork points).
+  double normal() {
+    double u1 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.141592653589793 * u2);
+  }
+
+  /// Log-normally distributed value: exp(N(mu, sigma)). Heavy-tailed; the
+  /// service workload uses it for request sizes.
+  double lognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * normal());
+  }
+
   /// True with probability p.
   bool chance(double p) { return uniform() < p; }
 

@@ -238,7 +238,7 @@ void TcpSocket::send_data_segment_(std::uint32_t seq, std::size_t len,
   segs_since_ack_ = 0;
   delack_timer_.cancel();
   last_send_time_ = stack_.host().sim().now();
-  stack_.transmit_(std::move(seg), raddr_, net::kAddrAny, rtx);
+  stack_.transmit_(std::move(seg), raddr_, laddr_, rtx);
 }
 
 void TcpSocket::send_flags_(bool syn, bool fin_flag) {
@@ -262,7 +262,7 @@ void TcpSocket::send_flags_(bool syn, bool fin_flag) {
   }
   ++stats_.segments_sent;
   last_send_time_ = stack_.host().sim().now();
-  stack_.transmit_(std::move(seg), raddr_, net::kAddrAny);
+  stack_.transmit_(std::move(seg), raddr_, laddr_);
 }
 
 void TcpSocket::maybe_send_fin_() {
@@ -289,7 +289,7 @@ void TcpSocket::ack_now_() {
   last_advertised_wnd_ = seg.wnd;
   if (!ooo_.empty() && peer_sack_ok_) seg.sacks = build_sack_blocks_();
   ++stats_.segments_sent;
-  stack_.transmit_(std::move(seg), raddr_, net::kAddrAny);
+  stack_.transmit_(std::move(seg), raddr_, laddr_);
 }
 
 void TcpSocket::schedule_ack_() {
@@ -308,7 +308,7 @@ void TcpSocket::send_rst_() {
   seg.seq = snd_nxt_;
   seg.rst = true;
   ++stats_.segments_sent;
-  stack_.transmit_(std::move(seg), raddr_, net::kAddrAny);
+  stack_.transmit_(std::move(seg), raddr_, laddr_);
 }
 
 std::vector<SackBlock> TcpSocket::build_sack_blocks_() const {
@@ -352,6 +352,7 @@ void TcpSocket::on_segment(Segment&& seg, net::IpAddr src) {
       if (!seg.syn || seg.ack_flag) return;
       TcpSocket* child = stack_.create_socket();
       child->lport_ = lport_;
+      child->laddr_ = laddr_;  // DSR children keep answering as the VIP
       child->raddr_ = src;
       child->rport_ = seg.sport;
       child->parent_listener_ = this;

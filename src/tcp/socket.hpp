@@ -69,6 +69,14 @@ class TcpSocket {
 
   // ---- application API (non-blocking) ---------------------------------
   void bind(std::uint16_t port);
+  /// Binds a local source address as well as the port. Outgoing segments
+  /// carry `addr` as their source even when it is not an interface address
+  /// of the host — this is how a DSR backend answers as the service VIP
+  /// (see net/load_balancer.hpp). Accepted children inherit it.
+  void bind(net::IpAddr addr, std::uint16_t port) {
+    laddr_ = addr;
+    bind(port);
+  }
   void listen();
   /// Pops an established connection off the accept queue, or nullptr.
   TcpSocket* accept();
@@ -187,6 +195,7 @@ class TcpSocket {
   std::function<void(const char*)> on_error_;
 
   std::uint16_t lport_ = 0;
+  net::IpAddr laddr_;  // source address override; any = route default
   net::IpAddr raddr_;
   std::uint16_t rport_ = 0;
   TcpSocket* parent_listener_ = nullptr;

@@ -1,0 +1,73 @@
+// Unit tests for the exact quantile helpers behind the service workload's
+// tail reporting (apps/report.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "apps/report.hpp"
+
+namespace sctpmpi::apps {
+namespace {
+
+TEST(Quantile, EmptyAndSingleton) {
+  EXPECT_TRUE(std::isnan(quantile({}, 0.5)));
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 1.0), 7.0);
+}
+
+TEST(Quantile, ExactRanksOnSmallSample) {
+  const std::vector<double> s = {10, 20, 30, 40};  // already sorted
+  EXPECT_DOUBLE_EQ(quantile_sorted(s, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(s, 1.0), 40.0);
+  // R-7: rank = p * (n - 1); p=0.5 lands exactly between 20 and 30.
+  EXPECT_DOUBLE_EQ(quantile_sorted(s, 0.5), 25.0);
+  // p = 1/3 lands exactly on the second element.
+  EXPECT_DOUBLE_EQ(quantile_sorted(s, 1.0 / 3.0), 20.0);
+}
+
+TEST(Quantile, InterpolatesBetweenClosestRanks) {
+  std::vector<double> s(100);
+  for (int i = 0; i < 100; ++i) s[static_cast<std::size_t>(i)] = i + 1;
+  // rank = 0.99 * 99 = 98.01 -> 99 + 0.01 * (100 - 99).
+  EXPECT_NEAR(quantile_sorted(s, 0.99), 99.01, 1e-9);
+  EXPECT_NEAR(quantile_sorted(s, 0.999), 99.901, 1e-9);
+  EXPECT_DOUBLE_EQ(quantile_sorted(s, 0.5), 50.5);
+}
+
+TEST(Quantile, SortingVariantMatchesSorted) {
+  const std::vector<double> shuffled = {5, 1, 4, 2, 3};
+  const std::vector<double> sorted = {1, 2, 3, 4, 5};
+  for (const double p : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile(shuffled, p), quantile_sorted(sorted, p));
+  }
+}
+
+TEST(Quantile, ClampsOutOfRangeP) {
+  const std::vector<double> s = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile_sorted(s, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(s, 1.5), 3.0);
+}
+
+TEST(TailSummaryTest, SummarizesInOnePass) {
+  std::vector<double> s;
+  for (int i = 1000; i >= 1; --i) s.push_back(i);  // reverse order on entry
+  const TailSummary t = tail_summary(s);
+  EXPECT_EQ(t.count, 1000u);
+  EXPECT_DOUBLE_EQ(t.min, 1.0);
+  EXPECT_DOUBLE_EQ(t.max, 1000.0);
+  EXPECT_DOUBLE_EQ(t.p50, 500.5);
+  EXPECT_NEAR(t.p99, 990.01, 1e-9);
+  EXPECT_NEAR(t.p999, 999.001, 1e-9);
+  EXPECT_DOUBLE_EQ(t.mean, 500.5);
+}
+
+TEST(TailSummaryTest, EmptyIsZeroed) {
+  const TailSummary t = tail_summary({});
+  EXPECT_EQ(t.count, 0u);
+  EXPECT_DOUBLE_EQ(t.p999, 0.0);
+}
+
+}  // namespace
+}  // namespace sctpmpi::apps

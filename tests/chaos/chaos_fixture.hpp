@@ -25,12 +25,31 @@
 #include <cstdint>
 #include <vector>
 
+#include "apps/service.hpp"
 #include "core/world.hpp"
 #include "net/bytes.hpp"
 #include "sim/rng.hpp"
 #include "trace/packet_trace.hpp"
 
 namespace sctpmpi::chaos {
+
+/// Transport-level failure detection tightened for chaos schedules: give
+/// up after roughly 3 s of unanswered retransmissions (0.2+0.4+0.8+1.6
+/// once the measured RTT has pulled the RTO down to min_rto) rather than
+/// minutes. Shared by the MPI chaos worlds and the service chaos tier so
+/// both families fail over on the same clock.
+inline void tighten_transport_timers(tcp::TcpConfig& tcp,
+                                     sctp::SctpConfig& sctp) {
+  tcp.min_rto = 200 * sim::kMillisecond;
+  tcp.initial_rto = 400 * sim::kMillisecond;
+  tcp.max_rto = 2 * sim::kSecond;
+  tcp.max_data_retries = 3;
+  sctp.rto_min = 200 * sim::kMillisecond;
+  sctp.rto_initial = 400 * sim::kMillisecond;
+  sctp.rto_max = 2 * sim::kSecond;
+  sctp.assoc_max_retrans = 3;
+  sctp.path_max_retrans = 2;
+}
 
 /// Recovery-enabled world with failure detection tightened so teardown,
 /// reconnect and replay all happen within a few sim-seconds instead of
@@ -47,19 +66,29 @@ inline core::WorldConfig chaos_world_config(core::TransportKind t,
   cfg.rpi.recovery.backoff_base = 200 * sim::kMillisecond;
   cfg.rpi.recovery.backoff_max = 2 * sim::kSecond;
   cfg.rpi.recovery.passive_give_up = 12 * sim::kSecond;
-  // Transport-level failure detection: give up after roughly 3 s of
-  // unanswered retransmissions (0.2+0.4+0.8+1.6 once the measured RTT
-  // has pulled the RTO down to min_rto) rather than minutes.
-  cfg.tcp.min_rto = 200 * sim::kMillisecond;
-  cfg.tcp.initial_rto = 400 * sim::kMillisecond;
-  cfg.tcp.max_rto = 2 * sim::kSecond;
-  cfg.tcp.max_data_retries = 3;
-  cfg.sctp.rto_min = 200 * sim::kMillisecond;
-  cfg.sctp.rto_initial = 400 * sim::kMillisecond;
-  cfg.sctp.rto_max = 2 * sim::kSecond;
-  cfg.sctp.assoc_max_retrans = 3;
-  cfg.sctp.path_max_retrans = 2;
+  tighten_transport_timers(cfg.tcp, cfg.sctp);
   return cfg;
+}
+
+/// Service-chaos flavor of the same tightening: an apps::ServiceParams
+/// whose transports share the MPI chaos tier's failure-detection clock
+/// and whose balancer probes eject a dead backend within ~1 s.
+inline apps::ServiceParams chaos_service_params(apps::ServiceTransport t,
+                                                std::uint64_t seed) {
+  apps::ServiceParams p;
+  p.transport = t;
+  p.seed = seed;
+  tighten_transport_timers(p.tcp, p.sctp);
+  // Idle associations must notice a dead path quickly too (the MPI worlds
+  // keep the stock 30 s heartbeat; service failover schedules cannot).
+  p.sctp.hb_interval = 2 * sim::kSecond;
+  // Small per-client buffers: thousands of sockets, and the chaos
+  // requests are tiny compared to the 220 KiB production default.
+  p.tcp.sndbuf = 32 * 1024;
+  p.tcp.rcvbuf = 16 * 1024;
+  p.sctp.sndbuf = 32 * 1024;
+  p.sctp.rcvbuf = 16 * 1024;
+  return p;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,170 @@
+// Service chaos tier: the open-loop client fleet (apps/service.hpp) against
+// the Maglev balancer under backend churn and path blackout, TCP vs SCTP.
+//
+// Oracles, mirroring the MPI chaos families:
+//   1. correctness — every issued request completes (or the loss is
+//      exactly the asserted, transport-specific amount);
+//   2. liveness — the run reaches quiescence long before the deadline;
+//   3. affinity — tracked SCTP associations ride out a path blackout with
+//      ZERO request retries (multihomed failover), while TCP measurably
+//      reconnects;
+//   4. determinism — rerunning any schedule reproduces the completion
+//      digest exactly, for both transports.
+#include <gtest/gtest.h>
+
+#include "chaos_fixture.hpp"
+
+namespace sctpmpi::chaos {
+namespace {
+
+using apps::ServiceParams;
+using apps::ServiceResult;
+using apps::ServiceSim;
+using apps::ServiceTransport;
+
+ServiceParams small_fleet(ServiceTransport t, std::uint64_t seed) {
+  ServiceParams p = chaos_service_params(t, seed);
+  p.backends = 3;
+  p.client_hosts = 2;
+  p.clients_per_host = 8;
+  p.interfaces = 2;
+  p.requests = 1600;
+  p.arrival_rate_hz = 800;  // arrivals span ~2 s of sim-time
+  p.deadline = 60 * sim::kSecond;
+  return p;
+}
+
+/// Severs every link of one backend host (all interfaces, both
+/// directions) from `start` until past any schedule's horizon.
+void kill_backend(ServiceSim& svc, unsigned b, sim::SimTime start) {
+  const unsigned h = svc.backend_host(b);
+  for (unsigned i = 0; i < svc.cluster().interface_count(); ++i) {
+    svc.cluster().uplink(h, i).faults().add_blackout(start,
+                                                     120 * sim::kSecond);
+    svc.cluster().downlink(h, i).faults().add_blackout(start,
+                                                       120 * sim::kSecond);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ChaosService, FaultFreeBaselineIsLossless) {
+  for (const auto t : {ServiceTransport::kTcp, ServiceTransport::kSctp}) {
+    const ServiceResult r = apps::run_service(small_fleet(t, 11));
+    EXPECT_EQ(r.completed, r.issued);
+    EXPECT_EQ(r.issued, 1600u);
+    EXPECT_EQ(r.retried, 0u);
+    EXPECT_EQ(r.abandoned, 0u);
+    EXPECT_EQ(r.duplicate_responses, 0u);
+    EXPECT_EQ(r.lb.no_backend_drops, 0u);
+    EXPECT_EQ(r.lb.malformed_drops, 0u);
+    EXPECT_EQ(r.backend_down_events, 0u);
+    EXPECT_GT(r.lb.tracked_hits, 0u);
+    EXPECT_LT(r.runtime_seconds, 30.0);
+    EXPECT_GT(r.p50_ms, 0.0);
+    EXPECT_GE(r.p999_ms, r.p99_ms);
+    EXPECT_GE(r.p99_ms, r.p50_ms);
+  }
+}
+
+TEST(ChaosService, RerunReproducesDigestBothTransports) {
+  for (const auto t : {ServiceTransport::kTcp, ServiceTransport::kSctp}) {
+    ServiceParams p = small_fleet(t, 23);
+    p.requests = 800;
+    const ServiceResult a = apps::run_service(p);
+    const ServiceResult b = apps::run_service(p);
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.retried, b.retried);
+    EXPECT_EQ(a.lb.forwarded, b.lb.forwarded);
+    // A different seed must actually change the run.
+    ServiceParams q = small_fleet(t, 24);
+    q.requests = 800;
+    EXPECT_NE(apps::run_service(q).digest, a.digest);
+  }
+}
+
+// Backend kill: probes eject the dead backend (announced on FailureBus),
+// its flows reconnect and re-steer, and every request still completes.
+TEST(ChaosService, BackendKillEjectsAndRecovers) {
+  for (const auto t : {ServiceTransport::kTcp, ServiceTransport::kSctp}) {
+    ServiceParams p = small_fleet(t, 31);
+    p.requests = 2000;
+    const ServiceResult r = apps::run_service(p, [](ServiceSim& svc) {
+      kill_backend(svc, 0, 1500 * sim::kMillisecond);
+    });
+    EXPECT_EQ(r.completed, r.issued) << "requests lost to a dead backend";
+    EXPECT_EQ(r.abandoned, 0u);
+    EXPECT_GE(r.backend_down_events, 1u);
+    ASSERT_FALSE(r.failure_bus_log.empty());
+    EXPECT_EQ(r.failure_bus_log.front(), 0);
+    EXPECT_GE(r.lb.ejections, 1u);
+    EXPECT_GT(r.reconnects, 0u)
+        << "the killed backend's flows must have re-established";
+    EXPECT_LT(r.runtime_seconds, 55.0);
+  }
+}
+
+// Graceful scale-in: draining a backend mid-burst loses NOTHING on either
+// transport — tracked flows finish against the draining backend while new
+// flows steer away.
+TEST(ChaosService, DrainDuringBurstIsLossless) {
+  for (const auto t : {ServiceTransport::kTcp, ServiceTransport::kSctp}) {
+    const ServiceResult r =
+        apps::run_service(small_fleet(t, 41), [](ServiceSim& svc) {
+          svc.at(sim::kSecond, [&svc] { svc.lb().drain_backend(0); });
+        });
+    EXPECT_EQ(r.completed, r.issued);
+    EXPECT_EQ(r.retried, 0u) << "drain must not reset tracked flows";
+    EXPECT_EQ(r.abandoned, 0u);
+    EXPECT_EQ(r.backend_down_events, 0u);
+    EXPECT_EQ(r.lb.no_backend_drops, 0u);
+  }
+}
+
+// The headline schedule (ISSUE acceptance): one graceful scale-in PLUS one
+// subnet blackout. Multihomed SCTP associations fail over to the alternate
+// VIP with zero request retries and zero loss; TCP — bound to the severed
+// VIP — must tear down and reconnect, which the result measures.
+TEST(ChaosService, HeadlineScaleInPlusBlackoutFailover) {
+  auto schedule = [](ServiceSim& svc) {
+    svc.at(sim::kSecond, [&svc] { svc.lb().drain_backend(2); });
+    svc.at(1500 * sim::kMillisecond,
+           [&svc] { svc.cluster().set_subnet_loss(0, 1.0); });
+    svc.at(5 * sim::kSecond,
+           [&svc] { svc.cluster().set_subnet_loss(0, 0.0); });
+  };
+  ServiceParams ps = small_fleet(ServiceTransport::kSctp, 53);
+  ps.requests = 2400;
+  const ServiceResult sctp = apps::run_service(ps, schedule);
+  ServiceParams pt = small_fleet(ServiceTransport::kTcp, 53);
+  pt.requests = 2400;
+  const ServiceResult tcp = apps::run_service(pt, schedule);
+
+  // SCTP: zero loss, zero retries — the association moved paths instead.
+  EXPECT_EQ(sctp.completed, sctp.issued);
+  EXPECT_EQ(sctp.retried, 0u);
+  EXPECT_EQ(sctp.abandoned, 0u);
+  EXPECT_GT(sctp.failovers, 0u);
+  EXPECT_EQ(sctp.reconnects, 0u);
+
+  // TCP: the same schedule forces measurable reconnects and retries.
+  EXPECT_EQ(tcp.completed, tcp.issued) << "TCP should recover by deadline";
+  EXPECT_GT(tcp.reconnects, 0u);
+  EXPECT_GT(tcp.retried, 0u);
+  // The blackout-crossing requests put seconds into TCP's tail; SCTP's
+  // failover clock (heartbeat RTO) is an order of magnitude quicker.
+  EXPECT_GT(tcp.p999_ms, sctp.p999_ms);
+
+  // Neither transport may lose a backend to false ejection: probes rotate
+  // over the backends' subnets, and one dead subnet is not death.
+  EXPECT_EQ(sctp.backend_down_events, 0u);
+  EXPECT_EQ(tcp.backend_down_events, 0u);
+
+  // Determinism of the full chaos schedule, both transports.
+  EXPECT_EQ(apps::run_service(ps, schedule).digest, sctp.digest);
+  EXPECT_EQ(apps::run_service(pt, schedule).digest, tcp.digest);
+}
+
+}  // namespace
+}  // namespace sctpmpi::chaos

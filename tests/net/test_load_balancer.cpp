@@ -1,0 +1,396 @@
+// net::LoadBalancer: steering semantics (ports-only tracking, drain,
+// remove, rebuild stability), the probe-driven health control plane, and
+// end-to-end VIP flows through real TCP and SCTP stacks with DSR returns.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/bytes.hpp"
+#include "net/cluster.hpp"
+#include "net/load_balancer.hpp"
+#include "sctp/socket.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/socket.hpp"
+
+namespace sctpmpi::net {
+namespace {
+
+Packet make_flow_packet(IpAddr src, IpAddr vip, std::uint16_t sport,
+                        std::uint16_t dport) {
+  std::vector<std::byte> bytes;
+  ByteWriter w(bytes);
+  w.u16(sport);
+  w.u16(dport);
+  w.u32(0xDEADBEEF);  // rest of a pretend transport header
+  Packet pkt;
+  pkt.src = src;
+  pkt.dst = vip;
+  pkt.proto = IpProto::kTcp;
+  pkt.payload = Buffer(std::move(bytes));
+  return pkt;
+}
+
+// Harness: flat cluster with the balancer on the last host.
+struct LbWorld {
+  sim::Simulator sim;
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<LoadBalancer> lb;
+  std::vector<IpAddr> vips;
+  unsigned lb_host;
+
+  LbWorld(unsigned hosts, unsigned interfaces,
+          LoadBalancerParams params = {}) {
+    ClusterParams cp;
+    cp.hosts = hosts;
+    cp.interfaces = interfaces;
+    cluster = std::make_unique<Cluster>(sim, sim::Rng(7), cp);
+    lb_host = hosts - 1;
+    for (unsigned s = 0; s < interfaces; ++s) {
+      vips.push_back(make_addr(s, hosts + 7));
+      cluster->add_service_route(vips.back(), lb_host);
+    }
+    lb = std::make_unique<LoadBalancer>(cluster->host(lb_host), params);
+    for (const IpAddr vip : vips) lb->add_vip(vip);
+  }
+
+  int add_backend(unsigned host, double weight = 1.0) {
+    std::vector<IpAddr> addrs;
+    for (unsigned i = 0; i < cluster->interface_count(); ++i) {
+      addrs.push_back(cluster->addr(host, i));
+    }
+    return lb->add_backend(std::move(addrs), weight);
+  }
+};
+
+TEST(LoadBalancer, NonVipAndMalformedDrops) {
+  LbWorld w(3, 1);
+  w.add_backend(0);
+  // Wrong destination: counted, not forwarded.
+  Packet stray = make_flow_packet(w.cluster->addr(1), w.cluster->addr(0),
+                                  5000, 80);
+  w.lb->on_ip_packet(std::move(stray));
+  EXPECT_EQ(w.lb->stats().non_vip_drops, 1u);
+  // VIP packet too short to carry ports: malformed.
+  Packet runt;
+  runt.src = w.cluster->addr(1);
+  runt.dst = w.vips[0];
+  runt.proto = IpProto::kTcp;
+  std::vector<std::byte> two(2);
+  runt.payload = Buffer(std::move(two));
+  w.lb->on_ip_packet(std::move(runt));
+  EXPECT_EQ(w.lb->stats().malformed_drops, 1u);
+  EXPECT_EQ(w.lb->stats().forwarded, 0u);
+}
+
+TEST(LoadBalancer, TracksFlowsByPortsOnly) {
+  LbWorld w(4, 2);
+  w.add_backend(0);
+  w.add_backend(1);
+  // First packet of the flow: a Maglev assignment.
+  w.lb->on_ip_packet(make_flow_packet(w.cluster->addr(2, 0), w.vips[0],
+                                      6000, 80));
+  ASSERT_EQ(w.lb->stats().maglev_assignments, 1u);
+  const std::int32_t chosen = w.lb->backend_of(6000, 80);
+  ASSERT_GE(chosen, 0);
+  // Same ports arriving on the OTHER subnet's VIP from a different source
+  // address (the multihomed alternate path): tracked hit, same backend.
+  w.lb->on_ip_packet(make_flow_packet(w.cluster->addr(2, 1), w.vips[1],
+                                      6000, 80));
+  EXPECT_EQ(w.lb->stats().tracked_hits, 1u);
+  EXPECT_EQ(w.lb->backend_of(6000, 80), chosen);
+  EXPECT_EQ(w.lb->stats().forwarded, 2u);
+}
+
+// Satellite property: tracked flows remap ZERO across a Maglev rebuild.
+TEST(LoadBalancer, TrackedFlowsSurviveRebuild) {
+  LbWorld w(4, 1);
+  for (unsigned h = 0; h < 2; ++h) w.add_backend(h);
+  std::vector<std::int32_t> before(500);
+  for (std::uint16_t i = 0; i < 500; ++i) {
+    const std::uint16_t sport = static_cast<std::uint16_t>(7000 + i);
+    w.lb->on_ip_packet(
+        make_flow_packet(w.cluster->addr(2), w.vips[0], sport, 80));
+    before[i] = w.lb->backend_of(sport, 80);
+    ASSERT_GE(before[i], 0);
+  }
+  // Membership change: a third backend joins and the table rebuilds.
+  const int id = w.add_backend(2, 1.0);
+  EXPECT_EQ(w.lb->stats().table_rebuilds, 3u);  // one per add_backend
+  std::size_t remapped = 0;
+  for (std::uint16_t i = 0; i < 500; ++i) {
+    if (w.lb->backend_of(static_cast<std::uint16_t>(7000 + i), 80) !=
+        before[i]) {
+      ++remapped;
+    }
+  }
+  EXPECT_EQ(remapped, 0u) << "tracked flows must pin through rebuilds";
+  // Fresh flows do land on the newcomer eventually.
+  bool newcomer_used = false;
+  for (std::uint16_t p = 20000; p < 21000; ++p) {
+    if (w.lb->backend_of(p, 80) == id) {
+      newcomer_used = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(newcomer_used);
+}
+
+TEST(LoadBalancer, DrainKeepsTrackedFlowsAndBlocksNewOnes) {
+  LbWorld w(4, 1);
+  const int a = w.add_backend(0);
+  const int b = w.add_backend(1);
+  // Pin one flow per backend.
+  std::int32_t flow_a = -1;
+  std::uint16_t port_a = 0;
+  for (std::uint16_t p = 6000; p < 6100; ++p) {
+    w.lb->on_ip_packet(make_flow_packet(w.cluster->addr(2), w.vips[0], p, 80));
+    if (w.lb->backend_of(p, 80) == a) {
+      flow_a = a;
+      port_a = p;
+      break;
+    }
+  }
+  ASSERT_EQ(flow_a, a);
+  w.lb->drain_backend(a);
+  EXPECT_EQ(w.lb->backend_state(a), BackendState::kDraining);
+  // The established flow still steers to the draining backend...
+  EXPECT_EQ(w.lb->backend_of(port_a, 80), a);
+  // ...but no fresh port can land there any more.
+  for (std::uint16_t p = 30000; p < 31000; ++p) {
+    EXPECT_NE(w.lb->backend_of(p, 80), a);
+  }
+  w.lb->restore_backend(a);
+  EXPECT_EQ(w.lb->backend_state(a), BackendState::kUp);
+  (void)b;
+}
+
+TEST(LoadBalancer, RemoveReSteersEstablishedFlows) {
+  LbWorld w(4, 1);
+  const int a = w.add_backend(0);
+  w.add_backend(1);
+  std::uint16_t port_a = 0;
+  for (std::uint16_t p = 6000; p < 6200; ++p) {
+    w.lb->on_ip_packet(make_flow_packet(w.cluster->addr(2), w.vips[0], p, 80));
+    if (w.lb->backend_of(p, 80) == a) {
+      port_a = p;
+      break;
+    }
+  }
+  ASSERT_NE(port_a, 0);
+  w.lb->remove_backend(a);
+  EXPECT_NE(w.lb->backend_of(port_a, 80), a)
+      << "hard removal must re-steer even tracked flows";
+}
+
+TEST(LoadBalancer, IdleTrackingEntriesExpire) {
+  LoadBalancerParams params;
+  params.track_idle_expiry = sim::kSecond;
+  params.track_sweep_period = sim::kSecond / 2;
+  LbWorld w(3, 1, params);
+  w.add_backend(0);
+  w.lb->on_ip_packet(make_flow_packet(w.cluster->addr(1), w.vips[0], 6000,
+                                      80));
+  EXPECT_EQ(w.lb->tracked_total(), 1u);
+  w.lb->start_probes();  // arms the sweep timer too
+  w.sim.run_until(3 * sim::kSecond);
+  EXPECT_EQ(w.lb->tracked_total(), 0u);
+  EXPECT_EQ(w.lb->stats().entries_expired, 1u);
+  w.lb->stop();
+}
+
+// Health control plane: blackout -> consecutive misses -> ejection (with a
+// FailureBus-style callback), recovery -> consecutive acks -> re-admission.
+TEST(LoadBalancer, ProbeEjectionAndReadmission) {
+  LbWorld w(2, 1);
+  HealthResponder responder(w.cluster->host(0));
+  const int id = w.add_backend(0);
+  std::vector<int> down_log, up_log;
+  w.lb->set_backend_down_callback([&](int b) { down_log.push_back(b); });
+  w.lb->set_backend_up_callback([&](int b) { up_log.push_back(b); });
+  w.lb->start_probes();
+
+  w.sim.run_until(sim::kSecond);
+  EXPECT_EQ(w.lb->backend_state(id), BackendState::kUp);
+  EXPECT_GT(w.lb->stats().probes_acked, 5u);
+  EXPECT_GT(responder.probes_answered(), 5u);
+
+  // Kill the backend's connectivity for two seconds.
+  w.cluster->uplink(0).faults().add_blackout(sim::kSecond,
+                                             3 * sim::kSecond);
+  w.cluster->downlink(0).faults().add_blackout(sim::kSecond,
+                                               3 * sim::kSecond);
+  w.sim.run_until(2 * sim::kSecond);
+  EXPECT_EQ(w.lb->backend_state(id), BackendState::kDown);
+  EXPECT_EQ(w.lb->stats().ejections, 1u);
+  ASSERT_EQ(down_log.size(), 1u);
+  EXPECT_EQ(down_log[0], id);
+  // While down, probing has backed off exponentially.
+  EXPECT_GT(w.lb->stats().probe_timeouts, 2u);
+
+  w.sim.run_until(8 * sim::kSecond);
+  EXPECT_EQ(w.lb->backend_state(id), BackendState::kUp);
+  EXPECT_EQ(w.lb->stats().readmissions, 1u);
+  ASSERT_EQ(up_log.size(), 1u);
+  EXPECT_EQ(up_log[0], id);
+  w.lb->stop();
+}
+
+// A multihomed backend with ONE dead subnet must stay admitted: probes
+// rotate across its addresses, so misses alternate with acks and never
+// reach the consecutive-miss threshold.
+TEST(LoadBalancer, SingleDeadPathDoesNotEjectMultihomedBackend) {
+  LbWorld w(2, 2);
+  HealthResponder responder(w.cluster->host(0));
+  const int id = w.add_backend(0);
+  w.lb->start_probes();
+  // Sever subnet 0 permanently; subnet 1 stays healthy.
+  w.cluster->uplink(0, 0).faults().add_blackout(0, 60 * sim::kSecond);
+  w.cluster->downlink(0, 0).faults().add_blackout(0, 60 * sim::kSecond);
+  w.sim.run_until(5 * sim::kSecond);
+  EXPECT_EQ(w.lb->backend_state(id), BackendState::kUp);
+  EXPECT_EQ(w.lb->stats().ejections, 0u);
+  EXPECT_GT(w.lb->stats().probe_timeouts, 0u);
+  EXPECT_GT(responder.probes_answered(), 0u);
+  w.lb->stop();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: real transport stacks through the VIP, DSR return path.
+// ---------------------------------------------------------------------------
+
+TEST(LoadBalancer, EndToEndTcpThroughVip) {
+  LbWorld w(3, 1);  // 0 = client, 1 = backend, 2 = balancer
+  const IpAddr vip = w.vips[0];
+  w.add_backend(1);
+
+  tcp::TcpConfig cfg;
+  tcp::TcpStack server(w.cluster->host(1), cfg, sim::Rng(21));
+  tcp::TcpStack client(w.cluster->host(0), cfg, sim::Rng(22));
+
+  tcp::TcpSocket* listener = server.create_socket();
+  listener->bind(vip, 80);  // DSR: the backend answers AS the VIP
+  listener->listen();
+  tcp::TcpSocket* echo_conn = nullptr;
+  std::vector<std::byte> echoed;
+  listener->set_activity_callback([&] {
+    while (tcp::TcpSocket* child = listener->accept()) {
+      echo_conn = child;
+      child->set_activity_callback([&, child] {
+        std::byte buf[2048];
+        for (;;) {
+          const std::ptrdiff_t n = child->recv(buf);
+          if (n <= 0) break;
+          (void)child->send(std::span<const std::byte>(buf,
+                                                       std::size_t(n)));
+        }
+      });
+    }
+  });
+
+  tcp::TcpSocket* sock = client.create_socket();
+  sock->connect(vip, 80);
+  std::vector<std::byte> got;
+  sock->set_activity_callback([&] {
+    std::byte buf[2048];
+    for (;;) {
+      const std::ptrdiff_t n = sock->recv(buf);
+      if (n <= 0) break;
+      got.insert(got.end(), buf, buf + n);
+    }
+  });
+
+  w.sim.run_until(2 * sim::kSecond);
+  ASSERT_TRUE(sock->connected());
+  std::vector<std::byte> payload(1000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>(i * 13);
+  }
+  ASSERT_EQ(sock->send(payload), std::ptrdiff_t(payload.size()));
+  w.sim.run_until(4 * sim::kSecond);
+
+  EXPECT_EQ(got, payload);
+  EXPECT_GT(w.lb->stats().forwarded, 2u);
+  EXPECT_GE(w.lb->tracked_total(), 1u);
+  EXPECT_NE(echo_conn, nullptr);
+}
+
+TEST(LoadBalancer, EndToEndSctpFailoverKeepsBackend) {
+  LbWorld w(3, 2);  // multihomed flat: two subnets, two VIPs
+  w.add_backend(1);
+
+  sctp::SctpConfig cfg;
+  cfg.rto_min = 200 * sim::kMillisecond;
+  cfg.rto_initial = 400 * sim::kMillisecond;
+  cfg.rto_max = 2 * sim::kSecond;
+  cfg.path_max_retrans = 2;
+  cfg.hb_interval = sim::kSecond;  // detect the dead path within the test
+  sctp::SctpStack server(w.cluster->host(1), cfg, sim::Rng(31));
+  sctp::SctpStack client(w.cluster->host(0), cfg, sim::Rng(32));
+
+  sctp::SctpSocket* ssock = server.create_socket(80);
+  ssock->set_local_addrs(w.vips);  // advertise the VIPs, not real addrs
+  ssock->listen(true);
+  std::uint64_t served = 0;
+  ssock->set_activity_callback([&] {
+    while (ssock->poll_notification()) {
+    }
+    std::byte buf[2048];
+    sctp::RecvInfo info;
+    for (;;) {
+      const std::ptrdiff_t n = ssock->recvmsg(buf, info);
+      if (n <= 0) break;
+      ++served;
+      (void)ssock->sendmsg(info.assoc, info.sid,
+                           std::span<const std::byte>(buf, std::size_t(n)));
+    }
+  });
+
+  sctp::SctpSocket* csock = client.create_socket(6000);
+  bool up = false, lost = false;
+  std::uint64_t failovers = 0, replies = 0;
+  csock->set_activity_callback([&] {
+    while (auto n = csock->poll_notification()) {
+      if (n->type == sctp::NotificationType::kCommUp) up = true;
+      if (n->type == sctp::NotificationType::kCommLost) lost = true;
+      if (n->type == sctp::NotificationType::kPathFailover) ++failovers;
+    }
+    std::byte buf[2048];
+    sctp::RecvInfo info;
+    for (;;) {
+      const std::ptrdiff_t n = csock->recvmsg(buf, info);
+      if (n <= 0) break;
+      ++replies;
+    }
+  });
+  const sctp::AssocId assoc = csock->connect(w.vips[0], 80, {w.vips[1]});
+
+  w.sim.run_until(sim::kSecond);
+  ASSERT_TRUE(up);
+  const std::int32_t backend_before = w.lb->backend_of(6000, 80);
+  ASSERT_GE(backend_before, 0);
+  std::vector<std::byte> msg(256);
+  ASSERT_GT(csock->sendmsg(assoc, 0, msg), 0);
+  w.sim.run_until(2 * sim::kSecond);
+  ASSERT_EQ(replies, 1u);
+
+  // Sever the client's subnet-0 path: heartbeats fail over to VIP 1.
+  w.cluster->uplink(0, 0).faults().add_blackout(2 * sim::kSecond,
+                                                60 * sim::kSecond);
+  w.cluster->downlink(0, 0).faults().add_blackout(2 * sim::kSecond,
+                                                  60 * sim::kSecond);
+  ASSERT_GT(csock->sendmsg(assoc, 0, msg), 0);
+  w.sim.run_until(20 * sim::kSecond);
+
+  EXPECT_FALSE(lost) << "association must survive a single path loss";
+  EXPECT_GE(failovers, 1u);
+  EXPECT_EQ(replies, 2u) << "the in-flight message must complete";
+  // The failover traffic kept the SAME ports, so the balancer kept the
+  // SAME backend: the SCTP affinity invariant end to end.
+  EXPECT_EQ(w.lb->backend_of(6000, 80), backend_before);
+  EXPECT_EQ(served, 2u);
+}
+
+}  // namespace
+}  // namespace sctpmpi::net
