@@ -14,7 +14,42 @@
 # Usage: check_regression.sh NEW_JSON [BASELINE_JSON] [THRESHOLD]
 #   BASELINE_JSON defaults to the committed file of the same name next to
 #   this script.
+#
+# Floor mode — absolute gate on one metric of one result, for keys that
+# are only emitted on capable hosts (e.g. multi-shard speedups appear only
+# when hw_concurrency >= shards, so they cannot ride the baseline diff):
+#   check_regression.sh --floor JSON NAME METRIC MIN
+# Fails when result NAME's METRIC is missing from JSON or below MIN.
 set -eu
+
+if [ "${1:-}" = "--floor" ]; then
+  JSON="${2:?usage: check_regression.sh --floor JSON NAME METRIC MIN}"
+  NAME="${3:?usage: check_regression.sh --floor JSON NAME METRIC MIN}"
+  METRIC="${4:?usage: check_regression.sh --floor JSON NAME METRIC MIN}"
+  MIN="${5:?usage: check_regression.sh --floor JSON NAME METRIC MIN}"
+  [ -f "$JSON" ] || { echo "check_regression: missing $JSON" >&2; exit 2; }
+  # One result object per line; pick NAME's line, then METRIC's value.
+  val=$(awk -v name="$NAME" -v metric="$METRIC" '
+    index($0, "\"" name "\": {") {
+      if (match($0, "\"" metric "\": [0-9.eE+-]+")) {
+        v = substr($0, RSTART, RLENGTH)
+        sub(/.*: /, "", v)
+        print v
+      }
+    }
+  ' "$JSON")
+  if [ -z "$val" ]; then
+    echo "FAIL $NAME.$METRIC: missing from $JSON" >&2
+    exit 1
+  fi
+  ok=$(awk -v v="$val" -v m="$MIN" 'BEGIN {print (v + 0 >= m + 0) ? 1 : 0}')
+  if [ "$ok" -eq 1 ]; then
+    echo "ok   $NAME.$METRIC: $val >= floor $MIN"
+    exit 0
+  fi
+  echo "FAIL $NAME.$METRIC: $val < floor $MIN" >&2
+  exit 1
+fi
 
 NEW="${1:?usage: check_regression.sh NEW_JSON [BASELINE_JSON] [THRESHOLD]}"
 BASE="${2:-$(dirname "$0")/$(basename "$NEW")}"

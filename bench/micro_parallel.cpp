@@ -14,17 +14,32 @@
 // The "speedup" keys are the regression surface consumed by
 // bench/check_regression.sh: they are self-scaling (ratios of two runs on
 // the same host), so the committed bench/BENCH_parallel.json baseline is
-// machine-independent. On a single-core container the multi-shard speedup
-// sits below 1 (barrier overhead, no parallel hardware) — the gate tracks
-// that honest ratio rather than an aspirational one.
+// machine-independent. A speedup key is emitted only when BOTH hold:
+//   hardware  — hardware_concurrency() >= shards. Wall-clock speedup needs
+//               a core per shard; a single-core CI container must not bake
+//               sub-1.0 "speedups" into the baseline (they would gate
+//               nothing but noise).
+//   same work — the run's sim_elapsed matches the 1-shard run's. Sharding
+//               preserves causality but not same-instant tie order across
+//               SHARD COUNTS, and near a drop-tail saturation cliff one
+//               reordered tie can change which packet drops and cascade
+//               into retransmission timeouts that multiply virtual time.
+//               A wall-clock ratio between runs doing different virtual
+//               work gates nothing, so it is withheld (the workloads below
+//               are sized to sit safely inside the stable regime; adaptive
+//               placement can still legitimately leave it).
+// The headline keys farm_shards4_vs_1 / manyflow_shards4_vs_1 follow the
+// same rule; the 4-core CI job gates them with check_regression.sh --floor.
 //
 // Self-checks (exit 1 on failure): the farm completes every task and the
 // many-flow workload delivers every expected message, at every shard
-// count.
+// count and with adaptive placement on.
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/farm.hpp"
@@ -76,15 +91,29 @@ int main(int argc, char** argv) {
   bench::BenchJson out("parallel");
   bool ok = true;
   const unsigned kShardSweep[] = {1, 2, 4, 8};
+  const unsigned hw = std::thread::hardware_concurrency();
+  // Wall-clock speedup needs a core per shard to mean anything.
+  const auto speedup_measurable = [hw](unsigned shards) {
+    return shards == 1 || hw >= shards;
+  };
+  // ...and the same virtual work as the 1-shard reference (see header).
+  const auto same_work = [](double sim, double sim1) {
+    return std::abs(sim - sim1) <= 1e-3 * sim1;
+  };
 
   // ---- fig-10 farm (fanout 1) on a k=4 fat-tree, 16 ranks ----------------
   {
     apps::FarmParams fp;
     fp.num_tasks = quick ? 300 : 1500;
-    fp.task_size = 30 * 1024;
+    // 20 KB keeps the manager's downlink inside the stable (pre-cliff)
+    // congestion regime: drops still occur, but the same ones at every
+    // shard count, so sim_elapsed is identical and the speedup keys are a
+    // fair wall-clock comparison. At 30 KB the queue sits on the drop-tail
+    // cliff and tie reorderings across shard counts cascade into RTOs.
+    fp.task_size = 20 * 1024;
     fp.fanout = 1;
 
-    double wall1 = 0;
+    double wall1 = 0, sim1 = 0;
     for (const unsigned shards : kShardSweep) {
       apps::FarmResult fr;
       const double wall = min2([&] {
@@ -92,7 +121,10 @@ int main(int argc, char** argv) {
         fr = apps::run_farm(fattree_config(16, 4, shards), fp);
         return bench::wall_seconds() - t0;
       });
-      if (shards == 1) wall1 = wall;
+      if (shards == 1) {
+        wall1 = wall;
+        sim1 = fr.total_runtime_seconds;
+      }
       if (fr.tasks_completed != fp.num_tasks) {
         std::fprintf(stderr,
                      "self-check FAILED: farm at %u shards completed %d of "
@@ -102,12 +134,49 @@ int main(int argc, char** argv) {
       }
       const std::string name =
           "farm_fig10_k4_shards" + std::to_string(shards);
+      const double speedup = shards == 1 ? 1.0 : wall1 / wall;
+      const bool gated = speedup_measurable(shards) &&
+                         same_work(fr.total_runtime_seconds, sim1);
       out.metric(name, "wall_seconds", wall);
       out.metric(name, "sim_elapsed_seconds", fr.total_runtime_seconds);
-      out.metric(name, "speedup", shards == 1 ? 1.0 : wall1 / wall);
-      std::printf("%-26s wall %7.3fs  sim %7.3fs  speedup %.2fx\n",
-                  name.c_str(), wall, fr.total_runtime_seconds,
-                  shards == 1 ? 1.0 : wall1 / wall);
+      if (gated) {
+        out.metric(name, "speedup", speedup);
+        if (shards == 4) out.metric("headline", "farm_shards4_vs_1", speedup);
+      }
+      std::printf("%-30s wall %7.3fs  sim %7.3fs  speedup %.2fx%s\n",
+                  name.c_str(), wall, fr.total_runtime_seconds, speedup,
+                  gated ? "" : " (ungated)");
+    }
+
+    // Adaptive placement: host->shard map from a measured warmup instead of
+    // contiguous blocks. Correctness is checked everywhere; the speedup key
+    // follows the same hardware gate.
+    {
+      core::WorldConfig cfg = fattree_config(16, 4, 4);
+      cfg.adaptive_placement = true;
+      apps::FarmResult fr;
+      const double wall = min2([&] {
+        const double t0 = bench::wall_seconds();
+        fr = apps::run_farm(cfg, fp);
+        return bench::wall_seconds() - t0;
+      });
+      if (fr.tasks_completed != fp.num_tasks) {
+        std::fprintf(stderr,
+                     "self-check FAILED: adaptive farm completed %d of %d "
+                     "tasks\n",
+                     fr.tasks_completed, fp.num_tasks);
+        ok = false;
+      }
+      const std::string name = "farm_fig10_k4_shards4_adaptive";
+      const double speedup = wall1 / wall;
+      const bool gated = speedup_measurable(4) &&
+                         same_work(fr.total_runtime_seconds, sim1);
+      out.metric(name, "wall_seconds", wall);
+      out.metric(name, "sim_elapsed_seconds", fr.total_runtime_seconds);
+      if (gated) out.metric(name, "speedup", speedup);
+      std::printf("%-30s wall %7.3fs  sim %7.3fs  speedup %.2fx%s\n",
+                  name.c_str(), wall, fr.total_runtime_seconds, speedup,
+                  gated ? "" : " (ungated)");
     }
   }
 
@@ -118,7 +187,7 @@ int main(int argc, char** argv) {
     mp.fanout = 3;
     mp.msg_size = 8 * 1024;
 
-    double wall1 = 0;
+    double wall1 = 0, sim1 = 0;
     for (const unsigned shards : kShardSweep) {
       apps::ManyflowResult mr;
       const double wall = min2([&] {
@@ -126,7 +195,10 @@ int main(int argc, char** argv) {
         mr = apps::run_manyflow(fattree_config(16, 4, shards), mp);
         return bench::wall_seconds() - t0;
       });
-      if (shards == 1) wall1 = wall;
+      if (shards == 1) {
+        wall1 = wall;
+        sim1 = mr.total_runtime_seconds;
+      }
       const std::uint64_t expect = 16ull * 3 *
                                    static_cast<std::uint64_t>(mp.msgs_per_peer);
       if (mr.messages_received != expect) {
@@ -139,13 +211,58 @@ int main(int argc, char** argv) {
         ok = false;
       }
       const std::string name = "manyflow_k4_shards" + std::to_string(shards);
+      const double speedup = shards == 1 ? 1.0 : wall1 / wall;
+      const bool gated = speedup_measurable(shards) &&
+                         same_work(mr.total_runtime_seconds, sim1);
       out.metric(name, "wall_seconds", wall);
       out.metric(name, "sim_elapsed_seconds", mr.total_runtime_seconds);
       out.metric(name, "sim_goodput_MBps", mr.aggregate_goodput_mb_s);
-      out.metric(name, "speedup", shards == 1 ? 1.0 : wall1 / wall);
-      std::printf("%-26s wall %7.3fs  sim %7.3fs  speedup %.2fx\n",
-                  name.c_str(), wall, mr.total_runtime_seconds,
-                  shards == 1 ? 1.0 : wall1 / wall);
+      if (gated) {
+        out.metric(name, "speedup", speedup);
+        if (shards == 4) {
+          out.metric("headline", "manyflow_shards4_vs_1", speedup);
+        }
+      }
+      std::printf("%-30s wall %7.3fs  sim %7.3fs  speedup %.2fx%s\n",
+                  name.c_str(), wall, mr.total_runtime_seconds, speedup,
+                  gated ? "" : " (ungated)");
+    }
+
+    // Adaptive placement variant, as in the farm block above.
+    {
+      core::WorldConfig cfg = fattree_config(16, 4, 4);
+      cfg.adaptive_placement = true;
+      apps::ManyflowResult mr;
+      const double wall = min2([&] {
+        const double t0 = bench::wall_seconds();
+        mr = apps::run_manyflow(cfg, mp);
+        return bench::wall_seconds() - t0;
+      });
+      const std::uint64_t expect =
+          16ull * 3 * static_cast<std::uint64_t>(mp.msgs_per_peer);
+      if (mr.messages_received != expect) {
+        std::fprintf(stderr,
+                     "self-check FAILED: adaptive manyflow delivered %llu of "
+                     "%llu messages\n",
+                     static_cast<unsigned long long>(mr.messages_received),
+                     static_cast<unsigned long long>(expect));
+        ok = false;
+      }
+      // Adaptive placement changes which host pairs are cross-shard, hence
+      // same-instant tie order; under this workload that lands one tail
+      // drop whose retransmit waits out SCTP's 1 s RTO.min, so sim_elapsed
+      // legitimately differs from the contiguous runs and the speedup key
+      // is withheld by the same-work gate.
+      const std::string name = "manyflow_k4_shards4_adaptive";
+      const double speedup = wall1 / wall;
+      const bool gated = speedup_measurable(4) &&
+                         same_work(mr.total_runtime_seconds, sim1);
+      out.metric(name, "wall_seconds", wall);
+      out.metric(name, "sim_elapsed_seconds", mr.total_runtime_seconds);
+      if (gated) out.metric(name, "speedup", speedup);
+      std::printf("%-30s wall %7.3fs  sim %7.3fs  speedup %.2fx%s\n",
+                  name.c_str(), wall, mr.total_runtime_seconds, speedup,
+                  gated ? "" : " (ungated)");
     }
   }
 
@@ -177,9 +294,13 @@ int main(int argc, char** argv) {
       const std::string name = "fattree_scale_k" + std::to_string(k);
       out.metric(name, "hosts", static_cast<double>(ranks));
       out.metric(name, "wall_seconds", wall);
+      // Per-host wall cost: the scale sweep's real question is whether the
+      // simulator's cost grows super-linearly with topology size.
+      out.metric(name, "wall_per_host_seconds", wall / ranks);
       out.metric(name, "sim_elapsed_seconds", mr.total_runtime_seconds);
-      std::printf("%-26s hosts %4d  wall %7.3fs  sim %7.3fs\n", name.c_str(),
-                  ranks, wall, mr.total_runtime_seconds);
+      std::printf("%-26s hosts %4d  wall %7.3fs (%.4fs/host)  sim %7.3fs\n",
+                  name.c_str(), ranks, wall, wall / ranks,
+                  mr.total_runtime_seconds);
     }
   }
 

@@ -25,13 +25,12 @@ constexpr int kCtlTag = 0;
 FarmResult run_farm(core::WorldConfig cfg, FarmParams params,
                     const std::function<void(core::World&)>& pre_run) {
   assert(cfg.ranks >= 2);
-  core::World world(cfg);
-  if (pre_run) pre_run(world);
-  FarmResult result;
-  // Atomic: on sharded worlds the worker bodies run on different threads.
-  std::atomic<int> tasks_done_total{0};
-
-  world.run([&](core::Mpi& mpi) {
+  // Body factory: the same protocol body writes into caller-chosen
+  // accumulators, so the placement warmup below can run it against
+  // scratch state without polluting the measured run's results.
+  const auto body_for = [&params](FarmResult* result,
+                                  std::atomic<int>* tasks_done_total) {
+    return [&params, result, tasks_done_total](core::Mpi& mpi) {
     const int nworkers = mpi.size() - 1;
 
     if (mpi.rank() == 0) {
@@ -80,7 +79,7 @@ FarmResult run_farm(core::WorldConfig cfg, FarmParams params,
           }
         }
       }
-      result.manager_requests_served = served;
+      result->manager_requests_served = served;
     } else {
       // ---- Worker ---------------------------------------------------------
       // Upper bound of in-flight replies: every unanswered request can
@@ -139,9 +138,28 @@ FarmResult run_farm(core::WorldConfig cfg, FarmParams params,
           mpi.send(std::span(&req, 1), 0, kCtlTag);
         }
       }
-      tasks_done_total.fetch_add(my_tasks, std::memory_order_relaxed);
+      tasks_done_total->fetch_add(my_tasks, std::memory_order_relaxed);
     }
-  });
+    };
+  };
+
+  if (cfg.adaptive_placement && cfg.shards > 1 && cfg.placement.empty()) {
+    // Measured placement: profile a truncated single-shard warmup of this
+    // very body, then balance-and-min-cut the host->shard map before the
+    // sharded world is built. Scratch accumulators keep the warmup's
+    // half-finished counts out of the real result.
+    FarmResult scratch;
+    std::atomic<int> scratch_done{0};
+    cfg.placement = core::measured_placement(
+        cfg, body_for(&scratch, &scratch_done));
+  }
+
+  core::World world(cfg);
+  if (pre_run) pre_run(world);
+  FarmResult result;
+  // Atomic: on sharded worlds the worker bodies run on different threads.
+  std::atomic<int> tasks_done_total{0};
+  world.run(body_for(&result, &tasks_done_total));
 
   result.total_runtime_seconds = world.elapsed_seconds();
   result.tasks_completed = tasks_done_total.load(std::memory_order_relaxed);

@@ -15,12 +15,10 @@ ManyflowResult run_manyflow(core::WorldConfig cfg, ManyflowParams params,
                             const std::function<void(core::World&)>& pre_run) {
   assert(cfg.ranks >= 2);
   assert(params.msg_size <= cfg.rpi.eager_limit);
-  core::World world(cfg);
-  if (pre_run) pre_run(world);
-  ManyflowResult result;
-  std::atomic<std::uint64_t> received_total{0};
-
-  world.run([&](core::Mpi& mpi) {
+  // Body factory: see run_farm — lets the placement warmup run the same
+  // protocol against a scratch accumulator.
+  const auto body_for = [&params](std::atomic<std::uint64_t>* received_total) {
+    return [&params, received_total](core::Mpi& mpi) {
     const int n = mpi.size();
     const int fan = std::min(params.fanout, n - 1);
     // Neighbour symmetry: rank r sends to r+1..r+fan, so exactly `fan`
@@ -72,9 +70,21 @@ ManyflowResult run_manyflow(core::WorldConfig cfg, ManyflowParams params,
             rbufs[static_cast<std::size_t>(idx)], core::kAnySource, kDataTag);
       }
     }
-    received_total.fetch_add(static_cast<std::uint64_t>(received),
-                             std::memory_order_relaxed);
-  });
+    received_total->fetch_add(static_cast<std::uint64_t>(received),
+                              std::memory_order_relaxed);
+    };
+  };
+
+  if (cfg.adaptive_placement && cfg.shards > 1 && cfg.placement.empty()) {
+    std::atomic<std::uint64_t> scratch{0};
+    cfg.placement = core::measured_placement(cfg, body_for(&scratch));
+  }
+
+  core::World world(cfg);
+  if (pre_run) pre_run(world);
+  ManyflowResult result;
+  std::atomic<std::uint64_t> received_total{0};
+  world.run(body_for(&received_total));
 
   result.total_runtime_seconds = world.elapsed_seconds();
   result.messages_received =

@@ -146,6 +146,49 @@ void World::run(std::function<void(Mpi&)> body) {
   elapsed_ = *std::max_element(finish.begin(), finish.end());
 }
 
+void World::run_until(std::function<void(Mpi&)> body, sim::SimTime horizon) {
+  if (group_.count() > 1) {
+    throw std::logic_error("World::run_until: single-shard only");
+  }
+  sim::Simulator& sim0 = group_.shard(0);
+  sim::ProcessGroup group(sim0);
+  std::vector<sim::SimTime> finish(static_cast<std::size_t>(cfg_.ranks), 0);
+  for (int r = 0; r < cfg_.ranks; ++r) {
+    group.spawn("rank" + std::to_string(r),
+                [this, r, &body, &finish, &sim0](sim::Process& proc) {
+                  Rpi& rpi = *rpis_[static_cast<std::size_t>(r)];
+                  rpi.init(proc);
+                  Mpi mpi(r, cfg_.ranks, rpi, proc);
+                  body(mpi);
+                  finish[static_cast<std::size_t>(r)] = sim0.now();
+                  rpi.finalize(proc);
+                });
+  }
+  for (std::size_t i = 0; i < group.size(); ++i) group.at(i).start();
+  sim0.run_until(horizon);
+  // Ranks still inside the body are abandoned: ~ProcessGroup resumes each
+  // one until it observes the flag and unwinds its stack. Transport state
+  // is left mid-flight — this world is measurement scaffolding, not a
+  // result carrier.
+  elapsed_ = *std::max_element(finish.begin(), finish.end());
+}
+
+std::vector<unsigned> measured_placement(
+    const WorldConfig& cfg, const std::function<void(Mpi&)>& body) {
+  if (cfg.shards <= 1) return {};
+  WorldConfig warm = cfg;
+  warm.shards = 1;
+  warm.placement.clear();
+  warm.force_parallel_driver = false;
+  warm.adaptive_placement = false;
+  warm.enable_lamd = false;
+  World world(warm);
+  net::LoadProfile& profile = world.cluster().enable_load_profile();
+  world.run_until(body, cfg.placement_warmup);
+  return net::compute_placement(profile, world.cluster().placement_groups(),
+                                cfg.shards);
+}
+
 void World::run_parallel_(const std::function<void(Mpi&)>& body) {
   const unsigned shards = group_.count();
   std::vector<std::unique_ptr<sim::ProcessGroup>> groups;
@@ -186,6 +229,8 @@ void World::run_parallel_(const std::function<void(Mpi&)>& body) {
   }
   sim::ShardGroup::RunOptions opts;
   opts.lookahead = cluster_->cross_shard_lookahead();
+  opts.lookahead_matrix = cluster_->cross_shard_lookahead_matrix();
+  opts.adaptive_window = cfg_.adaptive_window && group_.count() > 1;
   opts.shard_done = [&groups](unsigned s) {
     sim::ProcessGroup& g = *groups[s];
     for (std::size_t i = 0; i < g.size(); ++i) {

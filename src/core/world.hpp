@@ -69,6 +69,20 @@ struct WorldConfig {
   /// Forces the windowed ShardGroup driver even at shards == 1. Testing
   /// hook: that path must be byte-identical to the classic run_all path.
   bool force_parallel_driver = false;
+  /// Lets the sharded driver widen its window cap (up to 64x) while event
+  /// density is low. Keyed off executed-event counts only, so sharded runs
+  /// stay rerun-identical. No effect at shards == 1 — the golden-trace
+  /// path never windows.
+  bool adaptive_window = true;
+  /// Derive the host->shard map from a measured warmup instead of
+  /// contiguous blocks: run the body single-shard for `placement_warmup`
+  /// of virtual time with load profiling on, then greedy
+  /// balance-then-min-cut over the profile (net::compute_placement). The
+  /// warmup is deterministic sim state, so the resulting map — and the
+  /// sharded run using it — is identical on every rerun. Only consulted by
+  /// measured_placement(); an explicit `placement` wins.
+  bool adaptive_placement = false;
+  sim::SimTime placement_warmup = 10 * sim::kMillisecond;
 };
 
 class World {
@@ -81,6 +95,12 @@ class World {
   /// Runs `body` on every rank (between MPI init and finalize) and drives
   /// the simulation to completion.
   void run(std::function<void(Mpi&)> body);
+
+  /// Single-shard only: runs `body` on every rank but stops once the
+  /// virtual clock reaches `horizon`, abandoning still-running rank
+  /// processes (their stacks unwind safely). Used for placement warmup
+  /// measurement — pair with cluster().enable_load_profile().
+  void run_until(std::function<void(Mpi&)> body, sim::SimTime horizon);
 
   /// Virtual time from job start until the last rank finished its body
   /// (connection setup included — it is part of MPI_Init in the paper).
@@ -127,5 +147,14 @@ class World {
   bool lamds_started_ = false;
   sim::SimTime elapsed_ = 0;
 };
+
+/// Measured host->shard placement for `cfg`: builds a throwaway 1-shard
+/// world over the same config/seed, profiles `cfg.placement_warmup` of
+/// virtual time of `body`, and maps the cluster's placement groups onto
+/// `cfg.shards` shards by load and traffic (net::compute_placement).
+/// Deterministic for a given (cfg, body). Returns an empty vector when
+/// cfg.shards <= 1 (nothing to place).
+std::vector<unsigned> measured_placement(const WorldConfig& cfg,
+                                         const std::function<void(Mpi&)>& body);
 
 }  // namespace sctpmpi::core

@@ -20,6 +20,11 @@ Cluster::Cluster(sim::Simulator& sim, sim::Rng rng,
 Cluster::Cluster(sim::ShardGroup& group, sim::Rng rng,
                  const ClusterParams& params)
     : params_(params), group_(&group) {
+  if (group.count() > 1) {
+    lookahead_matrix_.assign(
+        group.count(),
+        std::vector<sim::SimTime>(group.count(), sim::ShardGroup::kNoEvent));
+  }
   resolve_placement_();
   if (params_.topology == TopologyKind::kFatTree) {
     build_fattree_(rng);
@@ -60,6 +65,8 @@ Link* Cluster::make_link_(unsigned src_shard, unsigned dst_shard,
   if (src_shard != dst_shard) {
     l->set_cross_shard(&group_->channel(src_shard, dst_shard));
     lookahead_ = std::min(lookahead_, lp.delay);
+    auto& cell = lookahead_matrix_[src_shard][dst_shard];
+    cell = std::min(cell, lp.delay);
   }
   return l;
 }
@@ -269,6 +276,36 @@ void Cluster::build_fattree_(sim::Rng& rng) {
       }
     }
   }
+}
+
+LoadProfile& Cluster::enable_load_profile() {
+  if (shard_count() > 1) {
+    throw std::logic_error(
+        "Cluster: load profiling is single-shard only (measure on a "
+        "1-shard warmup world)");
+  }
+  if (profile_ == nullptr) {
+    profile_ = std::make_unique<LoadProfile>(host_count());
+    for (auto& h : hosts_) h->set_load_profile(profile_.get());
+  }
+  return *profile_;
+}
+
+std::vector<std::vector<unsigned>> Cluster::placement_groups() const {
+  std::vector<std::vector<unsigned>> groups;
+  if (params_.topology == TopologyKind::kFatTree) {
+    const unsigned half = params_.fattree.k / 2;
+    for (unsigned first = 0; first < params_.hosts; first += half) {
+      std::vector<unsigned> g;
+      g.reserve(half);
+      for (unsigned i = 0; i < half; ++i) g.push_back(first + i);
+      groups.push_back(std::move(g));
+    }
+  } else {
+    groups.reserve(params_.hosts);
+    for (unsigned h = 0; h < params_.hosts; ++h) groups.push_back({h});
+  }
+  return groups;
 }
 
 void Cluster::add_service_route(IpAddr vip, unsigned host) {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "net/host.hpp"
+#include "net/placement.hpp"
 #include "net/switch.hpp"
 #include "sim/rng.hpp"
 #include "sim/shard.hpp"
@@ -86,6 +87,29 @@ class Cluster {
   /// conservative lookahead for ShardGroup::run. kNoEvent when no link
   /// crosses (single shard, or a placement with no cut edges).
   sim::SimTime cross_shard_lookahead() const { return lookahead_; }
+  /// Per-pair minimum delays over the cross-shard links: [src][dst],
+  /// kNoEvent where no link crosses that pair. In a fat-tree the cut edges
+  /// are the long agg<->core links, so the per-pair bounds are much wider
+  /// than the scalar lookahead — exactly what the ShardGroup driver's
+  /// window prefetch feeds on. Empty for single-shard builds.
+  const std::vector<std::vector<sim::SimTime>>& cross_shard_lookahead_matrix()
+      const {
+    return lookahead_matrix_;
+  }
+
+  /// Starts recording per-host load and pairwise traffic into an owned
+  /// LoadProfile (hooked into every host). Single-shard builds only — the
+  /// profile is not thread-safe; measure on a 1-shard warmup world, then
+  /// feed compute_placement() for the sharded run.
+  LoadProfile& enable_load_profile();
+  /// The profile enabled earlier, or nullptr.
+  const LoadProfile* load_profile() const { return profile_.get(); }
+
+  /// Co-location constraint groups for compute_placement(): hosts under one
+  /// ToR in a fat-tree (splitting a ToR would put its edge links on the
+  /// cut, whose short delay would crush the lookahead); singletons in the
+  /// flat topology, where every host hangs off the shared switches anyway.
+  std::vector<std::vector<unsigned>> placement_groups() const;
 
   /// Aliases `vip` onto the routes already serving `host`: every switch
   /// holding an exact route toward one of the host's interface addresses
@@ -147,6 +171,8 @@ class Cluster {
   sim::Simulator* single_sim_ = nullptr;
   std::vector<unsigned> shard_of_;  // host -> shard
   sim::SimTime lookahead_ = sim::ShardGroup::kNoEvent;
+  std::vector<std::vector<sim::SimTime>> lookahead_matrix_;
+  std::unique_ptr<LoadProfile> profile_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Switch>> switches_;
   std::vector<std::unique_ptr<Link>> links_;

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "net/address.hpp"
+#include "net/placement.hpp"
+
 namespace sctpmpi::net {
 
 Host::Interface* Host::route_(const Packet& pkt) {
@@ -24,6 +27,7 @@ void Host::send_ip(Packet&& pkt, sim::SimTime stack_delay) {
   if (pkt.src.is_any()) pkt.src = iface->addr;
   pkt.uid = (static_cast<std::uint64_t>(id_) << 48) | next_uid_++;
   ++tx_packets_;
+  if (profile_ != nullptr) profile_->record_send(id_, pkt.payload.size());
   if (observer_ != nullptr) {
     observer_->on_packet(sim_.now(), trace_label_, pkt, PacketVerdict::kSent);
   }
@@ -38,6 +42,9 @@ void Host::send_ip(Packet&& pkt, sim::SimTime stack_delay) {
 
 void Host::deliver(Packet&& pkt) {
   ++rx_packets_;
+  if (profile_ != nullptr) {
+    profile_->record_delivery(host_of(pkt.src), id_, pkt.payload.size());
+  }
   if (digest_on_) {
     const std::uint64_t words[4] = {
         static_cast<std::uint64_t>(sim_.now()), pkt.uid, pkt.src.v,

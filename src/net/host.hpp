@@ -23,6 +23,8 @@
 
 namespace sctpmpi::net {
 
+class LoadProfile;
+
 /// Calibrated CPU costs of the simulated host's network path. These model
 /// syscall and stack overheads that the paper's measurements include; see
 /// DESIGN.md ("calibration").
@@ -107,6 +109,11 @@ class Host {
   /// cost, so traces can see what the transport handed down and when.
   void set_observer(PacketObserver* obs) { observer_ = obs; }
 
+  /// Warmup measurement hook (nullptr detaches): send_ip()/deliver() record
+  /// per-host work and src→dst message counts into the profile. The profile
+  /// is not thread-safe — Cluster only enables it on single-shard runs.
+  void set_load_profile(LoadProfile* profile) { profile_ = profile; }
+
  private:
   struct Interface {
     IpAddr addr;
@@ -119,6 +126,7 @@ class Host {
   unsigned id_;
   HostCostModel costs_;
   PacketObserver* observer_ = nullptr;
+  LoadProfile* profile_ = nullptr;
   std::string trace_label_;
   std::vector<Interface> ifaces_;
   std::vector<std::pair<IpProto, ProtocolHandler*>> handlers_;

@@ -1,0 +1,132 @@
+#include "net/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sctpmpi::net {
+
+namespace {
+
+/// Symmetric group-to-group traffic: messages in either direction between
+/// hosts of a and hosts of b.
+std::vector<std::vector<std::uint64_t>> group_traffic(
+    const LoadProfile& profile,
+    const std::vector<std::vector<unsigned>>& groups,
+    const std::vector<unsigned>& group_of) {
+  const std::size_t g = groups.size();
+  std::vector<std::vector<std::uint64_t>> t(
+      g, std::vector<std::uint64_t>(g, 0));
+  const unsigned hosts = profile.hosts();
+  for (unsigned s = 0; s < hosts; ++s) {
+    for (unsigned d = 0; d < hosts; ++d) {
+      const std::uint64_t m = profile.traffic(s, d);
+      if (m == 0) continue;
+      const unsigned gs = group_of[s];
+      const unsigned gd = group_of[d];
+      if (gs == gd) continue;
+      t[gs][gd] += m;
+      t[gd][gs] += m;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+std::vector<unsigned> compute_placement(
+    const LoadProfile& profile,
+    const std::vector<std::vector<unsigned>>& groups, unsigned shards,
+    double slack) {
+  if (shards == 0) throw std::invalid_argument("compute_placement: 0 shards");
+  const std::size_t g = groups.size();
+  const unsigned hosts = profile.hosts();
+
+  std::vector<unsigned> group_of(hosts, 0);
+  std::vector<std::uint64_t> group_load(g, 0);
+  for (std::size_t i = 0; i < g; ++i) {
+    for (const unsigned h : groups[i]) {
+      if (h >= hosts) {
+        throw std::invalid_argument("compute_placement: host out of range");
+      }
+      group_of[h] = static_cast<unsigned>(i);
+      group_load[i] += profile.host_load(h);
+    }
+  }
+
+  // Phase 1 — longest-processing-time greedy balance: heaviest group first
+  // onto the least-loaded shard. Ties (equal load) break on the lower
+  // group/shard index, which also makes an all-zero profile degenerate to
+  // round-robin in group order.
+  std::vector<unsigned> order(g);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](unsigned a, unsigned b) {
+                     return group_load[a] > group_load[b];
+                   });
+  std::vector<unsigned> shard_of_group(g, 0);
+  std::vector<std::uint64_t> shard_load(shards, 0);
+  for (const unsigned i : order) {
+    unsigned best = 0;
+    for (unsigned s = 1; s < shards; ++s) {
+      if (shard_load[s] < shard_load[best]) best = s;
+    }
+    shard_of_group[i] = best;
+    shard_load[best] += group_load[i];
+  }
+
+  // Phase 2 — min-cut refinement: move a group to the shard holding most of
+  // its traffic whenever that strictly lowers the cut and the destination
+  // stays within the slack bound. Group index order per sweep; stop when a
+  // sweep moves nothing (each move strictly lowers the nonnegative cut
+  // volume, so this terminates).
+  if (shards > 1 && g > 1) {
+    const auto traffic = group_traffic(profile, groups, group_of);
+    const std::uint64_t total =
+        std::accumulate(group_load.begin(), group_load.end(),
+                        std::uint64_t{0});
+    const auto limit = static_cast<std::uint64_t>(
+        (1.0 + slack) * (static_cast<double>(total) / shards));
+    for (int sweep = 0; sweep < 8; ++sweep) {
+      bool moved = false;
+      for (std::size_t i = 0; i < g; ++i) {
+        // Traffic of group i toward each shard under the current map.
+        std::vector<std::uint64_t> toward(shards, 0);
+        for (std::size_t j = 0; j < g; ++j) {
+          if (j != i) toward[shard_of_group[j]] += traffic[i][j];
+        }
+        const unsigned cur = shard_of_group[i];
+        const std::uint64_t external =
+            std::accumulate(toward.begin(), toward.end(), std::uint64_t{0});
+        unsigned best = cur;
+        // Cut contribution if i sits on s: external - toward[s]. Strict
+        // improvement required; ties keep the current shard (then lower s).
+        std::uint64_t best_cut = external - toward[cur];
+        for (unsigned s = 0; s < shards; ++s) {
+          if (s == cur) continue;
+          if (shard_load[s] + group_load[i] > limit) continue;
+          const std::uint64_t cut = external - toward[s];
+          if (cut < best_cut) {
+            best = s;
+            best_cut = cut;
+          }
+        }
+        if (best != cur) {
+          shard_load[cur] -= group_load[i];
+          shard_load[best] += group_load[i];
+          shard_of_group[i] = best;
+          moved = true;
+        }
+      }
+      if (!moved) break;
+    }
+  }
+
+  std::vector<unsigned> placement(hosts, 0);
+  for (std::size_t i = 0; i < g; ++i) {
+    for (const unsigned h : groups[i]) placement[h] = shard_of_group[i];
+  }
+  return placement;
+}
+
+}  // namespace sctpmpi::net

@@ -1,0 +1,67 @@
+// Measured host→shard placement.
+//
+// A LoadProfile accumulates per-host executed work and pairwise message
+// counts during a single-shard warmup run (Host::send_ip / Host::deliver
+// feed it). Everything recorded is a function of simulated traffic only —
+// message counts and payload sizes, never wall-clock — so a profile built
+// from a given (config, seed) is identical on every rerun, and so is any
+// placement derived from it.
+//
+// compute_placement() maps placement groups (ToR blocks in a fat-tree,
+// single hosts in the flat topology) onto shards with a greedy
+// longest-processing-time balance pass followed by a min-cut refinement
+// pass: groups migrate to the shard holding most of their traffic peers
+// whenever that lowers the cross-shard message volume without pushing any
+// shard's load past (1 + slack) × the balanced average. Ties break on the
+// lowest index at every step, keeping the result deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sctpmpi::net {
+
+/// Deterministic traffic/load measurements from a warmup window.
+class LoadProfile {
+ public:
+  explicit LoadProfile(unsigned hosts)
+      : load_(hosts, 0),
+        traffic_(hosts, std::vector<std::uint64_t>(hosts, 0)) {}
+
+  unsigned hosts() const { return static_cast<unsigned>(load_.size()); }
+
+  /// Transmit-side work: one unit per packet plus one per KiB of payload
+  /// (the same shape as HostCostModel's per-packet + per-byte costs).
+  void record_send(unsigned src, std::size_t bytes) {
+    load_[src] += 1 + bytes / 1024;
+  }
+  /// Receive-side work plus the src→dst traffic edge. `src` may name a
+  /// non-host address (e.g. a service VIP); out-of-range sources only
+  /// count toward load.
+  void record_delivery(unsigned src, unsigned dst, std::size_t bytes) {
+    load_[dst] += 1 + bytes / 1024;
+    if (src < traffic_.size()) traffic_[src][dst] += 1;
+  }
+
+  std::uint64_t host_load(unsigned h) const { return load_[h]; }
+  std::uint64_t traffic(unsigned src, unsigned dst) const {
+    return traffic_[src][dst];
+  }
+
+ private:
+  std::vector<std::uint64_t> load_;
+  std::vector<std::vector<std::uint64_t>> traffic_;
+};
+
+/// Greedy balance-then-min-cut mapping of `groups` (disjoint host sets that
+/// must stay co-located, e.g. one per ToR) onto `shards` shards. Returns a
+/// host→shard vector covering every host in any group. Deterministic for a
+/// given profile. `slack` bounds the imbalance the min-cut pass may
+/// introduce: no shard exceeds (1 + slack) × (total load / shards).
+std::vector<unsigned> compute_placement(
+    const LoadProfile& profile,
+    const std::vector<std::vector<unsigned>>& groups, unsigned shards,
+    double slack = 0.15);
+
+}  // namespace sctpmpi::net

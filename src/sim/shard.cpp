@@ -1,7 +1,8 @@
 #include "sim/shard.hpp"
 
 #include <algorithm>
-#include <barrier>
+#include <cassert>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -10,6 +11,40 @@
 #include "sim/shard_id.hpp"
 
 namespace sctpmpi::sim {
+
+namespace {
+
+enum class Verdict : int { kRunning, kDone, kDeadlock, kError };
+
+// Spin budget before parking on the epoch futex. Zeroed when the machine
+// has fewer cores than shards: spinning there only steals cycles from the
+// worker we are waiting for.
+constexpr int kSpinIters = 4096;
+// Spin iterations between opportunistic channel drains while waiting.
+constexpr int kSpinStageMask = 255;
+// Adaptive window cap: widen when a round executed fewer than kSparse
+// events per shard, shrink when it executed more than kDense, never beyond
+// kCapGrowth times the base cap.
+constexpr std::uint64_t kSparseEventsPerShard = 32;
+constexpr std::uint64_t kDenseEventsPerShard = 512;
+constexpr SimTime kCapGrowth = 64;
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+inline SimTime sat_add(SimTime a, SimTime b) {
+  if (a == ShardGroup::kNoEvent || b == ShardGroup::kNoEvent) {
+    return ShardGroup::kNoEvent;
+  }
+  return a > ShardGroup::kNoEvent - b ? ShardGroup::kNoEvent : a + b;
+}
+
+}  // namespace
 
 ShardGroup::ShardGroup(unsigned shards) {
   if (shards == 0) shards = 1;
@@ -29,50 +64,182 @@ ShardGroup::Channel& ShardGroup::channel(unsigned src, unsigned dst) {
   return *slot;
 }
 
-namespace {
-enum class Verdict : int { kRunning, kDone, kDeadlock, kError };
-}  // namespace
-
 struct ShardGroup::Control {
-  // std::barrier requires a nothrow-invocable completion; std::function is
-  // not, so the completion is this tiny pointer-carrying functor.
-  struct ReduceFn {
-    Control* c;
-    void operator()() const noexcept;
+  // One interior node of the combining tree. Each arriving child writes
+  // its contribution into its own slot (index = child parity within the
+  // pair) and then increments cnt; the second arriver's acq_rel RMW reads
+  // from the first's, so the sibling slot is visible when combined. Slots
+  // and counters are double-buffered by round parity — a parity is reused
+  // only two barriers later, after everyone passed the one in between.
+  struct alignas(64) TreeNode {
+    std::atomic<std::uint32_t> cnt[2]{};
+    SimTime min_v[2][2];
+    char done_v[2][2];
   };
 
-  explicit Control(unsigned n, const RunOptions& o)
-      : bounds(n, kNoEvent),
-        done(n, 0),
+  Control(unsigned shards, const RunOptions& o, ShardGroup& g)
+      : n(shards),
         opts(o),
-        reduce(n, ReduceFn{this}),
-        publish(n) {}
+        bounds(shards, kNoEvent),
+        exec(shards, 0),
+        done(shards, 0),
+        window(shards, 0),
+        beff(shards, kNoEvent),
+        in(shards),
+        out(shards) {
+    // Wiring snapshot: flat channel list plus per-shard in/out lists. The
+    // in-lists ascend by source shard, which pins the ingest tie-break.
+    for (unsigned src = 0; src < n; ++src) {
+      for (unsigned dst = 0; dst < n; ++dst) {
+        Channel* c = g.channels_[src][dst].get();
+        if (c == nullptr) continue;
+        live.push_back(c);
+        out[src].push_back(c);
+        in[dst].push_back(c);
+        // A fresh run starts with no round in flight: both parity slots
+        // name the current cumulative count (nothing pending) and no
+        // round minimum.
+        c->pub_count_[0] = c->pub_count_[1] = c->pushed_;
+        c->pub_min_[0] = c->pub_min_[1] = kNoEvent;
+        c->round_min_ = kNoEvent;
+      }
+    }
+    // Per-pair latency bounds: the caller's matrix, or the scalar
+    // lookahead on every wired pair; then the min-plus closure, so a
+    // multi-hop path through idle shards still bounds what can arrive.
+    closure.assign(n, std::vector<SimTime>(n, kNoEvent));
+    const bool have_matrix = opts.lookahead_matrix.size() == n;
+    for (const Channel* c : live) {
+      SimTime l = have_matrix ? opts.lookahead_matrix[c->src_][c->dst_]
+                              : opts.lookahead;
+      if (l < 1) l = 1;
+      closure[c->src_][c->dst_] = std::min(closure[c->src_][c->dst_], l);
+    }
+    for (unsigned k = 0; k < n; ++k) {
+      for (unsigned j = 0; j < n; ++j) {
+        if (closure[j][k] == kNoEvent) continue;
+        for (unsigned i = 0; i < n; ++i) {
+          closure[j][i] = std::min(closure[j][i],
+                                   sat_add(closure[j][k], closure[k][i]));
+        }
+      }
+    }
+    cap_base = std::max<SimTime>(1, std::min(opts.lookahead,
+                                             opts.max_window));
+    cap_max = cap_base > kNoEvent / kCapGrowth ? kNoEvent
+                                               : cap_base * kCapGrowth;
+    cap = cap_base;
+    // Tree shape: floor(width/2) nodes per level, an odd straggler passes
+    // through to the next level unpaired.
+    std::size_t nodes = 0;
+    for (unsigned w = n; w > 1; w = (w + 1) / 2) nodes += w / 2;
+    tree = std::vector<TreeNode>(nodes);
+    const unsigned hw = std::thread::hardware_concurrency();
+    spin_limit = (n > 1 && hw >= n) ? kSpinIters : 0;
+  }
 
-  /// Runs once per round on whichever worker arrives last at the reduce
-  /// barrier, while every other worker is blocked in it.
-  void reduce_step() noexcept {
+  /// Tree-combining arrival. Returns true when this worker was the last
+  /// arrival overall; the caller must then run reduce_step and advance the
+  /// epoch. Combines (min next-event bound, all-done) on the way up.
+  bool arrive(unsigned i, std::uint64_t round) {
+    const unsigned p = static_cast<unsigned>(round & 1);
+    SimTime m = bounds[i];
+    char dn = done[i];
+    unsigned my = i;
+    unsigned width = n;
+    std::size_t base = 0;
+    while (width > 1) {
+      const unsigned parent_width = (width + 1) / 2;
+      if ((my & 1u) == 0 && my + 1 == width) {
+        // Odd width: no sibling this level; carry straight up.
+      } else {
+        TreeNode& node = tree[base + my / 2];
+        const unsigned child = my & 1u;
+        node.min_v[p][child] = m;
+        node.done_v[p][child] = dn;
+        if (node.cnt[p].fetch_add(1, std::memory_order_acq_rel) == 0) {
+          return false;  // first arriver; the sibling's path carries on up
+        }
+        node.cnt[p].store(0, std::memory_order_relaxed);
+        const unsigned other = child ^ 1u;
+        m = std::min(m, node.min_v[p][other]);
+        dn = static_cast<char>(dn & node.done_v[p][other]);
+      }
+      base += width / 2;
+      my /= 2;
+      width = parent_width;
+    }
+    reduce_step(m, dn != 0, round);
+    epoch.store(round + 1, std::memory_order_release);
+    epoch.notify_all();
+    return true;
+  }
+
+  /// Runs once per round on whichever worker arrives last, while every
+  /// other worker waits on the epoch.
+  void reduce_step(SimTime m, bool all_done, std::uint64_t round) noexcept {
     if (error.load(std::memory_order_relaxed)) {
       verdict = Verdict::kError;
       return;
     }
-    bool all_done = true;
-    SimTime m = kNoEvent;
-    for (std::size_t i = 0; i < bounds.size(); ++i) {
-      all_done = all_done && done[i] != 0;
-      m = std::min(m, bounds[i]);
+    const unsigned p = static_cast<unsigned>(round & 1);
+    // Fold the in-flight channel messages into the per-shard bounds:
+    // b'_j = min(next_event_bound_j, earliest deliver time pending into j).
+    // Pending = published-count delta between this barrier's snapshot and
+    // the previous one (exactly what the consumer has not yet ingested).
+    for (unsigned j = 0; j < n; ++j) beff[j] = bounds[j];
+    bool any_traffic = false;
+    for (const Channel* c : live) {
+      if (c->pub_count_[p] != c->pub_count_[p ^ 1]) {
+        any_traffic = true;
+        beff[c->dst_] = std::min(beff[c->dst_], c->pub_min_[p]);
+        m = std::min(m, c->pub_min_[p]);
+      }
     }
-    if (all_done) {
+    if (all_done && !any_traffic) {
       verdict = Verdict::kDone;
       return;
     }
     if (m == kNoEvent) {
-      // Every simulator drained yet some shard is not done: nothing can
-      // ever fire again.
+      // Every simulator drained, nothing in flight, yet some shard is not
+      // done: nothing can ever fire again.
       verdict = Verdict::kDeadlock;
       return;
     }
-    const SimTime window = std::min(opts.lookahead, opts.max_window);
-    window_end = m > kNoEvent - window ? kNoEvent : m + window;
+    if (opts.adaptive_window) {
+      std::uint64_t exec_total = 0;
+      for (unsigned j = 0; j < n; ++j) exec_total += exec[j];
+      const std::uint64_t delta = exec_total - prev_exec_total;
+      prev_exec_total = exec_total;
+      if (delta < kSparseEventsPerShard * n) {
+        cap = std::min(cap_max, cap * 2);
+      } else if (delta > kDenseEventsPerShard * n && cap > cap_base) {
+        cap = std::max(cap_base, cap / 2);
+      }
+    }
+    const SimTime wcap = sat_add(m, cap);
+    for (unsigned i = 0; i < n; ++i) {
+      SimTime w = wcap;
+      for (unsigned j = 0; j < n; ++j) {
+        // The j == i term is the echo bound: closure[i][i] is the min-plus
+        // cost of the cheapest cross-shard cycle through i, so a message i
+        // sends at beff[i] can come back no earlier than beff[i] +
+        // closure[i][i]. Without it a shard could run cap-deep past its own
+        // request and receive the reply in its past.
+        w = std::min(w, sat_add(beff[j], closure[j][i]));
+      }
+      // w > m always: beff[j] + L >= m + 1 and wcap >= m + 1, so the
+      // globally earliest event is inside some shard's window.
+      //
+      // Monotone clamp: a window may never retreat behind one already
+      // granted — shard i has possibly executed to window[i] - 1, and a
+      // smaller grant (beff dropping when a message lands, or the adaptive
+      // cap shrinking) would let the next round's arrivals undercut that
+      // frontier. Safe because round-r+1 arrivals from j are >= W_j(r) +
+      // L[j][i] >= W_i(r): the window vector satisfies the Lipschitz
+      // property W_i <= W_j + closure[j][i] by construction.
+      if (w > window[i]) window[i] = w;
+    }
     ++rounds;
   }
 
@@ -82,30 +249,98 @@ struct ShardGroup::Control {
     error.store(true, std::memory_order_relaxed);
   }
 
-  std::vector<SimTime> bounds;
-  std::vector<char> done;
+  const unsigned n;
   const RunOptions& opts;
-  SimTime window_end = 0;
+  // Per-shard inputs, written by each worker before its barrier arrival
+  // and read by the reducer after it (plain stores; the tree's RMW chain
+  // and the epoch release/acquire provide the happens-before edges).
+  std::vector<SimTime> bounds;
+  std::vector<std::uint64_t> exec;  // cumulative executed events
+  std::vector<char> done;
+  // Reduce outputs, read by every worker after the epoch advance.
+  std::vector<SimTime> window;
   Verdict verdict = Verdict::kRunning;
+  // Reducer-private state.
+  std::vector<SimTime> beff;
+  std::uint64_t prev_exec_total = 0;
   std::uint64_t rounds = 0;
+  SimTime cap = 0;
+  SimTime cap_base = 0;
+  SimTime cap_max = 0;
+  // Static wiring/latency snapshot.
+  std::vector<std::vector<SimTime>> closure;
+  std::vector<Channel*> live;
+  std::vector<std::vector<Channel*>> in;   // per destination, src ascending
+  std::vector<std::vector<Channel*>> out;  // per source
+  int spin_limit = 0;
+  // Error funnel.
   std::atomic<bool> error{false};
   std::mutex mu;
   std::exception_ptr eptr;
-  std::barrier<ReduceFn> reduce;
-  std::barrier<> publish;
+  // The fused barrier: arrival tree + sense/epoch counter.
+  std::vector<TreeNode> tree;
+  alignas(64) std::atomic<std::uint64_t> epoch{0};
 };
 
-void ShardGroup::Control::ReduceFn::operator()() const noexcept {
-  c->reduce_step();
+void ShardGroup::stage_ready_(unsigned i, Control& ctl) {
+  // Opportunistic overlap while waiting: move whatever the producers have
+  // already made visible into the consumer-private staging buffer. The
+  // SPSC pop side is safe against a concurrently pushing producer, and
+  // ingest_ still honours the snapshot counts, so this never changes which
+  // round a message lands in — only when its cache lines get pulled.
+  for (Channel* ch : ctl.in[i]) {
+    ch->q_.consume(SIZE_MAX, [ch](Msg&& m) {
+      ch->staged_.push_back(std::move(m));
+    });
+  }
 }
 
-void ShardGroup::ingest_(unsigned i, std::vector<Msg>& scratch) {
+void ShardGroup::wait_epoch_(unsigned i, std::uint64_t round, Control& ctl,
+                             Stats& local) {
+  const std::uint64_t target = round + 1;
+  if (ctl.epoch.load(std::memory_order_acquire) >= target) return;
+  for (int s = 0; s < ctl.spin_limit; ++s) {
+    cpu_pause();
+    if ((s & kSpinStageMask) == kSpinStageMask) stage_ready_(i, ctl);
+    if (ctl.epoch.load(std::memory_order_acquire) >= target) return;
+  }
+  stage_ready_(i, ctl);
+  std::uint64_t e = ctl.epoch.load(std::memory_order_acquire);
+  while (e < target) {
+    ++local.parks;
+    ctl.epoch.wait(e, std::memory_order_acquire);
+    e = ctl.epoch.load(std::memory_order_acquire);
+  }
+}
+
+void ShardGroup::ingest_(unsigned i, unsigned parity, Control& ctl,
+                         std::vector<Msg>& scratch, Stats& local) {
   scratch.clear();
-  for (unsigned src = 0; src < count(); ++src) {
-    Channel* ch = channels_[src][i].get();
-    if (ch == nullptr) continue;
-    Msg m;
-    while (ch->q_.pop(m)) scratch.push_back(std::move(m));
+  for (Channel* ch : ctl.in[i]) {
+    const std::uint64_t target = ch->pub_count_[parity];
+    std::uint64_t need = target - ch->consumed_;
+    if (need == 0) continue;  // zero-traffic channel: not even a queue touch
+    ch->consumed_ = target;
+    local.messages += need;
+    while (need != 0 && !ch->staged_.empty()) {
+      scratch.push_back(std::move(ch->staged_.front()));
+      ch->staged_.pop_front();
+      --need;
+    }
+    if (need != 0) {
+      const std::size_t got =
+          ch->q_.consume(static_cast<std::size_t>(need), [&](Msg&& m) {
+            scratch.push_back(std::move(m));
+          });
+      // The producer pushed target elements before publishing the count,
+      // and the barrier ordered those pushes before this drain.
+      assert(got == need);
+      (void)got;
+    }
+  }
+  if (scratch.empty()) {
+    ++local.ingest_skips;
+    return;
   }
   // Gather order is (source shard, seq); a stable sort by time alone turns
   // that into exact (time, shard_id, seq) order. Scheduling in that order
@@ -113,6 +348,9 @@ void ShardGroup::ingest_(unsigned i, std::vector<Msg>& scratch) {
   std::stable_sort(scratch.begin(), scratch.end(),
                    [](const Msg& a, const Msg& b) { return a.time < b.time; });
   for (Msg& m : scratch) {
+    // The window invariant (shard.hpp) guarantees m.time >= the consumer's
+    // frontier; schedule_at would otherwise silently clamp into the past.
+    assert(m.time > sims_[i]->now());
     sims_[i]->schedule_at(m.time, std::move(m.cb));
   }
 }
@@ -122,10 +360,21 @@ void ShardGroup::worker_(unsigned i, Control& ctl, const RunOptions& opts) {
   Simulator& sim = *sims_[i];
   std::vector<Msg> scratch;
   const std::atomic<std::uint32_t>* stop = count() == 1 ? opts.stop : nullptr;
-  for (;;) {
+  Stats local;
+  for (std::uint64_t round = 0;; ++round) {
+    const unsigned p = static_cast<unsigned>(round & 1);
     try {
-      ingest_(i, scratch);
+      // Publish: snapshot each outbound channel's cumulative push count
+      // and this round's minimum deliver time into the parity slot, then
+      // post our own bound and done flag. Plain stores — the barrier
+      // arrival below is what makes them visible.
+      for (Channel* ch : ctl.out[i]) {
+        ch->pub_count_[p] = ch->pushed_;
+        ch->pub_min_[p] = ch->round_min_;
+        ch->round_min_ = kNoEvent;
+      }
       ctl.bounds[i] = sim.next_event_bound(kNoEvent);
+      ctl.exec[i] = sim.events_processed();
       // An exhausted stop counter is completion in itself: run_until's
       // early-out leaves the cut shard's leftover events pending forever,
       // so its done-predicate (e.g. "simulator drained") may never hold.
@@ -138,20 +387,25 @@ void ShardGroup::worker_(unsigned i, Control& ctl, const RunOptions& opts) {
     } catch (...) {
       ctl.record_error();
     }
-    ctl.reduce.arrive_and_wait();
+    if (!ctl.arrive(i, round)) wait_epoch_(i, round, ctl, local);
     if (ctl.verdict != Verdict::kRunning) break;
     try {
-      sim.run_until_or_stop(ctl.window_end - 1, stop);
+      ingest_(i, p, ctl, scratch, local);
+      sim.run_until_or_stop(ctl.window[i] - 1, stop);
     } catch (...) {
       ctl.record_error();
     }
-    ctl.publish.arrive_and_wait();
   }
+  const std::lock_guard<std::mutex> lk(ctl.mu);
+  stats_.messages += local.messages;
+  stats_.ingest_skips += local.ingest_skips;
+  stats_.parks += local.parks;
 }
 
 void ShardGroup::run(const RunOptions& opts) {
   const unsigned n = count();
-  Control ctl(n, opts);
+  stats_ = Stats{};
+  Control ctl(n, opts, *this);
   if (n == 1) {
     worker_(0, ctl, opts);
   } else {
@@ -163,7 +417,8 @@ void ShardGroup::run(const RunOptions& opts) {
     worker_(0, ctl, opts);
     for (auto& t : threads) t.join();
   }
-  rounds_ = ctl.rounds;
+  stats_.rounds = ctl.rounds;
+  stats_.final_cap = ctl.cap;
   if (ctl.eptr) std::rethrow_exception(ctl.eptr);
   if (ctl.verdict == Verdict::kDeadlock) {
     throw std::runtime_error(

@@ -3,37 +3,86 @@
 // A ShardGroup owns N independent sim::Simulator instances (timer wheel,
 // due-now FIFO and heap untouched), one per worker-thread shard, plus one
 // SPSC handoff channel per (source, destination) shard pair. Synchronization
-// is classic conservative (CMB-style) windowing:
+// is conservative (CMB-style) windowing, fused into ONE barrier per round:
 //
-//   round k:  ingest   — each shard drains its inbound channels and
-//                        schedules the messages into its own simulator
-//             reduce   — barrier; the completion computes
-//                          M = min over shards of next_event_bound()
-//                          W = M + min(lookahead, max_window)
-//             run      — each shard runs all local events with t < W
-//                        (run_until(W - 1)); cross-shard sends are pushed
+//   round k:  publish  — each shard snapshots, per outbound channel, the
+//                        cumulative push count and the minimum deliver time
+//                        of the pushes made during round k-1, into the
+//                        round-parity slot k&1 (plain stores; the barrier
+//                        orders them), then posts its own next-event bound
+//                        and done flag
+//             reduce   — a combining-tree, sense-reversing barrier; the
+//                        last arriver folds the tree-combined minimum with
+//                        the pending channel minima into
+//                          M       = min over shards j of b'_j
+//                          b'_j    = min(next_event_bound_j,
+//                                        min deliver time still in flight
+//                                        into j)
+//                        and computes a per-shard window end
+//                          W_i = max( W_i_prev,
+//                                     min( min_j (b'_j + L*[j][i]),
+//                                          M + cap ) )
+//                        where L* is the min-plus closure of the per-pair
+//                        cross-shard latency matrix — the j == i term uses
+//                        L*[i][i], the cheapest cross-shard cycle through
+//                        i, bounding when i's own sends can echo back —
+//                        then bumps the epoch counter (bounded spin, then
+//                        futex park)
+//             ingest   — each shard drains exactly the published prefix of
+//                        its inbound channels (snapshot count minus
+//                        consumed count; zero-traffic channels are
+//                        skipped without touching the queue) and schedules
+//                        the messages into its own simulator
+//             run      — each shard runs all local events with t < W_i
+//                        (run_until(W_i - 1)); cross-shard sends are pushed
 //                        into channels, never executed directly
-//             publish  — barrier; pushes become visible to consumers
 //
-// Safety: `lookahead` must be a lower bound on the latency of every
-// cross-shard handoff (for a network, the minimum delay of any cross-shard
-// link). An event executed in round k has t >= M; a message it emits
-// arrives at t + lookahead >= M + lookahead = W — strictly after the window
-// being executed — so no shard can ever receive a message into its past.
+// Safety: L[j][i] must lower-bound the latency of any direct j -> i
+// handoff; the closure L* then lower-bounds any multi-hop path (in-shard
+// forwarding only adds delay). Every message still in flight into j is
+// accounted in b'_j, so any event shard j executes THIS round has
+// t >= b'_j, and anything it causes to arrive at shard i arrives at
+// t >= b'_j + L*[j][i] >= W_i — on or after the window boundary, never
+// into i's past. Two subtleties make that hold across rounds, not just
+// within one:
+//   echo bound   — the j == i term. A shard's own send at b'_i can bounce
+//                  off a neighbour and return no earlier than
+//                  b'_i + L*[i][i] (the cheapest cross-shard cycle); the
+//                  adaptive cap can exceed that round-trip, so without
+//                  this term a shard could outrun its own replies.
+//   monotonicity — W_i never retreats behind a window already granted
+//                  (shard i may have executed to W_i_prev - 1, and a
+//                  fresh arrival or a cap shrink can pull the raw min
+//                  below that). The clamp is safe because the raw vector
+//                  satisfies W_i <= W_j + L*[j][i] (closure transitivity),
+//                  so next round's arrivals from j land at
+//                  >= W_j + L[j][i] >= W_i_prev.
+// Because W_i > M for every i, the globally-earliest event always
+// executes: the round makes progress. Shards with late inbound bounds run
+// far past the global minimum — that is the window prefetch.
+//
+// Waiting shards also opportunistically pop already-visible channel
+// elements into a staging buffer while they spin; ingest still takes
+// exactly the snapshot prefix (staging first, queue after), so overlap
+// never changes which round a message lands in.
 //
 // Determinism: a message carries (deliver_time, producer seq); the consumer
 // drains channels in source-shard order (each channel is FIFO, i.e. seq
 // order) and stable-sorts by time, so cross-shard messages enter the
-// destination simulator in exact (time, source shard, seq) order. Window
-// boundaries depend only on event timestamps, so a given sharding of a
-// given seed is rerun-identical. With one shard there are no channels and
-// the driver degenerates to run_until() over the whole horizon — the same
-// event order as ProcessGroup::run_all(), byte-identical traces included
-// (see RunOptions::stop for the exact-termination cut).
+// destination simulator in exact (time, source shard, seq) order. Ingest
+// batch boundaries come from the published count snapshots — never from
+// what happens to be visible in a queue — and window boundaries (including
+// the adaptive cap) depend only on event timestamps and executed-event
+// counts, so a given sharding of a given seed is rerun-identical. With one
+// shard there are no channels and the driver degenerates to run_until()
+// over the whole horizon — the same event order as ProcessGroup::run_all(),
+// byte-identical traces included (see RunOptions::stop for the
+// exact-termination cut).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -66,6 +115,8 @@ class ShardGroup {
    public:
     Channel(unsigned src, unsigned dst) : src_(src), dst_(dst) {}
     void push(SimTime time, UniqueFunction cb) {
+      if (time < round_min_) round_min_ = time;
+      ++pushed_;
       q_.push(Msg{time, next_seq_++, std::move(cb)});
     }
     unsigned src() const { return src_; }
@@ -73,24 +124,57 @@ class ShardGroup {
 
    private:
     friend class ShardGroup;
+    // ---- producer side ----
     SpscQueue<Msg> q_;
     std::uint64_t next_seq_ = 0;  // producer-side; FIFO makes pops ordered
+    std::uint64_t pushed_ = 0;    // cumulative pushes, producer-private
+    SimTime round_min_ = kNoEvent;  // min deliver time pushed this round
     unsigned src_;
     unsigned dst_;
+    // Round-parity snapshots, slot = round & 1: written (plain) by the
+    // producer before its barrier arrival, read by the reducer and the
+    // consumer strictly after the epoch advance — the barrier's
+    // acquire/release chain is the only synchronization they need. A slot
+    // is rewritten two barriers later, by which point every reader has
+    // passed the intervening barrier.
+    alignas(64) std::uint64_t pub_count_[2] = {0, 0};
+    SimTime pub_min_[2] = {kNoEvent, kNoEvent};
+    // ---- consumer side ----
+    // Elements popped early (while the consumer waited at the barrier);
+    // always the oldest unconsumed FIFO prefix.
+    alignas(64) std::deque<Msg> staged_;
+    std::uint64_t consumed_ = 0;  // cumulative ingests, consumer-private
   };
 
   struct RunOptions {
     /// Lower bound on cross-shard handoff latency (min cross-shard link
     /// delay). kNoEvent when no channel exists; always clamped by
-    /// max_window. Must be >= 1 ns when channels exist.
+    /// max_window. Must be >= 1 ns when channels exist. Used as the base
+    /// window cap and as the per-pair bound for every wired channel when
+    /// lookahead_matrix is empty.
     SimTime lookahead = kNoEvent;
     /// Window cap: keeps rounds finite so done-predicates are re-checked
     /// even when the lookahead is unbounded (self-re-arming timers would
     /// otherwise let run_until spin forever after the workload finished).
     SimTime max_window = 10 * kMillisecond;
+    /// Per-pair lower bounds on cross-shard delivery latency:
+    /// lookahead_matrix[src][dst], kNoEvent where no handoff exists.
+    /// Empty = `lookahead` for every wired channel. The driver min-plus
+    /// closes the matrix and derives per-shard windows from it, so shards
+    /// whose inbound paths are slow run far ahead of the global bound
+    /// (window prefetch). Entries must lower-bound the direct handoff
+    /// latency of their pair; net::Cluster::cross_shard_lookahead_matrix()
+    /// produces exactly this.
+    std::vector<std::vector<SimTime>> lookahead_matrix;
+    /// Deterministically widens the window cap (up to 64x its base) while
+    /// observed event density per round is low, decaying it back when
+    /// density rises. Keyed off executed-event counts only — never wall
+    /// clock — so reruns are identical.
+    bool adaptive_window = false;
     /// Per-shard completion predicate, evaluated by that shard's worker at
-    /// the top of each round (after ingest). The group stops at the first
-    /// round where every shard reports done. Default: simulator drained.
+    /// the top of each round. The group stops at the first round where
+    /// every shard reports done and no cross-shard message is in flight.
+    /// Default: simulator drained.
     std::function<bool(unsigned)> shard_done;
     /// Single-shard only: when non-null and *stop reaches 0, the window in
     /// progress aborts without advancing the clock — reproducing
@@ -99,6 +183,17 @@ class ShardGroup {
     /// nondeterministic there; multi-shard runs instead finish the round
     /// in which every shard reports done).
     const std::atomic<std::uint32_t>* stop = nullptr;
+  };
+
+  /// Counters from the last run(). All fields except `parks` depend only
+  /// on sim state and are rerun-identical; `parks` counts futex waits and
+  /// is wall-clock-dependent (diagnostic only).
+  struct Stats {
+    std::uint64_t rounds = 0;        // barrier rounds
+    std::uint64_t messages = 0;      // cross-shard messages ingested
+    std::uint64_t ingest_skips = 0;  // shard-rounds with zero inbound traffic
+    std::uint64_t parks = 0;         // blocking waits after the spin phase
+    SimTime final_cap = 0;           // adaptive window cap at the last round
   };
 
   explicit ShardGroup(unsigned shards);
@@ -124,20 +219,25 @@ class ShardGroup {
   void run(const RunOptions& opts);
 
   /// Barrier rounds executed by the last run().
-  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t rounds() const { return stats_.rounds; }
+  const Stats& stats() const { return stats_; }
 
  private:
-  struct Control;  // per-run shared state (bounds, window, verdict)
+  struct Control;  // per-run shared state (bounds, windows, tree, verdict)
 
   void worker_(unsigned i, Control& ctl, const RunOptions& opts);
-  void ingest_(unsigned i, std::vector<Msg>& scratch);
+  void ingest_(unsigned i, unsigned parity, Control& ctl,
+               std::vector<Msg>& scratch, Stats& local);
+  void stage_ready_(unsigned i, Control& ctl);
+  void wait_epoch_(unsigned i, std::uint64_t round, Control& ctl,
+                   Stats& local);
 
   std::vector<std::unique_ptr<Simulator>> sims_;
   // channels_[src][dst]; null until wired. Shard counts are small (the
   // matrix is n^2 pointers) and the per-destination scan in ingest_ walks
   // sources in index order, which is what pins the shard_id tie-break.
   std::vector<std::vector<std::unique_ptr<Channel>>> channels_;
-  std::uint64_t rounds_ = 0;
+  Stats stats_;
 };
 
 }  // namespace sctpmpi::sim

@@ -12,8 +12,13 @@
 // linked to a fresh one through a release-stored `next` pointer. The
 // consumer frees drained segments; the producer allocates new ones — one
 // allocation per kSegCap elements, amortised to nothing on the hot path.
+//
+// The consumer caches the last-acquired count (`avail_`): a batch drain via
+// consume() pays one acquire load per segment refill instead of one per
+// element, and pop() only touches the atomic when its cache runs dry.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <new>
@@ -59,23 +64,35 @@ class SpscQueue {
 
   /// Consumer side only. Returns false when no published element remains.
   bool pop(T& out) {
-    Segment* s = head_;
-    std::size_t avail = s->count.load(std::memory_order_acquire);
-    if (read_ == avail) {
-      if (read_ < kSegCap) return false;  // producer still filling here
-      Segment* next = s->next.load(std::memory_order_acquire);
-      if (next == nullptr) return false;
-      delete s;
-      head_ = s = next;
-      read_ = 0;
-      avail = s->count.load(std::memory_order_acquire);
-      if (avail == 0) return false;
-    }
-    T* p = s->slot(read_);
+    if (!refill_()) return false;
+    T* p = head_->slot(read_);
     out = std::move(*p);
     p->~T();
     ++read_;
     return true;
+  }
+
+  /// Consumer side only: drains up to `max` published elements, invoking
+  /// `fn(T&&)` on each in FIFO order. Returns the number consumed. The
+  /// per-segment publish count is acquired once per refill, so a batch of
+  /// kSegCap elements costs one atomic load instead of kSegCap.
+  template <typename F>
+  std::size_t consume(std::size_t max, F&& fn) {
+    std::size_t n = 0;
+    while (n < max && refill_()) {
+      Segment* s = head_;
+      // min computed on deltas: read_ + (max - n) could wrap for
+      // max = SIZE_MAX.
+      const std::size_t stop = read_ + std::min(avail_ - read_, max - n);
+      while (read_ < stop) {
+        T* p = s->slot(read_);
+        fn(std::move(*p));
+        p->~T();
+        ++read_;
+        ++n;
+      }
+    }
+    return n;
   }
 
   /// Consumer side only: true when no published element is waiting.
@@ -102,8 +119,26 @@ class SpscQueue {
     }
   };
 
+  /// Ensures read_ < avail_ in the head segment, advancing segments and
+  /// refreshing the cached publish count as needed. False = queue empty.
+  bool refill_() {
+    if (read_ < avail_) return true;
+    Segment* s = head_;
+    avail_ = s->count.load(std::memory_order_acquire);
+    if (read_ < avail_) return true;
+    if (read_ < kSegCap) return false;  // producer still filling here
+    Segment* next = s->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    delete s;
+    head_ = next;
+    read_ = 0;
+    avail_ = next->count.load(std::memory_order_acquire);
+    return avail_ != 0;
+  }
+
   Segment* head_;          // consumer-owned
   std::size_t read_ = 0;   // consumer-owned: elements consumed in head_
+  std::size_t avail_ = 0;  // consumer-owned cache of head_->count
   Segment* tail_;          // producer-owned
 };
 

@@ -103,6 +103,57 @@ TEST(ShardedDeterminism, FlatFourShardRerunIsIdentical) {
   EXPECT_EQ(a, b) << "4-shard rerun diverged";
 }
 
+// Adaptive features must not cost rerun-identity: the measured placement
+// is a pure function of (config, seed, body) and the adaptive window cap
+// is keyed off executed-event counts, so the whole pipeline — warmup,
+// placement, sharded run — must reproduce exactly, run after run.
+Observation run_ring_adaptive(core::WorldConfig cfg,
+                              std::vector<unsigned>* placement_out) {
+  cfg.adaptive_window = true;
+  cfg.adaptive_placement = true;
+  cfg.placement = core::measured_placement(cfg, ring_workload);
+  if (placement_out != nullptr) *placement_out = cfg.placement;
+  return run_ring(cfg);
+}
+
+TEST(ShardedDeterminism, AdaptiveFlatTwoShardRerunIsIdentical) {
+  for (const auto t :
+       {core::TransportKind::kTcp, core::TransportKind::kSctp}) {
+    std::vector<unsigned> pa, pb;
+    const Observation a = run_ring_adaptive(flat_cfg(t, 2), &pa);
+    const Observation b = run_ring_adaptive(flat_cfg(t, 2), &pb);
+    EXPECT_EQ(pa, pb) << core::to_string(t)
+                      << ": measured placement diverged across reruns";
+    EXPECT_EQ(a, b) << core::to_string(t) << ": adaptive 2-shard rerun "
+                    << "diverged";
+    EXPECT_GT(a.elapsed, 0);
+  }
+}
+
+TEST(ShardedDeterminism, AdaptiveFatTreeFourShardRerunIsIdentical) {
+  for (const auto t :
+       {core::TransportKind::kTcp, core::TransportKind::kSctp}) {
+    core::WorldConfig cfg;
+    cfg.ranks = 16;  // k=4 fat-tree
+    cfg.transport = t;
+    cfg.seed = 23;
+    cfg.topology = net::TopologyKind::kFatTree;
+    cfg.fattree.k = 4;
+    cfg.shards = 4;
+    std::vector<unsigned> pa, pb;
+    const Observation a = run_ring_adaptive(cfg, &pa);
+    const Observation b = run_ring_adaptive(cfg, &pb);
+    EXPECT_EQ(pa, pb) << core::to_string(t)
+                      << ": measured placement diverged across reruns";
+    // The placement groups are ToR blocks of k/2 hosts: both hosts under
+    // one edge switch must map to one shard.
+    ASSERT_EQ(pa.size(), 16u);
+    for (unsigned h = 0; h < 16; h += 2) EXPECT_EQ(pa[h], pa[h + 1]);
+    EXPECT_EQ(a, b) << core::to_string(t) << ": adaptive fat-tree 4-shard "
+                    << "rerun diverged";
+  }
+}
+
 TEST(ShardedDeterminism, ShardingPreservesApplicationResults) {
   // The transports deliver the same bytes regardless of sharding; only
   // event interleavings across shards may differ. Compare application-

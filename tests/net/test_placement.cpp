@@ -1,0 +1,127 @@
+// compute_placement(): the greedy balance + min-cut refinement that maps
+// placement groups onto shards from a measured LoadProfile. Everything
+// here is single-threaded and must be exactly deterministic — the sharded
+// driver's rerun-identity contract inherits it.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "net/placement.hpp"
+
+namespace sctpmpi::net {
+namespace {
+
+std::vector<std::vector<unsigned>> singleton_groups(unsigned hosts) {
+  std::vector<std::vector<unsigned>> g;
+  for (unsigned h = 0; h < hosts; ++h) g.push_back({h});
+  return g;
+}
+
+TEST(Placement, EqualLoadsRoundRobinInGroupOrder) {
+  LoadProfile p(6);
+  for (unsigned h = 0; h < 6; ++h) p.record_send(h, 0);
+  const auto map = compute_placement(p, singleton_groups(6), 3);
+  // Equal loads: LPT keeps group order and each group lands on the
+  // lowest-index least-loaded shard, so groups cycle 0,1,2,0,1,2.
+  EXPECT_EQ(map, (std::vector<unsigned>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(Placement, BalancesUnevenLoads) {
+  LoadProfile p(4);
+  // Loads 8,1,1,6 (in send units): LPT puts 8 alone and packs 6+1+1
+  // against it.
+  for (int i = 0; i < 8; ++i) p.record_send(0, 0);
+  p.record_send(1, 0);
+  p.record_send(2, 0);
+  for (int i = 0; i < 6; ++i) p.record_send(3, 0);
+  const auto map = compute_placement(p, singleton_groups(4), 2);
+  EXPECT_EQ(map[0], 0u);
+  EXPECT_EQ(map[3], 1u);
+  EXPECT_EQ(map[1], map[3]);
+  EXPECT_EQ(map[2], map[3]);
+}
+
+TEST(Placement, GroupsStayCoLocated) {
+  LoadProfile p(8);
+  for (unsigned h = 0; h < 8; ++h) p.record_send(h, 1024);
+  // Two ToR-style blocks of four; they may never be split.
+  const std::vector<std::vector<unsigned>> groups = {{0, 1, 2, 3},
+                                                     {4, 5, 6, 7}};
+  const auto map = compute_placement(p, groups, 2);
+  EXPECT_EQ(map[0], map[1]);
+  EXPECT_EQ(map[1], map[2]);
+  EXPECT_EQ(map[2], map[3]);
+  EXPECT_EQ(map[4], map[5]);
+  EXPECT_EQ(map[5], map[6]);
+  EXPECT_EQ(map[6], map[7]);
+  EXPECT_NE(map[0], map[4]);
+}
+
+TEST(Placement, MinCutPullsChattyPeersOntoOneShard) {
+  // Hosts 0 and 3 exchange heavy traffic, 1 and 2 are quiet but loaded.
+  // The LPT pass balances by load alone and splits the chatty pair; the
+  // min-cut sweep must migrate until it shares a shard.
+  LoadProfile p(4);
+  for (unsigned h = 0; h < 4; ++h) p.record_send(h, 1024);
+  for (int i = 0; i < 50; ++i) {
+    p.record_delivery(0, 3, 64);
+    p.record_delivery(3, 0, 64);
+  }
+  // The deliveries add load to 0 and 3; equalize 1 and 2 so the slack
+  // bound does not pin the heavy pair apart.
+  for (int i = 0; i < 100; ++i) {
+    p.record_send(1, 0);
+    p.record_send(2, 0);
+  }
+  const auto map = compute_placement(p, singleton_groups(4), 2, 0.5);
+  EXPECT_EQ(map[0], map[3]) << "heavy 0<->3 pair left split across shards";
+}
+
+TEST(Placement, SlackBoundsTheImbalanceMinCutMayIntroduce) {
+  // Everyone talks to host 0. With zero slack no migration fits, so the
+  // balanced LPT split must survive even though the cut would love to put
+  // all four hosts on one shard.
+  LoadProfile p(4);
+  for (unsigned h = 0; h < 4; ++h) p.record_send(h, 1024);
+  for (unsigned h = 1; h < 4; ++h) {
+    for (int i = 0; i < 20; ++i) p.record_delivery(h, 0, 64);
+  }
+  const auto map = compute_placement(p, singleton_groups(4), 2, 0.0);
+  std::vector<unsigned> per_shard(2, 0);
+  for (const unsigned s : map) ++per_shard[s];
+  EXPECT_GE(per_shard[0], 1u);
+  EXPECT_GE(per_shard[1], 1u);
+}
+
+TEST(Placement, DeterministicAcrossCalls) {
+  LoadProfile p(16);
+  for (unsigned h = 0; h < 16; ++h) {
+    p.record_send(h, 512 * (h % 5));
+    p.record_delivery(h, (h * 7 + 3) % 16, 2048);
+  }
+  const auto groups = singleton_groups(16);
+  const auto a = compute_placement(p, groups, 4);
+  const auto b = compute_placement(p, groups, 4);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Placement, MoreShardsThanGroupsLeavesShardsEmpty) {
+  LoadProfile p(2);
+  p.record_send(0, 1024);
+  p.record_send(1, 1024);
+  const auto map = compute_placement(p, singleton_groups(2), 4);
+  ASSERT_EQ(map.size(), 2u);
+  EXPECT_NE(map[0], map[1]);
+  EXPECT_LT(map[0], 4u);
+  EXPECT_LT(map[1], 4u);
+}
+
+TEST(Placement, RejectsZeroShards) {
+  LoadProfile p(1);
+  EXPECT_THROW(compute_placement(p, singleton_groups(1), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sctpmpi::net

@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "sim/shard.hpp"
@@ -32,6 +35,56 @@ TEST(SpscQueue, FifoAcrossSegmentBoundaries) {
       EXPECT_EQ(v, expect);
       ++expect;
     }
+  }
+  producer.join();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, BatchedConsumeDrainsInFifoOrder) {
+  SpscQueue<int, 16> q;
+  for (int i = 0; i < 100; ++i) q.push(int{i});
+  std::vector<int> seen;
+  // Partial batch first: consume() must stop at `max`, not at a segment
+  // boundary, and a later call must resume exactly where it left off.
+  EXPECT_EQ(q.consume(37, [&seen](int&& v) { seen.push_back(v); }), 37u);
+  EXPECT_EQ(q.consume(1000, [&seen](int&& v) { seen.push_back(v); }), 63u);
+  ASSERT_EQ(seen.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.consume(10, [](int&&) {}), 0u);
+}
+
+TEST(SpscQueue, ConsumeUnboundedMaxDoesNotWrap) {
+  // Regression: consume(SIZE_MAX) with a nonzero read cursor used to
+  // compute `read_ + (max - n)`, which wraps std::size_t and made the
+  // batch stop immediately. Advance the cursor first, then drain all.
+  SpscQueue<int, 16> q;
+  for (int i = 0; i < 300; ++i) q.push(int{i});
+  int v = -1;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.pop(v));
+  std::size_t n = 0;
+  int expect = 5;
+  q.consume(static_cast<std::size_t>(-1), [&](int&& x) {
+    EXPECT_EQ(x, expect);
+    ++expect;
+    ++n;
+  });
+  EXPECT_EQ(n, 295u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, ConsumeRacesProducerWithoutLossOrReorder) {
+  SpscQueue<int, 16> q;
+  constexpr int kCount = 20000;
+  std::thread producer([&q] {
+    for (int i = 0; i < kCount; ++i) q.push(int{i});
+  });
+  int expect = 0;
+  while (expect < kCount) {
+    q.consume(64, [&expect](int&& v) {
+      EXPECT_EQ(v, expect);
+      ++expect;
+    });
   }
   producer.join();
   EXPECT_TRUE(q.empty());
@@ -119,6 +172,64 @@ TEST(ShardGroup, CrossShardPingPongExecutesAtCarriedTimes) {
     }
   }
   EXPECT_GT(g.rounds(), 1u);
+}
+
+// Echo-bound regression: the window cap defaults far beyond the 200 ns
+// round trip, and shard 1 is otherwise idle (its bound is "no event"), so
+// a window formula without the self-cycle term L*[i][i] would let shard 0
+// run its 250/350 chatter before the reply to its own request came back —
+// the reply would then execute late, at the clamped current time instead
+// of its carried time.
+TEST(ShardGroup, EchoRepliesNeverLandInThePast) {
+  ShardGroup g(2);
+  ShardGroup::Channel* req = &g.channel(0, 1);
+  ShardGroup::Channel* rep = &g.channel(1, 0);
+  for (const SimTime t : {150, 250, 350}) g.shard(0).schedule_at(t, [] {});
+  std::vector<std::pair<SimTime, SimTime>> at;  // (carried, executed)
+  g.shard(0).schedule_at(0, [&] {
+    req->push(100, [&] {
+      const SimTime t = g.shard(1).now() + 100;
+      rep->push(t, [&at, &g, t] { at.emplace_back(t, g.shard(0).now()); });
+    });
+  });
+  ShardGroup::RunOptions opts;
+  opts.lookahead = 100;
+  g.run(opts);
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at[0].first, 200);
+  EXPECT_EQ(at[0].second, 200);
+}
+
+// Barrier stress for the spin-then-park waiter: a long chain of rounds
+// where three of four shards are idle every round and must park at the
+// barrier, woken by the last arriver's notify. This is the test the
+// sharded-tsan lane leans on to race the futex path; correctness here is
+// that every hop executes at its carried time and reruns agree.
+TEST(ShardGroup, ParkedWaitersSurviveManyRounds) {
+  constexpr SimTime kHop = 100;
+  constexpr int kHops = 1200;
+  auto run_once = [] {
+    ShardGroup g(4);
+    ShardGroup::Channel* ring[4];
+    for (unsigned s = 0; s < 4; ++s) ring[s] = &g.channel(s, (s + 1) % 4);
+    std::uint64_t bad = 0;  // hops executing off their carried time
+    std::function<void(int, SimTime)> hop = [&](int n, SimTime t) {
+      const unsigned dst = static_cast<unsigned>(n % 4);
+      if (g.shard(dst).now() != t) ++bad;
+      if (n >= kHops) return;
+      ring[dst]->push(t + kHop, [&hop, n, t] { hop(n + 1, t + kHop); });
+    };
+    g.shard(0).schedule_at(0, [&hop] { hop(0, 0); });
+    ShardGroup::RunOptions opts;
+    opts.lookahead = kHop;
+    g.run(opts);
+    EXPECT_EQ(bad, 0u);
+    return g.rounds();
+  };
+  const std::uint64_t a = run_once();
+  const std::uint64_t b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, static_cast<std::uint64_t>(kHops) / 4);
 }
 
 TEST(ShardGroup, ReportsDeadlockWhenShardsNeverFinish) {
